@@ -1,0 +1,50 @@
+//! Criterion companion of **Table III**: the stages of the anomaly
+//! detection pipeline — event-count matrix generation, TF-IDF weighting,
+//! and PCA fit + scoring — at increasing block counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logparse_datasets::hdfs;
+use logparse_mining::{tfidf_weight, truth_count_matrix, PcaDetector, PcaDetectorConfig};
+
+fn mining_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mining_pipeline");
+    group.sample_size(10);
+    for &blocks in &[500usize, 2_000, 8_000] {
+        let sessions = hdfs::generate_sessions(blocks, 0.029, 21);
+        group.throughput(Throughput::Elements(blocks as u64));
+        group.bench_with_input(
+            BenchmarkId::new("matrix_generation", blocks),
+            &sessions,
+            |b, s| {
+                b.iter(|| {
+                    truth_count_matrix(
+                        &s.data.labels,
+                        s.data.truth_templates.len(),
+                        &s.block_of,
+                        s.block_count(),
+                    )
+                })
+            },
+        );
+        let counts = truth_count_matrix(
+            &sessions.data.labels,
+            sessions.data.truth_templates.len(),
+            &sessions.block_of,
+            sessions.block_count(),
+        );
+        group.bench_with_input(BenchmarkId::new("tfidf", blocks), &counts, |b, m| {
+            b.iter(|| tfidf_weight(m))
+        });
+        group.bench_with_input(BenchmarkId::new("pca_detect", blocks), &counts, |b, m| {
+            let detector = PcaDetector::new(PcaDetectorConfig {
+                components: Some(2),
+                ..PcaDetectorConfig::default()
+            });
+            b.iter(|| detector.detect(m))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mining_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion companion of **Table II**: the cost of one accuracy
+//! measurement — parsing a 2 000-message sample — per parser and
+//! dataset, the unit of work the paper's RQ1 protocol repeats
+//! (10× for randomized methods).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logparse_core::LogParser;
+use logparse_datasets::{bgl, hdfs, hpc};
+use logparse_parsers::{Iplom, LogSig, Slct};
+
+fn parser_accuracy_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser_accuracy_cost");
+    group.sample_size(10);
+    let datasets: [(&str, logparse_datasets::LabeledCorpus); 3] = [
+        ("BGL", bgl::generate(2_000, 7)),
+        ("HPC", hpc::generate(2_000, 7)),
+        ("HDFS", hdfs::generate(2_000, 7)),
+    ];
+    for (name, data) in &datasets {
+        group.bench_with_input(BenchmarkId::new("SLCT", name), data, |b, d| {
+            let p = Slct::builder().support_fraction(0.002).build();
+            b.iter(|| p.parse(&d.corpus).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("IPLoM", name), data, |b, d| {
+            let p = Iplom::default();
+            b.iter(|| p.parse(&d.corpus).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("LogSig", name), data, |b, d| {
+            let k = d.distinct_events().max(1);
+            let p = LogSig::builder().clusters(k).seed(1).max_iterations(20).build();
+            b.iter(|| p.parse(&d.corpus).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parser_accuracy_cost);
+criterion_main!(benches);

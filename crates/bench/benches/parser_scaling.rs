@@ -1,0 +1,50 @@
+//! Criterion companion of **Fig. 2**: parser running time as corpus size
+//! grows, one group per dataset. LKE is only benched at sizes its O(n²)
+//! clustering can handle, mirroring the paper's missing data points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logparse_core::LogParser;
+use logparse_datasets::{hdfs, proxifier, zookeeper};
+use logparse_parsers::{Iplom, Lke, LogSig, Slct};
+
+fn bench_dataset(
+    c: &mut Criterion,
+    name: &str,
+    generate: fn(usize, u64) -> logparse_datasets::LabeledCorpus,
+) {
+    let mut group = c.benchmark_group(format!("parser_scaling/{name}"));
+    group.sample_size(10);
+    for &size in &[500usize, 2_000, 8_000] {
+        let data = generate(size, 42);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("SLCT", size), &data, |b, d| {
+            let p = Slct::builder().support_fraction(0.002).build();
+            b.iter(|| p.parse(&d.corpus).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("IPLoM", size), &data, |b, d| {
+            let p = Iplom::default();
+            b.iter(|| p.parse(&d.corpus).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("LogSig", size), &data, |b, d| {
+            let k = d.distinct_events().max(1);
+            let p = LogSig::builder().clusters(k).seed(1).max_iterations(20).build();
+            b.iter(|| p.parse(&d.corpus).unwrap())
+        });
+        if size <= 2_000 {
+            group.bench_with_input(BenchmarkId::new("LKE", size), &data, |b, d| {
+                let p = Lke::builder().fixed_threshold(0.4).build();
+                b.iter(|| p.parse(&d.corpus).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn parser_scaling(c: &mut Criterion) {
+    bench_dataset(c, "HDFS", hdfs::generate);
+    bench_dataset(c, "Zookeeper", zookeeper::generate);
+    bench_dataset(c, "Proxifier", proxifier::generate);
+}
+
+criterion_group!(benches, parser_scaling);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Throughput of the shared tokenizer substrate, in raw lines and with
+//! the optional trimming/delimiter features enabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logparse_core::Tokenizer;
+use logparse_datasets::{bgl, hdfs};
+
+fn tokenizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tokenizer");
+    let hdfs_lines: Vec<String> = {
+        let d = hdfs::generate(5_000, 9);
+        (0..d.len()).map(|i| d.corpus.record(i).content.clone()).collect()
+    };
+    let bgl_lines: Vec<String> = {
+        let d = bgl::generate(5_000, 9);
+        (0..d.len()).map(|i| d.corpus.record(i).content.clone()).collect()
+    };
+    group.throughput(Throughput::Elements(5_000));
+    for (name, lines) in [("hdfs", &hdfs_lines), ("bgl", &bgl_lines)] {
+        group.bench_with_input(BenchmarkId::new("whitespace", name), lines, |b, ls| {
+            let t = Tokenizer::default();
+            b.iter(|| ls.iter().map(|l| t.tokenize(l).len()).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("trimmed", name), lines, |b, ls| {
+            let t = Tokenizer::new().with_trimmed_punctuation();
+            b.iter(|| ls.iter().map(|l| t.tokenize(l).len()).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tokenizer);
+criterion_main!(benches);

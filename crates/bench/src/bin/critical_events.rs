@@ -1,0 +1,23 @@
+//! Regenerates the **Finding 6 ablation** (critical-event parse errors →
+//! order-of-magnitude mining degradation). See
+//! `logparse_eval::experiments::critical`.
+
+use logparse_bench::quick_mode;
+use logparse_eval::experiments::critical;
+
+fn main() {
+    let mut config = critical::CriticalConfig::default();
+    if quick_mode() {
+        config.blocks = 1_000;
+    }
+    eprintln!("running critical-event ablation on {} blocks…", config.blocks);
+    let points = critical::run(&config);
+    println!("Finding 6 ablation: merge errors on critical vs. non-critical events");
+    println!();
+    print!("{}", critical::render(&points));
+    println!();
+    println!("paper claim: \"4% errors in parsing could even cause an order of magnitude");
+    println!("performance degradation in log mining\" — observe the false-alarm column of");
+    println!("the critical target versus the non-critical control at equal error rates,");
+    println!("and note how small the overall error fraction stays.");
+}

@@ -1,0 +1,18 @@
+//! Runs the **extension-parser benchmark** (Drain, Spell, AEL, LenMa,
+//! LogMine — the next-generation LogPAI parsers — under the Table II
+//! protocol). See `logparse_eval::experiments::extensions`.
+
+use logparse_bench::quick_mode;
+use logparse_eval::experiments::extensions;
+
+fn main() {
+    let sample = if quick_mode() { 500 } else { 2_000 };
+    eprintln!("running extension-parser benchmark on {sample}-message samples…");
+    let points = extensions::run(sample, 42);
+    println!("Extension parsers (default configs, raw messages): F-measure");
+    println!();
+    print!("{}", extensions::render(&points));
+    println!();
+    println!("context: these are the parsers the authors' follow-on LogPAI toolkit added");
+    println!("after the study; compare with the tuned Table II rows of the original four.");
+}

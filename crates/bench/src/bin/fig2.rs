@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 2** (running time vs. corpus size). See
+//! `logparse_eval::experiments::fig2`.
+
+use logparse_bench::quick_mode;
+use logparse_eval::experiments::fig2;
+use logparse_eval::ParserKind;
+
+fn main() {
+    let config = if quick_mode() {
+        fig2::Fig2Config {
+            sizes: vec![400, 1_000, 4_000],
+            lke_cap: 1_000,
+            ..fig2::Fig2Config::default()
+        }
+    } else {
+        fig2::Fig2Config {
+            sizes: vec![400, 1_000, 4_000, 10_000, 40_000],
+            lke_cap: 2_000,
+            logsig_cap: 10_000,
+            ..fig2::Fig2Config::default()
+        }
+    };
+    eprintln!("running Fig. 2 sweep: sizes {:?} (LKE capped at {})…", config.sizes, config.lke_cap);
+    let points = fig2::run(&config);
+    println!("Fig. 2: Running Time of Log Parsing Methods on Datasets in Different Size");
+    for dataset in ["BGL", "HPC", "HDFS", "Zookeeper", "Proxifier"] {
+        println!();
+        println!("({dataset})");
+        print!("{}", fig2::render(&points, dataset));
+        for kind in ParserKind::ALL {
+            if let Some(a) = fig2::scaling_exponent(&points, dataset, kind) {
+                println!("  {} empirical scaling exponent: {a:.2}", kind.name());
+            }
+        }
+    }
+    println!();
+    println!("paper shape: SLCT and IPLoM linear (minutes for 10m lines); LogSig linear with");
+    println!("a large constant (2+ hours for 10m HDFS lines); LKE O(n^2), unable to finish");
+    println!("BGL4m/HDFS10m in reasonable time (points missing).");
+}

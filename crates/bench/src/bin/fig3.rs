@@ -1,0 +1,42 @@
+//! Regenerates **Fig. 3** (parsing accuracy vs. corpus size with
+//! parameters tuned on a 2 k sample). See
+//! `logparse_eval::experiments::fig3`.
+
+use logparse_bench::quick_mode;
+use logparse_eval::experiments::fig3;
+use logparse_eval::ParserKind;
+
+fn main() {
+    let config = if quick_mode() {
+        fig3::Fig3Config {
+            sizes: vec![400, 1_000, 4_000],
+            tuning_sample: 1_000,
+            lke_cap: 1_000,
+            ..fig3::Fig3Config::default()
+        }
+    } else {
+        fig3::Fig3Config {
+            sizes: vec![400, 1_000, 4_000, 10_000, 40_000],
+            tuning_sample: 2_000,
+            lke_cap: 2_000,
+            logsig_cap: 10_000,
+            ..fig3::Fig3Config::default()
+        }
+    };
+    eprintln!("running Fig. 3 sweep: sizes {:?}…", config.sizes);
+    let points = fig3::run(&config);
+    println!("Fig. 3: Parsing Accuracy on Datasets in Different Size (params tuned on sample)");
+    for dataset in ["BGL", "HPC", "HDFS", "Zookeeper", "Proxifier"] {
+        println!();
+        println!("({dataset})");
+        print!("{}", fig3::render(&points, dataset));
+        for kind in ParserKind::ALL {
+            if let Some(s) = fig3::consistency_spread(&points, dataset, kind) {
+                println!("  {} accuracy spread across sizes: {s:.2}", kind.name());
+            }
+        }
+    }
+    println!();
+    println!("paper shape: IPLoM consistent in most cases; SLCT consistent except HPC; LKE");
+    println!("volatile; LogSig consistent on event-poor datasets, varying on BGL/HPC.");
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Table I** (dataset summary). See
+//! `logparse_eval::experiments::table1`.
+
+use logparse_bench::quick_mode;
+use logparse_eval::experiments::table1;
+
+fn main() {
+    let divisor = if quick_mode() { 10_000 } else { 1_000 };
+    let rows = table1::run(divisor, 42);
+    println!("Table I: Summary of the system log datasets (synthetic, paper sizes / {divisor})");
+    println!();
+    print!("{}", table1::render(&rows));
+    println!();
+    println!(
+        "paper total: {} lines; generated total: {} lines",
+        logparse_eval::fmt_count(table1::PAPER_TOTAL_LOGS),
+        logparse_eval::fmt_count(rows.iter().map(|r| r.generated_logs).sum()),
+    );
+}

@@ -1,0 +1,141 @@
+//! A small hand-rolled argument parser: `--key value` flags, `--flag`
+//! booleans, and positional arguments, collected in order. Keeps the
+//! toolkit free of CLI dependencies.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// Error produced when an argument cannot be interpreted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Option names that take a value; anything else starting with `--` is a
+/// boolean flag.
+const VALUED: &[&str] = &[
+    "parser",
+    "dataset",
+    "count",
+    "seed",
+    "sample",
+    "support",
+    "clusters",
+    "threshold",
+    "preprocess",
+    "events-out",
+    "structured-out",
+    "blocks",
+    "rate",
+    "alpha",
+    "components",
+];
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when a valued option is missing its value.
+    pub fn parse<I, S>(raw: I) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if VALUED.contains(&name) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError(format!("option --{name} needs a value")))?;
+                    args.options.insert(name.to_owned(), value);
+                } else {
+                    args.flags.push(name.to_owned());
+                }
+            } else {
+                args.positional.push(arg);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The value of `--name`, if given.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// The value of `--name` parsed as `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the value does not parse.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value `{raw}` for --{name}"))),
+        }
+    }
+
+    /// Whether the boolean `--name` flag was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_options_flags_and_positionals() {
+        let args = Args::parse(["--parser", "iplom", "--quick", "input.log"]).unwrap();
+        assert_eq!(args.option("parser"), Some("iplom"));
+        assert!(args.has_flag("quick"));
+        assert_eq!(args.positional(), ["input.log"]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Args::parse(["--parser"]).unwrap_err();
+        assert!(err.to_string().contains("--parser"));
+    }
+
+    #[test]
+    fn parsed_or_uses_default_and_validates() {
+        let args = Args::parse(["--count", "50"]).unwrap();
+        assert_eq!(args.parsed_or("count", 7usize).unwrap(), 50);
+        assert_eq!(args.parsed_or("seed", 7u64).unwrap(), 7);
+        let bad = Args::parse(["--count", "x"]).unwrap();
+        assert!(bad.parsed_or("count", 0usize).is_err());
+    }
+
+    #[test]
+    fn empty_input_parses_to_empty() {
+        let args = Args::parse(Vec::<String>::new()).unwrap();
+        assert!(args.positional().is_empty());
+        assert!(!args.has_flag("anything"));
+    }
+}

@@ -1,0 +1,273 @@
+//! The `logmine` subcommand implementations.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use logparse_core::{
+    read_lines, write_events_file, write_structured_file, Corpus, LogParser, MaskRule,
+    Preprocessor, Tokenizer,
+};
+use logparse_datasets::{study_datasets, DatasetSpec, LabeledCorpus};
+use logparse_eval::{grouping_accuracy, pairwise_f_measure, purity, rand_index, tune, ParserKind};
+use logparse_mining::{
+    event_count_matrix, truth_count_matrix, PcaDetector, PcaDetectorConfig,
+};
+use logparse_parsers::{Ael, Drain, Iplom, LenMa, Lke, LogMine, LogSig, Slct, Spell};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+logmine — log parsing toolkit (DSN'16 reproduction)
+
+USAGE:
+  logmine parse    --parser NAME [--preprocess RULES] [--support F]
+                   [--clusters K] [--seed N] [--threshold T]
+                   [--events-out FILE] [--structured-out FILE] [FILE]
+  logmine generate --dataset NAME --count N [--seed N] [--labels]
+  logmine evaluate --dataset NAME --parser NAME [--sample N] [--seed N]
+  logmine detect   [--blocks N] [--rate R] [--parser NAME] [--seed N]
+                   [--alpha A] [--components K]
+  logmine help
+
+PARSERS:   slct iplom lke logsig drain spell ael lenma logmine
+DATASETS:  bgl hpc hdfs zookeeper proxifier
+RULES:     comma-separated from ip,blk,core,num,hex,path";
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Builds the requested parser with per-method options.
+fn build_parser(args: &Args) -> Result<Box<dyn LogParser>, Box<dyn Error>> {
+    let name = args.option("parser").unwrap_or("iplom");
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "slct" => {
+            let support: f64 = args.parsed_or("support", 0.001)?;
+            Box::new(Slct::builder().support_fraction(support).build())
+        }
+        "iplom" => Box::new(Iplom::default()),
+        "lke" => match args.option("threshold") {
+            Some(raw) => Box::new(Lke::builder().fixed_threshold(raw.parse()?).build()),
+            None => Box::new(Lke::default()),
+        },
+        "logsig" => {
+            let clusters: usize = args.parsed_or("clusters", 16)?;
+            Box::new(LogSig::builder().clusters(clusters).seed(seed).build())
+        }
+        "drain" => Box::new(Drain::default()),
+        "spell" => Box::new(Spell::default()),
+        "ael" => Box::new(Ael::default()),
+        "lenma" => Box::new(LenMa::default()),
+        "logmine" => Box::new(LogMine::default()),
+        other => return Err(format!("unknown parser `{other}`").into()),
+    })
+}
+
+/// Resolves a dataset spec by name.
+fn find_dataset(name: &str) -> Result<DatasetSpec, Box<dyn Error>> {
+    study_datasets()
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset `{name}`").into())
+}
+
+/// Parses the `--preprocess` rule list.
+fn build_preprocessor(args: &Args) -> Result<Preprocessor, Box<dyn Error>> {
+    let Some(rules) = args.option("preprocess") else {
+        return Ok(Preprocessor::identity());
+    };
+    let mut mask_rules = Vec::new();
+    for rule in rules.split(',').filter(|r| !r.is_empty()) {
+        mask_rules.push(match rule {
+            "ip" => MaskRule::IpAddress,
+            "blk" => MaskRule::BlockId,
+            "core" => MaskRule::CoreId,
+            "num" => MaskRule::Number,
+            "hex" => MaskRule::HexValue,
+            "path" => MaskRule::Path,
+            other => return Err(format!("unknown preprocess rule `{other}`").into()),
+        });
+    }
+    Ok(Preprocessor::new(mask_rules))
+}
+
+fn open_output(path: Option<&str>) -> Result<Box<dyn Write>, Box<dyn Error>> {
+    Ok(match path {
+        Some(path) => Box::new(BufWriter::new(File::create(path)?)),
+        None => Box::new(std::io::stdout().lock()),
+    })
+}
+
+/// `logmine parse`.
+pub fn parse(args: &Args) -> CliResult {
+    let lines = match args.positional().first() {
+        Some(path) => read_lines(File::open(path)?)?,
+        None => read_lines(std::io::stdin().lock())?,
+    };
+    let corpus = Corpus::from_lines(&lines, &Tokenizer::default());
+    let corpus = build_preprocessor(args)?.apply(&corpus);
+    let parser = build_parser(args)?;
+    let parse = parser.parse(&corpus)?;
+    eprintln!(
+        "{}: {} messages -> {} events, {} outliers",
+        parser.name(),
+        parse.len(),
+        parse.event_count(),
+        parse.outlier_count()
+    );
+    let mut events_out = open_output(args.option("events-out"))?;
+    write_events_file(&parse, &mut events_out)?;
+    if let Some(path) = args.option("structured-out") {
+        let mut structured = BufWriter::new(File::create(path)?);
+        write_structured_file(&corpus, &parse, &mut structured)?;
+    }
+    Ok(())
+}
+
+/// `logmine generate`.
+pub fn generate(args: &Args) -> CliResult {
+    let dataset = find_dataset(args.option("dataset").unwrap_or("hdfs"))?;
+    let count: usize = args.parsed_or("count", 1_000)?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let data: LabeledCorpus = dataset.generate(count, seed);
+    let mut out = std::io::stdout().lock();
+    let with_labels = args.has_flag("labels");
+    for i in 0..data.len() {
+        if with_labels {
+            writeln!(out, "{}\t{}", data.labels[i], data.corpus.record(i).content)?;
+        } else {
+            writeln!(out, "{}", data.corpus.record(i).content)?;
+        }
+    }
+    Ok(())
+}
+
+/// `logmine evaluate`.
+pub fn evaluate(args: &Args) -> CliResult {
+    let dataset = find_dataset(args.option("dataset").unwrap_or("hdfs"))?;
+    let sample: usize = args.parsed_or("sample", 2_000)?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let kind = match args.option("parser").unwrap_or("iplom").to_ascii_lowercase().as_str() {
+        "slct" => ParserKind::Slct,
+        "iplom" => ParserKind::Iplom,
+        "lke" => ParserKind::Lke,
+        "logsig" => ParserKind::LogSig,
+        other => return Err(format!("evaluate supports the study's four parsers, not `{other}`").into()),
+    };
+    let data = dataset.generate(sample, seed);
+    let tuned = tune(kind, &data);
+    let parse = tuned.instantiate(seed).parse(&data.corpus)?;
+    let labels = parse.cluster_labels();
+    let f = pairwise_f_measure(&data.labels, &labels);
+    println!("dataset            {}", dataset.name());
+    println!("parser             {}", kind.name());
+    println!("messages           {sample}");
+    println!("events discovered  {}", parse.event_count());
+    println!("events true        {}", data.distinct_events());
+    println!("precision          {:.4}", f.precision);
+    println!("recall             {:.4}", f.recall);
+    println!("f-measure          {:.4}", f.f1);
+    println!("purity             {:.4}", purity(&data.labels, &labels));
+    println!("rand index         {:.4}", rand_index(&data.labels, &labels));
+    println!("grouping accuracy  {:.4}", grouping_accuracy(&data.labels, &labels));
+    Ok(())
+}
+
+/// `logmine detect`.
+pub fn detect(args: &Args) -> CliResult {
+    let blocks: usize = args.parsed_or("blocks", 2_000)?;
+    let rate: f64 = args.parsed_or("rate", 0.029)?;
+    let seed: u64 = args.parsed_or("seed", 7)?;
+    let alpha: f64 = args.parsed_or("alpha", 0.001)?;
+    let components: usize = args.parsed_or("components", 2)?;
+    let sessions = logparse_datasets::hdfs::generate_sessions(blocks, rate, seed);
+    let detector = PcaDetector::new(PcaDetectorConfig {
+        alpha,
+        components: Some(components),
+        ..PcaDetectorConfig::default()
+    });
+
+    let (counts, label) = if args.option("parser").is_some() {
+        let parser = build_parser(args)?;
+        let parse = parser.parse(&sessions.data.corpus)?;
+        let accuracy =
+            pairwise_f_measure(&sessions.data.labels, &parse.cluster_labels()).f1;
+        eprintln!("{} parsing accuracy: {accuracy:.3}", parser.name());
+        (
+            event_count_matrix(&parse, &sessions.block_of, sessions.block_count()),
+            parser.name().to_owned(),
+        )
+    } else {
+        (
+            truth_count_matrix(
+                &sessions.data.labels,
+                sessions.data.truth_templates.len(),
+                &sessions.block_of,
+                sessions.block_count(),
+            ),
+            "ground truth".to_owned(),
+        )
+    };
+    let report = detector.detect(&counts);
+    let (detected, false_alarms) = report.confusion(&sessions.anomalous);
+    println!("parser            {label}");
+    println!("blocks            {blocks}");
+    println!("true anomalies    {}", sessions.anomaly_count());
+    println!("reported          {}", report.reported());
+    println!("detected          {detected}");
+    println!("false alarms      {false_alarms}");
+    println!("threshold Q_a     {:.3}", report.threshold);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn build_parser_knows_all_nine() {
+        for name in [
+            "slct", "iplom", "lke", "logsig", "drain", "spell", "ael", "lenma", "logmine",
+        ] {
+            let parser = build_parser(&args(&["--parser", name])).unwrap();
+            assert!(!parser.name().is_empty());
+        }
+        assert!(build_parser(&args(&["--parser", "nope"])).is_err());
+    }
+
+    #[test]
+    fn find_dataset_is_case_insensitive() {
+        assert_eq!(find_dataset("hdfs").unwrap().name(), "HDFS");
+        assert_eq!(find_dataset("ZooKeeper").unwrap().name(), "Zookeeper");
+        assert!(find_dataset("unknown").is_err());
+    }
+
+    #[test]
+    fn preprocessor_rules_parse() {
+        let pre = build_preprocessor(&args(&["--preprocess", "ip,blk"])).unwrap();
+        assert_eq!(pre.rules(), &[MaskRule::IpAddress, MaskRule::BlockId]);
+        assert!(build_preprocessor(&args(&["--preprocess", "bogus"])).is_err());
+        assert!(build_preprocessor(&args(&[])).unwrap().rules().is_empty());
+    }
+
+    #[test]
+    fn evaluate_runs_on_a_small_sample() {
+        evaluate(&args(&[
+            "--dataset", "proxifier",
+            "--parser", "iplom",
+            "--sample", "200",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn detect_runs_on_a_small_simulation() {
+        detect(&args(&["--blocks", "200", "--rate", "0.05"])).unwrap();
+        detect(&args(&["--blocks", "200", "--parser", "iplom"])).unwrap();
+    }
+}

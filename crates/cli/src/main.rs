@@ -1,0 +1,50 @@
+//! `logmine` — the toolkit's command line.
+//!
+//! ```text
+//! logmine parse    --parser iplom [--preprocess ip,blk] [FILE]
+//! logmine generate --dataset hdfs --count 1000 [--seed 42]
+//! logmine evaluate --dataset bgl --parser logsig [--sample 2000]
+//! logmine detect   --blocks 2000 [--rate 0.029] [--parser iplom]
+//! ```
+//!
+//! `parse` reads raw log lines from FILE (or stdin), applies the chosen
+//! parser and writes the two standard outputs: the events file (stdout
+//! or `--events-out`) and the structured log (`--structured-out`).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let parsed = match args::Args::parse(rest.iter().cloned()) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "parse" => commands::parse(&parsed),
+        "generate" => commands::generate(&parsed),
+        "evaluate" => commands::evaluate(&parsed),
+        "detect" => commands::detect(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", commands::USAGE).into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

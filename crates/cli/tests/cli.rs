@@ -1,0 +1,134 @@
+//! End-to-end tests of the `logmine` binary, spawning the real
+//! executable.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn logmine() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_logmine"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = logmine().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("logmine parse"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = logmine().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("unknown command"));
+}
+
+#[test]
+fn generate_emits_requested_count() {
+    let out = logmine()
+        .args(["generate", "--dataset", "proxifier", "--count", "25", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 25);
+}
+
+#[test]
+fn generate_with_labels_prefixes_event_ids() {
+    let out = logmine()
+        .args(["generate", "--dataset", "hdfs", "--count", "10", "--labels"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    for line in String::from_utf8(out.stdout).unwrap().lines() {
+        let (label, rest) = line.split_once('\t').expect("label TAB content");
+        label.parse::<usize>().expect("numeric label");
+        assert!(!rest.is_empty());
+    }
+}
+
+#[test]
+fn parse_reads_stdin_and_prints_events() {
+    let mut child = logmine()
+        .args(["parse", "--parser", "iplom"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"job 1 done\njob 2 done\nrestart now\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let events = String::from_utf8(out.stdout).unwrap();
+    assert!(events.contains("job * done"), "{events}");
+    assert!(events.contains("restart now"), "{events}");
+}
+
+#[test]
+fn parse_generate_pipeline_recovers_templates() {
+    let generated = logmine()
+        .args(["generate", "--dataset", "proxifier", "--count", "300", "--seed", "9"])
+        .output()
+        .unwrap();
+    let mut child = logmine()
+        .args(["parse", "--parser", "drain"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(&generated.stdout).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let events = String::from_utf8(out.stdout).unwrap();
+    let count = events.lines().count();
+    assert!(
+        (4..=20).contains(&count),
+        "expected close to 8 proxifier events, got {count}:\n{events}"
+    );
+}
+
+#[test]
+fn evaluate_reports_metrics() {
+    let out = logmine()
+        .args([
+            "evaluate", "--dataset", "proxifier", "--parser", "slct", "--sample", "300",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("f-measure"));
+    assert!(text.contains("SLCT"));
+}
+
+#[test]
+fn detect_reports_confusion() {
+    let out = logmine()
+        .args(["detect", "--blocks", "300", "--rate", "0.05", "--seed", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("reported"));
+    assert!(text.contains("false alarms"));
+}
+
+#[test]
+fn invalid_option_value_fails_cleanly() {
+    let out = logmine()
+        .args(["generate", "--count", "not-a-number"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("invalid value"));
+}

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Error produced by a log parser or by the structured-output writers.
+///
+/// Every public fallible operation in the toolkit returns this type, so
+/// downstream harnesses can handle all parser failures uniformly.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The parser was given an empty corpus but requires at least one
+    /// message (e.g. LogSig cannot seed clusters from nothing).
+    EmptyCorpus,
+    /// A configuration parameter was outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// The number of requested clusters exceeds the number of messages.
+    TooManyClusters {
+        /// Requested cluster count.
+        requested: usize,
+        /// Number of messages available.
+        available: usize,
+    },
+    /// An I/O error occurred while reading input or writing output files.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::EmptyCorpus => write!(f, "input corpus contains no log messages"),
+            ParseError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for `{parameter}`: {reason}")
+            }
+            ParseError::TooManyClusters {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} clusters but corpus only has {available} messages"
+            ),
+            ParseError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(err: std::io::Error) -> Self {
+        ParseError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            ParseError::EmptyCorpus.to_string(),
+            ParseError::InvalidConfig {
+                parameter: "support",
+                reason: "must be positive".into(),
+            }
+            .to_string(),
+            ParseError::TooManyClusters {
+                requested: 10,
+                available: 3,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "no trailing punctuation: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with("i/o"));
+        }
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let err = ParseError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! Readers and writers for the toolkit's standard file formats.
+//!
+//! The paper defines a common contract for all parsers: the input is a
+//! plain text file with one raw log message per line; the output is a pair
+//! of files — the *events file* (one template per line, labelled
+//! `Event1..EventN`) and the *structured log* (one line per message:
+//! line number, optional timestamp, event label).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{Corpus, Parse, ParseError};
+
+/// Reads raw log lines from any reader (pass `&mut reader` to keep
+/// ownership). Trailing newlines are stripped; empty lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Io`] on read failure.
+pub fn read_lines<R: Read>(reader: R) -> Result<Vec<String>, ParseError> {
+    let buf = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for line in buf.lines() {
+        let line = line?;
+        if !line.trim().is_empty() {
+            lines.push(line);
+        }
+    }
+    Ok(lines)
+}
+
+/// Writes the events file: `EventN<TAB>template` per line, in event-id
+/// order.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Io`] on write failure.
+pub fn write_events_file<W: Write>(parse: &Parse, mut writer: W) -> Result<(), ParseError> {
+    for (i, template) in parse.templates().iter().enumerate() {
+        writeln!(writer, "Event{}\t{}", i + 1, template)?;
+    }
+    Ok(())
+}
+
+/// Writes the structured log: `line_no<TAB>timestamp<TAB>EventN` per
+/// message, with `-` for a missing timestamp and `Outlier` for messages
+/// no event claimed.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Io`] on write failure.
+pub fn write_structured_file<W: Write>(
+    corpus: &Corpus,
+    parse: &Parse,
+    mut writer: W,
+) -> Result<(), ParseError> {
+    for (i, assignment) in parse.assignments().iter().enumerate() {
+        let record = corpus.record(i);
+        let ts = record.timestamp.as_deref().unwrap_or("-");
+        match assignment {
+            Some(event) => writeln!(writer, "{}\t{}\t{}", record.line_no, ts, event)?,
+            None => writeln!(writer, "{}\t{}\tOutlier", record.line_no, ts)?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParseBuilder, Template, Tokenizer};
+
+    #[test]
+    fn read_lines_skips_blank_lines() {
+        let input = "first\n\n  \nsecond\n";
+        let lines = read_lines(input.as_bytes()).unwrap();
+        assert_eq!(lines, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn events_file_is_one_template_per_line() {
+        let mut b = ParseBuilder::new(0);
+        b.add_template(Template::from_pattern("a * c"));
+        b.add_template(Template::from_pattern("x y"));
+        let mut out = Vec::new();
+        write_events_file(&b.build(), &mut out).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "Event1\ta * c\nEvent2\tx y\n"
+        );
+    }
+
+    #[test]
+    fn structured_file_marks_outliers_and_missing_timestamps() {
+        let corpus = Corpus::from_lines(["a b", "c d"], &Tokenizer::default());
+        let mut b = ParseBuilder::new(2);
+        let e = b.add_template(Template::from_pattern("a b"));
+        b.assign(0, e);
+        let mut out = Vec::new();
+        write_structured_file(&corpus, &b.build(), &mut out).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "1\t-\tEvent1\n2\t-\tOutlier\n"
+        );
+    }
+}

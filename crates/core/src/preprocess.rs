@@ -1,0 +1,340 @@
+use crate::{Corpus, LogRecord};
+
+/// A domain-knowledge masking rule applied before parsing.
+///
+/// The paper (§IV-B, Finding 2) preprocesses logs by removing "obvious
+/// numerical parameters — IP addresses in HPC/Zookeeper/HDFS, core IDs in
+/// BGL, and block IDs in HDFS". Each rule recognizes one such parameter
+/// class at token granularity and replaces the whole token with a constant
+/// tag, so that a variable position becomes constant for the parser.
+///
+/// Rules are hand-rolled scanners rather than regular expressions to keep
+/// the toolkit dependency-free and fast on multi-million-line corpora.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MaskRule {
+    /// Tokens containing an IPv4 address (optionally with `:port`,
+    /// a leading `/`, or other adornments), e.g. `/10.251.31.5:50010`.
+    IpAddress,
+    /// HDFS block identifiers: `blk_` followed by an optionally signed
+    /// integer, e.g. `blk_-1608999687919862906`.
+    BlockId,
+    /// BGL core dump identifiers: `core.` followed by digits, e.g.
+    /// `core.2275`.
+    CoreId,
+    /// Pure (optionally signed) decimal integers and floats: `42`, `-7`,
+    /// `67108864`, `3.5`.
+    Number,
+    /// Hexadecimal values: `0xDEADBEEF` or bare hex strings of at least
+    /// eight hex digits containing at least one letter.
+    HexValue,
+    /// Filesystem-like paths: tokens starting with `/` that contain a
+    /// second `/` (so `/user/root/file` masks but `/10.0.0.1:80` does not
+    /// unless [`MaskRule::IpAddress`] also fires).
+    Path,
+}
+
+impl MaskRule {
+    /// The tag a matching token is replaced with.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MaskRule::IpAddress => "$IP",
+            MaskRule::BlockId => "$BLK",
+            MaskRule::CoreId => "$CORE",
+            MaskRule::Number => "$NUM",
+            MaskRule::HexValue => "$HEX",
+            MaskRule::Path => "$PATH",
+        }
+    }
+
+    /// Tests whether `token` belongs to this rule's parameter class.
+    pub fn matches(self, token: &str) -> bool {
+        match self {
+            MaskRule::IpAddress => contains_ipv4(token),
+            MaskRule::BlockId => is_block_id(token),
+            MaskRule::CoreId => is_core_id(token),
+            MaskRule::Number => is_number(token),
+            MaskRule::HexValue => is_hex_value(token),
+            MaskRule::Path => is_path(token),
+        }
+    }
+}
+
+fn contains_ipv4(token: &str) -> bool {
+    let bytes = token.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            // A dotted quad may start here; require a non-digit (or start)
+            // before it so we do not match inside longer digit runs.
+            if i > 0 && bytes[i - 1].is_ascii_digit() {
+                i += 1;
+                continue;
+            }
+            let mut pos = i;
+            let mut octets = 0;
+            loop {
+                let start = pos;
+                let mut value: u32 = 0;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() && pos - start < 3 {
+                    value = value * 10 + u32::from(bytes[pos] - b'0');
+                    pos += 1;
+                }
+                if pos == start || value > 255 {
+                    break;
+                }
+                octets += 1;
+                if octets == 4 {
+                    // Reject if the quad continues with another digit
+                    // (e.g. 1.2.3.4567).
+                    if pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        break;
+                    }
+                    return true;
+                }
+                if pos < bytes.len() && bytes[pos] == b'.' {
+                    pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn is_block_id(token: &str) -> bool {
+    let Some(rest) = token.strip_prefix("blk_") else {
+        return false;
+    };
+    let rest = rest.strip_prefix('-').unwrap_or(rest);
+    !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit())
+}
+
+fn is_core_id(token: &str) -> bool {
+    let Some(rest) = token.strip_prefix("core.") else {
+        return false;
+    };
+    !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit())
+}
+
+fn is_number(token: &str) -> bool {
+    let rest = token.strip_prefix('-').or_else(|| token.strip_prefix('+')).unwrap_or(token);
+    if rest.is_empty() {
+        return false;
+    }
+    let mut seen_dot = false;
+    let mut seen_digit = false;
+    for b in rest.bytes() {
+        match b {
+            b'0'..=b'9' => seen_digit = true,
+            b'.' if !seen_dot => seen_dot = true,
+            _ => return false,
+        }
+    }
+    seen_digit
+}
+
+fn is_hex_value(token: &str) -> bool {
+    if let Some(rest) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+        return !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_hexdigit());
+    }
+    token.len() >= 8
+        && token.bytes().all(|b| b.is_ascii_hexdigit())
+        && token.bytes().any(|b| b.is_ascii_alphabetic())
+}
+
+fn is_path(token: &str) -> bool {
+    token.len() > 1 && token.starts_with('/') && token[1..].contains('/') && !contains_ipv4(token)
+}
+
+/// Applies a sequence of [`MaskRule`]s to every token of a corpus.
+///
+/// Rules fire in registration order; the first matching rule wins.
+///
+/// # Example
+///
+/// ```
+/// use logparse_core::{Corpus, MaskRule, Preprocessor, Tokenizer};
+///
+/// let corpus = Corpus::from_lines(
+///     ["Receiving block blk_123 src: /10.0.0.1:5000"],
+///     &Tokenizer::default(),
+/// );
+/// let pre = Preprocessor::new(vec![MaskRule::BlockId, MaskRule::IpAddress]);
+/// let masked = pre.apply(&corpus);
+/// assert_eq!(masked.tokens(0), &["Receiving", "block", "$BLK", "src:", "$IP"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Preprocessor {
+    rules: Vec<MaskRule>,
+}
+
+impl Preprocessor {
+    /// Creates a preprocessor applying `rules` in order.
+    pub fn new(rules: Vec<MaskRule>) -> Self {
+        Preprocessor { rules }
+    }
+
+    /// A preprocessor with no rules: `apply` is the identity.
+    pub fn identity() -> Self {
+        Preprocessor::default()
+    }
+
+    /// The configured rules, in application order.
+    pub fn rules(&self) -> &[MaskRule] {
+        &self.rules
+    }
+
+    /// Masks a single token, returning the tag of the first matching rule
+    /// or the token itself when no rule fires.
+    pub fn mask_token<'t>(&self, token: &'t str) -> &'t str {
+        for rule in &self.rules {
+            if rule.matches(token) {
+                return rule.tag();
+            }
+        }
+        token
+    }
+
+    /// Returns a new corpus with every token masked. Record content is
+    /// rebuilt by joining masked tokens with single spaces; timestamps and
+    /// line numbers are preserved.
+    pub fn apply(&self, corpus: &Corpus) -> Corpus {
+        if self.rules.is_empty() {
+            return corpus.clone();
+        }
+        let records: Vec<LogRecord> = corpus
+            .records()
+            .enumerate()
+            .map(|(i, r)| {
+                let masked: Vec<&str> = corpus
+                    .tokens(i)
+                    .iter()
+                    .map(|t| self.mask_token(t))
+                    .collect();
+                LogRecord {
+                    line_no: r.line_no,
+                    timestamp: r.timestamp.clone(),
+                    content: masked.join(" "),
+                }
+            })
+            .collect();
+        // Tokens of the rebuilt content are exactly the masked tokens, so
+        // tokenizing with the default whitespace tokenizer is correct here.
+        Corpus::from_records(records, &crate::Tokenizer::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tokenizer;
+
+    #[test]
+    fn ipv4_detection_accepts_adorned_addresses() {
+        for t in [
+            "10.251.31.5",
+            "/10.251.31.5:42506",
+            "src=/10.0.0.1",
+            "(192.168.0.255)",
+        ] {
+            assert!(contains_ipv4(t), "{t} should contain an ipv4");
+        }
+    }
+
+    #[test]
+    fn ipv4_detection_rejects_non_addresses() {
+        for t in [
+            "1.2.3",
+            "300.1.2.3",
+            "1.2.3.4567",
+            "version-1.2.3.x",
+            "10..0.0.1",
+            "word",
+            "",
+        ] {
+            assert!(!contains_ipv4(t), "{t} should not contain an ipv4");
+        }
+    }
+
+    #[test]
+    fn ipv4_inside_longer_digit_run_is_rejected() {
+        // a valid quad with a trailing non-digit adornment still counts
+        assert!(contains_ipv4("91.2.3.4x"));
+        // but digits that extend an octet past 3 places / 255 do not
+        assert!(!contains_ipv4("x5912.3.4.5678"));
+        assert!(!contains_ipv4("1234.1.2.3"));
+    }
+
+    #[test]
+    fn block_ids_match_signed_integers_only() {
+        assert!(is_block_id("blk_904791815409399662"));
+        assert!(is_block_id("blk_-1608999687919862906"));
+        assert!(!is_block_id("blk_"));
+        assert!(!is_block_id("blk_12a"));
+        assert!(!is_block_id("block_12"));
+    }
+
+    #[test]
+    fn core_ids_match_digit_suffix_only() {
+        assert!(is_core_id("core.2275"));
+        assert!(!is_core_id("core."));
+        assert!(!is_core_id("core.2275a"));
+        assert!(!is_core_id("score.12"));
+    }
+
+    #[test]
+    fn numbers_accept_signs_and_single_decimal_point() {
+        for t in ["42", "-7", "+3", "67108864", "3.5", "-0.25"] {
+            assert!(is_number(t), "{t}");
+        }
+        for t in ["", "-", "1.2.3", "12a", "a12", "."] {
+            assert!(!is_number(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn hex_values_require_prefix_or_length_and_letter() {
+        assert!(is_hex_value("0xDEADBEEF"));
+        assert!(is_hex_value("0x0"));
+        assert!(is_hex_value("deadbeef01"));
+        assert!(!is_hex_value("12345678")); // digits only: likely an id, not hex
+        assert!(!is_hex_value("dead")); // too short without prefix
+        assert!(!is_hex_value("0x"));
+    }
+
+    #[test]
+    fn paths_need_two_slashes_and_no_ip() {
+        assert!(is_path("/user/root/file.txt"));
+        assert!(!is_path("/tmp"));
+        assert!(!is_path("/10.0.0.1:80/x"));
+        assert!(!is_path("relative/path"));
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        // `10.0.0.1` is both a "number-ish" token and an IP; ordering decides.
+        let ip_first = Preprocessor::new(vec![MaskRule::IpAddress, MaskRule::Number]);
+        assert_eq!(ip_first.mask_token("10.0.0.1"), "$IP");
+    }
+
+    #[test]
+    fn apply_preserves_record_metadata() {
+        let corpus = Corpus::from_records(
+            [LogRecord::with_timestamp(5, "t0", "delete blk_1 now")],
+            &Tokenizer::default(),
+        );
+        let masked = Preprocessor::new(vec![MaskRule::BlockId]).apply(&corpus);
+        assert_eq!(masked.record(0).line_no, 5);
+        assert_eq!(masked.record(0).timestamp.as_deref(), Some("t0"));
+        assert_eq!(masked.record(0).content, "delete $BLK now");
+    }
+
+    #[test]
+    fn identity_preprocessor_is_a_noop() {
+        let corpus = Corpus::from_lines(["a 1 2.3"], &Tokenizer::default());
+        assert_eq!(Preprocessor::identity().apply(&corpus), corpus);
+    }
+}

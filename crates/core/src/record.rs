@@ -1,0 +1,217 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Tokenizer;
+
+/// A single raw log message.
+///
+/// Only the free-text *content* field participates in parsing, matching the
+/// paper's setup ("only the parts of free-text log message contents are
+/// used in evaluating the log parsing methods"); the timestamp is carried
+/// through to the structured output untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// 1-based position of the message in its source file.
+    pub line_no: usize,
+    /// Raw timestamp text, if the source format carried one.
+    pub timestamp: Option<String>,
+    /// Free-text message content (the part that is parsed).
+    pub content: String,
+}
+
+impl LogRecord {
+    /// Creates a record with content only (no timestamp).
+    pub fn new(line_no: usize, content: impl Into<String>) -> Self {
+        LogRecord {
+            line_no,
+            timestamp: None,
+            content: content.into(),
+        }
+    }
+
+    /// Creates a record carrying a timestamp.
+    pub fn with_timestamp(
+        line_no: usize,
+        timestamp: impl Into<String>,
+        content: impl Into<String>,
+    ) -> Self {
+        LogRecord {
+            line_no,
+            timestamp: Some(timestamp.into()),
+            content: content.into(),
+        }
+    }
+}
+
+/// An in-memory log corpus: raw records plus their tokenizations.
+///
+/// A `Corpus` is what parsers consume. Tokenization happens once at
+/// construction so that the (potentially many) parser runs of an
+/// evaluation sweep share the work.
+///
+/// # Example
+///
+/// ```
+/// use logparse_core::{Corpus, Tokenizer};
+///
+/// let corpus = Corpus::from_lines(["a b c", "a b d"], &Tokenizer::default());
+/// assert_eq!(corpus.len(), 2);
+/// assert_eq!(corpus.tokens(1), &["a", "b", "d"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Corpus {
+    records: Vec<LogRecord>,
+    tokenized: Vec<Vec<String>>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a corpus from raw content lines, tokenizing each with
+    /// `tokenizer`. Line numbers are assigned sequentially from 1.
+    pub fn from_lines<I, S>(lines: I, tokenizer: &Tokenizer) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut corpus = Corpus::new();
+        for (idx, line) in lines.into_iter().enumerate() {
+            let content = line.as_ref();
+            corpus.tokenized.push(tokenizer.tokenize(content));
+            corpus.records.push(LogRecord::new(idx + 1, content));
+        }
+        corpus
+    }
+
+    /// Builds a corpus from pre-constructed records.
+    pub fn from_records<I>(records: I, tokenizer: &Tokenizer) -> Self
+    where
+        I: IntoIterator<Item = LogRecord>,
+    {
+        let records: Vec<LogRecord> = records.into_iter().collect();
+        let tokenized = records
+            .iter()
+            .map(|r| tokenizer.tokenize(&r.content))
+            .collect();
+        Corpus { records, tokenized }
+    }
+
+    /// Number of messages in the corpus.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when the corpus holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The raw record at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn record(&self, index: usize) -> &LogRecord {
+        &self.records[index]
+    }
+
+    /// The token sequence of the message at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn tokens(&self, index: usize) -> &[String] {
+        &self.tokenized[index]
+    }
+
+    /// All token sequences, aligned with record order.
+    pub fn token_sequences(&self) -> &[Vec<String>] {
+        &self.tokenized
+    }
+
+    /// Iterates over the raw records.
+    pub fn records(&self) -> impl ExactSizeIterator<Item = &LogRecord> {
+        self.records.iter()
+    }
+
+    /// Returns a new corpus containing only the messages at `indices`
+    /// (in the given order). Useful for the paper's 2 000-message samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Corpus {
+        let records = indices.iter().map(|&i| self.records[i].clone()).collect();
+        let tokenized = indices
+            .iter()
+            .map(|&i| self.tokenized[i].clone())
+            .collect();
+        Corpus { records, tokenized }
+    }
+
+    /// Returns a corpus truncated to the first `n` messages (or a clone of
+    /// the whole corpus when `n >= len`). Used by the Fig. 2/3 size sweeps.
+    pub fn take(&self, n: usize) -> Corpus {
+        let n = n.min(self.len());
+        Corpus {
+            records: self.records[..n].to_vec(),
+            tokenized: self.tokenized[..n].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::from_lines(
+            ["alpha beta", "alpha gamma", "delta epsilon zeta"],
+            &Tokenizer::default(),
+        )
+    }
+
+    #[test]
+    fn from_lines_assigns_sequential_line_numbers() {
+        let c = corpus();
+        assert_eq!(c.record(0).line_no, 1);
+        assert_eq!(c.record(2).line_no, 3);
+    }
+
+    #[test]
+    fn tokens_align_with_records() {
+        let c = corpus();
+        assert_eq!(c.tokens(1), &["alpha", "gamma"]);
+        assert_eq!(c.record(1).content, "alpha gamma");
+    }
+
+    #[test]
+    fn select_preserves_order_and_duplicates() {
+        let c = corpus();
+        let s = c.select(&[2, 0, 0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.tokens(0), &["delta", "epsilon", "zeta"]);
+        assert_eq!(s.tokens(1), s.tokens(2));
+    }
+
+    #[test]
+    fn take_clamps_to_length() {
+        let c = corpus();
+        assert_eq!(c.take(100).len(), 3);
+        assert_eq!(c.take(1).len(), 1);
+        assert!(c.take(0).is_empty());
+    }
+
+    #[test]
+    fn from_records_tokenizes_content() {
+        let t = Tokenizer::default();
+        let c = Corpus::from_records(
+            [LogRecord::with_timestamp(7, "2008-11-11 03:40:58", "Receiving block blk_1")],
+            &t,
+        );
+        assert_eq!(c.record(0).timestamp.as_deref(), Some("2008-11-11 03:40:58"));
+        assert_eq!(c.tokens(0), &["Receiving", "block", "blk_1"]);
+    }
+}

@@ -1,0 +1,341 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One position of a [`Template`]: either fixed text or a wildcard.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemplateToken {
+    /// Constant text that appears verbatim in every occurrence of the event.
+    Literal(String),
+    /// A variable position, rendered as `*` (the paper's notation).
+    Wildcard,
+}
+
+impl TemplateToken {
+    /// Convenience constructor for a literal token.
+    pub fn literal(text: impl Into<String>) -> Self {
+        TemplateToken::Literal(text.into())
+    }
+
+    /// Returns `true` for [`TemplateToken::Wildcard`].
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, TemplateToken::Wildcard)
+    }
+}
+
+/// A log event template such as `Receiving block * src: * dest: *`.
+///
+/// A template is the **constant part** of a log event with every variable
+/// position masked by a wildcard. Templates are what a log parser outputs
+/// in its *events file*, and what ground-truth labels refer to.
+///
+/// # Example
+///
+/// ```
+/// use logparse_core::Template;
+///
+/// let msgs: Vec<Vec<String>> = vec![
+///     vec!["got".into(), "7".into(), "items".into()],
+///     vec!["got".into(), "9".into(), "items".into()],
+/// ];
+/// let t = Template::from_cluster(msgs.iter().map(|m| m.as_slice()));
+/// assert_eq!(t.to_string(), "got * items");
+/// assert!(t.matches(&["got".into(), "0".into(), "items".into()]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Template {
+    tokens: Vec<TemplateToken>,
+    /// When `true`, the template matches messages with extra trailing
+    /// tokens (used for clusters of unequal message lengths).
+    open_tail: bool,
+}
+
+impl Template {
+    /// Creates a template from an explicit token sequence.
+    pub fn new(tokens: Vec<TemplateToken>) -> Self {
+        Template {
+            tokens,
+            open_tail: false,
+        }
+    }
+
+    /// Creates a template whose tail is open: messages longer than the
+    /// template still match, with the surplus treated as variable.
+    pub fn with_open_tail(tokens: Vec<TemplateToken>) -> Self {
+        Template {
+            tokens,
+            open_tail: true,
+        }
+    }
+
+    /// Parses the paper's textual notation, treating `*` as a wildcard and
+    /// anything else as a literal: `"Receiving block * src: * dest: *"`.
+    pub fn from_pattern(pattern: &str) -> Self {
+        let tokens = pattern
+            .split_whitespace()
+            .map(|w| {
+                if w == "*" {
+                    TemplateToken::Wildcard
+                } else {
+                    TemplateToken::literal(w)
+                }
+            })
+            .collect();
+        Template::new(tokens)
+    }
+
+    /// Builds the positionwise template of a cluster of token sequences:
+    /// positions where every message agrees become literals, the rest
+    /// wildcards. Messages of unequal length produce an open-tailed
+    /// template over the shortest length.
+    ///
+    /// Returns an empty, open-tailed template for an empty cluster.
+    pub fn from_cluster<'a, I>(cluster: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut iter = cluster.into_iter();
+        let Some(first) = iter.next() else {
+            return Template::with_open_tail(Vec::new());
+        };
+        let mut agreed: Vec<Option<&str>> = first.iter().map(|t| Some(t.as_str())).collect();
+        let mut min_len = first.len();
+        let mut max_len = first.len();
+        for msg in iter {
+            min_len = min_len.min(msg.len());
+            max_len = max_len.max(msg.len());
+            for (slot, token) in agreed.iter_mut().zip(msg.iter()) {
+                if *slot != Some(token.as_str()) {
+                    *slot = None;
+                }
+            }
+        }
+        agreed.truncate(min_len);
+        let tokens = agreed
+            .into_iter()
+            .map(|slot| match slot {
+                Some(text) => TemplateToken::literal(text),
+                None => TemplateToken::Wildcard,
+            })
+            .collect();
+        if min_len == max_len {
+            Template::new(tokens)
+        } else {
+            Template::with_open_tail(tokens)
+        }
+    }
+
+    /// The template's tokens.
+    pub fn tokens(&self) -> &[TemplateToken] {
+        &self.tokens
+    }
+
+    /// Number of token positions (excluding any open tail).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Returns `true` when the template has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Returns `true` when the tail is open (see [`Template::with_open_tail`]).
+    pub fn has_open_tail(&self) -> bool {
+        self.open_tail
+    }
+
+    /// Number of wildcard positions.
+    pub fn wildcard_count(&self) -> usize {
+        self.tokens.iter().filter(|t| t.is_wildcard()).count()
+    }
+
+    /// Tests whether a token sequence is an occurrence of this template.
+    ///
+    /// A closed template requires equal length and literal agreement at
+    /// every literal position; an open-tailed template allows the message
+    /// to be at least as long as the template.
+    pub fn matches(&self, tokens: &[String]) -> bool {
+        let length_ok = if self.open_tail {
+            tokens.len() >= self.tokens.len()
+        } else {
+            tokens.len() == self.tokens.len()
+        };
+        length_ok
+            && self.tokens.iter().zip(tokens).all(|(t, w)| match t {
+                TemplateToken::Literal(text) => text == w,
+                TemplateToken::Wildcard => true,
+            })
+    }
+
+    /// A specificity score used to break ties when several templates match
+    /// one message: the number of literal positions.
+    pub fn literal_count(&self) -> usize {
+        self.tokens.len() - self.wildcard_count()
+    }
+
+    /// Extracts the parameter values of a matching message: the tokens at
+    /// the wildcard positions, in order, followed by any open-tail
+    /// surplus tokens. Returns `None` when the message does not match.
+    ///
+    /// This is the "structured log enrichment" half of parsing: the
+    /// template gives the event, the extracted parameters give the
+    /// runtime values (block ids, IPs, sizes) that mining tasks key on.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use logparse_core::Template;
+    ///
+    /// let t = Template::from_pattern("Received block * of size * from *");
+    /// let tokens: Vec<String> = "Received block blk_1 of size 67108864 from 10.0.0.1"
+    ///     .split_whitespace().map(str::to_owned).collect();
+    /// let params = t.extract_parameters(&tokens).unwrap();
+    /// assert_eq!(params, vec!["blk_1", "67108864", "10.0.0.1"]);
+    /// ```
+    pub fn extract_parameters<'m>(&self, tokens: &'m [String]) -> Option<Vec<&'m str>> {
+        if !self.matches(tokens) {
+            return None;
+        }
+        let mut params: Vec<&str> = self
+            .tokens
+            .iter()
+            .zip(tokens)
+            .filter(|(t, _)| t.is_wildcard())
+            .map(|(_, w)| w.as_str())
+            .collect();
+        if self.open_tail {
+            params.extend(tokens[self.tokens.len()..].iter().map(String::as_str));
+        }
+        Some(params)
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, token) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            match token {
+                TemplateToken::Literal(text) => f.write_str(text)?,
+                TemplateToken::Wildcard => f.write_str("*")?,
+            }
+        }
+        if self.open_tail {
+            if !self.tokens.is_empty() {
+                f.write_str(" ")?;
+            }
+            f.write_str("*...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn from_pattern_round_trips_display() {
+        let t = Template::from_pattern("Receiving block * src: * dest: *");
+        assert_eq!(t.to_string(), "Receiving block * src: * dest: *");
+        assert_eq!(t.wildcard_count(), 3);
+        assert_eq!(t.literal_count(), 4);
+    }
+
+    #[test]
+    fn matches_requires_equal_length_for_closed_templates() {
+        let t = Template::from_pattern("a * c");
+        assert!(t.matches(&toks("a b c")));
+        assert!(!t.matches(&toks("a b c d")));
+        assert!(!t.matches(&toks("a b")));
+        assert!(!t.matches(&toks("a b x")));
+    }
+
+    #[test]
+    fn open_tail_matches_longer_messages() {
+        let t = Template::with_open_tail(vec![
+            TemplateToken::literal("generating"),
+            TemplateToken::Wildcard,
+        ]);
+        assert!(t.matches(&toks("generating core.2275")));
+        assert!(t.matches(&toks("generating core.2275 now extra")));
+        assert!(!t.matches(&toks("generating")));
+    }
+
+    #[test]
+    fn from_cluster_single_message_is_all_literals() {
+        let msgs = [toks("verification succeeded")];
+        let t = Template::from_cluster(msgs.iter().map(Vec::as_slice));
+        assert_eq!(t.to_string(), "verification succeeded");
+        assert_eq!(t.wildcard_count(), 0);
+        assert!(!t.has_open_tail());
+    }
+
+    #[test]
+    fn from_cluster_disagreeing_positions_become_wildcards() {
+        let msgs = [toks("got 7 items"), toks("got 9 items"), toks("got 7 items")];
+        let t = Template::from_cluster(msgs.iter().map(Vec::as_slice));
+        assert_eq!(t.to_string(), "got * items");
+    }
+
+    #[test]
+    fn from_cluster_unequal_lengths_open_the_tail() {
+        let msgs = [toks("error at node 3"), toks("error at node 3 retrying")];
+        let t = Template::from_cluster(msgs.iter().map(Vec::as_slice));
+        assert!(t.has_open_tail());
+        assert!(t.matches(&toks("error at node 3")));
+        assert!(t.matches(&toks("error at node 3 retrying")));
+    }
+
+    #[test]
+    fn from_cluster_empty_matches_everything() {
+        let t = Template::from_cluster(std::iter::empty());
+        assert!(t.matches(&toks("anything at all")));
+        assert!(t.matches(&[]));
+    }
+
+    #[test]
+    fn display_of_empty_open_tail_is_nonempty() {
+        let t = Template::with_open_tail(Vec::new());
+        assert_eq!(t.to_string(), "*...");
+    }
+
+    #[test]
+    fn extract_parameters_returns_wildcard_values_in_order() {
+        let t = Template::from_pattern("a * c * e");
+        let msg = toks("a b c d e");
+        assert_eq!(t.extract_parameters(&msg).unwrap(), vec!["b", "d"]);
+    }
+
+    #[test]
+    fn extract_parameters_rejects_non_matching_messages() {
+        let t = Template::from_pattern("a * c");
+        assert!(t.extract_parameters(&toks("x y z")).is_none());
+        assert!(t.extract_parameters(&toks("a b")).is_none());
+    }
+
+    #[test]
+    fn extract_parameters_includes_open_tail_surplus() {
+        let t = Template::with_open_tail(vec![
+            TemplateToken::literal("generating"),
+            TemplateToken::Wildcard,
+        ]);
+        let msg = toks("generating core.7 extra tail");
+        assert_eq!(
+            t.extract_parameters(&msg).unwrap(),
+            vec!["core.7", "extra", "tail"]
+        );
+    }
+
+    #[test]
+    fn extract_parameters_of_all_literal_template_is_empty() {
+        let t = Template::from_pattern("fixed text only");
+        assert_eq!(t.extract_parameters(&toks("fixed text only")).unwrap().len(), 0);
+    }
+}

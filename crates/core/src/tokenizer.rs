@@ -1,0 +1,149 @@
+/// Splits raw log message content into tokens.
+///
+/// All parsers in the toolkit operate on token sequences, mirroring the
+/// original algorithms (SLCT's word positions, IPLoM's token counts, LKE's
+/// token edit distance, LogSig's word pairs). The tokenizer is therefore a
+/// shared substrate and its behaviour is part of the evaluation contract.
+///
+/// By default the content is split on ASCII whitespace only. Two extra
+/// behaviours can be enabled:
+///
+/// * **extra delimiters** — characters such as `=` or `,` that should
+///   *separate* tokens (they are dropped from the output);
+/// * **trim punctuation** — leading/trailing punctuation (`:,;()[]"'`) is
+///   stripped from each token, so `src:` and `src` compare equal.
+///
+/// # Example
+///
+/// ```
+/// use logparse_core::Tokenizer;
+///
+/// let t = Tokenizer::new().with_extra_delimiter('=');
+/// assert_eq!(t.tokenize("size=42 done"), vec!["size", "42", "done"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tokenizer {
+    extra_delimiters: Vec<char>,
+    trim_punctuation: bool,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer {
+            extra_delimiters: Vec::new(),
+            trim_punctuation: false,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer that splits on ASCII whitespace only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a character that separates tokens in addition to whitespace.
+    ///
+    /// The delimiter itself does not appear in the output.
+    #[must_use]
+    pub fn with_extra_delimiter(mut self, delimiter: char) -> Self {
+        if !self.extra_delimiters.contains(&delimiter) {
+            self.extra_delimiters.push(delimiter);
+        }
+        self
+    }
+
+    /// Enables stripping of leading/trailing punctuation from every token.
+    ///
+    /// The stripped set is `: , ; ( ) [ ] " '`. Interior punctuation (as in
+    /// `blk_-123` or `10.0.0.1:50010`) is preserved.
+    #[must_use]
+    pub fn with_trimmed_punctuation(mut self) -> Self {
+        self.trim_punctuation = true;
+        self
+    }
+
+    /// Returns `true` when token punctuation trimming is enabled.
+    pub fn trims_punctuation(&self) -> bool {
+        self.trim_punctuation
+    }
+
+    /// Splits `content` into tokens according to the configuration.
+    ///
+    /// Empty tokens (produced by runs of delimiters) are skipped, so the
+    /// output never contains empty strings.
+    pub fn tokenize(&self, content: &str) -> Vec<String> {
+        let is_sep = |c: char| c.is_whitespace() || self.extra_delimiters.contains(&c);
+        content
+            .split(is_sep)
+            .filter_map(|raw| {
+                let token = if self.trim_punctuation {
+                    raw.trim_matches(|c: char| matches!(c, ':' | ',' | ';' | '(' | ')' | '[' | ']' | '"' | '\''))
+                } else {
+                    raw
+                };
+                if token.is_empty() {
+                    None
+                } else {
+                    Some(token.to_owned())
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_split_is_default() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("PacketResponder 1 for block blk_1 terminating"),
+            vec!["PacketResponder", "1", "for", "block", "blk_1", "terminating"]
+        );
+    }
+
+    #[test]
+    fn repeated_whitespace_yields_no_empty_tokens() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("a   b\t\tc"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn extra_delimiters_split_and_are_dropped() {
+        let t = Tokenizer::new()
+            .with_extra_delimiter('=')
+            .with_extra_delimiter(',');
+        assert_eq!(t.tokenize("x=1,y=2"), vec!["x", "1", "y", "2"]);
+    }
+
+    #[test]
+    fn duplicate_delimiter_registration_is_idempotent() {
+        let a = Tokenizer::new().with_extra_delimiter('=');
+        let b = a.clone().with_extra_delimiter('=');
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn punctuation_trim_preserves_interior_punctuation() {
+        let t = Tokenizer::new().with_trimmed_punctuation();
+        assert_eq!(
+            t.tokenize("src: /10.0.0.1:5000, dest: [node-7]"),
+            vec!["src", "/10.0.0.1:5000", "dest", "node-7"]
+        );
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(Tokenizer::default().tokenize("").is_empty());
+        assert!(Tokenizer::default().tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn token_fully_made_of_punctuation_is_dropped_when_trimming() {
+        let t = Tokenizer::new().with_trimmed_punctuation();
+        assert_eq!(t.tokenize("a :: b"), vec!["a", "b"]);
+    }
+}

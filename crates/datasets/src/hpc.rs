@@ -1,0 +1,88 @@
+//! The HPC dataset: logs of a high-performance cluster at Los Alamos
+//! National Laboratory (49 nodes, 6 152 cores). 105 event types, message
+//! lengths 6–104 (Table I).
+//!
+//! HPC is the corpus where the study's clustering methods fail hardest
+//! (LKE 0.17, IPLoM 0.64 in Table II): its events form *families* of
+//! near-duplicates whose constant text differs in a single late token.
+//! The generator reproduces that shape with
+//! [`crate::synthesize_template_families`].
+
+use crate::{synthesize_template_families, DatasetSpec, LabeledCorpus, TemplateSpec};
+
+/// Number of event types in the real corpus (Table I).
+pub const EVENT_COUNT: usize = 105;
+
+fn signature_templates() -> Vec<TemplateSpec> {
+    [
+        "boot (command <int>) Error: machine check interrupt on node <node>",
+        "unavailable due to scheduled maintenance on node <node> duration <ms>",
+        "running running (command <int>) node <node> cpu <int>",
+        "configured out (command <int>) node <node>",
+        "PSU failure detected on node <node> rail <small> voltage <float>",
+        "link error on broadcast tree interconnect <hex> node <node>",
+        "temperature threshold exceeded ambient <float> on chassis <int> node <node>",
+        "ECC single bit error corrected at DIMM <int> node <node> count <int>",
+        "network interface <small> down on node <node> carrier lost",
+        "job <int> exited with status <int> on <int> nodes user <user>",
+    ]
+    .iter()
+    .map(|p| TemplateSpec::parse(p))
+    .collect()
+}
+
+/// The HPC dataset spec (105 events, lengths 6–104).
+pub fn spec() -> DatasetSpec {
+    let mut templates = signature_templates();
+    templates.extend(synthesize_template_families(
+        EVENT_COUNT - templates.len(),
+        6,
+        104,
+        0.55,
+        0x117C,
+    ));
+    DatasetSpec::new("HPC", templates)
+}
+
+/// Generates `n` HPC messages.
+pub fn generate(n: usize, seed: u64) -> LabeledCorpus {
+    spec().generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_count_matches_table_one() {
+        assert_eq!(spec().event_count(), EVENT_COUNT);
+    }
+
+    #[test]
+    fn templates_are_unique() {
+        let s = spec();
+        let mut truths: Vec<String> = s
+            .templates()
+            .iter()
+            .map(|t| t.ground_truth().to_string())
+            .collect();
+        truths.sort();
+        truths.dedup();
+        assert_eq!(truths.len(), EVENT_COUNT);
+    }
+
+    #[test]
+    fn labels_are_consistent_with_truth() {
+        let data = generate(300, 4);
+        for i in 0..data.len() {
+            assert!(data.truth_templates[data.labels[i]].matches(data.corpus.tokens(i)));
+        }
+    }
+
+    #[test]
+    fn length_range_roughly_matches_table_one() {
+        let (lo, hi) = spec().length_range();
+        assert!(lo >= 5, "{lo}");
+        assert!(hi <= 104, "{hi}");
+    }
+}

@@ -1,0 +1,72 @@
+//! The Proxifier dataset: logs of a desktop proxy client (collected by
+//! the study's authors). The smallest corpus: 10 108 messages over just
+//! 8 event types, lengths 10–27 (Table I). The paper notes Proxifier has
+//! no parameters amenable to domain-knowledge preprocessing, which is why
+//! Table II shows no preprocessed column for it.
+
+use crate::{DatasetSpec, LabeledCorpus, TemplateSpec};
+
+/// Number of event types in the real corpus (Table I).
+pub const EVENT_COUNT: usize = 8;
+
+/// The eight Proxifier event templates.
+pub fn templates() -> Vec<TemplateSpec> {
+    [
+        "proxy.cse.cuhk.edu.hk:5070 open through proxy proxy.cse.cuhk.edu.hk:5070 HTTPS",
+        "proxy.cse.cuhk.edu.hk:5070 close, <int> bytes sent, <int> bytes received, lifetime <ms>",
+        "proxy.cse.cuhk.edu.hk:5070 error : Could not connect through proxy proxy.cse.cuhk.edu.hk:5070 - Proxy server cannot establish a connection with the target, status code <int>",
+        "open through proxy proxy.cse.cuhk.edu.hk:5070 HTTPS chrome.exe - <node> : <int>",
+        "close, <int> bytes ( <float> KB ) sent, <int> bytes ( <float> KB ) received, lifetime <ms> chrome.exe",
+        "open directly chrome.exe - <node> : <int> connection to localhost",
+        "close, <int> bytes sent, <int> bytes received, lifetime <ms> firefox.exe direct connection",
+        "error : Could not connect directly - target machine actively refused connection <node> : <int> status <int>",
+    ]
+    .iter()
+    .map(|p| TemplateSpec::parse(p))
+    .collect()
+}
+
+/// The Proxifier dataset spec (8 events).
+pub fn spec() -> DatasetSpec {
+    // Open/close pairs dominate real proxy logs.
+    DatasetSpec::with_weights(
+        "Proxifier",
+        templates(),
+        vec![30.0, 30.0, 2.0, 15.0, 15.0, 4.0, 3.0, 1.0],
+    )
+}
+
+/// Generates `n` Proxifier messages.
+pub fn generate(n: usize, seed: u64) -> LabeledCorpus {
+    spec().generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_count_matches_table_one() {
+        assert_eq!(spec().event_count(), EVENT_COUNT);
+    }
+
+    #[test]
+    fn labels_are_consistent_with_truth() {
+        let data = generate(400, 8);
+        for i in 0..data.len() {
+            assert!(data.truth_templates[data.labels[i]].matches(data.corpus.tokens(i)));
+        }
+    }
+
+    #[test]
+    fn open_close_events_dominate() {
+        let data = generate(2000, 9);
+        let head = data.labels.iter().filter(|&&l| l < 2).count();
+        assert!(head > 800, "{head}");
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        assert_eq!(generate(50, 3).corpus, generate(50, 3).corpus);
+    }
+}

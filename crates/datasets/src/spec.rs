@@ -1,0 +1,338 @@
+//! Template specifications: the generative counterpart of a parsed
+//! [`Template`].
+//!
+//! A [`TemplateSpec`] is a sequence of literal tokens and typed parameter
+//! slots. Rendering a spec with an RNG produces one concrete log message;
+//! the spec's ground-truth [`Template`] replaces every slot with a
+//! wildcard. Specs are written in a compact notation:
+//!
+//! ```text
+//! Receiving block <blk> src: <ip:port> dest: <ip:port>
+//! ```
+
+use logparse_core::{Template, TemplateToken};
+use rand::Rng;
+
+/// The kind of variable value a slot produces.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SlotKind {
+    /// An IPv4 address, e.g. `10.251.31.5`.
+    Ip,
+    /// `/ip:port`, the HDFS notation, e.g. `/10.251.31.5:50010`.
+    IpPort,
+    /// An HDFS block id, e.g. `blk_-1608999687919862906`.
+    BlockId,
+    /// A BGL core file id, e.g. `core.2275`.
+    CoreId,
+    /// A decimal integer drawn uniformly from `[lo, hi]`.
+    Int {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// A hexadecimal value with `0x` prefix and the given digit width.
+    Hex {
+        /// Number of hex digits.
+        width: usize,
+    },
+    /// A filesystem path with 2–4 components.
+    Path,
+    /// An identifier `<prefix><n>` with `n < count`, e.g. `node-117`.
+    NodeId {
+        /// Prefix string, e.g. `node-`.
+        prefix: &'static str,
+        /// Number of distinct ids.
+        count: u32,
+    },
+    /// One word from a closed pool (a *categorical* variable).
+    Word {
+        /// The candidate words.
+        pool: &'static [&'static str],
+    },
+    /// A duration in milliseconds with unit suffix, e.g. `127ms`.
+    DurationMs,
+    /// A floating point value with two decimals in `[0, scale)`.
+    Float {
+        /// Exclusive upper bound.
+        scale: f64,
+    },
+}
+
+impl SlotKind {
+    /// Renders one concrete value.
+    pub fn render<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        match self {
+            SlotKind::Ip => format!(
+                "10.{}.{}.{}",
+                rng.gen_range(0..=255u16),
+                rng.gen_range(0..=255u16),
+                rng.gen_range(1..=254u16)
+            ),
+            SlotKind::IpPort => format!(
+                "/10.{}.{}.{}:{}",
+                rng.gen_range(0..=255u16),
+                rng.gen_range(0..=255u16),
+                rng.gen_range(1..=254u16),
+                rng.gen_range(1024..=65535u32)
+            ),
+            SlotKind::BlockId => {
+                let sign = if rng.gen_bool(0.5) { "-" } else { "" };
+                format!("blk_{}{}", sign, rng.gen_range(10_u64.pow(17)..10_u64.pow(19)))
+            }
+            SlotKind::CoreId => format!("core.{}", rng.gen_range(1..10_000u32)),
+            SlotKind::Int { lo, hi } => rng.gen_range(*lo..=*hi).to_string(),
+            SlotKind::Hex { width } => {
+                let mut s = String::with_capacity(width + 2);
+                s.push_str("0x");
+                for _ in 0..*width {
+                    s.push(char::from_digit(rng.gen_range(0..16u32), 16).expect("hex digit"));
+                }
+                s
+            }
+            SlotKind::Path => {
+                const DIRS: [&str; 8] = [
+                    "user", "data", "tmp", "var", "jobs", "spool", "cache", "logs",
+                ];
+                const FILES: [&str; 6] = [
+                    "part-00011", "output.dat", "task_0001", "image.img", "segment.log", "x.tmp",
+                ];
+                let depth = rng.gen_range(2..=4usize);
+                let mut s = String::new();
+                for _ in 0..depth {
+                    s.push('/');
+                    s.push_str(DIRS[rng.gen_range(0..DIRS.len())]);
+                }
+                s.push('/');
+                s.push_str(FILES[rng.gen_range(0..FILES.len())]);
+                // Real paths carry job/task ids, making them nearly
+                // unique — a free parameter, not a low-cardinality pool.
+                s.push_str(&format!(".{}", rng.gen_range(0..1_000_000u32)));
+                s
+            }
+            SlotKind::NodeId { prefix, count } => {
+                format!("{prefix}{}", rng.gen_range(0..*count))
+            }
+            SlotKind::Word { pool } => pool[rng.gen_range(0..pool.len())].to_owned(),
+            SlotKind::DurationMs => format!("{}ms", rng.gen_range(0..60_000u32)),
+            SlotKind::Float { scale } => format!("{:.2}", rng.gen::<f64>() * scale),
+        }
+    }
+}
+
+/// One token position of a template specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// A constant token.
+    Literal(String),
+    /// A variable token of the given kind.
+    Slot(SlotKind),
+}
+
+/// A generative log event template.
+///
+/// # Example
+///
+/// ```
+/// use logparse_datasets::TemplateSpec;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let spec = TemplateSpec::parse("Verification succeeded for <blk>");
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let msg = spec.render(&mut rng);
+/// assert!(msg.starts_with("Verification succeeded for blk_"));
+/// assert_eq!(spec.ground_truth().to_string(), "Verification succeeded for *");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateSpec {
+    segments: Vec<Segment>,
+}
+
+impl TemplateSpec {
+    /// Builds a spec from explicit segments.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        TemplateSpec { segments }
+    }
+
+    /// Parses the compact notation: whitespace-separated tokens, with
+    /// `<name>` denoting slots. Recognized slot names:
+    ///
+    /// | name | kind |
+    /// |------|------|
+    /// | `<ip>` | [`SlotKind::Ip`] |
+    /// | `<ip:port>` | [`SlotKind::IpPort`] |
+    /// | `<blk>` | [`SlotKind::BlockId`] |
+    /// | `<core>` | [`SlotKind::CoreId`] |
+    /// | `<int>` | `Int { 0, 99_999 }` |
+    /// | `<size>` | `Int { 1024, 134_217_728 }` |
+    /// | `<small>` | `Int { 0, 9 }` |
+    /// | `<hex>` | `Hex { 8 }` |
+    /// | `<path>` | [`SlotKind::Path`] |
+    /// | `<node>` | `NodeId { "node-", 512 }` |
+    /// | `<user>` | a pool of user names |
+    /// | `<ms>` | [`SlotKind::DurationMs`] |
+    /// | `<float>` | `Float { 100.0 }` |
+    ///
+    /// Any other `<...>` token is kept as a literal, so specs can contain
+    /// angle-bracketed constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty.
+    pub fn parse(pattern: &str) -> Self {
+        const USERS: &[&str] = &[
+            "root", "hdfs", "mapred", "svc-batch", "alice", "bob", "carol", "dave", "erin",
+            "frank", "grace", "heidi",
+        ];
+        let segments: Vec<Segment> = pattern
+            .split_whitespace()
+            .map(|token| match token {
+                "<ip>" => Segment::Slot(SlotKind::Ip),
+                "<ip:port>" => Segment::Slot(SlotKind::IpPort),
+                "<blk>" => Segment::Slot(SlotKind::BlockId),
+                "<core>" => Segment::Slot(SlotKind::CoreId),
+                "<int>" => Segment::Slot(SlotKind::Int { lo: 0, hi: 99_999 }),
+                "<size>" => Segment::Slot(SlotKind::Int {
+                    lo: 1024,
+                    hi: 134_217_728,
+                }),
+                "<small>" => Segment::Slot(SlotKind::Int { lo: 0, hi: 9 }),
+                "<hex>" => Segment::Slot(SlotKind::Hex { width: 8 }),
+                "<path>" => Segment::Slot(SlotKind::Path),
+                "<node>" => Segment::Slot(SlotKind::NodeId {
+                    prefix: "node-",
+                    count: 512,
+                }),
+                "<user>" => Segment::Slot(SlotKind::Word { pool: USERS }),
+                "<ms>" => Segment::Slot(SlotKind::DurationMs),
+                "<float>" => Segment::Slot(SlotKind::Float { scale: 100.0 }),
+                other => Segment::Literal(other.to_owned()),
+            })
+            .collect();
+        assert!(!segments.is_empty(), "template pattern must not be empty");
+        TemplateSpec { segments }
+    }
+
+    /// The spec's segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of token positions.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns `true` if the spec has no segments (never true for parsed
+    /// specs).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Renders one concrete message.
+    pub fn render<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let mut out = String::new();
+        for (i, segment) in self.segments.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match segment {
+                Segment::Literal(text) => out.push_str(text),
+                Segment::Slot(kind) => out.push_str(&kind.render(rng)),
+            }
+        }
+        out
+    }
+
+    /// The ground-truth template: literals kept, slots wildcarded.
+    pub fn ground_truth(&self) -> Template {
+        Template::new(
+            self.segments
+                .iter()
+                .map(|segment| match segment {
+                    Segment::Literal(text) => TemplateToken::literal(text.clone()),
+                    Segment::Slot(_) => TemplateToken::Wildcard,
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_mixes_literals_and_slots() {
+        let spec = TemplateSpec::parse("Receiving block <blk> src: <ip:port>");
+        assert_eq!(spec.len(), 5);
+        assert!(matches!(spec.segments()[0], Segment::Literal(_)));
+        assert!(matches!(spec.segments()[2], Segment::Slot(SlotKind::BlockId)));
+    }
+
+    #[test]
+    fn rendered_message_matches_ground_truth() {
+        let spec = TemplateSpec::parse("PacketResponder <small> for block <blk> terminating");
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let msg = spec.render(&mut rng);
+            let tokens: Vec<String> = msg.split_whitespace().map(str::to_owned).collect();
+            assert!(spec.ground_truth().matches(&tokens), "{msg}");
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic_per_seed() {
+        let spec = TemplateSpec::parse("served <blk> to <ip> in <ms>");
+        let a = spec.render(&mut StdRng::seed_from_u64(9));
+        let b = spec.render(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_angle_tokens_stay_literal() {
+        let spec = TemplateSpec::parse("state <unknown-thing> reached");
+        assert!(matches!(&spec.segments()[1], Segment::Literal(t) if t == "<unknown-thing>"));
+    }
+
+    #[test]
+    fn slot_values_look_right() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(SlotKind::Ip.render(&mut rng).starts_with("10."));
+        assert!(SlotKind::IpPort.render(&mut rng).starts_with("/10."));
+        assert!(SlotKind::BlockId.render(&mut rng).starts_with("blk_"));
+        assert!(SlotKind::CoreId.render(&mut rng).starts_with("core."));
+        assert!(SlotKind::Hex { width: 4 }.render(&mut rng).starts_with("0x"));
+        assert!(SlotKind::Path.render(&mut rng).starts_with('/'));
+        let ms = SlotKind::DurationMs.render(&mut rng);
+        assert!(ms.ends_with("ms"));
+    }
+
+    #[test]
+    fn int_slot_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let v: i64 = SlotKind::Int { lo: -5, hi: 5 }.render(&mut rng).parse().unwrap();
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn word_slot_draws_from_pool() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool: &[&str] = &["up", "down"];
+        for _ in 0..20 {
+            let w = SlotKind::Word { pool }.render(&mut rng);
+            assert!(pool.contains(&w.as_str()));
+        }
+    }
+
+    #[test]
+    fn ground_truth_wildcard_count_equals_slot_count() {
+        let spec = TemplateSpec::parse("a <int> b <ip> c <blk>");
+        assert_eq!(spec.ground_truth().wildcard_count(), 3);
+    }
+}

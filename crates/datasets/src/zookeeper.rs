@@ -1,0 +1,76 @@
+//! The Zookeeper dataset: logs of a ZooKeeper installation on a 32-node
+//! cluster (collected by the study's authors). 80 event types, message
+//! lengths 8–27 (Table I).
+
+use crate::{synthesize_templates, DatasetSpec, LabeledCorpus, TemplateSpec};
+
+/// Number of event types in the real corpus (Table I).
+pub const EVENT_COUNT: usize = 80;
+
+fn signature_templates() -> Vec<TemplateSpec> {
+    [
+        "Accepted socket connection from <ip:port>",
+        "Client attempting to establish new session at <ip:port>",
+        "Established session <hex> with negotiated timeout <int> for client <ip:port>",
+        "Closed socket connection for client <ip:port> which had sessionid <hex>",
+        "Expiring session <hex> timeout of <int> ms exceeded",
+        "Processed session termination for sessionid: <hex>",
+        "Received connection request <ip:port> last zxid <hex>",
+        "Connection broken for id <hex> my id = <small> error =",
+        "Notification time out: <int> ms for peer <small>",
+        "Follower sync with leader took <ms> zxid <hex>",
+        "Snapshotting: <hex> to <path>",
+        "New election. My id = <small> proposed zxid = <hex>",
+    ]
+    .iter()
+    .map(|p| TemplateSpec::parse(p))
+    .collect()
+}
+
+/// The Zookeeper dataset spec (80 events, lengths 8–27).
+pub fn spec() -> DatasetSpec {
+    let mut templates = signature_templates();
+    templates.extend(synthesize_templates(
+        EVENT_COUNT - templates.len(),
+        8,
+        27,
+        0x200,
+    ));
+    DatasetSpec::new("Zookeeper", templates)
+}
+
+/// Generates `n` Zookeeper messages.
+pub fn generate(n: usize, seed: u64) -> LabeledCorpus {
+    spec().generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_count_matches_table_one() {
+        assert_eq!(spec().event_count(), EVENT_COUNT);
+    }
+
+    #[test]
+    fn templates_are_unique() {
+        let s = spec();
+        let mut truths: Vec<String> = s
+            .templates()
+            .iter()
+            .map(|t| t.ground_truth().to_string())
+            .collect();
+        truths.sort();
+        truths.dedup();
+        assert_eq!(truths.len(), EVENT_COUNT);
+    }
+
+    #[test]
+    fn labels_are_consistent_with_truth() {
+        let data = generate(300, 6);
+        for i in 0..data.len() {
+            assert!(data.truth_templates[data.labels[i]].matches(data.corpus.tokens(i)));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! **Fig. 2** — running time of the four parsing methods on each dataset
+//! as the number of raw log messages grows (RQ2, Finding 3).
+//!
+//! The paper sweeps each dataset from hundreds of lines up to its full
+//! size on a log-log scale, observing that SLCT and IPLoM scale linearly,
+//! LogSig linearly but with a large constant (it also grows with the
+//! event count), and LKE quadratically — to the point that some scales
+//! are not plotted because LKE "could not parse \[them\] in a reasonable
+//! time". This runner reproduces the sweep at configurable sizes and
+//! applies the same per-method cap so LKE is only run where it can
+//! finish.
+
+use std::time::Instant;
+
+use logparse_datasets::study_datasets;
+
+use crate::{tune, ParserKind, TextTable};
+
+/// One timing measurement.
+#[derive(Debug, Clone)]
+pub struct TimingPoint {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Parsing method.
+    pub parser: ParserKind,
+    /// Number of messages parsed.
+    pub size: usize,
+    /// Wall-clock seconds; `None` when the method was skipped at this
+    /// size (LKE beyond its cap, mirroring the paper's missing points).
+    pub seconds: Option<f64>,
+}
+
+/// Configuration of the sweep.
+#[derive(Debug, Clone)]
+pub struct Fig2Config {
+    /// The sweep sizes (paper: 400 up to the full corpus, ×10 steps).
+    pub sizes: Vec<usize>,
+    /// Largest size at which LKE is attempted (its O(n²) clustering
+    /// makes larger inputs take hours, as the paper reports).
+    pub lke_cap: usize,
+    /// Largest size at which LogSig is attempted (linear, but with a
+    /// constant so large the paper measures 2+ hours on 10 M lines).
+    pub logsig_cap: usize,
+    /// Sample size used to tune parser parameters before timing.
+    pub tuning_sample: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for Fig2Config {
+    fn default() -> Self {
+        Fig2Config {
+            sizes: vec![400, 1_000, 4_000, 10_000, 40_000],
+            lke_cap: 2_000,
+            logsig_cap: 10_000,
+            tuning_sample: 1_000,
+            seed: 1,
+        }
+    }
+}
+
+impl Fig2Config {
+    /// The per-method size cap (`usize::MAX` for uncapped methods).
+    fn cap(&self, kind: ParserKind) -> usize {
+        match kind {
+            ParserKind::Lke => self.lke_cap,
+            ParserKind::LogSig => self.logsig_cap,
+            _ => usize::MAX,
+        }
+    }
+}
+
+/// Runs the timing sweep.
+pub fn run(config: &Fig2Config) -> Vec<TimingPoint> {
+    let max_size = config.sizes.iter().copied().max().unwrap_or(0);
+    let mut points = Vec::new();
+    for spec in study_datasets() {
+        let full = spec.generate(max_size, config.seed);
+        let sample = full.sample(config.tuning_sample.min(full.len()), config.seed ^ 0xF16);
+        for &kind in &ParserKind::ALL {
+            let tuned = tune(kind, &sample);
+            for &size in &config.sizes {
+                if size > config.cap(kind) {
+                    points.push(TimingPoint {
+                        dataset: spec.name(),
+                        parser: kind,
+                        size,
+                        seconds: None,
+                    });
+                    continue;
+                }
+                let corpus = full.corpus.take(size);
+                let parser = tuned.instantiate(0);
+                let start = Instant::now();
+                let result = parser.parse(&corpus);
+                let elapsed = start.elapsed().as_secs_f64();
+                points.push(TimingPoint {
+                    dataset: spec.name(),
+                    parser: kind,
+                    size,
+                    seconds: result.ok().map(|_| elapsed),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Renders one dataset's timings as a series table (columns = sizes).
+pub fn render(points: &[TimingPoint], dataset: &str) -> TextTable {
+    let mut sizes: Vec<usize> = points
+        .iter()
+        .filter(|p| p.dataset == dataset)
+        .map(|p| p.size)
+        .collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut headers = vec!["Parser".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("{s}")));
+    let mut table = TextTable::new(headers);
+    for kind in ParserKind::ALL {
+        let mut row = vec![kind.name().to_string()];
+        for &size in &sizes {
+            let cell = points
+                .iter()
+                .find(|p| p.dataset == dataset && p.parser == kind && p.size == size)
+                .and_then(|p| p.seconds)
+                .map_or_else(|| "-".to_string(), |s| format!("{s:.3}s"));
+            row.push(cell);
+        }
+        table.add_row(row);
+    }
+    table
+}
+
+/// Fits `log(time) ≈ a·log(n) + b` over a method's measured points and
+/// returns the exponent `a` — the empirical scaling order (≈1 for the
+/// linear methods, ≈2 for LKE).
+pub fn scaling_exponent(points: &[TimingPoint], dataset: &str, parser: ParserKind) -> Option<f64> {
+    let series: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.dataset == dataset && p.parser == parser)
+        .filter_map(|p| {
+            p.seconds
+                .filter(|&s| s > 0.0)
+                .map(|s| ((p.size as f64).ln(), s.ln()))
+        })
+        .collect();
+    if series.len() < 2 {
+        return None;
+    }
+    let n = series.len() as f64;
+    let sx: f64 = series.iter().map(|(x, _)| x).sum();
+    let sy: f64 = series.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = series.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = series.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig2Config {
+        Fig2Config {
+            sizes: vec![100, 300],
+            lke_cap: 150,
+            tuning_sample: 100,
+            seed: 3,
+            ..Fig2Config::default()
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_combinations() {
+        let points = run(&tiny_config());
+        // 5 datasets × 4 parsers × 2 sizes.
+        assert_eq!(points.len(), 40);
+    }
+
+    #[test]
+    fn lke_is_skipped_beyond_cap() {
+        let points = run(&tiny_config());
+        for p in &points {
+            if p.parser == ParserKind::Lke && p.size > 150 {
+                assert!(p.seconds.is_none(), "LKE at {} must be skipped", p.size);
+            } else {
+                assert!(p.seconds.is_some(), "{:?} at {} missing", p.parser, p.size);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_exponent_recovers_known_slopes() {
+        let mk = |size: usize, secs: f64| TimingPoint {
+            dataset: "X",
+            parser: ParserKind::Slct,
+            size,
+            seconds: Some(secs),
+        };
+        // Perfect quadratic series: t = n².
+        let points = vec![mk(10, 100.0), mk(100, 10_000.0), mk(1000, 1_000_000.0)];
+        let a = scaling_exponent(&points, "X", ParserKind::Slct).unwrap();
+        assert!((a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_exponent_needs_two_points() {
+        let points = vec![TimingPoint {
+            dataset: "X",
+            parser: ParserKind::Lke,
+            size: 10,
+            seconds: Some(1.0),
+        }];
+        assert!(scaling_exponent(&points, "X", ParserKind::Lke).is_none());
+    }
+
+    #[test]
+    fn render_marks_skipped_cells_with_dash() {
+        let points = run(&tiny_config());
+        let table = render(&points, "HDFS").to_string();
+        assert!(table.contains('-'));
+        assert!(table.contains("LKE"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment runners, one per table/figure of the paper plus the
+//! extension ablations. Each module exposes a `run` function returning
+//! structured results and a `render` function producing a paper-style
+//! text table; the `logparse-bench` binaries are thin wrappers around
+//! these.
+//!
+//! | module | reproduces |
+//! |--------|------------|
+//! | [`table1`] | Table I — dataset summary |
+//! | [`table2`] | Table II — parsing accuracy raw/preprocessed |
+//! | [`fig2`] | Fig. 2 — running time vs. corpus size |
+//! | [`fig3`] | Fig. 3 — accuracy vs. corpus size, params tuned on 2 k |
+//! | [`table3`] | Table III — anomaly detection with different parsers |
+//! | [`critical`] | Finding 6 ablation — critical-event parse errors |
+//! | [`preprocess_ablation`] | Finding 2 ablation — per-rule preprocessing |
+//! | [`mining_tasks`] | §III-A extension — deployment verification & FSM |
+//! | [`extensions`] | extension — the next-generation LogPAI parsers |
+//! | [`seed_sensitivity`] | extension — LogSig accuracy spread across seeds |
+//! | [`invariant_compare`] | extension — PCA vs. invariant-mining detection |
+
+pub mod critical;
+pub mod extensions;
+pub mod fig2;
+pub mod fig3;
+pub mod invariant_compare;
+pub mod mining_tasks;
+pub mod preprocess_ablation;
+pub mod seed_sensitivity;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,232 @@
+//! **Table III** — anomaly detection with different log parsing methods
+//! (RQ3, Findings 5–6).
+//!
+//! The paper runs Xu et al.'s PCA detector on the HDFS corpus four times:
+//! with the structured logs produced by SLCT, LogSig and IPLoM (LKE is
+//! excluded — it "could not handle this large amount of data in
+//! reasonable time"), and with the exactly-correct parse (*Ground
+//! truth*). Each row reports the parsing accuracy, the anomalies the
+//! model reported, how many were true (*Detected*), and how many were
+//! not (*False Alarm*).
+
+use logparse_datasets::hdfs::{self, HdfsSessions};
+use logparse_datasets::LabeledCorpus;
+
+use crate::{fmt_count, pairwise_f_measure, tune, ParserKind, TextTable};
+use logparse_mining::{
+    event_count_matrix, truth_count_matrix, PcaDetector, PcaDetectorConfig,
+};
+
+/// One row of Table III.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Parser name, or `"Ground truth"`.
+    pub parser: &'static str,
+    /// Pairwise F-measure of the parse against ground truth (1.0 for the
+    /// ground-truth row).
+    pub parsing_accuracy: f64,
+    /// Sessions the detector flagged.
+    pub reported: usize,
+    /// Flagged sessions that are truly anomalous.
+    pub detected: usize,
+    /// Flagged sessions that are not anomalous.
+    pub false_alarms: usize,
+}
+
+/// Configuration of the experiment.
+#[derive(Debug, Clone)]
+pub struct Table3Config {
+    /// Number of block sessions to simulate (the paper has 575 061; the
+    /// default here is laptop-scale while keeping the anomaly ratio).
+    pub blocks: usize,
+    /// Anomalous-session rate (paper: 16 838 / 575 061 ≈ 2.9 %).
+    pub anomaly_rate: f64,
+    /// Messages sampled for parameter tuning (paper: 2 000).
+    pub tuning_sample: usize,
+    /// Generation seed.
+    pub seed: u64,
+    /// Detector settings (paper: α = 0.001, TF-IDF on).
+    pub detector: PcaDetectorConfig,
+}
+
+impl Default for Table3Config {
+    fn default() -> Self {
+        Table3Config {
+            blocks: 5_000,
+            anomaly_rate: 0.029,
+            tuning_sample: 2_000,
+            seed: 7,
+            // k = 2 is the tuned normal-space dimension of the session
+            // simulator (the paper's protocol likewise fixes the PCA
+            // configuration from [2]: α = 0.001, small k).
+            detector: PcaDetectorConfig {
+                components: Some(2),
+                ..PcaDetectorConfig::default()
+            },
+        }
+    }
+}
+
+/// The parsers evaluated in the paper's Table III (LKE excluded).
+pub const TABLE3_PARSERS: [ParserKind; 3] =
+    [ParserKind::Slct, ParserKind::LogSig, ParserKind::Iplom];
+
+/// Runs the Table III experiment and returns its rows (parsers first,
+/// ground truth last, as in the paper). Also returns the number of true
+/// anomalies for the caption.
+pub fn run(config: &Table3Config) -> (Vec<Table3Row>, usize) {
+    let sessions: HdfsSessions =
+        hdfs::generate_sessions(config.blocks, config.anomaly_rate, config.seed);
+    let detector = PcaDetector::new(config.detector.clone());
+    let truth = &sessions.anomalous;
+    let mut rows = Vec::new();
+
+    let sample: LabeledCorpus = sessions
+        .data
+        .sample(config.tuning_sample.min(sessions.data.len()), config.seed ^ 0x7A);
+
+    for kind in TABLE3_PARSERS {
+        let tuned = tune(kind, &sample);
+        let parser = tuned.instantiate(config.seed);
+        let row = match parser.parse(&sessions.data.corpus) {
+            Ok(parse) => {
+                let accuracy =
+                    pairwise_f_measure(&sessions.data.labels, &parse.cluster_labels()).f1;
+                let counts =
+                    event_count_matrix(&parse, &sessions.block_of, sessions.block_count());
+                let report = detector.detect(&counts);
+                let (detected, false_alarms) = report.confusion(truth);
+                Table3Row {
+                    parser: kind.name(),
+                    parsing_accuracy: accuracy,
+                    reported: report.reported(),
+                    detected,
+                    false_alarms,
+                }
+            }
+            Err(_) => Table3Row {
+                parser: kind.name(),
+                parsing_accuracy: 0.0,
+                reported: 0,
+                detected: 0,
+                false_alarms: 0,
+            },
+        };
+        rows.push(row);
+    }
+
+    // Ground-truth row: the exactly-correct structured log.
+    let counts = truth_count_matrix(
+        &sessions.data.labels,
+        sessions.data.truth_templates.len(),
+        &sessions.block_of,
+        sessions.block_count(),
+    );
+    let report = detector.detect(&counts);
+    let (detected, false_alarms) = report.confusion(truth);
+    rows.push(Table3Row {
+        parser: "Ground truth",
+        parsing_accuracy: 1.0,
+        reported: report.reported(),
+        detected,
+        false_alarms,
+    });
+    (rows, sessions.anomaly_count())
+}
+
+/// Renders the rows paper-style.
+pub fn render(rows: &[Table3Row], anomalies: usize) -> TextTable {
+    let mut table = TextTable::new(vec![
+        "Parser",
+        "Parsing Accuracy",
+        "Reported Anomaly",
+        "Detected Anomaly",
+        "False Alarm",
+    ]);
+    for row in rows {
+        let pct = |n: usize| {
+            if anomalies == 0 {
+                "0%".to_string()
+            } else {
+                format!("{:.0}%", 100.0 * n as f64 / anomalies as f64)
+            }
+        };
+        let fa_pct = if row.reported == 0 {
+            "0%".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * row.false_alarms as f64 / row.reported as f64)
+        };
+        table.add_row(vec![
+            row.parser.to_string(),
+            format!("{:.2}", row.parsing_accuracy),
+            fmt_count(row.reported),
+            format!("{} ({})", fmt_count(row.detected), pct(row.detected)),
+            format!("{} ({})", fmt_count(row.false_alarms), fa_pct),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Table3Config {
+        Table3Config {
+            blocks: 250,
+            anomaly_rate: 0.04,
+            tuning_sample: 400,
+            seed: 11,
+            ..Table3Config::default()
+        }
+    }
+
+    #[test]
+    fn rows_are_parsers_plus_ground_truth() {
+        let (rows, _) = run(&tiny_config());
+        let names: Vec<&str> = rows.iter().map(|r| r.parser).collect();
+        assert_eq!(names, vec!["SLCT", "LogSig", "IPLoM", "Ground truth"]);
+    }
+
+    #[test]
+    fn ground_truth_detects_most_anomalies_with_few_false_alarms() {
+        let (rows, anomalies) = run(&tiny_config());
+        let truth_row = rows.last().unwrap();
+        assert_eq!(truth_row.parsing_accuracy, 1.0);
+        assert!(anomalies > 0);
+        assert!(
+            truth_row.detected as f64 >= 0.5 * anomalies as f64,
+            "detected {} of {anomalies}",
+            truth_row.detected
+        );
+        assert!(
+            truth_row.false_alarms <= truth_row.reported / 2,
+            "false alarms {} of {}",
+            truth_row.false_alarms,
+            truth_row.reported
+        );
+    }
+
+    #[test]
+    fn confusion_is_consistent() {
+        let (rows, _) = run(&tiny_config());
+        for row in &rows {
+            assert_eq!(row.reported, row.detected + row.false_alarms, "{}", row.parser);
+        }
+    }
+
+    #[test]
+    fn iplom_accuracy_is_high_on_hdfs() {
+        let (rows, _) = run(&tiny_config());
+        let iplom = rows.iter().find(|r| r.parser == "IPLoM").unwrap();
+        assert!(iplom.parsing_accuracy > 0.8, "{}", iplom.parsing_accuracy);
+    }
+
+    #[test]
+    fn render_includes_counts_and_percentages() {
+        let (rows, anomalies) = run(&tiny_config());
+        let rendered = render(&rows, anomalies).to_string();
+        assert!(rendered.contains("Ground truth"));
+        assert!(rendered.contains('%'));
+    }
+}

@@ -1,0 +1,38 @@
+//! Evaluation harness for the `logmine` workspace: the accuracy metrics,
+//! per-dataset parser tuning, and experiment runners that regenerate
+//! every table and figure of the DSN'16 study *"An Evaluation Study on
+//! Log Parsing and Its Use in Log Mining"*.
+//!
+//! * [`pairwise_f_measure`] — the study's parsing accuracy metric, plus
+//!   [`purity`] and [`rand_index`] as auxiliary views;
+//! * [`tune`] / [`TunedParser`] — the paper's per-dataset parameter
+//!   tuning protocol (grid search on a 2 000-message sample);
+//! * [`experiments`] — one runner per table/figure (see its docs);
+//! * [`TextTable`] — paper-style plain-text rendering.
+//!
+//! # Example — measure a parser the way the paper does
+//!
+//! ```
+//! use logparse_datasets::hdfs;
+//! use logparse_eval::{pairwise_f_measure, tune, ParserKind};
+//!
+//! let sample = hdfs::generate(500, 42);
+//! let tuned = tune(ParserKind::Iplom, &sample);
+//! let parse = tuned.instantiate(0).parse(&sample.corpus)?;
+//! let accuracy = pairwise_f_measure(&sample.labels, &parse.cluster_labels());
+//! assert!(accuracy.f1 > 0.5);
+//! # Ok::<(), logparse_core::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+mod metrics;
+mod report;
+mod tuning;
+
+pub use metrics::{grouping_accuracy, pairwise_f_measure, purity, rand_index, FMeasure};
+pub use report::{fmt_count, fmt_f2, TextTable};
+pub use tuning::{dataset_preprocessor, tune, ParserKind, TunedParser};

@@ -1,0 +1,285 @@
+//! Clustering accuracy metrics.
+//!
+//! The study evaluates parsing accuracy with the **pairwise F-measure**
+//! "a commonly-used evaluation metric for clustering algorithms"
+//! (citing Manning et al.'s IR book): every pair of messages is a
+//! decision — same cluster or not — and precision/recall are computed
+//! over those decisions against the ground truth. Purity and the Rand
+//! index are provided as auxiliary metrics for the extension analyses.
+
+use std::collections::HashMap;
+
+/// Precision, recall and F1 of pairwise clustering decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FMeasure {
+    /// Fraction of same-cluster pairs that are truly same-event.
+    pub precision: f64,
+    /// Fraction of truly same-event pairs that were clustered together.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+fn pairs(n: usize) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Computes the pairwise F-measure of `predicted` cluster labels against
+/// `truth` labels.
+///
+/// Label values are arbitrary — only co-membership matters. Degenerate
+/// inputs (fewer than two messages, or no positive pairs on either side)
+/// yield the conventional limits: precision/recall of 1 when there was
+/// nothing to get wrong.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use logparse_eval::pairwise_f_measure;
+///
+/// // Truth: {0,1} {2,3}; prediction merged everything.
+/// let m = pairwise_f_measure(&[0, 0, 1, 1], &[7, 7, 7, 7]);
+/// assert!((m.recall - 1.0).abs() < 1e-12);      // all true pairs found
+/// assert!((m.precision - 2.0 / 6.0).abs() < 1e-12); // 2 of 6 claimed pairs real
+/// ```
+pub fn pairwise_f_measure(truth: &[usize], predicted: &[usize]) -> FMeasure {
+    assert_eq!(truth.len(), predicted.len(), "label slices must align");
+    // Contingency table: (truth cluster, predicted cluster) → count.
+    let mut cells: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut truth_sizes: HashMap<usize, usize> = HashMap::new();
+    let mut predicted_sizes: HashMap<usize, usize> = HashMap::new();
+    for (&t, &p) in truth.iter().zip(predicted) {
+        *cells.entry((t, p)).or_insert(0) += 1;
+        *truth_sizes.entry(t).or_insert(0) += 1;
+        *predicted_sizes.entry(p).or_insert(0) += 1;
+    }
+    let true_positive: f64 = cells.values().map(|&c| pairs(c)).sum();
+    let truth_pairs: f64 = truth_sizes.values().map(|&c| pairs(c)).sum();
+    let predicted_pairs: f64 = predicted_sizes.values().map(|&c| pairs(c)).sum();
+
+    let precision = if predicted_pairs == 0.0 {
+        1.0
+    } else {
+        true_positive / predicted_pairs
+    };
+    let recall = if truth_pairs == 0.0 {
+        1.0
+    } else {
+        true_positive / truth_pairs
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    FMeasure {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Cluster purity: each predicted cluster votes for its dominant truth
+/// label; purity is the fraction of correctly claimed messages. 1.0 for
+/// an empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn purity(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "label slices must align");
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut per_cluster: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for (&t, &p) in truth.iter().zip(predicted) {
+        *per_cluster.entry(p).or_default().entry(t).or_insert(0) += 1;
+    }
+    let dominant: usize = per_cluster
+        .values()
+        .map(|votes| votes.values().copied().max().unwrap_or(0))
+        .sum();
+    dominant as f64 / truth.len() as f64
+}
+
+/// Message-level **grouping accuracy** ("Parsing Accuracy" in the
+/// follow-on LogPAI benchmarks, Zhu et al. ICSE'19): a message counts as
+/// correctly parsed only if its predicted cluster contains *exactly* the
+/// same messages as its ground-truth event — merges and splits both
+/// zero out every affected message. Stricter than the pairwise
+/// F-measure, and closer to how parse errors propagate into mining
+/// (Finding 6's "critical events" are whole clusters gone wrong).
+///
+/// Returns 1.0 for an empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use logparse_eval::grouping_accuracy;
+///
+/// // Truth {0,1},{2,3}; prediction split the second group.
+/// let ga = grouping_accuracy(&[0, 0, 1, 1], &[5, 5, 6, 7]);
+/// assert!((ga - 0.5).abs() < 1e-12); // messages 2 and 3 are wrong
+/// ```
+pub fn grouping_accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "label slices must align");
+    if truth.is_empty() {
+        return 1.0;
+    }
+    // Member sets per cluster, represented by sorted index lists.
+    let mut truth_members: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut predicted_members: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (idx, (&t, &p)) in truth.iter().zip(predicted).enumerate() {
+        truth_members.entry(t).or_default().push(idx);
+        predicted_members.entry(p).or_default().push(idx);
+    }
+    let correct = truth
+        .iter()
+        .zip(predicted)
+        .filter(|&(t, p)| truth_members[t] == predicted_members[p])
+        .count();
+    correct as f64 / truth.len() as f64
+}
+
+/// The Rand index: fraction of message pairs on which the clusterings
+/// agree (both together or both apart). 1.0 for fewer than two messages.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rand_index(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "label slices must align");
+    let n = truth.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut cells: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut truth_sizes: HashMap<usize, usize> = HashMap::new();
+    let mut predicted_sizes: HashMap<usize, usize> = HashMap::new();
+    for (&t, &p) in truth.iter().zip(predicted) {
+        *cells.entry((t, p)).or_insert(0) += 1;
+        *truth_sizes.entry(t).or_insert(0) += 1;
+        *predicted_sizes.entry(p).or_insert(0) += 1;
+    }
+    let tp: f64 = cells.values().map(|&c| pairs(c)).sum();
+    let truth_pairs: f64 = truth_sizes.values().map(|&c| pairs(c)).sum();
+    let predicted_pairs: f64 = predicted_sizes.values().map(|&c| pairs(c)).sum();
+    let total = pairs(n);
+    // Agreements = TP (together/together) + TN (apart/apart).
+    let tn = total - truth_pairs - predicted_pairs + tp;
+    (tp + tn) / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let truth = [0, 0, 1, 1, 2];
+        let m = pairwise_f_measure(&truth, &[5, 5, 9, 9, 7]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(purity(&truth, &[5, 5, 9, 9, 7]), 1.0);
+        assert_eq!(rand_index(&truth, &[5, 5, 9, 9, 7]), 1.0);
+    }
+
+    #[test]
+    fn all_singletons_have_perfect_precision_zero_recall() {
+        let truth = [0, 0, 0];
+        let m = pairwise_f_measure(&truth, &[0, 1, 2]);
+        assert_eq!(m.precision, 1.0); // no claimed pairs ⇒ vacuous
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn one_big_cluster_has_perfect_recall() {
+        let truth = [0, 0, 1, 1];
+        let m = pairwise_f_measure(&truth, &[3, 3, 3, 3]);
+        assert_eq!(m.recall, 1.0);
+        assert!((m.precision - 2.0 / 6.0).abs() < 1e-12);
+        let f = 2.0 * (1.0 / 3.0) / (1.0 + 1.0 / 3.0);
+        assert!((m.f1 - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_cluster_loses_recall_not_precision() {
+        let truth = [0, 0, 0, 0];
+        let m = pairwise_f_measure(&truth, &[1, 1, 2, 2]);
+        assert_eq!(m.precision, 1.0);
+        assert!((m.recall - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_measure_is_symmetric_under_label_renaming() {
+        let truth = [0, 1, 0, 2, 1];
+        let a = pairwise_f_measure(&truth, &[5, 6, 5, 7, 6]);
+        let b = pairwise_f_measure(&truth, &[100, 0, 100, 42, 0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn purity_rewards_dominant_labels() {
+        // Cluster {0,0,1}: dominant 0 (2 of 3); cluster {1}: 1 of 1.
+        let p = purity(&[0, 0, 1, 1], &[9, 9, 9, 4]);
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rand_index_counts_agreements() {
+        // truth pairs: (0,1); predicted pairs: (2,3).
+        let ri = rand_index(&[0, 0, 1, 2], &[5, 6, 7, 7]);
+        // 6 pairs total: TP=0, truth_pairs=1, predicted_pairs=1, TN=4.
+        assert!((ri - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_are_conventional() {
+        assert_eq!(pairwise_f_measure(&[], &[]).f1, 1.0);
+        assert_eq!(purity(&[], &[]), 1.0);
+        assert_eq!(rand_index(&[7], &[3]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label slices must align")]
+    fn mismatched_lengths_panic() {
+        pairwise_f_measure(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn grouping_accuracy_requires_exact_cluster_agreement() {
+        // Perfect (up to renaming).
+        assert_eq!(grouping_accuracy(&[0, 0, 1], &[9, 9, 4]), 1.0);
+        // One merged pair poisons all affected messages.
+        assert_eq!(grouping_accuracy(&[0, 0, 1, 1], &[5, 5, 5, 5]), 0.0);
+        // A split poisons only its own group.
+        let ga = grouping_accuracy(&[0, 0, 1, 1], &[5, 5, 6, 7]);
+        assert!((ga - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouping_accuracy_is_stricter_than_f_measure() {
+        let truth = [0, 0, 0, 0, 1, 1];
+        let predicted = [5, 5, 5, 6, 7, 7]; // one stray split message
+        let f = pairwise_f_measure(&truth, &predicted).f1;
+        let ga = grouping_accuracy(&truth, &predicted);
+        assert!(ga < f, "GA {ga} should be below F1 {f}");
+        // The stray split zeroes out the whole 4-message event.
+        assert!((ga - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouping_accuracy_of_empty_input_is_one() {
+        assert_eq!(grouping_accuracy(&[], &[]), 1.0);
+    }
+}

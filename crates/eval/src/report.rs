@@ -1,0 +1,145 @@
+//! Plain-text table rendering for experiment reports, shaped like the
+//! paper's tables.
+
+use std::fmt;
+
+/// A simple aligned-column text table.
+///
+/// # Example
+///
+/// ```
+/// use logparse_eval::TextTable;
+///
+/// let mut t = TextTable::new(vec!["parser", "F1"]);
+/// t.add_row(vec!["IPLoM".into(), "0.99".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("IPLoM"));
+/// assert!(s.lines().count() >= 3); // header, rule, row
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than there are headers.
+    pub fn add_row(&mut self, mut cells: Vec<String>) {
+        assert!(
+            cells.len() <= self.headers.len(),
+            "row has {} cells but table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:width$}", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals, the paper's accuracy precision.
+pub fn fmt_f2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a count with thousands separators (`16,838`).
+pub fn fmt_count(value: usize) -> String {
+    let digits = value.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "longer"]);
+        t.add_row(vec!["xxxxxx".into(), "1".into()]);
+        let rendered = t.to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header and row have equal widths per column.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["x".into()]);
+        assert_eq!(t.row_count(), 1);
+        assert!(t.to_string().lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 3 cells")]
+    fn oversized_rows_panic() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.add_row(vec!["1".into(), "2".into(), "3".into()]);
+    }
+
+    #[test]
+    fn count_formatting_inserts_separators() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(16838), "16,838");
+        assert_eq!(fmt_count(11175629), "11,175,629");
+    }
+
+    #[test]
+    fn float_formatting_is_two_decimals() {
+        assert_eq!(fmt_f2(0.876), "0.88");
+        assert_eq!(fmt_f2(1.0), "1.00");
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-dataset parser configuration and tuning.
+//!
+//! The study tunes each parser's parameters per dataset on a 2 000-message
+//! sample ("The parameters of SLCT and LogSig are re-tuned to provide
+//! good Parsing Accuracy"; Fig. 3 then freezes those parameters across
+//! sizes). This module reproduces that protocol: a small grid search per
+//! parser against the sample's ground truth, returning a ready-to-use
+//! parser.
+
+use logparse_core::{LogParser, MaskRule, Preprocessor};
+use logparse_datasets::LabeledCorpus;
+use logparse_parsers::{Iplom, Lke, LogSig, Slct};
+
+use crate::pairwise_f_measure;
+
+/// The parsing methods under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParserKind {
+    /// SLCT (Vaarandi, IPOM'03).
+    Slct,
+    /// IPLoM (Makanju et al., KDD'09).
+    Iplom,
+    /// LKE (Fu et al., ICDM'09).
+    Lke,
+    /// LogSig (Tang et al., CIKM'11) — requires a seed per run.
+    LogSig,
+}
+
+impl ParserKind {
+    /// The four methods in the paper's presentation order.
+    pub const ALL: [ParserKind; 4] = [
+        ParserKind::Slct,
+        ParserKind::Iplom,
+        ParserKind::Lke,
+        ParserKind::LogSig,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParserKind::Slct => "SLCT",
+            ParserKind::Iplom => "IPLoM",
+            ParserKind::Lke => "LKE",
+            ParserKind::LogSig => "LogSig",
+        }
+    }
+
+    /// Whether the method's clustering is randomized (the paper averages
+    /// such methods over 10 runs).
+    pub fn is_randomized(self) -> bool {
+        matches!(self, ParserKind::LogSig)
+    }
+}
+
+/// The frozen outcome of tuning one parser on one dataset sample.
+///
+/// `instantiate(seed)` builds a runnable parser; deterministic methods
+/// ignore the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedParser {
+    kind: ParserKind,
+    /// SLCT: support fraction.
+    support_fraction: f64,
+    /// LKE: fixed distance threshold.
+    lke_threshold: f64,
+    /// LogSig: cluster count.
+    clusters: usize,
+}
+
+impl TunedParser {
+    /// The tuned method.
+    pub fn kind(&self) -> ParserKind {
+        self.kind
+    }
+
+    /// Builds a parser instance; `seed` only affects randomized methods.
+    pub fn instantiate(&self, seed: u64) -> Box<dyn LogParser> {
+        match self.kind {
+            ParserKind::Slct => Box::new(
+                Slct::builder()
+                    .support_fraction(self.support_fraction)
+                    .build(),
+            ),
+            ParserKind::Iplom => Box::new(Iplom::default()),
+            ParserKind::Lke => Box::new(Lke::builder().fixed_threshold(self.lke_threshold).build()),
+            ParserKind::LogSig => Box::new(
+                LogSig::builder()
+                    .clusters(self.clusters)
+                    .seed(seed)
+                    .build(),
+            ),
+        }
+    }
+}
+
+/// Tunes `kind` on a labeled sample by grid search over the method's main
+/// parameter, maximizing pairwise F-measure against the sample's ground
+/// truth — the study's tuning protocol.
+///
+/// The sample should be small (the paper uses 2 000 messages); tuning
+/// cost is `O(grid × parse)`.
+pub fn tune(kind: ParserKind, sample: &LabeledCorpus) -> TunedParser {
+    let mut tuned = TunedParser {
+        kind,
+        support_fraction: 0.002,
+        lke_threshold: 0.4,
+        clusters: sample.distinct_events().max(1),
+    };
+    match kind {
+        ParserKind::Slct => {
+            let grid = [0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05];
+            let mut best = f64::NEG_INFINITY;
+            for &support in &grid {
+                let parser = Slct::builder().support_fraction(support).build();
+                if let Ok(parse) = parser.parse(&sample.corpus) {
+                    let f = pairwise_f_measure(&sample.labels, &parse.cluster_labels()).f1;
+                    if f > best {
+                        best = f;
+                        tuned.support_fraction = support;
+                    }
+                }
+            }
+        }
+        ParserKind::Iplom => {
+            // IPLoM's defaults are the paper's recommended operating
+            // point; no tuning required.
+        }
+        ParserKind::Lke => {
+            // LKE estimates its threshold from the data itself (2-means
+            // over the pairwise distance distribution), as the original
+            // method does — there is no oracle grid search to run. The
+            // estimate is frozen from a 600-message sub-sample so the
+            // O(n²) distance pass stays cheap; freezing is what lets the
+            // Fig. 2/3 sweeps apply one fixed threshold across sizes.
+            let sub = sample.sample(600.min(sample.len()), 0xCAFE);
+            let auto = Lke::builder().auto_threshold().build();
+            tuned.lke_threshold = auto
+                .estimate_threshold(&sub.corpus)
+                .unwrap_or(tuned.lke_threshold);
+        }
+        ParserKind::LogSig => {
+            // LogSig's decisive parameter is the cluster count, which the
+            // paper sets from the dataset's known event count.
+            tuned.clusters = sample.distinct_events().max(1).min(sample.len().max(1));
+        }
+    }
+    tuned
+}
+
+/// The domain-knowledge preprocessor the study applies to each dataset
+/// (§IV-B): IP addresses for HPC, Zookeeper and HDFS; core ids for BGL;
+/// block ids for HDFS. Proxifier has nothing to preprocess and gets the
+/// identity.
+pub fn dataset_preprocessor(dataset: &str) -> Preprocessor {
+    match dataset {
+        "BGL" => Preprocessor::new(vec![MaskRule::CoreId]),
+        "HPC" | "Zookeeper" => Preprocessor::new(vec![MaskRule::IpAddress]),
+        "HDFS" => Preprocessor::new(vec![MaskRule::IpAddress, MaskRule::BlockId]),
+        _ => Preprocessor::identity(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logparse_datasets::proxifier;
+
+    #[test]
+    fn parser_kind_names_match_paper() {
+        let names: Vec<&str> = ParserKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["SLCT", "IPLoM", "LKE", "LogSig"]);
+    }
+
+    #[test]
+    fn only_logsig_is_randomized() {
+        assert!(ParserKind::LogSig.is_randomized());
+        assert!(!ParserKind::Slct.is_randomized());
+        assert!(!ParserKind::Iplom.is_randomized());
+        assert!(!ParserKind::Lke.is_randomized());
+    }
+
+    #[test]
+    fn tuned_slct_beats_or_matches_worst_grid_point() {
+        let sample = proxifier::generate(300, 1);
+        let tuned = tune(ParserKind::Slct, &sample);
+        let parse = tuned.instantiate(0).parse(&sample.corpus).unwrap();
+        let f_tuned = pairwise_f_measure(&sample.labels, &parse.cluster_labels()).f1;
+        // The worst grid point (gigantic support) collapses everything.
+        let bad = Slct::builder().support_fraction(0.05).build();
+        let f_bad = pairwise_f_measure(
+            &sample.labels,
+            &bad.parse(&sample.corpus).unwrap().cluster_labels(),
+        )
+        .f1;
+        assert!(f_tuned >= f_bad);
+    }
+
+    #[test]
+    fn logsig_tuning_uses_sample_event_count() {
+        let sample = proxifier::generate(400, 2);
+        let tuned = tune(ParserKind::LogSig, &sample);
+        assert_eq!(tuned.clusters, sample.distinct_events());
+        assert_eq!(tuned.kind(), ParserKind::LogSig);
+    }
+
+    #[test]
+    fn instantiate_respects_seed_for_logsig_only() {
+        let sample = proxifier::generate(200, 3);
+        let logsig = tune(ParserKind::LogSig, &sample);
+        let iplom = tune(ParserKind::Iplom, &sample);
+        // Different seeds may give different LogSig results...
+        let a = logsig.instantiate(1).parse(&sample.corpus).unwrap();
+        let _b = logsig.instantiate(2).parse(&sample.corpus).unwrap();
+        // ...but IPLoM ignores the seed entirely.
+        let c = iplom.instantiate(1).parse(&sample.corpus).unwrap();
+        let d = iplom.instantiate(2).parse(&sample.corpus).unwrap();
+        assert_eq!(c, d);
+        assert_eq!(a.len(), sample.len());
+    }
+
+    #[test]
+    fn preprocessors_follow_the_papers_rules() {
+        assert_eq!(dataset_preprocessor("BGL").rules(), &[MaskRule::CoreId]);
+        assert_eq!(dataset_preprocessor("HPC").rules(), &[MaskRule::IpAddress]);
+        assert_eq!(
+            dataset_preprocessor("HDFS").rules(),
+            &[MaskRule::IpAddress, MaskRule::BlockId]
+        );
+        assert!(dataset_preprocessor("Proxifier").rules().is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+use crate::{jacobi_eigen, Matrix};
+
+/// Principal component analysis of row-vector data.
+///
+/// Fitting centers the data, eigendecomposes the covariance matrix and
+/// keeps the leading components whose cumulative variance reaches the
+/// requested fraction — the construction of the *normal space* `S_d` in
+/// Xu et al.'s anomaly detector, with the discarded components spanning
+/// the *anomaly space* `S_a`.
+///
+/// # Example
+///
+/// ```
+/// use logparse_linalg::{Matrix, Pca};
+///
+/// let data = Matrix::from_rows(&[
+///     vec![0.0, 0.0],
+///     vec![1.0, 1.0],
+///     vec![2.0, 2.0],
+///     vec![3.0, 3.0],
+/// ]);
+/// let pca = Pca::fit(&data, 0.95);
+/// // Points on the diagonal have no residual...
+/// assert!(pca.squared_prediction_error(&[4.0, 4.0]) < 1e-9);
+/// // ...points off it do.
+/// assert!(pca.squared_prediction_error(&[4.0, 0.0]) > 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    components: Vec<Vec<f64>>,
+    eigenvalues: Vec<f64>,
+    kept: usize,
+}
+
+impl Pca {
+    /// Fits a PCA on `data` (rows are observations), keeping the smallest
+    /// number of leading components whose cumulative variance is at least
+    /// `variance_fraction` of the total. At least one component is always
+    /// kept when any variance exists; a zero-variance dataset keeps none.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance_fraction` is not within `(0, 1]`.
+    pub fn fit(data: &Matrix, variance_fraction: f64) -> Self {
+        assert!(
+            variance_fraction > 0.0 && variance_fraction <= 1.0,
+            "variance fraction must lie in (0, 1], got {variance_fraction}"
+        );
+        let mean = data.column_means();
+        let eigen = jacobi_eigen(&data.covariance());
+        let total: f64 = eigen.values.iter().filter(|&&v| v > 0.0).sum();
+        let mut kept = 0;
+        if total > 0.0 {
+            let mut acc = 0.0;
+            for &value in &eigen.values {
+                acc += value.max(0.0);
+                kept += 1;
+                if acc / total >= variance_fraction {
+                    break;
+                }
+            }
+        }
+        Pca {
+            mean,
+            components: eigen.vectors,
+            eigenvalues: eigen.values,
+            kept,
+        }
+    }
+
+    /// Fits a PCA keeping exactly `k` components (clamped to the data
+    /// dimensionality). Used for the paper-faithful configuration where
+    /// Xu et al. fix the normal-space dimension.
+    pub fn fit_fixed(data: &Matrix, k: usize) -> Self {
+        let mean = data.column_means();
+        let eigen = jacobi_eigen(&data.covariance());
+        let kept = k.min(eigen.values.len());
+        Pca {
+            mean,
+            components: eigen.vectors,
+            eigenvalues: eigen.values,
+            kept,
+        }
+    }
+
+    /// The kept principal components (unit vectors, descending variance).
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components[..self.kept]
+    }
+
+    /// All eigenvalues of the covariance matrix, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Eigenvalues of the residual (anomaly) space — the input to the
+    /// Q-statistic threshold.
+    pub fn residual_eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues[self.kept..]
+    }
+
+    /// Number of kept components (the normal-space dimension).
+    pub fn kept_components(&self) -> usize {
+        self.kept
+    }
+
+    /// The squared prediction error of one observation: `‖(I − PPᵀ)(y −
+    /// μ)‖²`, the squared distance from the normal space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has a different dimensionality than the fitted
+    /// data.
+    pub fn squared_prediction_error(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.mean.len(), "dimensionality mismatch");
+        let centered: Vec<f64> = row.iter().zip(&self.mean).map(|(y, m)| y - m).collect();
+        // residual = centered − Σ_k (centered · v_k) v_k
+        let mut residual = centered.clone();
+        for component in self.components() {
+            let projection: f64 = centered.iter().zip(component).map(|(a, b)| a * b).sum();
+            for (r, c) in residual.iter_mut().zip(component) {
+                *r -= projection * c;
+            }
+        }
+        residual.iter().map(|v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> Matrix {
+        // Points close to the line y = 2x.
+        Matrix::from_rows(&[
+            vec![1.0, 2.01],
+            vec![2.0, 3.98],
+            vec![3.0, 6.02],
+            vec![4.0, 7.99],
+            vec![5.0, 10.01],
+        ])
+    }
+
+    #[test]
+    fn one_dominant_direction_keeps_one_component() {
+        let pca = Pca::fit(&line_data(), 0.95);
+        assert_eq!(pca.kept_components(), 1);
+        // Component aligns with (1, 2)/√5 up to sign.
+        let c = &pca.components()[0];
+        let expected = (1.0f64, 2.0f64);
+        let norm = (expected.0 * expected.0 + expected.1 * expected.1).sqrt();
+        let align = (c[0] * expected.0 / norm + c[1] * expected.1 / norm).abs();
+        assert!(align > 0.999, "{align}");
+    }
+
+    #[test]
+    fn points_on_subspace_have_tiny_spe() {
+        let pca = Pca::fit(&line_data(), 0.95);
+        assert!(pca.squared_prediction_error(&[6.0, 12.0]) < 1e-3);
+    }
+
+    #[test]
+    fn points_off_subspace_have_large_spe() {
+        let pca = Pca::fit(&line_data(), 0.95);
+        let spe = pca.squared_prediction_error(&[6.0, 0.0]);
+        assert!(spe > 10.0, "{spe}");
+    }
+
+    #[test]
+    fn full_variance_keeps_all_informative_components() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 0.0, 5.0],
+            vec![0.0, 1.0, 5.0],
+            vec![1.0, 1.0, 5.0],
+            vec![0.0, 0.0, 5.0],
+        ]);
+        let pca = Pca::fit(&data, 1.0);
+        // Third column is constant: only two directions carry variance,
+        // but cumulative-variance selection may stop once 100% reached.
+        assert!(pca.kept_components() >= 2);
+        assert!(pca.squared_prediction_error(&[0.5, 0.5, 5.0]) < 1e-9);
+    }
+
+    #[test]
+    fn fit_fixed_respects_k() {
+        let pca = Pca::fit_fixed(&line_data(), 2);
+        assert_eq!(pca.kept_components(), 2);
+        // With all components kept, every point reconstructs exactly.
+        assert!(pca.squared_prediction_error(&[100.0, -3.0]) < 1e-9);
+    }
+
+    #[test]
+    fn fit_fixed_clamps_to_dimension() {
+        let pca = Pca::fit_fixed(&line_data(), 10);
+        assert_eq!(pca.kept_components(), 2);
+    }
+
+    #[test]
+    fn zero_variance_data_keeps_no_components() {
+        let data = Matrix::from_rows(&[vec![3.0, 3.0], vec![3.0, 3.0]]);
+        let pca = Pca::fit(&data, 0.95);
+        assert_eq!(pca.kept_components(), 0);
+        assert_eq!(pca.squared_prediction_error(&[3.0, 3.0]), 0.0);
+        assert!(pca.squared_prediction_error(&[4.0, 3.0]) > 0.9);
+    }
+
+    #[test]
+    fn residual_eigenvalues_complement_kept() {
+        let pca = Pca::fit(&line_data(), 0.95);
+        assert_eq!(
+            pca.kept_components() + pca.residual_eigenvalues().len(),
+            pca.eigenvalues().len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn spe_rejects_wrong_dimension() {
+        Pca::fit(&line_data(), 0.95).squared_prediction_error(&[1.0]);
+    }
+}

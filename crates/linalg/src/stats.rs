@@ -1,0 +1,181 @@
+//! Gaussian statistics needed by the PCA anomaly detector.
+
+/// Inverse of the standard normal CDF (the probit function), computed
+/// with Acklam's rational approximation (relative error below 1.15e-9
+/// over the open unit interval).
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly between 0 and 1.
+///
+/// # Example
+///
+/// ```
+/// use logparse_linalg::inverse_normal_cdf;
+///
+/// assert!(inverse_normal_cdf(0.5).abs() < 1e-12);
+/// assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-4);
+/// ```
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "probability must lie strictly inside (0, 1), got {p}"
+    );
+
+    // Coefficients for Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The Jackson–Mudholkar threshold `Q_α` on the squared prediction error
+/// of a PCA residual, as used by Xu et al. (SOSP'09) and reproduced in
+/// the DSN'16 study with `α = 0.001`.
+///
+/// `residual_eigenvalues` are the eigenvalues of the covariance matrix
+/// **not** captured by the selected principal components (λ_{k+1} … λ_n);
+/// `alpha` is the false-positive rate, giving a `(1 − α)` confidence
+/// level. Returns 0 when the residual space is empty or carries no
+/// variance (any positive SPE is then anomalous).
+///
+/// # Panics
+///
+/// Panics if `alpha` is not strictly between 0 and 1.
+pub fn q_statistic_threshold(residual_eigenvalues: &[f64], alpha: f64) -> f64 {
+    let phi1: f64 = residual_eigenvalues.iter().sum();
+    let phi2: f64 = residual_eigenvalues.iter().map(|l| l * l).sum();
+    let phi3: f64 = residual_eigenvalues.iter().map(|l| l * l * l).sum();
+    if phi1 <= 0.0 || phi2 <= 0.0 {
+        return 0.0;
+    }
+    let h0 = 1.0 - 2.0 * phi1 * phi3 / (3.0 * phi2 * phi2);
+    let c_alpha = inverse_normal_cdf(1.0 - alpha);
+    let term = c_alpha * (2.0 * phi2 * h0 * h0).sqrt() / phi1 + 1.0
+        + phi2 * h0 * (h0 - 1.0) / (phi1 * phi1);
+    if term <= 0.0 {
+        // The approximation can underflow for degenerate spectra; fall
+        // back to the dominant residual variance scale.
+        return phi1;
+    }
+    phi1 * term.powf(1.0 / h0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probit_matches_known_quantiles() {
+        let cases = [
+            (0.5, 0.0),
+            (0.8413447, 1.0),
+            (0.9772499, 2.0),
+            (0.0013499, -3.0),
+            (0.999, 3.0902),
+        ];
+        for (p, z) in cases {
+            assert!(
+                (inverse_normal_cdf(p) - z).abs() < 1e-3,
+                "p={p}: {} vs {z}",
+                inverse_normal_cdf(p)
+            );
+        }
+    }
+
+    #[test]
+    fn probit_is_antisymmetric() {
+        for p in [0.01, 0.1, 0.3, 0.45] {
+            let lo = inverse_normal_cdf(p);
+            let hi = inverse_normal_cdf(1.0 - p);
+            assert!((lo + hi).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn probit_is_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let z = inverse_normal_cdf(i as f64 / 1000.0);
+            assert!(z > prev);
+            prev = z;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn probit_rejects_zero() {
+        inverse_normal_cdf(0.0);
+    }
+
+    #[test]
+    fn q_threshold_is_zero_without_residual_variance() {
+        assert_eq!(q_statistic_threshold(&[], 0.001), 0.0);
+        assert_eq!(q_statistic_threshold(&[0.0, 0.0], 0.001), 0.0);
+    }
+
+    #[test]
+    fn q_threshold_grows_with_residual_variance() {
+        let small = q_statistic_threshold(&[0.1, 0.05], 0.001);
+        let large = q_statistic_threshold(&[1.0, 0.5], 0.001);
+        assert!(large > small);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn q_threshold_shrinks_with_larger_alpha() {
+        let strict = q_statistic_threshold(&[1.0, 0.5, 0.2], 0.001);
+        let loose = q_statistic_threshold(&[1.0, 0.5, 0.2], 0.05);
+        assert!(strict > loose);
+    }
+
+    #[test]
+    fn q_threshold_covers_typical_gaussian_spe() {
+        // Residual space of 3 unit-variance dimensions: SPE of Gaussian
+        // noise has mean 3; the 99.9% threshold must sit well above it.
+        let t = q_statistic_threshold(&[1.0, 1.0, 1.0], 0.001);
+        assert!(t > 3.0, "{t}");
+        assert!(t < 50.0, "{t}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Deployment verification (Shang et al., ICSE'13), the second log-mining
+//! task described in §III-A of the study.
+//!
+//! Big-data applications are developed in a small *pseudo-cloud* and then
+//! deployed at scale. Both environments emit logs; comparing the **event
+//! sequences** per execution unit (job, block, request) and reporting
+//! only sequences unseen during development drastically cuts the log
+//! volume a developer must inspect. A bad log parser produces wrong
+//! event sequences and destroys that reduction — the effect measured in
+//! the extension experiments.
+
+use std::collections::HashSet;
+
+/// Outcome of comparing deployment-phase event sequences against
+/// development-phase ones.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// Distinct deployment sequences not observed in development, in
+    /// first-appearance order.
+    pub new_sequences: Vec<Vec<usize>>,
+    /// Number of deployment sessions whose sequence was already known.
+    pub matched_sessions: usize,
+    /// Number of deployment sessions flagged for inspection.
+    pub flagged_sessions: usize,
+}
+
+impl DeploymentReport {
+    /// Fraction of deployment sessions the developer does **not** need to
+    /// inspect — the paper's "reduction effect". 1.0 when everything
+    /// matched; 0.0 when every session is new (or there were none).
+    pub fn reduction(&self) -> f64 {
+        let total = self.matched_sessions + self.flagged_sessions;
+        if total == 0 {
+            0.0
+        } else {
+            self.matched_sessions as f64 / total as f64
+        }
+    }
+}
+
+/// Compares per-session event sequences between a development corpus and
+/// a deployment corpus.
+///
+/// Each session is the ordered sequence of event ids of its messages
+/// (build them by grouping a parse's assignments by session). Sequences
+/// are compared exactly, as in the original approach.
+///
+/// # Example
+///
+/// ```
+/// use logparse_mining::verify_deployment;
+///
+/// let dev: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![0, 2]];
+/// let prod: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![0, 1, 1, 2], vec![0, 2]];
+/// let report = verify_deployment(&dev, &prod);
+/// assert_eq!(report.new_sequences, vec![vec![0, 1, 1, 2]]);
+/// assert_eq!(report.flagged_sessions, 1);
+/// assert!((report.reduction() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn verify_deployment(development: &[Vec<usize>], deployment: &[Vec<usize>]) -> DeploymentReport {
+    let known: HashSet<&[usize]> = development.iter().map(Vec::as_slice).collect();
+    let mut new_set: HashSet<&[usize]> = HashSet::new();
+    let mut new_sequences = Vec::new();
+    let mut matched = 0;
+    let mut flagged = 0;
+    for session in deployment {
+        if known.contains(session.as_slice()) {
+            matched += 1;
+        } else {
+            flagged += 1;
+            if new_set.insert(session.as_slice()) {
+                new_sequences.push(session.clone());
+            }
+        }
+    }
+    DeploymentReport {
+        new_sequences,
+        matched_sessions: matched,
+        flagged_sessions: flagged,
+    }
+}
+
+/// Groups a flat list of `(session, event)` observations into per-session
+/// event sequences, preserving message order. Sessions must be dense
+/// indices `0..session_count`. Messages without an event (outliers) are
+/// recorded as `usize::MAX`, making any sequence containing them compare
+/// unequal to clean ones — the conservative choice for verification.
+///
+/// # Panics
+///
+/// Panics if any session index is `>= session_count`.
+pub fn sequences_by_session(
+    observations: impl IntoIterator<Item = (usize, Option<usize>)>,
+    session_count: usize,
+) -> Vec<Vec<usize>> {
+    let mut sequences = vec![Vec::new(); session_count];
+    for (session, event) in observations {
+        assert!(session < session_count, "session {session} out of range");
+        sequences[session].push(event.unwrap_or(usize::MAX));
+    }
+    sequences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_environments_need_no_inspection() {
+        let dev = vec![vec![0, 1], vec![2]];
+        let report = verify_deployment(&dev, &dev);
+        assert!(report.new_sequences.is_empty());
+        assert_eq!(report.reduction(), 1.0);
+    }
+
+    #[test]
+    fn novel_sequences_are_deduplicated_but_sessions_counted() {
+        let dev = vec![vec![0]];
+        let prod = vec![vec![1], vec![1], vec![0]];
+        let report = verify_deployment(&dev, &prod);
+        assert_eq!(report.new_sequences.len(), 1);
+        assert_eq!(report.flagged_sessions, 2);
+        assert_eq!(report.matched_sessions, 1);
+    }
+
+    #[test]
+    fn empty_deployment_has_zero_reduction() {
+        let report = verify_deployment(&[vec![0]], &[]);
+        assert_eq!(report.reduction(), 0.0);
+    }
+
+    #[test]
+    fn order_matters_in_sequences() {
+        let dev = vec![vec![0, 1]];
+        let prod = vec![vec![1, 0]];
+        let report = verify_deployment(&dev, &prod);
+        assert_eq!(report.flagged_sessions, 1);
+    }
+
+    #[test]
+    fn sequences_by_session_groups_in_order() {
+        let obs = vec![(0, Some(5)), (1, Some(7)), (0, Some(6)), (1, None)];
+        let seqs = sequences_by_session(obs, 2);
+        assert_eq!(seqs[0], vec![5, 6]);
+        assert_eq!(seqs[1], vec![7, usize::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_session_index_panics() {
+        sequences_by_session(vec![(5, Some(0))], 2);
+    }
+}

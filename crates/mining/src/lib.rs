@@ -1,0 +1,66 @@
+//! Log-mining tasks over parsed logs, reproducing the three tasks the
+//! DSN'16 study describes in §III:
+//!
+//! * **Anomaly detection** (Xu et al., SOSP'09 — the study's RQ3 case
+//!   study): [`event_count_matrix`] → [`tfidf_weight`] → [`PcaDetector`];
+//! * **Deployment verification** (Shang et al., ICSE'13):
+//!   [`verify_deployment`] compares per-session event sequences between
+//!   environments;
+//! * **System model construction** (Beschastnikh et al., ESEC/FSE'11 —
+//!   Synoptic): [`FsmModel`] mines a finite state machine from event
+//!   sequences.
+//!
+//! All three consume the parser-agnostic [`logparse_core::Parse`], which
+//! is how the study measures the downstream effect of parser choice
+//! (Findings 5 and 6).
+//!
+//! # Example — the full RQ3 pipeline on a toy corpus
+//!
+//! ```
+//! use logparse_core::{ParseBuilder, Template};
+//! use logparse_mining::{event_count_matrix, PcaDetector, PcaDetectorConfig};
+//!
+//! // 200 normal sessions log "tick" and "tock" a correlated number of
+//! // times; session 200 replaces its tocks with "boom".
+//! let mut assignments = Vec::new(); // (session, event) observations
+//! for s in 0..200usize {
+//!     for _ in 0..(1 + s % 10) {
+//!         assignments.push((s, 0));
+//!         assignments.push((s, 1));
+//!     }
+//! }
+//! for _ in 0..5 { assignments.push((200, 0)); }
+//! for _ in 0..6 { assignments.push((200, 2)); }
+//!
+//! let mut b = ParseBuilder::new(assignments.len());
+//! let events = [
+//!     b.add_template(Template::from_pattern("tick *")),
+//!     b.add_template(Template::from_pattern("tock *")),
+//!     b.add_template(Template::from_pattern("boom *")),
+//! ];
+//! for (i, &(_, e)) in assignments.iter().enumerate() {
+//!     b.assign(i, events[e]);
+//! }
+//! let session_of: Vec<usize> = assignments.iter().map(|&(s, _)| s).collect();
+//! let counts = event_count_matrix(&b.build(), &session_of, 201);
+//! let config = PcaDetectorConfig { tfidf: false, ..Default::default() };
+//! let report = PcaDetector::new(config).detect(&counts);
+//! assert!(report.flagged.contains(&200));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anomaly;
+mod deployment;
+mod invariants;
+mod matrix;
+mod model;
+mod tfidf;
+
+pub use anomaly::{AnomalyReport, PcaDetector, PcaDetectorConfig};
+pub use deployment::{sequences_by_session, verify_deployment, DeploymentReport};
+pub use invariants::{Invariant, InvariantMiner, InvariantMinerConfig, InvariantModel};
+pub use matrix::{event_count_matrix, truth_count_matrix};
+pub use model::{FsmModel, State};
+pub use tfidf::tfidf_weight;

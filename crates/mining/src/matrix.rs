@@ -1,0 +1,152 @@
+//! Event-count matrix generation — the bridge between log parsing and
+//! log mining.
+//!
+//! Following §III-B of the study: each row of the matrix represents one
+//! session (a block, in the HDFS task), each column one event type, and
+//! cell `(i, j)` counts how many times event `j` occurred in session `i`.
+//! The matrix is built in one pass over the structured log.
+
+use logparse_core::Parse;
+use logparse_linalg::Matrix;
+
+/// Builds the session × event count matrix from a parse.
+///
+/// `session_of[i]` gives the session (row) of message `i`; sessions are
+/// dense indices `0..session_count`. Outlier messages (no event) and, if
+/// the parse discovered no events at all, whole sessions of outliers
+/// simply contribute nothing — exactly how a bad parser corrupts the
+/// matrix in the paper's Finding 5 mechanism.
+///
+/// # Panics
+///
+/// Panics if `session_of.len()` differs from `parse.len()`, or if any
+/// session index is `>= session_count`.
+///
+/// # Example
+///
+/// ```
+/// use logparse_core::{ParseBuilder, Template};
+/// use logparse_mining::event_count_matrix;
+///
+/// let mut b = ParseBuilder::new(3);
+/// let e0 = b.add_template(Template::from_pattern("open *"));
+/// let e1 = b.add_template(Template::from_pattern("close *"));
+/// b.assign(0, e0);
+/// b.assign(1, e0);
+/// b.assign(2, e1);
+/// let parse = b.build();
+/// // messages 0 and 2 belong to session 0, message 1 to session 1
+/// let m = event_count_matrix(&parse, &[0, 1, 0], 2);
+/// assert_eq!(m[(0, 0)], 1.0); // session 0 saw "open *" once
+/// assert_eq!(m[(0, 1)], 1.0); // ... and "close *" once
+/// assert_eq!(m[(1, 0)], 1.0);
+/// ```
+pub fn event_count_matrix(parse: &Parse, session_of: &[usize], session_count: usize) -> Matrix {
+    assert_eq!(
+        session_of.len(),
+        parse.len(),
+        "one session index per parsed message"
+    );
+    let mut matrix = Matrix::zeros(session_count, parse.event_count());
+    for (msg, assignment) in parse.assignments().iter().enumerate() {
+        let session = session_of[msg];
+        assert!(
+            session < session_count,
+            "session index {session} out of range ({session_count} sessions)"
+        );
+        if let Some(event) = assignment {
+            matrix[(session, event.index())] += 1.0;
+        }
+    }
+    matrix
+}
+
+/// Builds the matrix from ground-truth labels instead of a parse — the
+/// paper's *Ground truth* row in Table III.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any index is out of
+/// range.
+pub fn truth_count_matrix(
+    labels: &[usize],
+    event_count: usize,
+    session_of: &[usize],
+    session_count: usize,
+) -> Matrix {
+    assert_eq!(labels.len(), session_of.len(), "aligned label/session slices");
+    let mut matrix = Matrix::zeros(session_count, event_count);
+    for (&event, &session) in labels.iter().zip(session_of) {
+        assert!(event < event_count, "event index {event} out of range");
+        assert!(session < session_count, "session index {session} out of range");
+        matrix[(session, event)] += 1.0;
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logparse_core::{EventId, ParseBuilder, Template};
+
+    fn parse_with_assignments(n: usize, events: usize, assign: &[(usize, usize)]) -> Parse {
+        let mut b = ParseBuilder::new(n);
+        let ids: Vec<EventId> = (0..events)
+            .map(|i| b.add_template(Template::from_pattern(&format!("event {i} *"))))
+            .collect();
+        for &(msg, ev) in assign {
+            b.assign(msg, ids[ev]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn counts_accumulate_per_session() {
+        let parse = parse_with_assignments(4, 2, &[(0, 0), (1, 0), (2, 1), (3, 0)]);
+        let m = event_count_matrix(&parse, &[0, 0, 0, 1], 2);
+        assert_eq!(m[(0, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 1.0);
+        assert_eq!(m[(1, 0)], 1.0);
+        assert_eq!(m[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn outliers_contribute_nothing() {
+        let parse = parse_with_assignments(3, 1, &[(0, 0)]);
+        let m = event_count_matrix(&parse, &[0, 0, 1], 2);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m.row(1), &[0.0]);
+    }
+
+    #[test]
+    fn empty_sessions_are_zero_rows() {
+        let parse = parse_with_assignments(1, 1, &[(0, 0)]);
+        let m = event_count_matrix(&parse, &[2], 5);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.row(0), &[0.0]);
+        assert_eq!(m.row(2), &[1.0]);
+    }
+
+    #[test]
+    fn truth_matrix_matches_labels() {
+        let m = truth_count_matrix(&[0, 1, 1, 2], 3, &[0, 0, 1, 1], 2);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 1.0);
+        assert_eq!(m[(1, 1)], 1.0);
+        assert_eq!(m[(1, 2)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one session index per parsed message")]
+    fn mismatched_lengths_panic() {
+        let parse = parse_with_assignments(2, 1, &[]);
+        event_count_matrix(&parse, &[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_session_panics() {
+        let parse = parse_with_assignments(1, 1, &[(0, 0)]);
+        event_count_matrix(&parse, &[3], 2);
+    }
+}

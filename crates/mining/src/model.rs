@@ -1,0 +1,192 @@
+//! System model construction (Beschastnikh et al., ESEC/FSE'11 —
+//! *Synoptic*), the third log-mining task described in §III-A of the
+//! study.
+//!
+//! Synoptic builds a finite state machine over parsed log events: states
+//! are event types plus synthetic *initial*/*terminal* states, and edges
+//! are the transitions observed in the per-session event sequences. An
+//! unsuitable log parser splits or merges event types, which shows up as
+//! extra states and spurious branches — exactly the degradation the
+//! extension experiments measure by diffing models built from different
+//! parses.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A state of the [`FsmModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum State {
+    /// Synthetic start state, before the first event of a session.
+    Initial,
+    /// An observed event type.
+    Event(usize),
+    /// Synthetic end state, after the last event of a session.
+    Terminal,
+}
+
+/// A finite state machine mined from per-session event sequences.
+///
+/// # Example
+///
+/// ```
+/// use logparse_mining::{FsmModel, State};
+///
+/// let traces = vec![vec![0, 1, 2], vec![0, 2]];
+/// let model = FsmModel::from_traces(&traces);
+/// assert!(model.accepts(&[0, 1, 2]));
+/// assert!(model.accepts(&[0, 2]));
+/// assert!(!model.accepts(&[1, 0])); // no Initial→1 or 1→0 edge observed
+/// assert_eq!(model.edge_weight(State::Initial, State::Event(0)), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsmModel {
+    /// Transition → observation count; `BTreeMap` keeps iteration
+    /// deterministic for model diffs.
+    edges: BTreeMap<(State, State), usize>,
+}
+
+impl FsmModel {
+    /// Mines the model from event-sequence traces. Empty traces
+    /// contribute a single `Initial → Terminal` edge.
+    pub fn from_traces(traces: &[Vec<usize>]) -> Self {
+        let mut edges: BTreeMap<(State, State), usize> = BTreeMap::new();
+        for trace in traces {
+            let mut prev = State::Initial;
+            for &event in trace {
+                *edges.entry((prev, State::Event(event))).or_insert(0) += 1;
+                prev = State::Event(event);
+            }
+            *edges.entry((prev, State::Terminal)).or_insert(0) += 1;
+        }
+        FsmModel { edges }
+    }
+
+    /// Number of distinct states (including `Initial`/`Terminal` when any
+    /// trace was observed).
+    pub fn state_count(&self) -> usize {
+        let mut states: BTreeSet<State> = BTreeSet::new();
+        for &(from, to) in self.edges.keys() {
+            states.insert(from);
+            states.insert(to);
+        }
+        states.len()
+    }
+
+    /// Number of distinct transitions.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Observation count of one transition (0 when never observed).
+    pub fn edge_weight(&self, from: State, to: State) -> usize {
+        self.edges.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Whether a full session trace is explained by the model: every
+    /// consecutive transition — including entry and exit — was observed.
+    pub fn accepts(&self, trace: &[usize]) -> bool {
+        let mut prev = State::Initial;
+        for &event in trace {
+            if self.edge_weight(prev, State::Event(event)) == 0 {
+                return false;
+            }
+            prev = State::Event(event);
+        }
+        self.edge_weight(prev, State::Terminal) > 0
+    }
+
+    /// Transitions present in `self` but not in `other` — the "extra
+    /// branches" a bad parse introduces relative to the ground-truth
+    /// model.
+    pub fn extra_edges(&self, other: &FsmModel) -> Vec<(State, State)> {
+        self.edges
+            .keys()
+            .filter(|k| !other.edges.contains_key(*k))
+            .copied()
+            .collect()
+    }
+
+    /// Structural distance between two models: the size of the symmetric
+    /// difference of their edge sets, normalized by the size of the
+    /// union. 0.0 for identical structure, 1.0 for disjoint.
+    pub fn structural_distance(&self, other: &FsmModel) -> f64 {
+        let a: BTreeSet<&(State, State)> = self.edges.keys().collect();
+        let b: BTreeSet<&(State, State)> = other.edges.keys().collect();
+        let union = a.union(&b).count();
+        if union == 0 {
+            return 0.0;
+        }
+        let symmetric_difference = a.symmetric_difference(&b).count();
+        symmetric_difference as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_trace_produces_chain() {
+        let model = FsmModel::from_traces(&[vec![0, 1, 2]]);
+        assert_eq!(model.edge_count(), 4); // I→0, 0→1, 1→2, 2→T
+        assert_eq!(model.state_count(), 5);
+        assert!(model.accepts(&[0, 1, 2]));
+        assert!(!model.accepts(&[0, 2]));
+    }
+
+    #[test]
+    fn branching_traces_share_states() {
+        let model = FsmModel::from_traces(&[vec![0, 1, 3], vec![0, 2, 3]]);
+        assert_eq!(model.edge_weight(State::Initial, State::Event(0)), 2);
+        assert!(model.accepts(&[0, 1, 3]));
+        assert!(model.accepts(&[0, 2, 3]));
+        // Cross-branch mixtures are only accepted if each hop exists:
+        assert!(!model.accepts(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_trace_gives_initial_to_terminal() {
+        let model = FsmModel::from_traces(&[vec![]]);
+        assert_eq!(model.edge_count(), 1);
+        assert!(model.accepts(&[]));
+    }
+
+    #[test]
+    fn extra_edges_detects_spurious_branches() {
+        let truth = FsmModel::from_traces(&[vec![0, 1]]);
+        let noisy = FsmModel::from_traces(&[vec![0, 1], vec![0, 5, 1]]);
+        let extra = noisy.extra_edges(&truth);
+        assert!(extra.contains(&(State::Event(0), State::Event(5))));
+        assert!(extra.contains(&(State::Event(5), State::Event(1))));
+        assert!(truth.extra_edges(&noisy).is_empty());
+    }
+
+    #[test]
+    fn structural_distance_is_zero_for_identical_models() {
+        let a = FsmModel::from_traces(&[vec![0, 1], vec![0, 2]]);
+        let b = FsmModel::from_traces(&[vec![0, 2], vec![0, 1]]);
+        assert_eq!(a.structural_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn structural_distance_is_one_for_disjoint_models() {
+        let a = FsmModel::from_traces(&[vec![0]]);
+        let b = FsmModel::from_traces(&[vec![1]]);
+        assert!((a.structural_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_grows_with_divergence() {
+        let truth = FsmModel::from_traces(&[vec![0, 1, 2]]);
+        let slightly = FsmModel::from_traces(&[vec![0, 1, 2], vec![0, 3]]);
+        let very = FsmModel::from_traces(&[vec![7, 8], vec![9]]);
+        assert!(truth.structural_distance(&slightly) < truth.structural_distance(&very));
+    }
+
+    #[test]
+    fn empty_models_have_zero_distance() {
+        let a = FsmModel::from_traces(&[]);
+        let b = FsmModel::from_traces(&[]);
+        assert_eq!(a.structural_distance(&b), 0.0);
+        assert_eq!(a.state_count(), 0);
+    }
+}

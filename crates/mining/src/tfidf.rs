@@ -1,0 +1,112 @@
+//! TF-IDF weighting of the event-count matrix.
+//!
+//! As in §III-B of the study (following Xu et al.), the raw event-count
+//! matrix is reweighted before PCA so that ubiquitous event types — which
+//! carry little anomaly signal — get lower weight: each cell is scaled by
+//! the *inverse document frequency* of its column,
+//! `idf(j) = ln(N / df(j))`, where `df(j)` is the number of sessions in
+//! which event `j` occurs at least once.
+
+use logparse_linalg::Matrix;
+
+/// Applies TF-IDF weighting to a session × event count matrix, returning
+/// the weighted copy.
+///
+/// Columns that occur in every session receive weight `ln(1) = 0` and are
+/// effectively dropped; columns that never occur stay zero.
+///
+/// # Example
+///
+/// ```
+/// use logparse_linalg::Matrix;
+/// use logparse_mining::tfidf_weight;
+///
+/// let counts = Matrix::from_rows(&[
+///     vec![2.0, 1.0], // event 0 occurs in both sessions,
+///     vec![3.0, 0.0], // event 1 only in the first
+/// ]);
+/// let weighted = tfidf_weight(&counts);
+/// assert_eq!(weighted[(0, 0)], 0.0); // ubiquitous event zeroed
+/// assert!(weighted[(0, 1)] > 0.0);   // discriminative event kept
+/// ```
+pub fn tfidf_weight(counts: &Matrix) -> Matrix {
+    let (n, d) = (counts.rows(), counts.cols());
+    let mut out = Matrix::zeros(n, d);
+    if n == 0 {
+        return out;
+    }
+    let mut document_frequency = vec![0usize; d];
+    for i in 0..n {
+        for (j, &v) in counts.row(i).iter().enumerate() {
+            if v > 0.0 {
+                document_frequency[j] += 1;
+            }
+        }
+    }
+    let idf: Vec<f64> = document_frequency
+        .iter()
+        .map(|&df| {
+            if df == 0 {
+                0.0
+            } else {
+                (n as f64 / df as f64).ln()
+            }
+        })
+        .collect();
+    for i in 0..n {
+        for j in 0..d {
+            out[(i, j)] = counts[(i, j)] * idf[j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ubiquitous_columns_are_zeroed() {
+        let counts = Matrix::from_rows(&[vec![5.0], vec![1.0], vec![9.0]]);
+        let weighted = tfidf_weight(&counts);
+        for i in 0..3 {
+            assert_eq!(weighted[(i, 0)], 0.0);
+        }
+    }
+
+    #[test]
+    fn rare_columns_get_high_weight() {
+        let counts = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+        ]);
+        let weighted = tfidf_weight(&counts);
+        let idf = (4.0f64).ln(); // df = 1 of 4 sessions
+        assert!((weighted[(0, 1)] - idf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_columns_stay_zero() {
+        let counts = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 1.0]]);
+        let weighted = tfidf_weight(&counts);
+        assert_eq!(weighted[(0, 0)], 0.0);
+        assert_eq!(weighted[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn weighting_scales_linearly_with_counts() {
+        let counts = Matrix::from_rows(&[vec![2.0], vec![0.0]]);
+        let weighted = tfidf_weight(&counts);
+        let single = Matrix::from_rows(&[vec![1.0], vec![0.0]]);
+        let weighted_single = tfidf_weight(&single);
+        assert!((weighted[(0, 0)] - 2.0 * weighted_single[(0, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = tfidf_weight(&Matrix::zeros(0, 3));
+        assert_eq!(m.rows(), 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Drain — fixed-depth parse tree log parser (He, Zhu, Zheng, Lyu;
+//! ICWS 2017).
+//!
+//! Drain is **not** one of the four methods the DSN'16 study evaluates;
+//! it is the parser the authors' follow-on LogPAI toolkit added next, and
+//! is included here as an extension baseline for the ablation
+//! experiments. It routes each message through a fixed-depth prefix tree
+//! (first by token count, then by the first few tokens, with any token
+//! containing digits generalized to `*`), then joins the most similar
+//! leaf group if the positionwise similarity exceeds a threshold.
+//!
+//! Drain is an online algorithm; the batch [`LogParser`] impl here and
+//! the incremental [`crate::StreamingDrain`] share the same
+//! [`DrainTree`] state machine.
+
+use std::collections::HashMap;
+
+use logparse_core::{Corpus, EventId, LogParser, Parse, ParseBuilder, ParseError, Template};
+
+/// The Drain parser configuration. Construct via [`Drain::builder`].
+///
+/// # Example
+///
+/// ```
+/// use logparse_core::{Corpus, LogParser, Tokenizer};
+/// use logparse_parsers::Drain;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let corpus = Corpus::from_lines(
+///     ["send packet 1 to host7", "send packet 2 to host9"],
+///     &Tokenizer::default(),
+/// );
+/// let parse = Drain::default().parse(&corpus)?;
+/// assert_eq!(parse.event_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drain {
+    depth: usize,
+    similarity: f64,
+    max_children: usize,
+}
+
+impl Default for Drain {
+    fn default() -> Self {
+        Drain {
+            depth: 4,
+            similarity: 0.5,
+            max_children: 100,
+        }
+    }
+}
+
+impl Drain {
+    /// Starts building a Drain configuration.
+    pub fn builder() -> DrainBuilder {
+        DrainBuilder::default()
+    }
+}
+
+/// Builder for [`Drain`].
+#[derive(Debug, Clone, Default)]
+pub struct DrainBuilder {
+    depth: Option<usize>,
+    similarity: Option<f64>,
+    max_children: Option<usize>,
+}
+
+impl DrainBuilder {
+    /// Tree depth, counting the length layer and token layers (default 4,
+    /// i.e. two leading token layers).
+    #[must_use]
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.depth = Some(depth);
+        self
+    }
+
+    /// Similarity threshold for joining an existing leaf group
+    /// (default 0.5).
+    #[must_use]
+    pub fn similarity(mut self, similarity: f64) -> Self {
+        self.similarity = Some(similarity);
+        self
+    }
+
+    /// Maximum children per internal node before new token values fall
+    /// through to a `*` branch (default 100).
+    #[must_use]
+    pub fn max_children(mut self, max_children: usize) -> Self {
+        self.max_children = Some(max_children);
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> Drain {
+        let d = Drain::default();
+        Drain {
+            depth: self.depth.unwrap_or(d.depth),
+            similarity: self.similarity.unwrap_or(d.similarity),
+            max_children: self.max_children.unwrap_or(d.max_children),
+        }
+    }
+}
+
+/// A leaf group: the running template (`None` = wildcard) plus member
+/// observation indices.
+#[derive(Debug)]
+struct Group {
+    template: Vec<Option<String>>,
+    members: Vec<usize>,
+}
+
+fn tree_key_token(token: &str) -> &str {
+    if token.bytes().any(|b| b.is_ascii_digit()) {
+        "*"
+    } else {
+        token
+    }
+}
+
+/// Positionwise similarity between a group template and a message of the
+/// same length: wildcards count as half a match, mirroring Drain's
+/// `seqDist` treatment that discourages all-wildcard templates.
+fn similarity(template: &[Option<String>], tokens: &[String]) -> f64 {
+    if template.is_empty() {
+        return 1.0;
+    }
+    let mut score = 0.0;
+    for (slot, token) in template.iter().zip(tokens) {
+        match slot {
+            Some(text) if text == token => score += 1.0,
+            Some(_) => {}
+            None => score += 0.5,
+        }
+    }
+    score / template.len() as f64
+}
+
+/// Drain's incremental state: the fixed-depth tree plus the dense group
+/// list. Shared by the batch parser and [`crate::StreamingDrain`].
+#[derive(Debug)]
+pub(crate) struct DrainTree {
+    config: Drain,
+    /// Internal path `(length, generalized prefix)` → group ids.
+    leaves: HashMap<(usize, Vec<String>), Vec<usize>>,
+    /// Distinct prefix paths per message length, for the `max_children`
+    /// cap: once a length bucket has that many paths, unseen token
+    /// values fall through to the `*` branch instead of minting new
+    /// paths (Drain's defence against parameter-led head tokens).
+    paths_per_length: HashMap<usize, usize>,
+    groups: Vec<Group>,
+    observed: usize,
+}
+
+impl DrainTree {
+    /// Validates the configuration and creates an empty tree.
+    pub(crate) fn new(config: Drain) -> Result<Self, ParseError> {
+        if !(0.0..=1.0).contains(&config.similarity) {
+            return Err(ParseError::InvalidConfig {
+                parameter: "similarity",
+                reason: format!("{} must lie in [0, 1]", config.similarity),
+            });
+        }
+        if config.depth < 2 {
+            return Err(ParseError::InvalidConfig {
+                parameter: "depth",
+                reason: "depth counts the length layer and must be at least 2".into(),
+            });
+        }
+        Ok(DrainTree {
+            config,
+            leaves: HashMap::new(),
+            paths_per_length: HashMap::new(),
+            groups: Vec::new(),
+            observed: 0,
+        })
+    }
+
+    /// Routes one message through the tree, joining or creating a group.
+    /// Returns the group id (dense, stable, in creation order).
+    pub(crate) fn observe(&mut self, tokens: &[String]) -> usize {
+        let message_index = self.observed;
+        self.observed += 1;
+        let token_layers = self.config.depth - 2;
+        let mut path = Vec::with_capacity(token_layers);
+        for layer in 0..token_layers.min(tokens.len()) {
+            path.push(tree_key_token(&tokens[layer]).to_owned());
+        }
+        // max_children cap: a new path only opens while the length
+        // bucket has room; otherwise the message falls through to the
+        // all-wildcard branch.
+        if !self.leaves.contains_key(&(tokens.len(), path.clone())) {
+            let opened = self.paths_per_length.entry(tokens.len()).or_insert(0);
+            if *opened >= self.config.max_children {
+                for slot in &mut path {
+                    *slot = "*".to_owned();
+                }
+            } else {
+                *opened += 1;
+            }
+        }
+        let leaf = self.leaves.entry((tokens.len(), path)).or_default();
+        let best = leaf
+            .iter()
+            .map(|&id| (similarity(&self.groups[id].template, tokens), id))
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("similarity is finite"));
+        match best {
+            Some((score, id)) if score >= self.config.similarity => {
+                let group = &mut self.groups[id];
+                for (slot, token) in group.template.iter_mut().zip(tokens) {
+                    if slot.as_deref() != Some(token.as_str()) {
+                        *slot = None;
+                    }
+                }
+                group.members.push(message_index);
+                id
+            }
+            _ => {
+                let id = self.groups.len();
+                self.groups.push(Group {
+                    template: tokens.iter().map(|t| Some(t.clone())).collect(),
+                    members: vec![message_index],
+                });
+                leaf.push(id);
+                id
+            }
+        }
+    }
+
+    pub(crate) fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub(crate) fn group_template(&self, id: usize) -> Option<&[Option<String>]> {
+        self.groups.get(id).map(|g| g.template.as_slice())
+    }
+}
+
+impl LogParser for Drain {
+    fn name(&self) -> &'static str {
+        "Drain"
+    }
+
+    fn parse(&self, corpus: &Corpus) -> Result<Parse, ParseError> {
+        let mut tree = DrainTree::new(self.clone())?;
+        for idx in 0..corpus.len() {
+            tree.observe(corpus.tokens(idx));
+        }
+        let mut builder = ParseBuilder::new(corpus.len());
+        for group in tree.groups {
+            let template = Template::new(
+                group
+                    .template
+                    .into_iter()
+                    .map(|slot| match slot {
+                        Some(text) => logparse_core::TemplateToken::Literal(text),
+                        None => logparse_core::TemplateToken::Wildcard,
+                    })
+                    .collect(),
+            );
+            let event: EventId = builder.add_template(template);
+            builder.assign_cluster(&group.members, event);
+        }
+        Ok(builder.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logparse_core::Tokenizer;
+
+    fn corpus(lines: &[&str]) -> Corpus {
+        Corpus::from_lines(lines, &Tokenizer::default())
+    }
+
+    #[test]
+    fn digit_bearing_tokens_share_a_tree_branch() {
+        let c = corpus(&["send packet 1 now", "send packet 2 now"]);
+        let parse = Drain::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 1);
+        assert_eq!(parse.templates()[0].to_string(), "send packet * now");
+    }
+
+    #[test]
+    fn different_lengths_split() {
+        let c = corpus(&["a b c", "a b c d"]);
+        let parse = Drain::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 2);
+    }
+
+    #[test]
+    fn dissimilar_messages_with_same_prefix_split() {
+        let c = corpus(&[
+            "server worker spawned ok fine",
+            "server worker crashed with error",
+        ]);
+        let parse = Drain::builder().similarity(0.7).build().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 2);
+    }
+
+    #[test]
+    fn template_updates_accumulate_wildcards() {
+        let c = corpus(&[
+            "conn from 10.0.0.1 port 80",
+            "conn from 10.0.0.2 port 80",
+            "conn from 10.0.0.3 port 443",
+        ]);
+        let parse = Drain::builder().similarity(0.5).build().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 1);
+        assert_eq!(parse.templates()[0].to_string(), "conn from * port *");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let c = corpus(&["a"]);
+        assert!(Drain::builder().similarity(2.0).build().parse(&c).is_err());
+        assert!(Drain::builder().depth(1).build().parse(&c).is_err());
+    }
+
+    #[test]
+    fn empty_corpus_parses_to_empty() {
+        let parse = Drain::default().parse(&corpus(&[])).unwrap();
+        assert!(parse.is_empty());
+    }
+
+    #[test]
+    fn no_outliers_ever() {
+        let c = corpus(&["x", "completely different message", "x y z"]);
+        let parse = Drain::default().parse(&c).unwrap();
+        assert_eq!(parse.outlier_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let c = corpus(&["a 1 b", "a 2 b", "c d e", "c d f"]);
+        let p = Drain::default();
+        assert_eq!(p.parse(&c).unwrap(), p.parse(&c).unwrap());
+    }
+
+    #[test]
+    fn max_children_folds_excess_paths_to_wildcard() {
+        // With one path allowed per length, the second distinct head
+        // falls through to the "*" branch; similarity then decides
+        // whether the messages merge.
+        let c = corpus(&["alpha x y z", "beta x y z", "gamma x y z"]);
+        let capped = Drain::builder().max_children(1).build().parse(&c).unwrap();
+        // All three share 3 of 4 tokens, so the wildcard branch merges
+        // the two fallthrough messages with similarity 0.75 >= 0.5 —
+        // while the uncapped tree keeps three separate paths.
+        let uncapped = Drain::default().parse(&c).unwrap();
+        assert!(capped.event_count() < uncapped.event_count());
+    }
+
+    #[test]
+    fn group_ids_are_creation_ordered() {
+        let mut tree = DrainTree::new(Drain::default()).unwrap();
+        let toks = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
+        assert_eq!(tree.observe(&toks("a b")), 0);
+        assert_eq!(tree.observe(&toks("c d e")), 1);
+        assert_eq!(tree.observe(&toks("a b")), 0);
+        assert_eq!(tree.group_count(), 2);
+        assert!(tree.group_template(0).is_some());
+        assert!(tree.group_template(9).is_none());
+    }
+}

@@ -1,0 +1,598 @@
+//! IPLoM — Iterative Partitioning Log Mining (Makanju, Zincir-Heywood,
+//! Milios; KDD 2009 / TKDE 2012).
+//!
+//! IPLoM partitions the corpus hierarchically using heuristics designed
+//! around the structure of log messages, then emits one template per leaf
+//! partition:
+//!
+//! 1. **Partition by event size** — messages with different token counts
+//!    cannot share an event.
+//! 2. **Partition by token position** — within a partition, split on the
+//!    token values at the position with the fewest unique tokens (the
+//!    position most likely to be constant per event).
+//! 3. **Partition by search for bijection** — pick two heuristically
+//!    chosen positions and split according to the mapping relation
+//!    (1–1, 1–M, M–1, M–M) between their token values.
+//! 4. **Template generation** — positionwise: unique token ⇒ literal,
+//!    otherwise wildcard.
+//!
+//! The thresholds (`partition support`, `cluster goodness`, `lower/upper
+//! bound`) follow the original paper; partitions that fall below the
+//! partition-support threshold at any step are diverted to the outlier
+//! set, matching the reference implementation.
+
+use std::collections::{HashMap, HashSet};
+
+use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError};
+
+/// The IPLoM parser. Construct via [`Iplom::builder`].
+///
+/// Defaults follow the original paper's recommended operating point:
+/// cluster-goodness threshold 0.35, lower bound 0.25, upper bound 0.9,
+/// partition support threshold 0 (no pruning).
+///
+/// # Example
+///
+/// ```
+/// use logparse_core::{Corpus, LogParser, Tokenizer};
+/// use logparse_parsers::Iplom;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let corpus = Corpus::from_lines(
+///     [
+///         "Verification succeeded for blk_1",
+///         "Verification succeeded for blk_2",
+///         "Deleting block blk_1 file /data/1",
+///         "Deleting block blk_2 file /data/2",
+///     ],
+///     &Tokenizer::default(),
+/// );
+/// let parse = Iplom::default().parse(&corpus)?;
+/// assert_eq!(parse.event_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Iplom {
+    partition_support: f64,
+    cluster_goodness: f64,
+    lower_bound: f64,
+    upper_bound: f64,
+}
+
+impl Default for Iplom {
+    fn default() -> Self {
+        Iplom {
+            partition_support: 0.0,
+            cluster_goodness: 0.35,
+            lower_bound: 0.25,
+            upper_bound: 0.9,
+        }
+    }
+}
+
+impl Iplom {
+    /// Starts building an IPLoM configuration.
+    pub fn builder() -> IplomBuilder {
+        IplomBuilder::default()
+    }
+}
+
+/// Builder for [`Iplom`].
+#[derive(Debug, Clone, Default)]
+pub struct IplomBuilder {
+    partition_support: Option<f64>,
+    cluster_goodness: Option<f64>,
+    lower_bound: Option<f64>,
+    upper_bound: Option<f64>,
+}
+
+impl IplomBuilder {
+    /// Partitions whose relative size drops below this fraction of the
+    /// corpus are diverted to the outlier set (paper: *PST*; default 0).
+    #[must_use]
+    pub fn partition_support(mut self, threshold: f64) -> Self {
+        self.partition_support = Some(threshold);
+        self
+    }
+
+    /// A partition whose fraction of single-valued token positions exceeds
+    /// this is considered "good" and skips step 3 (paper: *CGT*;
+    /// default 0.35).
+    #[must_use]
+    pub fn cluster_goodness(mut self, threshold: f64) -> Self {
+        self.cluster_goodness = Some(threshold);
+        self
+    }
+
+    /// Lower bound of the 1–M/M–1 split decision (default 0.25).
+    #[must_use]
+    pub fn lower_bound(mut self, bound: f64) -> Self {
+        self.lower_bound = Some(bound);
+        self
+    }
+
+    /// Upper bound of the 1–M/M–1 split decision (default 0.9).
+    #[must_use]
+    pub fn upper_bound(mut self, bound: f64) -> Self {
+        self.upper_bound = Some(bound);
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> Iplom {
+        let d = Iplom::default();
+        Iplom {
+            partition_support: self.partition_support.unwrap_or(d.partition_support),
+            cluster_goodness: self.cluster_goodness.unwrap_or(d.cluster_goodness),
+            lower_bound: self.lower_bound.unwrap_or(d.lower_bound),
+            upper_bound: self.upper_bound.unwrap_or(d.upper_bound),
+        }
+    }
+}
+
+/// A partition is a set of message indices, all of equal token count after
+/// step 1.
+type Partition = Vec<usize>;
+
+/// Outcome of the step-3 rank-position decision for a 1–M relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SplitSide {
+    /// Split on the many-valued position (its values are constants).
+    Many,
+    /// Split on the single-valued position.
+    One,
+    /// No stable mapping: divert to the leftover (M–M) partition.
+    Leftover,
+}
+
+impl LogParser for Iplom {
+    fn name(&self) -> &'static str {
+        "IPLoM"
+    }
+
+    fn parse(&self, corpus: &Corpus) -> Result<Parse, ParseError> {
+        for (name, value) in [
+            ("partition_support", self.partition_support),
+            ("cluster_goodness", self.cluster_goodness),
+            ("lower_bound", self.lower_bound),
+            ("upper_bound", self.upper_bound),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ParseError::InvalidConfig {
+                    parameter: match name {
+                        "partition_support" => "partition_support",
+                        "cluster_goodness" => "cluster_goodness",
+                        "lower_bound" => "lower_bound",
+                        _ => "upper_bound",
+                    },
+                    reason: format!("{value} must lie in [0, 1]"),
+                });
+            }
+        }
+        if self.lower_bound >= self.upper_bound {
+            return Err(ParseError::InvalidConfig {
+                parameter: "lower_bound",
+                reason: format!(
+                    "lower bound {} must be below upper bound {}",
+                    self.lower_bound, self.upper_bound
+                ),
+            });
+        }
+
+        let n = corpus.len();
+        let mut builder = ParseBuilder::new(n);
+        if n == 0 {
+            return Ok(builder.build());
+        }
+        let min_partition = (self.partition_support * n as f64).ceil() as usize;
+
+        let step1 = partition_by_event_size(corpus);
+        let mut leaves: Vec<Partition> = Vec::new();
+        for partition in step1 {
+            if partition.len() < min_partition {
+                continue; // outliers
+            }
+            for p2 in self.partition_by_token_position(corpus, partition, min_partition) {
+                for p3 in self.partition_by_bijection(corpus, p2, min_partition) {
+                    leaves.push(p3);
+                }
+            }
+        }
+        leaves.sort_by_key(|p| p[0]);
+        for leaf in leaves {
+            builder.add_cluster(corpus, &leaf);
+        }
+        Ok(builder.build())
+    }
+}
+
+/// Step 1: group message indices by token count. Zero-length messages are
+/// dropped (they carry no content).
+fn partition_by_event_size(corpus: &Corpus) -> Vec<Partition> {
+    let mut by_len: HashMap<usize, Partition> = HashMap::new();
+    for (idx, tokens) in corpus.token_sequences().iter().enumerate() {
+        if !tokens.is_empty() {
+            by_len.entry(tokens.len()).or_default().push(idx);
+        }
+    }
+    let mut partitions: Vec<Partition> = by_len.into_values().collect();
+    partitions.sort_by_key(|p| p[0]);
+    partitions
+}
+
+/// Number of unique tokens at `position` across the partition.
+fn cardinality(corpus: &Corpus, partition: &[usize], position: usize) -> usize {
+    partition
+        .iter()
+        .map(|&i| corpus.tokens(i)[position].as_str())
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+/// Fraction of token positions with exactly one unique value.
+fn goodness(corpus: &Corpus, partition: &[usize]) -> f64 {
+    let len = corpus.tokens(partition[0]).len();
+    if len == 0 {
+        return 1.0;
+    }
+    let constant = (0..len)
+        .filter(|&p| cardinality(corpus, partition, p) == 1)
+        .count();
+    constant as f64 / len as f64
+}
+
+impl Iplom {
+    /// Step 2: split each partition on the token position with the lowest
+    /// cardinality, the position most likely to hold per-event constant
+    /// text (ties break towards the leftmost position). When the lowest
+    /// cardinality is 1 the partition already has a constant column and
+    /// the split would be a no-op, so it passes through unchanged and
+    /// step 3 takes over — the original algorithm's behaviour, and what
+    /// keeps low-cardinality *parameter* columns (thread ids, replica
+    /// numbers) from shattering an event.
+    fn partition_by_token_position(
+        &self,
+        corpus: &Corpus,
+        partition: Partition,
+        min_partition: usize,
+    ) -> Vec<Partition> {
+        let len = corpus.tokens(partition[0]).len();
+        if partition.len() <= 1 || len == 0 {
+            return vec![partition];
+        }
+        let (split_pos, min_card) = (0..len)
+            .map(|p| (p, cardinality(corpus, &partition, p)))
+            .min_by_key(|&(p, card)| (card, p))
+            .expect("len > 0");
+        if min_card <= 1 {
+            return vec![partition];
+        }
+        let mut groups: HashMap<&str, Partition> = HashMap::new();
+        for &i in &partition {
+            groups
+                .entry(corpus.tokens(i)[split_pos].as_str())
+                .or_default()
+                .push(i);
+        }
+        let mut out: Vec<Partition> = groups
+            .into_values()
+            .filter(|g| g.len() >= min_partition.max(1))
+            .collect();
+        out.sort_by_key(|p| p[0]);
+        out
+    }
+
+    /// Step 3: partition by search for mapping (bijection).
+    fn partition_by_bijection(
+        &self,
+        corpus: &Corpus,
+        partition: Partition,
+        min_partition: usize,
+    ) -> Vec<Partition> {
+        let len = corpus.tokens(partition[0]).len();
+        if partition.len() <= 1 || len < 2 {
+            return vec![partition];
+        }
+        if goodness(corpus, &partition) > self.cluster_goodness {
+            return vec![partition];
+        }
+        let Some((p1, p2)) = determine_p1_p2(corpus, &partition, len) else {
+            return vec![partition];
+        };
+
+        // Token co-occurrence sets between positions p1 and p2.
+        let mut forward: HashMap<&str, HashSet<&str>> = HashMap::new();
+        let mut backward: HashMap<&str, HashSet<&str>> = HashMap::new();
+        for &i in &partition {
+            let a = corpus.tokens(i)[p1].as_str();
+            let b = corpus.tokens(i)[p2].as_str();
+            forward.entry(a).or_default().insert(b);
+            backward.entry(b).or_default().insert(a);
+        }
+
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        enum Key<'a> {
+            ByP1(&'a str),
+            ByP2(&'a str),
+            ManyToMany,
+        }
+
+        let mut groups: HashMap<Key, Partition> = HashMap::new();
+        for &i in &partition {
+            let a = corpus.tokens(i)[p1].as_str();
+            let b = corpus.tokens(i)[p2].as_str();
+            let a_images = &forward[a];
+            let b_images = &backward[b];
+            let key = match (a_images.len(), b_images.len()) {
+                (1, 1) => Key::ByP1(a), // 1–1 relation
+                (m, 1) if m > 1 => {
+                    // 1–M seen from p1: decide which side is the constant.
+                    let lines = self.count_lines_with_p1(corpus, &partition, p1, a);
+                    match self.rank_position(a_images.len(), lines) {
+                        SplitSide::Many => Key::ByP2(b),
+                        SplitSide::One => Key::ByP1(a),
+                        SplitSide::Leftover => Key::ManyToMany,
+                    }
+                }
+                (1, m) if m > 1 => {
+                    // M–1 seen from p1 (i.e. 1–M seen from p2).
+                    let lines = self.count_lines_with_p2(corpus, &partition, p2, b);
+                    match self.rank_position(b_images.len(), lines) {
+                        SplitSide::Many => Key::ByP1(a),
+                        SplitSide::One => Key::ByP2(b),
+                        SplitSide::Leftover => Key::ManyToMany,
+                    }
+                }
+                _ => Key::ManyToMany,
+            };
+            groups.entry(key).or_default().push(i);
+        }
+        let mut out: Vec<Partition> = groups
+            .into_values()
+            .filter(|g| g.len() >= min_partition.max(1))
+            .collect();
+        out.sort_by_key(|p| p[0]);
+        out
+    }
+
+    /// The paper's `Get_Rank_Position` heuristic: given the cardinality of
+    /// the "many" side of a 1–M relation and the number of lines
+    /// participating in it, decide how to split.
+    ///
+    /// * `distance = cardinality / lines <= lower_bound` — few distinct
+    ///   values over many lines: the many side looks like per-event
+    ///   constants, split on it ([`SplitSide::Many`]);
+    /// * `distance >= upper_bound` — nearly every line carries a distinct
+    ///   value: the many side is a free variable with no stable mapping,
+    ///   so the relation joins the leftover (M–M) partition
+    ///   ([`SplitSide::Leftover`]);
+    /// * otherwise — split on the one side ([`SplitSide::One`]).
+    fn rank_position(&self, many_cardinality: usize, relation_lines: usize) -> SplitSide {
+        if relation_lines == 0 {
+            return SplitSide::One;
+        }
+        let distance = many_cardinality as f64 / relation_lines as f64;
+        if distance <= self.lower_bound {
+            SplitSide::Many
+        } else if distance >= self.upper_bound {
+            SplitSide::Leftover
+        } else {
+            SplitSide::One
+        }
+    }
+
+    fn count_lines_with_p1(
+        &self,
+        corpus: &Corpus,
+        partition: &[usize],
+        p1: usize,
+        value: &str,
+    ) -> usize {
+        partition
+            .iter()
+            .filter(|&&i| corpus.tokens(i)[p1] == value)
+            .count()
+    }
+
+    fn count_lines_with_p2(
+        &self,
+        corpus: &Corpus,
+        partition: &[usize],
+        p2: usize,
+        value: &str,
+    ) -> usize {
+        partition
+            .iter()
+            .filter(|&&i| corpus.tokens(i)[p2] == value)
+            .count()
+    }
+}
+
+/// The paper's `DetermineP1P2`: among positions with cardinality > 1,
+/// find the cardinality value shared by the most positions and return the
+/// first two positions having it. `None` when fewer than two positions
+/// qualify (step 3 is then skipped).
+fn determine_p1_p2(corpus: &Corpus, partition: &[usize], len: usize) -> Option<(usize, usize)> {
+    if len == 2 {
+        return Some((0, 1));
+    }
+    let cards: Vec<usize> = (0..len)
+        .map(|p| cardinality(corpus, partition, p))
+        .collect();
+    let variable: Vec<usize> = (0..len).filter(|&p| cards[p] > 1).collect();
+    if variable.len() < 2 {
+        return None;
+    }
+    let mut freq: HashMap<usize, usize> = HashMap::new();
+    for &p in &variable {
+        *freq.entry(cards[p]).or_insert(0) += 1;
+    }
+    // Highest frequency wins; ties broken towards the smaller cardinality
+    // (more likely to be an event-discriminating position).
+    let best_card = *freq
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(card, _)| card)
+        .expect("non-empty");
+    let mut chosen = variable.iter().filter(|&&p| cards[p] == best_card);
+    let p1 = *chosen.next()?;
+    let p2 = chosen.next().copied().or_else(|| {
+        // Only one position with the modal cardinality: pair it with the
+        // next variable position.
+        variable.iter().find(|&&p| p != p1).copied()
+    })?;
+    Some((p1, p2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logparse_core::Tokenizer;
+
+    fn corpus(lines: &[&str]) -> Corpus {
+        Corpus::from_lines(lines, &Tokenizer::default())
+    }
+
+    #[test]
+    fn different_lengths_never_share_an_event() {
+        let c = corpus(&["a b", "a b", "a b c", "a b c"]);
+        let parse = Iplom::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 2);
+        assert_ne!(parse.assignments()[0], parse.assignments()[2]);
+    }
+
+    #[test]
+    fn token_position_split_fires_when_no_constant_column_exists() {
+        // No position is constant, so step 2 splits on the lowest
+        // cardinality position (the verb).
+        let c = corpus(&[
+            "open alpha", "open beta", "open gamma",
+            "close delta", "close epsilon", "close zeta",
+        ]);
+        let parse = Iplom::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 2);
+        let t: Vec<String> = parse.templates().iter().map(|t| t.to_string()).collect();
+        assert!(t.contains(&"open *".to_string()), "{t:?}");
+        assert!(t.contains(&"close *".to_string()), "{t:?}");
+    }
+
+    #[test]
+    fn token_position_split_passes_through_with_constant_column() {
+        // "file" is constant, so step 2 passes the partition through
+        // unchanged (the original algorithm's no-op split), and step 3's
+        // M-M relation keeps it together: low-cardinality parameter
+        // columns must not shatter an event.
+        let c = corpus(&[
+            "open file alpha",
+            "open file beta",
+            "close file alpha",
+            "close file beta",
+        ]);
+        let parse = Iplom::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 1);
+        assert_eq!(parse.templates()[0].to_string(), "* file *");
+    }
+
+    #[test]
+    fn hdfs_style_messages_partition_cleanly() {
+        let c = corpus(&[
+            "Receiving block blk_1 src: /10.0.0.1:5000 dest: /10.0.0.1:50010",
+            "Receiving block blk_2 src: /10.0.0.2:5000 dest: /10.0.0.2:50010",
+            "PacketResponder 1 for block blk_1 terminating",
+            "PacketResponder 0 for block blk_2 terminating",
+            "Verification succeeded for blk_1",
+            "Verification succeeded for blk_2",
+        ]);
+        let parse = Iplom::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 3);
+        assert_eq!(parse.outlier_count(), 0);
+    }
+
+    #[test]
+    fn partition_support_diverts_small_partitions_to_outliers() {
+        let c = corpus(&["a b", "a b", "a b", "a b", "long tail message here"]);
+        let parse = Iplom::builder()
+            .partition_support(0.3)
+            .build()
+            .parse(&c)
+            .unwrap();
+        assert_eq!(parse.outlier_count(), 1);
+        assert_eq!(parse.event_count(), 1);
+    }
+
+    #[test]
+    fn invalid_bounds_are_rejected() {
+        let c = corpus(&["a"]);
+        let err = Iplom::builder()
+            .lower_bound(0.95)
+            .upper_bound(0.9)
+            .build()
+            .parse(&c);
+        assert!(matches!(err, Err(ParseError::InvalidConfig { .. })));
+        let err = Iplom::builder().cluster_goodness(1.5).build().parse(&c);
+        assert!(matches!(err, Err(ParseError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let parse = Iplom::default().parse(&corpus(&[])).unwrap();
+        assert!(parse.is_empty());
+    }
+
+    #[test]
+    fn single_message_gets_its_own_event() {
+        let c = corpus(&["only one message"]);
+        let parse = Iplom::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 1);
+        assert_eq!(parse.templates()[0].to_string(), "only one message");
+    }
+
+    #[test]
+    fn bijection_step_splits_correlated_positions() {
+        // Step 2 is a no-op ("T" is constant); goodness is 1/5 <= 0.35 so
+        // step 3 runs. Positions 1 and 2 have the modal cardinality (2)
+        // and are in a 1-1 relation (e1<->c1, e2<->c2) that defines the
+        // events; positions 3 and 4 are free parameters.
+        let c = corpus(&[
+            "T e1 c1 pa qa",
+            "T e1 c1 pb qb",
+            "T e2 c2 pc qc",
+            "T e2 c2 pd qd",
+        ]);
+        let parse = Iplom::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 2);
+        let templates: Vec<String> = parse.templates().iter().map(|t| t.to_string()).collect();
+        assert!(templates.contains(&"T e1 c1 * *".to_string()), "{templates:?}");
+        assert!(templates.contains(&"T e2 c2 * *".to_string()), "{templates:?}");
+    }
+
+    #[test]
+    fn rank_position_decides_split_side_by_distance() {
+        let p = Iplom::default();
+        // 2 distinct values over 40 lines: constants, split on them.
+        assert_eq!(p.rank_position(2, 40), SplitSide::Many);
+        // 38 distinct values over 40 lines: free variable, leftover.
+        assert_eq!(p.rank_position(38, 40), SplitSide::Leftover);
+        // In between: split on the one side.
+        assert_eq!(p.rank_position(20, 40), SplitSide::One);
+        assert_eq!(p.rank_position(3, 0), SplitSide::One);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let c = corpus(&[
+            "a x 1", "a x 2", "a y 1", "b x 1", "b y 2", "b y 3", "c z 9",
+        ]);
+        let p = Iplom::default();
+        assert_eq!(p.parse(&c).unwrap(), p.parse(&c).unwrap());
+    }
+
+    #[test]
+    fn zero_length_messages_are_outliers() {
+        let c = corpus(&["", "a b", "a b"]);
+        // Corpus::from_lines keeps the empty line as an empty token vec.
+        let parse = Iplom::default().parse(&c).unwrap();
+        assert_eq!(parse.assignments()[0], None);
+    }
+}

@@ -1,0 +1,349 @@
+//! Spell — Streaming Parser for Event Logs using LCS (Du & Li,
+//! ICDM 2016).
+//!
+//! **Extension parser** (not part of the DSN'16 study): Spell is one of
+//! the parsers the authors' follow-on LogPAI toolkit added next, and the
+//! first streaming method in it. Each known event is an *LCS object*
+//! holding the current template; a new message joins the object whose
+//! longest common subsequence with it is at least `tau ×` the message
+//! length, and the object's template is refined to that LCS (dropped
+//! positions become wildcards). Messages matching nothing seed a new
+//! object.
+
+use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError, Template, TemplateToken};
+
+/// The Spell parser. Construct via [`Spell::builder`].
+///
+/// # Example
+///
+/// ```
+/// use logparse_core::{Corpus, LogParser, Tokenizer};
+/// use logparse_parsers::Spell;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let corpus = Corpus::from_lines(
+///     [
+///         "Command Failed on: node-127",
+///         "Command Failed on: node-234",
+///         "Boot complete in 372 ms",
+///     ],
+///     &Tokenizer::default(),
+/// );
+/// let parse = Spell::default().parse(&corpus)?;
+/// assert_eq!(parse.event_count(), 2);
+/// assert_eq!(parse.templates()[0].to_string(), "Command Failed on: *");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spell {
+    tau: f64,
+}
+
+impl Default for Spell {
+    fn default() -> Self {
+        Spell { tau: 0.5 }
+    }
+}
+
+impl Spell {
+    /// Starts building a Spell configuration.
+    pub fn builder() -> SpellBuilder {
+        SpellBuilder::default()
+    }
+}
+
+/// Builder for [`Spell`].
+#[derive(Debug, Clone, Default)]
+pub struct SpellBuilder {
+    tau: Option<f64>,
+}
+
+impl SpellBuilder {
+    /// Sets the LCS acceptance threshold `tau` (fraction of the message
+    /// length, default 0.5).
+    #[must_use]
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.tau = Some(tau);
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> Spell {
+        Spell {
+            tau: self.tau.unwrap_or(Spell::default().tau),
+        }
+    }
+}
+
+/// Length of the longest common subsequence of two token slices.
+fn lcs_length(a: &[String], b: &[String]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    let mut prev = vec![0usize; m + 1];
+    let mut curr = vec![0usize; m + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            curr[j] = if a[i - 1] == b[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(curr[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// One LCS sequence of two token slices (ties resolved towards matching
+/// earlier in `a`).
+fn lcs_sequence(a: &[String], b: &[String]) -> Vec<String> {
+    let (n, m) = (a.len(), b.len());
+    let mut table = vec![vec![0usize; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            table[i][j] = if a[i - 1] == b[j - 1] {
+                table[i - 1][j - 1] + 1
+            } else {
+                table[i - 1][j].max(table[i][j - 1])
+            };
+        }
+    }
+    let mut out = Vec::with_capacity(table[n][m]);
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        if a[i - 1] == b[j - 1] {
+            out.push(a[i - 1].clone());
+            i -= 1;
+            j -= 1;
+        } else if table[i - 1][j] >= table[i][j - 1] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    out.reverse();
+    out
+}
+
+/// A streaming LCS object: the event's constant-token skeleton plus its
+/// member message indices.
+#[derive(Debug)]
+struct LcsObject {
+    /// Constant tokens in order (wildcard positions are implicit gaps).
+    skeleton: Vec<String>,
+    members: Vec<usize>,
+}
+
+/// Spell's incremental state: the LCS object list. Shared by the batch
+/// parser and [`crate::StreamingSpell`].
+#[derive(Debug)]
+pub(crate) struct SpellState {
+    tau: f64,
+    objects: Vec<LcsObject>,
+    observed: usize,
+}
+
+impl SpellState {
+    /// Validates the configuration and creates an empty state.
+    pub(crate) fn new(config: Spell) -> Result<Self, ParseError> {
+        if !(0.0..=1.0).contains(&config.tau) {
+            return Err(ParseError::InvalidConfig {
+                parameter: "tau",
+                reason: format!("{} must lie in [0, 1]", config.tau),
+            });
+        }
+        Ok(SpellState {
+            tau: config.tau,
+            objects: Vec::new(),
+            observed: 0,
+        })
+    }
+
+    /// Assigns the next message to an LCS object (creating one if
+    /// nothing clears the `tau` bar) and returns its id — dense, stable,
+    /// in creation order.
+    pub(crate) fn observe(&mut self, tokens: &[String]) -> usize {
+        let message_index = self.observed;
+        self.observed += 1;
+        // Find the object with the longest LCS; only objects whose
+        // skeleton could possibly clear the bar are evaluated.
+        let needed = ((self.tau * tokens.len() as f64).ceil() as usize).max(1);
+        let best = self
+            .objects
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, o)| o.skeleton.len() >= needed)
+            .map(|(id, o)| (lcs_length(&o.skeleton, tokens), id, o))
+            .max_by_key(|&(len, id, _)| (len, usize::MAX - id));
+        match best {
+            Some((len, id, object)) if len >= needed => {
+                if len < object.skeleton.len() {
+                    object.skeleton = lcs_sequence(&object.skeleton, tokens);
+                }
+                object.members.push(message_index);
+                id
+            }
+            _ => {
+                let id = self.objects.len();
+                self.objects.push(LcsObject {
+                    skeleton: tokens.to_vec(),
+                    members: vec![message_index],
+                });
+                id
+            }
+        }
+    }
+
+    pub(crate) fn group_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub(crate) fn group_skeleton(&self, id: usize) -> Option<&[String]> {
+        self.objects.get(id).map(|o| o.skeleton.as_slice())
+    }
+}
+
+impl LogParser for Spell {
+    fn name(&self) -> &'static str {
+        "Spell"
+    }
+
+    fn parse(&self, corpus: &Corpus) -> Result<Parse, ParseError> {
+        let mut state = SpellState::new(self.clone())?;
+        let mut assignment: Vec<Option<usize>> = Vec::with_capacity(corpus.len());
+        for idx in 0..corpus.len() {
+            let tokens = corpus.tokens(idx);
+            if tokens.is_empty() {
+                assignment.push(None); // empty messages stay outliers
+            } else {
+                assignment.push(Some(state.observe(tokens)));
+            }
+        }
+        // Collect per-object members in corpus index space.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); state.group_count()];
+        for (idx, a) in assignment.iter().enumerate() {
+            if let Some(id) = a {
+                members[*id].push(idx);
+            }
+        }
+        let mut builder = ParseBuilder::new(corpus.len());
+        for (id, m) in members.iter().enumerate() {
+            if m.is_empty() {
+                continue;
+            }
+            let skeleton = state.group_skeleton(id).expect("dense ids");
+            let template = skeleton_template(skeleton, m, corpus);
+            let event = builder.add_template(template);
+            builder.assign_cluster(m, event);
+        }
+        Ok(builder.build())
+    }
+}
+
+/// Renders an object's template: the positionwise template over its
+/// members (which agrees with the skeleton on constants but places the
+/// wildcards at concrete positions, matching the toolkit contract).
+fn skeleton_template(skeleton: &[String], members: &[usize], corpus: &Corpus) -> Template {
+    let positionwise = Template::from_cluster(members.iter().map(|&i| corpus.tokens(i)));
+    if !positionwise.tokens().is_empty() {
+        return positionwise;
+    }
+    // Unequal lengths collapsed to an empty open template: fall back to
+    // the skeleton with an open tail.
+    Template::with_open_tail(
+        skeleton
+            .iter()
+            .map(|t| TemplateToken::literal(t.clone()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logparse_core::Tokenizer;
+
+    fn corpus(lines: &[&str]) -> Corpus {
+        Corpus::from_lines(lines, &Tokenizer::default())
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn lcs_length_matches_classic_example() {
+        assert_eq!(lcs_length(&toks("a b c d"), &toks("a x c y")), 2);
+        assert_eq!(lcs_length(&toks("a b c"), &toks("a b c")), 3);
+        assert_eq!(lcs_length(&toks("a b"), &toks("x y")), 0);
+    }
+
+    #[test]
+    fn lcs_sequence_is_a_common_subsequence() {
+        let a = toks("send pkt 7 to host alpha");
+        let b = toks("send pkt 9 to host beta");
+        let lcs = lcs_sequence(&a, &b);
+        assert_eq!(lcs, toks("send pkt to host"));
+    }
+
+    #[test]
+    fn similar_messages_share_an_object() {
+        let c = corpus(&[
+            "Command Failed on: node-1",
+            "Command Failed on: node-2",
+            "Command Failed on: node-3",
+        ]);
+        let parse = Spell::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 1);
+        assert_eq!(parse.templates()[0].to_string(), "Command Failed on: *");
+    }
+
+    #[test]
+    fn dissimilar_messages_get_new_objects() {
+        let c = corpus(&["alpha beta gamma delta", "one two three four"]);
+        let parse = Spell::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 2);
+    }
+
+    #[test]
+    fn streaming_refines_the_skeleton() {
+        // Third message shares only the head with the first two; tau 0.5
+        // over 4 tokens needs LCS >= 2.
+        let c = corpus(&[
+            "job 17 finished ok",
+            "job 23 finished ok",
+            "job 31 finished late",
+        ]);
+        let parse = Spell::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 1);
+        assert_eq!(parse.templates()[0].to_string(), "job * finished *");
+    }
+
+    #[test]
+    fn tau_one_requires_exact_match() {
+        let c = corpus(&["a b c", "a b d"]);
+        let parse = Spell::builder().tau(1.0).build().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 2);
+    }
+
+    #[test]
+    fn invalid_tau_is_rejected() {
+        let err = Spell::builder().tau(1.5).build().parse(&corpus(&["a"]));
+        assert!(matches!(err, Err(ParseError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_lines() {
+        assert!(Spell::default().parse(&corpus(&[])).unwrap().is_empty());
+        let parse = Spell::default().parse(&corpus(&["", "a b"])).unwrap();
+        assert_eq!(parse.assignments()[0], None);
+        assert!(parse.assignments()[1].is_some());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let c = corpus(&["a b 1", "a b 2", "x y z", "x y w"]);
+        let p = Spell::default();
+        assert_eq!(p.parse(&c).unwrap(), p.parse(&c).unwrap());
+    }
+}

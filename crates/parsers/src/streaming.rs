@@ -1,0 +1,232 @@
+//! Online (streaming) log parsing.
+//!
+//! The batch [`logparse_core::LogParser`] contract parses a closed
+//! corpus, but Drain and Spell are inherently *online* algorithms: they
+//! process one message at a time and maintain their group state
+//! incrementally, which is how production log pipelines deploy them.
+//! [`StreamingParser`] exposes that mode: feed messages as they arrive,
+//! get a stable group id back immediately, and snapshot the templates at
+//! any point.
+//!
+//! # Example
+//!
+//! ```
+//! use logparse_parsers::{StreamingDrain, StreamingParser};
+//!
+//! let mut parser = StreamingDrain::default();
+//! let a = parser.observe(&["send".into(), "pkt".into(), "7".into()]);
+//! let b = parser.observe(&["send".into(), "pkt".into(), "9".into()]);
+//! assert_eq!(a, b); // same event, recognized online
+//! assert_eq!(parser.group_count(), 1);
+//! assert_eq!(parser.template(a).unwrap().to_string(), "send pkt *");
+//! ```
+
+use logparse_core::{Template, TemplateToken};
+
+use crate::drain::DrainTree;
+use crate::spell::SpellState;
+use crate::{Drain, Spell};
+
+/// An online log parser: messages stream in, group ids stream out.
+///
+/// Group ids are dense (`0..group_count()`) and **stable**: once a
+/// message is assigned id `g`, later observations never change that
+/// id's identity (its template may gain wildcards as the group absorbs
+/// more variety).
+pub trait StreamingParser {
+    /// Assigns the next message to a group, creating one if needed.
+    fn observe(&mut self, tokens: &[String]) -> usize;
+
+    /// Number of groups discovered so far.
+    fn group_count(&self) -> usize;
+
+    /// The current template of group `id`, or `None` if out of range.
+    fn template(&self, id: usize) -> Option<Template>;
+
+    /// All current templates, indexed by group id.
+    fn templates(&self) -> Vec<Template> {
+        (0..self.group_count())
+            .map(|id| self.template(id).expect("dense group ids"))
+            .collect()
+    }
+}
+
+/// Streaming version of [`Drain`] (fixed-depth parse tree).
+#[derive(Debug)]
+pub struct StreamingDrain {
+    tree: DrainTree,
+}
+
+impl Default for StreamingDrain {
+    fn default() -> Self {
+        StreamingDrain::new(Drain::default())
+    }
+}
+
+impl StreamingDrain {
+    /// Creates a streaming parser with the given Drain configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (`similarity` outside
+    /// `[0, 1]` or `depth < 2`) — the batch API reports the same
+    /// conditions as [`logparse_core::ParseError`].
+    pub fn new(config: Drain) -> Self {
+        StreamingDrain {
+            tree: DrainTree::new(config).expect("valid Drain configuration"),
+        }
+    }
+}
+
+impl StreamingParser for StreamingDrain {
+    fn observe(&mut self, tokens: &[String]) -> usize {
+        self.tree.observe(tokens)
+    }
+
+    fn group_count(&self) -> usize {
+        self.tree.group_count()
+    }
+
+    fn template(&self, id: usize) -> Option<Template> {
+        self.tree.group_template(id).map(|slots| {
+            Template::new(
+                slots
+                    .iter()
+                    .map(|slot| match slot {
+                        Some(text) => TemplateToken::literal(text.clone()),
+                        None => TemplateToken::Wildcard,
+                    })
+                    .collect(),
+            )
+        })
+    }
+}
+
+/// Streaming version of [`Spell`] (LCS objects).
+#[derive(Debug)]
+pub struct StreamingSpell {
+    state: SpellState,
+}
+
+impl Default for StreamingSpell {
+    fn default() -> Self {
+        StreamingSpell::new(Spell::default())
+    }
+}
+
+impl StreamingSpell {
+    /// Creates a streaming parser with the given Spell configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` lies outside `[0, 1]`.
+    pub fn new(config: Spell) -> Self {
+        StreamingSpell {
+            state: SpellState::new(config).expect("valid Spell configuration"),
+        }
+    }
+}
+
+impl StreamingParser for StreamingSpell {
+    fn observe(&mut self, tokens: &[String]) -> usize {
+        self.state.observe(tokens)
+    }
+
+    fn group_count(&self) -> usize {
+        self.state.group_count()
+    }
+
+    fn template(&self, id: usize) -> Option<Template> {
+        self.state.group_skeleton(id).map(|skeleton| {
+            Template::with_open_tail(
+                skeleton
+                    .iter()
+                    .map(|t| TemplateToken::literal(t.clone()))
+                    .collect(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn drain_streams_consistent_ids() {
+        let mut p = StreamingDrain::default();
+        let a = p.observe(&toks("conn from 10.0.0.1 ok"));
+        let b = p.observe(&toks("conn from 10.0.0.2 ok"));
+        let c = p.observe(&toks("disk full on sda1"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(p.group_count(), 2);
+    }
+
+    #[test]
+    fn drain_templates_refine_over_time() {
+        let mut p = StreamingDrain::default();
+        let g = p.observe(&toks("send pkt 1 ok"));
+        assert_eq!(p.template(g).unwrap().to_string(), "send pkt 1 ok");
+        p.observe(&toks("send pkt 2 ok"));
+        assert_eq!(p.template(g).unwrap().to_string(), "send pkt * ok");
+    }
+
+    #[test]
+    fn spell_streams_lcs_groups() {
+        let mut p = StreamingSpell::default();
+        let a = p.observe(&toks("job 17 finished ok"));
+        let b = p.observe(&toks("job 23 finished ok"));
+        assert_eq!(a, b);
+        let t = p.template(a).unwrap().to_string();
+        assert!(t.contains("job") && t.contains("finished"), "{t}");
+    }
+
+    #[test]
+    fn streaming_drain_matches_batch_drain() {
+        use logparse_core::{Corpus, LogParser, Tokenizer};
+        let lines = [
+            "alpha beta 1",
+            "alpha beta 2",
+            "gamma delta epsilon",
+            "alpha beta 3",
+            "gamma delta zeta",
+        ];
+        let corpus = Corpus::from_lines(lines, &Tokenizer::default());
+        let batch = Drain::default().parse(&corpus).unwrap();
+        let mut stream = StreamingDrain::default();
+        let ids: Vec<usize> = (0..corpus.len()).map(|i| stream.observe(corpus.tokens(i))).collect();
+        // Same grouping structure (up to id naming).
+        for i in 0..lines.len() {
+            for j in 0..lines.len() {
+                assert_eq!(
+                    batch.assignments()[i] == batch.assignments()[j],
+                    ids[i] == ids[j],
+                    "messages {i} and {j} grouped differently"
+                );
+            }
+        }
+        assert_eq!(batch.event_count(), stream.group_count());
+    }
+
+    #[test]
+    fn templates_snapshot_is_dense() {
+        let mut p = StreamingDrain::default();
+        p.observe(&toks("a b"));
+        p.observe(&toks("c d e"));
+        assert_eq!(p.templates().len(), 2);
+        assert!(p.template(5).is_none());
+    }
+
+    #[test]
+    fn empty_message_gets_its_own_group() {
+        let mut p = StreamingDrain::default();
+        let g = p.observe(&[]);
+        assert_eq!(p.group_count(), 1);
+        assert_eq!(p.template(g).unwrap().len(), 0);
+    }
+}

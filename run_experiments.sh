@@ -1,0 +1,7 @@
+#!/bin/bash
+cd /root/repo
+for bin in table1 table2 table3 fig3 fig2 critical_events preprocess_ablation mining_tasks; do
+  echo "=== $bin start $(date +%T) ==="
+  ./target/release/$bin > results/$bin.txt 2> results/$bin.log
+  echo "=== $bin done $(date +%T) exit=$? ==="
+done

@@ -1,0 +1,76 @@
+//! Property-based tests of the evaluation metrics.
+
+use logmine::eval::{pairwise_f_measure, purity, rand_index};
+use proptest::prelude::*;
+
+fn labelings() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (2usize..60).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0usize..6, n..=n),
+            prop::collection::vec(0usize..6, n..=n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn metrics_stay_in_unit_interval((truth, predicted) in labelings()) {
+        let m = pairwise_f_measure(&truth, &predicted);
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!((0.0..=1.0).contains(&purity(&truth, &predicted)));
+        prop_assert!((0.0..=1.0).contains(&rand_index(&truth, &predicted)));
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one((truth, _) in labelings()) {
+        let m = pairwise_f_measure(&truth, &truth);
+        prop_assert_eq!(m.f1, 1.0);
+        prop_assert_eq!(purity(&truth, &truth), 1.0);
+        prop_assert_eq!(rand_index(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn f_measure_invariant_under_predicted_relabeling((truth, predicted) in labelings()) {
+        // Rename predicted labels through an arbitrary injection.
+        let renamed: Vec<usize> = predicted.iter().map(|&p| p * 7 + 100).collect();
+        let a = pairwise_f_measure(&truth, &predicted);
+        let b = pairwise_f_measure(&truth, &renamed);
+        prop_assert!((a.f1 - b.f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_never_exceeds_max_of_precision_recall((truth, predicted) in labelings()) {
+        let m = pairwise_f_measure(&truth, &predicted);
+        prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-12);
+        prop_assert!(m.f1 + 1e-12 >= m.precision.min(m.recall) * 2.0 * m.precision.max(m.recall)
+            / (m.precision + m.recall).max(f64::MIN_POSITIVE));
+    }
+
+    #[test]
+    fn purity_of_singleton_prediction_is_one((truth, _) in labelings()) {
+        // Every predicted cluster is a singleton: purity is trivially 1.
+        let singletons: Vec<usize> = (0..truth.len()).collect();
+        prop_assert_eq!(purity(&truth, &singletons), 1.0);
+        // ...but recall is only perfect if truth is all-singletons too.
+        let m = pairwise_f_measure(&truth, &singletons);
+        prop_assert_eq!(m.precision, 1.0);
+    }
+
+    #[test]
+    fn merging_everything_has_perfect_recall((truth, _) in labelings()) {
+        let merged = vec![0usize; truth.len()];
+        let m = pairwise_f_measure(&truth, &merged);
+        prop_assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn rand_index_is_symmetric((truth, predicted) in labelings()) {
+        let a = rand_index(&truth, &predicted);
+        let b = rand_index(&predicted, &truth);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+}
