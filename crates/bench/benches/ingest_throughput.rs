@@ -1,0 +1,43 @@
+//! End-to-end throughput of the streaming ingestion pipeline: 100k
+//! synthetic HDFS lines through source → router → sharded parse workers
+//! → aggregator (template merging, windowing, online PCA scoring), at
+//! increasing shard counts. Reported per-element, so criterion prints
+//! lines/second directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logparse_datasets::hdfs;
+use logparse_ingest::{run_pipeline, EventLog, IngestConfig, MemorySource};
+
+const LINES: usize = 100_000;
+
+fn ingest_throughput(c: &mut Criterion) {
+    let corpus = hdfs::generate(LINES, 42).corpus;
+    let lines: Vec<String> = (0..corpus.len())
+        .map(|i| corpus.record(i).content.clone())
+        .collect();
+
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(LINES as u64));
+    for &shards in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("drain", shards), &lines, |b, lines| {
+            let config = IngestConfig {
+                shards,
+                batch_size: 512,
+                window_size: 1_000,
+                ..IngestConfig::default()
+            };
+            b.iter(|| {
+                let mut source = MemorySource::new(lines.clone());
+                let summary =
+                    run_pipeline(&mut source, &config, EventLog::disabled(), None).unwrap();
+                assert_eq!(summary.lines, LINES as u64);
+                summary
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ingest_throughput);
+criterion_main!(benches);

@@ -27,7 +27,11 @@ fn parser_accuracy_cost(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("LogSig", name), data, |b, d| {
             let k = d.distinct_events().max(1);
-            let p = LogSig::builder().clusters(k).seed(1).max_iterations(20).build();
+            let p = LogSig::builder()
+                .clusters(k)
+                .seed(1)
+                .max_iterations(20)
+                .build();
             b.iter(|| p.parse(&d.corpus).unwrap())
         });
     }

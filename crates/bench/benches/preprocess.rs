@@ -10,33 +10,25 @@ fn preprocess(c: &mut Criterion) {
     let hdfs_data = hdfs::generate(5_000, 3);
     let bgl_data = bgl::generate(5_000, 3);
     group.throughput(Throughput::Elements(5_000));
-    group.bench_with_input(
-        BenchmarkId::new("hdfs", "ip+blk"),
-        &hdfs_data,
-        |b, d| {
-            let pre = Preprocessor::new(vec![MaskRule::IpAddress, MaskRule::BlockId]);
-            b.iter(|| pre.apply(&d.corpus))
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("hdfs", "ip+blk"), &hdfs_data, |b, d| {
+        let pre = Preprocessor::new(vec![MaskRule::IpAddress, MaskRule::BlockId]);
+        b.iter(|| pre.apply(&d.corpus))
+    });
     group.bench_with_input(BenchmarkId::new("bgl", "core"), &bgl_data, |b, d| {
         let pre = Preprocessor::new(vec![MaskRule::CoreId]);
         b.iter(|| pre.apply(&d.corpus))
     });
-    group.bench_with_input(
-        BenchmarkId::new("hdfs", "all-rules"),
-        &hdfs_data,
-        |b, d| {
-            let pre = Preprocessor::new(vec![
-                MaskRule::IpAddress,
-                MaskRule::BlockId,
-                MaskRule::CoreId,
-                MaskRule::HexValue,
-                MaskRule::Path,
-                MaskRule::Number,
-            ]);
-            b.iter(|| pre.apply(&d.corpus))
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("hdfs", "all-rules"), &hdfs_data, |b, d| {
+        let pre = Preprocessor::new(vec![
+            MaskRule::IpAddress,
+            MaskRule::BlockId,
+            MaskRule::CoreId,
+            MaskRule::HexValue,
+            MaskRule::Path,
+            MaskRule::Number,
+        ]);
+        b.iter(|| pre.apply(&d.corpus))
+    });
     group.finish();
 }
 

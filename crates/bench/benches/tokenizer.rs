@@ -9,11 +9,15 @@ fn tokenizer(c: &mut Criterion) {
     let mut group = c.benchmark_group("tokenizer");
     let hdfs_lines: Vec<String> = {
         let d = hdfs::generate(5_000, 9);
-        (0..d.len()).map(|i| d.corpus.record(i).content.clone()).collect()
+        (0..d.len())
+            .map(|i| d.corpus.record(i).content.clone())
+            .collect()
     };
     let bgl_lines: Vec<String> = {
         let d = bgl::generate(5_000, 9);
-        (0..d.len()).map(|i| d.corpus.record(i).content.clone()).collect()
+        (0..d.len())
+            .map(|i| d.corpus.record(i).content.clone())
+            .collect()
     };
     group.throughput(Throughput::Elements(5_000));
     for (name, lines) in [("hdfs", &hdfs_lines), ("bgl", &bgl_lines)] {

@@ -10,7 +10,10 @@ fn main() {
     if quick_mode() {
         config.blocks = 1_000;
     }
-    eprintln!("running critical-event ablation on {} blocks…", config.blocks);
+    eprintln!(
+        "running critical-event ablation on {} blocks…",
+        config.blocks
+    );
     let points = critical::run(&config);
     println!("Finding 6 ablation: merge errors on critical vs. non-critical events");
     println!();

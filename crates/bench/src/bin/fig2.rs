@@ -20,7 +20,10 @@ fn main() {
             ..fig2::Fig2Config::default()
         }
     };
-    eprintln!("running Fig. 2 sweep: sizes {:?} (LKE capped at {})…", config.sizes, config.lke_cap);
+    eprintln!(
+        "running Fig. 2 sweep: sizes {:?} (LKE capped at {})…",
+        config.sizes, config.lke_cap
+    );
     let points = fig2::run(&config);
     println!("Fig. 2: Running Time of Log Parsing Methods on Datasets in Different Size");
     for dataset in ["BGL", "HPC", "HDFS", "Zookeeper", "Proxifier"] {

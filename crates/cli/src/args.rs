@@ -43,6 +43,17 @@ const VALUED: &[&str] = &[
     "rate",
     "alpha",
     "components",
+    // `serve` options
+    "listen",
+    "shards",
+    "batch-size",
+    "flush-ms",
+    "window",
+    "history",
+    "warmup",
+    "checkpoint",
+    "checkpoint-every",
+    "max-lines",
 ];
 
 impl Args {

@@ -10,9 +10,11 @@ use logparse_core::{
 };
 use logparse_datasets::{study_datasets, DatasetSpec, LabeledCorpus};
 use logparse_eval::{grouping_accuracy, pairwise_f_measure, purity, rand_index, tune, ParserKind};
-use logparse_mining::{
-    event_count_matrix, truth_count_matrix, PcaDetector, PcaDetectorConfig,
+use logparse_ingest::{
+    file_source, run_pipeline, stdin_source, Checkpoint, EventLog, FileTailSource, IngestConfig,
+    ParserChoice, TcpSource,
 };
+use logparse_mining::{event_count_matrix, truth_count_matrix, PcaDetector, PcaDetectorConfig};
 use logparse_parsers::{Ael, Drain, Iplom, LenMa, Lke, LogMine, LogSig, Slct, Spell};
 
 use crate::args::Args;
@@ -29,11 +31,22 @@ USAGE:
   logmine evaluate --dataset NAME --parser NAME [--sample N] [--seed N]
   logmine detect   [--blocks N] [--rate R] [--parser NAME] [--seed N]
                    [--alpha A] [--components K]
+  logmine serve    [FILE] [--follow] [--listen ADDR] [--parser drain|spell]
+                   [--shards N] [--batch-size N] [--flush-ms MS]
+                   [--window N] [--history N] [--warmup N]
+                   [--checkpoint FILE [--checkpoint-every N] [--resume]]
+                   [--max-lines N] [--events-out FILE] [--alpha A]
+                   [--components K]
   logmine help
 
 PARSERS:   slct iplom lke logsig drain spell ael lenma logmine
 DATASETS:  bgl hpc hdfs zookeeper proxifier
-RULES:     comma-separated from ip,blk,core,num,hex,path";
+RULES:     comma-separated from ip,blk,core,num,hex,path
+
+serve ingests a live stream — stdin by default, FILE (with --follow to
+tail it through rotations), or a TCP line protocol via --listen — parses
+it online across sharded workers, scores tumbling windows with the PCA
+detector, and emits JSONL operational events (stderr or --events-out).";
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -148,12 +161,19 @@ pub fn evaluate(args: &Args) -> CliResult {
     let dataset = find_dataset(args.option("dataset").unwrap_or("hdfs"))?;
     let sample: usize = args.parsed_or("sample", 2_000)?;
     let seed: u64 = args.parsed_or("seed", 42)?;
-    let kind = match args.option("parser").unwrap_or("iplom").to_ascii_lowercase().as_str() {
+    let kind = match args
+        .option("parser")
+        .unwrap_or("iplom")
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "slct" => ParserKind::Slct,
         "iplom" => ParserKind::Iplom,
         "lke" => ParserKind::Lke,
         "logsig" => ParserKind::LogSig,
-        other => return Err(format!("evaluate supports the study's four parsers, not `{other}`").into()),
+        other => {
+            return Err(format!("evaluate supports the study's four parsers, not `{other}`").into())
+        }
     };
     let data = dataset.generate(sample, seed);
     let tuned = tune(kind, &data);
@@ -169,8 +189,14 @@ pub fn evaluate(args: &Args) -> CliResult {
     println!("recall             {:.4}", f.recall);
     println!("f-measure          {:.4}", f.f1);
     println!("purity             {:.4}", purity(&data.labels, &labels));
-    println!("rand index         {:.4}", rand_index(&data.labels, &labels));
-    println!("grouping accuracy  {:.4}", grouping_accuracy(&data.labels, &labels));
+    println!(
+        "rand index         {:.4}",
+        rand_index(&data.labels, &labels)
+    );
+    println!(
+        "grouping accuracy  {:.4}",
+        grouping_accuracy(&data.labels, &labels)
+    );
     Ok(())
 }
 
@@ -191,8 +217,7 @@ pub fn detect(args: &Args) -> CliResult {
     let (counts, label) = if args.option("parser").is_some() {
         let parser = build_parser(args)?;
         let parse = parser.parse(&sessions.data.corpus)?;
-        let accuracy =
-            pairwise_f_measure(&sessions.data.labels, &parse.cluster_labels()).f1;
+        let accuracy = pairwise_f_measure(&sessions.data.labels, &parse.cluster_labels()).f1;
         eprintln!("{} parsing accuracy: {accuracy:.3}", parser.name());
         (
             event_count_matrix(&parse, &sessions.block_of, sessions.block_count()),
@@ -218,6 +243,106 @@ pub fn detect(args: &Args) -> CliResult {
     println!("detected          {detected}");
     println!("false alarms      {false_alarms}");
     println!("threshold Q_a     {:.3}", report.threshold);
+    Ok(())
+}
+
+/// Builds the ingest configuration for `logmine serve` from flags.
+fn build_ingest_config(args: &Args) -> Result<IngestConfig, Box<dyn Error>> {
+    let parser: ParserChoice = args.option("parser").unwrap_or("drain").parse()?;
+    let defaults = IngestConfig::default();
+    let mut detector = PcaDetectorConfig::default();
+    detector.alpha = args.parsed_or("alpha", detector.alpha)?;
+    if let Some(raw) = args.option("components") {
+        detector.components = Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value `{raw}` for --components"))?,
+        );
+    }
+    Ok(IngestConfig {
+        parser,
+        shards: args.parsed_or("shards", defaults.shards)?,
+        batch_size: args.parsed_or("batch-size", defaults.batch_size)?,
+        flush_interval: std::time::Duration::from_millis(args.parsed_or("flush-ms", 200u64)?),
+        window_size: args.parsed_or("window", defaults.window_size)?,
+        history: args.parsed_or("history", defaults.history)?,
+        warmup: args.parsed_or("warmup", defaults.warmup)?,
+        checkpoint_path: args.option("checkpoint").map(std::path::PathBuf::from),
+        checkpoint_every: args.parsed_or("checkpoint-every", 0u64)?,
+        max_lines: args
+            .option("max-lines")
+            .map(str::parse)
+            .transpose()
+            .map_err(|_| "invalid value for --max-lines")?,
+        detector,
+        ..defaults
+    })
+}
+
+/// `logmine serve`.
+pub fn serve(args: &Args) -> CliResult {
+    let config = build_ingest_config(args)?;
+    let resume = if args.has_flag("resume") {
+        let path = config
+            .checkpoint_path
+            .as_ref()
+            .ok_or("--resume needs --checkpoint FILE to load from")?;
+        Some(Checkpoint::load(path)?)
+    } else {
+        None
+    };
+    let events = match args.option("events-out") {
+        Some(path) => EventLog::new(Box::new(BufWriter::new(File::create(path)?))),
+        None => EventLog::new(Box::new(std::io::stderr())),
+    };
+    logparse_ingest::signal::install_handlers();
+
+    let summary = match (args.option("listen"), args.positional().first()) {
+        (Some(addr), _) => {
+            let mut source = TcpSource::bind(addr)?;
+            eprintln!("listening on {}", source.local_addr());
+            run_pipeline(&mut source, &config, events, resume.as_ref())?
+        }
+        (None, Some(path)) if args.has_flag("follow") => run_pipeline(
+            &mut FileTailSource::new(path),
+            &config,
+            events,
+            resume.as_ref(),
+        )?,
+        (None, Some(path)) => {
+            run_pipeline(&mut file_source(path)?, &config, events, resume.as_ref())?
+        }
+        (None, None) => run_pipeline(&mut stdin_source(), &config, events, resume.as_ref())?,
+    };
+
+    println!("source            {}", summary.source);
+    println!("lines             {}", summary.lines);
+    println!("batches           {}", summary.batches);
+    println!(
+        "shard lines       {}",
+        summary
+            .shard_lines
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!("templates         {}", summary.templates.len());
+    println!("windows           {}", summary.windows.len());
+    println!(
+        "windows scored    {}",
+        summary.windows.iter().filter(|w| w.spe.is_some()).count()
+    );
+    println!("anomalies         {}", summary.anomalies.len());
+    for window in &summary.anomalies {
+        let score = summary.windows.iter().find(|w| w.window == *window);
+        match score.and_then(|w| w.spe.zip(w.threshold)) {
+            Some((spe, threshold)) => {
+                println!("  window {window}: SPE {spe:.3} > threshold {threshold:.3}");
+            }
+            None => println!("  window {window}"),
+        }
+    }
+    println!("checkpoints       {}", summary.checkpoints_written);
     Ok(())
 }
 
@@ -258,9 +383,12 @@ mod tests {
     #[test]
     fn evaluate_runs_on_a_small_sample() {
         evaluate(&args(&[
-            "--dataset", "proxifier",
-            "--parser", "iplom",
-            "--sample", "200",
+            "--dataset",
+            "proxifier",
+            "--parser",
+            "iplom",
+            "--sample",
+            "200",
         ]))
         .unwrap();
     }
@@ -269,5 +397,57 @@ mod tests {
     fn detect_runs_on_a_small_simulation() {
         detect(&args(&["--blocks", "200", "--rate", "0.05"])).unwrap();
         detect(&args(&["--blocks", "200", "--parser", "iplom"])).unwrap();
+    }
+
+    #[test]
+    fn serve_ingests_a_file_and_writes_events() {
+        let dir = std::env::temp_dir().join(format!("logmine-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("input.log");
+        let events = dir.join("events.jsonl");
+        let data = logparse_datasets::hdfs::generate(2_000, 42);
+        let lines: Vec<String> = (0..data.len())
+            .map(|i| data.corpus.record(i).content.clone())
+            .collect();
+        std::fs::write(&log, lines.join("\n") + "\n").unwrap();
+
+        serve(&args(&[
+            "--shards",
+            "2",
+            "--window",
+            "500",
+            "--warmup",
+            "2",
+            "--events-out",
+            events.to_str().unwrap(),
+            log.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let text = std::fs::read_to_string(&events).unwrap();
+        assert!(text.lines().next().unwrap().contains("ingest_started"));
+        assert!(text.lines().last().unwrap().contains("shutdown_complete"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_config_reads_flags() {
+        let config = build_ingest_config(&args(&[
+            "--parser",
+            "spell",
+            "--shards",
+            "3",
+            "--window",
+            "250",
+            "--components",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(config.parser, ParserChoice::Spell);
+        assert_eq!(config.shards, 3);
+        assert_eq!(config.window_size, 250);
+        assert_eq!(config.detector.components, Some(4));
+        assert!(build_ingest_config(&args(&["--parser", "iplom"])).is_err());
+        assert!(serve(&args(&["--resume"])).is_err());
     }
 }

@@ -5,6 +5,7 @@
 //! logmine generate --dataset hdfs --count 1000 [--seed 42]
 //! logmine evaluate --dataset bgl --parser logsig [--sample 2000]
 //! logmine detect   --blocks 2000 [--rate 0.029] [--parser iplom]
+//! logmine serve    [--follow FILE | --listen ADDR] [--shards N] ...
 //! ```
 //!
 //! `parse` reads raw log lines from FILE (or stdin), applies the chosen
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate(&parsed),
         "evaluate" => commands::evaluate(&parsed),
         "detect" => commands::detect(&parsed),
+        "serve" => commands::serve(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -28,7 +28,15 @@ fn unknown_command_fails_with_usage() {
 #[test]
 fn generate_emits_requested_count() {
     let out = logmine()
-        .args(["generate", "--dataset", "proxifier", "--count", "25", "--seed", "3"])
+        .args([
+            "generate",
+            "--dataset",
+            "proxifier",
+            "--count",
+            "25",
+            "--seed",
+            "3",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -75,7 +83,15 @@ fn parse_reads_stdin_and_prints_events() {
 #[test]
 fn parse_generate_pipeline_recovers_templates() {
     let generated = logmine()
-        .args(["generate", "--dataset", "proxifier", "--count", "300", "--seed", "9"])
+        .args([
+            "generate",
+            "--dataset",
+            "proxifier",
+            "--count",
+            "300",
+            "--seed",
+            "9",
+        ])
         .output()
         .unwrap();
     let mut child = logmine()
@@ -85,7 +101,12 @@ fn parse_generate_pipeline_recovers_templates() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.take().unwrap().write_all(&generated.stdout).unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(&generated.stdout)
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
     let events = String::from_utf8(out.stdout).unwrap();
@@ -100,7 +121,13 @@ fn parse_generate_pipeline_recovers_templates() {
 fn evaluate_reports_metrics() {
     let out = logmine()
         .args([
-            "evaluate", "--dataset", "proxifier", "--parser", "slct", "--sample", "300",
+            "evaluate",
+            "--dataset",
+            "proxifier",
+            "--parser",
+            "slct",
+            "--sample",
+            "300",
         ])
         .output()
         .unwrap();

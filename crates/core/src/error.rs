@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn io_error_source_is_preserved() {
         use std::error::Error as _;
-        let err = ParseError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let err = ParseError::from(std::io::Error::other("boom"));
         assert!(err.source().is_some());
     }
 

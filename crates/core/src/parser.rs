@@ -1,12 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Corpus, ParseError, Template};
 
 /// Identifier of a log event within one [`Parse`].
 ///
 /// Event ids are dense indices into [`Parse::templates`]; they are only
 /// meaningful relative to the parse that produced them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub usize);
 
 impl EventId {
@@ -32,7 +30,7 @@ impl std::fmt::Display for EventId {
 ///
 /// For evaluation purposes all outliers are considered to form one
 /// implicit cluster, matching the reference toolkit's behaviour.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Parse {
     templates: Vec<Template>,
     assignments: Vec<Option<EventId>>,

@@ -120,7 +120,10 @@ fn is_core_id(token: &str) -> bool {
 }
 
 fn is_number(token: &str) -> bool {
-    let rest = token.strip_prefix('-').or_else(|| token.strip_prefix('+')).unwrap_or(token);
+    let rest = token
+        .strip_prefix('-')
+        .or_else(|| token.strip_prefix('+'))
+        .unwrap_or(token);
     if rest.is_empty() {
         return false;
     }
@@ -137,7 +140,10 @@ fn is_number(token: &str) -> bool {
 }
 
 fn is_hex_value(token: &str) -> bool {
-    if let Some(rest) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+    if let Some(rest) = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+    {
         return !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_hexdigit());
     }
     token.len() >= 8

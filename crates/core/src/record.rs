@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::Tokenizer;
 
 /// A single raw log message.
@@ -8,7 +6,7 @@ use crate::Tokenizer;
 /// paper's setup ("only the parts of free-text log message contents are
 /// used in evaluating the log parsing methods"); the timestamp is carried
 /// through to the structured output untouched.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogRecord {
     /// 1-based position of the message in its source file.
     pub line_no: usize,
@@ -144,10 +142,7 @@ impl Corpus {
     /// Panics if any index is out of bounds.
     pub fn select(&self, indices: &[usize]) -> Corpus {
         let records = indices.iter().map(|&i| self.records[i].clone()).collect();
-        let tokenized = indices
-            .iter()
-            .map(|&i| self.tokenized[i].clone())
-            .collect();
+        let tokenized = indices.iter().map(|&i| self.tokenized[i].clone()).collect();
         Corpus { records, tokenized }
     }
 
@@ -208,10 +203,17 @@ mod tests {
     fn from_records_tokenizes_content() {
         let t = Tokenizer::default();
         let c = Corpus::from_records(
-            [LogRecord::with_timestamp(7, "2008-11-11 03:40:58", "Receiving block blk_1")],
+            [LogRecord::with_timestamp(
+                7,
+                "2008-11-11 03:40:58",
+                "Receiving block blk_1",
+            )],
             &t,
         );
-        assert_eq!(c.record(0).timestamp.as_deref(), Some("2008-11-11 03:40:58"));
+        assert_eq!(
+            c.record(0).timestamp.as_deref(),
+            Some("2008-11-11 03:40:58")
+        );
         assert_eq!(c.tokens(0), &["Receiving", "block", "blk_1"]);
     }
 }

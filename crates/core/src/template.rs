@@ -1,9 +1,7 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One position of a [`Template`]: either fixed text or a wildcard.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TemplateToken {
     /// Constant text that appears verbatim in every occurrence of the event.
     Literal(String),
@@ -42,7 +40,7 @@ impl TemplateToken {
 /// assert_eq!(t.to_string(), "got * items");
 /// assert!(t.matches(&["got".into(), "0".into(), "items".into()]));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Template {
     tokens: Vec<TemplateToken>,
     /// When `true`, the template matches messages with extra trailing
@@ -279,7 +277,11 @@ mod tests {
 
     #[test]
     fn from_cluster_disagreeing_positions_become_wildcards() {
-        let msgs = [toks("got 7 items"), toks("got 9 items"), toks("got 7 items")];
+        let msgs = [
+            toks("got 7 items"),
+            toks("got 9 items"),
+            toks("got 7 items"),
+        ];
         let t = Template::from_cluster(msgs.iter().map(Vec::as_slice));
         assert_eq!(t.to_string(), "got * items");
     }
@@ -336,6 +338,11 @@ mod tests {
     #[test]
     fn extract_parameters_of_all_literal_template_is_empty() {
         let t = Template::from_pattern("fixed text only");
-        assert_eq!(t.extract_parameters(&toks("fixed text only")).unwrap().len(), 0);
+        assert_eq!(
+            t.extract_parameters(&toks("fixed text only"))
+                .unwrap()
+                .len(),
+            0
+        );
     }
 }

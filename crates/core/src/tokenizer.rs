@@ -21,19 +21,10 @@
 /// let t = Tokenizer::new().with_extra_delimiter('=');
 /// assert_eq!(t.tokenize("size=42 done"), vec!["size", "42", "done"]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Tokenizer {
     extra_delimiters: Vec<char>,
     trim_punctuation: bool,
-}
-
-impl Default for Tokenizer {
-    fn default() -> Self {
-        Tokenizer {
-            extra_delimiters: Vec::new(),
-            trim_punctuation: false,
-        }
-    }
 }
 
 impl Tokenizer {
@@ -78,7 +69,9 @@ impl Tokenizer {
             .split(is_sep)
             .filter_map(|raw| {
                 let token = if self.trim_punctuation {
-                    raw.trim_matches(|c: char| matches!(c, ':' | ',' | ';' | '(' | ')' | '[' | ']' | '"' | '\''))
+                    raw.trim_matches(|c: char| {
+                        matches!(c, ':' | ',' | ';' | '(' | ')' | '[' | ']' | '"' | '\'')
+                    })
                 } else {
                     raw
                 };
@@ -101,7 +94,14 @@ mod tests {
         let t = Tokenizer::default();
         assert_eq!(
             t.tokenize("PacketResponder 1 for block blk_1 terminating"),
-            vec!["PacketResponder", "1", "for", "block", "blk_1", "terminating"]
+            vec![
+                "PacketResponder",
+                "1",
+                "for",
+                "block",
+                "blk_1",
+                "terminating"
+            ]
         );
     }
 

@@ -1,0 +1,358 @@
+//! Offline drop-in subset of the `criterion` benchmark API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion its benches use: [`Criterion`],
+//! benchmark groups with `sample_size`/`throughput`/`bench_with_input`/
+//! `bench_function`, [`BenchmarkId`], [`Throughput`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical engine, each benchmark is warmed
+//! up briefly and then timed over enough iterations to fill a small
+//! measurement budget; the harness reports mean wall-clock time per
+//! iteration (and derived throughput) on stdout. Under `cargo test`
+//! (the `--test` flag cargo passes to `harness = false` targets) every
+//! benchmark runs exactly once, as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function/parameter`.
+    pub fn new(function: impl ToString, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.to_string(), parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Drives closures under measurement; passed to every benchmark body.
+pub struct Bencher<'a> {
+    mode: Mode,
+    report: &'a mut Vec<String>,
+    label: String,
+    throughput: Option<Throughput>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (cargo bench).
+    Measure,
+    /// One iteration per benchmark (cargo test).
+    Smoke,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, discarding its output through a black box.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            self.report.push(format!("{} ... smoke ok", self.label));
+            return;
+        }
+        // Warm-up: run until ~50ms or 3 iterations, whichever is later.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Measurement budget ~250ms, at least 5 iterations.
+        let iters = ((0.25 / per_iter.max(1e-9)) as u64).clamp(5, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let mean = elapsed / iters as f64;
+        let mut line = format!(
+            "{:<48} {:>12} /iter ({iters} iters)",
+            self.label,
+            fmt_time(mean)
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = count as f64 / mean;
+            let _ = write!(line, "  {:>14}", format!("{} {unit}/s", fmt_rate(rate)));
+        }
+        self.report.push(line);
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().name);
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            report: &mut self.criterion.report,
+            label,
+            throughput: self.throughput,
+        };
+        routine(&mut bencher, input);
+        self
+    }
+
+    /// Benchmarks a plain routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into().name);
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            report: &mut self.criterion.report,
+            label,
+            throughput: self.throughput,
+        };
+        routine(&mut bencher);
+        self
+    }
+
+    /// Flushes the group's report lines.
+    pub fn finish(self) {
+        self.criterion.flush();
+    }
+}
+
+/// Sampling mode stub (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum SamplingMode {
+    /// Automatic selection.
+    Auto,
+    /// Fixed-iteration sampling.
+    Flat,
+    /// Linear sampling.
+    Linear,
+}
+
+/// The top-level benchmark manager.
+pub struct Criterion {
+    mode: Mode,
+    report: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench targets with `--test`
+        // under `cargo test`; run each benchmark once there.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if smoke { Mode::Smoke } else { Mode::Measure },
+            report: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher {
+            mode: self.mode,
+            report: &mut self.report,
+            label: name.to_owned(),
+            throughput: None,
+        };
+        routine(&mut bencher);
+        self.flush();
+        self
+    }
+
+    fn flush(&mut self) {
+        for line in self.report.drain(..) {
+            println!("  {line}");
+        }
+    }
+
+    /// Final configuration hook used by [`criterion_main!`].
+    pub fn final_summary(&mut self) {
+        self.flush();
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once_and_reports() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            report: Vec::new(),
+        };
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.throughput(Throughput::Elements(10));
+            group.bench_with_input(BenchmarkId::new("f", 1), &3, |b, &x| {
+                b.iter(|| {
+                    runs += 1;
+                    x * 2
+                })
+            });
+        }
+        assert_eq!(runs, 1);
+        assert_eq!(c.report.len(), 1);
+        assert!(c.report[0].contains("g/f/1"));
+    }
+
+    #[test]
+    fn measure_mode_times_the_routine() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            report: Vec::new(),
+        };
+        c.bench_function("tiny", |b| b.iter(|| black_box(1u64 + 1)));
+        // flushed to stdout, report drained
+        assert!(c.report.is_empty());
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+        assert_eq!(fmt_rate(2_500_000.0), "2.50M");
+    }
+}

@@ -160,10 +160,7 @@ impl DatasetSpec {
     /// The range of template lengths (min, max) in tokens.
     pub fn length_range(&self) -> (usize, usize) {
         let lens = self.templates.iter().map(TemplateSpec::len);
-        (
-            lens.clone().min().unwrap_or(0),
-            lens.max().unwrap_or(0),
-        )
+        (lens.clone().min().unwrap_or(0), lens.max().unwrap_or(0))
     }
 
     /// Generates `n` messages with the configured frequency skew,
@@ -181,7 +178,11 @@ impl DatasetSpec {
         LabeledCorpus {
             corpus: Corpus::from_lines(lines, &Tokenizer::default()),
             labels,
-            truth_templates: self.templates.iter().map(TemplateSpec::ground_truth).collect(),
+            truth_templates: self
+                .templates
+                .iter()
+                .map(TemplateSpec::ground_truth)
+                .collect(),
         }
     }
 }

@@ -221,7 +221,11 @@ pub fn generate_sessions(blocks: usize, anomaly_rate: f64, seed: u64) -> HdfsSes
     for block in 0..blocks {
         let block_id = format!("blk_{}", rng.gen_range(10_u64.pow(17)..10_u64.pow(19)));
         let is_anomalous = rng.gen_bool(anomaly_rate);
-        let emit = |ev: usize, rng: &mut StdRng, lines: &mut Vec<String>, labels: &mut Vec<usize>, block_of: &mut Vec<usize>| {
+        let emit = |ev: usize,
+                    rng: &mut StdRng,
+                    lines: &mut Vec<String>,
+                    labels: &mut Vec<usize>,
+                    block_of: &mut Vec<usize>| {
             lines.push(render_for_block(&specs[ev], rng, &block_id));
             labels.push(ev);
             block_of.push(block);
@@ -231,54 +235,217 @@ pub fn generate_sessions(blocks: usize, anomaly_rate: f64, seed: u64) -> HdfsSes
             let kind = ANOMALY_KINDS[rng.gen_range(0..ANOMALY_KINDS.len())];
             match kind {
                 AnomalyKind::TruncatedWrite => {
-                    emit(event::ALLOCATE, &mut rng, &mut lines, &mut labels, &mut block_of);
+                    emit(
+                        event::ALLOCATE,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
                     for _ in 0..3 {
-                        emit(event::RECEIVING, &mut rng, &mut lines, &mut labels, &mut block_of);
+                        emit(
+                            event::RECEIVING,
+                            &mut rng,
+                            &mut lines,
+                            &mut labels,
+                            &mut block_of,
+                        );
                     }
                     for _ in 0..rng.gen_range(1..=3) {
-                        emit(event::EXCEPTION_RECEIVE, &mut rng, &mut lines, &mut labels, &mut block_of);
+                        emit(
+                            event::EXCEPTION_RECEIVE,
+                            &mut rng,
+                            &mut lines,
+                            &mut labels,
+                            &mut block_of,
+                        );
                     }
-                    emit(event::WRITE_EXCEPTION, &mut rng, &mut lines, &mut labels, &mut block_of);
-                    emit(event::RESPONDER_INTERRUPTED, &mut rng, &mut lines, &mut labels, &mut block_of);
+                    emit(
+                        event::WRITE_EXCEPTION,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
+                    emit(
+                        event::RESPONDER_INTERRUPTED,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
                 }
                 AnomalyKind::ReplicationStorm => {
-                    normal_write(&mut rng, &specs, &block_id, block, 2, &mut lines, &mut labels, &mut block_of);
-                    emit(event::ASK_REPLICATE, &mut rng, &mut lines, &mut labels, &mut block_of);
+                    normal_write(
+                        &mut rng,
+                        &specs,
+                        &block_id,
+                        block,
+                        2,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
+                    emit(
+                        event::ASK_REPLICATE,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
                     for _ in 0..rng.gen_range(2..=4) {
-                        emit(event::START_TRANSFER, &mut rng, &mut lines, &mut labels, &mut block_of);
-                        emit(event::FAILED_TRANSFER, &mut rng, &mut lines, &mut labels, &mut block_of);
+                        emit(
+                            event::START_TRANSFER,
+                            &mut rng,
+                            &mut lines,
+                            &mut labels,
+                            &mut block_of,
+                        );
+                        emit(
+                            event::FAILED_TRANSFER,
+                            &mut rng,
+                            &mut lines,
+                            &mut labels,
+                            &mut block_of,
+                        );
                     }
-                    emit(event::PENDING_TIMEOUT, &mut rng, &mut lines, &mut labels, &mut block_of);
+                    emit(
+                        event::PENDING_TIMEOUT,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
                 }
                 AnomalyKind::RedundantAdd => {
-                    normal_write(&mut rng, &specs, &block_id, block, 3, &mut lines, &mut labels, &mut block_of);
-                    emit(event::ALREADY_EXISTS, &mut rng, &mut lines, &mut labels, &mut block_of);
+                    normal_write(
+                        &mut rng,
+                        &specs,
+                        &block_id,
+                        block,
+                        3,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
+                    emit(
+                        event::ALREADY_EXISTS,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
                     for _ in 0..rng.gen_range(3..=6) {
-                        emit(event::REDUNDANT_ADD, &mut rng, &mut lines, &mut labels, &mut block_of);
+                        emit(
+                            event::REDUNDANT_ADD,
+                            &mut rng,
+                            &mut lines,
+                            &mut labels,
+                            &mut block_of,
+                        );
                     }
                 }
                 AnomalyKind::DeleteRace => {
-                    normal_write(&mut rng, &specs, &block_id, block, 3, &mut lines, &mut labels, &mut block_of);
-                    emit(event::DELETE, &mut rng, &mut lines, &mut labels, &mut block_of);
-                    emit(event::UNEXPECTED_DELETE, &mut rng, &mut lines, &mut labels, &mut block_of);
-                    emit(event::ADD_NO_FILE, &mut rng, &mut lines, &mut labels, &mut block_of);
-                    emit(event::REMOVING_NEEDED, &mut rng, &mut lines, &mut labels, &mut block_of);
+                    normal_write(
+                        &mut rng,
+                        &specs,
+                        &block_id,
+                        block,
+                        3,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
+                    emit(
+                        event::DELETE,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
+                    emit(
+                        event::UNEXPECTED_DELETE,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
+                    emit(
+                        event::ADD_NO_FILE,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
+                    emit(
+                        event::REMOVING_NEEDED,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
                 }
                 AnomalyKind::ServeFailure => {
-                    normal_write(&mut rng, &specs, &block_id, block, 3, &mut lines, &mut labels, &mut block_of);
-                    emit(event::SERVED, &mut rng, &mut lines, &mut labels, &mut block_of);
+                    normal_write(
+                        &mut rng,
+                        &specs,
+                        &block_id,
+                        block,
+                        3,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
+                    emit(
+                        event::SERVED,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
                     for _ in 0..rng.gen_range(2..=3) {
-                        emit(event::SERVE_EXCEPTION, &mut rng, &mut lines, &mut labels, &mut block_of);
+                        emit(
+                            event::SERVE_EXCEPTION,
+                            &mut rng,
+                            &mut lines,
+                            &mut labels,
+                            &mut block_of,
+                        );
                     }
-                    emit(event::INTERRUPTED_RECEIVER, &mut rng, &mut lines, &mut labels, &mut block_of);
-                    emit(event::REOPEN, &mut rng, &mut lines, &mut labels, &mut block_of);
+                    emit(
+                        event::INTERRUPTED_RECEIVER,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
+                    emit(
+                        event::REOPEN,
+                        &mut rng,
+                        &mut lines,
+                        &mut labels,
+                        &mut block_of,
+                    );
                 }
             }
         } else {
-            normal_write(&mut rng, &specs, &block_id, block, 3, &mut lines, &mut labels, &mut block_of);
+            normal_write(
+                &mut rng,
+                &specs,
+                &block_id,
+                block,
+                3,
+                &mut lines,
+                &mut labels,
+                &mut block_of,
+            );
             // Occasional healthy read / maintenance traffic.
             if rng.gen_bool(0.3) {
-                lines.push(render_for_block(&specs[event::VERIFICATION], &mut rng, &block_id));
+                lines.push(render_for_block(
+                    &specs[event::VERIFICATION],
+                    &mut rng,
+                    &block_id,
+                ));
                 labels.push(event::VERIFICATION);
                 block_of.push(block);
             }
@@ -291,7 +458,11 @@ pub fn generate_sessions(blocks: usize, anomaly_rate: f64, seed: u64) -> HdfsSes
                 lines.push(render_for_block(&specs[event::DELETE], &mut rng, &block_id));
                 labels.push(event::DELETE);
                 block_of.push(block);
-                lines.push(render_for_block(&specs[event::DELETING_FILE], &mut rng, &block_id));
+                lines.push(render_for_block(
+                    &specs[event::DELETING_FILE],
+                    &mut rng,
+                    &block_id,
+                ));
                 labels.push(event::DELETING_FILE);
                 block_of.push(block);
             }
@@ -366,7 +537,13 @@ fn normal_write(
 fn render_for_block(spec: &TemplateSpec, rng: &mut StdRng, block_id: &str) -> String {
     let raw = spec.render(rng);
     raw.split_whitespace()
-        .map(|token| if token.starts_with("blk_") { block_id } else { token })
+        .map(|token| {
+            if token.starts_with("blk_") {
+                block_id
+            } else {
+                token
+            }
+        })
         .collect::<Vec<_>>()
         .join(" ")
 }

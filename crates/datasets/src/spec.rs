@@ -79,7 +79,11 @@ impl SlotKind {
             ),
             SlotKind::BlockId => {
                 let sign = if rng.gen_bool(0.5) { "-" } else { "" };
-                format!("blk_{}{}", sign, rng.gen_range(10_u64.pow(17)..10_u64.pow(19)))
+                format!(
+                    "blk_{}{}",
+                    sign,
+                    rng.gen_range(10_u64.pow(17)..10_u64.pow(19))
+                )
             }
             SlotKind::CoreId => format!("core.{}", rng.gen_range(1..10_000u32)),
             SlotKind::Int { lo, hi } => rng.gen_range(*lo..=*hi).to_string(),
@@ -96,7 +100,12 @@ impl SlotKind {
                     "user", "data", "tmp", "var", "jobs", "spool", "cache", "logs",
                 ];
                 const FILES: [&str; 6] = [
-                    "part-00011", "output.dat", "task_0001", "image.img", "segment.log", "x.tmp",
+                    "part-00011",
+                    "output.dat",
+                    "task_0001",
+                    "image.img",
+                    "segment.log",
+                    "x.tmp",
                 ];
                 let depth = rng.gen_range(2..=4usize);
                 let mut s = String::new();
@@ -182,8 +191,18 @@ impl TemplateSpec {
     /// Panics if the pattern is empty.
     pub fn parse(pattern: &str) -> Self {
         const USERS: &[&str] = &[
-            "root", "hdfs", "mapred", "svc-batch", "alice", "bob", "carol", "dave", "erin",
-            "frank", "grace", "heidi",
+            "root",
+            "hdfs",
+            "mapred",
+            "svc-batch",
+            "alice",
+            "bob",
+            "carol",
+            "dave",
+            "erin",
+            "frank",
+            "grace",
+            "heidi",
         ];
         let segments: Vec<Segment> = pattern
             .split_whitespace()
@@ -270,7 +289,10 @@ mod tests {
         let spec = TemplateSpec::parse("Receiving block <blk> src: <ip:port>");
         assert_eq!(spec.len(), 5);
         assert!(matches!(spec.segments()[0], Segment::Literal(_)));
-        assert!(matches!(spec.segments()[2], Segment::Slot(SlotKind::BlockId)));
+        assert!(matches!(
+            spec.segments()[2],
+            Segment::Slot(SlotKind::BlockId)
+        ));
     }
 
     #[test]
@@ -305,7 +327,9 @@ mod tests {
         assert!(SlotKind::IpPort.render(&mut rng).starts_with("/10."));
         assert!(SlotKind::BlockId.render(&mut rng).starts_with("blk_"));
         assert!(SlotKind::CoreId.render(&mut rng).starts_with("core."));
-        assert!(SlotKind::Hex { width: 4 }.render(&mut rng).starts_with("0x"));
+        assert!(SlotKind::Hex { width: 4 }
+            .render(&mut rng)
+            .starts_with("0x"));
         assert!(SlotKind::Path.render(&mut rng).starts_with('/'));
         let ms = SlotKind::DurationMs.render(&mut rng);
         assert!(ms.ends_with("ms"));
@@ -315,7 +339,10 @@ mod tests {
     fn int_slot_respects_bounds() {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..100 {
-            let v: i64 = SlotKind::Int { lo: -5, hi: 5 }.render(&mut rng).parse().unwrap();
+            let v: i64 = SlotKind::Int { lo: -5, hi: 5 }
+                .render(&mut rng)
+                .parse()
+                .unwrap();
             assert!((-5..=5).contains(&v));
         }
     }

@@ -18,34 +18,163 @@ use rand::{Rng, SeedableRng};
 use crate::{Segment, SlotKind, TemplateSpec};
 
 const COMPONENTS: &[&str] = &[
-    "kernel:", "ciod:", "mmcs:", "ras:", "app:", "monitor:", "linkcard:", "idoproxy:",
-    "scheduler:", "daemon:", "driver:", "bglmaster:", "fsd:", "mux:", "console:", "power:",
-    "fan:", "clock:", "memory:", "cache:", "torus:", "tree:", "ethernet:", "jtag:",
-    "service:", "node:", "rack:", "midplane:", "card:", "chip:", "port:", "sensor:",
+    "kernel:",
+    "ciod:",
+    "mmcs:",
+    "ras:",
+    "app:",
+    "monitor:",
+    "linkcard:",
+    "idoproxy:",
+    "scheduler:",
+    "daemon:",
+    "driver:",
+    "bglmaster:",
+    "fsd:",
+    "mux:",
+    "console:",
+    "power:",
+    "fan:",
+    "clock:",
+    "memory:",
+    "cache:",
+    "torus:",
+    "tree:",
+    "ethernet:",
+    "jtag:",
+    "service:",
+    "node:",
+    "rack:",
+    "midplane:",
+    "card:",
+    "chip:",
+    "port:",
+    "sensor:",
 ];
 
 const VERBS: &[&str] = &[
-    "detected", "failed", "completed", "started", "stopped", "received", "sent", "dropped",
-    "corrected", "ignored", "registered", "released", "allocated", "flushed", "invalidated",
-    "synchronized", "timed-out", "recovered", "suspended", "resumed", "initialized",
-    "terminated", "rejected", "accepted", "committed", "aborted", "queued", "dispatched",
-    "retried", "escalated", "throttled", "verified",
+    "detected",
+    "failed",
+    "completed",
+    "started",
+    "stopped",
+    "received",
+    "sent",
+    "dropped",
+    "corrected",
+    "ignored",
+    "registered",
+    "released",
+    "allocated",
+    "flushed",
+    "invalidated",
+    "synchronized",
+    "timed-out",
+    "recovered",
+    "suspended",
+    "resumed",
+    "initialized",
+    "terminated",
+    "rejected",
+    "accepted",
+    "committed",
+    "aborted",
+    "queued",
+    "dispatched",
+    "retried",
+    "escalated",
+    "throttled",
+    "verified",
 ];
 
 const OBJECTS: &[&str] = &[
-    "instruction", "packet", "interrupt", "transaction", "request", "response", "heartbeat",
-    "checkpoint", "barrier", "message", "buffer", "page", "segment", "frame", "block",
-    "channel", "stream", "session", "lease", "token", "lock", "mutex", "semaphore",
-    "thread", "process", "job", "task", "queue", "socket", "connection", "route", "table",
-    "entry", "record", "register", "counter", "timer", "alarm", "event", "signal",
-    "descriptor", "handle", "region", "zone", "bank", "rank", "lane", "link",
+    "instruction",
+    "packet",
+    "interrupt",
+    "transaction",
+    "request",
+    "response",
+    "heartbeat",
+    "checkpoint",
+    "barrier",
+    "message",
+    "buffer",
+    "page",
+    "segment",
+    "frame",
+    "block",
+    "channel",
+    "stream",
+    "session",
+    "lease",
+    "token",
+    "lock",
+    "mutex",
+    "semaphore",
+    "thread",
+    "process",
+    "job",
+    "task",
+    "queue",
+    "socket",
+    "connection",
+    "route",
+    "table",
+    "entry",
+    "record",
+    "register",
+    "counter",
+    "timer",
+    "alarm",
+    "event",
+    "signal",
+    "descriptor",
+    "handle",
+    "region",
+    "zone",
+    "bank",
+    "rank",
+    "lane",
+    "link",
 ];
 
 const FILLERS: &[&str] = &[
-    "on", "for", "with", "from", "to", "at", "in", "status", "state", "code", "reason",
-    "mode", "level", "phase", "unit", "after", "before", "during", "total", "errors",
-    "warnings", "retries", "attempts", "pending", "active", "idle", "critical", "minor",
-    "major", "data", "parity", "ecc", "address", "threshold", "limit", "value",
+    "on",
+    "for",
+    "with",
+    "from",
+    "to",
+    "at",
+    "in",
+    "status",
+    "state",
+    "code",
+    "reason",
+    "mode",
+    "level",
+    "phase",
+    "unit",
+    "after",
+    "before",
+    "during",
+    "total",
+    "errors",
+    "warnings",
+    "retries",
+    "attempts",
+    "pending",
+    "active",
+    "idle",
+    "critical",
+    "minor",
+    "major",
+    "data",
+    "parity",
+    "ecc",
+    "address",
+    "threshold",
+    "limit",
+    "value",
 ];
 
 const SLOT_CHOICES: &[SlotKind] = &[
@@ -202,10 +331,7 @@ mod tests {
     #[test]
     fn templates_are_distinct() {
         let specs = synthesize_templates(300, 4, 30, 2);
-        let mut truths: Vec<String> = specs
-            .iter()
-            .map(|s| s.ground_truth().to_string())
-            .collect();
+        let mut truths: Vec<String> = specs.iter().map(|s| s.ground_truth().to_string()).collect();
         truths.sort();
         truths.dedup();
         assert_eq!(truths.len(), 300, "every template must be unique");

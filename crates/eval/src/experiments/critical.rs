@@ -214,10 +214,7 @@ mod tests {
             fa(&points, CorruptionTarget::Critical, 0.0),
             fa(&points, CorruptionTarget::NonCritical, 0.0)
         );
-        let zero = points
-            .iter()
-            .find(|p| p.error_rate == 0.0)
-            .unwrap();
+        let zero = points.iter().find(|p| p.error_rate == 0.0).unwrap();
         assert_eq!(zero.overall_error, 0.0);
     }
 

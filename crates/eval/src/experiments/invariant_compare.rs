@@ -72,9 +72,10 @@ pub fn run(config: &CompareConfig) -> (Vec<ComparePoint>, usize) {
         ..PcaDetectorConfig::default()
     });
     let miner = InvariantMiner::new(InvariantMinerConfig::default());
-    let sample = sessions
-        .data
-        .sample(config.tuning_sample.min(sessions.data.len()), config.seed ^ 0x77);
+    let sample = sessions.data.sample(
+        config.tuning_sample.min(sessions.data.len()),
+        config.seed ^ 0x77,
+    );
 
     let mut rows = Vec::new();
     let mut evaluate = |name: &'static str, accuracy: f64, counts: logparse_linalg::Matrix| {

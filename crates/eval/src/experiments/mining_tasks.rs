@@ -65,7 +65,11 @@ pub fn run(config: &MiningTasksConfig) -> Vec<MiningTaskRow> {
     // Development corpus: healthy flows only. Deployment corpus: some
     // anomalous flows — genuinely new sequences a developer must see.
     let dev = hdfs::generate_sessions(config.dev_blocks, 0.0, config.seed);
-    let prod = hdfs::generate_sessions(config.prod_blocks, config.prod_anomaly_rate, config.seed + 1);
+    let prod = hdfs::generate_sessions(
+        config.prod_blocks,
+        config.prod_anomaly_rate,
+        config.seed + 1,
+    );
 
     // One combined corpus so a single parse yields consistent event ids
     // across both environments.

@@ -39,7 +39,11 @@ pub struct DatasetAccuracy {
 /// Averages the parser's F-measure over `runs` seeds (1 for
 /// deterministic methods).
 fn average_f1(tuned: &TunedParser, sample: &LabeledCorpus, runs: usize) -> f64 {
-    let runs = if tuned.kind().is_randomized() { runs } else { 1 };
+    let runs = if tuned.kind().is_randomized() {
+        runs
+    } else {
+        1
+    };
     let mut total = 0.0;
     for seed in 0..runs as u64 {
         let parser = tuned.instantiate(seed);
@@ -108,9 +112,7 @@ pub fn render(columns: &[DatasetAccuracy]) -> TextTable {
         for column in columns {
             let (cell_kind, cell) = column.cells[i];
             debug_assert_eq!(cell_kind, *kind);
-            let pre = cell
-                .preprocessed
-                .map_or_else(|| "-".to_string(), fmt_f2);
+            let pre = cell.preprocessed.map_or_else(|| "-".to_string(), fmt_f2);
             row.push(format!("{}/{}", fmt_f2(cell.raw), pre));
         }
         table.add_row(row);
@@ -146,8 +148,12 @@ mod tests {
         let sample = hdfs::generate(50, 3);
         let pre = preprocess_sample(&sample, &dataset_preprocessor("HDFS"));
         assert_eq!(pre.len(), sample.len());
-        let any_masked = (0..pre.len())
-            .any(|i| pre.corpus.tokens(i).iter().any(|t| t == "$BLK" || t == "$IP"));
+        let any_masked = (0..pre.len()).any(|i| {
+            pre.corpus
+                .tokens(i)
+                .iter()
+                .any(|t| t == "$BLK" || t == "$IP")
+        });
         assert!(any_masked);
     }
 

@@ -83,12 +83,9 @@ impl TunedParser {
             ),
             ParserKind::Iplom => Box::new(Iplom::default()),
             ParserKind::Lke => Box::new(Lke::builder().fixed_threshold(self.lke_threshold).build()),
-            ParserKind::LogSig => Box::new(
-                LogSig::builder()
-                    .clusters(self.clusters)
-                    .seed(seed)
-                    .build(),
-            ),
+            ParserKind::LogSig => {
+                Box::new(LogSig::builder().clusters(self.clusters).seed(seed).build())
+            }
         }
     }
 }

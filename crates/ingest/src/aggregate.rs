@@ -1,0 +1,567 @@
+//! The aggregator thread: merges shard template snapshots into a global
+//! id space, maintains tumbling event-count windows, and scores each
+//! closed window online with the PCA detector from `logparse-mining`.
+//!
+//! ## Stable global group ids
+//!
+//! Shards learn templates independently, so the same event shape can get
+//! different local ids on different shards (and, with round-robin
+//! sharding, the *same* shape on two shards). The aggregator maintains a
+//! `(shard, local_id) → global_id` map built from the template lists
+//! shards attach to their batches. Identical template strings unify to
+//! one global id; when a template later *refines* (gains a wildcard) and
+//! collides with another global id's string, the two ids are merged with
+//! a union-find — the smaller (older) id stays canonical, so global ids
+//! are stable for the life of the pipeline and across checkpoints.
+//!
+//! ## Windows
+//!
+//! Windows are keyed by line sequence number (`window = seq /
+//! window_size`), not by arrival time, so the window contents are
+//! deterministic no matter how shard threads interleave. A window closes
+//! when all of its lines have been parsed; closed windows form the row
+//! history the detector scores against.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+use logparse_linalg::Matrix;
+use logparse_mining::PcaDetector;
+
+use crate::checkpoint::{Checkpoint, GlobalMapState, ParserSnapshot};
+use crate::events::{fields, EventLog};
+use crate::json::Json;
+use crate::worker::ShardOutput;
+use crate::{IngestError, ParserChoice, WindowScore};
+
+/// Stable `(shard, local) → global` template-id mapping.
+#[derive(Debug, Default)]
+pub(crate) struct GlobalMap {
+    templates: Vec<String>,
+    parent: Vec<usize>,
+    by_string: HashMap<String, usize>,
+    assign: HashMap<(usize, usize), usize>,
+}
+
+impl GlobalMap {
+    pub fn new() -> Self {
+        GlobalMap::default()
+    }
+
+    pub fn from_state(state: &GlobalMapState) -> Self {
+        let mut map = GlobalMap {
+            templates: state.templates.clone(),
+            parent: state.parent.clone(),
+            by_string: HashMap::new(),
+            assign: state.assign.iter().map(|&(s, l, g)| ((s, l), g)).collect(),
+        };
+        for id in 0..map.templates.len() {
+            if map.find(id) == id {
+                let text = map.templates[id].clone();
+                map.by_string.entry(text).or_insert(id);
+            }
+        }
+        map
+    }
+
+    /// Exports persistent state. Assignments for local ids at or beyond
+    /// each shard's snapshot length are pruned: those groups were
+    /// discovered after the snapshot was taken and will be re-learned
+    /// (and re-unified by template string) after a restore.
+    pub fn export(&mut self, shard_group_counts: &[usize]) -> GlobalMapState {
+        let mut assign: Vec<(usize, usize, usize)> = self
+            .assign
+            .iter()
+            .map(|(&(s, l), &g)| (s, l, g))
+            .filter(|&(s, l, _)| shard_group_counts.get(s).is_some_and(|&n| l < n))
+            .collect();
+        assign.sort_unstable();
+        let assign = assign
+            .into_iter()
+            .map(|(s, l, g)| (s, l, self.find(g)))
+            .collect();
+        GlobalMapState {
+            templates: self.templates.clone(),
+            parent: self.parent.clone(),
+            assign,
+        }
+    }
+
+    fn find(&mut self, mut id: usize) -> usize {
+        while self.parent[id] != id {
+            let grand = self.parent[self.parent[id]];
+            self.parent[id] = grand; // path halving
+            id = grand;
+        }
+        id
+    }
+
+    /// Folds a shard's current template list into the global map.
+    pub fn merge_shard(&mut self, shard: usize, templates: &[String]) {
+        for (local, text) in templates.iter().enumerate() {
+            match self.assign.get(&(shard, local)).copied() {
+                Some(assigned) => {
+                    let root = self.find(assigned);
+                    if self.templates[root] != *text {
+                        // The template refined. Drop the stale string
+                        // index entry, then unify with any existing id
+                        // that already carries the new string.
+                        if self.by_string.get(&self.templates[root]) == Some(&root) {
+                            self.by_string.remove(&self.templates[root]);
+                        }
+                        match self.by_string.get(text).copied() {
+                            Some(other) => {
+                                let other = self.find(other);
+                                if other != root {
+                                    let (winner, loser) = if other < root {
+                                        (other, root)
+                                    } else {
+                                        (root, other)
+                                    };
+                                    self.parent[loser] = winner;
+                                    self.templates[winner] = text.clone();
+                                    self.by_string.insert(text.clone(), winner);
+                                }
+                            }
+                            None => {
+                                self.templates[root] = text.clone();
+                                self.by_string.insert(text.clone(), root);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let global = match self.by_string.get(text).copied() {
+                        Some(existing) => self.find(existing),
+                        None => {
+                            let id = self.templates.len();
+                            self.templates.push(text.clone());
+                            self.parent.push(id);
+                            self.by_string.insert(text.clone(), id);
+                            id
+                        }
+                    };
+                    self.assign.insert((shard, local), global);
+                }
+            }
+        }
+    }
+
+    /// Resolves a shard-local id to its canonical global id.
+    pub fn resolve(&mut self, shard: usize, local: usize) -> Option<usize> {
+        let assigned = self.assign.get(&(shard, local)).copied()?;
+        Some(self.find(assigned))
+    }
+
+    /// Number of global ids ever allocated (column space for scoring).
+    pub fn id_space(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Canonical `(global id, template)` pairs, id-ascending.
+    pub fn canonical_templates(&mut self) -> Vec<(usize, String)> {
+        (0..self.templates.len())
+            .filter(|&id| self.parent[id] == id)
+            .map(|id| (id, self.templates[id].clone()))
+            .collect()
+    }
+}
+
+/// Everything the aggregator needs besides the result channel.
+pub(crate) struct AggregatorConfig {
+    pub shards: usize,
+    pub parser: ParserChoice,
+    pub window_size: usize,
+    pub history: usize,
+    pub warmup: usize,
+    pub detector: PcaDetector,
+    pub checkpoint_path: Option<PathBuf>,
+    pub events: Arc<EventLog>,
+    pub resume: Option<GlobalMapState>,
+    /// Sequence number the router starts at (the resumed checkpoint's
+    /// `lines`, or 0 for fresh runs) — keeps window numbering and final
+    /// checkpoint line counts continuous across restarts.
+    pub seq_base: u64,
+}
+
+/// What the aggregator learned, merged into the run summary.
+#[derive(Debug)]
+pub(crate) struct AggregatorOutcome {
+    pub templates: Vec<(usize, String)>,
+    pub windows: Vec<WindowScore>,
+    pub anomalies: Vec<u64>,
+    pub checkpoints_written: u64,
+    pub final_snapshots: Vec<ParserSnapshot>,
+    pub shard_observed: Vec<usize>,
+    pub batches: u64,
+}
+
+#[derive(Debug, Default)]
+struct WindowAcc {
+    counts: HashMap<usize, u32>,
+    seen: usize,
+}
+
+/// A closed window: id, sorted `(global id, count)` pairs, and whether
+/// it was flagged anomalous. Flagged windows stay in the history deque
+/// for bookkeeping but are excluded from future training rows, so one
+/// burst cannot teach the detector that bursts are normal.
+type ClosedWindow = (u64, Vec<(usize, u32)>, bool);
+
+/// A window is anomalous only if its residual clears the Q-statistic
+/// *and* both of these multiples of the training residuals. In-fit
+/// residuals run lower than held-out ones, hence the generous margins;
+/// genuine bursts clear them by another order of magnitude.
+const MEDIAN_MARGIN: f64 = 100.0;
+const PEAK_MARGIN: f64 = 10.0;
+
+/// Training residuals below this are numerical dust: when the history
+/// windows are (near-)identical the PCA reconstructs them exactly and
+/// the in-fit SPEs come out around 1e-31 — squared f64 rounding error,
+/// not evidence of real window-to-window variance. Scaling dust by the
+/// margins above still yields a threshold any genuine sampling noise
+/// "exceeds", so until the history's own peak residual clears this
+/// floor there is no scale to judge a candidate against and nothing is
+/// flagged.
+const RESIDUAL_FLOOR: f64 = 1e-9;
+
+/// The aggregator loop: runs on its own thread until every shard has
+/// reported `Done`, then flushes partial windows and writes the final
+/// checkpoint.
+pub(crate) fn run_aggregator(
+    config: AggregatorConfig,
+    results: Receiver<ShardOutput>,
+) -> Result<AggregatorOutcome, IngestError> {
+    let AggregatorConfig {
+        shards,
+        parser,
+        window_size,
+        history,
+        warmup,
+        detector,
+        checkpoint_path,
+        events,
+        resume,
+        seq_base,
+    } = config;
+
+    let mut map = match &resume {
+        Some(state) => GlobalMap::from_state(state),
+        None => GlobalMap::new(),
+    };
+    let mut open: HashMap<u64, WindowAcc> = HashMap::new();
+    let mut closed: VecDeque<ClosedWindow> = VecDeque::new();
+    let mut windows: Vec<WindowScore> = Vec::new();
+    let mut anomalies: Vec<u64> = Vec::new();
+    let mut pending_checkpoints: HashMap<u64, (u64, Vec<Option<ParserSnapshot>>)> = HashMap::new();
+    let mut checkpoints_written = 0u64;
+    let mut final_snapshots: Vec<Option<ParserSnapshot>> = (0..shards).map(|_| None).collect();
+    let mut shard_observed = vec![0usize; shards];
+    let mut batches = 0u64;
+    let mut done = 0usize;
+
+    let mut score_window = |window_id: u64,
+                            acc: WindowAcc,
+                            map: &mut GlobalMap,
+                            closed: &mut VecDeque<ClosedWindow>| {
+        let mut counts: Vec<(usize, u32)> = acc.counts.into_iter().collect();
+        counts.sort_unstable();
+        // Rows are rebuilt per window because id merges can re-root a
+        // gid between closings. The candidate goes in *last* and is held
+        // out of the PCA fit: fitting on a matrix that contains the very
+        // window under test lets an extreme burst drag the principal
+        // components toward itself and score near zero (self-masking).
+        let cols = map.id_space().max(1);
+        let to_row = |counts: &[(usize, u32)], map: &mut GlobalMap| {
+            let mut row = vec![0.0; cols];
+            for &(gid, n) in counts {
+                row[map.resolve_root(gid)] += n as f64;
+            }
+            row
+        };
+        let mut rows: Vec<Vec<f64>> = closed
+            .iter()
+            .filter(|(_, _, flagged)| !flagged)
+            .map(|(_, counts, _)| to_row(counts, map))
+            .collect();
+        let score = if rows.len() >= warmup {
+            rows.push(to_row(&counts, map));
+            let newest = rows.len() - 1;
+            let report = detector.detect_with_holdout(&Matrix::from_rows(&rows), 1);
+            let spe = report.spe[newest];
+            // The Q-statistic assumes Gaussian residuals, but sparse
+            // per-window event counts are heavier-tailed: with a short
+            // history its threshold sits *inside* ordinary sampling
+            // noise and everything gets flagged. A real burst window
+            // scores orders of magnitude beyond history (the injected
+            // e2e anomaly lands ~800× above the worst normal window),
+            // so additionally require — control-chart style — that the
+            // candidate's residual dwarf the history's own residuals.
+            let mut train: Vec<f64> = report.spe[..newest].to_vec();
+            train.sort_by(f64::total_cmp);
+            let median = train[train.len() / 2];
+            let peak = train[train.len() - 1];
+            let threshold = report
+                .threshold
+                .max(MEDIAN_MARGIN * median)
+                .max(PEAK_MARGIN * peak);
+            let anomalous = peak > RESIDUAL_FLOOR && spe > threshold;
+            WindowScore {
+                window: window_id,
+                lines: acc.seen,
+                spe: Some(spe),
+                threshold: Some(threshold),
+                anomalous,
+            }
+        } else {
+            WindowScore {
+                window: window_id,
+                lines: acc.seen,
+                spe: None,
+                threshold: None,
+                anomalous: false,
+            }
+        };
+        closed.push_back((window_id, counts, score.anomalous));
+        while closed.len() > history {
+            closed.pop_front();
+        }
+        events.emit(
+            "window_scored",
+            fields! {
+                "window" => Json::num(score.window as f64),
+                "lines" => Json::usize(score.lines),
+                "spe" => score.spe.map_or(Json::Null, Json::num),
+                "threshold" => score.threshold.map_or(Json::Null, Json::num),
+                "anomalous" => Json::Bool(score.anomalous),
+            },
+        );
+        if score.anomalous {
+            events.emit(
+                "anomaly_flagged",
+                fields! {
+                    "window" => Json::num(score.window as f64),
+                    "spe" => score.spe.map_or(Json::Null, Json::num),
+                    "threshold" => score.threshold.map_or(Json::Null, Json::num),
+                },
+            );
+            anomalies.push(score.window);
+        }
+        windows.push(score);
+    };
+
+    while done < shards {
+        let message = results.recv().map_err(|_| {
+            IngestError::Config("all shard workers disconnected unexpectedly".into())
+        })?;
+        match message {
+            ShardOutput::Parsed(batch) => {
+                batches += 1;
+                if let Some(templates) = &batch.templates {
+                    map.merge_shard(batch.shard, templates);
+                }
+                shard_observed[batch.shard] += batch.entries.len();
+                events.emit(
+                    "batch_parsed",
+                    fields! {
+                        "shard" => Json::usize(batch.shard),
+                        "lines" => Json::usize(batch.entries.len()),
+                        "groups" => Json::usize(map.canonical_count()),
+                    },
+                );
+                for (seq, local) in batch.entries {
+                    let Some(gid) = map.resolve(batch.shard, local) else {
+                        // Cannot happen with well-behaved workers (they
+                        // always announce new groups with the batch),
+                        // but an unknown id must not sink the pipeline.
+                        continue;
+                    };
+                    let window_id = seq / window_size as u64;
+                    let acc = open.entry(window_id).or_default();
+                    *acc.counts.entry(gid).or_insert(0) += 1;
+                    acc.seen += 1;
+                    if acc.seen == window_size {
+                        let acc = open.remove(&window_id).expect("window present");
+                        score_window(window_id, acc, &mut map, &mut closed);
+                    }
+                }
+            }
+            ShardOutput::Snapshot {
+                shard,
+                generation,
+                lines_routed,
+                state,
+            } => {
+                let entry = pending_checkpoints
+                    .entry(generation)
+                    .or_insert_with(|| (lines_routed, (0..shards).map(|_| None).collect()));
+                entry.1[shard] = Some(state);
+                if entry.1.iter().all(Option::is_some) {
+                    let (lines, slots) = pending_checkpoints.remove(&generation).expect("entry");
+                    let snapshots: Vec<ParserSnapshot> =
+                        slots.into_iter().map(|s| s.expect("all present")).collect();
+                    if let Some(path) = &checkpoint_path {
+                        write_checkpoint(
+                            path, parser, generation, lines, snapshots, &mut map, &events,
+                        )?;
+                        checkpoints_written += 1;
+                    }
+                }
+            }
+            ShardOutput::Done {
+                shard,
+                state,
+                templates,
+                observed,
+            } => {
+                map.merge_shard(shard, &templates);
+                final_snapshots[shard] = Some(state);
+                shard_observed[shard] = observed;
+                done += 1;
+            }
+        }
+    }
+
+    // Flush partial windows (stream ended mid-window), oldest first.
+    let mut partial: Vec<u64> = open.keys().copied().collect();
+    partial.sort_unstable();
+    for window_id in partial {
+        let acc = open.remove(&window_id).expect("window present");
+        score_window(window_id, acc, &mut map, &mut closed);
+    }
+
+    let final_snapshots: Vec<ParserSnapshot> = final_snapshots
+        .into_iter()
+        .map(|s| s.expect("every shard reported Done"))
+        .collect();
+
+    // Final checkpoint at shutdown, generation after any periodic ones.
+    if let Some(path) = &checkpoint_path {
+        let lines = seq_base + shard_observed.iter().map(|&n| n as u64).sum::<u64>();
+        write_checkpoint(
+            path,
+            parser,
+            checkpoints_written,
+            lines,
+            final_snapshots.clone(),
+            &mut map,
+            &events,
+        )?;
+        checkpoints_written += 1;
+    }
+
+    Ok(AggregatorOutcome {
+        templates: map.canonical_templates(),
+        windows,
+        anomalies,
+        checkpoints_written,
+        final_snapshots,
+        shard_observed,
+        batches,
+    })
+}
+
+impl GlobalMap {
+    fn resolve_root(&mut self, gid: usize) -> usize {
+        self.find(gid)
+    }
+
+    fn canonical_count(&self) -> usize {
+        (0..self.parent.len())
+            .filter(|&id| self.parent[id] == id)
+            .count()
+    }
+}
+
+fn write_checkpoint(
+    path: &std::path::Path,
+    parser: ParserChoice,
+    generation: u64,
+    lines: u64,
+    shards: Vec<ParserSnapshot>,
+    map: &mut GlobalMap,
+    events: &EventLog,
+) -> Result<(), IngestError> {
+    let group_counts: Vec<usize> = shards.iter().map(ParserSnapshot::group_count).collect();
+    let checkpoint = Checkpoint {
+        parser,
+        generation,
+        lines,
+        shards,
+        global: map.export(&group_counts),
+    };
+    checkpoint.save(path)?;
+    events.emit(
+        "snapshot_written",
+        fields! {
+            "path" => Json::str(path.display().to_string()),
+            "generation" => Json::num(generation as f64),
+            "lines" => Json::num(lines as f64),
+            "templates" => Json::usize(checkpoint.global.templates.len()),
+        },
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_templates_across_shards_share_a_global_id() {
+        let mut map = GlobalMap::new();
+        map.merge_shard(0, &["send pkt * ok".into(), "disk full".into()]);
+        map.merge_shard(1, &["disk full".into(), "send pkt * ok".into()]);
+        assert_eq!(map.resolve(0, 0), map.resolve(1, 1));
+        assert_eq!(map.resolve(0, 1), map.resolve(1, 0));
+        assert_eq!(map.canonical_templates().len(), 2);
+    }
+
+    #[test]
+    fn refinement_unifies_diverged_ids_and_keeps_the_older_one() {
+        let mut map = GlobalMap::new();
+        // Shard 0 already generalized; shard 1 still has the literal.
+        map.merge_shard(0, &["send pkt * ok".into()]);
+        map.merge_shard(1, &["send pkt 7 ok".into()]);
+        let g0 = map.resolve(0, 0).unwrap();
+        let g1 = map.resolve(1, 0).unwrap();
+        assert_ne!(g0, g1);
+        // Shard 1 sees more traffic and refines to the same string.
+        map.merge_shard(1, &["send pkt * ok".into()]);
+        assert_eq!(map.resolve(1, 0), Some(g0), "older id is canonical");
+        assert_eq!(map.canonical_templates().len(), 1);
+    }
+
+    #[test]
+    fn ids_are_stable_as_templates_refine() {
+        let mut map = GlobalMap::new();
+        map.merge_shard(0, &["job 1 done".into()]);
+        let g = map.resolve(0, 0).unwrap();
+        map.merge_shard(0, &["job * done".into()]);
+        assert_eq!(map.resolve(0, 0), Some(g));
+        assert_eq!(
+            map.canonical_templates(),
+            vec![(g, "job * done".to_string())]
+        );
+    }
+
+    #[test]
+    fn export_prunes_post_snapshot_locals_and_round_trips() {
+        let mut map = GlobalMap::new();
+        map.merge_shard(0, &["a *".into(), "b *".into(), "c *".into()]);
+        // Snapshot taken when shard 0 only had 2 groups.
+        let state = map.export(&[2]);
+        assert_eq!(state.assign.len(), 2);
+        let mut restored = GlobalMap::from_state(&state);
+        assert_eq!(restored.resolve(0, 0), map.resolve(0, 0));
+        assert_eq!(restored.resolve(0, 1), map.resolve(0, 1));
+        assert_eq!(restored.resolve(0, 2), None);
+        // Re-learning the third template reuses its old global id.
+        let old = map.resolve(0, 2).unwrap();
+        restored.merge_shard(0, &["a *".into(), "b *".into(), "c *".into()]);
+        assert_eq!(restored.resolve(0, 2), Some(old));
+    }
+}

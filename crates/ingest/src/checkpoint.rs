@@ -1,0 +1,523 @@
+//! Durable checkpoints of parser state.
+//!
+//! A checkpoint captures everything needed to restart ingestion without
+//! re-learning templates: each shard's streaming-parser state
+//! ([`DrainTreeState`] / [`SpellStateSnapshot`] — deliberately free of
+//! per-message members, so checkpoint size scales with the number of
+//! templates, not the length of the stream) plus the aggregator's global
+//! template map. Files are JSON, written atomically (temp file + rename)
+//! so a crash mid-write never corrupts the previous checkpoint.
+//!
+//! Window/scoring history is *not* checkpointed: scores are derived
+//! state and the detector re-warms within a few windows after restart.
+
+use std::path::Path;
+
+use logparse_parsers::{DrainTreeState, SpellStateSnapshot};
+
+use crate::json::Json;
+use crate::{IngestError, ParserChoice};
+
+/// The exported state of one shard's streaming parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParserSnapshot {
+    /// State of a [`logparse_parsers::StreamingDrain`].
+    Drain(DrainTreeState),
+    /// State of a [`logparse_parsers::StreamingSpell`].
+    Spell(SpellStateSnapshot),
+}
+
+impl ParserSnapshot {
+    /// Which parser this snapshot belongs to.
+    pub fn choice(&self) -> ParserChoice {
+        match self {
+            ParserSnapshot::Drain(_) => ParserChoice::Drain,
+            ParserSnapshot::Spell(_) => ParserChoice::Spell,
+        }
+    }
+
+    /// Number of groups the snapshot contains.
+    pub fn group_count(&self) -> usize {
+        match self {
+            ParserSnapshot::Drain(s) => s.groups.len(),
+            ParserSnapshot::Spell(s) => s.skeletons.len(),
+        }
+    }
+
+    /// Total messages the parser had observed.
+    pub fn observed(&self) -> usize {
+        match self {
+            ParserSnapshot::Drain(s) => s.observed,
+            ParserSnapshot::Spell(s) => s.observed,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            ParserSnapshot::Drain(s) => Json::Obj(vec![
+                ("depth".into(), Json::usize(s.depth)),
+                ("similarity".into(), Json::num(s.similarity)),
+                ("max_children".into(), Json::usize(s.max_children)),
+                ("observed".into(), Json::usize(s.observed)),
+                (
+                    "groups".into(),
+                    Json::Arr(
+                        s.groups
+                            .iter()
+                            .map(|slots| {
+                                Json::Arr(
+                                    slots
+                                        .iter()
+                                        .map(|slot| match slot {
+                                            Some(t) => Json::str(t.clone()),
+                                            None => Json::Null,
+                                        })
+                                        .collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "leaves".into(),
+                    Json::Arr(
+                        s.leaves
+                            .iter()
+                            .map(|(len, path, gids)| {
+                                Json::Arr(vec![
+                                    Json::usize(*len),
+                                    Json::Arr(path.iter().map(|t| Json::str(t.clone())).collect()),
+                                    Json::Arr(gids.iter().map(|&g| Json::usize(g)).collect()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "paths".into(),
+                    Json::Arr(
+                        s.paths_per_length
+                            .iter()
+                            .map(|&(len, n)| Json::Arr(vec![Json::usize(len), Json::usize(n)]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            ParserSnapshot::Spell(s) => Json::Obj(vec![
+                ("tau".into(), Json::num(s.tau)),
+                ("observed".into(), Json::usize(s.observed)),
+                (
+                    "skeletons".into(),
+                    Json::Arr(
+                        s.skeletons
+                            .iter()
+                            .map(|sk| Json::Arr(sk.iter().map(|t| Json::str(t.clone())).collect()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    fn from_json(parser: ParserChoice, json: &Json) -> Result<Self, IngestError> {
+        let corrupt = |what: &str| IngestError::Checkpoint(format!("snapshot missing {what}"));
+        match parser {
+            ParserChoice::Drain => {
+                let groups = json
+                    .get("groups")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| corrupt("groups"))?
+                    .iter()
+                    .map(|slots| {
+                        slots
+                            .as_arr()
+                            .ok_or_else(|| corrupt("group slots"))?
+                            .iter()
+                            .map(|slot| match slot {
+                                Json::Null => Ok(None),
+                                Json::Str(t) => Ok(Some(t.clone())),
+                                _ => Err(corrupt("group token")),
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let leaves = json
+                    .get("leaves")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| corrupt("leaves"))?
+                    .iter()
+                    .map(|leaf| {
+                        let leaf = leaf
+                            .as_arr()
+                            .filter(|l| l.len() == 3)
+                            .ok_or_else(|| corrupt("leaf"))?;
+                        let len = leaf[0].as_usize().ok_or_else(|| corrupt("leaf length"))?;
+                        let path = leaf[1]
+                            .as_arr()
+                            .ok_or_else(|| corrupt("leaf path"))?
+                            .iter()
+                            .map(|t| {
+                                t.as_str()
+                                    .map(str::to_owned)
+                                    .ok_or_else(|| corrupt("leaf token"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        let gids = leaf[2]
+                            .as_arr()
+                            .ok_or_else(|| corrupt("leaf groups"))?
+                            .iter()
+                            .map(|g| g.as_usize().ok_or_else(|| corrupt("leaf group id")))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        Ok((len, path, gids))
+                    })
+                    .collect::<Result<Vec<_>, IngestError>>()?;
+                let paths_per_length = json
+                    .get("paths")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| corrupt("paths"))?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair
+                            .as_arr()
+                            .filter(|p| p.len() == 2)
+                            .ok_or_else(|| corrupt("path pair"))?;
+                        Ok((
+                            pair[0].as_usize().ok_or_else(|| corrupt("path length"))?,
+                            pair[1].as_usize().ok_or_else(|| corrupt("path count"))?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, IngestError>>()?;
+                Ok(ParserSnapshot::Drain(DrainTreeState {
+                    depth: json
+                        .get("depth")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("depth"))?,
+                    similarity: json
+                        .get("similarity")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| corrupt("similarity"))?,
+                    max_children: json
+                        .get("max_children")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("max_children"))?,
+                    observed: json
+                        .get("observed")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("observed"))?,
+                    groups,
+                    leaves,
+                    paths_per_length,
+                }))
+            }
+            ParserChoice::Spell => {
+                let skeletons = json
+                    .get("skeletons")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| corrupt("skeletons"))?
+                    .iter()
+                    .map(|sk| {
+                        sk.as_arr()
+                            .ok_or_else(|| corrupt("skeleton"))?
+                            .iter()
+                            .map(|t| {
+                                t.as_str()
+                                    .map(str::to_owned)
+                                    .ok_or_else(|| corrupt("skeleton token"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ParserSnapshot::Spell(SpellStateSnapshot {
+                    tau: json
+                        .get("tau")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| corrupt("tau"))?,
+                    observed: json
+                        .get("observed")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("observed"))?,
+                    skeletons,
+                }))
+            }
+        }
+    }
+}
+
+/// The aggregator's persistent global-template-map state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GlobalMapState {
+    /// Last-known template string per allocated global id.
+    pub templates: Vec<String>,
+    /// Union-find parents (merged ids point at their canonical root).
+    pub parent: Vec<usize>,
+    /// `(shard, local_id, global_id)` assignments, global ids resolved
+    /// to roots at export time.
+    pub assign: Vec<(usize, usize, usize)>,
+}
+
+/// A complete on-disk checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Which streaming parser produced the shard snapshots.
+    pub parser: ParserChoice,
+    /// Checkpoint generation (increments per write within a run).
+    pub generation: u64,
+    /// Lines routed when the checkpoint was taken; ingestion resumes
+    /// sequence numbering (and therefore window numbering) from here.
+    pub lines: u64,
+    /// One parser snapshot per shard, in shard order.
+    pub shards: Vec<ParserSnapshot>,
+    /// The aggregator's global template map.
+    pub global: GlobalMapState,
+}
+
+impl Checkpoint {
+    /// Serializes to a JSON document.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("version".into(), Json::usize(1)),
+            ("parser".into(), Json::str(self.parser.name())),
+            ("generation".into(), Json::num(self.generation as f64)),
+            ("lines".into(), Json::num(self.lines as f64)),
+            (
+                "shards".into(),
+                Json::Arr(self.shards.iter().map(ParserSnapshot::to_json).collect()),
+            ),
+            (
+                "global".into(),
+                Json::Obj(vec![
+                    (
+                        "templates".into(),
+                        Json::Arr(
+                            self.global
+                                .templates
+                                .iter()
+                                .map(|t| Json::str(t.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "parent".into(),
+                        Json::Arr(self.global.parent.iter().map(|&p| Json::usize(p)).collect()),
+                    ),
+                    (
+                        "assign".into(),
+                        Json::Arr(
+                            self.global
+                                .assign
+                                .iter()
+                                .map(|&(s, l, g)| {
+                                    Json::Arr(vec![Json::usize(s), Json::usize(l), Json::usize(g)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses a checkpoint document.
+    pub fn from_json(text: &str) -> Result<Self, IngestError> {
+        let corrupt = |what: &str| IngestError::Checkpoint(format!("checkpoint missing {what}"));
+        let doc =
+            Json::parse(text).map_err(|e| IngestError::Checkpoint(format!("bad JSON: {e}")))?;
+        match doc.get("version").and_then(Json::as_usize) {
+            Some(1) => {}
+            Some(v) => return Err(IngestError::Checkpoint(format!("unsupported version {v}"))),
+            None => return Err(corrupt("version")),
+        }
+        let parser = match doc.get("parser").and_then(Json::as_str) {
+            Some("drain") => ParserChoice::Drain,
+            Some("spell") => ParserChoice::Spell,
+            Some(other) => {
+                return Err(IngestError::Checkpoint(format!("unknown parser `{other}`")))
+            }
+            None => return Err(corrupt("parser")),
+        };
+        let shards = doc
+            .get("shards")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("shards"))?
+            .iter()
+            .map(|s| ParserSnapshot::from_json(parser, s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let global_doc = doc.get("global").ok_or_else(|| corrupt("global"))?;
+        let templates = global_doc
+            .get("templates")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("global templates"))?
+            .iter()
+            .map(|t| {
+                t.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| corrupt("template string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let parent = global_doc
+            .get("parent")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("global parents"))?
+            .iter()
+            .map(|p| p.as_usize().ok_or_else(|| corrupt("parent id")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let assign = global_doc
+            .get("assign")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| corrupt("global assignments"))?
+            .iter()
+            .map(|entry| {
+                let entry = entry
+                    .as_arr()
+                    .filter(|e| e.len() == 3)
+                    .ok_or_else(|| corrupt("assignment"))?;
+                Ok((
+                    entry[0]
+                        .as_usize()
+                        .ok_or_else(|| corrupt("assignment shard"))?,
+                    entry[1]
+                        .as_usize()
+                        .ok_or_else(|| corrupt("assignment local id"))?,
+                    entry[2]
+                        .as_usize()
+                        .ok_or_else(|| corrupt("assignment global id"))?,
+                ))
+            })
+            .collect::<Result<Vec<_>, IngestError>>()?;
+        if templates.len() != parent.len() {
+            return Err(IngestError::Checkpoint(
+                "templates/parent length mismatch".into(),
+            ));
+        }
+        if parent.iter().any(|&p| p >= templates.len()) {
+            return Err(IngestError::Checkpoint("parent id out of range".into()));
+        }
+        let checkpoint = Checkpoint {
+            parser,
+            generation: doc
+                .get("generation")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| corrupt("generation"))? as u64,
+            lines: doc
+                .get("lines")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| corrupt("lines"))? as u64,
+            shards,
+            global: GlobalMapState {
+                templates,
+                parent,
+                assign,
+            },
+        };
+        for &(shard, local, global) in &checkpoint.global.assign {
+            let groups = checkpoint
+                .shards
+                .get(shard)
+                .map(ParserSnapshot::group_count)
+                .ok_or_else(|| {
+                    IngestError::Checkpoint(format!("assignment to unknown shard {shard}"))
+                })?;
+            if local >= groups {
+                return Err(IngestError::Checkpoint(format!(
+                    "assignment to unknown group {local} of shard {shard}"
+                )));
+            }
+            if global >= checkpoint.global.templates.len() {
+                return Err(IngestError::Checkpoint(format!(
+                    "assignment to unknown global id {global}"
+                )));
+            }
+        }
+        Ok(checkpoint)
+    }
+
+    /// Writes the checkpoint atomically (temp file, then rename).
+    pub fn save(&self, path: &Path) -> Result<(), IngestError> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint from disk.
+    pub fn load(path: &Path) -> Result<Self, IngestError> {
+        let text = std::fs::read_to_string(path)?;
+        Checkpoint::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logparse_parsers::{StreamingDrain, StreamingParser, StreamingSpell};
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut drain = StreamingDrain::default();
+        for line in ["send pkt 1 ok", "send pkt 2 ok", "disk full on sda1"] {
+            drain.observe(&toks(line));
+        }
+        Checkpoint {
+            parser: ParserChoice::Drain,
+            generation: 3,
+            lines: 1234,
+            shards: vec![ParserSnapshot::Drain(drain.snapshot())],
+            global: GlobalMapState {
+                templates: vec!["send pkt * ok".into(), "disk full on sda1".into()],
+                parent: vec![0, 1],
+                assign: vec![(0, 0, 0), (0, 1, 1)],
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let cp = sample_checkpoint();
+        let restored = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(restored, cp);
+        // And a second encode is byte-identical (deterministic format).
+        assert_eq!(restored.to_json(), cp.to_json());
+    }
+
+    #[test]
+    fn spell_snapshots_round_trip() {
+        let mut spell = StreamingSpell::default();
+        for line in ["job 1 done", "job 2 done", "link up"] {
+            spell.observe(&toks(line));
+        }
+        let cp = Checkpoint {
+            parser: ParserChoice::Spell,
+            generation: 0,
+            lines: 3,
+            shards: vec![ParserSnapshot::Spell(spell.snapshot())],
+            global: GlobalMapState::default(),
+        };
+        assert_eq!(Checkpoint::from_json(&cp.to_json()).unwrap(), cp);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let cp = sample_checkpoint();
+        let path = std::env::temp_dir().join(format!("ingest-cp-{}.json", std::process::id()));
+        cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let cp = sample_checkpoint();
+        assert!(Checkpoint::from_json("{}").is_err());
+        assert!(
+            Checkpoint::from_json(&cp.to_json().replace("\"version\":1", "\"version\":9")).is_err()
+        );
+        // Assignment referencing a group the snapshot does not have.
+        let mut bad = cp.clone();
+        bad.global.assign.push((0, 99, 0));
+        assert!(Checkpoint::from_json(&bad.to_json()).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! The pipeline's JSONL event log.
+//!
+//! Every operational transition is appended as one compact JSON object
+//! per line, so a `serve` run can be monitored (and replayed in tests)
+//! with ordinary line tools. The event vocabulary:
+//!
+//! | `event`             | emitted when                                       |
+//! |---------------------|----------------------------------------------------|
+//! | `ingest_started`    | the pipeline finished setup and starts reading     |
+//! | `batch_parsed`      | a shard worker finished one batch                  |
+//! | `window_scored`     | a tumbling window closed and was scored            |
+//! | `anomaly_flagged`   | a scored window exceeded the detector threshold    |
+//! | `snapshot_written`  | a checkpoint was persisted to disk                 |
+//! | `shutdown_complete` | all shards drained and the pipeline exited         |
+//!
+//! Fields shared by all events: `event` (the tag above), `seq` (a
+//! monotonically increasing event number) and `elapsed_ms` (milliseconds
+//! since `ingest_started`).
+
+use std::io::{self, Write};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// An append-only JSONL sink for pipeline events.
+///
+/// Thread-safe: the pipeline hands one log to several threads during
+/// startup/shutdown. Lines are written atomically (one lock per event)
+/// and flushed immediately so tail-readers see events live.
+pub struct EventLog {
+    sink: Mutex<Box<dyn Write + Send>>,
+    start: Instant,
+    seq: Mutex<u64>,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog").finish_non_exhaustive()
+    }
+}
+
+impl EventLog {
+    /// Creates a log writing to the given sink.
+    pub fn new(sink: Box<dyn Write + Send>) -> Self {
+        EventLog {
+            sink: Mutex::new(sink),
+            start: Instant::now(),
+            seq: Mutex::new(0),
+        }
+    }
+
+    /// A log that drops every event (used when no `--events-out` is
+    /// requested and stdout is reserved for other output).
+    pub fn disabled() -> Self {
+        EventLog::new(Box::new(io::sink()))
+    }
+
+    /// Appends one event. `fields` follow the shared header fields.
+    pub fn emit(&self, event: &str, fields: Vec<(String, Json)>) {
+        let mut obj = vec![("event".to_string(), Json::str(event))];
+        {
+            let mut seq = self.seq.lock().expect("event seq lock");
+            obj.push(("seq".to_string(), Json::num(*seq as f64)));
+            *seq += 1;
+        }
+        obj.push((
+            "elapsed_ms".to_string(),
+            Json::usize(self.start.elapsed().as_millis() as usize),
+        ));
+        obj.extend(fields);
+        let mut line = Json::Obj(obj).to_string();
+        line.push('\n');
+        let mut sink = self.sink.lock().expect("event sink lock");
+        // Ingestion must not die because monitoring went away.
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.flush();
+    }
+}
+
+/// Builds the `fields` argument of [`EventLog::emit`] tersely.
+macro_rules! fields {
+    ($($key:literal => $value:expr),* $(,)?) => {
+        vec![$(($key.to_string(), $value)),*]
+    };
+}
+pub(crate) use fields;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A sink the test can read back.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_are_one_json_object_per_line() {
+        let sink = Shared::default();
+        let log = EventLog::new(Box::new(sink.clone()));
+        log.emit("ingest_started", fields! { "shards" => Json::usize(4) });
+        log.emit(
+            "batch_parsed",
+            fields! { "shard" => Json::usize(1), "lines" => Json::usize(64) },
+        );
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").unwrap().as_str(), Some("ingest_started"));
+        assert_eq!(first.get("seq").unwrap().as_usize(), Some(0));
+        assert_eq!(first.get("shards").unwrap().as_usize(), Some(4));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("seq").unwrap().as_usize(), Some(1));
+        assert!(second.get("elapsed_ms").unwrap().as_usize().is_some());
+    }
+}

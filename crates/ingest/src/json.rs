@@ -1,0 +1,414 @@
+//! Minimal JSON reading/writing for checkpoints and the JSONL event
+//! log.
+//!
+//! The workspace builds offline and deliberately carries no serde; the
+//! ingest pipeline only needs a small, deterministic JSON subset —
+//! objects keep insertion order so identical states serialize to
+//! identical bytes, which the checkpoint round-trip tests rely on.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds a number from anything convertible to `f64`.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Builds a number from a `usize` (lossless for the sizes used
+    /// here).
+    pub fn usize(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a non-negative integral number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+/// Serializes to compact JSON (no whitespace) — `to_string()` gives the
+/// wire form directly.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or("dangling escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&unit) {
+                                // surrogate pair
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                unit
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad \\u escape {code:#x}"))?,
+                            );
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos - 1)),
+                    }
+                }
+                _ => {
+                    // Re-decode from the byte position: strings are UTF-8.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        u32::from_str_radix(text, 16).map_err(|_| "bad \\u escape".into())
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let value = Json::Obj(vec![
+            ("name".into(), Json::str("drain")),
+            ("tau".into(), Json::num(0.5)),
+            ("count".into(), Json::usize(42)),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "groups".into(),
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::str("send"), Json::Null]),
+                    Json::Arr(vec![]),
+                ]),
+            ),
+        ]);
+        let text = value.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn escapes_and_unescapes_strings() {
+        let value = Json::str("a \"b\"\n\\c\tδ");
+        let text = value.to_string();
+        assert!(!text.contains('\n'));
+        assert_eq!(Json::parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn integers_serialize_without_fraction() {
+        assert_eq!(Json::usize(12345).to_string(), "12345");
+        assert_eq!(Json::num(0.25).to_string(), "0.25");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn parses_whitespace_and_unicode_escapes() {
+        let parsed = Json::parse(" { \"a\" : [ 1 , \"\\u00e9\\ud83d\\ude00\" ] } ").unwrap();
+        let arr = parsed.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_usize(), Some(1));
+        assert_eq!(arr[1].as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{\"a\":").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+}

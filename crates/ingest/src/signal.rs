@@ -1,0 +1,97 @@
+//! Graceful-shutdown signaling.
+//!
+//! The pipeline polls a [`StopFlag`]; `SIGINT`/`SIGTERM` handlers set a
+//! process-global flag that every pipeline consults in addition to its
+//! own. Handlers do nothing but store to an `AtomicBool`, which is
+//! async-signal-safe. Tests never install handlers — they flip their own
+//! flag directly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative stop request shared between threads.
+#[derive(Debug, Clone, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        StopFlag::default()
+    }
+
+    /// Requests shutdown.
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested on this flag *or* by a
+    /// process signal (if handlers were installed).
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::SeqCst) || SIGNALED.load(Ordering::SeqCst)
+    }
+}
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// Installs `SIGINT` and `SIGTERM` handlers that request shutdown of
+/// every running pipeline. Idempotent; a no-op off Unix.
+///
+/// Note the inherent limitation of polling-based shutdown: a source
+/// blocked in a read (stdin with no input, an idle TCP accept loop)
+/// notices the flag at its next wakeup, not instantly — sources
+/// therefore use short read timeouts or idle ticks, never unbounded
+/// blocking waits.
+pub fn install_handlers() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::SIGNALED;
+    use std::sync::atomic::Ordering;
+    use std::sync::Once;
+
+    // Hand-rolled libc-free binding: the build environment is offline,
+    // so even the `libc` crate is out of reach. `signal(2)` with a plain
+    // function pointer is all the pipeline needs.
+    #[allow(unsafe_code)]
+    mod ffi {
+        extern "C" {
+            pub fn signal(signum: i32, handler: usize) -> usize;
+        }
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    #[allow(unsafe_code)]
+    pub fn install() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| unsafe {
+            ffi::signal(SIGINT, on_signal as *const () as usize);
+            ffi::signal(SIGTERM, on_signal as *const () as usize);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_are_independent_until_signaled() {
+        let a = StopFlag::new();
+        let b = StopFlag::new();
+        assert!(!a.is_set() && !b.is_set());
+        a.request();
+        assert!(a.is_set());
+        assert!(!b.is_set());
+        let c = a.clone();
+        assert!(c.is_set());
+    }
+}

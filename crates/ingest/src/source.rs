@@ -1,0 +1,461 @@
+//! Pluggable log-line sources.
+//!
+//! A [`LogSource`] produces raw lines plus two control outcomes: `Idle`
+//! (nothing available right now — the pipeline flushes timers, checks
+//! the stop flag and comes back) and `Eof` (the stream is finished —
+//! drain and shut down). Long blocking waits live *outside* the trait
+//! contract so graceful shutdown stays responsive.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+
+/// One pull from a source.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SourceItem {
+    /// A complete log line (without its newline).
+    Line(String),
+    /// Nothing available right now; poll again shortly.
+    Idle,
+    /// The stream is complete.
+    Eof,
+}
+
+/// A stream of log lines.
+pub trait LogSource: Send {
+    /// Pulls the next item. `Idle` must return promptly (no unbounded
+    /// blocking) so the pipeline can honor shutdown requests.
+    fn next_item(&mut self) -> io::Result<SourceItem>;
+
+    /// A short human-readable description for the event log.
+    fn describe(&self) -> String;
+}
+
+/// An in-memory source — tests and benchmarks.
+#[derive(Debug)]
+pub struct MemorySource {
+    lines: std::vec::IntoIter<String>,
+}
+
+impl MemorySource {
+    /// Streams the given lines, then `Eof`.
+    pub fn new(lines: Vec<String>) -> Self {
+        MemorySource {
+            lines: lines.into_iter(),
+        }
+    }
+}
+
+impl LogSource for MemorySource {
+    fn next_item(&mut self) -> io::Result<SourceItem> {
+        Ok(match self.lines.next() {
+            Some(line) => SourceItem::Line(line),
+            None => SourceItem::Eof,
+        })
+    }
+
+    fn describe(&self) -> String {
+        "memory".into()
+    }
+}
+
+/// Wraps any buffered reader (stdin, a finished file): lines until EOF.
+pub struct ReaderSource<R> {
+    reader: R,
+    label: String,
+}
+
+impl<R: BufRead + Send> ReaderSource<R> {
+    /// Streams lines from `reader`; `label` names it in the event log.
+    pub fn new(reader: R, label: impl Into<String>) -> Self {
+        ReaderSource {
+            reader,
+            label: label.into(),
+        }
+    }
+}
+
+/// The process's stdin as a source.
+pub fn stdin_source() -> ReaderSource<BufReader<io::Stdin>> {
+    ReaderSource::new(BufReader::new(io::stdin()), "stdin")
+}
+
+/// A whole file as a finite source (no tailing).
+pub fn file_source(path: impl Into<PathBuf>) -> io::Result<ReaderSource<BufReader<File>>> {
+    let path = path.into();
+    let file = File::open(&path)?;
+    Ok(ReaderSource::new(
+        BufReader::new(file),
+        format!("file:{}", path.display()),
+    ))
+}
+
+impl<R: BufRead + Send> LogSource for ReaderSource<R> {
+    fn next_item(&mut self) -> io::Result<SourceItem> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line)? {
+            0 => Ok(SourceItem::Eof),
+            _ => {
+                trim_newline(&mut line);
+                Ok(SourceItem::Line(line))
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+fn trim_newline(line: &mut String) {
+    if line.ends_with('\n') {
+        line.pop();
+        if line.ends_with('\r') {
+            line.pop();
+        }
+    }
+}
+
+/// Follows a growing log file, detecting rotation and truncation.
+///
+/// Rotation is recognized two ways, matching what `tail -F` does:
+/// the path now resolves to a different inode (classic rename + recreate
+/// rotation), or the file shrank below the read offset (copy-truncate
+/// rotation). Either way the source reopens the path and continues from
+/// the start of the new file. While no data is available it reports
+/// [`SourceItem::Idle`].
+pub struct FileTailSource {
+    path: PathBuf,
+    reader: Option<BufReader<File>>,
+    offset: u64,
+    identity: Option<FileIdentity>,
+    pending: String,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+struct FileIdentity {
+    #[cfg(unix)]
+    inode: u64,
+    len_hint: u64,
+}
+
+fn identity_of(file: &File) -> io::Result<FileIdentity> {
+    let meta = file.metadata()?;
+    Ok(FileIdentity {
+        #[cfg(unix)]
+        inode: {
+            use std::os::unix::fs::MetadataExt;
+            meta.ino()
+        },
+        len_hint: meta.len(),
+    })
+}
+
+impl FileTailSource {
+    /// Tails `path`. The file may not exist yet; the source idles until
+    /// it appears. Reading starts at the beginning of the file.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileTailSource {
+            path: path.into(),
+            reader: None,
+            offset: 0,
+            identity: None,
+            pending: String::new(),
+        }
+    }
+
+    fn open(&mut self) -> io::Result<bool> {
+        match File::open(&self.path) {
+            Ok(file) => {
+                self.identity = Some(identity_of(&file)?);
+                self.reader = Some(BufReader::new(file));
+                self.offset = 0;
+                self.pending.clear();
+                Ok(true)
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// True if the path has been rotated or truncated under us.
+    fn rotated(&self) -> io::Result<bool> {
+        let current = match File::open(&self.path) {
+            Ok(f) => identity_of(&f)?,
+            // Mid-rotation gap: treat as rotated, reopen when it returns.
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(true),
+            Err(e) => return Err(e),
+        };
+        let opened = self.identity.expect("rotated() called with an open file");
+        #[cfg(unix)]
+        if current.inode != opened.inode {
+            return Ok(true);
+        }
+        // Copy-truncate: the file we are reading shrank below our offset.
+        Ok(current.len_hint < self.offset)
+    }
+}
+
+impl LogSource for FileTailSource {
+    fn next_item(&mut self) -> io::Result<SourceItem> {
+        if self.reader.is_none() && !self.open()? {
+            return Ok(SourceItem::Idle);
+        }
+        let reader = self.reader.as_mut().expect("reader opened above");
+        let mut chunk = String::new();
+        let read = reader.read_line(&mut chunk)?;
+        self.offset += read as u64;
+        if read > 0 {
+            self.pending.push_str(&chunk);
+            if self.pending.ends_with('\n') {
+                let mut line = std::mem::take(&mut self.pending);
+                trim_newline(&mut line);
+                return Ok(SourceItem::Line(line));
+            }
+            // A partial line (writer mid-append): keep accumulating.
+            return Ok(SourceItem::Idle);
+        }
+        // At EOF of the current file: has it been rotated away?
+        if self.rotated()? {
+            self.reader = None; // reopen (or idle) on the next pull
+            if !self.pending.is_empty() {
+                let mut line = std::mem::take(&mut self.pending);
+                trim_newline(&mut line);
+                return Ok(SourceItem::Line(line));
+            }
+        }
+        Ok(SourceItem::Idle)
+    }
+
+    fn describe(&self) -> String {
+        format!("tail:{}", self.path.display())
+    }
+}
+
+/// A line-protocol TCP source: clients connect and write newline-framed
+/// log lines; the source interleaves lines from all live connections.
+///
+/// The listener and all connections run non-blocking; when nothing is
+/// readable the source reports [`SourceItem::Idle`]. Closed connections
+/// are dropped silently (their final unterminated line, if any, is
+/// delivered). The source itself never reports `Eof` — a TCP ingest runs
+/// until the pipeline is asked to stop.
+pub struct TcpSource {
+    listener: TcpListener,
+    addr: SocketAddr,
+    conns: Vec<Conn>,
+    ready: VecDeque<String>,
+    next_conn: usize,
+}
+
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl TcpSource {
+    /// Binds `addr` (e.g. `127.0.0.1:7070`).
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpSource {
+            listener,
+            addr,
+            conns: Vec::new(),
+            ready: VecDeque::new(),
+            next_conn: 0,
+        })
+    }
+
+    /// The bound address (useful when binding port 0 in tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn accept_new(&mut self) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(true)?;
+                    self.conns.push(Conn {
+                        stream,
+                        buf: Vec::new(),
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads whatever is available on one connection; returns false when
+    /// the connection is finished and should be dropped.
+    fn pump(conn: &mut Conn, ready: &mut VecDeque<String>) -> bool {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    if !conn.buf.is_empty() {
+                        ready.push_back(String::from_utf8_lossy(&conn.buf).into_owned());
+                        conn.buf.clear();
+                    }
+                    return false;
+                }
+                Ok(n) => {
+                    for &b in &chunk[..n] {
+                        if b == b'\n' {
+                            let mut line = std::mem::take(&mut conn.buf);
+                            if line.last() == Some(&b'\r') {
+                                line.pop();
+                            }
+                            ready.push_back(String::from_utf8_lossy(&line).into_owned());
+                        } else {
+                            conn.buf.push(b);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false, // reset by peer etc.: drop it
+            }
+        }
+    }
+}
+
+impl LogSource for TcpSource {
+    fn next_item(&mut self) -> io::Result<SourceItem> {
+        if let Some(line) = self.ready.pop_front() {
+            return Ok(SourceItem::Line(line));
+        }
+        self.accept_new()?;
+        // Round-robin across connections so one chatty client cannot
+        // starve the rest.
+        let mut i = 0;
+        while i < self.conns.len() {
+            let idx = (self.next_conn + i) % self.conns.len();
+            if !Self::pump(&mut self.conns[idx], &mut self.ready) {
+                self.conns.swap_remove(idx);
+                continue;
+            }
+            i += 1;
+        }
+        if !self.conns.is_empty() {
+            self.next_conn = (self.next_conn + 1) % self.conns.len();
+        }
+        Ok(match self.ready.pop_front() {
+            Some(line) => SourceItem::Line(line),
+            None => SourceItem::Idle,
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!("tcp:{}", self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn memory_source_streams_then_eof() {
+        let mut s = MemorySource::new(vec!["a".into(), "b".into()]);
+        assert_eq!(s.next_item().unwrap(), SourceItem::Line("a".into()));
+        assert_eq!(s.next_item().unwrap(), SourceItem::Line("b".into()));
+        assert_eq!(s.next_item().unwrap(), SourceItem::Eof);
+    }
+
+    #[test]
+    fn reader_source_strips_line_endings() {
+        let data = io::Cursor::new(b"one\r\ntwo\nthree".to_vec());
+        let mut s = ReaderSource::new(data, "cursor");
+        assert_eq!(s.next_item().unwrap(), SourceItem::Line("one".into()));
+        assert_eq!(s.next_item().unwrap(), SourceItem::Line("two".into()));
+        assert_eq!(s.next_item().unwrap(), SourceItem::Line("three".into()));
+        assert_eq!(s.next_item().unwrap(), SourceItem::Eof);
+    }
+
+    #[test]
+    fn file_tail_follows_appends_and_rotation() {
+        let dir = std::env::temp_dir().join(format!("ingest-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.log");
+        let _ = std::fs::remove_file(&path);
+
+        let mut tail = FileTailSource::new(&path);
+        assert_eq!(tail.next_item().unwrap(), SourceItem::Idle); // not created yet
+
+        std::fs::write(&path, "first\nsecond\n").unwrap();
+        assert_eq!(tail.next_item().unwrap(), SourceItem::Line("first".into()));
+        assert_eq!(tail.next_item().unwrap(), SourceItem::Line("second".into()));
+        assert_eq!(tail.next_item().unwrap(), SourceItem::Idle);
+
+        // Append while tailing.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        writeln!(f, "third").unwrap();
+        drop(f);
+        assert_eq!(tail.next_item().unwrap(), SourceItem::Line("third".into()));
+
+        // Rename rotation: old file moved away, new file at the path.
+        std::fs::rename(&path, dir.join("app.log.1")).unwrap();
+        std::fs::write(&path, "fresh\n").unwrap();
+        let mut saw_fresh = false;
+        for _ in 0..5 {
+            if tail.next_item().unwrap() == SourceItem::Line("fresh".into()) {
+                saw_fresh = true;
+                break;
+            }
+        }
+        assert!(saw_fresh, "tail did not pick up the rotated file");
+
+        // Copy-truncate rotation: same inode, shrunk below offset.
+        std::fs::write(&path, "tiny\n").unwrap();
+        let mut saw_tiny = false;
+        for _ in 0..5 {
+            if tail.next_item().unwrap() == SourceItem::Line("tiny".into()) {
+                saw_tiny = true;
+                break;
+            }
+        }
+        assert!(saw_tiny, "tail did not detect truncation");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_source_interleaves_clients() {
+        let mut src = TcpSource::bind("127.0.0.1:0").unwrap();
+        let addr = src.local_addr();
+        let mut a = TcpStream::connect(addr).unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+        a.write_all(b"alpha one\nalpha two\n").unwrap();
+        b.write_all(b"beta one\n").unwrap();
+        a.flush().unwrap();
+        b.flush().unwrap();
+        drop(a);
+        drop(b);
+
+        let mut lines = Vec::new();
+        for _ in 0..200 {
+            match src.next_item().unwrap() {
+                SourceItem::Line(l) => lines.push(l),
+                SourceItem::Idle => {
+                    if lines.len() >= 3 {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                SourceItem::Eof => unreachable!("tcp sources never EOF"),
+            }
+        }
+        lines.sort();
+        assert_eq!(lines, vec!["alpha one", "alpha two", "beta one"]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Shard workers: each owns one streaming parser and processes batches
+//! from its bounded input channel.
+//!
+//! The input channel is a `sync_channel` with a small depth, so a slow
+//! shard applies blocking backpressure all the way to the source instead
+//! of letting queues grow without bound. Results flow to the aggregator
+//! over a shared unbounded channel — the aggregator never blocks
+//! workers.
+
+use std::sync::mpsc::{Receiver, Sender};
+
+use logparse_core::Tokenizer;
+use logparse_parsers::{StreamingDrain, StreamingParser, StreamingSpell};
+
+use crate::checkpoint::ParserSnapshot;
+use crate::{IngestError, ParserChoice};
+
+/// Messages a shard worker consumes, in channel order.
+#[derive(Debug)]
+pub(crate) enum ShardInput {
+    /// Parse these `(sequence, raw line)` pairs.
+    Batch(Vec<(u64, String)>),
+    /// Export parser state for checkpoint `generation`.
+    Checkpoint { generation: u64, lines_routed: u64 },
+    /// Drain and exit; everything already queued is still processed.
+    Shutdown,
+}
+
+/// Messages a shard worker produces.
+#[derive(Debug)]
+pub(crate) enum ShardOutput {
+    Parsed(ParsedBatch),
+    Snapshot {
+        shard: usize,
+        generation: u64,
+        lines_routed: u64,
+        state: ParserSnapshot,
+    },
+    Done {
+        shard: usize,
+        state: ParserSnapshot,
+        templates: Vec<String>,
+        observed: usize,
+    },
+}
+
+/// One parsed batch: sequence numbers mapped to shard-local group ids.
+#[derive(Debug)]
+pub(crate) struct ParsedBatch {
+    pub shard: usize,
+    pub entries: Vec<(u64, usize)>,
+    /// The shard's full current template list, included whenever groups
+    /// appeared during this batch and refreshed periodically so the
+    /// aggregator also sees templates *refine* (gain wildcards). `None`
+    /// means "no change since the last list you got".
+    pub templates: Option<Vec<String>>,
+}
+
+/// A shard's streaming parser, behind the configured algorithm.
+#[derive(Debug)]
+pub(crate) enum ShardParser {
+    Drain(StreamingDrain),
+    Spell(StreamingSpell),
+}
+
+impl ShardParser {
+    pub fn new(choice: ParserChoice) -> Self {
+        match choice {
+            ParserChoice::Drain => ShardParser::Drain(StreamingDrain::default()),
+            ParserChoice::Spell => ShardParser::Spell(StreamingSpell::default()),
+        }
+    }
+
+    pub fn restore(snapshot: &ParserSnapshot) -> Result<Self, IngestError> {
+        Ok(match snapshot {
+            ParserSnapshot::Drain(s) => ShardParser::Drain(StreamingDrain::restore(s)?),
+            ParserSnapshot::Spell(s) => ShardParser::Spell(StreamingSpell::restore(s)?),
+        })
+    }
+
+    pub fn observe(&mut self, tokens: &[String]) -> usize {
+        match self {
+            ShardParser::Drain(p) => p.observe(tokens),
+            ShardParser::Spell(p) => p.observe(tokens),
+        }
+    }
+
+    pub fn group_count(&self) -> usize {
+        match self {
+            ShardParser::Drain(p) => p.group_count(),
+            ShardParser::Spell(p) => p.group_count(),
+        }
+    }
+
+    pub fn template_strings(&self) -> Vec<String> {
+        match self {
+            ShardParser::Drain(p) => p.templates().iter().map(|t| t.to_string()).collect(),
+            ShardParser::Spell(p) => p.templates().iter().map(|t| t.to_string()).collect(),
+        }
+    }
+
+    pub fn snapshot(&self) -> ParserSnapshot {
+        match self {
+            ShardParser::Drain(p) => ParserSnapshot::Drain(p.snapshot()),
+            ShardParser::Spell(p) => ParserSnapshot::Spell(p.snapshot()),
+        }
+    }
+}
+
+/// The worker loop. Exits when it sees `Shutdown` or the input channel
+/// disconnects.
+pub(crate) fn run_worker(
+    shard: usize,
+    mut parser: ShardParser,
+    tokenizer: Tokenizer,
+    refresh_every: usize,
+    input: Receiver<ShardInput>,
+    output: Sender<ShardOutput>,
+) {
+    let mut observed = 0usize;
+    let mut sent_groups = 0usize;
+    let mut lines_since_refresh = 0usize;
+
+    while let Ok(message) = input.recv() {
+        match message {
+            ShardInput::Batch(batch) => {
+                let mut entries = Vec::with_capacity(batch.len());
+                for (seq, line) in &batch {
+                    let tokens = tokenizer.tokenize(line);
+                    entries.push((*seq, parser.observe(&tokens)));
+                }
+                observed += batch.len();
+                lines_since_refresh += batch.len();
+                let grew = parser.group_count() > sent_groups;
+                let templates = if grew || lines_since_refresh >= refresh_every {
+                    sent_groups = parser.group_count();
+                    lines_since_refresh = 0;
+                    Some(parser.template_strings())
+                } else {
+                    None
+                };
+                if output
+                    .send(ShardOutput::Parsed(ParsedBatch {
+                        shard,
+                        entries,
+                        templates,
+                    }))
+                    .is_err()
+                {
+                    return; // aggregator is gone; nothing left to do
+                }
+            }
+            ShardInput::Checkpoint {
+                generation,
+                lines_routed,
+            } => {
+                let state = parser.snapshot();
+                if output
+                    .send(ShardOutput::Snapshot {
+                        shard,
+                        generation,
+                        lines_routed,
+                        state,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ShardInput::Shutdown => break,
+        }
+    }
+
+    let _ = output.send(ShardOutput::Done {
+        shard,
+        state: parser.snapshot(),
+        templates: parser.template_strings(),
+        observed,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn worker_parses_batches_and_reports_templates() {
+        let (in_tx, in_rx) = mpsc::sync_channel(4);
+        let (out_tx, out_rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            run_worker(
+                1,
+                ShardParser::new(ParserChoice::Drain),
+                Tokenizer::default(),
+                1000,
+                in_rx,
+                out_tx,
+            );
+        });
+        in_tx
+            .send(ShardInput::Batch(vec![
+                (0, "send pkt 1 ok".into()),
+                (1, "send pkt 2 ok".into()),
+            ]))
+            .unwrap();
+        in_tx
+            .send(ShardInput::Checkpoint {
+                generation: 0,
+                lines_routed: 2,
+            })
+            .unwrap();
+        in_tx.send(ShardInput::Shutdown).unwrap();
+        handle.join().unwrap();
+
+        match out_rx.recv().unwrap() {
+            ShardOutput::Parsed(batch) => {
+                assert_eq!(batch.shard, 1);
+                assert_eq!(batch.entries, vec![(0, 0), (1, 0)]);
+                assert_eq!(batch.templates, Some(vec!["send pkt * ok".to_string()]));
+            }
+            other => panic!("expected Parsed, got {other:?}"),
+        }
+        match out_rx.recv().unwrap() {
+            ShardOutput::Snapshot {
+                shard,
+                generation,
+                state,
+                ..
+            } => {
+                assert_eq!((shard, generation), (1, 0));
+                assert_eq!(state.group_count(), 1);
+            }
+            other => panic!("expected Snapshot, got {other:?}"),
+        }
+        match out_rx.recv().unwrap() {
+            ShardOutput::Done {
+                observed,
+                templates,
+                ..
+            } => {
+                assert_eq!(observed, 2);
+                assert_eq!(templates, vec!["send pkt * ok".to_string()]);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_omits_templates_when_nothing_changed() {
+        let (in_tx, in_rx) = mpsc::sync_channel(4);
+        let (out_tx, out_rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            run_worker(
+                0,
+                ShardParser::new(ParserChoice::Drain),
+                Tokenizer::default(),
+                1_000_000,
+                in_rx,
+                out_tx,
+            );
+        });
+        in_tx
+            .send(ShardInput::Batch(vec![(0, "a b c".into())]))
+            .unwrap();
+        in_tx
+            .send(ShardInput::Batch(vec![(1, "a b d".into())]))
+            .unwrap(); // same group, refined
+        in_tx.send(ShardInput::Shutdown).unwrap();
+        handle.join().unwrap();
+        let first = match out_rx.recv().unwrap() {
+            ShardOutput::Parsed(b) => b,
+            other => panic!("{other:?}"),
+        };
+        assert!(first.templates.is_some());
+        let second = match out_rx.recv().unwrap() {
+            ShardOutput::Parsed(b) => b,
+            other => panic!("{other:?}"),
+        };
+        assert!(
+            second.templates.is_none(),
+            "no new group, refresh interval not reached"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! End-to-end pipeline test: a synthetic HDFS workload streamed through
+//! the sharded pipeline, exercising template discovery, window scoring,
+//! anomaly flagging, the JSONL event log, and checkpoint → restore
+//! equality.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use logparse_datasets::hdfs;
+use logparse_ingest::{
+    run_pipeline, Checkpoint, EventLog, IngestConfig, IngestSummary, Json, MemorySource,
+};
+
+const WINDOW: usize = 1_000;
+const WINDOWS: usize = 100;
+const ANOMALOUS_WINDOW: usize = 60;
+
+/// 100 windows of HDFS traffic; window 60 is replaced by an event mix
+/// that never occurs in normal operation (a burst of failed transfers).
+fn synthetic_stream() -> Vec<String> {
+    let corpus = hdfs::generate(WINDOW * WINDOWS, 42).corpus;
+    let mut lines: Vec<String> = (0..corpus.len())
+        .map(|i| corpus.record(i).content.clone())
+        .collect();
+    let burst_start = ANOMALOUS_WINDOW * WINDOW;
+    for (offset, line) in lines[burst_start..burst_start + WINDOW]
+        .iter_mut()
+        .enumerate()
+    {
+        *line = format!(
+            "Failed to transfer blk_{offset} to 10.9.9.{}:50010 got java.io.IOException: Connection refused",
+            offset % 250
+        );
+    }
+    lines
+}
+
+fn config() -> IngestConfig {
+    IngestConfig {
+        shards: 4,
+        batch_size: 256,
+        window_size: WINDOW,
+        warmup: 8,
+        history: 64,
+        ..IngestConfig::default()
+    }
+}
+
+/// A sink tests can read back after the pipeline finishes.
+#[derive(Clone, Default)]
+struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Global id *order* depends on cross-shard batch arrival order, so two
+/// runs are compared by their canonical template string sets.
+fn canonical_template_strings(summary: &IngestSummary) -> Vec<String> {
+    let mut strings: Vec<String> = summary.templates.iter().map(|(_, t)| t.clone()).collect();
+    strings.sort();
+    strings.dedup();
+    strings
+}
+
+#[test]
+fn hundred_thousand_lines_through_four_shards() {
+    let lines = synthetic_stream();
+    let sink = SharedSink::default();
+    let mut source = MemorySource::new(lines);
+    let summary = run_pipeline(
+        &mut source,
+        &config(),
+        EventLog::new(Box::new(sink.clone())),
+        None,
+    )
+    .unwrap();
+
+    assert_eq!(summary.lines, (WINDOW * WINDOWS) as u64);
+    let active_shards = summary.shard_lines.iter().filter(|&&n| n > 0).count();
+    assert!(
+        active_shards >= 2,
+        "shape routing used {active_shards} shard(s)"
+    );
+    assert_eq!(summary.shard_lines.iter().sum::<usize>(), WINDOW * WINDOWS);
+
+    // Template inventory is in the right ballpark (29 ground-truth HDFS
+    // shapes plus the injected failure template; Drain may split a few).
+    assert!(
+        (15..=90).contains(&summary.templates.len()),
+        "unexpected template count {}",
+        summary.templates.len()
+    );
+
+    // Memory stayed bounded by template state, not stream length: the
+    // per-shard snapshots carry groups, not the 100k member messages.
+    for snapshot in &summary.final_snapshots {
+        assert!(
+            snapshot.group_count() < 200,
+            "snapshot grew to {}",
+            snapshot.group_count()
+        );
+    }
+
+    // Every window closed and, after warmup, was scored.
+    assert_eq!(summary.windows.len(), WINDOWS);
+    assert!(summary.windows.iter().all(|w| w.lines == WINDOW));
+    let scored = summary.windows.iter().filter(|w| w.spe.is_some()).count();
+    assert!(scored >= WINDOWS - 8, "only {scored} windows scored");
+
+    // The injected burst window is flagged.
+    assert!(
+        summary.anomalies.contains(&(ANOMALOUS_WINDOW as u64)),
+        "anomalies {:?} miss injected window {ANOMALOUS_WINDOW}",
+        summary.anomalies
+    );
+    let burst = summary
+        .windows
+        .iter()
+        .find(|w| w.window == ANOMALOUS_WINDOW as u64)
+        .expect("burst window scored");
+    assert!(burst.anomalous);
+    assert!(burst.spe.unwrap() > burst.threshold.unwrap());
+
+    // The JSONL event log covers the full vocabulary, in order.
+    let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let events: Vec<Json> = text
+        .lines()
+        .map(|l| Json::parse(l).expect("valid JSONL"))
+        .collect();
+    let kinds: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("event").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(kinds.first(), Some(&"ingest_started"));
+    assert_eq!(kinds.last(), Some(&"shutdown_complete"));
+    assert!(kinds.contains(&"batch_parsed"));
+    assert_eq!(
+        kinds.iter().filter(|&&k| k == "window_scored").count(),
+        WINDOWS
+    );
+    assert!(kinds.contains(&"anomaly_flagged"));
+    // Event seq numbers are strictly increasing.
+    let seqs: Vec<usize> = events
+        .iter()
+        .map(|e| e.get("seq").unwrap().as_usize().unwrap())
+        .collect();
+    assert!(seqs.windows(2).all(|p| p[1] == p[0] + 1));
+}
+
+#[test]
+fn checkpoint_restore_reproduces_the_uninterrupted_run() {
+    let lines: Vec<String> = synthetic_stream().into_iter().take(30_000).collect();
+    let half = lines.len() / 2;
+    let dir = std::env::temp_dir().join(format!("ingest-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cp_path = dir.join("checkpoint.json");
+
+    // Reference: one uninterrupted run.
+    let mut full = MemorySource::new(lines.clone());
+    let reference = run_pipeline(&mut full, &config(), EventLog::disabled(), None).unwrap();
+
+    // Interrupted run: first half, checkpoint at shutdown…
+    let mut first = MemorySource::new(lines[..half].to_vec());
+    let cp_config = IngestConfig {
+        checkpoint_path: Some(cp_path.clone()),
+        ..config()
+    };
+    let part1 = run_pipeline(&mut first, &cp_config, EventLog::disabled(), None).unwrap();
+    assert!(part1.checkpoints_written >= 1);
+
+    // …then restore and stream the second half.
+    let checkpoint = Checkpoint::load(&cp_path).unwrap();
+    assert_eq!(checkpoint.lines, half as u64);
+    let mut second = MemorySource::new(lines[half..].to_vec());
+    let resumed = run_pipeline(
+        &mut second,
+        &config(),
+        EventLog::disabled(),
+        Some(&checkpoint),
+    )
+    .unwrap();
+
+    // Parser state after restore + second half is *identical* to the
+    // uninterrupted run, shard by shard.
+    assert_eq!(resumed.final_snapshots, reference.final_snapshots);
+    assert_eq!(
+        canonical_template_strings(&resumed),
+        canonical_template_strings(&reference)
+    );
+
+    // Window numbering continues where the checkpoint left off.
+    let first_resumed_window = resumed.windows.first().map(|w| w.window);
+    assert_eq!(first_resumed_window, Some((half / WINDOW) as u64));
+
+    // The checkpoint file is template-sized, not stream-sized.
+    let size = std::fs::metadata(&cp_path).unwrap().len();
+    assert!(
+        size < 100_000,
+        "checkpoint unexpectedly large: {size} bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn periodic_checkpoints_are_written_during_the_run() {
+    let lines: Vec<String> = synthetic_stream().into_iter().take(10_000).collect();
+    let dir = std::env::temp_dir().join(format!("ingest-e2e-periodic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cp_path = dir.join("checkpoint.json");
+    let sink = SharedSink::default();
+
+    let mut source = MemorySource::new(lines);
+    let cfg = IngestConfig {
+        checkpoint_path: Some(cp_path.clone()),
+        checkpoint_every: 2_500,
+        ..config()
+    };
+    let summary = run_pipeline(
+        &mut source,
+        &cfg,
+        EventLog::new(Box::new(sink.clone())),
+        None,
+    )
+    .unwrap();
+    // 10k lines / 2.5k per checkpoint = 4 periodic + 1 final.
+    assert_eq!(summary.checkpoints_written, 5);
+
+    let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let written = text
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .filter(|e| e.get("event").unwrap().as_str() == Some("snapshot_written"))
+        .count();
+    assert_eq!(written, 5);
+    // The file on disk is the latest generation and loads cleanly.
+    let checkpoint = Checkpoint::load(&cp_path).unwrap();
+    assert_eq!(checkpoint.lines, 10_000);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -95,7 +95,11 @@ pub fn jacobi_eigen(matrix: &Matrix) -> Eigen {
     }
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| {
+        a[(j, j)]
+            .partial_cmp(&a[(i, i)])
+            .expect("finite eigenvalues")
+    });
     let values = order.iter().map(|&i| a[(i, i)]).collect();
     let vectors = order
         .iter()

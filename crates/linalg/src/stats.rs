@@ -27,7 +27,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -92,7 +92,8 @@ pub fn q_statistic_threshold(residual_eigenvalues: &[f64], alpha: f64) -> f64 {
     }
     let h0 = 1.0 - 2.0 * phi1 * phi3 / (3.0 * phi2 * phi2);
     let c_alpha = inverse_normal_cdf(1.0 - alpha);
-    let term = c_alpha * (2.0 * phi2 * h0 * h0).sqrt() / phi1 + 1.0
+    let term = c_alpha * (2.0 * phi2 * h0 * h0).sqrt() / phi1
+        + 1.0
         + phi2 * h0 * (h0 - 1.0) / (phi1 * phi1);
     if term <= 0.0 {
         // The approximation can underflow for degenerate spectra; fall

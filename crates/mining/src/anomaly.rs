@@ -122,9 +122,43 @@ impl PcaDetector {
     ///
     /// Panics if `alpha` or `variance_fraction` are outside `(0, 1)`.
     pub fn detect(&self, counts: &Matrix) -> AnomalyReport {
+        self.detect_with_holdout(counts, 0)
+    }
+
+    /// Like [`PcaDetector::detect`], but fits the normal space on all
+    /// rows *except the last `holdout`*, then scores every row against
+    /// that fit.
+    ///
+    /// This is the online formulation: when scoring the newest window of
+    /// a stream against its history, including the window in its own fit
+    /// lets a single extreme observation dominate the covariance — the
+    /// anomaly direction becomes a leading principal component, lands in
+    /// the normal space, and the anomaly scores a *near-zero* residual.
+    /// Holding the candidate rows out of the fit (but not out of TF-IDF
+    /// weighting, which is per-column and robust) removes that
+    /// self-masking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1)` or `holdout >=
+    /// counts.rows()` (the fit needs at least one row).
+    pub fn detect_with_holdout(&self, counts: &Matrix, holdout: usize) -> AnomalyReport {
         assert!(
             self.config.alpha > 0.0 && self.config.alpha < 1.0,
             "alpha must lie in (0, 1)"
+        );
+        if counts.rows() == 0 {
+            return AnomalyReport {
+                spe: Vec::new(),
+                threshold: 0.0,
+                flagged: Vec::new(),
+                kept_components: 0,
+            };
+        }
+        assert!(
+            holdout < counts.rows(),
+            "holdout ({holdout}) must leave at least one row to fit on ({})",
+            counts.rows()
         );
         let weighted;
         let data: &Matrix = if self.config.tfidf {
@@ -133,9 +167,19 @@ impl PcaDetector {
         } else {
             counts
         };
+        let fit_data;
+        let fit_on: &Matrix = if holdout == 0 {
+            data
+        } else {
+            let train: Vec<Vec<f64>> = (0..data.rows() - holdout)
+                .map(|i| data.row(i).to_vec())
+                .collect();
+            fit_data = Matrix::from_rows(&train);
+            &fit_data
+        };
         let pca = match self.config.components {
-            Some(k) => Pca::fit_fixed(data, k),
-            None => Pca::fit(data, self.config.variance_fraction),
+            Some(k) => Pca::fit_fixed(fit_on, k),
+            None => Pca::fit(fit_on, self.config.variance_fraction),
         };
         let spe: Vec<f64> = (0..data.rows())
             .map(|i| pca.squared_prediction_error(data.row(i)))
@@ -204,6 +248,55 @@ mod tests {
         let (m, _) = mixed_matrix(500, 0);
         let report = raw_detector().detect(&m);
         assert!(report.reported() <= 10, "{}", report.reported());
+    }
+
+    /// One extreme row in a *small* matrix dominates the covariance, so
+    /// an in-fit detection absorbs its direction into the normal space
+    /// and gives the anomaly a near-zero residual (self-masking). The
+    /// holdout fit scores it against clean history and catches it.
+    #[test]
+    fn holdout_fit_defeats_self_masking() {
+        let mut rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let c = 10.0 + (i * 17 % 10) as f64;
+                vec![c, c + (i * 7 % 4) as f64 * 0.1, 0.0]
+            })
+            .collect();
+        rows.push(vec![0.0, 0.0, 1000.0]); // the burst window
+        let m = Matrix::from_rows(&rows);
+        let last = m.rows() - 1;
+
+        let in_fit = raw_detector().detect(&m);
+        assert!(
+            !in_fit.flagged.contains(&last),
+            "expected self-masking in-fit; flagged {:?}",
+            in_fit.flagged
+        );
+
+        let held_out = raw_detector().detect_with_holdout(&m, 1);
+        assert!(
+            held_out.flagged.contains(&last),
+            "flagged {:?}",
+            held_out.flagged
+        );
+        assert!(held_out.spe[last] > held_out.threshold);
+    }
+
+    #[test]
+    fn zero_holdout_matches_detect() {
+        let (m, _) = mixed_matrix(200, 3);
+        let a = raw_detector().detect(&m);
+        let b = raw_detector().detect_with_holdout(&m, 0);
+        assert_eq!(a.spe, b.spe);
+        assert_eq!(a.flagged, b.flagged);
+        assert_eq!(a.threshold, b.threshold);
+    }
+
+    #[test]
+    #[should_panic(expected = "holdout")]
+    fn holdout_must_leave_training_rows() {
+        let (m, _) = mixed_matrix(3, 0);
+        raw_detector().detect_with_holdout(&m, 3);
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl DeploymentReport {
 /// assert_eq!(report.flagged_sessions, 1);
 /// assert!((report.reduction() - 2.0 / 3.0).abs() < 1e-12);
 /// ```
-pub fn verify_deployment(development: &[Vec<usize>], deployment: &[Vec<usize>]) -> DeploymentReport {
+pub fn verify_deployment(
+    development: &[Vec<usize>],
+    deployment: &[Vec<usize>],
+) -> DeploymentReport {
     let known: HashSet<&[usize]> = development.iter().map(Vec::as_slice).collect();
     let mut new_set: HashSet<&[usize]> = HashSet::new();
     let mut new_sequences = Vec::new();

@@ -137,7 +137,7 @@ impl InvariantMiner {
                     }
                     let confidence = satisfied as f64 / exercised as f64;
                     if confidence >= self.config.support
-                        && best.as_ref().map_or(true, |b| confidence > b.confidence)
+                        && best.as_ref().is_none_or(|b| confidence > b.confidence)
                     {
                         best = Some(Invariant {
                             left: i,
@@ -233,7 +233,10 @@ mod tests {
         let counts = matrix_with_law(50, 1.0, &[]);
         let model = InvariantMiner::default().mine(&counts);
         // No invariant may tie the noise column (2) to the law columns.
-        assert!(model.invariants().iter().all(|inv| inv.left != 2 && inv.right != 2));
+        assert!(model
+            .invariants()
+            .iter()
+            .all(|inv| inv.left != 2 && inv.right != 2));
     }
 
     #[test]

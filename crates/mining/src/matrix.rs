@@ -74,11 +74,18 @@ pub fn truth_count_matrix(
     session_of: &[usize],
     session_count: usize,
 ) -> Matrix {
-    assert_eq!(labels.len(), session_of.len(), "aligned label/session slices");
+    assert_eq!(
+        labels.len(),
+        session_of.len(),
+        "aligned label/session slices"
+    );
     let mut matrix = Matrix::zeros(session_count, event_count);
     for (&event, &session) in labels.iter().zip(session_of) {
         assert!(event < event_count, "event index {event} out of range");
-        assert!(session < session_count, "session index {session} out of range");
+        assert!(
+            session < session_count,
+            "session index {session} out of range"
+        );
         matrix[(session, event)] += 1.0;
     }
     matrix

@@ -174,7 +174,10 @@ mod tests {
         let parse = Ael::default().parse(&c).unwrap();
         assert_eq!(parse.event_count(), 2);
         let t: Vec<String> = parse.templates().iter().map(|t| t.to_string()).collect();
-        assert!(t.contains(&"session * opened for alice".to_string()), "{t:?}");
+        assert!(
+            t.contains(&"session * opened for alice".to_string()),
+            "{t:?}"
+        );
     }
 
     #[test]
@@ -190,7 +193,11 @@ mod tests {
         let c = corpus(&["tick 1", "tick 2"]);
         let on = Ael::default().parse(&c).unwrap();
         assert_eq!(on.event_count(), 1);
-        let off = Ael::builder().anonymize_numbers(false).build().parse(&c).unwrap();
+        let off = Ael::builder()
+            .anonymize_numbers(false)
+            .build()
+            .parse(&c)
+            .unwrap();
         assert_eq!(off.event_count(), 2);
     }
 

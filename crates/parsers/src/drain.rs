@@ -111,6 +111,31 @@ struct Group {
     members: Vec<usize>,
 }
 
+/// A complete, deterministic serialization of a Drain tree: the
+/// configuration plus every leaf path and group template (`None` slots
+/// are wildcards). Produced by [`crate::StreamingDrain::snapshot`] and
+/// consumed by [`crate::StreamingDrain::restore`]; member indices are
+/// deliberately not part of the state (checkpoints stay proportional to
+/// the number of templates, not the length of the stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrainTreeState {
+    /// Tree depth (length layer + token layers).
+    pub depth: usize,
+    /// Leaf-join similarity threshold.
+    pub similarity: f64,
+    /// `max_children` cap per internal node.
+    pub max_children: usize,
+    /// Messages observed so far.
+    pub observed: usize,
+    /// Group templates indexed by dense group id.
+    pub groups: Vec<Vec<Option<String>>>,
+    /// Leaves as `(message length, generalized prefix, group ids)`,
+    /// sorted by `(length, prefix)`.
+    pub leaves: Vec<(usize, Vec<String>, Vec<usize>)>,
+    /// Distinct prefix paths opened per message length, sorted.
+    pub paths_per_length: Vec<(usize, usize)>,
+}
+
 fn tree_key_token(token: &str) -> &str {
     if token.bytes().any(|b| b.is_ascii_digit()) {
         "*"
@@ -151,6 +176,11 @@ pub(crate) struct DrainTree {
     paths_per_length: HashMap<usize, usize>,
     groups: Vec<Group>,
     observed: usize,
+    /// Whether groups record their member message indices. Batch parsing
+    /// needs them to build a [`Parse`]; long-running streaming must not
+    /// accumulate them (memory would grow with the stream, not with the
+    /// number of templates).
+    track_members: bool,
 }
 
 impl DrainTree {
@@ -174,7 +204,72 @@ impl DrainTree {
             paths_per_length: HashMap::new(),
             groups: Vec::new(),
             observed: 0,
+            track_members: true,
         })
+    }
+
+    /// A tree that does not record member indices — bounded memory for
+    /// unbounded streams (group state only).
+    pub(crate) fn new_untracked(config: Drain) -> Result<Self, ParseError> {
+        let mut tree = DrainTree::new(config)?;
+        tree.track_members = false;
+        Ok(tree)
+    }
+
+    /// Exports the complete incremental state, deterministically ordered
+    /// (leaves sorted by `(length, path)`), for checkpointing.
+    pub(crate) fn export_state(&self) -> DrainTreeState {
+        let mut leaves: Vec<(usize, Vec<String>, Vec<usize>)> = self
+            .leaves
+            .iter()
+            .map(|((len, path), ids)| (*len, path.clone(), ids.clone()))
+            .collect();
+        leaves.sort();
+        let mut paths_per_length: Vec<(usize, usize)> = self
+            .paths_per_length
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        paths_per_length.sort_unstable();
+        DrainTreeState {
+            depth: self.config.depth,
+            similarity: self.config.similarity,
+            max_children: self.config.max_children,
+            observed: self.observed,
+            groups: self.groups.iter().map(|g| g.template.clone()).collect(),
+            leaves,
+            paths_per_length,
+        }
+    }
+
+    /// Rebuilds a (member-untracked) tree from an exported state.
+    pub(crate) fn from_state(state: &DrainTreeState) -> Result<Self, ParseError> {
+        let config = Drain {
+            depth: state.depth,
+            similarity: state.similarity,
+            max_children: state.max_children,
+        };
+        let mut tree = DrainTree::new_untracked(config)?;
+        for (len, path, ids) in &state.leaves {
+            if let Some(&bad) = ids.iter().find(|&&id| id >= state.groups.len()) {
+                return Err(ParseError::InvalidConfig {
+                    parameter: "snapshot",
+                    reason: format!("leaf references group {bad} of {}", state.groups.len()),
+                });
+            }
+            tree.leaves.insert((*len, path.clone()), ids.clone());
+        }
+        tree.paths_per_length = state.paths_per_length.iter().copied().collect();
+        tree.groups = state
+            .groups
+            .iter()
+            .map(|template| Group {
+                template: template.clone(),
+                members: Vec::new(),
+            })
+            .collect();
+        tree.observed = state.observed;
+        Ok(tree)
     }
 
     /// Routes one message through the tree, joining or creating a group.
@@ -184,8 +279,8 @@ impl DrainTree {
         self.observed += 1;
         let token_layers = self.config.depth - 2;
         let mut path = Vec::with_capacity(token_layers);
-        for layer in 0..token_layers.min(tokens.len()) {
-            path.push(tree_key_token(&tokens[layer]).to_owned());
+        for token in tokens.iter().take(token_layers) {
+            path.push(tree_key_token(token).to_owned());
         }
         // max_children cap: a new path only opens while the length
         // bucket has room; otherwise the message falls through to the
@@ -213,14 +308,20 @@ impl DrainTree {
                         *slot = None;
                     }
                 }
-                group.members.push(message_index);
+                if self.track_members {
+                    group.members.push(message_index);
+                }
                 id
             }
             _ => {
                 let id = self.groups.len();
                 self.groups.push(Group {
                     template: tokens.iter().map(|t| Some(t.clone())).collect(),
-                    members: vec![message_index],
+                    members: if self.track_members {
+                        vec![message_index]
+                    } else {
+                        Vec::new()
+                    },
                 });
                 leaf.push(id);
                 id

@@ -467,8 +467,12 @@ mod tests {
         // No position is constant, so step 2 splits on the lowest
         // cardinality position (the verb).
         let c = corpus(&[
-            "open alpha", "open beta", "open gamma",
-            "close delta", "close epsilon", "close zeta",
+            "open alpha",
+            "open beta",
+            "open gamma",
+            "close delta",
+            "close epsilon",
+            "close zeta",
         ]);
         let parse = Iplom::default().parse(&c).unwrap();
         assert_eq!(parse.event_count(), 2);
@@ -563,8 +567,14 @@ mod tests {
         let parse = Iplom::default().parse(&c).unwrap();
         assert_eq!(parse.event_count(), 2);
         let templates: Vec<String> = parse.templates().iter().map(|t| t.to_string()).collect();
-        assert!(templates.contains(&"T e1 c1 * *".to_string()), "{templates:?}");
-        assert!(templates.contains(&"T e2 c2 * *".to_string()), "{templates:?}");
+        assert!(
+            templates.contains(&"T e1 c1 * *".to_string()),
+            "{templates:?}"
+        );
+        assert!(
+            templates.contains(&"T e2 c2 * *".to_string()),
+            "{templates:?}"
+        );
     }
 
     #[test]

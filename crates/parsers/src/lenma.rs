@@ -212,7 +212,10 @@ mod tests {
 
     #[test]
     fn invalid_threshold_is_rejected() {
-        let err = LenMa::builder().threshold(2.0).build().parse(&corpus(&["a"]));
+        let err = LenMa::builder()
+            .threshold(2.0)
+            .build()
+            .parse(&corpus(&["a"]));
         assert!(matches!(err, Err(ParseError::InvalidConfig { .. })));
     }
 

@@ -102,7 +102,11 @@ impl Lke {
         let mut distances = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
-                distances.push(weighted_edit_distance(&seqs[i], &seqs[j], self.weight_midpoint));
+                distances.push(weighted_edit_distance(
+                    &seqs[i],
+                    &seqs[j],
+                    self.weight_midpoint,
+                ));
             }
         }
         Some(two_means_threshold(&distances))
@@ -192,7 +196,11 @@ fn weighted_edit_distance(a: &[String], b: &[String], midpoint: f64) -> f64 {
         curr[0] = prev[0] + positional_weight(i - 1, midpoint);
         for j in 1..=m {
             let w = positional_weight(usize::max(i, j) - 1, midpoint);
-            let sub = if a[i - 1] == b[j - 1] { prev[j - 1] } else { prev[j - 1] + w };
+            let sub = if a[i - 1] == b[j - 1] {
+                prev[j - 1]
+            } else {
+                prev[j - 1] + w
+            };
             curr[j] = sub.min(prev[j] + w).min(curr[j - 1] + w);
         }
         std::mem::swap(&mut prev, &mut curr);
@@ -205,7 +213,7 @@ fn weighted_edit_distance(a: &[String], b: &[String], midpoint: f64) -> f64 {
 fn two_means_threshold(values: &[f64]) -> f64 {
     let min = values.iter().copied().fold(f64::INFINITY, f64::min);
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    if !(max > min) {
+    if max <= min {
         return min;
     }
     let (mut c0, mut c1) = (min, max);
@@ -291,7 +299,11 @@ impl LogParser for Lke {
         let mut distances = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
-                distances.push(weighted_edit_distance(&seqs[i], &seqs[j], self.weight_midpoint));
+                distances.push(weighted_edit_distance(
+                    &seqs[i],
+                    &seqs[j],
+                    self.weight_midpoint,
+                ));
             }
         }
         let threshold = match self.threshold {
@@ -449,7 +461,11 @@ mod tests {
             "Starting checkpoint thread immediately",
             "Starting checkpoint thread immediately",
         ]);
-        let parse = Lke::builder().fixed_threshold(0.5).build().parse(&c).unwrap();
+        let parse = Lke::builder()
+            .fixed_threshold(0.5)
+            .build()
+            .parse(&c)
+            .unwrap();
         assert_eq!(parse.event_count(), 2);
         assert_eq!(parse.assignments()[0], parse.assignments()[1]);
         assert_ne!(parse.assignments()[0], parse.assignments()[3]);
@@ -484,7 +500,11 @@ mod tests {
             "request took 31 ms",
             "request took 47 ms",
         ]);
-        let parse = Lke::builder().fixed_threshold(0.5).build().parse(&c).unwrap();
+        let parse = Lke::builder()
+            .fixed_threshold(0.5)
+            .build()
+            .parse(&c)
+            .unwrap();
         assert_eq!(parse.event_count(), 1);
         assert_eq!(parse.templates()[0].to_string(), "request took * ms");
     }
@@ -497,7 +517,10 @@ mod tests {
 
     #[test]
     fn invalid_fixed_threshold_is_rejected() {
-        let err = Lke::builder().fixed_threshold(1.5).build().parse(&corpus(&["a"]));
+        let err = Lke::builder()
+            .fixed_threshold(1.5)
+            .build()
+            .parse(&corpus(&["a"]));
         assert!(matches!(err, Err(ParseError::InvalidConfig { .. })));
     }
 
@@ -507,6 +530,4 @@ mod tests {
         let p = Lke::default();
         assert_eq!(p.parse(&c).unwrap(), p.parse(&c).unwrap());
     }
-
-
 }

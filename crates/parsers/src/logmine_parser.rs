@@ -156,8 +156,7 @@ impl LogParser for LogMine {
             let mut merged: Vec<Cluster> = Vec::new();
             for cluster in clusters {
                 match merged.iter_mut().find(|m| {
-                    distance(&m.representative, &cluster.representative, level_distance)
-                        .is_finite()
+                    distance(&m.representative, &cluster.representative, level_distance).is_finite()
                 }) {
                     Some(target) => target.members.extend(cluster.members),
                     None => merged.push(cluster),
@@ -210,7 +209,11 @@ mod tests {
 
     #[test]
     fn same_template_messages_cluster() {
-        let c = corpus(&["fetch page 1 of 30", "fetch page 2 of 30", "fetch page 9 of 31"]);
+        let c = corpus(&[
+            "fetch page 1 of 30",
+            "fetch page 2 of 30",
+            "fetch page 9 of 31",
+        ]);
         let parse = LogMine::default().parse(&c).unwrap();
         assert_eq!(parse.event_count(), 1);
         assert_eq!(parse.templates()[0].to_string(), "fetch page * of *");
@@ -247,7 +250,10 @@ mod tests {
 
     #[test]
     fn invalid_distance_is_rejected() {
-        let err = LogMine::builder().max_distance(1.5).build().parse(&corpus(&["a"]));
+        let err = LogMine::builder()
+            .max_distance(1.5)
+            .build()
+            .parse(&corpus(&["a"]));
         assert!(matches!(err, Err(ParseError::InvalidConfig { .. })));
     }
 

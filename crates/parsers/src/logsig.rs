@@ -239,7 +239,8 @@ fn word_pairs(corpus: &Corpus) -> Vec<Vec<PairKey>> {
                 *intern.entry(t.as_str()).or_insert(next)
             })
             .collect();
-        let mut pairs: Vec<PairKey> = Vec::with_capacity(ids.len() * (ids.len().saturating_sub(1)) / 2);
+        let mut pairs: Vec<PairKey> =
+            Vec::with_capacity(ids.len() * (ids.len().saturating_sub(1)) / 2);
         for i in 0..ids.len() {
             for j in (i + 1)..ids.len() {
                 pairs.push((u64::from(ids[i]) << 32) | u64::from(ids[j]));
@@ -408,7 +409,12 @@ mod tests {
             "disk sdb2 usage at 87 percent",
             "disk sdc3 usage at 99 percent",
         ]);
-        let parse = LogSig::builder().clusters(2).seed(42).build().parse(&c).unwrap();
+        let parse = LogSig::builder()
+            .clusters(2)
+            .seed(42)
+            .build()
+            .parse(&c)
+            .unwrap();
         assert_eq!(parse.event_count(), 2);
         let labels = parse.cluster_labels();
         assert_eq!(labels[0], labels[1]);
@@ -427,7 +433,12 @@ mod tests {
     fn different_seeds_may_differ_but_stay_valid() {
         let c = corpus(&["a b c", "a b d", "x y z", "x y w"]);
         for seed in 0..5 {
-            let parse = LogSig::builder().clusters(2).seed(seed).build().parse(&c).unwrap();
+            let parse = LogSig::builder()
+                .clusters(2)
+                .seed(seed)
+                .build()
+                .parse(&c)
+                .unwrap();
             assert_eq!(parse.len(), 4);
             assert_eq!(parse.outlier_count(), 0);
             assert!(parse.event_count() <= 2);
@@ -437,7 +448,12 @@ mod tests {
     #[test]
     fn k_equal_to_n_gives_singletons() {
         let c = corpus(&["a b", "c d", "e f"]);
-        let parse = LogSig::builder().clusters(3).seed(0).build().parse(&c).unwrap();
+        let parse = LogSig::builder()
+            .clusters(3)
+            .seed(0)
+            .build()
+            .parse(&c)
+            .unwrap();
         assert_eq!(parse.event_count(), 3);
     }
 
@@ -495,7 +511,12 @@ mod tests {
         // scatter across k=5 clusters persists.
         let lines: Vec<String> = (0..10).map(|i| format!("generating core.{i}")).collect();
         let c = Corpus::from_lines(&lines, &logparse_core::Tokenizer::default());
-        let parse = LogSig::builder().clusters(5).seed(3).build().parse(&c).unwrap();
+        let parse = LogSig::builder()
+            .clusters(5)
+            .seed(3)
+            .build()
+            .parse(&c)
+            .unwrap();
         assert!(
             parse.event_count() >= 4,
             "expected scatter, got {} events",
@@ -507,7 +528,12 @@ mod tests {
     fn single_message_per_pairless_input_is_handled() {
         // Single-token messages generate no pairs at all.
         let c = corpus(&["a", "b", "c"]);
-        let parse = LogSig::builder().clusters(2).seed(1).build().parse(&c).unwrap();
+        let parse = LogSig::builder()
+            .clusters(2)
+            .seed(1)
+            .build()
+            .parse(&c)
+            .unwrap();
         assert_eq!(parse.len(), 3);
     }
 }

@@ -229,7 +229,11 @@ mod tests {
         let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
         let c = corpus(&refs);
         // 5% of 100 = 5: "tick" is frequent (100 occurrences), ids are not.
-        let parse = Slct::builder().support_fraction(0.05).build().parse(&c).unwrap();
+        let parse = Slct::builder()
+            .support_fraction(0.05)
+            .build()
+            .parse(&c)
+            .unwrap();
         assert_eq!(parse.event_count(), 1);
         assert_eq!(parse.templates()[0].to_string(), "tick *");
     }

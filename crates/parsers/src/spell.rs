@@ -134,6 +134,22 @@ struct LcsObject {
     members: Vec<usize>,
 }
 
+/// A complete, deterministic serialization of Spell's incremental state:
+/// the configuration plus every LCS object's skeleton. Produced by
+/// [`crate::StreamingSpell::snapshot`] and consumed by
+/// [`crate::StreamingSpell::restore`]; member indices are deliberately
+/// not part of the state (checkpoints stay proportional to the number of
+/// templates, not the length of the stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpellStateSnapshot {
+    /// LCS acceptance threshold.
+    pub tau: f64,
+    /// Messages observed so far.
+    pub observed: usize,
+    /// Object skeletons indexed by dense object id.
+    pub skeletons: Vec<Vec<String>>,
+}
+
 /// Spell's incremental state: the LCS object list. Shared by the batch
 /// parser and [`crate::StreamingSpell`].
 #[derive(Debug)]
@@ -141,6 +157,9 @@ pub(crate) struct SpellState {
     tau: f64,
     objects: Vec<LcsObject>,
     observed: usize,
+    /// Whether objects record their member message indices (batch mode
+    /// only; streaming keeps memory bounded by dropping them).
+    track_members: bool,
 }
 
 impl SpellState {
@@ -156,7 +175,40 @@ impl SpellState {
             tau: config.tau,
             objects: Vec::new(),
             observed: 0,
+            track_members: true,
         })
+    }
+
+    /// A state that does not record member indices — bounded memory for
+    /// unbounded streams.
+    pub(crate) fn new_untracked(config: Spell) -> Result<Self, ParseError> {
+        let mut state = SpellState::new(config)?;
+        state.track_members = false;
+        Ok(state)
+    }
+
+    /// Exports the complete incremental state for checkpointing.
+    pub(crate) fn export_state(&self) -> SpellStateSnapshot {
+        SpellStateSnapshot {
+            tau: self.tau,
+            observed: self.observed,
+            skeletons: self.objects.iter().map(|o| o.skeleton.clone()).collect(),
+        }
+    }
+
+    /// Rebuilds a (member-untracked) state from an exported snapshot.
+    pub(crate) fn from_state(state: &SpellStateSnapshot) -> Result<Self, ParseError> {
+        let mut rebuilt = SpellState::new_untracked(Spell { tau: state.tau })?;
+        rebuilt.objects = state
+            .skeletons
+            .iter()
+            .map(|skeleton| LcsObject {
+                skeleton: skeleton.clone(),
+                members: Vec::new(),
+            })
+            .collect();
+        rebuilt.observed = state.observed;
+        Ok(rebuilt)
     }
 
     /// Assigns the next message to an LCS object (creating one if
@@ -180,14 +232,20 @@ impl SpellState {
                 if len < object.skeleton.len() {
                     object.skeleton = lcs_sequence(&object.skeleton, tokens);
                 }
-                object.members.push(message_index);
+                if self.track_members {
+                    object.members.push(message_index);
+                }
                 id
             }
             _ => {
                 let id = self.objects.len();
                 self.objects.push(LcsObject {
                     skeleton: tokens.to_vec(),
-                    members: vec![message_index],
+                    members: if self.track_members {
+                        vec![message_index]
+                    } else {
+                        Vec::new()
+                    },
                 });
                 id
             }

@@ -21,10 +21,10 @@
 //! assert_eq!(parser.template(a).unwrap().to_string(), "send pkt *");
 //! ```
 
-use logparse_core::{Template, TemplateToken};
+use logparse_core::{ParseError, Template, TemplateToken};
 
-use crate::drain::DrainTree;
-use crate::spell::SpellState;
+use crate::drain::{DrainTree, DrainTreeState};
+use crate::spell::{SpellState, SpellStateSnapshot};
 use crate::{Drain, Spell};
 
 /// An online log parser: messages stream in, group ids stream out.
@@ -43,10 +43,15 @@ pub trait StreamingParser {
     /// The current template of group `id`, or `None` if out of range.
     fn template(&self, id: usize) -> Option<Template>;
 
-    /// All current templates, indexed by group id.
+    /// All current templates in group-id order.
+    ///
+    /// Total for any implementation: ids the implementation cannot
+    /// produce a template for (a `group_count()` that over-reports, or a
+    /// sparse id space) are skipped rather than panicking, so snapshots
+    /// taken mid-stream are always safe.
     fn templates(&self) -> Vec<Template> {
         (0..self.group_count())
-            .map(|id| self.template(id).expect("dense group ids"))
+            .filter_map(|id| self.template(id))
             .collect()
     }
 }
@@ -66,6 +71,10 @@ impl Default for StreamingDrain {
 impl StreamingDrain {
     /// Creates a streaming parser with the given Drain configuration.
     ///
+    /// Unlike the batch parser, the streaming tree does **not** record
+    /// member message indices: memory stays proportional to the number
+    /// of discovered templates, never to the length of the stream.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (`similarity` outside
@@ -73,8 +82,28 @@ impl StreamingDrain {
     /// conditions as [`logparse_core::ParseError`].
     pub fn new(config: Drain) -> Self {
         StreamingDrain {
-            tree: DrainTree::new(config).expect("valid Drain configuration"),
+            tree: DrainTree::new_untracked(config).expect("valid Drain configuration"),
         }
+    }
+
+    /// Exports the parser's complete incremental state for
+    /// checkpointing. Deterministic: equal states produce equal
+    /// snapshots.
+    pub fn snapshot(&self) -> DrainTreeState {
+        self.tree.export_state()
+    }
+
+    /// Rebuilds a parser from a snapshot; the restored parser groups
+    /// future messages exactly as the original would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::InvalidConfig`] when the snapshot carries
+    /// an invalid configuration or internally inconsistent group ids.
+    pub fn restore(state: &DrainTreeState) -> Result<Self, ParseError> {
+        Ok(StreamingDrain {
+            tree: DrainTree::from_state(state)?,
+        })
     }
 }
 
@@ -117,13 +146,36 @@ impl Default for StreamingSpell {
 impl StreamingSpell {
     /// Creates a streaming parser with the given Spell configuration.
     ///
+    /// Unlike the batch parser, the streaming state does **not** record
+    /// member message indices: memory stays proportional to the number
+    /// of discovered templates, never to the length of the stream.
+    ///
     /// # Panics
     ///
     /// Panics if `tau` lies outside `[0, 1]`.
     pub fn new(config: Spell) -> Self {
         StreamingSpell {
-            state: SpellState::new(config).expect("valid Spell configuration"),
+            state: SpellState::new_untracked(config).expect("valid Spell configuration"),
         }
+    }
+
+    /// Exports the parser's complete incremental state for
+    /// checkpointing.
+    pub fn snapshot(&self) -> SpellStateSnapshot {
+        self.state.export_state()
+    }
+
+    /// Rebuilds a parser from a snapshot; the restored parser groups
+    /// future messages exactly as the original would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::InvalidConfig`] when the snapshot carries
+    /// an invalid `tau`.
+    pub fn restore(state: &SpellStateSnapshot) -> Result<Self, ParseError> {
+        Ok(StreamingSpell {
+            state: SpellState::from_state(state)?,
+        })
     }
 }
 
@@ -199,7 +251,9 @@ mod tests {
         let corpus = Corpus::from_lines(lines, &Tokenizer::default());
         let batch = Drain::default().parse(&corpus).unwrap();
         let mut stream = StreamingDrain::default();
-        let ids: Vec<usize> = (0..corpus.len()).map(|i| stream.observe(corpus.tokens(i))).collect();
+        let ids: Vec<usize> = (0..corpus.len())
+            .map(|i| stream.observe(corpus.tokens(i)))
+            .collect();
         // Same grouping structure (up to id naming).
         for i in 0..lines.len() {
             for j in 0..lines.len() {
@@ -228,5 +282,90 @@ mod tests {
         let g = p.observe(&[]);
         assert_eq!(p.group_count(), 1);
         assert_eq!(p.template(g).unwrap().len(), 0);
+    }
+
+    /// Regression: the default `templates()` used to
+    /// `expect("dense group ids")` and panicked on any implementation
+    /// whose `group_count` over-reports. It must be total.
+    #[test]
+    fn templates_tolerates_sparse_implementations() {
+        struct Sparse;
+        impl StreamingParser for Sparse {
+            fn observe(&mut self, _tokens: &[String]) -> usize {
+                0
+            }
+            fn group_count(&self) -> usize {
+                3 // over-reported: only id 1 actually has a template
+            }
+            fn template(&self, id: usize) -> Option<Template> {
+                (id == 1).then(|| Template::from_pattern("only *"))
+            }
+        }
+        let templates = Sparse.templates();
+        assert_eq!(templates.len(), 1);
+        assert_eq!(templates[0].to_string(), "only *");
+    }
+
+    #[test]
+    fn drain_snapshot_restore_round_trips() {
+        let mut p = StreamingDrain::default();
+        for line in [
+            "conn from 10.0.0.1 ok",
+            "conn from 10.0.0.2 ok",
+            "disk full on sda1",
+            "conn from 10.0.0.3 failed",
+        ] {
+            p.observe(&toks(line));
+        }
+        let snap = p.snapshot();
+        let mut q = StreamingDrain::restore(&snap).unwrap();
+        assert_eq!(p.templates(), q.templates());
+        assert_eq!(q.snapshot(), snap);
+        // The restored parser routes future messages identically.
+        for line in ["conn from 10.9.9.9 ok", "totally new event shape"] {
+            assert_eq!(p.observe(&toks(line)), q.observe(&toks(line)), "{line}");
+        }
+        assert_eq!(p.templates(), q.templates());
+    }
+
+    #[test]
+    fn drain_restore_rejects_corrupt_snapshots() {
+        let mut p = StreamingDrain::default();
+        p.observe(&toks("a b c"));
+        let mut snap = p.snapshot();
+        snap.leaves[0].2.push(99); // dangling group id
+        assert!(StreamingDrain::restore(&snap).is_err());
+        let mut bad_config = p.snapshot();
+        bad_config.similarity = 7.0;
+        assert!(StreamingDrain::restore(&bad_config).is_err());
+    }
+
+    #[test]
+    fn spell_snapshot_restore_round_trips() {
+        let mut p = StreamingSpell::default();
+        for line in ["job 17 finished ok", "job 23 finished ok", "mount sda1 ro"] {
+            p.observe(&toks(line));
+        }
+        let snap = p.snapshot();
+        let mut q = StreamingSpell::restore(&snap).unwrap();
+        assert_eq!(p.templates(), q.templates());
+        assert_eq!(q.snapshot(), snap);
+        for line in ["job 31 finished ok", "umount sda1"] {
+            assert_eq!(p.observe(&toks(line)), q.observe(&toks(line)), "{line}");
+        }
+    }
+
+    #[test]
+    fn streaming_memory_is_bounded_by_group_state() {
+        // 100k observations of one event shape: the streaming tree keeps
+        // one group and no member list, so the snapshot stays tiny.
+        let mut p = StreamingDrain::default();
+        for i in 0..100_000 {
+            p.observe(&toks(&format!("send pkt {i} ok")));
+        }
+        assert_eq!(p.group_count(), 1);
+        let snap = p.snapshot();
+        assert_eq!(snap.observed, 100_000);
+        assert_eq!(snap.groups.len(), 1);
     }
 }

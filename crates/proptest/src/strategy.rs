@@ -1,0 +1,327 @@
+//! Value-generation strategies (no shrinking).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The generator driving all strategies.
+pub type TestRng = StdRng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and draws
+    /// from the result.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy behind a trait object (used by [`crate::prop_oneof!`]).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies of a common value type.
+pub struct Union<T> {
+    variants: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union; panics if `variants` is empty.
+    pub fn new(variants: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.variants.len());
+        self.variants[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// String pattern strategies: a `&str` literal is interpreted as a small
+/// regex subset (character classes, groups, `{m,n}`/`{m}`/`?`/`*`/`+`
+/// quantifiers) and generates matching strings, mirroring proptest's
+/// regex string strategies for the patterns used in this repository.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = parse_pattern(self);
+        let mut out = String::new();
+        render_seq(&nodes, rng, &mut out);
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<Quantified>),
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    node: Node,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let mut chars = pattern.chars().peekable();
+    let nodes = parse_seq(&mut chars, pattern);
+    assert!(
+        chars.next().is_none(),
+        "unbalanced `)` in pattern `{pattern}`"
+    );
+    nodes
+}
+
+fn parse_seq(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> Vec<Quantified> {
+    let mut out = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            break;
+        }
+        chars.next();
+        let node = match c {
+            '(' => {
+                let inner = parse_seq(chars, pattern);
+                assert_eq!(
+                    chars.next(),
+                    Some(')'),
+                    "unbalanced `(` in pattern `{pattern}`"
+                );
+                Node::Group(inner)
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated `[` in pattern `{pattern}`"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .filter(|&h| h != ']')
+                            .unwrap_or_else(|| panic!("bad range in pattern `{pattern}`"));
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern `{pattern}`");
+                Node::Class(ranges)
+            }
+            '\\' => Node::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`")),
+            ),
+            other => Node::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier min"),
+                        hi.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 4)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 4)
+            }
+            _ => (1, 1),
+        };
+        out.push(Quantified { node, min, max });
+    }
+    out
+}
+
+fn render_seq(nodes: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in nodes {
+        let reps = rng.gen_range(q.min..=q.max);
+        for _ in 0..reps {
+            match &q.node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    out.push(
+                        char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                            .expect("class range stays in valid chars"),
+                    );
+                }
+                Node::Group(inner) => render_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_parser_handles_the_repo_pattern() {
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = "[a-z]{2,6}( [a-z]{2,6}){2,5}".generate(&mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((3..=6).contains(&words.len()), "{s}");
+            assert!(words.iter().all(|w| (2..=6).contains(&w.len())), "{s}");
+        }
+    }
+
+    #[test]
+    fn quantifiers_and_escapes() {
+        let mut rng = TestRng::seed_from_u64(8);
+        let s = "ab\\{c?[0-9]{3}".generate(&mut rng);
+        assert!(s.starts_with("ab{"), "{s}");
+        let digits: String = s.chars().rev().take(3).collect();
+        assert!(digits.chars().all(|c| c.is_ascii_digit()), "{s}");
+    }
+}

@@ -10,9 +10,7 @@
 use logmine::core::LogParser;
 use logmine::datasets::hdfs;
 use logmine::eval::pairwise_f_measure;
-use logmine::mining::{
-    event_count_matrix, truth_count_matrix, PcaDetector, PcaDetectorConfig,
-};
+use logmine::mining::{event_count_matrix, truth_count_matrix, PcaDetector, PcaDetectorConfig};
 use logmine::parsers::Iplom;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let counts = event_count_matrix(&parse, &sessions.block_of, sessions.block_count());
     let report = detector.detect(&counts);
     let (detected, false_alarms) = report.confusion(&sessions.anomalous);
-    println!("\nIPLoM parse: F1 = {:.3}, {} events", accuracy.f1, parse.event_count());
+    println!(
+        "\nIPLoM parse: F1 = {:.3}, {} events",
+        accuracy.f1,
+        parse.event_count()
+    );
     println!(
         "  reported {} anomalies: {} detected, {} false alarms (threshold Q_a = {:.2})",
         report.reported(),

@@ -33,7 +33,10 @@ fn main() {
     }
 
     let violations = model.violations(&counts);
-    let inv_detected = violations.iter().filter(|&&i| sessions.anomalous[i]).count();
+    let inv_detected = violations
+        .iter()
+        .filter(|&&i| sessions.anomalous[i])
+        .count();
     println!(
         "\ninvariant detector: {} flagged, {} true of {} anomalies, {} false alarms",
         violations.len(),

@@ -1,4 +1,6 @@
 #!/bin/bash
+# Regenerates the paper's tables/figures. For the code-quality gate
+# (fmt + clippy + tests) run scripts/check.sh first.
 cd /root/repo
 for bin in table1 table2 table3 fig3 fig2 critical_events preprocess_ablation mining_tasks; do
   echo "=== $bin start $(date +%T) ==="

@@ -1,0 +1,16 @@
+#!/bin/bash
+# The local gate: everything CI would hold a change to.
+#   scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all --check
+
+echo "=== cargo clippy (warnings denied) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo test ==="
+cargo test --workspace -q
+
+echo "all checks passed"

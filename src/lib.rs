@@ -12,7 +12,10 @@
 //! * [`mining`] — downstream log-mining tasks (PCA anomaly detection,
 //!   deployment verification, FSM model construction);
 //! * [`eval`] — accuracy metrics and the experiment runners that
-//!   regenerate every table and figure of the paper.
+//!   regenerate every table and figure of the paper;
+//! * [`ingest`] — a long-running streaming ingestion pipeline that
+//!   parses logs online across sharded workers and scores tumbling
+//!   windows with the PCA detector.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,8 @@ pub use logparse_core as core;
 pub use logparse_datasets as datasets;
 /// Evaluation harness (re-export of [`logparse_eval`]).
 pub use logparse_eval as eval;
+/// Streaming ingestion pipeline (re-export of [`logparse_ingest`]).
+pub use logparse_ingest as ingest;
 /// Dense linear algebra (re-export of [`logparse_linalg`]).
 pub use logparse_linalg as linalg;
 /// Log-mining tasks (re-export of [`logparse_mining`]).

@@ -7,9 +7,7 @@ use logmine::core::{
 };
 use logmine::datasets::{hdfs, zookeeper};
 use logmine::eval::{pairwise_f_measure, tune, ParserKind};
-use logmine::mining::{
-    event_count_matrix, truth_count_matrix, PcaDetector, PcaDetectorConfig,
-};
+use logmine::mining::{event_count_matrix, truth_count_matrix, PcaDetector, PcaDetectorConfig};
 use logmine::parsers::{study_parsers, Iplom};
 
 #[test]
@@ -45,7 +43,13 @@ fn all_study_parsers_run_on_every_dataset_sample() {
             let parse = parser
                 .parse(&data.corpus)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", parser.name(), spec.name()));
-            assert_eq!(parse.len(), data.len(), "{} on {}", parser.name(), spec.name());
+            assert_eq!(
+                parse.len(),
+                data.len(),
+                "{} on {}",
+                parser.name(),
+                spec.name()
+            );
             // Every assigned template must actually match its messages.
             for i in 0..parse.len() {
                 if let Some(template) = parse.template_of(i) {
@@ -74,8 +78,14 @@ fn preprocessing_improves_or_preserves_iplom_on_hdfs() {
 
     // Finding 2's caveat: preprocessing may not help IPLoM, but it must
     // not destroy it either.
-    assert!(pre_f1 > raw_f1 - 0.15, "raw {raw_f1} vs preprocessed {pre_f1}");
-    assert!(raw_f1 > 0.8, "IPLoM on HDFS should be accurate, got {raw_f1}");
+    assert!(
+        pre_f1 > raw_f1 - 0.15,
+        "raw {raw_f1} vs preprocessed {pre_f1}"
+    );
+    assert!(
+        raw_f1 > 0.8,
+        "IPLoM on HDFS should be accurate, got {raw_f1}"
+    );
 }
 
 #[test]
@@ -107,7 +117,10 @@ fn parser_driven_anomaly_detection_tracks_ground_truth() {
         (detected as i64 - truth_detected as i64).abs() <= truth_detected as i64 / 2,
         "detected {detected} vs truth {truth_detected}"
     );
-    assert!(fa <= truth_fa + sessions.block_count() / 50, "fa {fa} vs {truth_fa}");
+    assert!(
+        fa <= truth_fa + sessions.block_count() / 50,
+        "fa {fa} vs {truth_fa}"
+    );
 }
 
 #[test]
@@ -121,5 +134,9 @@ fn tuned_parsers_beat_untuned_defaults_on_average() {
         }
     }
     // Finding 1: overall accuracy of the four tuned methods is high.
-    assert!(tuned_total / 4.0 > 0.6, "mean tuned F1 {}", tuned_total / 4.0);
+    assert!(
+        tuned_total / 4.0 > 0.6,
+        "mean tuned F1 {}",
+        tuned_total / 4.0
+    );
 }

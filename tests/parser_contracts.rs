@@ -129,7 +129,7 @@ proptest! {
         line in "[a-z]{2,6}( [a-z]{2,6}){2,5}",
         copies in 2usize..20,
     ) {
-        let lines: Vec<&str> = std::iter::repeat(line.as_str()).take(copies).collect();
+        let lines: Vec<&str> = std::iter::repeat_n(line.as_str(), copies).collect();
         let corpus = Corpus::from_lines(&lines, &Tokenizer::default());
         for parser in parsers() {
             if parser.name() == "LogSig" {
