@@ -1,7 +1,7 @@
 //! Regenerates **Fig. 2** (running time vs. corpus size). See
 //! `logparse_eval::experiments::fig2`.
 
-use logparse_bench::quick_mode;
+use logparse_bench::{dump_metrics, quick_mode};
 use logparse_eval::experiments::fig2;
 use logparse_eval::ParserKind;
 
@@ -40,4 +40,5 @@ fn main() {
     println!("paper shape: SLCT and IPLoM linear (minutes for 10m lines); LogSig linear with");
     println!("a large constant (2+ hours for 10m HDFS lines); LKE O(n^2), unable to finish");
     println!("BGL4m/HDFS10m in reasonable time (points missing).");
+    dump_metrics();
 }

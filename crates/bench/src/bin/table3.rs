@@ -1,7 +1,7 @@
 //! Regenerates **Table III** (anomaly detection with different parsers).
 //! See `logparse_eval::experiments::table3`.
 
-use logparse_bench::quick_mode;
+use logparse_bench::{dump_metrics, quick_mode};
 use logparse_eval::experiments::table3;
 
 fn main() {
@@ -27,4 +27,5 @@ fn main() {
     println!("LogSig        0.87  11,091  10,678 (63%)    413 (3.7%)");
     println!("IPLoM         0.99  10,998  10,720 (63%)    278 (2.5%)");
     println!("Ground truth  1.00  11,473  11,195 (66%)    278 (2.4%)");
+    dump_metrics();
 }

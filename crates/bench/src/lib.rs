@@ -20,11 +20,36 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Returns `true` when `--metrics` was passed on the command line; the
+/// table/figure binaries then append the process-global metric registry
+/// (Prometheus text format) to stderr via [`dump_metrics`] after their
+/// run, exposing the `obs_span_duration_seconds{span="parser_parse"}`
+/// histograms the experiments record through `LogParser::timed_parse`.
+pub fn metrics_mode() -> bool {
+    std::env::args().any(|a| a == "--metrics")
+}
+
+/// Prints the process-global metric registry to stderr when
+/// [`metrics_mode`] is on; a no-op otherwise. Stderr keeps the tables on
+/// stdout clean for redirection.
+pub fn dump_metrics() {
+    if metrics_mode() {
+        eprintln!("--- metrics ---");
+        eprint!("{}", logparse_obs::global().render());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn quick_mode_is_callable() {
         // In the test harness there is no --quick flag.
         assert!(!super::quick_mode());
+    }
+
+    #[test]
+    fn dump_metrics_without_flag_is_a_no_op() {
+        assert!(!super::metrics_mode());
+        super::dump_metrics();
     }
 }

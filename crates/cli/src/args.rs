@@ -54,6 +54,9 @@ const VALUED: &[&str] = &[
     "checkpoint",
     "checkpoint-every",
     "max-lines",
+    "metrics-addr",
+    // `metrics` options
+    "scrape",
 ];
 
 impl Args {

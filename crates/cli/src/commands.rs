@@ -36,7 +36,8 @@ USAGE:
                    [--window N] [--history N] [--warmup N]
                    [--checkpoint FILE [--checkpoint-every N] [--resume]]
                    [--max-lines N] [--events-out FILE] [--alpha A]
-                   [--components K]
+                   [--components K] [--metrics-addr ADDR]
+  logmine metrics dump [--scrape ADDR] [--traces]
   logmine help
 
 PARSERS:   slct iplom lke logsig drain spell ael lenma logmine
@@ -46,7 +47,14 @@ RULES:     comma-separated from ip,blk,core,num,hex,path
 serve ingests a live stream — stdin by default, FILE (with --follow to
 tail it through rotations), or a TCP line protocol via --listen — parses
 it online across sharded workers, scores tumbling windows with the PCA
-detector, and emits JSONL operational events (stderr or --events-out).";
+detector, and emits JSONL operational events (stderr or --events-out).
+With --metrics-addr it also serves Prometheus text-format metrics for
+every pipeline stage over HTTP (port 0 picks a free port; the bound
+address is printed to stderr).
+
+metrics dump prints those metrics one-shot: from a running serve's
+endpoint with --scrape HOST:PORT, otherwise from this process's own
+registry. --traces appends the most recent span trace events.";
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -296,6 +304,17 @@ pub fn serve(args: &Args) -> CliResult {
     };
     logparse_ingest::signal::install_handlers();
 
+    // The exporter reads the same process-global registry the pipeline
+    // stages write through, so a scrape mid-run sees live counters.
+    let metrics_server = match args.option("metrics-addr") {
+        Some(addr) => {
+            let server = logparse_obs::serve_metrics(logparse_obs::global(), addr)?;
+            eprintln!("metrics listening on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+
     let summary = match (args.option("listen"), args.positional().first()) {
         (Some(addr), _) => {
             let mut source = TcpSource::bind(addr)?;
@@ -343,7 +362,62 @@ pub fn serve(args: &Args) -> CliResult {
         }
     }
     println!("checkpoints       {}", summary.checkpoints_written);
+    if let Some(mut server) = metrics_server {
+        server.stop();
+    }
     Ok(())
+}
+
+/// `logmine metrics` — one-shot exposition of the metric registry.
+pub fn metrics(args: &Args) -> CliResult {
+    match args.positional().first().map(String::as_str) {
+        Some("dump") => {}
+        Some(other) => return Err(format!("unknown metrics action `{other}` (try dump)").into()),
+        None => return Err("metrics needs an action: logmine metrics dump".into()),
+    }
+    let text = match args.option("scrape") {
+        // Pull from a running serve's --metrics-addr endpoint.
+        Some(addr) => scrape_metrics(addr)?,
+        // No address: render this process's own registry — useful after
+        // in-process experiments, and as a template of family names.
+        None => logparse_obs::global().render(),
+    };
+    print!("{text}");
+    if args.has_flag("traces") {
+        println!("# recent spans (oldest first)");
+        for trace in logparse_obs::global().traces(64) {
+            println!(
+                "# {} +{:.6}s {:.6}s {:?}",
+                trace.name,
+                trace.start.as_secs_f64(),
+                trace.duration.as_secs_f64(),
+                trace.labels,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Minimal HTTP GET against a `--metrics-addr` endpoint; returns the body.
+fn scrape_metrics(addr: &str) -> Result<String, Box<dyn Error>> {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot reach metrics endpoint {addr}: {e}"))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response from metrics endpoint")?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains("200") {
+        return Err(format!("metrics endpoint returned `{status}`").into());
+    }
+    Ok(body.to_owned())
 }
 
 #[cfg(test)]

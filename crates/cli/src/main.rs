@@ -6,6 +6,7 @@
 //! logmine evaluate --dataset bgl --parser logsig [--sample 2000]
 //! logmine detect   --blocks 2000 [--rate 0.029] [--parser iplom]
 //! logmine serve    [--follow FILE | --listen ADDR] [--shards N] ...
+//! logmine metrics  dump [--scrape ADDR] [--traces]
 //! ```
 //!
 //! `parse` reads raw log lines from FILE (or stdin), applies the chosen
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(&parsed),
         "detect" => commands::detect(&parsed),
         "serve" => commands::serve(&parsed),
+        "metrics" => commands::metrics(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

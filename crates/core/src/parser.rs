@@ -211,6 +211,27 @@ pub trait LogParser {
     /// cannot handle it, or if the configuration is invalid for this
     /// input (e.g. more clusters requested than messages).
     fn parse(&self, corpus: &Corpus) -> Result<Parse, ParseError>;
+
+    /// Parses the corpus under an observability span and returns the
+    /// wall-clock duration alongside the parse.
+    ///
+    /// The duration lands in the process-global
+    /// `obs_span_duration_seconds{span="parser_parse",parser=<name>}`
+    /// histogram (and the trace ring), so the efficiency experiments, the
+    /// benches and a served pipeline all report parser timings from the
+    /// same series. Failed parses are timed too — a method that errors
+    /// after minutes of work is exactly what the histogram should show.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever [`LogParser::parse`] returns.
+    fn timed_parse(&self, corpus: &Corpus) -> Result<(Parse, std::time::Duration), ParseError> {
+        let span = logparse_obs::global().span("parser_parse", &[("parser", self.name())]);
+        match self.parse(corpus) {
+            Ok(parse) => Ok((parse, span.finish())),
+            Err(e) => Err(e),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +289,29 @@ mod tests {
     fn assigning_foreign_event_id_panics() {
         let mut b = ParseBuilder::new(1);
         b.assign(0, EventId(3));
+    }
+
+    #[test]
+    fn timed_parse_returns_duration_and_records_a_span() {
+        struct Echo;
+        impl LogParser for Echo {
+            fn name(&self) -> &'static str {
+                "echo-test"
+            }
+            fn parse(&self, corpus: &Corpus) -> Result<Parse, crate::ParseError> {
+                Ok(ParseBuilder::new(corpus.len()).build())
+            }
+        }
+        let c = corpus();
+        let (parse, duration) = Echo.timed_parse(&c).unwrap();
+        assert_eq!(parse.len(), c.len());
+        assert!(duration.as_nanos() > 0);
+        let text = logparse_obs::global().render();
+        assert!(
+            text.contains("obs_span_duration_seconds_count")
+                && text.contains("parser=\"echo-test\""),
+            "span histogram missing from registry:\n{text}"
+        );
     }
 
     #[test]

@@ -10,8 +10,6 @@
 //! applies the same per-method cap so LKE is only run where it can
 //! finish.
 
-use std::time::Instant;
-
 use logparse_datasets::study_datasets;
 
 use crate::{tune, ParserKind, TextTable};
@@ -91,14 +89,15 @@ pub fn run(config: &Fig2Config) -> Vec<TimingPoint> {
                 }
                 let corpus = full.corpus.take(size);
                 let parser = tuned.instantiate(0);
-                let start = Instant::now();
-                let result = parser.parse(&corpus);
-                let elapsed = start.elapsed().as_secs_f64();
+                // Timing goes through the obs span layer, so the sweep
+                // and any live pipeline share one histogram family
+                // (`obs_span_duration_seconds{span="parser_parse"}`).
+                let result = parser.timed_parse(&corpus);
                 points.push(TimingPoint {
                     dataset: spec.name(),
                     parser: kind,
                     size,
-                    seconds: result.ok().map(|_| elapsed),
+                    seconds: result.ok().map(|(_, d)| d.as_secs_f64()),
                 });
             }
         }

@@ -87,8 +87,11 @@ pub fn run(config: &Table3Config) -> (Vec<Table3Row>, usize) {
     for kind in TABLE3_PARSERS {
         let tuned = tune(kind, &sample);
         let parser = tuned.instantiate(config.seed);
-        let row = match parser.parse(&sessions.data.corpus) {
-            Ok(parse) => {
+        // `timed_parse` feeds the shared parser-timing histogram, so a
+        // Table III run contributes the same efficiency series Fig. 2
+        // and a served pipeline report.
+        let row = match parser.timed_parse(&sessions.data.corpus) {
+            Ok((parse, _)) => {
                 let accuracy =
                     pairwise_f_measure(&sessions.data.labels, &parse.cluster_labels()).f1;
                 let counts = event_count_matrix(&parse, &sessions.block_of, sessions.block_count());

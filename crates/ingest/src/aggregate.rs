@@ -34,6 +34,7 @@ use logparse_mining::PcaDetector;
 use crate::checkpoint::{Checkpoint, GlobalMapState, ParserSnapshot};
 use crate::events::{fields, EventLog};
 use crate::json::Json;
+use crate::metrics::AggregatorMetrics;
 use crate::worker::ShardOutput;
 use crate::{IngestError, ParserChoice, WindowScore};
 
@@ -180,6 +181,7 @@ pub(crate) struct AggregatorConfig {
     pub detector: PcaDetector,
     pub checkpoint_path: Option<PathBuf>,
     pub events: Arc<EventLog>,
+    pub metrics: AggregatorMetrics,
     pub resume: Option<GlobalMapState>,
     /// Sequence number the router starts at (the resumed checkpoint's
     /// `lines`, or 0 for fresh runs) — keeps window numbering and final
@@ -244,6 +246,7 @@ pub(crate) fn run_aggregator(
         detector,
         checkpoint_path,
         events,
+        metrics,
         resume,
         seq_base,
     } = config;
@@ -267,6 +270,11 @@ pub(crate) fn run_aggregator(
                             acc: WindowAcc,
                             map: &mut GlobalMap,
                             closed: &mut VecDeque<ClosedWindow>| {
+        // The span records close-to-scored latency (row rebuild + PCA +
+        // thresholding) into `ingest_window_score_duration_seconds` and
+        // the trace ring when it drops at the end of this closure.
+        let _span =
+            logparse_obs::global().span_into(metrics.score_seconds.clone(), "window_score", &[]);
         let mut counts: Vec<(usize, u32)> = acc.counts.into_iter().collect();
         counts.sort_unstable();
         // Rows are rebuilt per window because id merges can re-root a
@@ -329,6 +337,10 @@ pub(crate) fn run_aggregator(
         while closed.len() > history {
             closed.pop_front();
         }
+        metrics.windows_scored.inc();
+        if score.anomalous {
+            metrics.anomalies.inc();
+        }
         events.emit(
             "window_scored",
             fields! {
@@ -362,14 +374,17 @@ pub(crate) fn run_aggregator(
                 batches += 1;
                 if let Some(templates) = &batch.templates {
                     map.merge_shard(batch.shard, templates);
+                    metrics.merges.inc();
                 }
                 shard_observed[batch.shard] += batch.entries.len();
+                let canonical = map.canonical_count();
+                metrics.global_templates.set(canonical as f64);
                 events.emit(
                     "batch_parsed",
                     fields! {
                         "shard" => Json::usize(batch.shard),
                         "lines" => Json::usize(batch.entries.len()),
-                        "groups" => Json::usize(map.canonical_count()),
+                        "groups" => Json::usize(canonical),
                     },
                 );
                 for (seq, local) in batch.entries {
@@ -405,7 +420,7 @@ pub(crate) fn run_aggregator(
                         slots.into_iter().map(|s| s.expect("all present")).collect();
                     if let Some(path) = &checkpoint_path {
                         write_checkpoint(
-                            path, parser, generation, lines, snapshots, &mut map, &events,
+                            path, parser, generation, lines, snapshots, &mut map, &events, &metrics,
                         )?;
                         checkpoints_written += 1;
                     }
@@ -418,6 +433,8 @@ pub(crate) fn run_aggregator(
                 observed,
             } => {
                 map.merge_shard(shard, &templates);
+                metrics.merges.inc();
+                metrics.global_templates.set(map.canonical_count() as f64);
                 final_snapshots[shard] = Some(state);
                 shard_observed[shard] = observed;
                 done += 1;
@@ -449,6 +466,7 @@ pub(crate) fn run_aggregator(
             final_snapshots.clone(),
             &mut map,
             &events,
+            &metrics,
         )?;
         checkpoints_written += 1;
     }
@@ -476,6 +494,7 @@ impl GlobalMap {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal helper mirroring checkpoint state
 fn write_checkpoint(
     path: &std::path::Path,
     parser: ParserChoice,
@@ -484,6 +503,7 @@ fn write_checkpoint(
     shards: Vec<ParserSnapshot>,
     map: &mut GlobalMap,
     events: &EventLog,
+    metrics: &AggregatorMetrics,
 ) -> Result<(), IngestError> {
     let group_counts: Vec<usize> = shards.iter().map(ParserSnapshot::group_count).collect();
     let checkpoint = Checkpoint {
@@ -493,7 +513,15 @@ fn write_checkpoint(
         shards,
         global: map.export(&group_counts),
     };
-    checkpoint.save(path)?;
+    {
+        let _span = logparse_obs::global().span_into(
+            metrics.checkpoint_seconds.clone(),
+            "checkpoint_write",
+            &[],
+        );
+        checkpoint.save(path)?;
+    }
+    metrics.checkpoints.inc();
     events.emit(
         "snapshot_written",
         fields! {

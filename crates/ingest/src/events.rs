@@ -1,4 +1,5 @@
-//! The pipeline's JSONL event log.
+//! The pipeline's JSONL event log, emitted through the
+//! [`logparse_obs::Journal`] layer.
 //!
 //! Every operational transition is appended as one compact JSON object
 //! per line, so a `serve` run can be monitored (and replayed in tests)
@@ -13,40 +14,38 @@
 //! | `snapshot_written`  | a checkpoint was persisted to disk                 |
 //! | `shutdown_complete` | all shards drained and the pipeline exited         |
 //!
-//! Fields shared by all events: `event` (the tag above), `seq` (a
-//! monotonically increasing event number) and `elapsed_ms` (milliseconds
-//! since `ingest_started`).
+//! Fields shared by all events (stamped by the journal): `event`, `seq`
+//! (monotonically increasing event number), `run_id` (one 16-hex id per
+//! pipeline run, so interleaved or aggregated logs stay attributable),
+//! `ts_mono_ns` (nanoseconds since the run started, monotonic clock) and
+//! `elapsed_ms` (the same offset for humans).
+//!
+//! The journal buffers writes (one syscall per ~32 events instead of per
+//! event); [`EventLog::flush`] and `Drop` push the buffered tail out, and
+//! the pipeline flushes explicitly after `shutdown_complete`, so a
+//! SIGTERM-drained run always ends with a complete log on disk.
 
 use std::io::{self, Write};
-use std::sync::Mutex;
-use std::time::Instant;
+
+use logparse_obs::journal::Value;
+use logparse_obs::Journal;
 
 use crate::json::Json;
 
 /// An append-only JSONL sink for pipeline events.
 ///
 /// Thread-safe: the pipeline hands one log to several threads during
-/// startup/shutdown. Lines are written atomically (one lock per event)
-/// and flushed immediately so tail-readers see events live.
+/// startup/shutdown. Lines are written atomically (one lock per event).
+#[derive(Debug)]
 pub struct EventLog {
-    sink: Mutex<Box<dyn Write + Send>>,
-    start: Instant,
-    seq: Mutex<u64>,
-}
-
-impl std::fmt::Debug for EventLog {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventLog").finish_non_exhaustive()
-    }
+    journal: Journal,
 }
 
 impl EventLog {
     /// Creates a log writing to the given sink.
     pub fn new(sink: Box<dyn Write + Send>) -> Self {
         EventLog {
-            sink: Mutex::new(sink),
-            start: Instant::now(),
-            seq: Mutex::new(0),
+            journal: Journal::new(sink),
         }
     }
 
@@ -56,25 +55,37 @@ impl EventLog {
         EventLog::new(Box::new(io::sink()))
     }
 
+    /// The run id stamped on every event of this log.
+    pub fn run_id(&self) -> &str {
+        self.journal.run_id()
+    }
+
     /// Appends one event. `fields` follow the shared header fields.
     pub fn emit(&self, event: &str, fields: Vec<(String, Json)>) {
-        let mut obj = vec![("event".to_string(), Json::str(event))];
-        {
-            let mut seq = self.seq.lock().expect("event seq lock");
-            obj.push(("seq".to_string(), Json::num(*seq as f64)));
-            *seq += 1;
-        }
-        obj.push((
-            "elapsed_ms".to_string(),
-            Json::usize(self.start.elapsed().as_millis() as usize),
-        ));
-        obj.extend(fields);
-        let mut line = Json::Obj(obj).to_string();
-        line.push('\n');
-        let mut sink = self.sink.lock().expect("event sink lock");
-        // Ingestion must not die because monitoring went away.
-        let _ = sink.write_all(line.as_bytes());
-        let _ = sink.flush();
+        let converted: Vec<(&str, Value)> = fields
+            .iter()
+            .map(|(key, value)| (key.as_str(), to_value(value)))
+            .collect();
+        self.journal.emit(event, &converted);
+    }
+
+    /// Pushes any buffered events to the sink. Called by the pipeline
+    /// after the final event so drained shutdowns leave a complete file.
+    pub fn flush(&self) {
+        self.journal.flush();
+    }
+}
+
+fn to_value(json: &Json) -> Value {
+    match json {
+        Json::Null => Value::Null,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Num(n) => Value::Num(*n),
+        Json::Str(s) => Value::Str(s.clone()),
+        // Structured values pass through pre-rendered; the event
+        // vocabulary is scalar today, but the escape hatch keeps the
+        // journal layer ignorant of this crate's Json type.
+        nested => Value::Raw(nested.to_string()),
     }
 }
 
@@ -89,7 +100,7 @@ pub(crate) use fields;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
 
     /// A sink the test can read back.
     #[derive(Clone, Default)]
@@ -114,6 +125,7 @@ mod tests {
             "batch_parsed",
             fields! { "shard" => Json::usize(1), "lines" => Json::usize(64) },
         );
+        log.flush();
         let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
@@ -124,5 +136,41 @@ mod tests {
         let second = Json::parse(lines[1]).unwrap();
         assert_eq!(second.get("seq").unwrap().as_usize(), Some(1));
         assert!(second.get("elapsed_ms").unwrap().as_usize().is_some());
+    }
+
+    #[test]
+    fn every_event_carries_run_id_and_monotonic_timestamp() {
+        let sink = Shared::default();
+        let log = EventLog::new(Box::new(sink.clone()));
+        let run_id = log.run_id().to_string();
+        assert_eq!(run_id.len(), 16);
+        log.emit("a", fields! {});
+        log.emit("b", fields! {});
+        log.flush();
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        let mut stamps = Vec::new();
+        for line in text.lines() {
+            let parsed = Json::parse(line).unwrap();
+            assert_eq!(
+                parsed.get("run_id").unwrap().as_str(),
+                Some(run_id.as_str())
+            );
+            stamps.push(parsed.get("ts_mono_ns").unwrap().as_f64().unwrap());
+        }
+        assert!(stamps[0] <= stamps[1], "monotonic timestamps regressed");
+    }
+
+    #[test]
+    fn drop_flushes_buffered_events() {
+        let sink = Shared::default();
+        {
+            let log = EventLog::new(Box::new(sink.clone()));
+            // Fewer events than the journal's flush batch: only the
+            // drop-flush gets them to the sink.
+            log.emit("only", fields! { "spe" => Json::Null });
+        }
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"event\":\"only\""));
+        assert!(text.contains("\"spe\":null"));
     }
 }

@@ -49,6 +49,7 @@ mod aggregate;
 pub mod checkpoint;
 mod events;
 mod json;
+mod metrics;
 mod pipeline;
 pub mod signal;
 pub mod source;

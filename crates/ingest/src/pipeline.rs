@@ -28,7 +28,7 @@
 //! every shard reports done — draining in-flight work, scoring partial
 //! windows, and writing the final checkpoint.
 
-use std::sync::mpsc::{self, SyncSender};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,6 +39,7 @@ use crate::aggregate::{run_aggregator, AggregatorConfig};
 use crate::checkpoint::{Checkpoint, ParserSnapshot};
 use crate::events::{fields, EventLog};
 use crate::json::Json;
+use crate::metrics::StageMetrics;
 use crate::signal::StopFlag;
 use crate::source::{LogSource, SourceItem};
 use crate::worker::{run_worker, ShardInput, ShardParser};
@@ -206,6 +207,13 @@ pub fn run_pipeline(
     }
     let events = Arc::new(events);
     let seq_base = resume.map_or(0, |c| c.lines);
+    // Resolve (and pre-register) every stage's metric handles up front so
+    // an early scrape of `--metrics-addr` already shows all families.
+    let StageMetrics {
+        router: router_metrics,
+        workers: worker_metrics,
+        aggregator: aggregator_metrics,
+    } = StageMetrics::new(config.shards, config.parser.name());
     events.emit(
         "ingest_started",
         fields! {
@@ -222,7 +230,7 @@ pub fn run_pipeline(
     let mut shard_txs: Vec<SyncSender<ShardInput>> = Vec::with_capacity(config.shards);
     let mut shard_handles = Vec::with_capacity(config.shards);
     let (result_tx, result_rx) = mpsc::channel();
-    for shard in 0..config.shards {
+    for (shard, metrics) in worker_metrics.into_iter().enumerate() {
         let parser = match resume {
             Some(checkpoint) => ShardParser::restore(&checkpoint.shards[shard])?,
             None => ShardParser::new(config.parser),
@@ -235,7 +243,9 @@ pub fn run_pipeline(
         shard_handles.push(
             std::thread::Builder::new()
                 .name(format!("ingest-shard-{shard}"))
-                .spawn(move || run_worker(shard, parser, tokenizer, refresh_every, rx, out))
+                .spawn(move || {
+                    run_worker(shard, parser, tokenizer, refresh_every, metrics, rx, out)
+                })
                 .map_err(IngestError::Io)?,
         );
     }
@@ -252,6 +262,7 @@ pub fn run_pipeline(
             detector: PcaDetector::new(config.detector.clone()),
             checkpoint_path: config.checkpoint_path.clone(),
             events: Arc::clone(&events),
+            metrics: aggregator_metrics,
             resume: resume.map(|c| c.global.clone()),
             seq_base,
         };
@@ -269,10 +280,25 @@ pub fn run_pipeline(
     let mut generation = 0u64;
     let mut source_error: Option<IngestError> = None;
 
+    // Sends try a non-blocking path first so a full shard queue is
+    // observable as a backpressure stall before the router blocks on it.
+    // Queue depth is incremented here and decremented by the worker when
+    // it picks the batch up, so the gauge reads batches in flight.
     let send = |shard_txs: &[SyncSender<ShardInput>], shard: usize, input: ShardInput| {
-        shard_txs[shard]
-            .send(input)
-            .map_err(|_| IngestError::Config(format!("shard {shard} worker exited early")))
+        let is_batch = matches!(input, ShardInput::Batch(_));
+        if is_batch {
+            router_metrics.queue_depth[shard].add(1.0);
+            router_metrics.batches_routed[shard].inc();
+        }
+        let gone = || IngestError::Config(format!("shard {shard} worker exited early"));
+        match shard_txs[shard].try_send(input) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(input)) => {
+                router_metrics.backpressure_stalls[shard].inc();
+                shard_txs[shard].send(input).map_err(|_| gone())
+            }
+            Err(TrySendError::Disconnected(_)) => Err(gone()),
+        }
     };
 
     'ingest: loop {
@@ -286,6 +312,7 @@ pub fn run_pipeline(
         }
         match source.next_item() {
             Ok(SourceItem::Line(line)) => {
+                router_metrics.lines.inc();
                 let shard = route(&line, config.shards);
                 if pending[shard].is_empty() {
                     batch_started[shard] = Some(Instant::now());
@@ -331,6 +358,7 @@ pub fn run_pipeline(
                 }
             }
             Ok(SourceItem::Idle) => {
+                router_metrics.idle_polls.inc();
                 // Flush batches that have waited past the interval.
                 for shard in 0..config.shards {
                     if let Some(started) = batch_started[shard] {
@@ -386,6 +414,10 @@ pub fn run_pipeline(
             "checkpoints" => Json::num(outcome.checkpoints_written as f64),
         },
     );
+    // The journal buffers; push the tail out so a drained shutdown
+    // (including the SIGTERM path) leaves a complete event log on disk
+    // even though callers may hold the log alive past this return.
+    events.flush();
 
     Ok(IngestSummary {
         source: source.describe(),

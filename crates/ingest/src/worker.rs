@@ -8,11 +8,13 @@
 //! workers.
 
 use std::sync::mpsc::{Receiver, Sender};
+use std::time::Instant;
 
 use logparse_core::Tokenizer;
 use logparse_parsers::{StreamingDrain, StreamingParser, StreamingSpell};
 
 use crate::checkpoint::ParserSnapshot;
+use crate::metrics::WorkerMetrics;
 use crate::{IngestError, ParserChoice};
 
 /// Messages a shard worker consumes, in channel order.
@@ -114,6 +116,7 @@ pub(crate) fn run_worker(
     mut parser: ShardParser,
     tokenizer: Tokenizer,
     refresh_every: usize,
+    metrics: WorkerMetrics,
     input: Receiver<ShardInput>,
     output: Sender<ShardOutput>,
 ) {
@@ -124,11 +127,18 @@ pub(crate) fn run_worker(
     while let Ok(message) = input.recv() {
         match message {
             ShardInput::Batch(batch) => {
+                metrics.queue_depth.sub(1.0);
+                let parse_started = Instant::now();
                 let mut entries = Vec::with_capacity(batch.len());
                 for (seq, line) in &batch {
                     let tokens = tokenizer.tokenize(line);
                     entries.push((*seq, parser.observe(&tokens)));
                 }
+                metrics
+                    .parse_seconds
+                    .observe_duration(parse_started.elapsed());
+                metrics.parsed_lines.inc_by(batch.len() as u64);
+                metrics.groups.set(parser.group_count() as f64);
                 observed += batch.len();
                 lines_since_refresh += batch.len();
                 let grew = parser.group_count() > sent_groups;
@@ -194,6 +204,7 @@ mod tests {
                 ShardParser::new(ParserChoice::Drain),
                 Tokenizer::default(),
                 1000,
+                WorkerMetrics::new(1, "drain"),
                 in_rx,
                 out_tx,
             );
@@ -256,6 +267,7 @@ mod tests {
                 ShardParser::new(ParserChoice::Drain),
                 Tokenizer::default(),
                 1_000_000,
+                WorkerMetrics::new(0, "drain"),
                 in_rx,
                 out_tx,
             );

@@ -1,0 +1,272 @@
+//! Fixed-bucket histograms with log-linear bucket layouts.
+//!
+//! Buckets are chosen once at registration; observations are a binary
+//! search plus two relaxed atomic adds, so histograms are safe on hot
+//! paths. The layout follows the HDR idea: each decade of the value
+//! range is split into a fixed number of *linear* sub-buckets, giving
+//! bounded relative error across many orders of magnitude with a small,
+//! predictable bucket count — parse latencies from microseconds to
+//! seconds fit in ~20 buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::AtomicF64;
+
+/// An immutable set of histogram bucket upper bounds (finite edges; the
+/// `+Inf` bucket is implicit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buckets(Vec<f64>);
+
+impl Buckets {
+    /// Log-linear edges: starting at `min`, each of `decades` decades is
+    /// split into `per_decade` linearly spaced buckets, closing with the
+    /// edge at `min * 10^decades`.
+    ///
+    /// `log_linear(1e-6, 7, 3)` gives `1µs, 4µs, 7µs, 10µs, 40µs, …, 10s`
+    /// (22 finite edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min <= 0`, `decades == 0` or `per_decade == 0` — bucket
+    /// layouts are compile-time decisions, not runtime data.
+    pub fn log_linear(min: f64, decades: usize, per_decade: usize) -> Buckets {
+        assert!(min > 0.0, "log-linear buckets need a positive start");
+        assert!(decades > 0 && per_decade > 0, "empty bucket layout");
+        let mut edges = Vec::with_capacity(decades * per_decade + 1);
+        for d in 0..decades {
+            let base = min * 10f64.powi(d as i32);
+            for i in 0..per_decade {
+                edges.push(base * (1.0 + 9.0 * i as f64 / per_decade as f64));
+            }
+        }
+        edges.push(min * 10f64.powi(decades as i32));
+        Buckets(edges)
+    }
+
+    /// Explicit edges; sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no finite edge remains.
+    pub fn explicit(edges: &[f64]) -> Buckets {
+        let mut edges: Vec<f64> = edges.iter().copied().filter(|e| e.is_finite()).collect();
+        edges.sort_by(f64::total_cmp);
+        edges.dedup();
+        assert!(!edges.is_empty(), "explicit buckets need at least one edge");
+        Buckets(edges)
+    }
+
+    /// The default layout for operation durations in seconds: 1µs to 10s,
+    /// three linear buckets per decade.
+    pub fn durations() -> Buckets {
+        Buckets::log_linear(1e-6, 7, 3)
+    }
+
+    /// The finite upper bounds, ascending.
+    pub fn edges(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+impl Default for Buckets {
+    fn default() -> Self {
+        Buckets::durations()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    edges: Vec<f64>,
+    /// One slot per finite edge plus the trailing `+Inf` slot.
+    counts: Vec<AtomicU64>,
+    sum: AtomicF64,
+    count: AtomicU64,
+}
+
+/// A histogram handle; clones share the series.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistogramCore>);
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// `(upper bound, non-cumulative count)` per finite bucket.
+    pub buckets: Vec<(f64, u64)>,
+    /// Observations above the last finite edge.
+    pub overflow: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Cumulative `(le, count)` pairs, ending with the `+Inf` bucket —
+    /// exactly the series Prometheus exposition renders.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut running = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        for &(le, n) in &self.buckets {
+            running += n;
+            out.push((le, running));
+        }
+        out.push((f64::INFINITY, running + self.overflow));
+        out
+    }
+}
+
+impl Histogram {
+    pub(crate) fn with_buckets(buckets: &Buckets) -> Self {
+        let edges = buckets.0.clone();
+        let counts = (0..edges.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            edges,
+            counts,
+            sum: AtomicF64::new(0.0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// A histogram not attached to any registry (dropped-label stub).
+    pub fn detached() -> Self {
+        Histogram::with_buckets(&Buckets::durations())
+    }
+
+    /// Records one observation. NaN observations are ignored.
+    pub fn observe(&self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let core = &self.0;
+        // First edge >= value: Prometheus buckets are `le` (≤) bounds.
+        let idx = core.edges.partition_point(|&e| e < value);
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        core.sum.add(value);
+        core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, elapsed: Duration) {
+        self.observe(elapsed.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.0.sum.load()
+    }
+
+    /// Copies the current state. Buckets are read one by one without a
+    /// global lock, so a snapshot taken mid-observation may be ahead or
+    /// behind by the in-flight event — fine for monitoring.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &self.0;
+        let buckets = core
+            .edges
+            .iter()
+            .zip(&core.counts)
+            .map(|(&le, n)| (le, n.load(Ordering::Relaxed)))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            overflow: core.counts[core.edges.len()].load(Ordering::Relaxed),
+            sum: core.sum.load(),
+            count: core.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_linear_edges_are_strictly_increasing() {
+        let buckets = Buckets::log_linear(1e-6, 7, 3);
+        let edges = buckets.edges();
+        assert_eq!(edges.len(), 22);
+        for pair in edges.windows(2) {
+            assert!(pair[0] < pair[1], "{pair:?} not increasing");
+        }
+        assert!((edges[0] - 1e-6).abs() < 1e-18);
+        assert!((edges[21] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_linear_splits_each_decade_linearly() {
+        let buckets = Buckets::log_linear(1.0, 2, 3);
+        // Decade [1,10): 1, 4, 7; decade [10,100): 10, 40, 70; close 100.
+        assert_eq!(buckets.edges(), &[1.0, 4.0, 7.0, 10.0, 40.0, 70.0, 100.0]);
+    }
+
+    #[test]
+    fn observations_land_in_le_buckets() {
+        let h = Histogram::with_buckets(&Buckets::explicit(&[1.0, 2.0, 4.0]));
+        h.observe(0.5); // le=1
+        h.observe(1.0); // le=1 (bounds are inclusive)
+        h.observe(1.5); // le=2
+        h.observe(4.0); // le=4
+        h.observe(99.0); // +Inf
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(1.0, 2), (2.0, 1), (4.0, 1)]);
+        assert_eq!(snap.overflow, 1);
+    }
+
+    #[test]
+    fn inf_bucket_equals_total_count() {
+        let h = Histogram::with_buckets(&Buckets::explicit(&[0.1, 1.0]));
+        for v in [0.05, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let cumulative = h.snapshot().cumulative();
+        let (last_le, last_count) = *cumulative.last().unwrap();
+        assert!(last_le.is_infinite());
+        assert_eq!(last_count, h.count());
+        // Cumulative counts never decrease.
+        for pair in cumulative.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn sum_and_count_stay_consistent() {
+        let h = Histogram::detached();
+        let values = [1e-6, 3.5e-4, 0.02, 1.0, 42.0];
+        for v in values {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), values.len() as u64);
+        assert!((h.sum() - values.iter().sum::<f64>()).abs() < 1e-9);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), values.len() as u64, "NaN must be ignored");
+    }
+
+    #[test]
+    fn concurrent_observations_from_8_threads() {
+        let h = Histogram::with_buckets(&Buckets::explicit(&[10.0]));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        h.observe(if i % 2 == 0 { 1.0 } else { 100.0 });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 40_000);
+        assert_eq!(snap.buckets[0].1, 20_000);
+        assert_eq!(snap.overflow, 20_000);
+        assert!((snap.sum - (20_000.0 + 2_000_000.0)).abs() < 1e-6);
+    }
+}

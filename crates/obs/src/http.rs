@@ -1,0 +1,177 @@
+//! A minimal Prometheus exposition endpoint.
+//!
+//! One background thread accepts connections on a non-blocking listener
+//! and answers every `GET /metrics` (and `/`) with the registry rendered
+//! as `text/plain; version=0.0.4`. That is the entire HTTP surface a
+//! scraper needs; anything fancier belongs behind a real reverse proxy.
+//! The server polls a stop flag between accepts, mirroring the ingest
+//! pipeline's cooperative-shutdown style.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+const ACCEPT_IDLE: Duration = Duration::from_millis(20);
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running metrics endpoint; stops (and joins its thread) on
+/// [`MetricsServer::stop`] or drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the server thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for tests) and serves
+/// `registry` until the returned handle is stopped or dropped.
+pub fn serve_metrics(registry: &'static Registry, addr: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_seen = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("obs-metrics".into())
+        .spawn(move || {
+            while !stop_seen.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // One scraper at a time: scrape bodies are small
+                        // and rendering is fast, so serial handling keeps
+                        // the server a single predictable thread.
+                        let _ = answer(stream, registry);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_IDLE);
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(ACCEPT_IDLE),
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn answer(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_nonblocking(false)?;
+    let path = read_request_path(&mut stream)?;
+    let (status, body) = match path.as_deref() {
+        Some("/metrics") | Some("/") => ("200 OK", registry.render()),
+        Some(_) => ("404 Not Found", "only /metrics lives here\n".to_string()),
+        None => ("400 Bad Request", "malformed request\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Reads the request head (up to a small cap) and extracts the path from
+/// the request line; returns `None` when the line is not HTTP-shaped.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 4096 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next();
+    let path = parts.next();
+    Ok(match (method, path) {
+        (Some("GET"), Some(path)) => Some(path.split('?').next().unwrap_or(path).to_string()),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_the_registry_and_stops_cleanly() {
+        let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+        registry
+            .counter("http_test_total", "exercised by the http test", &[])
+            .inc_by(5);
+        let mut server = serve_metrics(registry, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let response = scrape(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("http_test_total 5"));
+
+        assert!(scrape(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+        server.stop();
+        server.stop(); // idempotent
+        assert!(
+            TcpStream::connect(addr).is_err() || scrape_fails(addr),
+            "listener survived stop()"
+        );
+    }
+
+    fn scrape_fails(addr: SocketAddr) -> bool {
+        // The OS may accept into the backlog briefly after close; a
+        // write+read roundtrip settles it.
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            return true;
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let _ = write!(stream, "GET /metrics HTTP/1.1\r\n\r\n");
+        let mut buf = [0u8; 16];
+        !matches!(stream.read(&mut buf), Ok(n) if n > 0)
+    }
+}

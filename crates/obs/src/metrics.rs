@@ -1,0 +1,184 @@
+//! Counter and gauge primitives.
+//!
+//! Both are plain atomics so the hot path is one `fetch_add`/`store` —
+//! no locks, no allocation. Handles are cheaply clonable `Arc`s; callers
+//! on hot paths resolve a handle once and keep it, paying the registry
+//! lookup only at setup time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An `f64` stored in an `AtomicU64` via its bit pattern.
+///
+/// `store`/`load` are single atomic ops; `add` is a CAS loop, which is
+/// fine for the low-contention gauges this crate maintains (queue
+/// depths, template counts) and for histogram sums.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    pub fn new(value: f64) -> Self {
+        AtomicF64(AtomicU64::new(value.to_bits()))
+    }
+
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    pub fn store(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterCore {
+    value: AtomicU64,
+}
+
+/// A monotonically increasing counter.
+///
+/// Cloning shares the underlying value (both clones increment the same
+/// series).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Arc<CounterCore>);
+
+impl Counter {
+    /// A counter not attached to any registry (used for series dropped
+    /// by the label-cardinality guard: increments still work, nothing is
+    /// exported).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.inc_by(1);
+    }
+
+    /// Adds `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.0.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCore {
+    value: AtomicF64,
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Arc<GaugeCore>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: f64) {
+        self.0.value.store(value);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        self.0.value.add(delta);
+    }
+
+    /// Subtracts `delta`.
+    pub fn sub(&self, delta: f64) {
+        self.0.value.add(-delta);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        self.0.value.load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::detached();
+        c.inc();
+        c.inc_by(41);
+        assert_eq!(c.get(), 42);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 43, "clones share the series");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::detached();
+        g.set(10.0);
+        g.add(5.0);
+        g.sub(2.5);
+        assert_eq!(g.get(), 12.5);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_8_threads() {
+        let c = Counter::detached();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn concurrent_gauge_adds_are_lossless() {
+        let g = Gauge::detached();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        if i % 2 == 0 {
+                            g.add(1.0);
+                        } else {
+                            g.sub(1.0);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(g.get(), 0.0);
+    }
+}

@@ -1,0 +1,472 @@
+//! The metric registry: named families of labeled series.
+//!
+//! The registry is **lock-sharded**: family names hash to one of a fixed
+//! set of shards, each guarding its own `name → family` map, so
+//! concurrent registrations from pipeline threads do not serialize on a
+//! single lock. Lookups only happen at handle-resolution time; the
+//! handles themselves ([`Counter`], [`Gauge`], [`Histogram`]) are
+//! lock-free atomics, so the instrumentation hot path never touches the
+//! registry.
+//!
+//! ## Label-cardinality guard
+//!
+//! Every family caps its number of distinct label sets
+//! ([`Registry::with_caps`]). Once a family is full, further label sets
+//! get *detached* handles — they still accept writes (callers never need
+//! a fallible path) but are not exported — and each drop increments
+//! `obs_dropped_labels_total`. This bounds registry memory even if a
+//! caller labels a metric by something pathological (say, one series per
+//! discovered template during a template explosion).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::histogram::{Buckets, Histogram};
+use crate::metrics::{Counter, Gauge};
+use crate::span::{Span, TraceEvent, TraceRing};
+
+const SHARDS: usize = 8;
+const DEFAULT_LABEL_CAP: usize = 256;
+const DEFAULT_TRACE_CAP: usize = 1024;
+
+/// What kind of series a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn prometheus_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registered series.
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Sorted `(key, value)` label pairs — the identity of a series within
+/// its family.
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Debug)]
+struct Family {
+    kind: MetricKind,
+    help: String,
+    series: Mutex<HashMap<LabelSet, Series>>,
+}
+
+/// A sharded collection of metric families plus the span trace ring.
+///
+/// Most programs use the process-global registry via [`crate::global`];
+/// tests build their own.
+#[derive(Debug)]
+pub struct Registry {
+    shards: Vec<Mutex<HashMap<String, Arc<Family>>>>,
+    label_cap: usize,
+    dropped: Counter,
+    traces: Arc<TraceRing>,
+    start: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A registry with default caps (256 label sets per family, 1024
+    /// retained trace events).
+    pub fn new() -> Self {
+        Registry::with_caps(DEFAULT_LABEL_CAP, DEFAULT_TRACE_CAP)
+    }
+
+    /// A registry with explicit per-family label-set and trace-ring caps.
+    pub fn with_caps(label_cap: usize, trace_cap: usize) -> Self {
+        let registry = Registry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            label_cap: label_cap.max(1),
+            dropped: Counter::detached(),
+            traces: Arc::new(TraceRing::new(trace_cap)),
+            start: Instant::now(),
+        };
+        // Self-metric: label sets refused by the cardinality guard. Must
+        // exist before any user family so it can never be dropped itself.
+        let dropped = registry.counter(
+            "obs_dropped_labels_total",
+            "Label sets dropped by the per-metric cardinality cap",
+            &[],
+        );
+        // Replace the placeholder with the registered series so internal
+        // bumps and the exported value are the same counter.
+        Registry {
+            dropped,
+            ..registry
+        }
+    }
+
+    /// Time since the registry was created.
+    pub fn uptime(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Arc<Family>>> {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % SHARDS]
+    }
+
+    fn family(&self, name: &str, kind: MetricKind, help: &str) -> Option<Arc<Family>> {
+        let mut shard = self.shard(name).lock().expect("registry shard lock");
+        let family = shard
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(Family {
+                    kind,
+                    help: help.to_string(),
+                    series: Mutex::new(HashMap::new()),
+                })
+            })
+            .clone();
+        drop(shard);
+        // A name registered twice with different kinds is a programming
+        // error; the second caller gets a detached handle rather than a
+        // panic in production instrumentation.
+        (family.kind == kind).then_some(family)
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        kind: MetricKind,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+    ) -> Option<Series> {
+        let family = self.family(name, kind, help)?;
+        let key = normalize(labels);
+        let mut series = family.series.lock().expect("family series lock");
+        if let Some(existing) = series.get(&key) {
+            return Some(existing.clone());
+        }
+        if series.len() >= self.label_cap {
+            self.dropped.inc();
+            return None;
+        }
+        let created = make();
+        series.insert(key, created.clone());
+        Some(created)
+    }
+
+    /// Resolves (creating if needed) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, MetricKind::Counter, help, labels, || {
+            Series::Counter(Counter::detached())
+        }) {
+            Some(Series::Counter(c)) => c,
+            _ => Counter::detached(),
+        }
+    }
+
+    /// Resolves (creating if needed) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, MetricKind::Gauge, help, labels, || {
+            Series::Gauge(Gauge::detached())
+        }) {
+            Some(Series::Gauge(g)) => g,
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// Resolves (creating if needed) a histogram series. `buckets` only
+    /// applies when this call creates the series; later resolutions of
+    /// the same series keep the original layout.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        buckets: &Buckets,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.series(name, MetricKind::Histogram, help, labels, || {
+            Series::Histogram(Histogram::with_buckets(buckets))
+        }) {
+            Some(Series::Histogram(h)) => h,
+            _ => Histogram::detached(),
+        }
+    }
+
+    /// Starts a span recording into the shared
+    /// `obs_span_duration_seconds{span="<name>", …}` histogram and, on
+    /// completion, into the trace ring.
+    pub fn span(&self, name: &'static str, labels: &[(&str, &str)]) -> Span {
+        let mut all: Vec<(&str, &str)> = Vec::with_capacity(labels.len() + 1);
+        all.push(("span", name));
+        all.extend_from_slice(labels);
+        let hist = self.histogram(
+            "obs_span_duration_seconds",
+            "Duration of instrumented spans",
+            &Buckets::durations(),
+            &all,
+        );
+        Span::start(name, labels, hist, Arc::clone(&self.traces), self.start)
+    }
+
+    /// Starts a span that records into `hist` (an explicitly named
+    /// histogram family) instead of the shared span family, while still
+    /// feeding the trace ring.
+    pub fn span_into(&self, hist: Histogram, name: &'static str, labels: &[(&str, &str)]) -> Span {
+        Span::start(name, labels, hist, Arc::clone(&self.traces), self.start)
+    }
+
+    /// The most recent completed spans, oldest first, at most `limit`.
+    pub fn traces(&self, limit: usize) -> Vec<TraceEvent> {
+        self.traces.recent(limit)
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format (version 0.0.4), families and series sorted for
+    /// deterministic output.
+    pub fn render(&self) -> String {
+        let mut families: BTreeMap<String, Arc<Family>> = BTreeMap::new();
+        for shard in &self.shards {
+            for (name, family) in shard.lock().expect("registry shard lock").iter() {
+                families.insert(name.clone(), Arc::clone(family));
+            }
+        }
+        let mut out = String::new();
+        for (name, family) in families {
+            render_family(&mut out, &name, &family);
+        }
+        out
+    }
+}
+
+fn normalize(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    set.sort();
+    set
+}
+
+fn render_family(out: &mut String, name: &str, family: &Family) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {}", family.help);
+    let _ = writeln!(out, "# TYPE {name} {}", family.kind.prometheus_name());
+    let series = family.series.lock().expect("family series lock");
+    let mut rows: Vec<(&LabelSet, &Series)> = series.iter().collect();
+    rows.sort_by_key(|(labels, _)| (*labels).clone());
+    for (labels, series) in rows {
+        match series {
+            Series::Counter(c) => {
+                let _ = writeln!(out, "{name}{} {}", render_labels(labels, &[]), c.get());
+            }
+            Series::Gauge(g) => {
+                let _ = writeln!(
+                    out,
+                    "{name}{} {}",
+                    render_labels(labels, &[]),
+                    fmt_f64(g.get())
+                );
+            }
+            Series::Histogram(h) => {
+                let snap = h.snapshot();
+                for (le, cumulative) in snap.cumulative() {
+                    let le = if le.is_infinite() {
+                        "+Inf".to_string()
+                    } else {
+                        fmt_f64(le)
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cumulative}",
+                        render_labels(labels, &[("le", &le)])
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{name}_sum{} {}",
+                    render_labels(labels, &[]),
+                    fmt_f64(snap.sum)
+                );
+                let _ = writeln!(
+                    out,
+                    "{name}_count{} {}",
+                    render_labels(labels, &[]),
+                    snap.count
+                );
+            }
+        }
+    }
+}
+
+fn render_labels(labels: &LabelSet, extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    parts.extend(
+        extra
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))),
+    );
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders an `f64` the way Prometheus expects: integral values without
+/// a fractional part, everything else in shortest-roundtrip form.
+fn fmt_f64(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        format!("{value}")
+    }
+}
+
+/// The process-global registry used by [`crate::global`].
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry. All instrumentation in this workspace
+/// (ingest stages, parser timing hooks, CLI exposition) shares it, so a
+/// scrape of the serve endpoint and `logmine metrics dump` read the same
+/// series.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_resolve_to_one_series() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "requests", &[("code", "200")]);
+        let b = r.counter("requests_total", "requests", &[("code", "200")]);
+        a.inc();
+        b.inc_by(2);
+        assert_eq!(a.get(), 3);
+        // Label order does not matter.
+        let c = r.counter("multi_total", "", &[("a", "1"), ("b", "2")]);
+        let d = r.counter("multi_total", "", &[("b", "2"), ("a", "1")]);
+        c.inc();
+        assert_eq!(d.get(), 1);
+    }
+
+    #[test]
+    fn kind_conflicts_yield_detached_handles() {
+        let r = Registry::new();
+        let counter = r.counter("thing", "", &[]);
+        counter.inc();
+        let gauge = r.gauge("thing", "", &[]);
+        gauge.set(99.0);
+        assert!(
+            !r.render().contains("99"),
+            "conflicting kind must not export"
+        );
+        assert!(r.render().contains("thing 1"));
+    }
+
+    #[test]
+    fn label_cap_drops_overflow_and_counts_it() {
+        let r = Registry::with_caps(2, 16);
+        for shard in 0..5 {
+            let c = r.counter("sharded_total", "", &[("shard", &shard.to_string())]);
+            c.inc();
+        }
+        let text = r.render();
+        assert!(text.contains("sharded_total{shard=\"0\"} 1"));
+        assert!(text.contains("sharded_total{shard=\"1\"} 1"));
+        assert!(
+            !text.contains("shard=\"2\""),
+            "overflow series exported:\n{text}"
+        );
+        assert!(text.contains("obs_dropped_labels_total 3"), "{text}");
+        // Existing series still resolve after the cap is hit.
+        let c = r.counter("sharded_total", "", &[("shard", "0")]);
+        c.inc();
+        assert!(r.render().contains("sharded_total{shard=\"0\"} 2"));
+    }
+
+    #[test]
+    fn render_emits_prometheus_text_format() {
+        let r = Registry::new();
+        r.counter("lines_total", "Lines ingested", &[("source", "file")])
+            .inc_by(7);
+        r.gauge("queue_depth", "Depth", &[]).set(3.5);
+        let h = r.histogram(
+            "latency_seconds",
+            "Latency",
+            &Buckets::explicit(&[0.1, 1.0]),
+            &[],
+        );
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = r.render();
+        assert!(text.contains("# TYPE lines_total counter"));
+        assert!(text.contains("lines_total{source=\"file\"} 7"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 3.5"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("latency_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("latency_seconds_sum 5.55"));
+        assert!(text.contains("latency_seconds_count 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("odd_total", "", &[("v", "a\"b\\c\nd")]).inc();
+        assert!(r.render().contains(r#"odd_total{v="a\"b\\c\nd"} 1"#));
+    }
+
+    #[test]
+    fn concurrent_registration_from_8_threads_is_consistent() {
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        r.counter("contended_total", "", &[]).inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(r.render().contains("contended_total 8000"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Lightweight spans: scoped timers that record into a duration
+//! histogram and an in-process ring buffer of recent trace events.
+//!
+//! A span is started via [`crate::Registry::span`] (or the [`crate::span!`]
+//! macro against the global registry) and records when dropped, so
+//! instrumenting a block is one line:
+//!
+//! ```
+//! let _span = logparse_obs::span!("parse_batch", "parser" => "drain");
+//! // … work …
+//! // recorded into obs_span_duration_seconds{span="parse_batch",parser="drain"}
+//! ```
+//!
+//! When the elapsed time itself is needed (the eval experiments report
+//! wall-clock numbers), [`Span::finish`] records and returns it, keeping
+//! measurement and exposition on one code path.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::histogram::Histogram;
+
+/// One completed span, as retained by the trace ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The span name.
+    pub name: &'static str,
+    /// Label pairs attached at span start.
+    pub labels: Vec<(String, String)>,
+    /// Start offset since the owning registry was created.
+    pub start: Duration,
+    /// How long the span ran.
+    pub duration: Duration,
+}
+
+/// A bounded ring of recent [`TraceEvent`]s: pushes past capacity evict
+/// the oldest entry, so a long-running serve retains a sliding window of
+/// recent activity at fixed memory.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+impl TraceRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TraceRing {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub(crate) fn push(&self, event: TraceEvent) {
+        let mut buf = self.buf.lock().expect("trace ring lock");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event);
+    }
+
+    pub(crate) fn recent(&self, limit: usize) -> Vec<TraceEvent> {
+        let buf = self.buf.lock().expect("trace ring lock");
+        let skip = buf.len().saturating_sub(limit);
+        buf.iter().skip(skip).cloned().collect()
+    }
+}
+
+/// A running span; records on drop or [`Span::finish`].
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    labels: Vec<(String, String)>,
+    hist: Histogram,
+    ring: Arc<TraceRing>,
+    registry_start: Instant,
+    started: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    pub(crate) fn start(
+        name: &'static str,
+        labels: &[(&str, &str)],
+        hist: Histogram,
+        ring: Arc<TraceRing>,
+        registry_start: Instant,
+    ) -> Self {
+        Span {
+            name,
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            hist,
+            ring,
+            registry_start,
+            started: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    fn record(&mut self) -> Duration {
+        let elapsed = self.started.elapsed();
+        if !self.recorded {
+            self.recorded = true;
+            self.hist.observe_duration(elapsed);
+            self.ring.push(TraceEvent {
+                name: self.name,
+                labels: std::mem::take(&mut self.labels),
+                start: self.started.duration_since(self.registry_start),
+                duration: elapsed,
+            });
+        }
+        elapsed
+    }
+
+    /// Ends the span now and returns its duration.
+    pub fn finish(mut self) -> Duration {
+        self.record()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Starts a [`Span`] on the global registry:
+/// `span!("name")` or `span!("name", "key" => "value", …)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name, &[])
+    };
+    ($name:expr, $($key:literal => $value:expr),+ $(,)?) => {
+        $crate::global().span($name, &[$(($key, $value)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn span_records_into_histogram_and_ring() {
+        let r = Registry::new();
+        {
+            let _span = r.span("unit_of_work", &[("stage", "test")]);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let traces = r.traces(10);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].name, "unit_of_work");
+        assert_eq!(
+            traces[0].labels,
+            vec![("stage".to_string(), "test".to_string())]
+        );
+        assert!(traces[0].duration >= Duration::from_millis(2));
+        let text = r.render();
+        assert!(text
+            .contains("obs_span_duration_seconds_count{span=\"unit_of_work\",stage=\"test\"} 1"));
+    }
+
+    #[test]
+    fn finish_returns_elapsed_and_records_once() {
+        let r = Registry::new();
+        let span = r.span("finished", &[]);
+        let elapsed = span.finish();
+        assert!(elapsed < Duration::from_secs(1));
+        assert_eq!(
+            r.traces(10).len(),
+            1,
+            "drop after finish must not double-record"
+        );
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let r = Registry::with_caps(256, 3);
+        for _ in 0..5 {
+            r.span("tick", &[]).finish();
+        }
+        assert_eq!(r.traces(10).len(), 3);
+        assert_eq!(r.traces(2).len(), 2, "limit trims from the oldest side");
+    }
+
+    #[test]
+    fn span_into_uses_the_given_histogram() {
+        let r = Registry::new();
+        let hist = r.histogram(
+            "custom_duration_seconds",
+            "",
+            &crate::Buckets::durations(),
+            &[],
+        );
+        r.span_into(hist.clone(), "custom", &[]).finish();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(r.traces(10)[0].name, "custom");
+    }
+}

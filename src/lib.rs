@@ -15,7 +15,10 @@
 //!   regenerate every table and figure of the paper;
 //! * [`ingest`] — a long-running streaming ingestion pipeline that
 //!   parses logs online across sharded workers and scores tumbling
-//!   windows with the PCA detector.
+//!   windows with the PCA detector;
+//! * [`obs`] — the zero-dependency metrics + tracing layer behind
+//!   `logmine serve --metrics-addr` (counters, gauges, histograms,
+//!   spans, Prometheus text exposition, JSONL journal).
 //!
 //! # Quickstart
 //!
@@ -53,5 +56,7 @@ pub use logparse_ingest as ingest;
 pub use logparse_linalg as linalg;
 /// Log-mining tasks (re-export of [`logparse_mining`]).
 pub use logparse_mining as mining;
+/// Observability layer (re-export of [`logparse_obs`]).
+pub use logparse_obs as obs;
 /// Log parsers (re-export of [`logparse_parsers`]).
 pub use logparse_parsers as parsers;
