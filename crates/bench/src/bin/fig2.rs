@@ -1,15 +1,17 @@
 //! Regenerates **Fig. 2** (running time vs. corpus size). See
 //! `logparse_eval::experiments::fig2`.
 
-use logparse_bench::{dump_metrics, quick_mode};
+use logparse_bench::{dump_metrics, quick_mode, threads_arg};
 use logparse_eval::experiments::fig2;
 use logparse_eval::ParserKind;
 
 fn main() {
+    let threads = threads_arg(1);
     let config = if quick_mode() {
         fig2::Fig2Config {
             sizes: vec![400, 1_000, 4_000],
             lke_cap: 1_000,
+            threads,
             ..fig2::Fig2Config::default()
         }
     } else {
@@ -17,12 +19,16 @@ fn main() {
             sizes: vec![400, 1_000, 4_000, 10_000, 40_000],
             lke_cap: 2_000,
             logsig_cap: 10_000,
+            threads,
             ..fig2::Fig2Config::default()
         }
     };
     eprintln!(
-        "running Fig. 2 sweep: sizes {:?} (LKE capped at {})…",
-        config.sizes, config.lke_cap
+        "running Fig. 2 sweep: sizes {:?} (LKE capped at {}, {} thread{})…",
+        config.sizes,
+        config.lke_cap,
+        config.threads,
+        if config.threads == 1 { "" } else { "s" }
     );
     let points = fig2::run(&config);
     println!("Fig. 2: Running Time of Log Parsing Methods on Datasets in Different Size");

@@ -29,6 +29,25 @@ pub fn metrics_mode() -> bool {
     std::env::args().any(|a| a == "--metrics")
 }
 
+/// Returns the value of `--threads N` (or `-j N`) from the command
+/// line; `default` when the flag is absent. The table/figure binaries
+/// pass it to `LogParser::parse_parallel` for chunked-parallel runs.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag is present but its value is
+/// missing or not a positive integer.
+pub fn threads_arg(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(i) = args.iter().position(|a| a == "--threads" || a == "-j") else {
+        return default;
+    };
+    args.get(i + 1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| panic!("{} needs a positive integer value", args[i]))
+}
+
 /// Prints the process-global metric registry to stderr when
 /// [`metrics_mode`] is on; a no-op otherwise. Stderr keeps the tables on
 /// stdout clean for redirection.
@@ -51,5 +70,12 @@ mod tests {
     fn dump_metrics_without_flag_is_a_no_op() {
         assert!(!super::metrics_mode());
         super::dump_metrics();
+    }
+
+    #[test]
+    fn threads_arg_defaults_when_flag_is_absent() {
+        // The test harness passes no --threads flag.
+        assert_eq!(super::threads_arg(1), 1);
+        assert_eq!(super::threads_arg(4), 4);
     }
 }

@@ -43,6 +43,7 @@ const VALUED: &[&str] = &[
     "rate",
     "alpha",
     "components",
+    "threads",
     // `serve` options
     "listen",
     "shards",
@@ -82,6 +83,12 @@ impl Args {
                 } else {
                     args.flags.push(name.to_owned());
                 }
+            } else if arg == "-j" {
+                // Conventional short alias for `--threads`.
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError("option -j needs a value".to_owned()))?;
+                args.options.insert("threads".to_owned(), value);
             } else {
                 args.positional.push(arg);
             }
@@ -144,6 +151,16 @@ mod tests {
         assert_eq!(args.parsed_or("seed", 7u64).unwrap(), 7);
         let bad = Args::parse(["--count", "x"]).unwrap();
         assert!(bad.parsed_or("count", 0usize).is_err());
+    }
+
+    #[test]
+    fn dash_j_is_an_alias_for_threads() {
+        let args = Args::parse(["-j", "4", "input.log"]).unwrap();
+        assert_eq!(args.option("threads"), Some("4"));
+        assert_eq!(args.positional(), ["input.log"]);
+        assert!(Args::parse(["-j"]).is_err());
+        let long = Args::parse(["--threads", "8"]).unwrap();
+        assert_eq!(long.parsed_or("threads", 1usize).unwrap(), 8);
     }
 
     #[test]

@@ -35,6 +35,8 @@
 
 mod error;
 mod io;
+mod merge;
+pub mod parallel;
 mod parser;
 mod preprocess;
 mod record;
@@ -43,6 +45,8 @@ mod tokenizer;
 
 pub use error::ParseError;
 pub use io::{read_lines, write_events_file, write_structured_file};
+pub use merge::TemplateMerge;
+pub use parallel::{ParallelDriver, ParallelReport};
 pub use parser::{EventId, LogParser, Parse, ParseBuilder};
 pub use preprocess::{MaskRule, Preprocessor};
 pub use record::{Corpus, LogRecord};

@@ -1,0 +1,335 @@
+//! Shard-merge of independently discovered templates into a stable
+//! global event-id space.
+//!
+//! Both execution modes of the toolkit learn templates on independent
+//! slices of the input — the streaming pipeline's sharded workers and
+//! the batch [`parallel`](crate::parallel) driver's corpus chunks — so
+//! the same event shape can receive different local ids on different
+//! shards. [`TemplateMerge`] is the one shared reconciliation
+//! implementation: a `(shard, local_id) → global_id` map in which
+//! identical template keys unify to a single global id, backed by a
+//! union-find so that ids stay **stable** once handed out.
+//!
+//! Two properties make the merge safe to reuse across both paths:
+//!
+//! * **Monotone ids** — a global id, once allocated, is never reused for
+//!   a different event; later merges can only alias *more* local ids to
+//!   it, or union it with another id (the smaller/older id stays
+//!   canonical).
+//! * **Refinement tolerance** — when a shard re-announces a local id
+//!   with a *different* key (its template gained a wildcard as the group
+//!   absorbed more variety), the global id keeps its identity and, if
+//!   the refined key collides with another global id, the two are
+//!   unioned rather than duplicated.
+//!
+//! Keys are opaque strings chosen by the caller: the ingest aggregator
+//! uses rendered template text, the parallel driver uses an unambiguous
+//! structural encoding (so a literal `*` token cannot collide with a
+//! wildcard).
+
+use std::collections::HashMap;
+
+/// Stable `(shard, local) → global` template-id mapping with union-find
+/// canonicalization. See the [module docs](self) for the merge
+/// semantics.
+#[derive(Debug, Default, Clone)]
+pub struct TemplateMerge {
+    templates: Vec<String>,
+    parent: Vec<usize>,
+    by_key: HashMap<String, usize>,
+    assign: HashMap<(usize, usize), usize>,
+}
+
+impl TemplateMerge {
+    /// Creates an empty merge.
+    pub fn new() -> Self {
+        TemplateMerge::default()
+    }
+
+    /// Rebuilds a merge from previously exported raw state (see
+    /// [`TemplateMerge::raw_templates`], [`TemplateMerge::raw_parents`]
+    /// and [`TemplateMerge::assignments`]). The key index is
+    /// reconstructed from canonical roots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` and `templates` differ in length, or if any
+    /// parent or assigned global id is out of range — exported state is
+    /// expected to round-trip unmodified.
+    pub fn from_parts<I>(templates: Vec<String>, parent: Vec<usize>, assign: I) -> Self
+    where
+        I: IntoIterator<Item = ((usize, usize), usize)>,
+    {
+        assert_eq!(
+            templates.len(),
+            parent.len(),
+            "templates and parent vectors must align"
+        );
+        assert!(
+            parent.iter().all(|&p| p < templates.len()),
+            "parent id out of range"
+        );
+        let assign: HashMap<(usize, usize), usize> = assign.into_iter().collect();
+        assert!(
+            assign.values().all(|&g| g < templates.len()),
+            "assigned global id out of range"
+        );
+        let mut merge = TemplateMerge {
+            templates,
+            parent,
+            by_key: HashMap::new(),
+            assign,
+        };
+        for id in 0..merge.templates.len() {
+            if merge.resolve_root(id) == id {
+                let key = merge.templates[id].clone();
+                merge.by_key.entry(key).or_insert(id);
+            }
+        }
+        merge
+    }
+
+    /// Canonicalizes a global id through the union-find (path halving).
+    pub fn resolve_root(&mut self, mut id: usize) -> usize {
+        while self.parent[id] != id {
+            let grand = self.parent[self.parent[id]];
+            self.parent[id] = grand;
+            id = grand;
+        }
+        id
+    }
+
+    /// Folds a shard's current template key list into the merge: key
+    /// `i` of `keys` is the template of the shard's local id `i`.
+    ///
+    /// Identical keys (within the shard or across shards) unify to one
+    /// global id. A local id re-announced with a changed key keeps its
+    /// global id; if the new key collides with another global id the two
+    /// ids are unioned and the smaller (older) one stays canonical.
+    pub fn merge_shard(&mut self, shard: usize, keys: &[String]) {
+        for (local, key) in keys.iter().enumerate() {
+            match self.assign.get(&(shard, local)).copied() {
+                Some(assigned) => {
+                    let root = self.resolve_root(assigned);
+                    if self.templates[root] != *key {
+                        // The template refined. Drop the stale key index
+                        // entry, then unify with any existing id that
+                        // already carries the new key.
+                        if self.by_key.get(&self.templates[root]) == Some(&root) {
+                            self.by_key.remove(&self.templates[root]);
+                        }
+                        match self.by_key.get(key).copied() {
+                            Some(other) => {
+                                let other = self.resolve_root(other);
+                                if other != root {
+                                    let (winner, loser) = if other < root {
+                                        (other, root)
+                                    } else {
+                                        (root, other)
+                                    };
+                                    self.parent[loser] = winner;
+                                    self.templates[winner] = key.clone();
+                                    self.by_key.insert(key.clone(), winner);
+                                }
+                            }
+                            None => {
+                                self.templates[root] = key.clone();
+                                self.by_key.insert(key.clone(), root);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let global = match self.by_key.get(key).copied() {
+                        Some(existing) => self.resolve_root(existing),
+                        None => {
+                            let id = self.templates.len();
+                            self.templates.push(key.clone());
+                            self.parent.push(id);
+                            self.by_key.insert(key.clone(), id);
+                            id
+                        }
+                    };
+                    self.assign.insert((shard, local), global);
+                }
+            }
+        }
+    }
+
+    /// Resolves a shard-local id to its canonical global id, or `None`
+    /// when the pair was never merged.
+    pub fn resolve(&mut self, shard: usize, local: usize) -> Option<usize> {
+        let assigned = self.assign.get(&(shard, local)).copied()?;
+        Some(self.resolve_root(assigned))
+    }
+
+    /// Number of global ids ever allocated (including aliased ones) —
+    /// the column space for count matrices.
+    pub fn id_space(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Number of canonical (non-aliased) global ids.
+    pub fn canonical_count(&self) -> usize {
+        (0..self.parent.len())
+            .filter(|&id| self.parent[id] == id)
+            .count()
+    }
+
+    /// Canonical `(global id, template key)` pairs, id-ascending.
+    pub fn canonical_templates(&mut self) -> Vec<(usize, String)> {
+        (0..self.templates.len())
+            .filter(|&id| self.parent[id] == id)
+            .map(|id| (id, self.templates[id].clone()))
+            .collect()
+    }
+
+    /// The raw per-id key table (aliased ids keep their last key), for
+    /// state export.
+    pub fn raw_templates(&self) -> &[String] {
+        &self.templates
+    }
+
+    /// The raw union-find parent table, for state export.
+    pub fn raw_parents(&self) -> &[usize] {
+        &self.parent
+    }
+
+    /// All `((shard, local), global)` assignments, in arbitrary order.
+    /// Global ids are as assigned, not canonicalized; pass them through
+    /// [`TemplateMerge::resolve_root`] when exporting.
+    pub fn assignments(&self) -> impl Iterator<Item = ((usize, usize), usize)> + '_ {
+        self.assign.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_keys_across_shards_share_a_global_id() {
+        let mut m = TemplateMerge::new();
+        m.merge_shard(0, &["send pkt * ok".into(), "disk full".into()]);
+        m.merge_shard(1, &["disk full".into(), "send pkt * ok".into()]);
+        assert_eq!(m.resolve(0, 0), m.resolve(1, 1));
+        assert_eq!(m.resolve(0, 1), m.resolve(1, 0));
+        assert_eq!(m.canonical_count(), 2);
+    }
+
+    #[test]
+    fn merge_is_invariant_to_shard_order() {
+        // Whatever order shards report in, messages that share a key end
+        // up sharing a canonical id, and the canonical template *set* is
+        // identical (ids themselves are allocation-order dependent).
+        let shards: Vec<Vec<String>> = vec![
+            vec!["a *".into(), "b".into()],
+            vec!["c * d".into(), "a *".into()],
+            vec!["b".into(), "c * d".into()],
+        ];
+        let mut forward = TemplateMerge::new();
+        for (s, keys) in shards.iter().enumerate() {
+            forward.merge_shard(s, keys);
+        }
+        let mut backward = TemplateMerge::new();
+        for (s, keys) in shards.iter().enumerate().rev() {
+            backward.merge_shard(s, keys);
+        }
+        let set = |m: &mut TemplateMerge| {
+            let mut keys: Vec<String> = m
+                .canonical_templates()
+                .into_iter()
+                .map(|(_, k)| k)
+                .collect();
+            keys.sort();
+            keys
+        };
+        assert_eq!(set(&mut forward), set(&mut backward));
+        // Same-key pairs resolve to one id in both directions.
+        for m in [&mut forward, &mut backward] {
+            assert_eq!(m.resolve(0, 0), m.resolve(1, 1), "a *");
+            assert_eq!(m.resolve(0, 1), m.resolve(2, 0), "b");
+            assert_eq!(m.resolve(1, 0), m.resolve(2, 1), "c * d");
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_across_incremental_merges() {
+        let mut m = TemplateMerge::new();
+        m.merge_shard(0, &["job 1 done".into()]);
+        let g = m.resolve(0, 0).unwrap();
+        // The shard refines its template over three more increments; the
+        // global id never moves.
+        for key in ["job * done", "job * done", "job * *"] {
+            m.merge_shard(0, &[key.into()]);
+            assert_eq!(m.resolve(0, 0), Some(g));
+        }
+        assert_eq!(m.canonical_templates(), vec![(g, "job * *".to_string())]);
+    }
+
+    #[test]
+    fn refinement_collision_unions_and_keeps_older_id() {
+        let mut m = TemplateMerge::new();
+        m.merge_shard(0, &["send pkt * ok".into()]);
+        m.merge_shard(1, &["send pkt 7 ok".into()]);
+        let g0 = m.resolve(0, 0).unwrap();
+        let g1 = m.resolve(1, 0).unwrap();
+        assert_ne!(g0, g1);
+        // Shard 1 refines to the same key: ids union, older id wins.
+        m.merge_shard(1, &["send pkt * ok".into()]);
+        assert_eq!(m.resolve(1, 0), Some(g0));
+        assert_eq!(m.canonical_count(), 1);
+        assert_eq!(m.id_space(), 2, "aliased id still occupies the space");
+    }
+
+    #[test]
+    fn identical_keys_from_many_shards_collapse_to_one() {
+        let mut m = TemplateMerge::new();
+        for shard in 0..8 {
+            m.merge_shard(shard, &["open file *".into()]);
+        }
+        let g = m.resolve(0, 0).unwrap();
+        for shard in 1..8 {
+            assert_eq!(m.resolve(shard, 0), Some(g));
+        }
+        assert_eq!(m.canonical_count(), 1);
+        assert_eq!(m.id_space(), 1);
+    }
+
+    #[test]
+    fn raw_state_round_trips_through_from_parts() {
+        let mut m = TemplateMerge::new();
+        m.merge_shard(0, &["a *".into(), "b".into()]);
+        m.merge_shard(1, &["b".into(), "c".into()]);
+        m.merge_shard(0, &["a * *".into(), "b".into()]); // refine local 0
+        let rebuilt_assign: Vec<_> = m.assignments().collect();
+        let mut rebuilt = TemplateMerge::from_parts(
+            m.raw_templates().to_vec(),
+            m.raw_parents().to_vec(),
+            rebuilt_assign,
+        );
+        for shard in 0..2 {
+            for local in 0..2 {
+                assert_eq!(rebuilt.resolve(shard, local), m.resolve(shard, local));
+            }
+        }
+        assert_eq!(rebuilt.canonical_templates(), m.canonical_templates());
+        // New shards keep unifying against the restored key index.
+        rebuilt.merge_shard(7, &["c".into()]);
+        assert_eq!(rebuilt.resolve(7, 0), rebuilt.resolve(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "parent id out of range")]
+    fn from_parts_rejects_corrupt_parents() {
+        TemplateMerge::from_parts(vec!["a".into()], vec![9], []);
+    }
+
+    #[test]
+    fn resolve_unknown_pair_is_none() {
+        let mut m = TemplateMerge::new();
+        m.merge_shard(0, &["a".into()]);
+        assert_eq!(m.resolve(0, 1), None);
+        assert_eq!(m.resolve(3, 0), None);
+    }
+}

@@ -199,7 +199,12 @@ impl ParseBuilder {
 /// randomness (LKE's and LogSig's clustering) expose an explicit seed in
 /// their configuration instead of drawing from global entropy, so that
 /// every evaluation run is reproducible.
-pub trait LogParser {
+///
+/// `Sync` is a supertrait so that any parser — including a boxed
+/// `dyn LogParser` — can be shared by reference across the scoped worker
+/// threads of [`LogParser::parse_parallel`]. Parsers are immutable
+/// configuration structs, so this costs implementations nothing.
+pub trait LogParser: Sync {
     /// Human-readable method name (e.g. `"SLCT"`), used in reports.
     fn name(&self) -> &'static str;
 
@@ -231,6 +236,25 @@ pub trait LogParser {
             Ok(parse) => Ok((parse, span.finish())),
             Err(e) => Err(e),
         }
+    }
+
+    /// Parses the corpus split across `threads` contiguous chunks on a
+    /// scoped thread pool, merging per-chunk templates into globally
+    /// stable event ids. `threads <= 1` is exactly [`LogParser::parse`].
+    ///
+    /// See [`crate::parallel`] for the chunking strategy, the
+    /// determinism guarantee (worker scheduling cannot change the
+    /// result) and the sequential fallback that makes this total
+    /// wherever `parse` is.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sequential parse's error when single-chunked or
+    /// when the fallback engages; see [`crate::ParallelDriver::run`].
+    fn parse_parallel(&self, corpus: &Corpus, threads: usize) -> Result<Parse, ParseError> {
+        crate::parallel::ParallelDriver::new(threads)
+            .run(self, corpus)
+            .map(|(parse, _)| parse)
     }
 }
 

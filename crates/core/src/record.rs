@@ -146,6 +146,19 @@ impl Corpus {
         Corpus { records, tokenized }
     }
 
+    /// Returns a new corpus holding the contiguous `range` of messages.
+    /// Used by the parallel driver to hand each worker its chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past `self.len()`.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Corpus {
+        Corpus {
+            records: self.records[range.clone()].to_vec(),
+            tokenized: self.tokenized[range].to_vec(),
+        }
+    }
+
     /// Returns a corpus truncated to the first `n` messages (or a clone of
     /// the whole corpus when `n >= len`). Used by the Fig. 2/3 size sweeps.
     pub fn take(&self, n: usize) -> Corpus {
@@ -189,6 +202,17 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s.tokens(0), &["delta", "epsilon", "zeta"]);
         assert_eq!(s.tokens(1), s.tokens(2));
+    }
+
+    #[test]
+    fn slice_returns_contiguous_sub_corpus() {
+        let c = corpus();
+        let s = c.slice(1..3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.tokens(0), &["alpha", "gamma"]);
+        assert_eq!(s.record(1).content, "delta epsilon zeta");
+        assert!(c.slice(0..0).is_empty());
+        assert_eq!(c.slice(0..c.len()), c);
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub struct Fig2Config {
     pub tuning_sample: usize,
     /// Generation seed.
     pub seed: u64,
+    /// Thread count for the parse: 1 times the plain sequential parse,
+    /// anything higher times `LogParser::parse_parallel` instead.
+    pub threads: usize,
 }
 
 impl Default for Fig2Config {
@@ -53,6 +56,7 @@ impl Default for Fig2Config {
             logsig_cap: 10_000,
             tuning_sample: 1_000,
             seed: 1,
+            threads: 1,
         }
     }
 }
@@ -92,12 +96,25 @@ pub fn run(config: &Fig2Config) -> Vec<TimingPoint> {
                 // Timing goes through the obs span layer, so the sweep
                 // and any live pipeline share one histogram family
                 // (`obs_span_duration_seconds{span="parser_parse"}`).
-                let result = parser.timed_parse(&corpus);
+                // Parallel runs time the whole chunk+merge driver (which
+                // records its own chunk/merge histograms internally).
+                let seconds = if config.threads > 1 {
+                    let start = std::time::Instant::now();
+                    parser
+                        .parse_parallel(&corpus, config.threads)
+                        .ok()
+                        .map(|_| start.elapsed().as_secs_f64())
+                } else {
+                    parser
+                        .timed_parse(&corpus)
+                        .ok()
+                        .map(|(_, d)| d.as_secs_f64())
+                };
                 points.push(TimingPoint {
                     dataset: spec.name(),
                     parser: kind,
                     size,
-                    seconds: result.ok().map(|(_, d)| d.as_secs_f64()),
+                    seconds,
                 });
             }
         }
@@ -188,6 +205,21 @@ mod tests {
             if p.parser == ParserKind::Lke && p.size > 150 {
                 assert!(p.seconds.is_none(), "LKE at {} must be skipped", p.size);
             } else {
+                assert!(p.seconds.is_some(), "{:?} at {} missing", p.parser, p.size);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_covers_the_same_grid() {
+        let config = Fig2Config {
+            threads: 2,
+            ..tiny_config()
+        };
+        let points = run(&config);
+        assert_eq!(points.len(), 40);
+        for p in &points {
+            if !(p.parser == ParserKind::Lke && p.size > config.lke_cap) {
                 assert!(p.seconds.is_some(), "{:?} at {} missing", p.parser, p.size);
             }
         }

@@ -17,6 +17,7 @@
 //! | [`extensions`] | extension — the next-generation LogPAI parsers |
 //! | [`seed_sensitivity`] | extension — LogSig accuracy spread across seeds |
 //! | [`invariant_compare`] | extension — PCA vs. invariant-mining detection |
+//! | [`speedup`] | extension — chunked-parallel parsing speedup |
 
 pub mod critical;
 pub mod extensions;
@@ -26,6 +27,7 @@ pub mod invariant_compare;
 pub mod mining_tasks;
 pub mod preprocess_ablation;
 pub mod seed_sensitivity;
+pub mod speedup;
 pub mod table1;
 pub mod table2;
 pub mod table3;

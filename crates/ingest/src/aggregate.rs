@@ -14,6 +14,10 @@
 //! a union-find — the smaller (older) id stays canonical, so global ids
 //! are stable for the life of the pipeline and across checkpoints.
 //!
+//! The union-find itself is [`logparse_core::TemplateMerge`], shared
+//! with the batch parallel-parsing driver; this module only adds the
+//! checkpoint import/export around it.
+//!
 //! ## Windows
 //!
 //! Windows are keyed by line sequence number (`window = seq /
@@ -28,6 +32,7 @@ use std::path::PathBuf;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 
+use logparse_core::TemplateMerge;
 use logparse_linalg::Matrix;
 use logparse_mining::PcaDetector;
 
@@ -38,13 +43,11 @@ use crate::metrics::AggregatorMetrics;
 use crate::worker::ShardOutput;
 use crate::{IngestError, ParserChoice, WindowScore};
 
-/// Stable `(shard, local) → global` template-id mapping.
+/// Stable `(shard, local) → global` template-id mapping: the shared
+/// [`TemplateMerge`] union-find plus checkpoint import/export.
 #[derive(Debug, Default)]
 pub(crate) struct GlobalMap {
-    templates: Vec<String>,
-    parent: Vec<usize>,
-    by_string: HashMap<String, usize>,
-    assign: HashMap<(usize, usize), usize>,
+    inner: TemplateMerge,
 }
 
 impl GlobalMap {
@@ -53,19 +56,13 @@ impl GlobalMap {
     }
 
     pub fn from_state(state: &GlobalMapState) -> Self {
-        let mut map = GlobalMap {
-            templates: state.templates.clone(),
-            parent: state.parent.clone(),
-            by_string: HashMap::new(),
-            assign: state.assign.iter().map(|&(s, l, g)| ((s, l), g)).collect(),
-        };
-        for id in 0..map.templates.len() {
-            if map.find(id) == id {
-                let text = map.templates[id].clone();
-                map.by_string.entry(text).or_insert(id);
-            }
+        GlobalMap {
+            inner: TemplateMerge::from_parts(
+                state.templates.clone(),
+                state.parent.clone(),
+                state.assign.iter().map(|&(s, l, g)| ((s, l), g)),
+            ),
         }
-        map
     }
 
     /// Exports persistent state. Assignments for local ids at or beyond
@@ -74,100 +71,41 @@ impl GlobalMap {
     /// (and re-unified by template string) after a restore.
     pub fn export(&mut self, shard_group_counts: &[usize]) -> GlobalMapState {
         let mut assign: Vec<(usize, usize, usize)> = self
-            .assign
-            .iter()
-            .map(|(&(s, l), &g)| (s, l, g))
+            .inner
+            .assignments()
+            .map(|((s, l), g)| (s, l, g))
             .filter(|&(s, l, _)| shard_group_counts.get(s).is_some_and(|&n| l < n))
             .collect();
         assign.sort_unstable();
         let assign = assign
             .into_iter()
-            .map(|(s, l, g)| (s, l, self.find(g)))
+            .map(|(s, l, g)| (s, l, self.inner.resolve_root(g)))
             .collect();
         GlobalMapState {
-            templates: self.templates.clone(),
-            parent: self.parent.clone(),
+            templates: self.inner.raw_templates().to_vec(),
+            parent: self.inner.raw_parents().to_vec(),
             assign,
         }
     }
 
-    fn find(&mut self, mut id: usize) -> usize {
-        while self.parent[id] != id {
-            let grand = self.parent[self.parent[id]];
-            self.parent[id] = grand; // path halving
-            id = grand;
-        }
-        id
-    }
-
     /// Folds a shard's current template list into the global map.
     pub fn merge_shard(&mut self, shard: usize, templates: &[String]) {
-        for (local, text) in templates.iter().enumerate() {
-            match self.assign.get(&(shard, local)).copied() {
-                Some(assigned) => {
-                    let root = self.find(assigned);
-                    if self.templates[root] != *text {
-                        // The template refined. Drop the stale string
-                        // index entry, then unify with any existing id
-                        // that already carries the new string.
-                        if self.by_string.get(&self.templates[root]) == Some(&root) {
-                            self.by_string.remove(&self.templates[root]);
-                        }
-                        match self.by_string.get(text).copied() {
-                            Some(other) => {
-                                let other = self.find(other);
-                                if other != root {
-                                    let (winner, loser) = if other < root {
-                                        (other, root)
-                                    } else {
-                                        (root, other)
-                                    };
-                                    self.parent[loser] = winner;
-                                    self.templates[winner] = text.clone();
-                                    self.by_string.insert(text.clone(), winner);
-                                }
-                            }
-                            None => {
-                                self.templates[root] = text.clone();
-                                self.by_string.insert(text.clone(), root);
-                            }
-                        }
-                    }
-                }
-                None => {
-                    let global = match self.by_string.get(text).copied() {
-                        Some(existing) => self.find(existing),
-                        None => {
-                            let id = self.templates.len();
-                            self.templates.push(text.clone());
-                            self.parent.push(id);
-                            self.by_string.insert(text.clone(), id);
-                            id
-                        }
-                    };
-                    self.assign.insert((shard, local), global);
-                }
-            }
-        }
+        self.inner.merge_shard(shard, templates);
     }
 
     /// Resolves a shard-local id to its canonical global id.
     pub fn resolve(&mut self, shard: usize, local: usize) -> Option<usize> {
-        let assigned = self.assign.get(&(shard, local)).copied()?;
-        Some(self.find(assigned))
+        self.inner.resolve(shard, local)
     }
 
     /// Number of global ids ever allocated (column space for scoring).
     pub fn id_space(&self) -> usize {
-        self.templates.len()
+        self.inner.id_space()
     }
 
     /// Canonical `(global id, template)` pairs, id-ascending.
     pub fn canonical_templates(&mut self) -> Vec<(usize, String)> {
-        (0..self.templates.len())
-            .filter(|&id| self.parent[id] == id)
-            .map(|id| (id, self.templates[id].clone()))
-            .collect()
+        self.inner.canonical_templates()
     }
 }
 
@@ -484,13 +422,11 @@ pub(crate) fn run_aggregator(
 
 impl GlobalMap {
     fn resolve_root(&mut self, gid: usize) -> usize {
-        self.find(gid)
+        self.inner.resolve_root(gid)
     }
 
     fn canonical_count(&self) -> usize {
-        (0..self.parent.len())
-            .filter(|&id| self.parent[id] == id)
-            .count()
+        self.inner.canonical_count()
     }
 }
 

@@ -102,6 +102,21 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
         }
+
+        /// The case count actually run: the configured count, capped by
+        /// the `PROPTEST_CASES` environment variable when it is set to a
+        /// positive integer. `scripts/check.sh --quick` uses the cap to
+        /// shrink every property suite at once without touching
+        /// per-test configurations.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(raw) => match raw.trim().parse::<u32>() {
+                    Ok(cap) if cap > 0 => self.cases.min(cap),
+                    _ => self.cases,
+                },
+                Err(_) => self.cases,
+            }
+        }
     }
 
     /// A failed property assertion (carried out of the case closure).
@@ -162,7 +177,7 @@ macro_rules! __proptest_items {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
             let base = $crate::name_seed(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases as u64 {
+            for case in 0..config.effective_cases() as u64 {
                 let mut proptest_rng = <$crate::strategy::TestRng as rand::SeedableRng>::seed_from_u64(
                     base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
@@ -262,5 +277,23 @@ mod tests {
     fn cases_are_deterministic_per_name() {
         assert_eq!(crate::name_seed("a::b"), crate::name_seed("a::b"));
         assert_ne!(crate::name_seed("a::b"), crate::name_seed("a::c"));
+    }
+
+    #[test]
+    fn effective_cases_caps_via_env() {
+        // Env mutation is process-global: keep every scenario in one
+        // test so the harness cannot interleave a second reader.
+        let config = ProptestConfig::with_cases(48);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(config.effective_cases(), 48);
+        std::env::set_var("PROPTEST_CASES", "8");
+        assert_eq!(config.effective_cases(), 8);
+        std::env::set_var("PROPTEST_CASES", "500");
+        assert_eq!(config.effective_cases(), 48, "cap never raises");
+        std::env::set_var("PROPTEST_CASES", "garbage");
+        assert_eq!(config.effective_cases(), 48);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(config.effective_cases(), 48, "zero is ignored");
+        std::env::remove_var("PROPTEST_CASES");
     }
 }

@@ -1,8 +1,18 @@
 #!/bin/bash
 # The local gate: everything CI would hold a change to.
-#   scripts/check.sh
+#   scripts/check.sh           full run
+#   scripts/check.sh --quick   reduced property-test cases (PROPTEST_CASES=8)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--quick" ]]; then
+  # The vendored proptest shim caps every suite's case count at this
+  # value (it never raises a configured count), so the property tests —
+  # including the parallel differential suite — still run end to end,
+  # just on fewer corpora.
+  export PROPTEST_CASES=8
+  echo "=== quick mode: PROPTEST_CASES=$PROPTEST_CASES ==="
+fi
 
 echo "=== cargo fmt --check ==="
 cargo fmt --all --check
@@ -12,5 +22,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "=== cargo test ==="
 cargo test --workspace -q
+
+echo "=== differential suite (sequential vs parallel) ==="
+cargo test -q --test parallel_equivalence
 
 echo "all checks passed"
