@@ -14,6 +14,8 @@
 //!   `mining_pipeline` (Table III's stages), `preprocess` and
 //!   `tokenizer` (substrate throughput).
 
+#![forbid(unsafe_code)]
+
 /// Returns `true` when `--quick` was passed on the command line; the
 /// table/figure binaries use it to shrink their workloads for smoke runs.
 pub fn quick_mode() -> bool {

@@ -13,6 +13,8 @@
 //! parser and writes the two standard outputs: the events file (stdout
 //! or `--events-out`) and the structured log (`--structured-out`).
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

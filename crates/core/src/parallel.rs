@@ -149,8 +149,15 @@ impl ParallelDriver {
 
         // Any failed chunk (e.g. a method that rejects corpora smaller
         // than its cluster count) falls back to one sequential parse:
-        // parse_parallel is total wherever parse is.
-        if chunk_parses.iter().any(Result::is_err) {
+        // parse_parallel is total wherever parse is. A missing slot
+        // (a worker died before storing its result) takes the same
+        // path, so the driver never panics on a sick pool.
+        let healthy: Vec<Parse> = chunk_parses
+            .into_iter()
+            .flatten()
+            .filter_map(Result::ok)
+            .collect();
+        if healthy.len() != chunks {
             let parse = parser.parse(corpus)?;
             let merged_events = parse.event_count();
             return Ok((
@@ -171,7 +178,7 @@ impl ParallelDriver {
             &[("parser", parser.name())],
         );
         let span = logparse_obs::global().span_into(merge_hist, "parallel_merge", &[]);
-        let parse = merge_chunks(&chunk_parses, &ranges, corpus.len());
+        let parse = merge_chunks(&healthy, &ranges, corpus.len());
         span.finish();
 
         let merged_events = parse.event_count();
@@ -188,13 +195,14 @@ impl ParallelDriver {
 }
 
 /// Parses every chunk range on a scoped worker pool fed by an atomic
-/// cursor; slot `i` of the result holds chunk `i`'s parse.
+/// cursor; slot `i` of the result holds chunk `i`'s parse, or `None`
+/// if its worker never stored one.
 fn parse_chunks<P: LogParser + ?Sized>(
     parser: &P,
     corpus: &Corpus,
     ranges: &[Range<usize>],
     workers: usize,
-) -> Vec<Result<Parse, ParseError>> {
+) -> Vec<Option<Result<Parse, ParseError>>> {
     let registry = logparse_obs::global();
     let chunk_hist = registry.histogram(
         "parallel_chunk_parse_seconds",
@@ -221,11 +229,17 @@ fn parse_chunks<P: LogParser + ?Sized>(
                     break;
                 };
                 let piece = corpus.slice(range.clone());
+                // lint:allow(timing-discipline): measures directly into
+                // parallel_chunk_parse_seconds; a ring-recording span per
+                // chunk would break the rare-events-only trace budget
                 let start = std::time::Instant::now();
                 let result = parser.parse(&piece);
                 chunk_hist.observe_duration(start.elapsed());
                 chunk_counter.inc();
-                *slots[i].lock().expect("chunk slot poisoned") = Some(result);
+                // A poisoned slot still carries its value; take it.
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
             });
         }
     });
@@ -233,30 +247,27 @@ fn parse_chunks<P: LogParser + ?Sized>(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("chunk slot poisoned")
-                .expect("cursor covered every chunk")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
         })
         .collect()
 }
 
 /// Folds per-chunk parses into one global parse, merging templates by
 /// structural key in chunk order.
-fn merge_chunks(
-    chunk_parses: &[Result<Parse, ParseError>],
-    ranges: &[Range<usize>],
-    len: usize,
-) -> Parse {
+fn merge_chunks(chunk_parses: &[Parse], ranges: &[Range<usize>], len: usize) -> Parse {
     let mut merge = TemplateMerge::new();
     // Batch chunks announce each (chunk, local) exactly once, so the
-    // merge never takes the refinement path and global ids come out
-    // dense in 0..id_space().
+    // merge never takes the refinement path, global ids come out dense
+    // in 0..id_space(), and resolve() succeeds for every announced
+    // (chunk, local) — an unannounced id simply stays unassigned.
     let mut templates: Vec<Template> = Vec::new();
     for (chunk, parse) in chunk_parses.iter().enumerate() {
-        let parse = parse.as_ref().expect("only healthy chunks are merged");
         let keys: Vec<String> = parse.templates().iter().map(merge_key).collect();
         merge.merge_shard(chunk, &keys);
         for (local, template) in parse.templates().iter().enumerate() {
-            let gid = merge.resolve(chunk, local).expect("just merged");
+            let Some(gid) = merge.resolve(chunk, local) else {
+                continue;
+            };
             if gid == templates.len() {
                 templates.push(template.clone());
             }
@@ -265,15 +276,9 @@ fn merge_chunks(
     debug_assert_eq!(templates.len(), merge.id_space());
     let mut assignments: Vec<Option<EventId>> = vec![None; len];
     for ((chunk, parse), range) in chunk_parses.iter().enumerate().zip(ranges) {
-        let parse = parse.as_ref().expect("only healthy chunks are merged");
         for (offset, assigned) in parse.assignments().iter().enumerate() {
-            assignments[range.start + offset] = assigned.map(|event| {
-                EventId(
-                    merge
-                        .resolve(chunk, event.index())
-                        .expect("merged template"),
-                )
-            });
+            assignments[range.start + offset] =
+                assigned.and_then(|event| merge.resolve(chunk, event.index()).map(EventId));
         }
     }
     Parse::new(templates, assignments)

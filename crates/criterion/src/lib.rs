@@ -13,6 +13,7 @@
 //! (the `--test` flag cargo passes to `harness = false` targets) every
 //! benchmark runs exactly once, as a smoke test.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;

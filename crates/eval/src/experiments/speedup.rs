@@ -107,6 +107,7 @@ pub fn run(config: &SpeedupConfig) -> Vec<SpeedupPoint> {
         }
         let corpus = spec.generate(config.size, config.seed).corpus;
         for parser in parsers(config.size, config.lke_cap) {
+            // lint:allow(timing-discipline): speedup baselines compare raw wall clock between sequential and parallel runs; recording them as spans would double-count the driver's own histograms
             let start = Instant::now();
             let Ok(sequential) = parser.parse(&corpus) else {
                 continue;
@@ -114,6 +115,7 @@ pub fn run(config: &SpeedupConfig) -> Vec<SpeedupPoint> {
             let sequential_seconds = start.elapsed().as_secs_f64();
             let sequential_labels = sequential.cluster_labels();
             for &threads in &config.threads {
+                // lint:allow(timing-discipline): same raw wall-clock comparison as the sequential baseline above
                 let start = Instant::now();
                 let Ok(parallel) = parser.parse_parallel(&corpus, threads) else {
                     continue;

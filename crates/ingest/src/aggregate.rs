@@ -337,8 +337,9 @@ pub(crate) fn run_aggregator(
                     *acc.counts.entry(gid).or_insert(0) += 1;
                     acc.seen += 1;
                     if acc.seen == window_size {
-                        let acc = open.remove(&window_id).expect("window present");
-                        score_window(window_id, acc, &mut map, &mut closed);
+                        if let Some(acc) = open.remove(&window_id) {
+                            score_window(window_id, acc, &mut map, &mut closed);
+                        }
                     }
                 }
             }
@@ -353,9 +354,12 @@ pub(crate) fn run_aggregator(
                     .or_insert_with(|| (lines_routed, (0..shards).map(|_| None).collect()));
                 entry.1[shard] = Some(state);
                 if entry.1.iter().all(Option::is_some) {
-                    let (lines, slots) = pending_checkpoints.remove(&generation).expect("entry");
-                    let snapshots: Vec<ParserSnapshot> =
-                        slots.into_iter().map(|s| s.expect("all present")).collect();
+                    let Some((lines, slots)) = pending_checkpoints.remove(&generation) else {
+                        continue;
+                    };
+                    // All slots were just verified Some; flatten drops
+                    // nothing.
+                    let snapshots: Vec<ParserSnapshot> = slots.into_iter().flatten().collect();
                     if let Some(path) = &checkpoint_path {
                         write_checkpoint(
                             path, parser, generation, lines, snapshots, &mut map, &events, &metrics,
@@ -384,14 +388,14 @@ pub(crate) fn run_aggregator(
     let mut partial: Vec<u64> = open.keys().copied().collect();
     partial.sort_unstable();
     for window_id in partial {
-        let acc = open.remove(&window_id).expect("window present");
-        score_window(window_id, acc, &mut map, &mut closed);
+        if let Some(acc) = open.remove(&window_id) {
+            score_window(window_id, acc, &mut map, &mut closed);
+        }
     }
 
-    let final_snapshots: Vec<ParserSnapshot> = final_snapshots
-        .into_iter()
-        .map(|s| s.expect("every shard reported Done"))
-        .collect();
+    // The loop above exits only after every shard reported Done, so
+    // every slot is Some and flatten preserves the shard count.
+    let final_snapshots: Vec<ParserSnapshot> = final_snapshots.into_iter().flatten().collect();
 
     // Final checkpoint at shutdown, generation after any periodic ones.
     if let Some(path) = &checkpoint_path {

@@ -147,12 +147,11 @@ impl ParserSnapshot {
                     .ok_or_else(|| corrupt("leaves"))?
                     .iter()
                     .map(|leaf| {
-                        let leaf = leaf
-                            .as_arr()
-                            .filter(|l| l.len() == 3)
-                            .ok_or_else(|| corrupt("leaf"))?;
-                        let len = leaf[0].as_usize().ok_or_else(|| corrupt("leaf length"))?;
-                        let path = leaf[1]
+                        let Some([len, path, gids]) = leaf.as_arr() else {
+                            return Err(corrupt("leaf"));
+                        };
+                        let len = len.as_usize().ok_or_else(|| corrupt("leaf length"))?;
+                        let path = path
                             .as_arr()
                             .ok_or_else(|| corrupt("leaf path"))?
                             .iter()
@@ -162,7 +161,7 @@ impl ParserSnapshot {
                                     .ok_or_else(|| corrupt("leaf token"))
                             })
                             .collect::<Result<Vec<_>, _>>()?;
-                        let gids = leaf[2]
+                        let gids = gids
                             .as_arr()
                             .ok_or_else(|| corrupt("leaf groups"))?
                             .iter()
@@ -177,13 +176,12 @@ impl ParserSnapshot {
                     .ok_or_else(|| corrupt("paths"))?
                     .iter()
                     .map(|pair| {
-                        let pair = pair
-                            .as_arr()
-                            .filter(|p| p.len() == 2)
-                            .ok_or_else(|| corrupt("path pair"))?;
+                        let Some([len, count]) = pair.as_arr() else {
+                            return Err(corrupt("path pair"));
+                        };
                         Ok((
-                            pair[0].as_usize().ok_or_else(|| corrupt("path length"))?,
-                            pair[1].as_usize().ok_or_else(|| corrupt("path count"))?,
+                            len.as_usize().ok_or_else(|| corrupt("path length"))?,
+                            count.as_usize().ok_or_else(|| corrupt("path count"))?,
                         ))
                     })
                     .collect::<Result<Vec<_>, IngestError>>()?;
@@ -368,18 +366,17 @@ impl Checkpoint {
             .ok_or_else(|| corrupt("global assignments"))?
             .iter()
             .map(|entry| {
-                let entry = entry
-                    .as_arr()
-                    .filter(|e| e.len() == 3)
-                    .ok_or_else(|| corrupt("assignment"))?;
+                let Some([shard, local, global]) = entry.as_arr() else {
+                    return Err(corrupt("assignment"));
+                };
                 Ok((
-                    entry[0]
+                    shard
                         .as_usize()
                         .ok_or_else(|| corrupt("assignment shard"))?,
-                    entry[1]
+                    local
                         .as_usize()
                         .ok_or_else(|| corrupt("assignment local id"))?,
-                    entry[2]
+                    global
                         .as_usize()
                         .ok_or_else(|| corrupt("assignment global id"))?,
                 ))

@@ -197,7 +197,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -244,7 +244,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let b = self.peek().ok_or("unterminated string")?;
@@ -267,8 +267,8 @@ impl<'a> Parser<'a> {
                             let unit = self.hex4()?;
                             let code = if (0xD800..0xDC00).contains(&unit) {
                                 // surrogate pair
-                                self.expect(b'\\')?;
-                                self.expect(b'u')?;
+                                self.expect_byte(b'\\')?;
+                                self.expect_byte(b'u')?;
                                 let low = self.hex4()?;
                                 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
                             } else {
@@ -306,7 +306,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -329,7 +329,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -340,7 +340,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));

@@ -72,9 +72,19 @@ mod unix {
     #[allow(unsafe_code)]
     pub fn install() {
         static ONCE: Once = Once::new();
-        ONCE.call_once(|| unsafe {
-            ffi::signal(SIGINT, on_signal as *const () as usize);
-            ffi::signal(SIGTERM, on_signal as *const () as usize);
+        ONCE.call_once(|| {
+            // SAFETY: `on_signal` is `extern "C"` with the signature
+            // `signal(2)` expects, and its body is a single store to a
+            // static `AtomicBool` — async-signal-safe. `Once` makes the
+            // installation race-free; the returned previous handler is
+            // deliberately discarded.
+            unsafe {
+                ffi::signal(SIGINT, on_signal as *const () as usize);
+            }
+            // SAFETY: as above; SIGTERM and SIGINT share the handler.
+            unsafe {
+                ffi::signal(SIGTERM, on_signal as *const () as usize);
+            }
         });
     }
 }

@@ -188,7 +188,11 @@ impl FileTailSource {
             Err(e) if e.kind() == ErrorKind::NotFound => return Ok(true),
             Err(e) => return Err(e),
         };
-        let opened = self.identity.expect("rotated() called with an open file");
+        let Some(opened) = self.identity else {
+            // No recorded identity means we never fully opened the
+            // file; treat it as rotated so the caller reopens.
+            return Ok(true);
+        };
         #[cfg(unix)]
         if current.inode != opened.inode {
             return Ok(true);
@@ -203,7 +207,9 @@ impl LogSource for FileTailSource {
         if self.reader.is_none() && !self.open()? {
             return Ok(SourceItem::Idle);
         }
-        let reader = self.reader.as_mut().expect("reader opened above");
+        let Some(reader) = self.reader.as_mut() else {
+            return Ok(SourceItem::Idle);
+        };
         let mut chunk = String::new();
         let read = reader.read_line(&mut chunk)?;
         self.offset += read as u64;

@@ -128,6 +128,7 @@ pub(crate) fn run_worker(
         match message {
             ShardInput::Batch(batch) => {
                 metrics.queue_depth.sub(1.0);
+                // lint:allow(timing-discipline): measures directly into ingest_parse_duration_seconds below; a ring-recording span per batch would break the rare-events-only trace budget
                 let parse_started = Instant::now();
                 let mut entries = Vec::with_capacity(batch.len());
                 for (seq, line) in &batch {

@@ -1,0 +1,335 @@
+//! A hand-rolled, byte-oriented Rust surface lexer.
+//!
+//! The linter does not need a parse tree; it needs to know, for every
+//! byte of a source file, whether that byte is *code*, *comment*, or
+//! *string-literal content*. The lexer produces a **masked view** of
+//! the file — same byte length, newlines preserved — in which comment
+//! bodies and string contents are replaced with spaces (string *quotes*
+//! are kept, so "the first argument is a literal" remains decidable),
+//! plus side tables of the string literals and comments it erased.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! plain/byte/raw strings (`"…"`, `b"…"`, `r"…"`, `r#"…"#`, …), char
+//! and byte-char literals, and the char-literal/lifetime ambiguity
+//! (`'a'` vs `'a`). Everything else passes through untouched.
+
+/// One string literal erased from the masked view.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// Byte offset of the opening quote in the masked text.
+    pub offset: usize,
+    /// 1-based line of the opening quote.
+    pub line: u32,
+    /// The literal's content (escapes left as written).
+    pub content: String,
+}
+
+/// One comment erased from the masked view.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers, single line.
+    pub text: String,
+}
+
+/// The lexer's output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code-only view: comments and string contents blanked to spaces.
+    pub masked: String,
+    /// Every string literal, in file order.
+    pub strings: Vec<StrLit>,
+    /// Every comment, in file order (block comments yield one entry per
+    /// line so pragma scanning stays line-oriented).
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `text` into a masked view plus string/comment side tables.
+pub fn lex(text: &str) -> Lexed {
+    let src = text.as_bytes();
+    let mut masked: Vec<u8> = Vec::with_capacity(src.len());
+    let mut strings = Vec::new();
+    let mut comments = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+
+    // Pushes one blanked byte, preserving newlines for line math.
+    let blank = |masked: &mut Vec<u8>, line: &mut u32, b: u8| {
+        if b == b'\n' {
+            *line += 1;
+            masked.push(b'\n');
+        } else {
+            masked.push(b' ');
+        }
+    };
+
+    while i < src.len() {
+        let b = src[i];
+        // Line comment.
+        if b == b'/' && src.get(i + 1) == Some(&b'/') {
+            let start_line = line;
+            let mut text_buf = Vec::new();
+            i += 2;
+            masked.push(b' ');
+            masked.push(b' ');
+            while i < src.len() && src[i] != b'\n' {
+                text_buf.push(src[i]);
+                masked.push(b' ');
+                i += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: String::from_utf8_lossy(&text_buf).into_owned(),
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if b == b'/' && src.get(i + 1) == Some(&b'*') {
+            let mut depth = 1usize;
+            let mut text_buf = Vec::new();
+            let mut text_line = line;
+            i += 2;
+            masked.push(b' ');
+            masked.push(b' ');
+            while i < src.len() && depth > 0 {
+                if src[i] == b'/' && src.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    blank(&mut masked, &mut line, src[i]);
+                    blank(&mut masked, &mut line, src[i + 1]);
+                    i += 2;
+                } else if src[i] == b'*' && src.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    blank(&mut masked, &mut line, src[i]);
+                    blank(&mut masked, &mut line, src[i + 1]);
+                    i += 2;
+                } else {
+                    if src[i] == b'\n' {
+                        comments.push(Comment {
+                            line: text_line,
+                            text: String::from_utf8_lossy(&text_buf).into_owned(),
+                        });
+                        text_buf.clear();
+                        text_line = line + 1;
+                    } else {
+                        text_buf.push(src[i]);
+                    }
+                    blank(&mut masked, &mut line, src[i]);
+                    i += 1;
+                }
+            }
+            if !text_buf.is_empty() {
+                comments.push(Comment {
+                    line: text_line,
+                    text: String::from_utf8_lossy(&text_buf).into_owned(),
+                });
+            }
+            continue;
+        }
+        // Raw (byte) string: r"…", r#"…"#, br"…" — only when the `r`
+        // does not continue an identifier (`for"` is not valid code, but
+        // `writer` followed by `"` must not trigger).
+        let prev_ident = i > 0 && is_ident(src[i - 1]);
+        if !prev_ident && (b == b'r' || (b == b'b' && src.get(i + 1) == Some(&b'r'))) {
+            let mut j = i + if b == b'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while src.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if src.get(j) == Some(&b'"') {
+                // Emit the prefix (`r`, `br`, hashes) as-is, then mask.
+                for &p in &src[i..j] {
+                    masked.push(p);
+                }
+                let quote_off = masked.len();
+                let start_line = line;
+                masked.push(b'"');
+                let mut k = j + 1;
+                let mut content = Vec::new();
+                'raw: while k < src.len() {
+                    if src[k] == b'"' {
+                        let mut h = 0;
+                        while h < hashes && src.get(k + 1 + h) == Some(&b'#') {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            masked.push(b'"');
+                            masked.extend(std::iter::repeat_n(b'#', hashes));
+                            k += 1 + hashes;
+                            i = k;
+                            strings.push(StrLit {
+                                offset: quote_off,
+                                line: start_line,
+                                content: String::from_utf8_lossy(&content).into_owned(),
+                            });
+                            break 'raw;
+                        }
+                    }
+                    content.push(src[k]);
+                    blank(&mut masked, &mut line, src[k]);
+                    k += 1;
+                    if k == src.len() {
+                        // Unterminated; stop masking at EOF.
+                        i = k;
+                    }
+                }
+                continue;
+            }
+        }
+        // Plain or byte string.
+        if b == b'"' || (b == b'b' && src.get(i + 1) == Some(&b'"') && !prev_ident) {
+            if b == b'b' {
+                masked.push(b'b');
+                i += 1;
+            }
+            let quote_off = masked.len();
+            let start_line = line;
+            masked.push(b'"');
+            i += 1;
+            let mut content = Vec::new();
+            while i < src.len() {
+                if src[i] == b'\\' && i + 1 < src.len() {
+                    content.push(src[i]);
+                    content.push(src[i + 1]);
+                    blank(&mut masked, &mut line, src[i]);
+                    blank(&mut masked, &mut line, src[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if src[i] == b'"' {
+                    masked.push(b'"');
+                    i += 1;
+                    break;
+                }
+                content.push(src[i]);
+                blank(&mut masked, &mut line, src[i]);
+                i += 1;
+            }
+            strings.push(StrLit {
+                offset: quote_off,
+                line: start_line,
+                content: String::from_utf8_lossy(&content).into_owned(),
+            });
+            continue;
+        }
+        // Char / byte-char literal vs lifetime.
+        if b == b'\'' || (b == b'b' && src.get(i + 1) == Some(&b'\'') && !prev_ident) {
+            let q = if b == b'b' { i + 1 } else { i };
+            let is_char = match src.get(q + 1) {
+                Some(&b'\\') => true,
+                Some(&c) => {
+                    // `'x'` is a char literal; `'x` (next byte not a
+                    // closing quote) is a lifetime. Multibyte chars take
+                    // several bytes — scan to the next quote on the
+                    // same line and require it within 6 bytes.
+                    if is_ident(c) {
+                        src.get(q + 2) == Some(&b'\'')
+                    } else {
+                        (1..=6).any(|d| src.get(q + d) == Some(&b'\'')) && c != b'\''
+                    }
+                }
+                None => false,
+            };
+            if is_char {
+                if b == b'b' {
+                    masked.push(b'b');
+                    i += 1;
+                }
+                masked.push(b'\'');
+                i += 1;
+                while i < src.len() {
+                    if src[i] == b'\\' && i + 1 < src.len() {
+                        blank(&mut masked, &mut line, src[i]);
+                        blank(&mut masked, &mut line, src[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if src[i] == b'\'' {
+                        masked.push(b'\'');
+                        i += 1;
+                        break;
+                    }
+                    blank(&mut masked, &mut line, src[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            // Lifetime: pass through.
+        }
+        if b == b'\n' {
+            line += 1;
+        }
+        masked.push(b);
+        i += 1;
+    }
+
+    Lexed {
+        masked: String::from_utf8_lossy(&masked).into_owned(),
+        strings,
+        comments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments_and_collects_text() {
+        let l = lex("let x = 1; // trailing note\nlet y = 2;\n");
+        assert!(!l.masked.contains("trailing"));
+        assert_eq!(l.masked.lines().count(), 2);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].text.trim(), "trailing note");
+    }
+
+    #[test]
+    fn masks_string_contents_but_keeps_quotes() {
+        let l = lex("call(\"an unwrap() inside\", x)");
+        assert!(!l.masked.contains("unwrap"));
+        assert!(l.masked.contains("call(\""));
+        assert_eq!(l.strings.len(), 1);
+        assert_eq!(l.strings[0].content, "an unwrap() inside");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let l = lex(r####"let a = r#"panic!("x")"#; let b = "q\"uo";"####);
+        assert!(!l.masked.contains("panic"));
+        assert_eq!(l.strings.len(), 2);
+        assert_eq!(l.strings[0].content, r#"panic!("x")"#);
+        assert_eq!(l.strings[1].content, "q\\\"uo");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(l.masked.contains("'a>"));
+        assert!(l.strings.is_empty());
+        let c = lex("let c = 'x'; let nl = '\\n'; let s = ' ';");
+        assert!(!c.masked.contains('x'), "{}", c.masked);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* one /* two */ still */ b");
+        assert!(l.masked.starts_with('a'));
+        assert!(l.masked.trim_end().ends_with('b'));
+        assert!(!l.masked.contains("still"));
+    }
+
+    #[test]
+    fn masked_preserves_byte_offsets() {
+        let text = "x(\"ab\", 1)\ny";
+        let l = lex(text);
+        assert_eq!(l.masked.len(), text.len());
+        assert_eq!(l.strings[0].offset, 2);
+        assert_eq!(&l.masked[..2], "x(");
+    }
+}

@@ -1,0 +1,150 @@
+//! `logparse-lint` — a zero-dependency static analyzer for this
+//! workspace's project invariants.
+//!
+//! `cargo clippy` checks Rust; this crate checks *this repository*: the
+//! contracts the streaming pipeline, the parallel driver and the obs
+//! layer rely on but no compiler knows about. It is built — like the
+//! workspace's vendored `rand`/`proptest`/`criterion` shims — entirely
+//! on `std`: a hand-rolled surface lexer ([`lexer`]) produces a masked
+//! code view per file, and line-oriented lints walk it.
+//!
+//! # Lint catalog
+//!
+//! | lint | severity | invariant |
+//! |------|----------|-----------|
+//! | `panic-freedom` | error (index sub-check: warn) | no `unwrap`/`expect`/`panic!`/literal index in hot-path crates |
+//! | `unsafe-allowlist` | error | `unsafe` only in `ingest/src/signal.rs`; crate roots forbid `unsafe_code` |
+//! | `lock-channel-hold` | warning | no blocking send/recv/I-O while a lock guard is live |
+//! | `obs-metric-hygiene` | error | metric families: literal names, one owner site, documented in DESIGN.md |
+//! | `timing-discipline` | warning | `Instant::now()` only inside the obs/criterion substrates |
+//! | `bad-pragma` | error | suppressions must name a known lint and carry a reason |
+//!
+//! # Suppression
+//!
+//! A finding is suppressed by a comment pragma on the same line, the
+//! line above, or (for lock findings) the guard's acquisition line:
+//!
+//! ```text
+//! // lint:allow(timing-discipline): feeds ingest_parse_duration_seconds directly
+//! let parse_started = Instant::now();
+//! ```
+//!
+//! `lint:allow-file(<name>): <reason>` covers a whole file. The reason
+//! is mandatory; `bad-pragma` polices the pragmas themselves.
+//!
+//! # Usage
+//!
+//! ```text
+//! cargo run -p logparse-lint -- --workspace --deny warnings
+//! ```
+//!
+//! Exit code 0 when clean, 1 on findings at error level (warnings are
+//! promoted under `--deny warnings`), 2 on usage or I/O errors. This is
+//! a stage of `scripts/check.sh`; the committed tree stays clean.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod source;
+pub mod workspace;
+
+use lints::{Finding, Severity};
+use source::SourceFile;
+use std::path::Path;
+
+/// Lints already-loaded sources. `files` are `(relative_path, text)`
+/// pairs; `design` is DESIGN.md's `(relative_path, text)` when present.
+/// Returns pragma-filtered findings sorted by path, line, lint.
+pub fn run_files(files: &[(String, String)], design: Option<(&str, &str)>) -> Vec<Finding> {
+    let sources: Vec<SourceFile> = files
+        .iter()
+        .map(|(rel, text)| SourceFile::new(rel, text))
+        .collect();
+    let rels: Vec<String> = sources.iter().map(|s| s.rel.clone()).collect();
+    let roots = workspace::crate_roots(&rels);
+
+    let mut findings = Vec::new();
+    for file in &sources {
+        findings.extend(lints::panic_freedom::check(file));
+        findings.extend(lints::unsafe_allowlist::check(file));
+        findings.extend(lints::lock_hold::check(file));
+        findings.extend(lints::timing::check(file));
+        findings.extend(lints::pragmas::check(file));
+        if roots.contains(&file.rel) {
+            findings.extend(lints::unsafe_allowlist::check_crate_root(file));
+        }
+    }
+    findings.extend(lints::metric_hygiene::check(&sources, design));
+
+    // Pragma suppression: a finding survives unless the file that
+    // contains it carries a matching allow. `bad-pragma` findings are
+    // never suppressible — the mechanism cannot excuse itself.
+    findings.retain(|f| {
+        if f.lint == "bad-pragma" {
+            return true;
+        }
+        match sources.iter().find(|s| s.rel == f.rel) {
+            Some(file) => !file.suppressed(f.lint, f.line, &f.also_allow_at),
+            None => true,
+        }
+    });
+    findings
+        .sort_by(|a, b| (a.rel.as_str(), a.line, a.lint).cmp(&(b.rel.as_str(), b.line, b.lint)));
+    findings
+}
+
+/// Walks the workspace at `root` and lints every source file.
+pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let files = workspace::collect(root)?;
+    let design_text = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    Ok(run_files(
+        &files,
+        design_text.as_deref().map(|t| ("DESIGN.md", t)),
+    ))
+}
+
+/// True when `findings` requires a non-zero exit under the given
+/// severity policy.
+pub fn is_fatal(findings: &[Finding], deny_warnings: bool) -> bool {
+    findings
+        .iter()
+        .any(|f| f.severity == Severity::Error || deny_warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_suppresses_and_bad_pragma_survives() {
+        let files = vec![(
+            "crates/ingest/src/x.rs".to_string(),
+            "// lint:allow(panic-freedom): invariant documented here\n\
+             fn f(v: &[u32]) -> u32 { v.first().copied().unwrap() }\n\
+             // lint:allow(panic-freedom)\n\
+             fn g() {}\n"
+                .to_string(),
+        )];
+        let out = run_files(&files, None);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].lint, "bad-pragma");
+    }
+
+    #[test]
+    fn fatality_policy() {
+        let warn = vec![Finding {
+            lint: "timing-discipline",
+            severity: Severity::Warn,
+            rel: "x".into(),
+            line: 1,
+            message: String::new(),
+            also_allow_at: Vec::new(),
+        }];
+        assert!(!is_fatal(&warn, false));
+        assert!(is_fatal(&warn, true));
+        assert!(!is_fatal(&[], true));
+    }
+}

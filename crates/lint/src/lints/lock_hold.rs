@@ -1,0 +1,160 @@
+//! `lock-channel-hold`: a heuristic ordering check for the pipeline's
+//! concurrency layers.
+//!
+//! The obs registry and the ingest aggregator both hand out
+//! `Mutex`/`RwLock` guards; blocking on a channel or doing file/socket
+//! I/O while one is live is how the pipeline deadlocks (a worker
+//! blocked in `send` while holding the lock its peer needs to drain).
+//!
+//! Heuristic, line-oriented scope tracking over the masked view:
+//!
+//! * a **guard** is born at `let g = ….lock()` / `….read()` /
+//!   `….write()` (no-argument forms — the `RwLock` API; `io::Read`
+//!   and `io::Write` methods all take arguments);
+//! * it dies when the surrounding brace depth drops below the depth at
+//!   the binding, or at an explicit `drop(g)`;
+//! * while at least one guard is live, any blocking operation
+//!   (`.send(`, `.recv()`, `.recv_timeout(`, `.accept()`,
+//!   `.write_all(`, `.flush()`, `.read_line(`, `.read_exact(`,
+//!   `.read_to_end(`, `File::open`, `File::create`) is flagged.
+//!
+//! A pragma on the **acquisition line** blesses the whole guard scope —
+//! the idiom for locks whose very purpose is serializing a writer
+//! (the obs journal's sink lock).
+
+use super::{code_lines, is_hot_path, Finding, Severity};
+use crate::source::SourceFile;
+
+const NAME: &str = "lock-channel-hold";
+
+const ACQUIRE: &[&str] = &[".lock()", ".read()", ".write()"];
+
+const BLOCKING: &[(&str, &str)] = &[
+    (".send(", "channel send"),
+    (".recv()", "channel recv"),
+    (".recv_timeout(", "channel recv"),
+    (".accept()", "socket accept"),
+    (".write_all(", "write I/O"),
+    (".flush()", "flush I/O"),
+    (".read_line(", "read I/O"),
+    (".read_exact(", "read I/O"),
+    (".read_to_end(", "read I/O"),
+    ("File::open", "file open"),
+    ("File::create", "file create"),
+];
+
+struct Guard {
+    ident: String,
+    line: u32,
+    depth: i32,
+}
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if !is_hot_path(file) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    for (n, line) in code_lines(file) {
+        let opens = line.bytes().filter(|&b| b == b'{').count() as i32;
+        let closes = line.bytes().filter(|&b| b == b'}').count() as i32;
+        let depth_after = depth + opens - closes;
+
+        // Retire guards whose scope closed (or that are dropped here).
+        guards.retain(|g| depth_after >= g.depth && !line.contains(&format!("drop({})", g.ident)));
+
+        // Blocking ops while any guard is live. The acquisition line
+        // itself is exempt (`.lock()` chained into a single statement
+        // releases the temporary at the semicolon).
+        let acquired_here = ACQUIRE.iter().any(|p| line.contains(p));
+        if !guards.is_empty() && !acquired_here {
+            for (pat, what) in BLOCKING {
+                if line.contains(pat) {
+                    let g = &guards[guards.len() - 1];
+                    let mut f = Finding::new(
+                        NAME,
+                        Severity::Warn,
+                        file,
+                        n,
+                        format!(
+                            "blocking {what} while guard `{}` (acquired line {}) is held; \
+                             drop the guard first or bless the acquisition with a pragma",
+                            g.ident, g.line
+                        ),
+                    );
+                    f.also_allow_at = guards.iter().map(|g| g.line).collect();
+                    out.push(f);
+                }
+            }
+        }
+
+        // New guard: a `let` binding whose initializer acquires.
+        if acquired_here {
+            if let Some(ident) = let_ident(line) {
+                guards.push(Guard {
+                    ident,
+                    line: n,
+                    depth: depth_after,
+                });
+            }
+        }
+        depth = depth_after;
+    }
+    out
+}
+
+/// The bound identifier of a `let` statement on `line`, if any.
+fn let_ident(line: &str) -> Option<String> {
+    let after = line.split("let ").nth(1)?;
+    let after = after
+        .trim_start()
+        .strip_prefix("mut ")
+        .unwrap_or(after.trim_start());
+    let ident: String = after
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot(src: &str) -> Vec<Finding> {
+        check(&SourceFile::new("crates/obs/src/x.rs", src))
+    }
+
+    #[test]
+    fn flags_send_under_live_guard() {
+        let f = hot("fn f() {\n    let g = state.lock().unwrap();\n    tx.send(g.item).ok();\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("`g`"));
+        assert_eq!(f[0].also_allow_at, vec![2]);
+    }
+
+    #[test]
+    fn guard_scope_end_and_drop_release() {
+        let scoped = hot(
+            "fn f() {\n    {\n        let g = state.lock().unwrap();\n    }\n    tx.send(1).ok();\n}\n",
+        );
+        assert!(scoped.is_empty(), "{scoped:?}");
+        let dropped = hot(
+            "fn f() {\n    let g = state.lock().unwrap();\n    drop(g);\n    tx.send(1).ok();\n}\n",
+        );
+        assert!(dropped.is_empty(), "{dropped:?}");
+    }
+
+    #[test]
+    fn single_statement_chains_and_try_send_are_fine() {
+        let f = hot("fn f() {\n    state.lock().unwrap().push(1);\n    tx.try_send(1).ok();\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,260 @@
+//! `obs-metric-hygiene`: the metric namespace is a contract.
+//!
+//! Every metric family the workspace registers (`registry.counter(…)`,
+//! `.gauge(…)`, `.histogram(…)`) must
+//!
+//! 1. pass its family name as a **string literal** — hygiene cannot
+//!    verify a name that only exists at runtime;
+//! 2. be registered at **exactly one** library call site — one place
+//!    owns the name, the help text and the label schema (shared series
+//!    are cloned from the owning handle, or the duplicate site carries
+//!    a reasoned pragma);
+//! 3. appear in the **Observability table of DESIGN.md** — and every
+//!    family the table documents must exist in code. The docs and the
+//!    scrape can never drift apart silently.
+//!
+//! Scope: library code outside test regions. Binaries, benches,
+//! examples and tests consume metrics, they do not define them.
+
+use super::{Finding, Severity};
+use crate::source::{Role, SourceFile};
+use std::collections::BTreeMap;
+
+const NAME: &str = "obs-metric-hygiene";
+
+const REGISTRATION: &[&str] = &[".counter(", ".gauge(", ".histogram("];
+
+/// One registration call site.
+#[derive(Debug)]
+struct Site {
+    rel: String,
+    line: u32,
+}
+
+/// Runs the workspace-level hygiene check. `design` is the
+/// workspace-relative path and content of DESIGN.md, when present.
+pub fn check(files: &[SourceFile], design: Option<(&str, &str)>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut sites: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+
+    for file in files {
+        if file.role != Role::Lib {
+            continue;
+        }
+        for pat in REGISTRATION {
+            for off in super::find_all(&file.lexed.masked, pat) {
+                let line = file.line_of_offset(off);
+                if file.is_test_line(line) {
+                    continue;
+                }
+                let open = off + pat.len();
+                match first_arg_literal(file, open) {
+                    Some(name) => sites.entry(name).or_default().push(Site {
+                        rel: file.rel.clone(),
+                        line,
+                    }),
+                    None => out.push(Finding::new(
+                        NAME,
+                        Severity::Error,
+                        file,
+                        line,
+                        "metric family registered through a non-literal name; hygiene \
+                         cannot check it — pass the family name as a string literal"
+                            .to_string(),
+                    )),
+                }
+            }
+        }
+    }
+
+    let documented: BTreeMap<String, u32> = match design {
+        Some((_, text)) => design_families(text),
+        None => BTreeMap::new(),
+    };
+
+    for (name, family_sites) in &sites {
+        if !documented.contains_key(name) {
+            let s = &family_sites[0];
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Error,
+                rel: s.rel.clone(),
+                line: s.line,
+                message: format!(
+                    "metric family `{name}` is not documented in DESIGN.md's \
+                     Observability table"
+                ),
+                also_allow_at: Vec::new(),
+            });
+        }
+        for dup in &family_sites[1..] {
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Error,
+                rel: dup.rel.clone(),
+                line: dup.line,
+                message: format!(
+                    "metric family `{name}` is already registered at {}:{}; one site \
+                     owns a family (clone the handle, or add a reasoned pragma)",
+                    family_sites[0].rel, family_sites[0].line
+                ),
+                also_allow_at: Vec::new(),
+            });
+        }
+    }
+
+    if let Some((design_rel, _)) = design {
+        for (name, line) in &documented {
+            if !sites.contains_key(name) {
+                out.push(Finding {
+                    lint: NAME,
+                    severity: Severity::Error,
+                    rel: design_rel.to_string(),
+                    line: *line,
+                    message: format!(
+                        "documented metric family `{name}` is never registered in \
+                         workspace library code"
+                    ),
+                    also_allow_at: Vec::new(),
+                });
+            }
+        }
+    } else if !sites.is_empty() {
+        if let Some(s) = sites.values().next().and_then(|v| v.first()) {
+            out.push(Finding {
+                lint: NAME,
+                severity: Severity::Error,
+                rel: s.rel.clone(),
+                line: s.line,
+                message: "workspace registers metric families but has no DESIGN.md \
+                          Observability table documenting them"
+                    .to_string(),
+                also_allow_at: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// If the first argument of the call whose `(` content starts at
+/// masked offset `open` is a string literal, returns its content.
+fn first_arg_literal(file: &SourceFile, open: usize) -> Option<String> {
+    let bytes = file.lexed.masked.as_bytes();
+    let mut i = open;
+    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    file.lexed
+        .strings
+        .iter()
+        .find(|s| s.offset == i)
+        .map(|s| s.content.clone())
+}
+
+/// Family names (and their 1-based lines) from DESIGN.md's
+/// Observability table: rows of the first markdown table under a
+/// heading containing "Observability", first cell, backticks stripped,
+/// any `{labels}` suffix removed.
+fn design_families(text: &str) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    let mut in_section = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("## ") {
+            in_section = line.contains("Observability");
+            continue;
+        }
+        if !in_section || !line.starts_with('|') {
+            continue;
+        }
+        let cell = line
+            .trim_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("")
+            .trim();
+        let cell = cell.trim_matches('`');
+        let name = cell.split('{').next().unwrap_or("").trim();
+        if name.is_empty()
+            || name == "family"
+            || name.bytes().all(|b| b == b'-' || b == b':')
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        {
+            continue;
+        }
+        out.entry(name.to_string()).or_insert(i as u32 + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESIGN: &str = "\
+# Design
+
+## Observability
+
+| family | type | stage |
+|--------|------|-------|
+| `app_lines_total` | counter | router |
+| `app_span_seconds{span}` | histogram | spans |
+| `app_ghost_total` | counter | nowhere |
+";
+
+    fn files(src: &str) -> Vec<SourceFile> {
+        vec![SourceFile::new("crates/obs/src/m.rs", src)]
+    }
+
+    #[test]
+    fn clean_when_registered_once_and_documented() {
+        let fs = files(
+            "fn f(r: &Registry) {\n    r.counter(\"app_lines_total\", \"h\", &[]);\n    \
+             r.histogram(\n        \"app_span_seconds\",\n        \"h\",\n        &[],\n    );\n}\n",
+        );
+        let out = check(&fs, Some(("DESIGN.md", DESIGN)));
+        // Only the ghost family (documented, never registered) fires.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("app_ghost_total"));
+        assert_eq!(out[0].rel, "DESIGN.md");
+    }
+
+    #[test]
+    fn flags_undocumented_duplicate_and_non_literal() {
+        let fs = files(
+            "fn f(r: &Registry, name: &str) {\n    r.counter(\"app_rogue_total\", \"h\", &[]);\n    \
+             r.counter(\"app_lines_total\", \"h\", &[]);\n    \
+             r.counter(\"app_lines_total\", \"h\", &[]);\n    r.counter(name, \"h\", &[]);\n}\n",
+        );
+        let out = check(&fs, Some(("DESIGN.md", DESIGN)));
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("app_rogue_total")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("already registered")),
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("non-literal")), "{msgs:?}");
+    }
+
+    #[test]
+    fn test_regions_and_non_lib_roles_are_ignored() {
+        let mut fs = files(
+            "#[cfg(test)]\nmod tests {\n fn f(r: &R) { r.counter(\"x_total\", \"\", &[]); }\n}\n",
+        );
+        fs.push(SourceFile::new(
+            "crates/bench/src/bin/b.rs",
+            "fn main() { global().counter(\"y_total\", \"\", &[]); }\n",
+        ));
+        let out = check(&fs, Some(("DESIGN.md", "## Observability\n")));
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,60 @@
+//! `bad-pragma`: the suppression mechanism polices itself.
+//!
+//! A `lint:allow` that names an unknown lint, or carries no reason, is
+//! an error — otherwise the baseline silently rots into a pile of
+//! unexplained exemptions.
+
+use super::{known_lint, Finding, Severity};
+use crate::source::SourceFile;
+
+const NAME: &str = "bad-pragma";
+
+/// Validates every pragma in `file`.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for p in &file.pragmas {
+        if !known_lint(&p.lint) {
+            out.push(Finding::new(
+                NAME,
+                Severity::Error,
+                file,
+                p.line,
+                format!(
+                    "pragma names unknown lint `{}`; run `logparse-lint --list` for \
+                     the catalog",
+                    p.lint
+                ),
+            ));
+        } else if p.reason.trim().is_empty() {
+            out.push(Finding::new(
+                NAME,
+                Severity::Error,
+                file,
+                p.line,
+                format!(
+                    "pragma for `{}` has no reason; write \
+                     `lint:allow({}): <why this site is sound>`",
+                    p.lint, p.lint
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_lint_and_missing_reason_are_errors() {
+        let f = check(&SourceFile::new(
+            "crates/core/src/x.rs",
+            "// lint:allow(no-such-lint): whatever\n// lint:allow(panic-freedom)\n\
+             // lint:allow(panic-freedom): a real reason\n",
+        ));
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("unknown lint"));
+        assert!(f[1].message.contains("no reason"));
+    }
+}

@@ -1,0 +1,135 @@
+//! `unsafe-allowlist`: the workspace has exactly one sanctioned unsafe
+//! surface — the `signal(2)` FFI in `crates/ingest/src/signal.rs`.
+//!
+//! Two checks:
+//!
+//! 1. the token `unsafe` anywhere outside the allowlist is an error
+//!    (tests included: test code is still unsafe code);
+//! 2. every crate root must carry `#![forbid(unsafe_code)]`. The
+//!    `ingest` root is the one sanctioned exception: `forbid` cannot be
+//!    overridden locally, so it carries `#![deny(unsafe_code)]` and
+//!    `signal.rs` opts out with an explicit `#[allow(unsafe_code)]`.
+
+use super::{find_all, Finding, Severity};
+use crate::source::SourceFile;
+
+const NAME: &str = "unsafe-allowlist";
+
+/// Files in which the `unsafe` token is sanctioned.
+const UNSAFE_OK: &[&str] = &["crates/ingest/src/signal.rs"];
+
+/// Crate roots allowed to downgrade `forbid` to `deny`, with why.
+const DENY_OK: &[&str] = &["crates/ingest/src/lib.rs"];
+
+/// Runs the token check over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !UNSAFE_OK.contains(&file.rel.as_str()) {
+        for n in 1..=file.line_count() as u32 {
+            let line = file.masked_line(n);
+            for off in find_all(line, "unsafe") {
+                let bytes = line.as_bytes();
+                let before_ok = off == 0 || !is_ident(bytes[off - 1]);
+                let after = off + "unsafe".len();
+                let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
+                if before_ok && after_ok {
+                    out.push(Finding::new(
+                        NAME,
+                        Severity::Error,
+                        file,
+                        n,
+                        format!(
+                            "`unsafe` outside the allowlist ({}); move the FFI there or \
+                             extend the allowlist deliberately",
+                            UNSAFE_OK.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the crate-root attribute check. `file` must be a crate root
+/// (`src/lib.rs` or the sole `src/main.rs` of a binary crate).
+pub fn check_crate_root(file: &SourceFile) -> Vec<Finding> {
+    let has =
+        |needle: &str| (1..=file.line_count() as u32).any(|n| file.masked_line(n).contains(needle));
+    let forbid = has("#![forbid(unsafe_code)]");
+    let deny = has("#![deny(unsafe_code)]");
+    if forbid || (deny && DENY_OK.contains(&file.rel.as_str())) {
+        return Vec::new();
+    }
+    let wanted = if DENY_OK.contains(&file.rel.as_str()) {
+        "#![deny(unsafe_code)]"
+    } else {
+        "#![forbid(unsafe_code)]"
+    };
+    vec![Finding::new(
+        NAME,
+        Severity::Error,
+        file,
+        1,
+        format!("crate root is missing `{wanted}`"),
+    )]
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unsafe_outside_allowlist_even_in_tests() {
+        let f = check(&SourceFile::new(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n fn f() { unsafe { std::hint::unreachable_unchecked() } }\n}\n",
+        ));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn allowlisted_file_and_string_mentions_are_fine() {
+        assert!(check(&SourceFile::new(
+            "crates/ingest/src/signal.rs",
+            "fn f() { unsafe { ffi() } }\n",
+        ))
+        .is_empty());
+        assert!(check(&SourceFile::new(
+            "crates/core/src/x.rs",
+            "const DOC: &str = \"unsafe\"; // unsafe in comments is fine\nfn unsafer() {}\n",
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn crate_roots_need_forbid() {
+        let missing = check_crate_root(&SourceFile::new("crates/rand/src/lib.rs", "fn f() {}\n"));
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].message.contains("forbid"));
+        let ok = check_crate_root(&SourceFile::new(
+            "crates/rand/src/lib.rs",
+            "#![forbid(unsafe_code)]\n",
+        ));
+        assert!(ok.is_empty());
+        // ingest may deny instead of forbid; others may not.
+        assert!(check_crate_root(&SourceFile::new(
+            "crates/ingest/src/lib.rs",
+            "#![deny(unsafe_code)]\n",
+        ))
+        .is_empty());
+        assert_eq!(
+            check_crate_root(&SourceFile::new(
+                "crates/core/src/lib.rs",
+                "#![deny(unsafe_code)]\n",
+            ))
+            .len(),
+            1
+        );
+    }
+}

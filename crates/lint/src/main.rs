@@ -1,0 +1,108 @@
+//! Command line for the workspace linter.
+//!
+//! ```text
+//! logparse-lint --workspace [--root PATH] [--json] [--deny warnings] [PATH…]
+//! logparse-lint --list
+//! ```
+//!
+//! Positional paths filter the *reported* findings to files whose
+//! workspace-relative path starts with one of them; analysis always
+//! covers the whole workspace so cross-file lints stay sound.
+
+#![forbid(unsafe_code)]
+
+use logparse_lint::lints::CATALOG;
+use logparse_lint::{is_fatal, report, run_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny_warnings: bool,
+    list: bool,
+    only: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        deny_warnings: false,
+        list: false,
+        only: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => {
+                args.root =
+                    PathBuf::from(it.next().ok_or_else(|| "--root needs a path".to_string())?);
+            }
+            "--json" => args.json = true,
+            "--deny" => {
+                let what = it
+                    .next()
+                    .ok_or_else(|| "--deny needs a level".to_string())?;
+                if what != "warnings" {
+                    return Err(format!("unknown --deny level `{what}`"));
+                }
+                args.deny_warnings = true;
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            p if !p.starts_with('-') => args.only.push(p.replace('\\', "/")),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: logparse-lint [--workspace] [--root PATH] [--json] \
+                     [--deny warnings] [--list] [PATH…]";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for (name, severity, what) in CATALOG {
+            println!("{name:<20} {:<8} {what}", severity.label());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut findings = match run_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "lint: cannot walk workspace at {}: {e}",
+                args.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if !args.only.is_empty() {
+        findings.retain(|f| args.only.iter().any(|p| f.rel.starts_with(p.as_str())));
+    }
+    if args.json {
+        print!("{}", report::json(&findings));
+    } else {
+        print!("{}", report::human(&findings, args.deny_warnings));
+    }
+    if !findings.is_empty() && is_fatal(&findings, args.deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

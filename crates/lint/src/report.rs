@@ -1,0 +1,100 @@
+//! Finding output: rustc-style human text and a JSON array.
+
+use crate::lints::{Finding, Severity};
+use std::fmt::Write;
+
+/// Renders findings rustc-style, one block per finding, plus a summary
+/// line. `deny_warnings` relabels warnings as denied.
+pub fn human(findings: &[Finding], deny_warnings: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let label = match (f.severity, deny_warnings) {
+            (Severity::Warn, true) => "error[denied warning]",
+            (Severity::Warn, false) => "warning",
+            (Severity::Error, _) => "error",
+        };
+        let _ = writeln!(out, "{label}[{}]: {}", f.lint, f.message);
+        let _ = writeln!(out, "  --> {}:{}", f.rel, f.line);
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error || deny_warnings)
+        .count();
+    let warnings = findings.len() - errors;
+    let _ = writeln!(
+        out,
+        "lint: {} finding(s): {errors} error(s), {warnings} warning(s)",
+        findings.len()
+    );
+    out
+}
+
+/// Renders findings as a JSON array (hand-rolled; the crate is
+/// dependency-free by design).
+pub fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"lint\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            escape(f.lint),
+            escape(f.severity.label()),
+            escape(&f.rel),
+            f.line,
+            escape(&f.message)
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            lint: "panic-freedom",
+            severity: Severity::Warn,
+            rel: "crates/x/src/a.rs".into(),
+            line: 3,
+            message: "a \"quoted\" message".into(),
+            also_allow_at: Vec::new(),
+        }]
+    }
+
+    #[test]
+    fn human_labels_denied_warnings() {
+        assert!(human(&sample(), false).starts_with("warning[panic-freedom]"));
+        assert!(human(&sample(), true).starts_with("error[denied warning][panic-freedom]"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let j = json(&sample());
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+        assert!(j.starts_with('[') && j.trim_end().ends_with(']'));
+    }
+}

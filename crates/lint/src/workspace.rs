@@ -1,0 +1,108 @@
+//! Workspace file discovery.
+//!
+//! The walker mirrors the repository's fixed layout rather than parsing
+//! `Cargo.toml`: `src/`, `tests/`, `examples/` at the root plus every
+//! directory under `crates/`. `target/` output and the linter's own
+//! violation fixtures (`crates/lint/tests/fixtures/`) are excluded.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories under the workspace root that may contain Rust sources.
+const TOP_DIRS: &[&str] = &["src", "tests", "examples", "crates"];
+
+/// Path segments that end a walk.
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Collects every workspace `.rs` file as `(relative_path, content)`,
+/// sorted by path.
+pub fn collect(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    for top in TOP_DIRS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((rel, fs::read_to_string(&path)?));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Identifies crate-root files among collected relative paths: the
+/// workspace root's `src/lib.rs`, and for each `crates/<name>`, its
+/// `src/lib.rs` — or `src/main.rs` for binary-only crates.
+pub fn crate_roots(rels: &[String]) -> Vec<String> {
+    let mut roots = Vec::new();
+    if rels.iter().any(|r| r == "src/lib.rs") {
+        roots.push("src/lib.rs".to_string());
+    }
+    let mut names: Vec<&str> = rels
+        .iter()
+        .filter_map(|r| r.strip_prefix("crates/"))
+        .filter_map(|r| r.split('/').next())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let lib = format!("crates/{name}/src/lib.rs");
+        let main = format!("crates/{name}/src/main.rs");
+        if rels.contains(&lib) {
+            roots.push(lib);
+        } else if rels.contains(&main) {
+            roots.push(main);
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_roots_prefer_lib_over_main() {
+        let rels: Vec<String> = [
+            "src/lib.rs",
+            "crates/a/src/lib.rs",
+            "crates/a/src/other.rs",
+            "crates/b/src/main.rs",
+            "crates/c/tests/t.rs",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let roots = crate_roots(&rels);
+        assert_eq!(
+            roots,
+            vec!["src/lib.rs", "crates/a/src/lib.rs", "crates/b/src/main.rs"]
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Fixture-driven demonstrations: every lint in the catalog fires on
+//! its seeded violation and stays silent on the compliant twin.
+//!
+//! Fixture sources live under `tests/fixtures/` — a directory the
+//! workspace walker skips, so the seeded violations never reach the
+//! real `--workspace` run these same lints keep clean. Each fixture is
+//! linted here under a synthetic workspace-relative path, because the
+//! path decides scope (hot-path crates, the unsafe allowlist, roles).
+
+use logparse_lint::lints::{Finding, Severity};
+use logparse_lint::run_files;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints one fixture as if it lived at `rel` inside the workspace.
+fn lint_as(rel: &str, fixture_name: &str) -> Vec<Finding> {
+    run_files(&[(rel.to_string(), fixture(fixture_name))], None)
+}
+
+fn lint_names(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn panic_freedom_fires_in_hot_path_and_not_elsewhere() {
+    let hot = lint_as(
+        "crates/parsers/src/fixture.rs",
+        "panic_freedom/violation.rs",
+    );
+    assert_eq!(
+        lint_names(&hot),
+        vec!["panic-freedom", "panic-freedom"],
+        "{hot:?}"
+    );
+    assert_eq!(hot[0].severity, Severity::Error, "unwrap is an error");
+    assert_eq!(
+        hot[1].severity,
+        Severity::Warn,
+        "literal index is a warning"
+    );
+
+    let cold = lint_as("crates/eval/src/fixture.rs", "panic_freedom/violation.rs");
+    assert!(cold.is_empty(), "eval is not hot-path: {cold:?}");
+    let clean = lint_as("crates/parsers/src/fixture.rs", "panic_freedom/clean.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn panic_freedom_is_exempt_inside_test_regions() {
+    let body = fixture("panic_freedom/violation.rs");
+    let wrapped = format!("#[cfg(test)]\nmod tests {{\n{body}\n}}\n");
+    let out = run_files(
+        &[("crates/parsers/src/fixture.rs".to_string(), wrapped)],
+        None,
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn unsafe_allowlist_fires_outside_the_sanctioned_file() {
+    let out = lint_as(
+        "crates/core/src/fixture.rs",
+        "unsafe_allowlist/violation.rs",
+    );
+    assert_eq!(lint_names(&out), vec!["unsafe-allowlist"], "{out:?}");
+    assert_eq!(out[0].severity, Severity::Error);
+
+    let sanctioned = lint_as(
+        "crates/ingest/src/signal.rs",
+        "unsafe_allowlist/violation.rs",
+    );
+    assert!(sanctioned.is_empty(), "{sanctioned:?}");
+}
+
+#[test]
+fn crate_roots_must_forbid_unsafe_code() {
+    let missing = lint_as(
+        "crates/demo/src/lib.rs",
+        "unsafe_allowlist/root_violation.rs",
+    );
+    assert_eq!(
+        lint_names(&missing),
+        vec!["unsafe-allowlist"],
+        "{missing:?}"
+    );
+    assert!(missing[0].message.contains("forbid"), "{missing:?}");
+
+    let ok = lint_as("crates/demo/src/lib.rs", "unsafe_allowlist/root_clean.rs");
+    assert!(ok.is_empty(), "{ok:?}");
+    // The same file is not a crate root elsewhere, so nothing fires.
+    let not_root = lint_as(
+        "crates/demo/src/extra.rs",
+        "unsafe_allowlist/root_violation.rs",
+    );
+    assert!(not_root.is_empty(), "{not_root:?}");
+}
+
+#[test]
+fn lock_hold_fires_on_send_under_guard_and_respects_scope_and_pragma() {
+    let out = lint_as("crates/ingest/src/fixture.rs", "lock_hold/violation.rs");
+    assert_eq!(lint_names(&out), vec!["lock-channel-hold"], "{out:?}");
+    assert!(out[0].message.contains("channel send"), "{out:?}");
+    assert!(
+        !out[0].also_allow_at.is_empty(),
+        "carries its acquisition anchor"
+    );
+
+    let scoped = lint_as("crates/ingest/src/fixture.rs", "lock_hold/clean.rs");
+    assert!(
+        scoped.is_empty(),
+        "guard scope closed before send: {scoped:?}"
+    );
+    let blessed = lint_as("crates/ingest/src/fixture.rs", "lock_hold/blessed.rs");
+    assert!(
+        blessed.is_empty(),
+        "acquisition-line pragma blesses the scope: {blessed:?}"
+    );
+}
+
+#[test]
+fn metric_hygiene_cross_checks_code_against_design() {
+    let design = fixture("metric_hygiene/design.md");
+    let files = vec![(
+        "crates/obs/src/fixture.rs".to_string(),
+        fixture("metric_hygiene/violation.rs"),
+    )];
+    let out = run_files(&files, Some(("DESIGN.md", &design)));
+    let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+    assert_eq!(out.len(), 4, "{msgs:?}");
+    assert!(
+        out.iter().all(|f| f.lint == "obs-metric-hygiene"),
+        "{out:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("fixture_rogue_total")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("already registered")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("non-literal")), "{msgs:?}");
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("fixture_ghost_total") && m.contains("never registered")),
+        "{msgs:?}"
+    );
+
+    let clean = vec![(
+        "crates/obs/src/fixture.rs".to_string(),
+        fixture("metric_hygiene/clean.rs"),
+    )];
+    let out = run_files(&clean, Some(("DESIGN.md", &design)));
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn timing_discipline_fires_in_lib_code_only() {
+    let out = lint_as("crates/eval/src/fixture.rs", "timing/violation.rs");
+    assert_eq!(lint_names(&out), vec!["timing-discipline"], "{out:?}");
+    assert_eq!(out[0].severity, Severity::Warn);
+
+    for exempt_rel in [
+        "crates/bench/src/bin/fixture.rs", // binaries may time freely
+        "crates/obs/src/fixture.rs",       // the instrumentation substrate itself
+        "crates/eval/benches/fixture.rs",  // benches
+    ] {
+        let out = lint_as(exempt_rel, "timing/violation.rs");
+        assert!(out.is_empty(), "{exempt_rel}: {out:?}");
+    }
+    let clean = lint_as("crates/eval/src/fixture.rs", "timing/clean.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn bad_pragmas_are_reported_and_never_suppressible() {
+    let out = lint_as("crates/eval/src/fixture.rs", "pragmas/violation.rs");
+    assert_eq!(
+        lint_names(&out),
+        vec!["bad-pragma", "bad-pragma"],
+        "{out:?}"
+    );
+    assert!(out.iter().all(|f| f.severity == Severity::Error));
+
+    let clean = lint_as("crates/eval/src/fixture.rs", "pragmas/clean.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+}

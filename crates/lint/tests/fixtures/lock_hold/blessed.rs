@@ -1,0 +1,13 @@
+// The violation from `violation.rs`, blessed by a pragma on the
+// acquisition line — the sanctioned idiom for locks whose purpose is
+// serializing the consumer.
+
+use std::sync::{mpsc::Sender, Mutex};
+
+pub fn drain(state: &Mutex<Vec<String>>, tx: &Sender<String>) {
+    // lint:allow(lock-channel-hold): single-consumer fixture — nothing that wants this lock can be on the other end of the channel
+    let guard = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for line in guard.iter() {
+        let _ = tx.send(line.clone());
+    }
+}

@@ -1,0 +1,14 @@
+// Compliant twin of `violation.rs`: the guard's scope closes before
+// anything can block on the channel.
+
+use std::sync::{mpsc::Sender, Mutex};
+
+pub fn drain(state: &Mutex<Vec<String>>, tx: &Sender<String>) {
+    let lines: Vec<String> = {
+        let guard = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.clone()
+    };
+    for line in lines {
+        let _ = tx.send(line);
+    }
+}

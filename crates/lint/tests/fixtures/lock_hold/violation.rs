@@ -1,0 +1,11 @@
+// Seeded lock-channel-hold violation: a channel send while a mutex
+// guard from an enclosing scope is still live.
+
+use std::sync::{mpsc::Sender, Mutex};
+
+pub fn drain(state: &Mutex<Vec<String>>, tx: &Sender<String>) {
+    let guard = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for line in guard.iter() {
+        let _ = tx.send(line.clone());
+    }
+}

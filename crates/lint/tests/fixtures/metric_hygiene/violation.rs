@@ -1,0 +1,11 @@
+// Seeded obs-metric-hygiene violations, one per sub-check: an
+// undocumented family, a duplicate registration, and a non-literal
+// family name. The paired `design.md` also documents a ghost family
+// that no code registers.
+
+pub fn register(r: &Registry, dynamic: &str) {
+    r.counter("fixture_rogue_total", "not in the design table", &[]);
+    r.counter("fixture_lines_total", "documented and owned here", &[]);
+    r.counter("fixture_lines_total", "second owner — duplicate", &[]);
+    r.counter(dynamic, "name only exists at runtime", &[]);
+}

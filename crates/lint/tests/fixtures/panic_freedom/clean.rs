@@ -1,0 +1,7 @@
+// Compliant twin of `violation.rs`: fallible access stays an Option,
+// and no literal index can go out of bounds.
+
+pub fn head_plus_first(v: &[u32]) -> Option<u32> {
+    let head = v.first().copied()?;
+    Some(head + v.iter().sum::<u32>())
+}

@@ -1,0 +1,7 @@
+// Seeded panic-freedom violations: an `unwrap()` (error) and a literal
+// slice index (warning), both reachable from hot-path library code.
+
+pub fn head_plus_first(v: &[u32]) -> u32 {
+    let head = v.first().copied().unwrap();
+    head + v[0]
+}

@@ -1,0 +1,4 @@
+// Compliant twin of `violation.rs`: a known lint and a recorded reason.
+
+// lint:allow(timing-discipline): demonstration pragma with a reason
+pub fn a() {}

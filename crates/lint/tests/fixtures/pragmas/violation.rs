@@ -1,0 +1,8 @@
+// Seeded bad-pragma violations: an unknown lint name and a missing
+// reason. Neither can be suppressed — the mechanism polices itself.
+
+// lint:allow(made-up-lint): this lint does not exist
+pub fn a() {}
+
+// lint:allow(timing-discipline)
+pub fn b() {}

@@ -1,0 +1,8 @@
+// Compliant twin of `violation.rs`: timing flows through the obs span
+// layer, so the measurement lands in a histogram.
+
+pub fn measure<F: FnOnce()>(work: F) -> f64 {
+    let span = logparse_obs::global().span("fixture_work", &[]);
+    work();
+    span.finish().as_secs_f64()
+}

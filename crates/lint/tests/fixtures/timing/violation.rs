@@ -1,0 +1,10 @@
+// Seeded timing-discipline violation: an ad-hoc Instant pair in
+// library code — measured, but recorded nowhere.
+
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(work: F) -> f64 {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,5 @@
+//! A compliant crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,4 @@
+//! A crate root without `#![forbid(unsafe_code)]` — the allowlist
+//! check requires every root to carry it.
+
+pub fn noop() {}

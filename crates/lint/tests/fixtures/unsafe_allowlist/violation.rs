@@ -1,0 +1,6 @@
+// Seeded unsafe-allowlist violation: an `unsafe` block in a file that
+// is not the sanctioned FFI surface.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

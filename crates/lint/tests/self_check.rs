@@ -1,0 +1,18 @@
+//! The committed tree is the linter's largest fixture: the whole
+//! workspace must stay clean under the strictest policy the check gate
+//! applies (`--deny warnings`), so `cargo test` alone catches a
+//! regression even when `scripts/check.sh` is skipped.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = logparse_lint::run_workspace(&root).expect("walk workspace");
+    assert!(
+        !logparse_lint::is_fatal(&findings, true),
+        "workspace must stay lint-clean \
+         (reproduce with `cargo run -p logparse-lint -- --workspace --deny warnings`):\n{}",
+        logparse_lint::report::human(&findings, true),
+    );
+}

@@ -134,7 +134,12 @@ impl Registry {
     }
 
     fn family(&self, name: &str, kind: MetricKind, help: &str) -> Option<Arc<Family>> {
-        let mut shard = self.shard(name).lock().expect("registry shard lock");
+        // Poison recovery throughout the registry: instrumentation must
+        // never turn another thread's panic into its own.
+        let mut shard = self
+            .shard(name)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let family = shard
             .entry(name.to_string())
             .or_insert_with(|| {
@@ -162,7 +167,10 @@ impl Registry {
     ) -> Option<Series> {
         let family = self.family(name, kind, help)?;
         let key = normalize(labels);
-        let mut series = family.series.lock().expect("family series lock");
+        let mut series = family
+            .series
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(existing) = series.get(&key) {
             return Some(existing.clone());
         }
@@ -247,7 +255,10 @@ impl Registry {
     pub fn render(&self) -> String {
         let mut families: BTreeMap<String, Arc<Family>> = BTreeMap::new();
         for shard in &self.shards {
-            for (name, family) in shard.lock().expect("registry shard lock").iter() {
+            let shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (name, family) in shard.iter() {
                 families.insert(name.clone(), Arc::clone(family));
             }
         }
@@ -272,7 +283,10 @@ fn render_family(out: &mut String, name: &str, family: &Family) {
     use std::fmt::Write;
     let _ = writeln!(out, "# HELP {name} {}", family.help);
     let _ = writeln!(out, "# TYPE {name} {}", family.kind.prometheus_name());
-    let series = family.series.lock().expect("family series lock");
+    let series = family
+        .series
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut rows: Vec<(&LabelSet, &Series)> = series.iter().collect();
     rows.sort_by_key(|(labels, _)| (*labels).clone());
     for (labels, series) in rows {

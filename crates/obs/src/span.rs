@@ -52,7 +52,10 @@ impl TraceRing {
     }
 
     pub(crate) fn push(&self, event: TraceEvent) {
-        let mut buf = self.buf.lock().expect("trace ring lock");
+        let mut buf = self
+            .buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if buf.len() == self.capacity {
             buf.pop_front();
         }
@@ -60,7 +63,10 @@ impl TraceRing {
     }
 
     pub(crate) fn recent(&self, limit: usize) -> Vec<TraceEvent> {
-        let buf = self.buf.lock().expect("trace ring lock");
+        let buf = self
+            .buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let skip = buf.len().saturating_sub(limit);
         buf.iter().skip(skip).cloned().collect()
     }

@@ -127,7 +127,7 @@ impl LogParser for Ael {
             bins.entry(key).or_default().push(idx);
         }
         let mut groups: Vec<Vec<usize>> = bins.into_values().collect();
-        groups.sort_by_key(|g| g[0]);
+        groups.sort_by_key(|g| g.first().copied());
         let mut builder = ParseBuilder::new(corpus.len());
         for group in groups {
             builder.add_cluster(corpus, &group);

@@ -299,7 +299,7 @@ impl DrainTree {
         let best = leaf
             .iter()
             .map(|&id| (similarity(&self.groups[id].template, tokens), id))
-            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("similarity is finite"));
+            .max_by(|a, b| a.0.total_cmp(&b.0));
         match best {
             Some((score, id)) if score >= self.config.similarity => {
                 let group = &mut self.groups[id];

@@ -199,7 +199,7 @@ impl LogParser for Iplom {
                 }
             }
         }
-        leaves.sort_by_key(|p| p[0]);
+        leaves.sort_by_key(|p| p.first().copied());
         for leaf in leaves {
             builder.add_cluster(corpus, &leaf);
         }
@@ -217,7 +217,7 @@ fn partition_by_event_size(corpus: &Corpus) -> Vec<Partition> {
         }
     }
     let mut partitions: Vec<Partition> = by_len.into_values().collect();
-    partitions.sort_by_key(|p| p[0]);
+    partitions.sort_by_key(|p| p.first().copied());
     partitions
 }
 
@@ -232,7 +232,10 @@ fn cardinality(corpus: &Corpus, partition: &[usize], position: usize) -> usize {
 
 /// Fraction of token positions with exactly one unique value.
 fn goodness(corpus: &Corpus, partition: &[usize]) -> f64 {
-    let len = corpus.tokens(partition[0]).len();
+    let Some(&first) = partition.first() else {
+        return 1.0;
+    };
+    let len = corpus.tokens(first).len();
     if len == 0 {
         return 1.0;
     }
@@ -257,14 +260,19 @@ impl Iplom {
         partition: Partition,
         min_partition: usize,
     ) -> Vec<Partition> {
-        let len = corpus.tokens(partition[0]).len();
+        let Some(&first) = partition.first() else {
+            return vec![partition];
+        };
+        let len = corpus.tokens(first).len();
         if partition.len() <= 1 || len == 0 {
             return vec![partition];
         }
-        let (split_pos, min_card) = (0..len)
+        let Some((split_pos, min_card)) = (0..len)
             .map(|p| (p, cardinality(corpus, &partition, p)))
             .min_by_key(|&(p, card)| (card, p))
-            .expect("len > 0");
+        else {
+            return vec![partition];
+        };
         if min_card <= 1 {
             return vec![partition];
         }
@@ -279,7 +287,7 @@ impl Iplom {
             .into_values()
             .filter(|g| g.len() >= min_partition.max(1))
             .collect();
-        out.sort_by_key(|p| p[0]);
+        out.sort_by_key(|p| p.first().copied());
         out
     }
 
@@ -290,7 +298,10 @@ impl Iplom {
         partition: Partition,
         min_partition: usize,
     ) -> Vec<Partition> {
-        let len = corpus.tokens(partition[0]).len();
+        let Some(&first) = partition.first() else {
+            return vec![partition];
+        };
+        let len = corpus.tokens(first).len();
         if partition.len() <= 1 || len < 2 {
             return vec![partition];
         }
@@ -352,7 +363,7 @@ impl Iplom {
             .into_values()
             .filter(|g| g.len() >= min_partition.max(1))
             .collect();
-        out.sort_by_key(|p| p[0]);
+        out.sort_by_key(|p| p.first().copied());
         out
     }
 
@@ -433,8 +444,7 @@ fn determine_p1_p2(corpus: &Corpus, partition: &[usize], len: usize) -> Option<(
     let best_card = *freq
         .iter()
         .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-        .map(|(card, _)| card)
-        .expect("non-empty");
+        .map(|(card, _)| card)?;
     let mut chosen = variable.iter().filter(|&&p| cards[p] == best_card);
     let p1 = *chosen.next()?;
     let p2 = chosen.next().copied().or_else(|| {

@@ -128,7 +128,7 @@ impl LogParser for LenMa {
                     let score = 0.5 * cosine(&c.lengths, &lengths) + 0.5 * exact;
                     (score, c)
                 })
-                .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+                .max_by(|a, b| a.0.total_cmp(&b.0));
             match best {
                 Some((score, cluster)) if score >= self.threshold => {
                     // Running mean of the length vectors.
@@ -147,7 +147,7 @@ impl LogParser for LenMa {
         }
 
         let mut clusters: Vec<Cluster> = buckets.into_values().flatten().collect();
-        clusters.sort_by_key(|c| c.members[0]);
+        clusters.sort_by_key(|c| c.members.first().copied());
         let mut builder = ParseBuilder::new(corpus.len());
         for cluster in clusters {
             builder.add_cluster(corpus, &cluster.members);

@@ -193,6 +193,7 @@ fn weighted_edit_distance(a: &[String], b: &[String], midpoint: f64) -> f64 {
         .collect();
     let mut curr = vec![0.0f64; m + 1];
     for i in 1..=n {
+        // lint:allow(panic-freedom): both dp rows are allocated with fixed length m + 1 >= 1 just above, so index 0 is always in bounds
         curr[0] = prev[0] + positional_weight(i - 1, midpoint);
         for j in 1..=m {
             let w = positional_weight(usize::max(i, j) - 1, midpoint);
@@ -325,14 +326,14 @@ impl LogParser for Lke {
             clusters.entry(uf.find(i)).or_default().push(i);
         }
         let mut clusters: Vec<Vec<usize>> = clusters.into_values().collect();
-        clusters.sort_by_key(|c| c[0]);
+        clusters.sort_by_key(|c| c.first().copied());
 
         // Step 2: recursive heuristic splitting.
         let mut leaves = Vec::new();
         for cluster in clusters {
             self.split_cluster(corpus, cluster, &mut leaves);
         }
-        leaves.sort_by_key(|c| c[0]);
+        leaves.sort_by_key(|c| c.first().copied());
         for leaf in leaves {
             builder.add_cluster(corpus, &leaf);
         }
@@ -381,7 +382,7 @@ impl Lke {
                         .push(i);
                 }
                 let mut groups: Vec<Vec<usize>> = groups.into_values().collect();
-                groups.sort_by_key(|g| g[0]);
+                groups.sort_by_key(|g| g.first().copied());
                 for group in groups {
                     self.split_cluster(corpus, group, out);
                 }

@@ -168,7 +168,7 @@ impl LogParser for LogMine {
         for cluster in &mut clusters {
             cluster.members.sort_unstable();
         }
-        clusters.sort_by_key(|c| c.members[0]);
+        clusters.sort_by_key(|c| c.members.first().copied());
         let mut builder = ParseBuilder::new(corpus.len());
         for cluster in clusters {
             builder.add_cluster(corpus, &cluster.members);

@@ -214,8 +214,16 @@ impl PairIndex {
 
     fn remove(&mut self, c: usize, pairs: &[PairKey]) {
         for &p in pairs {
-            let clusters = self.clusters_of.get_mut(&p).expect("pair present");
-            let n = clusters.get_mut(&(c as u32)).expect("cluster present");
+            // Every pair was registered by a prior add(); a missing entry
+            // means the bookkeeping is already wrong, and skipping keeps
+            // the potential-energy estimate approximate instead of
+            // panicking mid-search.
+            let Some(clusters) = self.clusters_of.get_mut(&p) else {
+                continue;
+            };
+            let Some(n) = clusters.get_mut(&(c as u32)) else {
+                continue;
+            };
             self.sum_sq[c] -= f64::from(2 * *n - 1);
             *n -= 1;
             if *n == 0 {
@@ -352,7 +360,7 @@ impl LogParser for LogSig {
         for m in &mut merged {
             m.sort_unstable();
         }
-        merged.sort_by_key(|m| m[0]);
+        merged.sort_by_key(|m| m.first().copied());
 
         let mut builder = ParseBuilder::new(n);
         for m in merged {
@@ -386,7 +394,7 @@ fn cluster_signature(corpus: &Corpus, members: &[usize], threshold: f64) -> Vec<
         .filter(|&(_, (count, _))| count >= needed)
         .map(|(t, (count, pos_sum))| (t, pos_sum / count as f64))
         .collect();
-    selected.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(b.0)));
+    selected.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(b.0)));
     selected.into_iter().map(|(t, _)| t.to_owned()).collect()
 }
 

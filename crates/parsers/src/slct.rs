@@ -167,7 +167,7 @@ impl LogParser for Slct {
             .into_values()
             .filter(|members| members.len() >= support)
             .collect();
-        clusters.sort_by_key(|members| members[0]);
+        clusters.sort_by_key(|members| members.first().copied());
         for members in clusters {
             builder.add_cluster(corpus, &members);
         }

@@ -289,7 +289,9 @@ impl LogParser for Spell {
             if m.is_empty() {
                 continue;
             }
-            let skeleton = state.group_skeleton(id).expect("dense ids");
+            let Some(skeleton) = state.group_skeleton(id) else {
+                continue;
+            };
             let template = skeleton_template(skeleton, m, corpus);
             let event = builder.add_template(template);
             builder.assign_cluster(m, event);

@@ -82,6 +82,7 @@ impl StreamingDrain {
     /// conditions as [`logparse_core::ParseError`].
     pub fn new(config: Drain) -> Self {
         StreamingDrain {
+            // lint:allow(panic-freedom): documented constructor contract — invalid configuration panics here, the streaming twin of the batch API's ParseError
             tree: DrainTree::new_untracked(config).expect("valid Drain configuration"),
         }
     }
@@ -155,6 +156,7 @@ impl StreamingSpell {
     /// Panics if `tau` lies outside `[0, 1]`.
     pub fn new(config: Spell) -> Self {
         StreamingSpell {
+            // lint:allow(panic-freedom): documented constructor contract — invalid configuration panics here, the streaming twin of the batch API's ParseError
             state: SpellState::new_untracked(config).expect("valid Spell configuration"),
         }
     }

@@ -12,6 +12,7 @@
 //! per-test seed (FNV-1a of the test name), so failures reproduce
 //! across runs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod strategy;

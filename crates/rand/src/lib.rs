@@ -12,6 +12,7 @@
 //! datasets differ in content (not in shape) from runs against
 //! upstream `rand`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Low-level source of random 64-bit words.

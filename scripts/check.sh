@@ -2,9 +2,13 @@
 # The local gate: everything CI would hold a change to.
 #   scripts/check.sh           full run
 #   scripts/check.sh --quick   reduced property-test cases (PROPTEST_CASES=8)
+#   scripts/check.sh --deep    full run + Miri / ThreadSanitizer passes
+#                              (needs a nightly toolchain; skipped with a
+#                              notice when none is installed)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+DEEP=0
 if [[ "${1:-}" == "--quick" ]]; then
   # The vendored proptest shim caps every suite's case count at this
   # value (it never raises a configured count), so the property tests —
@@ -12,6 +16,8 @@ if [[ "${1:-}" == "--quick" ]]; then
   # just on fewer corpora.
   export PROPTEST_CASES=8
   echo "=== quick mode: PROPTEST_CASES=$PROPTEST_CASES ==="
+elif [[ "${1:-}" == "--deep" ]]; then
+  DEEP=1
 fi
 
 echo "=== cargo fmt --check ==="
@@ -20,10 +26,43 @@ cargo fmt --all --check
 echo "=== cargo clippy (warnings denied) ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== logparse-lint (project invariants, warnings denied) ==="
+cargo run -q -p logparse-lint -- --workspace --deny warnings
+
 echo "=== cargo test ==="
 cargo test --workspace -q
 
 echo "=== differential suite (sequential vs parallel) ==="
 cargo test -q --test parallel_equivalence
+
+if [[ "$DEEP" == "1" ]]; then
+  # Deep passes use dynamic analysis where the lint layer above is only
+  # heuristic: Miri checks the merge/parallel core for UB and leaks,
+  # TSan races the obs concurrency suite. Both need nightly; a box
+  # without one still gets the full static gate above.
+  if rustup toolchain list 2>/dev/null | grep -q nightly; then
+    if rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'miri.*(installed)'; then
+      echo "=== miri (logparse-core merge/parallel tests) ==="
+      cargo +nightly miri test -p logparse-core merge parallel
+    else
+      echo "=== miri: nightly present but miri component not installed; skipping ==="
+      echo "    (install with: rustup component add miri --toolchain nightly)"
+    fi
+    if rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'rust-src.*(installed)'; then
+      echo "=== thread sanitizer (logparse-obs concurrency suite) ==="
+      RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -p logparse-obs -q \
+        --target "$(rustc -vV | sed -n 's/^host: //p')" -Z build-std
+    else
+      echo "=== tsan: nightly present but rust-src not installed; skipping ==="
+      echo "    (install with: rustup component add rust-src --toolchain nightly)"
+    fi
+  else
+    echo "=== deep checks skipped: no nightly toolchain installed ==="
+    echo "    (install with: rustup toolchain install nightly)"
+  fi
+fi
 
 echo "all checks passed"
