@@ -1,8 +1,10 @@
 //! Throughput of the shared tokenizer substrate, in raw lines and with
-//! the optional trimming/delimiter features enabled.
+//! the optional trimming/delimiter features enabled — plus the three
+//! output flavours (owned strings, borrowed slices, interned symbols)
+//! head to head, the measurement behind the corpus-construction path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use logparse_core::Tokenizer;
+use logparse_core::{Interner, Tokenizer};
 use logparse_datasets::{bgl, hdfs};
 
 fn tokenizer(c: &mut Criterion) {
@@ -33,5 +35,37 @@ fn tokenizer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, tokenizer);
+/// `tokenize` (one `String` per token) vs `tokenize_refs` (borrowed,
+/// the streaming-worker path) vs `tokenize_interned` (symbols into a
+/// shared table, the corpus-construction path). Interning allocates
+/// only on first sight of a token, so on log data — tiny vocabulary,
+/// massive repetition — it should land near the zero-copy flavour.
+fn tokenize_intern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tokenize_intern");
+    let lines: Vec<String> = {
+        let d = hdfs::generate(5_000, 9);
+        (0..d.len())
+            .map(|i| d.corpus.record(i).content.clone())
+            .collect()
+    };
+    group.throughput(Throughput::Elements(5_000));
+    let t = Tokenizer::default();
+    group.bench_with_input(BenchmarkId::new("owned", "hdfs"), &lines, |b, ls| {
+        b.iter(|| ls.iter().map(|l| t.tokenize(l).len()).sum::<usize>())
+    });
+    group.bench_with_input(BenchmarkId::new("refs", "hdfs"), &lines, |b, ls| {
+        b.iter(|| ls.iter().map(|l| t.tokenize_refs(l).len()).sum::<usize>())
+    });
+    group.bench_with_input(BenchmarkId::new("interned", "hdfs"), &lines, |b, ls| {
+        b.iter(|| {
+            let mut interner = Interner::new();
+            ls.iter()
+                .map(|l| t.tokenize_interned(l, &mut interner).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tokenizer, tokenize_intern);
 criterion_main!(benches);

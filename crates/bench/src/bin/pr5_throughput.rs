@@ -1,0 +1,72 @@
+//! Single-thread parser throughput on the generated HDFS-style corpus.
+//!
+//! Emits one JSON object per parser on stdout — the measurement behind
+//! `BENCH_PR5.json` (before/after evidence for the token-interning
+//! refactor). Deterministic corpora (seeded generator); best-of-three
+//! wall time per parser so a stray scheduler hiccup cannot masquerade
+//! as a regression.
+//!
+//! ```text
+//! cargo run --release -p logparse-bench --bin pr5_throughput [--quick]
+//! ```
+
+use std::time::Instant;
+
+use logparse_bench::quick_mode;
+use logparse_core::{Corpus, LogParser};
+use logparse_datasets::hdfs;
+use logparse_parsers::{Ael, Drain, Iplom, LenMa, Lke, LogMine, LogSig, Slct, Spell};
+
+/// Parsers with the corpus size each one gets: the quadratic methods
+/// (LKE, LogMine, LenMa vs. group count) run on a smaller slice so the
+/// whole suite finishes in minutes while the hash-bound parsers see
+/// enough lines for stable rates.
+fn suite(quick: bool) -> Vec<(Box<dyn LogParser>, usize)> {
+    let scale = if quick { 10 } else { 1 };
+    vec![
+        (
+            Box::new(Slct::builder().support_count(2).build()) as Box<dyn LogParser>,
+            60_000 / scale,
+        ),
+        (Box::new(Iplom::default()), 60_000 / scale),
+        (
+            Box::new(LogSig::builder().clusters(12).seed(1).build()),
+            20_000 / scale,
+        ),
+        (Box::new(Drain::default()), 60_000 / scale),
+        (Box::new(Spell::default()), 30_000 / scale),
+        (Box::new(Ael::default()), 60_000 / scale),
+        (Box::new(LenMa::default()), 30_000 / scale),
+        (Box::new(LogMine::default()), 20_000 / scale),
+        (Box::new(Lke::default()), 2_000 / scale),
+    ]
+}
+
+fn main() {
+    let quick = quick_mode();
+    let corpus_full = hdfs::generate(60_000 / if quick { 10 } else { 1 }, 9).corpus;
+    println!("[");
+    let suite = suite(quick);
+    let last = suite.len() - 1;
+    for (i, (parser, lines)) in suite.into_iter().enumerate() {
+        let corpus: Corpus = corpus_full.take(lines);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let started = Instant::now();
+            let parse = parser.parse(&corpus).expect("bench corpus parses");
+            let elapsed = started.elapsed().as_secs_f64();
+            assert_eq!(parse.len(), corpus.len());
+            best = best.min(elapsed);
+        }
+        let rate = corpus.len() as f64 / best;
+        println!(
+            "  {{\"parser\": \"{}\", \"lines\": {}, \"seconds\": {:.4}, \"lines_per_sec\": {:.0}}}{}",
+            parser.name(),
+            corpus.len(),
+            best,
+            rate,
+            if i == last { "" } else { "," }
+        );
+    }
+    println!("]");
+}

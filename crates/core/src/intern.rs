@@ -1,0 +1,235 @@
+//! Token interning: dense symbols, the string table behind them, and
+//! the flat per-corpus token arena.
+//!
+//! Every parser in the toolkit spends its inner loops comparing and
+//! hashing tokens. Interning maps each distinct token string to a dense
+//! [`Symbol`] (`u32`) once, at corpus construction, so those loops
+//! become integer compares and dense-array indexing instead of repeated
+//! byte-string hashing — and token storage collapses from one heap
+//! allocation per token (`Vec<Vec<String>>`) into one flat symbol
+//! buffer plus a per-record offset table ([`TokenArena`], CSR layout).
+//!
+//! Symbols are **interner-local**: a `Symbol` is meaningless without
+//! the [`Interner`] that produced it, and symbols from different
+//! interners must never be compared. The corpus shares its interner
+//! behind an `Arc`, so slices handed to parallel chunk workers reuse
+//! the parent's table; anything that crosses an interner boundary (the
+//! template merge, checkpoint snapshots) is resolved to strings first.
+//! DESIGN.md ("Token representation") documents the protocol.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dense id for an interned token string.
+///
+/// Equality of symbols from the *same* [`Interner`] is equivalent to
+/// equality of the strings they resolve to; ordering is insertion
+/// order, not lexicographic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw dense id (0-based, contiguous per interner).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a symbol from a raw id. The caller is responsible
+    /// for the id having come from the interner it will be used with.
+    pub fn from_id(id: u32) -> Symbol {
+        Symbol(id)
+    }
+}
+
+/// A token string table: `&str -> Symbol` on the way in, dense
+/// `Symbol -> &str` on the way out.
+///
+/// Strings are stored once as `Arc<str>`, so cloning an interner (the
+/// batch parsers clone the corpus table to extend it privately) is a
+/// refcount bump per entry, not a byte copy.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<Arc<str>>,
+    lookup: HashMap<Arc<str>, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `token`, returning its symbol; existing tokens resolve
+    /// without allocating.
+    pub fn intern(&mut self, token: &str) -> Symbol {
+        if let Some(&id) = self.lookup.get(token) {
+            return Symbol(id);
+        }
+        // Ids stay strictly below u32::MAX so consumers can use the
+        // all-ones pattern as a sentinel (SLCT's length marker, AEL's
+        // `$v` slot).
+        let id = u32::try_from(self.strings.len())
+            .ok()
+            .filter(|&id| id < u32::MAX)
+            .unwrap_or_else(|| panic!("interner overflow: too many distinct tokens"));
+        let shared: Arc<str> = Arc::from(token);
+        self.strings.push(Arc::clone(&shared));
+        self.lookup.insert(shared, id);
+        Symbol(id)
+    }
+
+    /// The symbol of an already-interned token, or `None` when `token`
+    /// never occurred. Lets read-only consumers (the oracle's template
+    /// literals, AEL's `$v` sentinel) probe without mutating.
+    pub fn get(&self, token: &str) -> Option<Symbol> {
+        self.lookup.get(token).map(|&id| Symbol(id))
+    }
+
+    /// The string behind `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` did not come from this interner (or a clone
+    /// ancestor of it).
+    pub fn resolve(&self, symbol: Symbol) -> &str {
+        &self.strings[symbol.0 as usize]
+    }
+
+    /// Number of distinct tokens interned so far. Symbol ids are always
+    /// `0..len()`, which is what lets consumers build dense per-symbol
+    /// side tables (digit flags, byte lengths, counts).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Resolves a whole symbol row to string slices.
+    pub fn resolve_row<'a>(&'a self, row: &[Symbol]) -> Vec<&'a str> {
+        row.iter().map(|&s| self.resolve(s)).collect()
+    }
+}
+
+impl PartialEq for Interner {
+    fn eq(&self, other: &Self) -> bool {
+        self.strings == other.strings
+    }
+}
+
+impl Eq for Interner {}
+
+/// Flat CSR-style storage for the token rows of a corpus: one
+/// `Vec<Symbol>` holding every token of every record back-to-back,
+/// plus an offset per record.
+///
+/// `row(i)` is two index loads and a slice — no pointer chasing through
+/// per-record vectors — and copying rows between arenas (corpus
+/// slicing) is a `memcpy` of `u32`s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TokenArena {
+    symbols: Vec<Symbol>,
+    /// `offsets.len() == rows + 1`; row `i` is `symbols[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<usize>,
+}
+
+impl TokenArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        TokenArena {
+            symbols: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Appends one record's token row.
+    pub fn push_row<I: IntoIterator<Item = Symbol>>(&mut self, row: I) {
+        self.symbols.extend(row);
+        self.offsets.push(self.symbols.len());
+    }
+
+    /// The symbol row of record `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.rows()`.
+    pub fn row(&self, index: usize) -> &[Symbol] {
+        &self.symbols[self.offsets[index]..self.offsets[index + 1]]
+    }
+
+    /// Number of rows (records).
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of tokens across all rows.
+    pub fn token_count(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Iterates over the rows in record order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[Symbol]> {
+        (0..self.rows()).map(|i| self.row(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_eq!(i.intern("alpha"), a);
+        assert_ne!(a, b);
+        assert_eq!((a.id(), b.id()), (0, 1));
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.get("beta"), Some(b));
+        assert_eq!(i.get("gamma"), None);
+    }
+
+    #[test]
+    fn clones_share_ids_and_diverge_independently() {
+        let mut base = Interner::new();
+        let a = base.intern("a");
+        let mut fork = base.clone();
+        let b = fork.intern("b");
+        assert_eq!(fork.resolve(a), "a");
+        assert_eq!(fork.resolve(b), "b");
+        assert_eq!(base.len(), 1, "cloning must not mutate the original");
+        assert_eq!(base, base.clone());
+        assert_ne!(base, fork);
+    }
+
+    #[test]
+    fn arena_rows_are_contiguous_and_aligned() {
+        let mut i = Interner::new();
+        let mut arena = TokenArena::new();
+        arena.push_row(["x", "y"].map(|t| i.intern(t)));
+        arena.push_row([]);
+        arena.push_row(["y"].map(|t| i.intern(t)));
+        assert_eq!(arena.rows(), 3);
+        assert_eq!(arena.token_count(), 3);
+        assert_eq!(i.resolve_row(arena.row(0)), ["x", "y"]);
+        assert!(arena.row(1).is_empty());
+        assert_eq!(arena.row(2), &[i.intern("y")]);
+        assert_eq!(arena.iter().count(), 3);
+    }
+
+    #[test]
+    fn symbol_equality_tracks_string_equality_within_one_interner() {
+        let mut i = Interner::new();
+        let tokens = ["blk", "42", "blk", "src:", "42"];
+        let syms: Vec<Symbol> = tokens.iter().map(|t| i.intern(t)).collect();
+        for (ta, &sa) in tokens.iter().zip(&syms) {
+            for (tb, &sb) in tokens.iter().zip(&syms) {
+                assert_eq!(ta == tb, sa == sb);
+            }
+        }
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod intern;
 mod io;
 mod merge;
 pub mod parallel;
@@ -44,6 +45,7 @@ mod template;
 mod tokenizer;
 
 pub use error::ParseError;
+pub use intern::{Interner, Symbol, TokenArena};
 pub use io::{read_lines, write_events_file, write_structured_file};
 pub use merge::TemplateMerge;
 pub use parallel::{ParallelDriver, ParallelReport};

@@ -221,6 +221,7 @@ fn parse_chunks<P: LogParser + ?Sized>(
             let chunk_counter = registry.counter(
                 "parallel_chunks_parsed_total",
                 "Chunks parsed by each parallel worker thread",
+                // lint:allow(hot-path-string-alloc): one label per spawned worker, not per chunk or line
                 &[("worker", &worker.to_string())],
             );
             scope.spawn(move || loop {
@@ -322,12 +323,13 @@ mod tests {
             let mut builder = ParseBuilder::new(corpus.len());
             let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
             for i in 0..corpus.len() {
-                let Some(head) = corpus.tokens(i).first() else {
+                let tokens = corpus.tokens(i);
+                let Some(&head) = tokens.first() else {
                     continue; // empty message stays an outlier
                 };
                 match groups.iter_mut().find(|(h, _)| h == head) {
                     Some((_, members)) => members.push(i),
-                    None => groups.push((head.clone(), vec![i])),
+                    None => groups.push((head.to_owned(), vec![i])),
                 }
             }
             for (_, members) in groups {

@@ -177,9 +177,14 @@ impl ParseBuilder {
     }
 
     /// Registers the positionwise template of `indices` drawn from
-    /// `corpus` and assigns all of them to it in one step.
+    /// `corpus` and assigns all of them to it in one step. Agreement is
+    /// computed over interned symbols; literals are resolved to strings
+    /// only when the template is materialized.
     pub fn add_cluster(&mut self, corpus: &Corpus, indices: &[usize]) -> EventId {
-        let template = Template::from_cluster(indices.iter().map(|&i| corpus.tokens(i)));
+        let template = Template::from_symbol_cluster(
+            corpus.interner(),
+            indices.iter().map(|&i| corpus.symbols(i)),
+        );
         let event = self.add_template(template);
         self.assign_cluster(indices, event);
         event

@@ -1,3 +1,8 @@
+use std::sync::Arc;
+
+use logparse_obs::{Buckets, Histogram, Registry};
+
+use crate::intern::{Interner, Symbol, TokenArena};
 use crate::Tokenizer;
 
 /// A single raw log message.
@@ -40,11 +45,21 @@ impl LogRecord {
     }
 }
 
-/// An in-memory log corpus: raw records plus their tokenizations.
+/// An in-memory log corpus: raw records plus their interned tokenizations.
 ///
-/// A `Corpus` is what parsers consume. Tokenization happens once at
-/// construction so that the (potentially many) parser runs of an
-/// evaluation sweep share the work.
+/// A `Corpus` is what parsers consume. Tokenization *and interning*
+/// happen once at construction: every distinct token string is mapped to
+/// a dense [`Symbol`] and the rows live in one flat [`TokenArena`], so
+/// the (potentially many) parser runs of an evaluation sweep share both
+/// the split work and the integer token representation. Parsers read
+/// [`symbols`](Corpus::symbols) on their hot paths and resolve through
+/// [`interner`](Corpus::interner) only when rendering output;
+/// [`tokens`](Corpus::tokens) remains as the resolved string view.
+///
+/// The interner is shared behind an `Arc`: [`slice`](Corpus::slice),
+/// [`select`](Corpus::select) and [`take`](Corpus::take) copy symbol
+/// rows (plain `u32` memcpy) and reuse the parent's table, which is how
+/// parallel chunk workers avoid cloning token strings.
 ///
 /// # Example
 ///
@@ -54,17 +69,45 @@ impl LogRecord {
 /// let corpus = Corpus::from_lines(["a b c", "a b d"], &Tokenizer::default());
 /// assert_eq!(corpus.len(), 2);
 /// assert_eq!(corpus.tokens(1), &["a", "b", "d"]);
+/// // "a" and "b" are shared symbols; "c" and "d" differ.
+/// assert_eq!(corpus.symbols(0)[..2], corpus.symbols(1)[..2]);
+/// assert_ne!(corpus.symbols(0)[2], corpus.symbols(1)[2]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Corpus {
     records: Vec<LogRecord>,
-    tokenized: Vec<Vec<String>>,
+    arena: TokenArena,
+    interner: Arc<Interner>,
+}
+
+/// Resolves the intern-time and arena-size histogram handles for corpus
+/// construction (resolved per build; construction is rare relative to
+/// parsing, which never touches the registry).
+fn intern_histograms(registry: &Registry) -> (Histogram, Histogram) {
+    (
+        registry.histogram(
+            "core_intern_seconds",
+            "Time to tokenize and intern a corpus at construction",
+            &Buckets::durations(),
+            &[],
+        ),
+        registry.histogram(
+            "core_intern_arena_tokens",
+            "Total interned tokens per constructed corpus arena",
+            &Buckets::log_linear(1.0, 8, 3),
+            &[],
+        ),
+    )
 }
 
 impl Corpus {
     /// Creates an empty corpus.
     pub fn new() -> Self {
-        Self::default()
+        Corpus {
+            records: Vec::new(),
+            arena: TokenArena::new(),
+            interner: Arc::new(Interner::new()),
+        }
     }
 
     /// Builds a corpus from raw content lines, tokenizing each with
@@ -74,13 +117,24 @@ impl Corpus {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut corpus = Corpus::new();
+        let registry = logparse_obs::global();
+        let (time_hist, size_hist) = intern_histograms(registry);
+        let span = registry.span_into(time_hist, "core_intern_build", &[]);
+        let mut records = Vec::new();
+        let mut interner = Interner::new();
+        let mut arena = TokenArena::new();
         for (idx, line) in lines.into_iter().enumerate() {
             let content = line.as_ref();
-            corpus.tokenized.push(tokenizer.tokenize(content));
-            corpus.records.push(LogRecord::new(idx + 1, content));
+            arena.push_row(tokenizer.tokenize_interned(content, &mut interner));
+            records.push(LogRecord::new(idx + 1, content));
         }
-        corpus
+        span.finish();
+        size_hist.observe(arena.token_count() as f64);
+        Corpus {
+            records,
+            arena,
+            interner: Arc::new(interner),
+        }
     }
 
     /// Builds a corpus from pre-constructed records.
@@ -88,12 +142,22 @@ impl Corpus {
     where
         I: IntoIterator<Item = LogRecord>,
     {
+        let registry = logparse_obs::global();
+        let (time_hist, size_hist) = intern_histograms(registry);
+        let span = registry.span_into(time_hist, "core_intern_build", &[]);
         let records: Vec<LogRecord> = records.into_iter().collect();
-        let tokenized = records
-            .iter()
-            .map(|r| tokenizer.tokenize(&r.content))
-            .collect();
-        Corpus { records, tokenized }
+        let mut interner = Interner::new();
+        let mut arena = TokenArena::new();
+        for record in &records {
+            arena.push_row(tokenizer.tokenize_interned(&record.content, &mut interner));
+        }
+        span.finish();
+        size_hist.observe(arena.token_count() as f64);
+        Corpus {
+            records,
+            arena,
+            interner: Arc::new(interner),
+        }
     }
 
     /// Number of messages in the corpus.
@@ -115,18 +179,42 @@ impl Corpus {
         &self.records[index]
     }
 
-    /// The token sequence of the message at `index`.
+    /// The token sequence of the message at `index`, resolved to string
+    /// slices. This is the compatibility view; hot paths should use
+    /// [`symbols`](Corpus::symbols) instead and resolve lazily.
     ///
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
-    pub fn tokens(&self, index: usize) -> &[String] {
-        &self.tokenized[index]
+    pub fn tokens(&self, index: usize) -> Vec<&str> {
+        self.interner.resolve_row(self.arena.row(index))
     }
 
-    /// All token sequences, aligned with record order.
-    pub fn token_sequences(&self) -> &[Vec<String>] {
-        &self.tokenized
+    /// The interned token row of the message at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn symbols(&self, index: usize) -> &[Symbol] {
+        self.arena.row(index)
+    }
+
+    /// The corpus's token table. Symbols from [`symbols`](Corpus::symbols)
+    /// resolve here; parsers that need a private extendable table clone
+    /// it (cheap: refcount bumps).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The shared handle to the token table, for consumers that want to
+    /// keep it alive independently of the corpus.
+    pub fn shared_interner(&self) -> Arc<Interner> {
+        Arc::clone(&self.interner)
+    }
+
+    /// The flat token arena (all rows, CSR layout).
+    pub fn arena(&self) -> &TokenArena {
+        &self.arena
     }
 
     /// Iterates over the raw records.
@@ -136,39 +224,74 @@ impl Corpus {
 
     /// Returns a new corpus containing only the messages at `indices`
     /// (in the given order). Useful for the paper's 2 000-message samples.
+    /// The token table is shared, symbol rows are copied.
     ///
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
     pub fn select(&self, indices: &[usize]) -> Corpus {
         let records = indices.iter().map(|&i| self.records[i].clone()).collect();
-        let tokenized = indices.iter().map(|&i| self.tokenized[i].clone()).collect();
-        Corpus { records, tokenized }
+        let mut arena = TokenArena::new();
+        for &i in indices {
+            arena.push_row(self.arena.row(i).iter().copied());
+        }
+        Corpus {
+            records,
+            arena,
+            interner: Arc::clone(&self.interner),
+        }
     }
 
     /// Returns a new corpus holding the contiguous `range` of messages.
-    /// Used by the parallel driver to hand each worker its chunk.
+    /// Used by the parallel driver to hand each worker its chunk; the
+    /// token table is shared (no string cloning), symbol rows are copied.
     ///
     /// # Panics
     ///
     /// Panics if the range extends past `self.len()`.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Corpus {
+        let mut arena = TokenArena::new();
+        for i in range.clone() {
+            arena.push_row(self.arena.row(i).iter().copied());
+        }
         Corpus {
-            records: self.records[range.clone()].to_vec(),
-            tokenized: self.tokenized[range].to_vec(),
+            records: self.records[range].to_vec(),
+            arena,
+            interner: Arc::clone(&self.interner),
         }
     }
 
     /// Returns a corpus truncated to the first `n` messages (or a clone of
     /// the whole corpus when `n >= len`). Used by the Fig. 2/3 size sweeps.
     pub fn take(&self, n: usize) -> Corpus {
-        let n = n.min(self.len());
-        Corpus {
-            records: self.records[..n].to_vec(),
-            tokenized: self.tokenized[..n].to_vec(),
-        }
+        self.slice(0..n.min(self.len()))
     }
 }
+
+impl PartialEq for Corpus {
+    /// Corpora compare by *content*: equal records and equal token
+    /// text. Symbol ids are representation — a slice shares its parent's
+    /// (larger) interner, so rows are compared resolved unless the two
+    /// corpora share one table.
+    fn eq(&self, other: &Self) -> bool {
+        if self.records != other.records {
+            return false;
+        }
+        if Arc::ptr_eq(&self.interner, &other.interner) {
+            return self.arena == other.arena;
+        }
+        self.arena.rows() == other.arena.rows()
+            && (0..self.arena.rows()).all(|i| {
+                let (a, b) = (self.arena.row(i), other.arena.row(i));
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(&x, &y)| self.interner.resolve(x) == other.interner.resolve(y))
+            })
+    }
+}
+
+impl Eq for Corpus {}
 
 #[cfg(test)]
 mod tests {
@@ -196,6 +319,15 @@ mod tests {
     }
 
     #[test]
+    fn symbols_share_ids_for_repeated_tokens() {
+        let c = corpus();
+        assert_eq!(c.symbols(0)[0], c.symbols(1)[0], "`alpha` interned once");
+        assert_ne!(c.symbols(0)[1], c.symbols(1)[1]);
+        assert_eq!(c.interner().resolve(c.symbols(2)[2]), "zeta");
+        assert_eq!(c.arena().token_count(), 7);
+    }
+
+    #[test]
     fn select_preserves_order_and_duplicates() {
         let c = corpus();
         let s = c.select(&[2, 0, 0]);
@@ -213,6 +345,40 @@ mod tests {
         assert_eq!(s.record(1).content, "delta epsilon zeta");
         assert!(c.slice(0..0).is_empty());
         assert_eq!(c.slice(0..c.len()), c);
+    }
+
+    #[test]
+    fn slices_share_the_token_table() {
+        let c = corpus();
+        let s = c.slice(1..3);
+        assert!(Arc::ptr_eq(&c.shared_interner(), &s.shared_interner()));
+        // Symbols are comparable across parent and slice.
+        assert_eq!(s.symbols(0), c.symbols(1));
+    }
+
+    #[test]
+    fn equality_is_content_equality_across_distinct_interners() {
+        let c = corpus();
+        let rebuilt = Corpus::from_lines(
+            ["alpha beta", "alpha gamma", "delta epsilon zeta"],
+            &Tokenizer::default(),
+        );
+        assert_eq!(c, rebuilt);
+        // A slice's interner is the parent's full table, a fresh build's
+        // is minimal — still equal by content. (Records carry their
+        // original line numbers, so the fresh build replays them.)
+        let s = c.slice(1..3);
+        let fresh = Corpus::from_records(
+            [
+                LogRecord::new(2, "alpha gamma"),
+                LogRecord::new(3, "delta epsilon zeta"),
+            ],
+            &Tokenizer::default(),
+        );
+        assert_eq!(s.interner().len(), 6);
+        assert_eq!(fresh.interner().len(), 5);
+        assert_eq!(s, fresh);
+        assert_ne!(c, fresh);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::intern::{Interner, Symbol};
+
 /// One position of a [`Template`]: either fixed text or a wildcard.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TemplateToken {
@@ -38,7 +40,7 @@ impl TemplateToken {
 /// ];
 /// let t = Template::from_cluster(msgs.iter().map(|m| m.as_slice()));
 /// assert_eq!(t.to_string(), "got * items");
-/// assert!(t.matches(&["got".into(), "0".into(), "items".into()]));
+/// assert!(t.matches(&["got", "0", "items"]));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Template {
@@ -88,22 +90,23 @@ impl Template {
     /// template over the shortest length.
     ///
     /// Returns an empty, open-tailed template for an empty cluster.
-    pub fn from_cluster<'a, I>(cluster: I) -> Self
+    pub fn from_cluster<'a, I, S>(cluster: I) -> Self
     where
-        I: IntoIterator<Item = &'a [String]>,
+        I: IntoIterator<Item = &'a [S]>,
+        S: AsRef<str> + 'a,
     {
         let mut iter = cluster.into_iter();
         let Some(first) = iter.next() else {
             return Template::with_open_tail(Vec::new());
         };
-        let mut agreed: Vec<Option<&str>> = first.iter().map(|t| Some(t.as_str())).collect();
+        let mut agreed: Vec<Option<&str>> = first.iter().map(|t| Some(t.as_ref())).collect();
         let mut min_len = first.len();
         let mut max_len = first.len();
         for msg in iter {
             min_len = min_len.min(msg.len());
             max_len = max_len.max(msg.len());
             for (slot, token) in agreed.iter_mut().zip(msg.iter()) {
-                if *slot != Some(token.as_str()) {
+                if *slot != Some(token.as_ref()) {
                     *slot = None;
                 }
             }
@@ -113,6 +116,49 @@ impl Template {
             .into_iter()
             .map(|slot| match slot {
                 Some(text) => TemplateToken::literal(text),
+                None => TemplateToken::Wildcard,
+            })
+            .collect();
+        if min_len == max_len {
+            Template::new(tokens)
+        } else {
+            Template::with_open_tail(tokens)
+        }
+    }
+
+    /// [`Template::from_cluster`] over interned symbol rows: positionwise
+    /// agreement is computed on `u32` symbols (one integer compare per
+    /// position per message) and resolved to strings only for the
+    /// surviving literal slots — the output-time-resolution half of the
+    /// interning design.
+    ///
+    /// Symbol equality within one interner is string equality, so this
+    /// produces byte-identical templates to the string path.
+    pub fn from_symbol_cluster<'a, I>(interner: &Interner, cluster: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [Symbol]>,
+    {
+        let mut iter = cluster.into_iter();
+        let Some(first) = iter.next() else {
+            return Template::with_open_tail(Vec::new());
+        };
+        let mut agreed: Vec<Option<Symbol>> = first.iter().map(|&s| Some(s)).collect();
+        let mut min_len = first.len();
+        let mut max_len = first.len();
+        for msg in iter {
+            min_len = min_len.min(msg.len());
+            max_len = max_len.max(msg.len());
+            for (slot, &token) in agreed.iter_mut().zip(msg.iter()) {
+                if *slot != Some(token) {
+                    *slot = None;
+                }
+            }
+        }
+        agreed.truncate(min_len);
+        let tokens = agreed
+            .into_iter()
+            .map(|slot| match slot {
+                Some(symbol) => TemplateToken::literal(interner.resolve(symbol)),
                 None => TemplateToken::Wildcard,
             })
             .collect();
@@ -153,7 +199,7 @@ impl Template {
     /// A closed template requires equal length and literal agreement at
     /// every literal position; an open-tailed template allows the message
     /// to be at least as long as the template.
-    pub fn matches(&self, tokens: &[String]) -> bool {
+    pub fn matches<S: AsRef<str>>(&self, tokens: &[S]) -> bool {
         let length_ok = if self.open_tail {
             tokens.len() >= self.tokens.len()
         } else {
@@ -161,7 +207,7 @@ impl Template {
         };
         length_ok
             && self.tokens.iter().zip(tokens).all(|(t, w)| match t {
-                TemplateToken::Literal(text) => text == w,
+                TemplateToken::Literal(text) => text == w.as_ref(),
                 TemplateToken::Wildcard => true,
             })
     }
@@ -191,7 +237,7 @@ impl Template {
     /// let params = t.extract_parameters(&tokens).unwrap();
     /// assert_eq!(params, vec!["blk_1", "67108864", "10.0.0.1"]);
     /// ```
-    pub fn extract_parameters<'m>(&self, tokens: &'m [String]) -> Option<Vec<&'m str>> {
+    pub fn extract_parameters<'m, S: AsRef<str>>(&self, tokens: &'m [S]) -> Option<Vec<&'m str>> {
         if !self.matches(tokens) {
             return None;
         }
@@ -200,10 +246,10 @@ impl Template {
             .iter()
             .zip(tokens)
             .filter(|(t, _)| t.is_wildcard())
-            .map(|(_, w)| w.as_str())
+            .map(|(_, w)| w.as_ref())
             .collect();
         if self.open_tail {
-            params.extend(tokens[self.tokens.len()..].iter().map(String::as_str));
+            params.extend(tokens[self.tokens.len()..].iter().map(S::as_ref));
         }
         Some(params)
     }
@@ -297,9 +343,31 @@ mod tests {
 
     #[test]
     fn from_cluster_empty_matches_everything() {
-        let t = Template::from_cluster(std::iter::empty());
+        let t = Template::from_cluster(std::iter::empty::<&[String]>());
         assert!(t.matches(&toks("anything at all")));
-        assert!(t.matches(&[]));
+        assert!(t.matches::<String>(&[]));
+    }
+
+    #[test]
+    fn symbol_cluster_agrees_with_string_cluster() {
+        let mut interner = Interner::new();
+        let lines = ["got 7 items", "got 9 items", "error at node 3 retrying"];
+        let rows: Vec<Vec<Symbol>> = lines
+            .iter()
+            .map(|l| l.split_whitespace().map(|t| interner.intern(t)).collect())
+            .collect();
+        let strings: Vec<Vec<String>> = lines
+            .iter()
+            .map(|l| l.split_whitespace().map(str::to_owned).collect())
+            .collect();
+        for subset in [vec![0usize, 1], vec![0, 1, 2], vec![2], vec![]] {
+            let by_symbol = Template::from_symbol_cluster(
+                &interner,
+                subset.iter().map(|&i| rows[i].as_slice()),
+            );
+            let by_string = Template::from_cluster(subset.iter().map(|&i| strings[i].as_slice()));
+            assert_eq!(by_symbol, by_string, "subset {subset:?}");
+        }
     }
 
     #[test]

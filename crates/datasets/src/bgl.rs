@@ -74,7 +74,7 @@ mod tests {
     fn generating_core_family_is_present_and_heavy() {
         let data = generate(2000, 1);
         let core_count = (0..data.len())
-            .filter(|&i| data.corpus.tokens(i).first().map(String::as_str) == Some("generating"))
+            .filter(|&i| data.corpus.tokens(i).first().copied() == Some("generating"))
             .count();
         assert!(core_count > 50, "expected a heavy head, got {core_count}");
     }
@@ -101,7 +101,7 @@ mod tests {
     fn labels_are_consistent_with_truth() {
         let data = generate(300, 2);
         for i in 0..data.len() {
-            assert!(data.truth_templates[data.labels[i]].matches(data.corpus.tokens(i)));
+            assert!(data.truth_templates[data.labels[i]].matches(&data.corpus.tokens(i)));
         }
     }
 }

@@ -223,7 +223,7 @@ mod tests {
         for i in 0..data.len() {
             let template = &data.truth_templates[data.labels[i]];
             assert!(
-                template.matches(data.corpus.tokens(i)),
+                template.matches(&data.corpus.tokens(i)),
                 "message {i} does not match its label"
             );
         }

@@ -562,7 +562,7 @@ mod tests {
     fn iid_generation_labels_are_consistent() {
         let data = generate(500, 11);
         for i in 0..data.len() {
-            assert!(data.truth_templates[data.labels[i]].matches(data.corpus.tokens(i)));
+            assert!(data.truth_templates[data.labels[i]].matches(&data.corpus.tokens(i)));
         }
     }
 
@@ -653,7 +653,7 @@ mod tests {
         let s = generate_sessions(50, 0.2, 21);
         for i in 0..s.data.len() {
             assert!(
-                s.data.truth_templates[s.data.labels[i]].matches(s.data.corpus.tokens(i)),
+                s.data.truth_templates[s.data.labels[i]].matches(&s.data.corpus.tokens(i)),
                 "message {i}"
             );
         }

@@ -75,7 +75,7 @@ mod tests {
     fn labels_are_consistent_with_truth() {
         let data = generate(300, 4);
         for i in 0..data.len() {
-            assert!(data.truth_templates[data.labels[i]].matches(data.corpus.tokens(i)));
+            assert!(data.truth_templates[data.labels[i]].matches(&data.corpus.tokens(i)));
         }
     }
 

@@ -29,7 +29,7 @@
 //! let data = hdfs::generate(1000, 42);
 //! assert_eq!(data.len(), 1000);
 //! // Every message is labeled with the template that produced it.
-//! assert!(data.truth_templates[data.labels[0]].matches(data.corpus.tokens(0)));
+//! assert!(data.truth_templates[data.labels[0]].matches(&data.corpus.tokens(0)));
 //! ```
 
 #![forbid(unsafe_code)]

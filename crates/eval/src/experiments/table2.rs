@@ -152,7 +152,7 @@ mod tests {
             pre.corpus
                 .tokens(i)
                 .iter()
-                .any(|t| t == "$BLK" || t == "$IP")
+                .any(|&t| t == "$BLK" || t == "$IP")
         });
         assert!(any_masked);
     }

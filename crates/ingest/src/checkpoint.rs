@@ -449,8 +449,8 @@ mod tests {
     use super::*;
     use logparse_parsers::{StreamingDrain, StreamingParser, StreamingSpell};
 
-    fn toks(s: &str) -> Vec<String> {
-        s.split_whitespace().map(str::to_owned).collect()
+    fn toks(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
     }
 
     fn sample_checkpoint() -> Checkpoint {

@@ -80,7 +80,7 @@ impl ShardParser {
         })
     }
 
-    pub fn observe(&mut self, tokens: &[String]) -> usize {
+    pub fn observe(&mut self, tokens: &[&str]) -> usize {
         match self {
             ShardParser::Drain(p) => p.observe(tokens),
             ShardParser::Spell(p) => p.observe(tokens),
@@ -132,7 +132,9 @@ pub(crate) fn run_worker(
                 let parse_started = Instant::now();
                 let mut entries = Vec::with_capacity(batch.len());
                 for (seq, line) in &batch {
-                    let tokens = tokenizer.tokenize(line);
+                    // Zero-copy: the parser interns what it keeps, so the
+                    // worker never allocates per-token strings.
+                    let tokens = tokenizer.tokenize_refs(line);
                     entries.push((*seq, parser.observe(&tokens)));
                 }
                 metrics

@@ -17,6 +17,7 @@
 //! | `lock-channel-hold` | warning | no blocking send/recv/I-O while a lock guard is live |
 //! | `obs-metric-hygiene` | error | metric families: literal names, one owner site, documented in DESIGN.md |
 //! | `timing-discipline` | warning | `Instant::now()` only inside the obs/criterion substrates |
+//! | `hot-path-string-alloc` | warning | no `to_string`/`String::from`/`format!` in loop bodies of `parsers`/the parallel driver |
 //! | `bad-pragma` | error | suppressions must name a known lint and carry a reason |
 //!
 //! # Suppression
@@ -72,6 +73,7 @@ pub fn run_files(files: &[(String, String)], design: Option<(&str, &str)>) -> Ve
         findings.extend(lints::unsafe_allowlist::check(file));
         findings.extend(lints::lock_hold::check(file));
         findings.extend(lints::timing::check(file));
+        findings.extend(lints::hot_alloc::check(file));
         findings.extend(lints::pragmas::check(file));
         if roots.contains(&file.rel) {
             findings.extend(lints::unsafe_allowlist::check_crate_root(file));

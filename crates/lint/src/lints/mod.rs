@@ -11,6 +11,7 @@
 //!   `#[cfg(test)]` regions is checked unless a lint says otherwise —
 //!   tests, benches, examples and binaries may panic and time freely.
 
+pub mod hot_alloc;
 pub mod lock_hold;
 pub mod metric_hygiene;
 pub mod panic_freedom;
@@ -103,6 +104,11 @@ pub const CATALOG: &[(&str, Severity, &str)] = &[
         "timing-discipline",
         Severity::Warn,
         "Instant::now() only inside the obs/criterion instrumentation layers",
+    ),
+    (
+        "hot-path-string-alloc",
+        Severity::Warn,
+        "no to_string/String::from/format! in loop bodies of parsers or the parallel driver",
     ),
     (
         "bad-pragma",

@@ -179,6 +179,34 @@ fn timing_discipline_fires_in_lib_code_only() {
 }
 
 #[test]
+fn hot_path_string_alloc_fires_in_parser_loops_only() {
+    let hot = lint_as("crates/parsers/src/fixture.rs", "hot_alloc/violation.rs");
+    assert_eq!(lint_names(&hot), vec!["hot-path-string-alloc"], "{hot:?}");
+    assert_eq!(hot[0].severity, Severity::Warn);
+
+    let driver = lint_as("crates/core/src/parallel.rs", "hot_alloc/violation.rs");
+    assert_eq!(
+        lint_names(&driver),
+        vec!["hot-path-string-alloc"],
+        "{driver:?}"
+    );
+
+    for exempt_rel in [
+        "crates/eval/src/fixture.rs",        // not a hot-path scope
+        "crates/core/src/record.rs",         // core outside the driver
+        "crates/parsers/benches/fixture.rs", // benches allocate freely
+    ] {
+        let out = lint_as(exempt_rel, "hot_alloc/violation.rs");
+        assert!(out.is_empty(), "{exempt_rel}: {out:?}");
+    }
+
+    let clean = lint_as("crates/parsers/src/fixture.rs", "hot_alloc/clean.rs");
+    assert!(clean.is_empty(), "post-loop rendering is fine: {clean:?}");
+    let blessed = lint_as("crates/parsers/src/fixture.rs", "hot_alloc/blessed.rs");
+    assert!(blessed.is_empty(), "pragma suppresses: {blessed:?}");
+}
+
+#[test]
 fn bad_pragmas_are_reported_and_never_suppressible() {
     let out = lint_as("crates/eval/src/fixture.rs", "pragmas/violation.rs");
     assert_eq!(

@@ -1,0 +1,11 @@
+// A loop allocation that documents itself: suppressed by a pragma on
+// the line above, as `worker.rs`'s batch path would.
+
+pub fn labels(ids: &[u32]) -> Vec<String> {
+    let mut out = Vec::new();
+    for id in ids {
+        // lint:allow(hot-path-string-alloc): runs once per checkpoint, not per line
+        out.push(id.to_string());
+    }
+    out
+}

@@ -1,0 +1,12 @@
+// Compliant twin of `violation.rs`: the loop collects integers; any
+// string rendering happens once, after the loop.
+
+pub fn render(rows: &[Vec<u32>]) -> String {
+    let mut total = 0u64;
+    for row in rows {
+        for id in row {
+            total += u64::from(*id);
+        }
+    }
+    format!("{total}")
+}

@@ -1,0 +1,12 @@
+// Seeded hot-path-string-alloc violation: a per-iteration allocation
+// in a parser-style loop — exactly the cost interning removed.
+
+pub fn render(rows: &[Vec<u32>]) -> Vec<String> {
+    let mut out = Vec::new();
+    for row in rows {
+        for id in row {
+            out.push(id.to_string());
+        }
+    }
+    out
+}

@@ -11,11 +11,18 @@
 //!
 //! Drain is an online algorithm; the batch [`LogParser`] impl here and
 //! the incremental [`crate::StreamingDrain`] share the same
-//! [`DrainTree`] state machine.
+//! [`DrainTree`] state machine. The tree works on interned
+//! [`Symbol`]s throughout: leaf paths are symbol vectors, group
+//! templates are `Option<Symbol>` slots, and similarity is integer
+//! compares. The batch parser clones the corpus interner (corpus
+//! symbols stay valid in the clone), so its hot loop never hashes a
+//! token string; the streaming path interns each incoming token once.
 
 use std::collections::HashMap;
 
-use logparse_core::{Corpus, EventId, LogParser, Parse, ParseBuilder, ParseError, Template};
+use logparse_core::{
+    Corpus, EventId, Interner, LogParser, Parse, ParseBuilder, ParseError, Symbol,
+};
 
 /// The Drain parser configuration. Construct via [`Drain::builder`].
 ///
@@ -107,7 +114,7 @@ impl DrainBuilder {
 /// observation indices.
 #[derive(Debug)]
 struct Group {
-    template: Vec<Option<String>>,
+    template: Vec<Option<Symbol>>,
     members: Vec<usize>,
 }
 
@@ -116,7 +123,9 @@ struct Group {
 /// are wildcards). Produced by [`crate::StreamingDrain::snapshot`] and
 /// consumed by [`crate::StreamingDrain::restore`]; member indices are
 /// deliberately not part of the state (checkpoints stay proportional to
-/// the number of templates, not the length of the stream).
+/// the number of templates, not the length of the stream). Snapshots
+/// carry resolved strings, not symbols — symbols are interner-local and
+/// must not cross a checkpoint boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DrainTreeState {
     /// Tree depth (length layer + token layers).
@@ -136,25 +145,17 @@ pub struct DrainTreeState {
     pub paths_per_length: Vec<(usize, usize)>,
 }
 
-fn tree_key_token(token: &str) -> &str {
-    if token.bytes().any(|b| b.is_ascii_digit()) {
-        "*"
-    } else {
-        token
-    }
-}
-
 /// Positionwise similarity between a group template and a message of the
 /// same length: wildcards count as half a match, mirroring Drain's
 /// `seqDist` treatment that discourages all-wildcard templates.
-fn similarity(template: &[Option<String>], tokens: &[String]) -> f64 {
+fn similarity(template: &[Option<Symbol>], tokens: &[Symbol]) -> f64 {
     if template.is_empty() {
         return 1.0;
     }
     let mut score = 0.0;
-    for (slot, token) in template.iter().zip(tokens) {
+    for (slot, &token) in template.iter().zip(tokens) {
         match slot {
-            Some(text) if text == token => score += 1.0,
+            Some(sym) if *sym == token => score += 1.0,
             Some(_) => {}
             None => score += 0.5,
         }
@@ -167,8 +168,18 @@ fn similarity(template: &[Option<String>], tokens: &[String]) -> f64 {
 #[derive(Debug)]
 pub(crate) struct DrainTree {
     config: Drain,
+    /// The token table behind every symbol in the tree. Batch parsing
+    /// seeds it with a clone of the corpus interner; streaming grows it
+    /// one token at a time.
+    interner: Interner,
+    /// Cached "contains an ASCII digit" flag per symbol id; extended
+    /// lazily as the interner grows, so the digit scan runs once per
+    /// distinct token, not once per occurrence.
+    digit_flags: Vec<bool>,
+    /// The symbol of the `"*"` wildcard path token.
+    star: Symbol,
     /// Internal path `(length, generalized prefix)` → group ids.
-    leaves: HashMap<(usize, Vec<String>), Vec<usize>>,
+    leaves: HashMap<(usize, Vec<Symbol>), Vec<usize>>,
     /// Distinct prefix paths per message length, for the `max_children`
     /// cap: once a length bucket has that many paths, unseen token
     /// values fall through to the `*` branch instead of minting new
@@ -186,6 +197,13 @@ pub(crate) struct DrainTree {
 impl DrainTree {
     /// Validates the configuration and creates an empty tree.
     pub(crate) fn new(config: Drain) -> Result<Self, ParseError> {
+        DrainTree::with_interner(config, Interner::new())
+    }
+
+    /// Validates the configuration and creates a tree whose symbol table
+    /// starts as `interner` — the batch entry point, seeded with a clone
+    /// of the corpus table so corpus symbols are directly routable.
+    pub(crate) fn with_interner(config: Drain, mut interner: Interner) -> Result<Self, ParseError> {
         if !(0.0..=1.0).contains(&config.similarity) {
             return Err(ParseError::InvalidConfig {
                 parameter: "similarity",
@@ -198,14 +216,20 @@ impl DrainTree {
                 reason: "depth counts the length layer and must be at least 2".into(),
             });
         }
-        Ok(DrainTree {
+        let star = interner.intern("*");
+        let mut tree = DrainTree {
             config,
+            interner,
+            digit_flags: Vec::new(),
+            star,
             leaves: HashMap::new(),
             paths_per_length: HashMap::new(),
             groups: Vec::new(),
             observed: 0,
             track_members: true,
-        })
+        };
+        tree.refresh_digit_flags();
+        Ok(tree)
     }
 
     /// A tree that does not record member indices — bounded memory for
@@ -216,13 +240,33 @@ impl DrainTree {
         Ok(tree)
     }
 
+    /// Extends the per-symbol digit-flag cache to cover every symbol the
+    /// interner currently holds.
+    fn refresh_digit_flags(&mut self) {
+        for id in self.digit_flags.len()..self.interner.len() {
+            let token = self.interner.resolve(Symbol::from_id(id as u32));
+            self.digit_flags
+                .push(token.bytes().any(|b| b.is_ascii_digit()));
+        }
+    }
+
+    /// The symbol table backing this tree's templates.
+    pub(crate) fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
     /// Exports the complete incremental state, deterministically ordered
     /// (leaves sorted by `(length, path)`), for checkpointing.
     pub(crate) fn export_state(&self) -> DrainTreeState {
+        let resolve_path = |path: &[Symbol]| -> Vec<String> {
+            path.iter()
+                .map(|&s| self.interner.resolve(s).to_owned())
+                .collect()
+        };
         let mut leaves: Vec<(usize, Vec<String>, Vec<usize>)> = self
             .leaves
             .iter()
-            .map(|((len, path), ids)| (*len, path.clone(), ids.clone()))
+            .map(|((len, path), ids)| (*len, resolve_path(path), ids.clone()))
             .collect();
         leaves.sort();
         let mut paths_per_length: Vec<(usize, usize)> = self
@@ -236,13 +280,23 @@ impl DrainTree {
             similarity: self.config.similarity,
             max_children: self.config.max_children,
             observed: self.observed,
-            groups: self.groups.iter().map(|g| g.template.clone()).collect(),
+            groups: self
+                .groups
+                .iter()
+                .map(|g| {
+                    g.template
+                        .iter()
+                        .map(|slot| slot.map(|s| self.interner.resolve(s).to_owned()))
+                        .collect()
+                })
+                .collect(),
             leaves,
             paths_per_length,
         }
     }
 
-    /// Rebuilds a (member-untracked) tree from an exported state.
+    /// Rebuilds a (member-untracked) tree from an exported state,
+    /// re-interning the snapshot's strings into a fresh symbol table.
     pub(crate) fn from_state(state: &DrainTreeState) -> Result<Self, ParseError> {
         let config = Drain {
             depth: state.depth,
@@ -254,48 +308,69 @@ impl DrainTree {
             if let Some(&bad) = ids.iter().find(|&&id| id >= state.groups.len()) {
                 return Err(ParseError::InvalidConfig {
                     parameter: "snapshot",
+                    // lint:allow(hot-path-string-alloc): snapshot-restore error path, never the parse loop
                     reason: format!("leaf references group {bad} of {}", state.groups.len()),
                 });
             }
-            tree.leaves.insert((*len, path.clone()), ids.clone());
+            let path: Vec<Symbol> = path.iter().map(|t| tree.interner.intern(t)).collect();
+            tree.leaves.insert((*len, path), ids.clone());
         }
         tree.paths_per_length = state.paths_per_length.iter().copied().collect();
         tree.groups = state
             .groups
             .iter()
             .map(|template| Group {
-                template: template.clone(),
+                template: template
+                    .iter()
+                    .map(|slot| slot.as_deref().map(|t| tree.interner.intern(t)))
+                    .collect(),
                 members: Vec::new(),
             })
             .collect();
+        tree.refresh_digit_flags();
         tree.observed = state.observed;
         Ok(tree)
     }
 
+    /// Routes one message of raw tokens through the tree (streaming
+    /// entry point): interns each token, then routes by symbol.
+    pub(crate) fn observe(&mut self, tokens: &[&str]) -> usize {
+        let symbols: Vec<Symbol> = tokens.iter().map(|t| self.interner.intern(t)).collect();
+        self.observe_symbols(&symbols)
+    }
+
     /// Routes one message through the tree, joining or creating a group.
-    /// Returns the group id (dense, stable, in creation order).
-    pub(crate) fn observe(&mut self, tokens: &[String]) -> usize {
+    /// Returns the group id (dense, stable, in creation order). The
+    /// symbols must come from this tree's interner (or the interner it
+    /// was seeded with).
+    pub(crate) fn observe_symbols(&mut self, tokens: &[Symbol]) -> usize {
         let message_index = self.observed;
         self.observed += 1;
+        self.refresh_digit_flags();
         let token_layers = self.config.depth - 2;
         let mut path = Vec::with_capacity(token_layers);
-        for token in tokens.iter().take(token_layers) {
-            path.push(tree_key_token(token).to_owned());
+        for &token in tokens.iter().take(token_layers) {
+            path.push(if self.digit_flags[token.id() as usize] {
+                self.star
+            } else {
+                token
+            });
         }
         // max_children cap: a new path only opens while the length
         // bucket has room; otherwise the message falls through to the
         // all-wildcard branch.
-        if !self.leaves.contains_key(&(tokens.len(), path.clone())) {
-            let opened = self.paths_per_length.entry(tokens.len()).or_insert(0);
+        let mut key = (tokens.len(), path);
+        if !self.leaves.contains_key(&key) {
+            let opened = self.paths_per_length.entry(key.0).or_insert(0);
             if *opened >= self.config.max_children {
-                for slot in &mut path {
-                    *slot = "*".to_owned();
+                for slot in &mut key.1 {
+                    *slot = self.star;
                 }
             } else {
                 *opened += 1;
             }
         }
-        let leaf = self.leaves.entry((tokens.len(), path)).or_default();
+        let leaf = self.leaves.entry(key).or_default();
         let best = leaf
             .iter()
             .map(|&id| (similarity(&self.groups[id].template, tokens), id))
@@ -303,8 +378,8 @@ impl DrainTree {
         match best {
             Some((score, id)) if score >= self.config.similarity => {
                 let group = &mut self.groups[id];
-                for (slot, token) in group.template.iter_mut().zip(tokens) {
-                    if slot.as_deref() != Some(token.as_str()) {
+                for (slot, &token) in group.template.iter_mut().zip(tokens) {
+                    if *slot != Some(token) {
                         *slot = None;
                     }
                 }
@@ -316,7 +391,7 @@ impl DrainTree {
             _ => {
                 let id = self.groups.len();
                 self.groups.push(Group {
-                    template: tokens.iter().map(|t| Some(t.clone())).collect(),
+                    template: tokens.iter().map(|&t| Some(t)).collect(),
                     members: if self.track_members {
                         vec![message_index]
                     } else {
@@ -333,7 +408,7 @@ impl DrainTree {
         self.groups.len()
     }
 
-    pub(crate) fn group_template(&self, id: usize) -> Option<&[Option<String>]> {
+    pub(crate) fn group_template(&self, id: usize) -> Option<&[Option<Symbol>]> {
         self.groups.get(id).map(|g| g.template.as_slice())
     }
 }
@@ -344,18 +419,22 @@ impl LogParser for Drain {
     }
 
     fn parse(&self, corpus: &Corpus) -> Result<Parse, ParseError> {
-        let mut tree = DrainTree::new(self.clone())?;
+        // Seed the tree with the corpus symbol table: routing then runs
+        // on the corpus's own symbols with zero per-token hashing.
+        let mut tree = DrainTree::with_interner(self.clone(), corpus.interner().clone())?;
         for idx in 0..corpus.len() {
-            tree.observe(corpus.tokens(idx));
+            tree.observe_symbols(corpus.symbols(idx));
         }
         let mut builder = ParseBuilder::new(corpus.len());
         for group in tree.groups {
-            let template = Template::new(
+            let template = logparse_core::Template::new(
                 group
                     .template
                     .into_iter()
                     .map(|slot| match slot {
-                        Some(text) => logparse_core::TemplateToken::Literal(text),
+                        Some(sym) => logparse_core::TemplateToken::literal(
+                            tree.interner.resolve(sym).to_owned(),
+                        ),
                         None => logparse_core::TemplateToken::Wildcard,
                     })
                     .collect(),
@@ -457,12 +536,24 @@ mod tests {
     #[test]
     fn group_ids_are_creation_ordered() {
         let mut tree = DrainTree::new(Drain::default()).unwrap();
-        let toks = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
+        fn toks(s: &str) -> Vec<&str> {
+            s.split_whitespace().collect()
+        }
         assert_eq!(tree.observe(&toks("a b")), 0);
         assert_eq!(tree.observe(&toks("c d e")), 1);
         assert_eq!(tree.observe(&toks("a b")), 0);
         assert_eq!(tree.group_count(), 2);
         assert!(tree.group_template(0).is_some());
         assert!(tree.group_template(9).is_none());
+    }
+
+    #[test]
+    fn literal_star_token_collides_with_wildcard_branch_as_before() {
+        // A message whose first token is a literal "*" routes to the same
+        // path as a digit-generalized one — the historical behaviour of
+        // the string-keyed tree, preserved by interning "*" up front.
+        let c = corpus(&["* fixed tail here", "9 fixed tail here"]);
+        let parse = Drain::default().parse(&c).unwrap();
+        assert_eq!(parse.event_count(), 1);
     }
 }

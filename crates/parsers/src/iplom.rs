@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError};
+use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError, Symbol};
 
 /// The IPLoM parser. Construct via [`Iplom::builder`].
 ///
@@ -166,6 +166,7 @@ impl LogParser for Iplom {
                         "lower_bound" => "lower_bound",
                         _ => "upper_bound",
                     },
+                    // lint:allow(hot-path-string-alloc): config-validation error path, four iterations per parse
                     reason: format!("{value} must lie in [0, 1]"),
                 });
             }
@@ -211,7 +212,7 @@ impl LogParser for Iplom {
 /// dropped (they carry no content).
 fn partition_by_event_size(corpus: &Corpus) -> Vec<Partition> {
     let mut by_len: HashMap<usize, Partition> = HashMap::new();
-    for (idx, tokens) in corpus.token_sequences().iter().enumerate() {
+    for (idx, tokens) in corpus.arena().iter().enumerate() {
         if !tokens.is_empty() {
             by_len.entry(tokens.len()).or_default().push(idx);
         }
@@ -221,11 +222,12 @@ fn partition_by_event_size(corpus: &Corpus) -> Vec<Partition> {
     partitions
 }
 
-/// Number of unique tokens at `position` across the partition.
+/// Number of unique tokens at `position` across the partition. Symbol
+/// equality is token equality, so this is a set of `u32`s.
 fn cardinality(corpus: &Corpus, partition: &[usize], position: usize) -> usize {
     partition
         .iter()
-        .map(|&i| corpus.tokens(i)[position].as_str())
+        .map(|&i| corpus.symbols(i)[position])
         .collect::<HashSet<_>>()
         .len()
 }
@@ -235,7 +237,7 @@ fn goodness(corpus: &Corpus, partition: &[usize]) -> f64 {
     let Some(&first) = partition.first() else {
         return 1.0;
     };
-    let len = corpus.tokens(first).len();
+    let len = corpus.symbols(first).len();
     if len == 0 {
         return 1.0;
     }
@@ -263,7 +265,7 @@ impl Iplom {
         let Some(&first) = partition.first() else {
             return vec![partition];
         };
-        let len = corpus.tokens(first).len();
+        let len = corpus.symbols(first).len();
         if partition.len() <= 1 || len == 0 {
             return vec![partition];
         }
@@ -276,10 +278,10 @@ impl Iplom {
         if min_card <= 1 {
             return vec![partition];
         }
-        let mut groups: HashMap<&str, Partition> = HashMap::new();
+        let mut groups: HashMap<Symbol, Partition> = HashMap::new();
         for &i in &partition {
             groups
-                .entry(corpus.tokens(i)[split_pos].as_str())
+                .entry(corpus.symbols(i)[split_pos])
                 .or_default()
                 .push(i);
         }
@@ -301,7 +303,7 @@ impl Iplom {
         let Some(&first) = partition.first() else {
             return vec![partition];
         };
-        let len = corpus.tokens(first).len();
+        let len = corpus.symbols(first).len();
         if partition.len() <= 1 || len < 2 {
             return vec![partition];
         }
@@ -313,28 +315,28 @@ impl Iplom {
         };
 
         // Token co-occurrence sets between positions p1 and p2.
-        let mut forward: HashMap<&str, HashSet<&str>> = HashMap::new();
-        let mut backward: HashMap<&str, HashSet<&str>> = HashMap::new();
+        let mut forward: HashMap<Symbol, HashSet<Symbol>> = HashMap::new();
+        let mut backward: HashMap<Symbol, HashSet<Symbol>> = HashMap::new();
         for &i in &partition {
-            let a = corpus.tokens(i)[p1].as_str();
-            let b = corpus.tokens(i)[p2].as_str();
+            let a = corpus.symbols(i)[p1];
+            let b = corpus.symbols(i)[p2];
             forward.entry(a).or_default().insert(b);
             backward.entry(b).or_default().insert(a);
         }
 
         #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-        enum Key<'a> {
-            ByP1(&'a str),
-            ByP2(&'a str),
+        enum Key {
+            ByP1(Symbol),
+            ByP2(Symbol),
             ManyToMany,
         }
 
         let mut groups: HashMap<Key, Partition> = HashMap::new();
         for &i in &partition {
-            let a = corpus.tokens(i)[p1].as_str();
-            let b = corpus.tokens(i)[p2].as_str();
-            let a_images = &forward[a];
-            let b_images = &backward[b];
+            let a = corpus.symbols(i)[p1];
+            let b = corpus.symbols(i)[p2];
+            let a_images = &forward[&a];
+            let b_images = &backward[&b];
             let key = match (a_images.len(), b_images.len()) {
                 (1, 1) => Key::ByP1(a), // 1–1 relation
                 (m, 1) if m > 1 => {
@@ -398,11 +400,11 @@ impl Iplom {
         corpus: &Corpus,
         partition: &[usize],
         p1: usize,
-        value: &str,
+        value: Symbol,
     ) -> usize {
         partition
             .iter()
-            .filter(|&&i| corpus.tokens(i)[p1] == value)
+            .filter(|&&i| corpus.symbols(i)[p1] == value)
             .count()
     }
 
@@ -411,11 +413,11 @@ impl Iplom {
         corpus: &Corpus,
         partition: &[usize],
         p2: usize,
-        value: &str,
+        value: Symbol,
     ) -> usize {
         partition
             .iter()
-            .filter(|&&i| corpus.tokens(i)[p2] == value)
+            .filter(|&&i| corpus.symbols(i)[p2] == value)
             .count()
     }
 }

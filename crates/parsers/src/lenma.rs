@@ -8,7 +8,7 @@
 //! length vector has the highest cosine similarity — with exact token
 //! matches taken into account — above a threshold.
 
-use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError};
+use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError, Symbol};
 
 /// The LenMa parser. Construct via [`LenMa::builder`].
 ///
@@ -74,7 +74,7 @@ impl LenMaBuilder {
 #[derive(Debug)]
 struct Cluster {
     lengths: Vec<f64>,
-    representative: Vec<String>,
+    representative: Vec<Symbol>,
     members: Vec<usize>,
 }
 
@@ -102,15 +102,21 @@ impl LogParser for LenMa {
                 reason: format!("{} must lie in [0, 1]", self.threshold),
             });
         }
+        // Per-symbol byte lengths, computed once over the vocabulary —
+        // the per-message length vector then never touches token bytes.
+        let interner = corpus.interner();
+        let sym_len: Vec<f64> = (0..interner.len())
+            .map(|id| interner.resolve(Symbol::from_id(id as u32)).len() as f64)
+            .collect();
         // Clusters bucketed by token count.
         let mut buckets: std::collections::HashMap<usize, Vec<Cluster>> =
             std::collections::HashMap::new();
         for idx in 0..corpus.len() {
-            let tokens = corpus.tokens(idx);
+            let tokens = corpus.symbols(idx);
             if tokens.is_empty() {
                 continue;
             }
-            let lengths: Vec<f64> = tokens.iter().map(|t| t.len() as f64).collect();
+            let lengths: Vec<f64> = tokens.iter().map(|t| sym_len[t.id() as usize]).collect();
             let clusters = buckets.entry(tokens.len()).or_default();
             let best = clusters
                 .iter_mut()

@@ -19,7 +19,7 @@
 //! 2-means over the observed pairwise distances (the original paper
 //! derives its threshold from the data distribution too).
 
-use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError};
+use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError, Symbol};
 use std::collections::HashMap;
 
 /// How LKE obtains its clustering distance threshold.
@@ -98,13 +98,12 @@ impl Lke {
         if n < 2 {
             return None;
         }
-        let seqs = corpus.token_sequences();
         let mut distances = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
                 distances.push(weighted_edit_distance(
-                    &seqs[i],
-                    &seqs[j],
+                    corpus.symbols(i),
+                    corpus.symbols(j),
                     self.weight_midpoint,
                 ));
             }
@@ -178,7 +177,7 @@ fn positional_weight(i: usize, midpoint: f64) -> f64 {
 /// — is deliberately **not** applied: with position-dependent weights an
 /// optimal alignment may cross the trimmed boundary (match a suffix
 /// token against an earlier occurrence), so trimming changes the result.
-fn weighted_edit_distance(a: &[String], b: &[String], midpoint: f64) -> f64 {
+fn weighted_edit_distance<T: PartialEq>(a: &[T], b: &[T], midpoint: f64) -> f64 {
     let (n, m) = (a.len(), b.len());
     if n == 0 && m == 0 {
         return 0.0;
@@ -296,13 +295,14 @@ impl LogParser for Lke {
 
         // Step 1: all pairwise distances (this is the O(n²) the study's
         // Finding 3 measures) + single-linkage threshold clustering.
-        let seqs = corpus.token_sequences();
+        // Distances run over interned symbol rows: the inner DP compares
+        // `u32`s, never token bytes.
         let mut distances = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
                 distances.push(weighted_edit_distance(
-                    &seqs[i],
-                    &seqs[j],
+                    corpus.symbols(i),
+                    corpus.symbols(j),
                     self.weight_midpoint,
                 ));
             }
@@ -353,15 +353,12 @@ impl Lke {
         }
         let min_len = cluster
             .iter()
-            .map(|&i| corpus.tokens(i).len())
+            .map(|&i| corpus.symbols(i).len())
             .min()
             .unwrap_or(0);
         let mut best: Option<(usize, usize)> = None; // (cardinality, column)
         for col in 0..min_len {
-            let mut values: Vec<&str> = cluster
-                .iter()
-                .map(|&i| corpus.tokens(i)[col].as_str())
-                .collect();
+            let mut values: Vec<Symbol> = cluster.iter().map(|&i| corpus.symbols(i)[col]).collect();
             values.sort_unstable();
             values.dedup();
             let card = values.len();
@@ -374,12 +371,9 @@ impl Lke {
         }
         match best {
             Some((_, col)) => {
-                let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+                let mut groups: HashMap<Symbol, Vec<usize>> = HashMap::new();
                 for &i in &cluster {
-                    groups
-                        .entry(corpus.tokens(i)[col].as_str())
-                        .or_default()
-                        .push(i);
+                    groups.entry(corpus.symbols(i)[col]).or_default().push(i);
                 }
                 let mut groups: Vec<Vec<usize>> = groups.into_values().collect();
                 groups.sort_by_key(|g| g.first().copied());

@@ -10,7 +10,7 @@
 //! while their representatives stay within the (relaxed) distance — the
 //! simplified single-level variant of the paper's hierarchy.
 
-use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError};
+use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError, Symbol};
 
 /// The LogMine parser. Construct via [`LogMine::builder`].
 ///
@@ -89,7 +89,7 @@ impl LogMineBuilder {
 /// Positionwise distance between two token sequences: fraction of
 /// positions (over the longer length) whose tokens differ. Early-abandons
 /// once `limit` is exceeded, returning `f64::INFINITY`.
-fn distance(a: &[String], b: &[String], limit: f64) -> f64 {
+fn distance<T: PartialEq>(a: &[T], b: &[T], limit: f64) -> f64 {
     let longer = a.len().max(b.len());
     if longer == 0 {
         return 0.0;
@@ -112,7 +112,7 @@ fn distance(a: &[String], b: &[String], limit: f64) -> f64 {
 
 #[derive(Debug)]
 struct Cluster {
-    representative: Vec<String>,
+    representative: Vec<Symbol>,
     members: Vec<usize>,
 }
 
@@ -128,10 +128,11 @@ impl LogParser for LogMine {
                 reason: format!("{} must lie in [0, 1]", self.max_distance),
             });
         }
-        // Level 0: one-pass max-distance clustering.
+        // Level 0: one-pass max-distance clustering over symbol rows —
+        // the distance loop compares `u32`s, never token bytes.
         let mut clusters: Vec<Cluster> = Vec::new();
         for idx in 0..corpus.len() {
-            let tokens = corpus.tokens(idx);
+            let tokens = corpus.symbols(idx);
             if tokens.is_empty() {
                 continue;
             }

@@ -28,7 +28,7 @@
 
 use std::collections::HashMap;
 
-use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError};
+use logparse_core::{Corpus, Interner, LogParser, Parse, ParseBuilder, ParseError, Symbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -234,24 +234,18 @@ impl PairIndex {
     }
 }
 
-/// Converts each message into its sorted, deduplicated word-pair set,
-/// with tokens interned to dense ids.
+/// Converts each message into its sorted, deduplicated word-pair set.
+/// The corpus interner already provides dense first-occurrence token
+/// ids, so pair keys are two symbol ids packed into a u64 — no local
+/// hash map, no string hashing.
 fn word_pairs(corpus: &Corpus) -> Vec<Vec<PairKey>> {
-    let mut intern: HashMap<&str, u32> = HashMap::new();
     let mut all = Vec::with_capacity(corpus.len());
-    for tokens in corpus.token_sequences() {
-        let ids: Vec<u32> = tokens
-            .iter()
-            .map(|t| {
-                let next = intern.len() as u32;
-                *intern.entry(t.as_str()).or_insert(next)
-            })
-            .collect();
+    for ids in corpus.arena().iter() {
         let mut pairs: Vec<PairKey> =
             Vec::with_capacity(ids.len() * (ids.len().saturating_sub(1)) / 2);
         for i in 0..ids.len() {
             for j in (i + 1)..ids.len() {
-                pairs.push((u64::from(ids[i]) << 32) | u64::from(ids[j]));
+                pairs.push((u64::from(ids[i].id()) << 32) | u64::from(ids[j].id()));
             }
         }
         pairs.sort_unstable();
@@ -350,8 +344,9 @@ impl LogParser for LogSig {
         members.retain(|m| !m.is_empty());
 
         // Step 3: signature generation. Clusters whose signatures agree
-        // describe the same event and merge.
-        let mut by_signature: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+        // describe the same event and merge (symbol equality is token
+        // equality, so symbol signatures group exactly like strings).
+        let mut by_signature: HashMap<Vec<Symbol>, Vec<usize>> = HashMap::new();
         for m in members {
             let signature = cluster_signature(corpus, &m, 0.5);
             by_signature.entry(signature).or_default().extend(m);
@@ -373,14 +368,16 @@ impl LogParser for LogSig {
 /// The signature of a cluster: tokens occurring in at least
 /// `threshold` of its messages, ordered by their average first
 /// occurrence position. An all-parameter cluster yields an empty
-/// signature.
-fn cluster_signature(corpus: &Corpus, members: &[usize], threshold: f64) -> Vec<String> {
-    let mut stats: HashMap<&str, (usize, f64)> = HashMap::new(); // token → (msgs, Σ first-pos)
+/// signature. Position ties break on the *resolved* token string, not
+/// the symbol id, so signatures are byte-identical to the string path.
+fn cluster_signature(corpus: &Corpus, members: &[usize], threshold: f64) -> Vec<Symbol> {
+    let interner: &Interner = corpus.interner();
+    let mut stats: HashMap<Symbol, (usize, f64)> = HashMap::new(); // token → (msgs, Σ first-pos)
     for &i in members {
-        let tokens = corpus.tokens(i);
-        let mut seen: HashMap<&str, usize> = HashMap::new();
-        for (pos, t) in tokens.iter().enumerate() {
-            seen.entry(t.as_str()).or_insert(pos);
+        let tokens = corpus.symbols(i);
+        let mut seen: HashMap<Symbol, usize> = HashMap::new();
+        for (pos, &t) in tokens.iter().enumerate() {
+            seen.entry(t).or_insert(pos);
         }
         for (t, pos) in seen {
             let entry = stats.entry(t).or_insert((0, 0.0));
@@ -389,13 +386,16 @@ fn cluster_signature(corpus: &Corpus, members: &[usize], threshold: f64) -> Vec<
         }
     }
     let needed = (threshold * members.len() as f64).ceil().max(1.0) as usize;
-    let mut selected: Vec<(&str, f64)> = stats
+    let mut selected: Vec<(Symbol, f64)> = stats
         .into_iter()
         .filter(|&(_, (count, _))| count >= needed)
         .map(|(t, (count, pos_sum))| (t, pos_sum / count as f64))
         .collect();
-    selected.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(b.0)));
-    selected.into_iter().map(|(t, _)| t.to_owned()).collect()
+    selected.sort_by(|a, b| {
+        a.1.total_cmp(&b.1)
+            .then_with(|| interner.resolve(a.0).cmp(interner.resolve(b.0)))
+    });
+    selected.into_iter().map(|(t, _)| t).collect()
 }
 
 #[cfg(test)]

@@ -12,7 +12,9 @@
 //! makes that standard a first-class [`LogParser`] so harnesses can run
 //! it through the same pipeline as the data-driven methods.
 
-use logparse_core::{Corpus, EventId, LogParser, Parse, ParseError, Template};
+use logparse_core::{
+    Corpus, EventId, Interner, LogParser, Parse, ParseError, Symbol, Template, TemplateToken,
+};
 
 /// A parser that matches messages against a known template library.
 ///
@@ -59,7 +61,7 @@ impl Oracle {
 
     /// Matches a single token sequence, returning the index of the most
     /// specific matching template.
-    pub fn match_tokens(&self, tokens: &[String]) -> Option<usize> {
+    pub fn match_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> Option<usize> {
         self.templates
             .iter()
             .enumerate()
@@ -74,14 +76,75 @@ impl Oracle {
     }
 }
 
+/// A template compiled against a corpus vocabulary: literals resolved to
+/// symbols (`None` slots are wildcards). Compilation happens once per
+/// template per parse; matching a message is then pure integer compares.
+struct CompiledTemplate {
+    slots: Vec<Option<Symbol>>,
+    open_tail: bool,
+    literal_count: usize,
+}
+
+impl CompiledTemplate {
+    /// `None` when some literal never occurs in the corpus — such a
+    /// template cannot match any message and is skipped wholesale.
+    fn compile(template: &Template, interner: &Interner) -> Option<CompiledTemplate> {
+        let mut slots = Vec::with_capacity(template.tokens().len());
+        for token in template.tokens() {
+            match token {
+                TemplateToken::Literal(text) => slots.push(Some(interner.get(text)?)),
+                TemplateToken::Wildcard => slots.push(None),
+            }
+        }
+        Some(CompiledTemplate {
+            slots,
+            open_tail: template.has_open_tail(),
+            literal_count: template.literal_count(),
+        })
+    }
+
+    fn matches(&self, tokens: &[Symbol]) -> bool {
+        let length_ok = if self.open_tail {
+            tokens.len() >= self.slots.len()
+        } else {
+            tokens.len() == self.slots.len()
+        };
+        length_ok
+            && self
+                .slots
+                .iter()
+                .zip(tokens)
+                .all(|(slot, token)| slot.is_none_or(|s| s == *token))
+    }
+}
+
 impl LogParser for Oracle {
     fn name(&self) -> &'static str {
         "Oracle"
     }
 
     fn parse(&self, corpus: &Corpus) -> Result<Parse, ParseError> {
+        let interner = corpus.interner();
+        let compiled: Vec<(usize, CompiledTemplate)> = self
+            .templates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| CompiledTemplate::compile(t, interner).map(|c| (i, c)))
+            .collect();
         let assignments: Vec<Option<EventId>> = (0..corpus.len())
-            .map(|i| self.match_tokens(corpus.tokens(i)).map(EventId))
+            .map(|idx| {
+                let tokens = corpus.symbols(idx);
+                compiled
+                    .iter()
+                    .filter(|(_, c)| c.matches(tokens))
+                    // Most literal positions wins; earlier template on ties.
+                    .max_by(|a, b| {
+                        a.1.literal_count
+                            .cmp(&b.1.literal_count)
+                            .then(b.0.cmp(&a.0))
+                    })
+                    .map(|&(i, _)| EventId(i))
+            })
             .collect();
         Ok(Parse::new(self.templates.clone(), assignments))
     }

@@ -134,30 +134,51 @@ impl LogParser for Slct {
         }
         let support = self.support.resolve(n);
 
-        // Pass 1: word vocabulary — occurrence counts of (position, word).
-        let mut vocabulary: HashMap<(usize, &str), usize> = HashMap::new();
-        for tokens in corpus.token_sequences() {
-            for (pos, word) in tokens.iter().enumerate() {
-                *vocabulary.entry((pos, word.as_str())).or_insert(0) += 1;
+        // Pass 1: word vocabulary — occurrence counts of (position, word),
+        // with each pair packed as `pos << 32 | symbol`. Counting is a
+        // sort + run-length scan over one flat `Vec<u64>` instead of a
+        // string-keyed hash map: every token costs an integer pack here
+        // and a binary search in pass 2, never a byte-string hash.
+        let arena = corpus.arena();
+        let mut packed: Vec<u64> = Vec::with_capacity(arena.token_count());
+        for tokens in arena.iter() {
+            for (pos, sym) in tokens.iter().enumerate() {
+                packed.push((pos as u64) << 32 | u64::from(sym.id()));
             }
+        }
+        packed.sort_unstable();
+        // Frequent (position, word) pairs, sorted — pass 2 probes by
+        // binary search.
+        let mut frequent: Vec<u64> = Vec::new();
+        let mut i = 0;
+        while i < packed.len() {
+            let mut j = i + 1;
+            while j < packed.len() && packed[j] == packed[i] {
+                j += 1;
+            }
+            if j - i >= support {
+                frequent.push(packed[i]);
+            }
+            i = j;
         }
 
         // Pass 2: cluster candidates — the sorted set of frequent
         // (position, word) pairs of each message. The message length is
         // part of the key so that positionwise templates stay well formed.
-        let mut candidates: HashMap<Vec<(usize, &str)>, Vec<usize>> = HashMap::new();
-        for (idx, tokens) in corpus.token_sequences().iter().enumerate() {
-            let mut key: Vec<(usize, &str)> = tokens
+        let mut candidates: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+        for (idx, tokens) in arena.iter().enumerate() {
+            let mut key: Vec<u64> = tokens
                 .iter()
                 .enumerate()
-                .filter(|(pos, word)| vocabulary[&(*pos, word.as_str())] >= support)
-                .map(|(pos, word)| (pos, word.as_str()))
+                .map(|(pos, sym)| (pos as u64) << 32 | u64::from(sym.id()))
+                .filter(|pair| frequent.binary_search(pair).is_ok())
                 .collect();
             if key.is_empty() {
                 continue; // no frequent word: outlier
             }
-            // Length marker: "\u{0}len" cannot collide with a real token.
-            key.push((tokens.len(), "\u{0}len"));
+            // Length marker: the all-ones symbol half cannot collide with
+            // a real symbol (the interner caps ids below u32::MAX).
+            key.push((tokens.len() as u64) << 32 | u64::from(u32::MAX));
             candidates.entry(key).or_default().push(idx);
         }
 

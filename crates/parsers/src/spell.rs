@@ -9,8 +9,15 @@
 //! length, and the object's template is refined to that LCS (dropped
 //! positions become wildcards). Messages matching nothing seed a new
 //! object.
+//!
+//! Skeletons are interned [`Symbol`] sequences, so the LCS dynamic
+//! programs compare `u32`s instead of token bytes. The batch parser
+//! clones the corpus interner (corpus symbols stay valid in the clone);
+//! the streaming path interns each incoming token once.
 
-use logparse_core::{Corpus, LogParser, Parse, ParseBuilder, ParseError, Template, TemplateToken};
+use logparse_core::{
+    Corpus, Interner, LogParser, Parse, ParseBuilder, ParseError, Symbol, Template, TemplateToken,
+};
 
 /// The Spell parser. Construct via [`Spell::builder`].
 ///
@@ -77,26 +84,41 @@ impl SpellBuilder {
 }
 
 /// Length of the longest common subsequence of two token slices.
-fn lcs_length(a: &[String], b: &[String]) -> usize {
-    let (n, m) = (a.len(), b.len());
-    let mut prev = vec![0usize; m + 1];
-    let mut curr = vec![0usize; m + 1];
-    for i in 1..=n {
+#[cfg(test)]
+fn lcs_length<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    lcs_length_into(a, b, &mut Vec::new(), &mut Vec::new())
+}
+
+/// [`lcs_length`] writing its two DP rows into caller-owned scratch —
+/// the match loop calls this once per candidate object per message, so
+/// the rows must not be reallocated per call.
+fn lcs_length_into<T: PartialEq>(
+    a: &[T],
+    b: &[T],
+    prev: &mut Vec<usize>,
+    curr: &mut Vec<usize>,
+) -> usize {
+    let m = b.len();
+    prev.clear();
+    prev.resize(m + 1, 0);
+    curr.clear();
+    curr.resize(m + 1, 0);
+    for x in a {
         for j in 1..=m {
-            curr[j] = if a[i - 1] == b[j - 1] {
+            curr[j] = if *x == b[j - 1] {
                 prev[j - 1] + 1
             } else {
                 prev[j].max(curr[j - 1])
             };
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
     prev[m]
 }
 
 /// One LCS sequence of two token slices (ties resolved towards matching
 /// earlier in `a`).
-fn lcs_sequence(a: &[String], b: &[String]) -> Vec<String> {
+fn lcs_sequence<T: PartialEq + Copy>(a: &[T], b: &[T]) -> Vec<T> {
     let (n, m) = (a.len(), b.len());
     let mut table = vec![vec![0usize; m + 1]; n + 1];
     for i in 1..=n {
@@ -112,7 +134,7 @@ fn lcs_sequence(a: &[String], b: &[String]) -> Vec<String> {
     let (mut i, mut j) = (n, m);
     while i > 0 && j > 0 {
         if a[i - 1] == b[j - 1] {
-            out.push(a[i - 1].clone());
+            out.push(a[i - 1]);
             i -= 1;
             j -= 1;
         } else if table[i - 1][j] >= table[i][j - 1] {
@@ -130,7 +152,7 @@ fn lcs_sequence(a: &[String], b: &[String]) -> Vec<String> {
 #[derive(Debug)]
 struct LcsObject {
     /// Constant tokens in order (wildcard positions are implicit gaps).
-    skeleton: Vec<String>,
+    skeleton: Vec<Symbol>,
     members: Vec<usize>,
 }
 
@@ -139,7 +161,9 @@ struct LcsObject {
 /// [`crate::StreamingSpell::snapshot`] and consumed by
 /// [`crate::StreamingSpell::restore`]; member indices are deliberately
 /// not part of the state (checkpoints stay proportional to the number of
-/// templates, not the length of the stream).
+/// templates, not the length of the stream). Snapshots carry resolved
+/// strings — symbols are interner-local and never cross a checkpoint
+/// boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpellStateSnapshot {
     /// LCS acceptance threshold.
@@ -155,16 +179,27 @@ pub struct SpellStateSnapshot {
 #[derive(Debug)]
 pub(crate) struct SpellState {
     tau: f64,
+    /// The token table behind every skeleton symbol.
+    interner: Interner,
     objects: Vec<LcsObject>,
     observed: usize,
     /// Whether objects record their member message indices (batch mode
     /// only; streaming keeps memory bounded by dropping them).
     track_members: bool,
+    /// Reused DP rows for the per-message LCS scan.
+    scratch: (Vec<usize>, Vec<usize>),
 }
 
 impl SpellState {
     /// Validates the configuration and creates an empty state.
     pub(crate) fn new(config: Spell) -> Result<Self, ParseError> {
+        SpellState::with_interner(config, Interner::new())
+    }
+
+    /// Validates the configuration and creates a state whose symbol
+    /// table starts as `interner` — the batch entry point, seeded with a
+    /// clone of the corpus table so corpus symbols are directly usable.
+    pub(crate) fn with_interner(config: Spell, interner: Interner) -> Result<Self, ParseError> {
         if !(0.0..=1.0).contains(&config.tau) {
             return Err(ParseError::InvalidConfig {
                 parameter: "tau",
@@ -173,9 +208,11 @@ impl SpellState {
         }
         Ok(SpellState {
             tau: config.tau,
+            interner,
             objects: Vec::new(),
             observed: 0,
             track_members: true,
+            scratch: (Vec::new(), Vec::new()),
         })
     }
 
@@ -187,23 +224,41 @@ impl SpellState {
         Ok(state)
     }
 
+    /// The symbol table backing this state's skeletons.
+    pub(crate) fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
     /// Exports the complete incremental state for checkpointing.
     pub(crate) fn export_state(&self) -> SpellStateSnapshot {
         SpellStateSnapshot {
             tau: self.tau,
             observed: self.observed,
-            skeletons: self.objects.iter().map(|o| o.skeleton.clone()).collect(),
+            skeletons: self
+                .objects
+                .iter()
+                .map(|o| {
+                    o.skeleton
+                        .iter()
+                        .map(|&s| self.interner.resolve(s).to_owned())
+                        .collect()
+                })
+                .collect(),
         }
     }
 
-    /// Rebuilds a (member-untracked) state from an exported snapshot.
+    /// Rebuilds a (member-untracked) state from an exported snapshot,
+    /// re-interning the snapshot's strings into a fresh symbol table.
     pub(crate) fn from_state(state: &SpellStateSnapshot) -> Result<Self, ParseError> {
         let mut rebuilt = SpellState::new_untracked(Spell { tau: state.tau })?;
         rebuilt.objects = state
             .skeletons
             .iter()
             .map(|skeleton| LcsObject {
-                skeleton: skeleton.clone(),
+                skeleton: skeleton
+                    .iter()
+                    .map(|t| rebuilt.interner.intern(t))
+                    .collect(),
                 members: Vec::new(),
             })
             .collect();
@@ -211,25 +266,42 @@ impl SpellState {
         Ok(rebuilt)
     }
 
+    /// Interns a raw message and assigns it (streaming entry point).
+    pub(crate) fn observe(&mut self, tokens: &[&str]) -> usize {
+        let symbols: Vec<Symbol> = tokens.iter().map(|t| self.interner.intern(t)).collect();
+        self.observe_symbols(&symbols)
+    }
+
     /// Assigns the next message to an LCS object (creating one if
     /// nothing clears the `tau` bar) and returns its id — dense, stable,
-    /// in creation order.
-    pub(crate) fn observe(&mut self, tokens: &[String]) -> usize {
+    /// in creation order. The symbols must come from this state's
+    /// interner (or the interner it was seeded with).
+    pub(crate) fn observe_symbols(&mut self, tokens: &[Symbol]) -> usize {
         let message_index = self.observed;
         self.observed += 1;
-        // Find the object with the longest LCS; only objects whose
-        // skeleton could possibly clear the bar are evaluated.
+        // Find the object with the longest LCS that clears the `tau`
+        // bar. `best_len` starts just under the bar, so one comparison
+        // both enforces the threshold and prunes by the exact upper
+        // bound LCS ≤ min(|skeleton|, |message|); ties keep the
+        // earliest object, exactly as an unpruned max would.
         let needed = ((self.tau * tokens.len() as f64).ceil() as usize).max(1);
-        let best = self
-            .objects
-            .iter_mut()
-            .enumerate()
-            .filter(|(_, o)| o.skeleton.len() >= needed)
-            .map(|(id, o)| (lcs_length(&o.skeleton, tokens), id, o))
-            .max_by_key(|&(len, id, _)| (len, usize::MAX - id));
-        match best {
-            Some((len, id, object)) if len >= needed => {
-                if len < object.skeleton.len() {
+        let mut best_len = needed - 1;
+        let mut best_id: Option<usize> = None;
+        let (prev, curr) = &mut self.scratch;
+        for (id, o) in self.objects.iter().enumerate() {
+            if o.skeleton.len().min(tokens.len()) <= best_len {
+                continue;
+            }
+            let len = lcs_length_into(&o.skeleton, tokens, prev, curr);
+            if len > best_len {
+                best_len = len;
+                best_id = Some(id);
+            }
+        }
+        match best_id {
+            Some(id) => {
+                let object = &mut self.objects[id];
+                if best_len < object.skeleton.len() {
                     object.skeleton = lcs_sequence(&object.skeleton, tokens);
                 }
                 if self.track_members {
@@ -237,7 +309,7 @@ impl SpellState {
                 }
                 id
             }
-            _ => {
+            None => {
                 let id = self.objects.len();
                 self.objects.push(LcsObject {
                     skeleton: tokens.to_vec(),
@@ -256,7 +328,7 @@ impl SpellState {
         self.objects.len()
     }
 
-    pub(crate) fn group_skeleton(&self, id: usize) -> Option<&[String]> {
+    pub(crate) fn group_skeleton(&self, id: usize) -> Option<&[Symbol]> {
         self.objects.get(id).map(|o| o.skeleton.as_slice())
     }
 }
@@ -267,14 +339,16 @@ impl LogParser for Spell {
     }
 
     fn parse(&self, corpus: &Corpus) -> Result<Parse, ParseError> {
-        let mut state = SpellState::new(self.clone())?;
+        // Seed the state with the corpus symbol table: the LCS loops
+        // then run on the corpus's own symbols with zero token hashing.
+        let mut state = SpellState::with_interner(self.clone(), corpus.interner().clone())?;
         let mut assignment: Vec<Option<usize>> = Vec::with_capacity(corpus.len());
         for idx in 0..corpus.len() {
-            let tokens = corpus.tokens(idx);
+            let tokens = corpus.symbols(idx);
             if tokens.is_empty() {
                 assignment.push(None); // empty messages stay outliers
             } else {
-                assignment.push(Some(state.observe(tokens)));
+                assignment.push(Some(state.observe_symbols(tokens)));
             }
         }
         // Collect per-object members in corpus index space.
@@ -292,7 +366,7 @@ impl LogParser for Spell {
             let Some(skeleton) = state.group_skeleton(id) else {
                 continue;
             };
-            let template = skeleton_template(skeleton, m, corpus);
+            let template = skeleton_template(skeleton, state.interner(), m, corpus);
             let event = builder.add_template(template);
             builder.assign_cluster(m, event);
         }
@@ -303,8 +377,16 @@ impl LogParser for Spell {
 /// Renders an object's template: the positionwise template over its
 /// members (which agrees with the skeleton on constants but places the
 /// wildcards at concrete positions, matching the toolkit contract).
-fn skeleton_template(skeleton: &[String], members: &[usize], corpus: &Corpus) -> Template {
-    let positionwise = Template::from_cluster(members.iter().map(|&i| corpus.tokens(i)));
+fn skeleton_template(
+    skeleton: &[Symbol],
+    interner: &Interner,
+    members: &[usize],
+    corpus: &Corpus,
+) -> Template {
+    let positionwise = Template::from_symbol_cluster(
+        corpus.interner(),
+        members.iter().map(|&i| corpus.symbols(i)),
+    );
     if !positionwise.tokens().is_empty() {
         return positionwise;
     }
@@ -313,7 +395,7 @@ fn skeleton_template(skeleton: &[String], members: &[usize], corpus: &Corpus) ->
     Template::with_open_tail(
         skeleton
             .iter()
-            .map(|t| TemplateToken::literal(t.clone()))
+            .map(|&t| TemplateToken::literal(interner.resolve(t).to_owned()))
             .collect(),
     )
 }
@@ -327,23 +409,32 @@ mod tests {
         Corpus::from_lines(lines, &Tokenizer::default())
     }
 
-    fn toks(s: &str) -> Vec<String> {
-        s.split_whitespace().map(str::to_owned).collect()
+    fn toks(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
+    }
+
+    fn sym(interner: &mut Interner, s: &str) -> Vec<Symbol> {
+        s.split_whitespace().map(|t| interner.intern(t)).collect()
     }
 
     #[test]
     fn lcs_length_matches_classic_example() {
-        assert_eq!(lcs_length(&toks("a b c d"), &toks("a x c y")), 2);
-        assert_eq!(lcs_length(&toks("a b c"), &toks("a b c")), 3);
-        assert_eq!(lcs_length(&toks("a b"), &toks("x y")), 0);
+        let mut i = Interner::new();
+        assert_eq!(
+            lcs_length(&sym(&mut i, "a b c d"), &sym(&mut i, "a x c y")),
+            2
+        );
+        assert_eq!(lcs_length(&sym(&mut i, "a b c"), &sym(&mut i, "a b c")), 3);
+        assert_eq!(lcs_length(&sym(&mut i, "a b"), &sym(&mut i, "x y")), 0);
     }
 
     #[test]
     fn lcs_sequence_is_a_common_subsequence() {
-        let a = toks("send pkt 7 to host alpha");
-        let b = toks("send pkt 9 to host beta");
+        let mut i = Interner::new();
+        let a = sym(&mut i, "send pkt 7 to host alpha");
+        let b = sym(&mut i, "send pkt 9 to host beta");
         let lcs = lcs_sequence(&a, &b);
-        assert_eq!(lcs, toks("send pkt to host"));
+        assert_eq!(lcs, sym(&mut i, "send pkt to host"));
     }
 
     #[test]
@@ -405,5 +496,16 @@ mod tests {
         let c = corpus(&["a b 1", "a b 2", "x y z", "x y w"]);
         let p = Spell::default();
         assert_eq!(p.parse(&c).unwrap(), p.parse(&c).unwrap());
+    }
+
+    #[test]
+    fn streaming_observe_interns_and_matches_batch_grouping() {
+        let mut state = SpellState::new(Spell::default()).unwrap();
+        let a = state.observe(&toks("job 17 finished ok"));
+        let b = state.observe(&toks("job 23 finished ok"));
+        assert_eq!(a, b);
+        let skel = state.group_skeleton(a).unwrap().to_vec();
+        let resolved: Vec<&str> = skel.iter().map(|&s| state.interner().resolve(s)).collect();
+        assert_eq!(resolved, ["job", "finished", "ok"]);
     }
 }

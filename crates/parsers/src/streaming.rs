@@ -14,8 +14,8 @@
 //! use logparse_parsers::{StreamingDrain, StreamingParser};
 //!
 //! let mut parser = StreamingDrain::default();
-//! let a = parser.observe(&["send".into(), "pkt".into(), "7".into()]);
-//! let b = parser.observe(&["send".into(), "pkt".into(), "9".into()]);
+//! let a = parser.observe(&["send", "pkt", "7"]);
+//! let b = parser.observe(&["send", "pkt", "9"]);
 //! assert_eq!(a, b); // same event, recognized online
 //! assert_eq!(parser.group_count(), 1);
 //! assert_eq!(parser.template(a).unwrap().to_string(), "send pkt *");
@@ -35,7 +35,10 @@ use crate::{Drain, Spell};
 /// more variety).
 pub trait StreamingParser {
     /// Assigns the next message to a group, creating one if needed.
-    fn observe(&mut self, tokens: &[String]) -> usize;
+    ///
+    /// Tokens are borrowed string slices: the parser interns what it
+    /// needs to keep, so callers never allocate per-message `String`s.
+    fn observe(&mut self, tokens: &[&str]) -> usize;
 
     /// Number of groups discovered so far.
     fn group_count(&self) -> usize;
@@ -109,7 +112,7 @@ impl StreamingDrain {
 }
 
 impl StreamingParser for StreamingDrain {
-    fn observe(&mut self, tokens: &[String]) -> usize {
+    fn observe(&mut self, tokens: &[&str]) -> usize {
         self.tree.observe(tokens)
     }
 
@@ -119,11 +122,12 @@ impl StreamingParser for StreamingDrain {
 
     fn template(&self, id: usize) -> Option<Template> {
         self.tree.group_template(id).map(|slots| {
+            let interner = self.tree.interner();
             Template::new(
                 slots
                     .iter()
                     .map(|slot| match slot {
-                        Some(text) => TemplateToken::literal(text.clone()),
+                        Some(sym) => TemplateToken::literal(interner.resolve(*sym).to_owned()),
                         None => TemplateToken::Wildcard,
                     })
                     .collect(),
@@ -182,7 +186,7 @@ impl StreamingSpell {
 }
 
 impl StreamingParser for StreamingSpell {
-    fn observe(&mut self, tokens: &[String]) -> usize {
+    fn observe(&mut self, tokens: &[&str]) -> usize {
         self.state.observe(tokens)
     }
 
@@ -192,10 +196,11 @@ impl StreamingParser for StreamingSpell {
 
     fn template(&self, id: usize) -> Option<Template> {
         self.state.group_skeleton(id).map(|skeleton| {
+            let interner = self.state.interner();
             Template::with_open_tail(
                 skeleton
                     .iter()
-                    .map(|t| TemplateToken::literal(t.clone()))
+                    .map(|&t| TemplateToken::literal(interner.resolve(t).to_owned()))
                     .collect(),
             )
         })
@@ -206,8 +211,8 @@ impl StreamingParser for StreamingSpell {
 mod tests {
     use super::*;
 
-    fn toks(s: &str) -> Vec<String> {
-        s.split_whitespace().map(str::to_owned).collect()
+    fn toks(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
     }
 
     #[test]
@@ -254,7 +259,7 @@ mod tests {
         let batch = Drain::default().parse(&corpus).unwrap();
         let mut stream = StreamingDrain::default();
         let ids: Vec<usize> = (0..corpus.len())
-            .map(|i| stream.observe(corpus.tokens(i)))
+            .map(|i| stream.observe(&corpus.tokens(i)))
             .collect();
         // Same grouping structure (up to id naming).
         for i in 0..lines.len() {
@@ -293,7 +298,7 @@ mod tests {
     fn templates_tolerates_sparse_implementations() {
         struct Sparse;
         impl StreamingParser for Sparse {
-            fn observe(&mut self, _tokens: &[String]) -> usize {
+            fn observe(&mut self, _tokens: &[&str]) -> usize {
                 0
             }
             fn group_count(&self) -> usize {

@@ -9,12 +9,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DEEP=0
+QUICK=0
 if [[ "${1:-}" == "--quick" ]]; then
   # The vendored proptest shim caps every suite's case count at this
   # value (it never raises a configured count), so the property tests —
   # including the parallel differential suite — still run end to end,
   # just on fewer corpora.
   export PROPTEST_CASES=8
+  QUICK=1
   echo "=== quick mode: PROPTEST_CASES=$PROPTEST_CASES ==="
 elif [[ "${1:-}" == "--deep" ]]; then
   DEEP=1
@@ -34,6 +36,14 @@ cargo test --workspace -q
 
 echo "=== differential suite (sequential vs parallel) ==="
 cargo test -q --test parallel_equivalence
+
+if [[ "$QUICK" == "1" ]]; then
+  # Benches aren't compiled by `cargo test`; make sure the perf harness
+  # (the interning throughput runner included) still builds without
+  # paying for a measurement run.
+  echo "=== cargo bench --no-run (benches compile) ==="
+  cargo bench --workspace --no-run -q
+fi
 
 if [[ "$DEEP" == "1" ]]; then
   # Deep passes use dynamic analysis where the lint layer above is only

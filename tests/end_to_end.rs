@@ -54,7 +54,7 @@ fn all_study_parsers_run_on_every_dataset_sample() {
             for i in 0..parse.len() {
                 if let Some(template) = parse.template_of(i) {
                     assert!(
-                        template.matches(data.corpus.tokens(i)),
+                        template.matches(&data.corpus.tokens(i)),
                         "{} on {}: template {template} does not match message {i:?}",
                         parser.name(),
                         spec.name(),

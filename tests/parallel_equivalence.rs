@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 
-use logmine::core::{Corpus, LogParser, ParallelDriver, Parse, Template, Tokenizer};
+use logmine::core::{Corpus, LogParser, LogRecord, ParallelDriver, Parse, Template, Tokenizer};
 use logmine::parsers::{Ael, Drain, Iplom, LenMa, Lke, LogMine, LogSig, Oracle, Slct, Spell};
 use proptest::prelude::*;
 
@@ -77,6 +77,17 @@ fn parsers() -> Vec<Box<dyn LogParser>> {
             Template::from_pattern("start *"),
         ])),
     ]
+}
+
+/// Rebuilds `corpus` with every token on a different symbol id (decoy
+/// record interned first, then sliced off) — mirrors
+/// `parser_contracts.rs`. Text and line numbers are unchanged; only the
+/// integer representation of the tokens moved.
+fn id_shifted(corpus: &Corpus, tokenizer: &Tokenizer) -> Corpus {
+    let decoy = LogRecord::new(0, "qq0 qq1 qq2 qq3 qq4 qq5 qq6 qq7 qq8 qq9");
+    let records = std::iter::once(decoy).chain((0..corpus.len()).map(|i| corpus.record(i).clone()));
+    let rebuilt = Corpus::from_records(records, tokenizer);
+    rebuilt.slice(1..rebuilt.len())
 }
 
 /// Relabels assignments by first appearance, turning event ids into a
@@ -175,7 +186,7 @@ proptest! {
                 for i in 0..parse.len() {
                     if let Some(template) = parse.template_of(i) {
                         prop_assert!(
-                            template.matches(corpus.tokens(i)),
+                            template.matches(&corpus.tokens(i)),
                             "{} thread {}: template `{}` vs {:?}",
                             parser.name(), threads, template, corpus.tokens(i)
                         );
@@ -285,6 +296,36 @@ proptest! {
                 parallel.cluster_labels(), sequential.cluster_labels(),
                 "oracle grouping must be chunk-invariant"
             );
+        }
+    }
+
+    /// String-vs-interned differential through the chunked driver:
+    /// chunk slices share the input corpus's interner, so the shifted
+    /// ids flow into every worker — and must still be invisible at
+    /// every thread count: the merged `Parse` stays byte-identical.
+    #[test]
+    fn symbol_id_shifts_are_invisible_through_the_parallel_driver(
+        corpus in arbitrary_corpus(),
+    ) {
+        let shifted = id_shifted(&corpus, &Tokenizer::default());
+        for parser in parsers() {
+            for &threads in &THREADS {
+                match (
+                    parser.parse_parallel(&corpus, threads),
+                    parser.parse_parallel(&shifted, threads),
+                ) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(
+                        a, b,
+                        "{} at {} threads: symbol ids leaked", parser.name(), threads
+                    ),
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(
+                        false,
+                        "{} at {} threads: error behavior changed under id shift",
+                        parser.name(), threads
+                    ),
+                }
+            }
         }
     }
 }

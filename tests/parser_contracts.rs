@@ -2,7 +2,9 @@
 //! corpora: full coverage of the input, valid event ids, deterministic
 //! output, and templates that really match their members.
 
-use logmine::core::{Corpus, LogParser, Parse, ParseBuilder, ParseError, Template, Tokenizer};
+use logmine::core::{
+    Corpus, LogParser, LogRecord, Parse, ParseBuilder, ParseError, Template, Tokenizer,
+};
 use logmine::parsers::{
     Ael, Drain, Iplom, LenMa, Lke, LogMine, LogSig, Oracle, Slct, Spell, StreamingDrain,
     StreamingParser, StreamingSpell,
@@ -28,7 +30,7 @@ impl LogParser for StreamingBatch {
             _ => Box::new(StreamingSpell::default()),
         };
         let groups: Vec<usize> = (0..corpus.len())
-            .map(|i| parser.observe(corpus.tokens(i)))
+            .map(|i| parser.observe(&corpus.tokens(i)))
             .collect();
         let mut builder = ParseBuilder::new(corpus.len());
         let mut events = std::collections::HashMap::new();
@@ -97,6 +99,19 @@ fn parsers() -> Vec<Box<dyn LogParser>> {
     ]
 }
 
+/// Rebuilds `corpus` so every token lands on a *different* symbol id:
+/// a decoy record of fresh vocabulary is interned first (claiming the
+/// low ids), then sliced back off. Record content and line numbers are
+/// identical to the input; only the integer representation moved. Any
+/// parser whose output changes under this map has let symbol ids leak
+/// from representation into semantics.
+fn id_shifted(corpus: &Corpus, tokenizer: &Tokenizer) -> Corpus {
+    let decoy = LogRecord::new(0, "qq0 qq1 qq2 qq3 qq4 qq5 qq6 qq7 qq8 qq9");
+    let records = std::iter::once(decoy).chain((0..corpus.len()).map(|i| corpus.record(i).clone()));
+    let rebuilt = Corpus::from_records(records, tokenizer);
+    rebuilt.slice(1..rebuilt.len())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -127,7 +142,7 @@ proptest! {
             for i in 0..parse.len() {
                 if let Some(template) = parse.template_of(i) {
                     prop_assert!(
-                        template.matches(corpus.tokens(i)),
+                        template.matches(&corpus.tokens(i)),
                         "{}: template `{}` vs message {:?}",
                         parser.name(), template, corpus.tokens(i)
                     );
@@ -211,6 +226,72 @@ proptest! {
             for a in parse.assignments() {
                 prop_assert_eq!(*a, first, "{}: identical messages split", parser.name());
             }
+        }
+    }
+
+    /// Differential string-vs-interned leg: symbol ids are
+    /// representation, not semantics. Parsing an id-shifted rebuild of
+    /// the corpus (same text, every token on a different `Symbol`)
+    /// must yield a byte-identical `Parse` — templates, event ids, and
+    /// assignments — from every parser, streaming adapters included.
+    #[test]
+    fn symbol_ids_are_invisible_in_parser_output(corpus in arbitrary_corpus()) {
+        let shifted = id_shifted(&corpus, &Tokenizer::default());
+        for parser in parsers() {
+            match (parser.parse(&corpus), parser.parse(&shifted)) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a, b, "{}: symbol ids leaked into output", parser.name())
+                }
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "{}: error behavior changed under id shift", parser.name()),
+            }
+        }
+    }
+}
+
+/// Interning edge: an empty slice still carries its parent's interner
+/// (here holding the ten decoy symbols), and every parser must treat it
+/// exactly like the truly empty `Corpus::new()` — empty arena, empty
+/// symbol table and all.
+#[test]
+fn empty_corpus_parses_identically_with_and_without_interned_vocabulary() {
+    let tokenizer = Tokenizer::default();
+    let empty = Corpus::new();
+    let shifted = id_shifted(&empty, &tokenizer);
+    assert!(shifted.is_empty(), "slicing the decoy off left residue");
+    assert!(
+        !shifted.interner().is_empty(),
+        "decoy vocabulary should survive in the shared interner"
+    );
+    for parser in parsers() {
+        match (parser.parse(&empty), parser.parse(&shifted)) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{}: empty-corpus parses diverged", parser.name()),
+            (Err(_), Err(_)) => {}
+            _ => panic!("{}: empty-corpus error behavior diverged", parser.name()),
+        }
+    }
+}
+
+/// Interning edge: a one-message, one-token corpus — the smallest
+/// non-degenerate arena (one row, one symbol). The decoy shift is
+/// verified to have actually moved the token's id before comparing.
+#[test]
+fn single_token_corpus_is_id_independent() {
+    let tokenizer = Tokenizer::default();
+    let corpus = Corpus::from_lines(["alpha"], &tokenizer);
+    let shifted = id_shifted(&corpus, &tokenizer);
+    assert_eq!(shifted.len(), 1);
+    assert_eq!(shifted.record(0).content, "alpha");
+    assert_ne!(
+        corpus.symbols(0)[0],
+        shifted.symbols(0)[0],
+        "decoy prefix failed to shift the symbol id"
+    );
+    for parser in parsers() {
+        match (parser.parse(&corpus), parser.parse(&shifted)) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{}: single-token parses diverged", parser.name()),
+            (Err(_), Err(_)) => {}
+            _ => panic!("{}: single-token error behavior diverged", parser.name()),
         }
     }
 }
