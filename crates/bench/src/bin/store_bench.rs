@@ -1,0 +1,110 @@
+//! Template-store durability cost: snapshot-write and replay-restart
+//! wall time as the template population grows.
+//!
+//! Emits one JSON object per population size on stdout — the
+//! measurement behind `BENCH_PR6.json`. Each round builds a store of N
+//! templates (with one binding per template, the shape ingest
+//! produces), then times (a) compacting the full state into fresh
+//! snapshots, (b) appending a 10% delta-log tail, and (c) the restart
+//! path: recovering snapshot + log replay into a fresh `MapState`.
+//! Best of three per phase.
+//!
+//! ```text
+//! cargo run --release -p logparse-bench --bin store_bench [--quick]
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use logparse_bench::quick_mode;
+use logparse_core::MergeDelta;
+use logparse_store::{MapState, StoreConfig, TemplateStore};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("store-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn template_key(gid: usize) -> String {
+    format!(
+        "service {} emitted event of kind {} with args * * *",
+        gid % 997,
+        gid
+    )
+}
+
+/// N templates plus one binding each, as deltas and as a state image.
+fn population(n: usize) -> (Vec<MergeDelta>, MapState) {
+    let mut deltas = Vec::with_capacity(2 * n);
+    let mut state = MapState::new();
+    for gid in 0..n {
+        deltas.push(MergeDelta::Insert {
+            gid,
+            key: template_key(gid),
+        });
+        deltas.push(MergeDelta::Assign {
+            shard: gid % 8,
+            local: gid / 8,
+            gid,
+        });
+    }
+    for delta in &deltas {
+        state.apply(delta);
+    }
+    (deltas, state)
+}
+
+fn main() {
+    let sizes: &[usize] = if quick_mode() {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    println!("[");
+    for (i, &n) in sizes.iter().enumerate() {
+        let (deltas, state) = population(n);
+        let mut snapshot_best = f64::INFINITY;
+        let mut append_best = f64::INFINITY;
+        let mut replay_best = f64::INFINITY;
+        for round in 0..3 {
+            let dir = temp_dir(&format!("{n}-{round}"));
+            let (mut store, _) =
+                TemplateStore::open(&dir, &StoreConfig::default()).expect("open bench store");
+
+            // (a) snapshot write: fold the whole population into
+            // fresh per-shard snapshots.
+            let started = Instant::now();
+            store.compact(&state).expect("compact");
+            snapshot_best = snapshot_best.min(started.elapsed().as_secs_f64());
+
+            // (b) delta-log tail: the last 10% appended again as live
+            // log traffic (batch size 64, flushed per batch — the
+            // aggregator's write shape).
+            let tail = &deltas[deltas.len() - deltas.len() / 10..];
+            let started = Instant::now();
+            for batch in tail.chunks(64) {
+                store.append(batch).expect("append");
+                store.flush().expect("flush");
+            }
+            append_best = append_best.min(started.elapsed().as_secs_f64());
+            store.finish().expect("finish");
+
+            // (c) restart: snapshot load + log replay.
+            let started = Instant::now();
+            let recovery = TemplateStore::recover(&dir).expect("recover");
+            replay_best = replay_best.min(started.elapsed().as_secs_f64());
+            assert_eq!(recovery.state.len(), n);
+            assert_eq!(recovery.quarantined_shards, 0);
+
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        println!(
+            "  {{\"templates\": {n}, \"snapshot_write_seconds\": {snapshot_best:.4}, \
+             \"delta_append_seconds\": {append_best:.4}, \
+             \"replay_restart_seconds\": {replay_best:.4}}}{}",
+            if i + 1 == sizes.len() { "" } else { "," }
+        );
+    }
+    println!("]");
+}

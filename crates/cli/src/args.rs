@@ -54,6 +54,8 @@ const VALUED: &[&str] = &[
     "warmup",
     "checkpoint",
     "checkpoint-every",
+    "compact-bytes",
+    "events-max-mb",
     "max-lines",
     "metrics-addr",
     // `metrics` options

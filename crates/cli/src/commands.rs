@@ -16,6 +16,7 @@ use logparse_ingest::{
 };
 use logparse_mining::{event_count_matrix, truth_count_matrix, PcaDetector, PcaDetectorConfig};
 use logparse_parsers::{Ael, Drain, Iplom, LenMa, Lke, LogMine, LogSig, Slct, Spell};
+use logparse_store::{StoreConfig, TemplateStore};
 
 use crate::args::Args;
 
@@ -35,9 +36,11 @@ USAGE:
   logmine serve    [FILE] [--follow] [--listen ADDR] [--parser drain|spell]
                    [--shards N] [--batch-size N] [--flush-ms MS]
                    [--window N] [--history N] [--warmup N]
-                   [--checkpoint FILE [--checkpoint-every N] [--resume]]
-                   [--max-lines N] [--events-out FILE] [--alpha A]
-                   [--components K] [--metrics-addr ADDR]
+                   [--checkpoint DIR [--checkpoint-every N] [--resume]
+                    [--compact-bytes N]]
+                   [--max-lines N] [--events-out FILE [--events-max-mb MB]]
+                   [--alpha A] [--components K] [--metrics-addr ADDR]
+  logmine store    inspect|verify|compact DIR
   logmine metrics dump [--scrape ADDR] [--traces]
   logmine help
 
@@ -52,6 +55,17 @@ detector, and emits JSONL operational events (stderr or --events-out).
 With --metrics-addr it also serves Prometheus text-format metrics for
 every pipeline stage over HTTP (port 0 picks a free port; the bound
 address is printed to stderr).
+
+With --checkpoint DIR serve persists its template state into a durable
+sharded store (snapshots + CRC-framed delta logs) under DIR; --resume
+restarts from whatever the store recovered, keeping global template
+ids stable across the restart. --events-max-mb caps the JSONL event
+log, rotating FILE -> FILE.1 -> FILE.2 when it fills.
+
+store examines a checkpoint store offline: `inspect` prints per-shard
+recovery detail, `verify` exits non-zero if any shard would be
+quarantined (a torn log tail from a crash is fine), and `compact`
+folds the delta logs into fresh snapshots.
 
 metrics dump prints those metrics one-shot: from a running serve's
 endpoint with --scrape HOST:PORT, otherwise from this process's own
@@ -280,7 +294,9 @@ fn build_ingest_config(args: &Args) -> Result<IngestConfig, Box<dyn Error>> {
         window_size: args.parsed_or("window", defaults.window_size)?,
         history: args.parsed_or("history", defaults.history)?,
         warmup: args.parsed_or("warmup", defaults.warmup)?,
-        checkpoint_path: args.option("checkpoint").map(std::path::PathBuf::from),
+        store_dir: args.option("checkpoint").map(std::path::PathBuf::from),
+        store_compact_bytes: args
+            .parsed_or("compact-bytes", logparse_store::DEFAULT_COMPACT_LOG_BYTES)?,
         checkpoint_every: args.parsed_or("checkpoint-every", 0u64)?,
         max_lines: args
             .option("max-lines")
@@ -296,16 +312,31 @@ fn build_ingest_config(args: &Args) -> Result<IngestConfig, Box<dyn Error>> {
 pub fn serve(args: &Args) -> CliResult {
     let config = build_ingest_config(args)?;
     let resume = if args.has_flag("resume") {
-        let path = config
-            .checkpoint_path
+        let dir = config
+            .store_dir
             .as_ref()
-            .ok_or("--resume needs --checkpoint FILE to load from")?;
-        Some(Checkpoint::load(path)?)
+            .ok_or("--resume needs --checkpoint DIR to recover from")?;
+        let checkpoint = Checkpoint::recover(dir, config.parser, config.shards)?
+            .ok_or_else(|| format!("no checkpoint store at {}", dir.display()))?;
+        eprintln!(
+            "resuming from {}: {} lines, {} global template id(s)",
+            dir.display(),
+            checkpoint.lines,
+            checkpoint.global.templates.len()
+        );
+        Some(checkpoint)
     } else {
         None
     };
     let events = match args.option("events-out") {
-        Some(path) => EventLog::new(Box::new(BufWriter::new(File::create(path)?))),
+        Some(path) => {
+            let max_mb: u64 = args.parsed_or("events-max-mb", 0u64)?;
+            if max_mb > 0 {
+                EventLog::rotating(std::path::Path::new(path), max_mb * 1024 * 1024, 3)?
+            } else {
+                EventLog::new(Box::new(BufWriter::new(File::create(path)?)))
+            }
+        }
         None => EventLog::new(Box::new(std::io::stderr())),
     };
     logparse_ingest::signal::install_handlers();
@@ -372,6 +403,95 @@ pub fn serve(args: &Args) -> CliResult {
         server.stop();
     }
     Ok(())
+}
+
+/// `logmine store` — offline inspection of a checkpoint template store.
+pub fn store(args: &Args) -> CliResult {
+    let (action, dir) = match args.positional() {
+        [action, dir] => (action.as_str(), std::path::Path::new(dir)),
+        _ => return Err("store needs an action and a directory: logmine store inspect DIR".into()),
+    };
+    if !TemplateStore::is_store(dir) {
+        return Err(format!("no template store at {}", dir.display()).into());
+    }
+    match action {
+        "inspect" => {
+            let recovery = TemplateStore::recover(dir)?;
+            println!("store              {}", dir.display());
+            println!("shards             {}", recovery.reports.len());
+            println!("id space           {}", recovery.state.len());
+            println!(
+                "canonical          {}",
+                recovery.state.canonical_templates().len()
+            );
+            println!("records replayed   {}", recovery.replayed_records);
+            println!("quarantined        {}", recovery.quarantined_shards);
+            println!("shard  snapshot  logs  records  torn-bytes  rejected  status");
+            for report in &recovery.reports {
+                let snapshot = report
+                    .snapshot_generation
+                    .map_or_else(|| "-".to_owned(), |g| g.to_string());
+                println!(
+                    "{:<5}  {:<8}  {:<4}  {:<7}  {:<10}  {:<8}  {}",
+                    report.shard,
+                    snapshot,
+                    report.log_generations.len(),
+                    report.records_replayed,
+                    report.torn_tail_bytes,
+                    report.snapshots_rejected,
+                    if report.quarantined {
+                        "QUARANTINED"
+                    } else {
+                        "ok"
+                    },
+                );
+            }
+            Ok(())
+        }
+        "verify" => {
+            let recovery = TemplateStore::recover(dir)?;
+            let torn: u64 = recovery.reports.iter().map(|r| r.torn_tail_bytes).sum();
+            if torn > 0 {
+                eprintln!("note: {torn} torn tail byte(s) would be truncated on open");
+            }
+            if recovery.quarantined_shards > 0 {
+                let bad: Vec<String> = recovery
+                    .reports
+                    .iter()
+                    .filter(|r| r.quarantined)
+                    .map(|r| r.shard.to_string())
+                    .collect();
+                return Err(format!(
+                    "{} of {} shard(s) corrupt (shard {}); opening the store would \
+                     quarantine them and drop their templates",
+                    recovery.quarantined_shards,
+                    recovery.reports.len(),
+                    bad.join(", ")
+                )
+                .into());
+            }
+            println!(
+                "ok: {} shard(s), {} global template id(s), {} record(s) replayed",
+                recovery.reports.len(),
+                recovery.state.len(),
+                recovery.replayed_records
+            );
+            Ok(())
+        }
+        "compact" => {
+            let (mut store, recovery) = TemplateStore::open(dir, &StoreConfig::default())?;
+            let before = recovery.replayed_records;
+            store.compact(&recovery.state)?;
+            let (shards, generation) = (store.shard_count(), store.generation());
+            store.finish()?;
+            println!(
+                "compacted {shards} shard(s) at generation {generation}: \
+                 {before} log record(s) folded into snapshots"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown store action `{other}` (try inspect|verify|compact)").into()),
+    }
 }
 
 /// `logmine metrics` — one-shot exposition of the metric registry.

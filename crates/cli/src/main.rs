@@ -6,6 +6,7 @@
 //! logmine evaluate --dataset bgl --parser logsig [--sample 2000]
 //! logmine detect   --blocks 2000 [--rate 0.029] [--parser iplom]
 //! logmine serve    [--follow FILE | --listen ADDR] [--shards N] ...
+//! logmine store    inspect|verify|compact DIR
 //! logmine metrics  dump [--scrape ADDR] [--traces]
 //! ```
 //!
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(&parsed),
         "detect" => commands::detect(&parsed),
         "serve" => commands::serve(&parsed),
+        "store" => commands::store(&parsed),
         "metrics" => commands::metrics(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -47,7 +47,7 @@ mod tokenizer;
 pub use error::ParseError;
 pub use intern::{Interner, Symbol, TokenArena};
 pub use io::{read_lines, write_events_file, write_structured_file};
-pub use merge::TemplateMerge;
+pub use merge::{MergeDelta, TemplateMerge};
 pub use parallel::{ParallelDriver, ParallelReport};
 pub use parser::{EventId, LogParser, Parse, ParseBuilder};
 pub use preprocess::{MaskRule, Preprocessor};

@@ -29,6 +29,60 @@
 
 use std::collections::HashMap;
 
+/// One mutation of a [`TemplateMerge`], as observed by
+/// [`TemplateMerge::merge_shard_with`].
+///
+/// The variants mirror the merge's write set exactly — replaying a
+/// delta stream against persisted state (the `logparse-store` crate)
+/// reproduces the same `templates`/`assign` tables and the same
+/// union-find *partition* (the raw `parent` array may differ by path
+/// halving, which never changes any id's canonical root):
+///
+/// * `Insert` — a fresh global id was allocated for a new key.
+/// * `Assign` — a `(shard, local)` pair was bound to a global id.
+/// * `Refine` — the key stored at a canonical id was rewritten (the
+///   shard's template gained a wildcard).
+/// * `Union` — two canonical ids collided on one key; `loser`'s parent
+///   was set to `winner` (always the smaller, older id).
+///
+/// Deltas are emitted in write order. Per global id, all writes to that
+/// id's slot appear in emission order, which is what makes a sharded
+/// log (one shard per id) replayable without cross-shard ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeDelta {
+    /// A new global id and its initial key.
+    Insert {
+        /// The allocated global id (`== id_space` before the insert).
+        gid: usize,
+        /// The template key stored at the new id.
+        key: String,
+    },
+    /// `(shard, local)` was bound to `gid` (recorded unresolved, exactly
+    /// as the live `assign` table stores it).
+    Assign {
+        /// Parse shard that announced the local id.
+        shard: usize,
+        /// The shard-local template id.
+        local: usize,
+        /// The global id it was bound to.
+        gid: usize,
+    },
+    /// The key at canonical id `gid` was rewritten to `key`.
+    Refine {
+        /// The canonical id whose slot was rewritten.
+        gid: usize,
+        /// The new key.
+        key: String,
+    },
+    /// `parent[loser] = winner` — two canonical ids were unified.
+    Union {
+        /// The surviving (smaller, older) id.
+        winner: usize,
+        /// The id that became an alias.
+        loser: usize,
+    },
+}
+
 /// Stable `(shard, local) → global` template-id mapping with union-find
 /// canonicalization. See the [module docs](self) for the merge
 /// semantics.
@@ -107,6 +161,16 @@ impl TemplateMerge {
     /// global id; if the new key collides with another global id the two
     /// ids are unioned and the smaller (older) one stays canonical.
     pub fn merge_shard(&mut self, shard: usize, keys: &[String]) {
+        self.merge_shard_with(shard, keys, |_| {});
+    }
+
+    /// [`TemplateMerge::merge_shard`] with every state mutation reported
+    /// to `sink` as a [`MergeDelta`], in write order — the hook the
+    /// durable template store appends its per-shard delta logs from.
+    pub fn merge_shard_with<F>(&mut self, shard: usize, keys: &[String], mut sink: F)
+    where
+        F: FnMut(MergeDelta),
+    {
         for (local, key) in keys.iter().enumerate() {
             match self.assign.get(&(shard, local)).copied() {
                 Some(assigned) => {
@@ -130,11 +194,20 @@ impl TemplateMerge {
                                     self.parent[loser] = winner;
                                     self.templates[winner] = key.clone();
                                     self.by_key.insert(key.clone(), winner);
+                                    sink(MergeDelta::Union { winner, loser });
+                                    sink(MergeDelta::Refine {
+                                        gid: winner,
+                                        key: key.clone(),
+                                    });
                                 }
                             }
                             None => {
                                 self.templates[root] = key.clone();
                                 self.by_key.insert(key.clone(), root);
+                                sink(MergeDelta::Refine {
+                                    gid: root,
+                                    key: key.clone(),
+                                });
                             }
                         }
                     }
@@ -147,10 +220,19 @@ impl TemplateMerge {
                             self.templates.push(key.clone());
                             self.parent.push(id);
                             self.by_key.insert(key.clone(), id);
+                            sink(MergeDelta::Insert {
+                                gid: id,
+                                key: key.clone(),
+                            });
                             id
                         }
                     };
                     self.assign.insert((shard, local), global);
+                    sink(MergeDelta::Assign {
+                        shard,
+                        local,
+                        gid: global,
+                    });
                 }
             }
         }

@@ -28,15 +28,15 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::path::PathBuf;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 
-use logparse_core::TemplateMerge;
+use logparse_core::{MergeDelta, TemplateMerge};
 use logparse_linalg::Matrix;
 use logparse_mining::PcaDetector;
+use logparse_store::{MapState, TemplateStore};
 
-use crate::checkpoint::{Checkpoint, GlobalMapState, ParserSnapshot};
+use crate::checkpoint::{GlobalMapState, ParserSnapshot};
 use crate::events::{fields, EventLog};
 use crate::json::Json;
 use crate::metrics::AggregatorMetrics;
@@ -65,32 +65,40 @@ impl GlobalMap {
         }
     }
 
-    /// Exports persistent state. Assignments for local ids at or beyond
-    /// each shard's snapshot length are pruned: those groups were
-    /// discovered after the snapshot was taken and will be re-learned
-    /// (and re-unified by template string) after a restore.
-    pub fn export(&mut self, shard_group_counts: &[usize]) -> GlobalMapState {
-        let mut assign: Vec<(usize, usize, usize)> = self
-            .inner
-            .assignments()
-            .map(|((s, l), g)| (s, l, g))
-            .filter(|&(s, l, _)| shard_group_counts.get(s).is_some_and(|&n| l < n))
-            .collect();
-        assign.sort_unstable();
-        let assign = assign
-            .into_iter()
-            .map(|(s, l, g)| (s, l, self.inner.resolve_root(g)))
-            .collect();
-        GlobalMapState {
-            templates: self.inner.raw_templates().to_vec(),
-            parent: self.inner.raw_parents().to_vec(),
-            assign,
-        }
-    }
-
     /// Folds a shard's current template list into the global map.
     pub fn merge_shard(&mut self, shard: usize, templates: &[String]) {
         self.inner.merge_shard(shard, templates);
+    }
+
+    /// [`GlobalMap::merge_shard`], appending every mutation to `deltas`
+    /// in write order — the records the durable store logs.
+    pub fn merge_shard_with(
+        &mut self,
+        shard: usize,
+        templates: &[String],
+        deltas: &mut Vec<MergeDelta>,
+    ) {
+        self.inner
+            .merge_shard_with(shard, templates, |delta| deltas.push(delta));
+    }
+
+    /// The full, unpruned map image for store compaction. Unlike
+    /// [`GlobalMap::export`] nothing is dropped or resolved: the image
+    /// must carry the same slots, bindings and union-find *partition*
+    /// as replaying the appended delta stream would rebuild (raw parent
+    /// pointers may differ by path halving), or compaction would
+    /// silently rewrite history.
+    pub fn export_full(&self) -> MapState {
+        let mut state = MapState::new();
+        for (gid, key) in self.inner.raw_templates().iter().enumerate() {
+            let parent = self.inner.raw_parents().get(gid).copied().unwrap_or(gid);
+            state.set_slot(gid, parent, key.clone());
+        }
+        for ((shard, local), gid) in self.inner.assignments() {
+            state.ensure(gid);
+            state.assign.insert((shard, local), gid);
+        }
+        state
     }
 
     /// Resolves a shard-local id to its canonical global id.
@@ -117,7 +125,10 @@ pub(crate) struct AggregatorConfig {
     pub history: usize,
     pub warmup: usize,
     pub detector: PcaDetector,
-    pub checkpoint_path: Option<PathBuf>,
+    /// The opened durable template store, when the run checkpoints.
+    /// Owned by the aggregator thread: it appends merge deltas, writes
+    /// checkpoint blobs, triggers compaction and closes it at shutdown.
+    pub store: Option<TemplateStore>,
     pub events: Arc<EventLog>,
     pub metrics: AggregatorMetrics,
     pub resume: Option<GlobalMapState>,
@@ -182,7 +193,7 @@ pub(crate) fn run_aggregator(
         history,
         warmup,
         detector,
-        checkpoint_path,
+        mut store,
         events,
         metrics,
         resume,
@@ -193,6 +204,7 @@ pub(crate) fn run_aggregator(
         Some(state) => GlobalMap::from_state(state),
         None => GlobalMap::new(),
     };
+    let mut deltas: Vec<MergeDelta> = Vec::new();
     let mut open: HashMap<u64, WindowAcc> = HashMap::new();
     let mut closed: VecDeque<ClosedWindow> = VecDeque::new();
     let mut windows: Vec<WindowScore> = Vec::new();
@@ -311,7 +323,7 @@ pub(crate) fn run_aggregator(
             ShardOutput::Parsed(batch) => {
                 batches += 1;
                 if let Some(templates) = &batch.templates {
-                    map.merge_shard(batch.shard, templates);
+                    merge_durably(&mut map, batch.shard, templates, &mut store, &mut deltas)?;
                     metrics.merges.inc();
                 }
                 shard_observed[batch.shard] += batch.entries.len();
@@ -360,9 +372,10 @@ pub(crate) fn run_aggregator(
                     // All slots were just verified Some; flatten drops
                     // nothing.
                     let snapshots: Vec<ParserSnapshot> = slots.into_iter().flatten().collect();
-                    if let Some(path) = &checkpoint_path {
+                    if let Some(store) = store.as_mut() {
                         write_checkpoint(
-                            path, parser, generation, lines, snapshots, &mut map, &events, &metrics,
+                            store, parser, generation, lines, &snapshots, &mut map, &events,
+                            &metrics,
                         )?;
                         checkpoints_written += 1;
                     }
@@ -374,7 +387,7 @@ pub(crate) fn run_aggregator(
                 templates,
                 observed,
             } => {
-                map.merge_shard(shard, &templates);
+                merge_durably(&mut map, shard, &templates, &mut store, &mut deltas)?;
                 metrics.merges.inc();
                 metrics.global_templates.set(map.canonical_count() as f64);
                 final_snapshots[shard] = Some(state);
@@ -398,19 +411,25 @@ pub(crate) fn run_aggregator(
     let final_snapshots: Vec<ParserSnapshot> = final_snapshots.into_iter().flatten().collect();
 
     // Final checkpoint at shutdown, generation after any periodic ones.
-    if let Some(path) = &checkpoint_path {
+    if let Some(store) = store.as_mut() {
         let lines = seq_base + shard_observed.iter().map(|&n| n as u64).sum::<u64>();
         write_checkpoint(
-            path,
+            store,
             parser,
             checkpoints_written,
             lines,
-            final_snapshots.clone(),
+            &final_snapshots,
             &mut map,
             &events,
             &metrics,
         )?;
         checkpoints_written += 1;
+    }
+    // The consuming close: waits out any background compaction and
+    // fsyncs every delta log, upgrading the run's tail from
+    // SIGKILL-durable to power-loss-durable.
+    if let Some(store) = store {
+        store.finish()?;
     }
 
     Ok(AggregatorOutcome {
@@ -434,43 +453,81 @@ impl GlobalMap {
     }
 }
 
+/// Folds a shard's templates into the map and, when a store is
+/// attached, logs the exact mutation set durably: appended to the
+/// store's delta logs and flushed, so the merge survives SIGKILL the
+/// moment this returns. (Power-loss durability is upgraded at every
+/// checkpoint's `sync` and at the final `finish`.)
+fn merge_durably(
+    map: &mut GlobalMap,
+    shard: usize,
+    templates: &[String],
+    store: &mut Option<TemplateStore>,
+    deltas: &mut Vec<MergeDelta>,
+) -> Result<(), IngestError> {
+    match store.as_mut() {
+        Some(store) => {
+            deltas.clear();
+            map.merge_shard_with(shard, templates, deltas);
+            store.append(deltas)?;
+            store.flush()?;
+        }
+        None => map.merge_shard(shard, templates),
+    }
+    Ok(())
+}
+
+/// Persists one checkpoint into the store: parser snapshots and run
+/// metadata as blobs, then an fsync of every delta log so everything
+/// the checkpoint describes is power-loss-durable. When a shard log
+/// has outgrown the compaction threshold, a background compaction
+/// folds the current map into fresh snapshots.
 #[allow(clippy::too_many_arguments)] // internal helper mirroring checkpoint state
 fn write_checkpoint(
-    path: &std::path::Path,
+    store: &mut TemplateStore,
     parser: ParserChoice,
     generation: u64,
     lines: u64,
-    shards: Vec<ParserSnapshot>,
+    shards: &[ParserSnapshot],
     map: &mut GlobalMap,
     events: &EventLog,
     metrics: &AggregatorMetrics,
 ) -> Result<(), IngestError> {
-    let group_counts: Vec<usize> = shards.iter().map(ParserSnapshot::group_count).collect();
-    let checkpoint = Checkpoint {
-        parser,
-        generation,
-        lines,
-        shards,
-        global: map.export(&group_counts),
-    };
     {
         let _span = logparse_obs::global().span_into(
             metrics.checkpoint_seconds.clone(),
             "checkpoint_write",
             &[],
         );
-        checkpoint.save(path)?;
+        for (shard, snapshot) in shards.iter().enumerate() {
+            store.put_blob(
+                &format!("parser-{shard}"),
+                snapshot.to_json().to_string().as_bytes(),
+            )?;
+        }
+        let meta = Json::Obj(vec![
+            ("version".into(), Json::usize(1)),
+            ("parser".into(), Json::str(parser.name())),
+            ("generation".into(), Json::num(generation as f64)),
+            ("lines".into(), Json::num(lines as f64)),
+            ("shards".into(), Json::usize(shards.len())),
+        ]);
+        store.put_blob("meta", meta.to_string().as_bytes())?;
+        store.sync()?;
     }
     metrics.checkpoints.inc();
     events.emit(
         "snapshot_written",
         fields! {
-            "path" => Json::str(path.display().to_string()),
+            "path" => Json::str(store.dir().display().to_string()),
             "generation" => Json::num(generation as f64),
             "lines" => Json::num(lines as f64),
-            "templates" => Json::usize(checkpoint.global.templates.len()),
+            "templates" => Json::usize(map.id_space()),
         },
     );
+    if store.should_compact() {
+        store.compact_background(map.export_full())?;
+    }
     Ok(())
 }
 
@@ -517,19 +574,37 @@ mod tests {
     }
 
     #[test]
-    fn export_prunes_post_snapshot_locals_and_round_trips() {
+    fn replaying_the_delta_stream_matches_export_full() {
         let mut map = GlobalMap::new();
-        map.merge_shard(0, &["a *".into(), "b *".into(), "c *".into()]);
-        // Snapshot taken when shard 0 only had 2 groups.
-        let state = map.export(&[2]);
-        assert_eq!(state.assign.len(), 2);
-        let mut restored = GlobalMap::from_state(&state);
-        assert_eq!(restored.resolve(0, 0), map.resolve(0, 0));
-        assert_eq!(restored.resolve(0, 1), map.resolve(0, 1));
-        assert_eq!(restored.resolve(0, 2), None);
-        // Re-learning the third template reuses its old global id.
-        let old = map.resolve(0, 2).unwrap();
-        restored.merge_shard(0, &["a *".into(), "b *".into(), "c *".into()]);
-        assert_eq!(restored.resolve(0, 2), Some(old));
+        let mut deltas: Vec<MergeDelta> = Vec::new();
+        map.merge_shard_with(
+            0,
+            &["send pkt 7 ok".into(), "disk full".into()],
+            &mut deltas,
+        );
+        map.merge_shard_with(1, &["send pkt * ok".into()], &mut deltas);
+        // Shard 0 refines local 0 onto shard 1's key: a union.
+        map.merge_shard_with(
+            0,
+            &["send pkt * ok".into(), "disk full".into()],
+            &mut deltas,
+        );
+        let mut replayed = MapState::new();
+        for delta in &deltas {
+            replayed.apply(delta);
+        }
+        let full = map.export_full();
+        assert_eq!(replayed.len(), full.len());
+        assert_eq!(replayed.assign, full.assign);
+        // Same partition (raw parents may differ by path halving) and
+        // the same canonical keys at every root.
+        for gid in 0..full.len() {
+            assert_eq!(
+                replayed.resolve_root(gid),
+                full.resolve_root(gid),
+                "gid {gid}"
+            );
+        }
+        assert_eq!(replayed.canonical_templates(), full.canonical_templates());
     }
 }

@@ -5,15 +5,29 @@
 //! ([`DrainTreeState`] / [`SpellStateSnapshot`] — deliberately free of
 //! per-message members, so checkpoint size scales with the number of
 //! templates, not the length of the stream) plus the aggregator's global
-//! template map. Files are JSON, written atomically (temp file + rename)
-//! so a crash mid-write never corrupts the previous checkpoint.
+//! template map. Two persistence forms share this module's types:
+//!
+//! * **Single file** ([`Checkpoint::save`] / [`Checkpoint::load`]) —
+//!   one JSON document, written atomically *and durably*
+//!   ([`logparse_store::write_atomic`] fsyncs the file and its parent
+//!   directory after the rename, so a power cut never rolls a
+//!   checkpoint back silently).
+//! * **Template store** ([`Checkpoint::recover`]) — the pipeline's
+//!   `--checkpoint` directory is a [`logparse_store::TemplateStore`]:
+//!   the global map lives in its sharded snapshot/delta-log chain,
+//!   parser snapshots and run metadata in its checksummed blobs.
+//!   Recovery degrades instead of failing: a corrupt parser blob
+//!   yields an empty parser for that shard (its templates re-learn
+//!   and re-unify by key), a missing meta blob restarts window
+//!   numbering but keeps every recovered template.
 //!
 //! Window/scoring history is *not* checkpointed: scores are derived
 //! state and the detector re-warms within a few windows after restart.
 
 use std::path::Path;
 
-use logparse_parsers::{DrainTreeState, SpellStateSnapshot};
+use logparse_parsers::{DrainTreeState, SpellStateSnapshot, StreamingDrain, StreamingSpell};
+use logparse_store::{BlobRead, MapState, TemplateStore};
 
 use crate::json::Json;
 use crate::{IngestError, ParserChoice};
@@ -52,7 +66,16 @@ impl ParserSnapshot {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// A parser whose snapshot has seen nothing — what a shard restores
+    /// from when its stored snapshot blob is missing or corrupt.
+    pub(crate) fn empty(parser: ParserChoice) -> Self {
+        match parser {
+            ParserChoice::Drain => ParserSnapshot::Drain(StreamingDrain::default().snapshot()),
+            ParserChoice::Spell => ParserSnapshot::Spell(StreamingSpell::default().snapshot()),
+        }
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
         match self {
             ParserSnapshot::Drain(s) => Json::Obj(vec![
                 ("depth".into(), Json::usize(s.depth)),
@@ -119,7 +142,7 @@ impl ParserSnapshot {
         }
     }
 
-    fn from_json(parser: ParserChoice, json: &Json) -> Result<Self, IngestError> {
+    pub(crate) fn from_json(parser: ParserChoice, json: &Json) -> Result<Self, IngestError> {
         let corrupt = |what: &str| IngestError::Checkpoint(format!("snapshot missing {what}"));
         match parser {
             ParserChoice::Drain => {
@@ -251,6 +274,24 @@ pub struct GlobalMapState {
     /// `(shard, local_id, global_id)` assignments, global ids resolved
     /// to roots at export time.
     pub assign: Vec<(usize, usize, usize)>,
+}
+
+impl GlobalMapState {
+    /// The store's materialized image of this map — what seeds a fresh
+    /// [`TemplateStore`] when a file checkpoint resumes into an empty
+    /// store directory.
+    pub fn to_map_state(&self) -> MapState {
+        let mut state = MapState::new();
+        for (gid, key) in self.templates.iter().enumerate() {
+            let parent = self.parent.get(gid).copied().unwrap_or(gid);
+            state.set_slot(gid, parent, key.clone());
+        }
+        for &(shard, local, gid) in &self.assign {
+            state.ensure(gid);
+            state.assign.insert((shard, local), gid);
+        }
+        state
+    }
 }
 
 /// A complete on-disk checkpoint.
@@ -429,11 +470,12 @@ impl Checkpoint {
         Ok(checkpoint)
     }
 
-    /// Writes the checkpoint atomically (temp file, then rename).
+    /// Writes the checkpoint atomically and durably: temp file, fsync,
+    /// rename, then fsync of the parent directory — without the last
+    /// two steps a power cut after the rename can resurface the old
+    /// file (or none), even though `save` already returned.
     pub fn save(&self, path: &Path) -> Result<(), IngestError> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)?;
+        logparse_store::write_atomic(path, self.to_json().as_bytes())?;
         Ok(())
     }
 
@@ -441,6 +483,93 @@ impl Checkpoint {
     pub fn load(path: &Path) -> Result<Self, IngestError> {
         let text = std::fs::read_to_string(path)?;
         Checkpoint::from_json(&text)
+    }
+
+    /// Rebuilds the latest checkpoint from a template-store directory.
+    ///
+    /// Returns `Ok(None)` when `dir` is not (yet) a store — a fresh
+    /// `--checkpoint` directory on a first run. Otherwise the global
+    /// map is replayed from the store's snapshots and delta logs
+    /// (quarantined shards contribute nothing), parser snapshots come
+    /// from the `parser-<i>` blobs and run metadata from the `meta`
+    /// blob. Damage degrades instead of failing:
+    ///
+    /// * a missing/corrupt `parser-<i>` blob restores shard `i` with an
+    ///   empty parser and drops its `(shard, local)` bindings — the
+    ///   shard re-learns its templates and re-unifies them by key onto
+    ///   their old global ids;
+    /// * a missing/corrupt `meta` blob restarts line/window numbering
+    ///   at zero with `fallback_shards` empty parsers, keeping every
+    ///   template the store recovered.
+    pub fn recover(
+        dir: &Path,
+        parser: ParserChoice,
+        fallback_shards: usize,
+    ) -> Result<Option<Self>, IngestError> {
+        if !TemplateStore::is_store(dir) {
+            return Ok(None);
+        }
+        let recovery = TemplateStore::recover(dir)?;
+        let meta = match TemplateStore::read_blob(dir, "meta")? {
+            BlobRead::Ok(bytes) => String::from_utf8(bytes)
+                .ok()
+                .and_then(|text| Json::parse(&text).ok()),
+            BlobRead::Missing | BlobRead::Corrupt => None,
+        };
+        let (parser, generation, lines, shard_count) = match &meta {
+            Some(doc) => {
+                let parser = match doc.get("parser").and_then(Json::as_str) {
+                    Some("drain") => ParserChoice::Drain,
+                    Some("spell") => ParserChoice::Spell,
+                    _ => parser,
+                };
+                (
+                    parser,
+                    doc.get("generation").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                    doc.get("lines").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                    doc.get("shards")
+                        .and_then(Json::as_usize)
+                        .unwrap_or(fallback_shards),
+                )
+            }
+            None => (parser, 0, 0, fallback_shards),
+        };
+        let mut shards = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let snapshot = match TemplateStore::read_blob(dir, &format!("parser-{shard}"))? {
+                BlobRead::Ok(bytes) => String::from_utf8(bytes)
+                    .ok()
+                    .and_then(|text| Json::parse(&text).ok())
+                    .and_then(|doc| ParserSnapshot::from_json(parser, &doc).ok()),
+                BlobRead::Missing | BlobRead::Corrupt => None,
+            };
+            shards.push(snapshot.unwrap_or_else(|| ParserSnapshot::empty(parser)));
+        }
+        // Bindings must reference groups the restored parsers actually
+        // have; anything beyond (a shard restored empty, or groups
+        // learned after the last blob write) is re-learned on resume.
+        let state = &recovery.state;
+        let assign = state
+            .assign
+            .iter()
+            .filter(|&(&(shard, local), _)| {
+                shards
+                    .get(shard)
+                    .is_some_and(|snapshot| local < snapshot.group_count())
+            })
+            .map(|(&(shard, local), &gid)| (shard, local, state.resolve_root(gid)))
+            .collect();
+        Ok(Some(Checkpoint {
+            parser,
+            generation,
+            lines,
+            shards,
+            global: GlobalMapState {
+                templates: state.templates.clone(),
+                parent: state.parent.clone(),
+                assign,
+            },
+        }))
     }
 }
 
@@ -503,6 +632,111 @@ mod tests {
         cp.save(&path).unwrap();
         assert_eq!(Checkpoint::load(&path).unwrap(), cp);
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ingest-cp-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Builds a store holding `sample_checkpoint()`'s global map plus
+    /// its parser/meta blobs — the layout `write_checkpoint` produces.
+    fn populated_store(dir: &std::path::Path) -> Checkpoint {
+        use logparse_core::MergeDelta;
+        let cp = sample_checkpoint();
+        let (mut store, _) =
+            TemplateStore::open(dir, &logparse_store::StoreConfig::default()).unwrap();
+        let mut deltas = Vec::new();
+        for (gid, key) in cp.global.templates.iter().enumerate() {
+            deltas.push(MergeDelta::Insert {
+                gid,
+                key: key.clone(),
+            });
+        }
+        for &(shard, local, gid) in &cp.global.assign {
+            deltas.push(MergeDelta::Assign { shard, local, gid });
+        }
+        store.append(&deltas).unwrap();
+        for (shard, snapshot) in cp.shards.iter().enumerate() {
+            store
+                .put_blob(
+                    &format!("parser-{shard}"),
+                    snapshot.to_json().to_string().as_bytes(),
+                )
+                .unwrap();
+        }
+        let meta = Json::Obj(vec![
+            ("version".into(), Json::usize(1)),
+            ("parser".into(), Json::str(cp.parser.name())),
+            ("generation".into(), Json::num(cp.generation as f64)),
+            ("lines".into(), Json::num(cp.lines as f64)),
+            ("shards".into(), Json::usize(cp.shards.len())),
+        ]);
+        store.put_blob("meta", meta.to_string().as_bytes()).unwrap();
+        store.finish().unwrap();
+        cp
+    }
+
+    #[test]
+    fn recover_returns_none_for_a_fresh_directory() {
+        let dir = store_dir("fresh");
+        std::fs::create_dir_all(&dir).unwrap();
+        let recovered = Checkpoint::recover(&dir, ParserChoice::Drain, 1).unwrap();
+        assert_eq!(recovered, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_round_trips_a_store_checkpoint() {
+        let dir = store_dir("roundtrip");
+        let cp = populated_store(&dir);
+        let recovered = Checkpoint::recover(&dir, ParserChoice::Drain, 1)
+            .unwrap()
+            .expect("store holds a checkpoint");
+        assert_eq!(recovered, cp);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_degrades_a_corrupt_parser_blob_to_an_empty_parser() {
+        let dir = store_dir("corrupt-blob");
+        let cp = populated_store(&dir);
+        let blob = dir.join("parser-0.blob");
+        let mut bytes = std::fs::read(&blob).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&blob, &bytes).unwrap();
+
+        let recovered = Checkpoint::recover(&dir, ParserChoice::Drain, 1)
+            .unwrap()
+            .unwrap();
+        // The shard restores empty and its bindings are pruned…
+        assert_eq!(recovered.shards[0].group_count(), 0);
+        assert!(recovered.global.assign.is_empty());
+        // …but every recovered template (and its id) is kept, so the
+        // re-learning shard unifies back onto the old ids by key.
+        assert_eq!(recovered.global.templates, cp.global.templates);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_without_meta_keeps_templates_but_restarts_numbering() {
+        let dir = store_dir("no-meta");
+        let cp = populated_store(&dir);
+        std::fs::remove_file(dir.join("meta.blob")).unwrap();
+
+        let recovered = Checkpoint::recover(&dir, ParserChoice::Drain, 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(recovered.lines, 0);
+        assert_eq!(recovered.generation, 0);
+        assert_eq!(recovered.shards.len(), 2, "fallback shard count");
+        assert_eq!(recovered.global.templates, cp.global.templates);
+        // The recovered checkpoint is valid input for a resume.
+        Checkpoint::from_json(&recovered.to_json()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

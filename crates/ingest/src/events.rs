@@ -26,6 +26,7 @@
 //! SIGTERM-drained run always ends with a complete log on disk.
 
 use std::io::{self, Write};
+use std::path::Path;
 
 use logparse_obs::journal::Value;
 use logparse_obs::Journal;
@@ -53,6 +54,17 @@ impl EventLog {
     /// requested and stdout is reserved for other output).
     pub fn disabled() -> Self {
         EventLog::new(Box::new(io::sink()))
+    }
+
+    /// A log appending to `path` with size-based rotation: when the
+    /// file would exceed `max_bytes`, it is rotated to `path.1` (older
+    /// history shifting to `.2`, …, up to `keep` files) and a fresh
+    /// file takes its place — a long-running `serve` cannot fill the
+    /// disk with its own event stream.
+    pub fn rotating(path: &Path, max_bytes: u64, keep: usize) -> io::Result<Self> {
+        Ok(EventLog {
+            journal: Journal::rotating(path, max_bytes, keep)?,
+        })
     }
 
     /// The run id stamped on every event of this log.

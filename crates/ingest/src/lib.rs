@@ -19,10 +19,12 @@
 //! * **Aggregator** — merges per-shard template snapshots under stable
 //!   global group ids, closes sequence-numbered tumbling windows, and
 //!   scores each against recent history.
-//! * **Checkpoints** ([`Checkpoint`]) — parser state (member-free, so
-//!   size scales with templates, not stream length) plus the global id
-//!   map, written atomically; a restored pipeline groups future lines
-//!   exactly as the original would have.
+//! * **Durable checkpoints** ([`Checkpoint`] over `logparse-store`) —
+//!   parser state (member-free, so size scales with templates, not
+//!   stream length) persists as store blobs while every global-id
+//!   mutation streams into per-shard delta logs; a restored pipeline
+//!   groups future lines exactly as the original would have, and
+//!   global template ids survive restarts byte-for-byte.
 //! * **Event log** ([`EventLog`]) — JSONL operational events
 //!   (`ingest_started`, `batch_parsed`, `window_scored`,
 //!   `anomaly_flagged`, `snapshot_written`, `shutdown_complete`).
@@ -142,5 +144,15 @@ impl From<std::io::Error> for IngestError {
 impl From<ParseError> for IngestError {
     fn from(e: ParseError) -> Self {
         IngestError::Parse(e)
+    }
+}
+
+impl From<logparse_store::StoreError> for IngestError {
+    fn from(e: logparse_store::StoreError) -> Self {
+        match e {
+            logparse_store::StoreError::Io(e) => IngestError::Io(e),
+            logparse_store::StoreError::Corrupt(msg) => IngestError::Checkpoint(msg),
+            logparse_store::StoreError::Config(msg) => IngestError::Config(msg),
+        }
     }
 }

@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 
 use logparse_core::Tokenizer;
 use logparse_mining::{PcaDetector, PcaDetectorConfig};
+use logparse_store::{StoreConfig, TemplateStore};
 
 use crate::aggregate::{run_aggregator, AggregatorConfig};
 use crate::checkpoint::{Checkpoint, ParserSnapshot};
@@ -68,8 +69,12 @@ pub struct IngestConfig {
     /// Per-shard lines between full template-list refreshes to the
     /// aggregator (snapshot merging cadence).
     pub refresh_every: usize,
-    /// Where to write checkpoints; `None` disables checkpointing.
-    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Directory of the durable template store checkpoints are written
+    /// into (created on first use); `None` disables checkpointing.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Per-shard delta-log size (bytes) at which the store compacts
+    /// its logs into fresh snapshots in the background.
+    pub store_compact_bytes: u64,
     /// Routed lines between periodic checkpoints; 0 = final only.
     pub checkpoint_every: u64,
     /// Stop after this many lines (useful for bounded serves); `None`
@@ -97,7 +102,8 @@ impl Default for IngestConfig {
             history: 64,
             warmup: 8,
             refresh_every: 5_000,
-            checkpoint_path: None,
+            store_dir: None,
+            store_compact_bytes: logparse_store::DEFAULT_COMPACT_LOG_BYTES,
             checkpoint_every: 0,
             max_lines: None,
             detector: PcaDetectorConfig::default(),
@@ -205,6 +211,10 @@ pub fn run_pipeline(
             )));
         }
     }
+    let store = match &config.store_dir {
+        Some(dir) => Some(open_store(dir, config, resume)?),
+        None => None,
+    };
     let events = Arc::new(events);
     let seq_base = resume.map_or(0, |c| c.lines);
     // Resolve (and pre-register) every stage's metric handles up front so
@@ -260,7 +270,7 @@ pub fn run_pipeline(
             history: config.history,
             warmup: config.warmup,
             detector: PcaDetector::new(config.detector.clone()),
-            checkpoint_path: config.checkpoint_path.clone(),
+            store,
             events: Arc::clone(&events),
             metrics: aggregator_metrics,
             resume: resume.map(|c| c.global.clone()),
@@ -431,6 +441,50 @@ pub fn run_pipeline(
         checkpoints_written: outcome.checkpoints_written,
         final_snapshots: outcome.final_snapshots,
     })
+}
+
+/// Opens (or creates) the durable template store under `dir` and
+/// reconciles what it recovered with the run's resume intent:
+///
+/// * fresh run, non-empty store — refused: silently appending a new
+///   run's ids onto another run's template history would corrupt both.
+/// * resumed run, empty store — the store is seeded with a compacted
+///   snapshot of the checkpoint's map, so the restored global ids are
+///   durable before the first new line arrives.
+/// * resumed run, non-empty store — the id spaces must agree (the
+///   checkpoint was recovered from this store, or an exact copy).
+fn open_store(
+    dir: &std::path::Path,
+    config: &IngestConfig,
+    resume: Option<&Checkpoint>,
+) -> Result<TemplateStore, IngestError> {
+    let store_config = StoreConfig {
+        compact_log_bytes: config.store_compact_bytes,
+        ..StoreConfig::default()
+    };
+    let (mut store, recovery) = TemplateStore::open(dir, &store_config)?;
+    match resume {
+        None if !recovery.state.is_empty() => Err(IngestError::Config(format!(
+            "template store at {} already holds {} global id(s); resume from it \
+             (logmine serve --resume) or point --checkpoint at a fresh directory",
+            dir.display(),
+            recovery.state.len(),
+        ))),
+        Some(checkpoint) if recovery.state.is_empty() => {
+            store.compact(&checkpoint.global.to_map_state())?;
+            Ok(store)
+        }
+        Some(checkpoint) if recovery.state.len() != checkpoint.global.templates.len() => {
+            Err(IngestError::Config(format!(
+                "template store at {} holds {} global id(s) but the resume checkpoint \
+                 has {} — they describe different runs",
+                dir.display(),
+                recovery.state.len(),
+                checkpoint.global.templates.len(),
+            )))
+        }
+        _ => Ok(store),
+    }
 }
 
 /// Routes a raw line to a shard by event shape (first token + token

@@ -9,6 +9,7 @@ use std::sync::{Arc, Mutex};
 use logparse_datasets::hdfs;
 use logparse_ingest::{
     run_pipeline, Checkpoint, EventLog, IngestConfig, IngestSummary, Json, MemorySource,
+    ParserChoice,
 };
 
 const WINDOW: usize = 1_000;
@@ -159,8 +160,9 @@ fn checkpoint_restore_reproduces_the_uninterrupted_run() {
     let lines: Vec<String> = synthetic_stream().into_iter().take(30_000).collect();
     let half = lines.len() / 2;
     let dir = std::env::temp_dir().join(format!("ingest-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    let cp_path = dir.join("checkpoint.json");
+    let store_dir = dir.join("store");
 
     // Reference: one uninterrupted run.
     let mut full = MemorySource::new(lines.clone());
@@ -169,19 +171,22 @@ fn checkpoint_restore_reproduces_the_uninterrupted_run() {
     // Interrupted run: first half, checkpoint at shutdown…
     let mut first = MemorySource::new(lines[..half].to_vec());
     let cp_config = IngestConfig {
-        checkpoint_path: Some(cp_path.clone()),
+        store_dir: Some(store_dir.clone()),
         ..config()
     };
     let part1 = run_pipeline(&mut first, &cp_config, EventLog::disabled(), None).unwrap();
     assert!(part1.checkpoints_written >= 1);
 
-    // …then restore and stream the second half.
-    let checkpoint = Checkpoint::load(&cp_path).unwrap();
+    // …then recover from the store and stream the second half,
+    // checkpointing into the same store (the restart path).
+    let checkpoint = Checkpoint::recover(&store_dir, ParserChoice::Drain, 4)
+        .unwrap()
+        .expect("store holds a checkpoint");
     assert_eq!(checkpoint.lines, half as u64);
     let mut second = MemorySource::new(lines[half..].to_vec());
     let resumed = run_pipeline(
         &mut second,
-        &config(),
+        &cp_config,
         EventLog::disabled(),
         Some(&checkpoint),
     )
@@ -199,12 +204,28 @@ fn checkpoint_restore_reproduces_the_uninterrupted_run() {
     let first_resumed_window = resumed.windows.first().map(|w| w.window);
     assert_eq!(first_resumed_window, Some((half / WINDOW) as u64));
 
-    // The checkpoint file is template-sized, not stream-sized.
-    let size = std::fs::metadata(&cp_path).unwrap().len();
+    // Global ids are stable across the restart: the id space only
+    // grows (a slot, once allocated, is never reused or dropped), and
+    // the store's final recovery carries the whole run's line count.
+    let final_cp = Checkpoint::recover(&store_dir, ParserChoice::Drain, 4)
+        .unwrap()
+        .unwrap();
+    assert_eq!(final_cp.lines, lines.len() as u64);
     assert!(
-        size < 100_000,
-        "checkpoint unexpectedly large: {size} bytes"
+        final_cp.global.templates.len() >= checkpoint.global.templates.len(),
+        "id space shrank across the restart"
     );
+
+    // Checkpoint blobs are template-sized, not stream-sized.
+    for shard in 0..4 {
+        let size = std::fs::metadata(store_dir.join(format!("parser-{shard}.blob")))
+            .unwrap()
+            .len();
+        assert!(
+            size < 100_000,
+            "parser blob unexpectedly large: {size} bytes"
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -212,13 +233,14 @@ fn checkpoint_restore_reproduces_the_uninterrupted_run() {
 fn periodic_checkpoints_are_written_during_the_run() {
     let lines: Vec<String> = synthetic_stream().into_iter().take(10_000).collect();
     let dir = std::env::temp_dir().join(format!("ingest-e2e-periodic-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    let cp_path = dir.join("checkpoint.json");
+    let store_dir = dir.join("store");
     let sink = SharedSink::default();
 
     let mut source = MemorySource::new(lines);
     let cfg = IngestConfig {
-        checkpoint_path: Some(cp_path.clone()),
+        store_dir: Some(store_dir.clone()),
         checkpoint_every: 2_500,
         ..config()
     };
@@ -239,8 +261,15 @@ fn periodic_checkpoints_are_written_during_the_run() {
         .filter(|e| e.get("event").unwrap().as_str() == Some("snapshot_written"))
         .count();
     assert_eq!(written, 5);
-    // The file on disk is the latest generation and loads cleanly.
-    let checkpoint = Checkpoint::load(&cp_path).unwrap();
+    // The store holds the latest generation and recovers cleanly.
+    let checkpoint = Checkpoint::recover(&store_dir, ParserChoice::Drain, 4)
+        .unwrap()
+        .expect("store holds a checkpoint");
     assert_eq!(checkpoint.lines, 10_000);
+
+    // A fresh (non-resumed) run must refuse to reuse the populated
+    // store rather than silently interleaving two id histories.
+    let mut again = MemorySource::new(vec!["one more line".to_string()]);
+    assert!(run_pipeline(&mut again, &cfg, EventLog::disabled(), None).is_err());
     let _ = std::fs::remove_dir_all(&dir);
 }

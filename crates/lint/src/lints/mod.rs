@@ -4,9 +4,10 @@
 //! runner in [`crate::run_files`] applies pragma suppression and
 //! ordering. Scope conventions shared by several lints:
 //!
-//! * **hot-path crates** — `parsers`, `ingest`, `obs`, plus
+//! * **hot-path crates** — `parsers`, `ingest`, `obs`, `store`, plus
 //!   `crates/core/src/parallel.rs` (the parallel driver): the code the
-//!   streaming pipeline and the parallel driver execute per line/batch.
+//!   streaming pipeline and the parallel driver execute per line/batch
+//!   (the store sits on the per-batch durability path).
 //! * Only [`Role::Lib`](crate::source::Role::Lib) code outside
 //!   `#[cfg(test)]` regions is checked unless a lint says otherwise —
 //!   tests, benches, examples and binaries may panic and time freely.
@@ -127,8 +128,10 @@ pub fn is_hot_path(file: &SourceFile) -> bool {
     if file.role != Role::Lib {
         return false;
     }
-    matches!(file.crate_name.as_str(), "parsers" | "ingest" | "obs")
-        || file.rel == "crates/core/src/parallel.rs"
+    matches!(
+        file.crate_name.as_str(),
+        "parsers" | "ingest" | "obs" | "store"
+    ) || file.rel == "crates/core/src/parallel.rs"
 }
 
 /// Yields `(line_no, masked_line)` for every non-test line of `file`.

@@ -17,9 +17,13 @@
 //! reach the sink by [`Journal::flush`] and by `Drop`, so a drained
 //! shutdown (including the SIGTERM path) never truncates the log.
 
+use std::fs::File;
 use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::{Duration, Instant, SystemTime};
+
+use crate::metrics::Counter;
 
 /// Events between forced flushes.
 const FLUSH_EVERY: u64 = 32;
@@ -81,6 +85,85 @@ fn escape_into(s: &str, out: &mut String) {
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }
+    }
+}
+
+/// A size-capped file sink: once the current file would exceed
+/// `max_bytes`, it is rotated to `<path>.1` (existing rotations
+/// shifting to `.2`, `.3`, …, the oldest beyond `keep` deleted) and a
+/// fresh file opened at `path`. Bounds a months-long run's event
+/// stream to roughly `(keep + 1) * max_bytes` on disk.
+///
+/// Rotation happens between `write` calls, so a buffered line that
+/// straddles the cap stays whole unless the buffer itself split it —
+/// the same torn-tail tolerance consumers already need for crashes.
+#[derive(Debug)]
+pub struct RotatingFile {
+    path: PathBuf,
+    file: File,
+    written: u64,
+    max_bytes: u64,
+    keep: usize,
+    rotations: Counter,
+}
+
+fn numbered(path: &Path, n: usize) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(format!(".{n}"));
+    PathBuf::from(name)
+}
+
+impl RotatingFile {
+    /// Creates (truncating) `path` as the current file. `max_bytes`
+    /// is clamped to at least 1; `keep` is the number of rotated
+    /// files retained beside the current one.
+    pub fn create(path: &Path, max_bytes: u64, keep: usize) -> io::Result<RotatingFile> {
+        let file = File::create(path)?;
+        Ok(RotatingFile {
+            path: path.to_path_buf(),
+            file,
+            written: 0,
+            max_bytes: max_bytes.max(1),
+            keep,
+            rotations: crate::global().counter(
+                "obs_journal_rotations_total",
+                "Journal files rotated out because they reached the size cap",
+                &[],
+            ),
+        })
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        if self.keep == 0 {
+            let _ = std::fs::remove_file(&self.path);
+        } else {
+            let _ = std::fs::remove_file(numbered(&self.path, self.keep));
+            for n in (1..self.keep).rev() {
+                let _ = std::fs::rename(numbered(&self.path, n), numbered(&self.path, n + 1));
+            }
+            let _ = std::fs::rename(&self.path, numbered(&self.path, 1));
+        }
+        // Renaming an open file leaves its descriptor valid; creating
+        // the replacement drops the old handle.
+        self.file = File::create(&self.path)?;
+        self.written = 0;
+        self.rotations.inc();
+        Ok(())
+    }
+}
+
+impl Write for RotatingFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.written > 0 && self.written + buf.len() as u64 > self.max_bytes {
+            self.rotate()?;
+        }
+        let n = self.file.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
     }
 }
 
@@ -150,6 +233,13 @@ impl Journal {
     /// A journal that drops every event.
     pub fn disabled() -> Self {
         Journal::new(Box::new(io::sink()))
+    }
+
+    /// A journal writing to a size-rotated file: see [`RotatingFile`].
+    pub fn rotating(path: &Path, max_bytes: u64, keep: usize) -> io::Result<Journal> {
+        Ok(Journal::new(Box::new(RotatingFile::create(
+            path, max_bytes, keep,
+        )?)))
     }
 
     /// This journal's run id.
@@ -306,6 +396,64 @@ mod tests {
             self.0.lock().unwrap().1 += 1;
             Ok(())
         }
+    }
+
+    #[test]
+    fn rotating_file_caps_size_and_shifts_history() {
+        let dir = std::env::temp_dir().join(format!("obs-rotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let mut sink = RotatingFile::create(&path, 64, 2).unwrap();
+        let before = crate::global()
+            .render()
+            .lines()
+            .find(|l| l.starts_with("obs_journal_rotations_total"))
+            .and_then(|l| l.split(' ').next_back())
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        // Each write is 40 bytes; every second write exceeds the
+        // 64-byte cap and rotates first.
+        for i in 0..6 {
+            let line = format!("{{\"event\":\"tick\",\"n\":{i},\"pad\":\"xxxxxx\"}}\n");
+            sink.write_all(line.as_bytes()).unwrap();
+        }
+        sink.flush().unwrap();
+        assert!(path.exists());
+        assert!(numbered(&path, 1).exists());
+        assert!(numbered(&path, 2).exists());
+        assert!(!numbered(&path, 3).exists(), "keep=2 bounds history");
+        assert!(std::fs::metadata(&path).unwrap().len() <= 64);
+        let after = crate::global()
+            .render()
+            .lines()
+            .find(|l| l.starts_with("obs_journal_rotations_total"))
+            .and_then(|l| l.split(' ').next_back())
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        assert!(after > before, "rotations are counted");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotating_journal_keeps_emitting_across_the_cap() {
+        let dir = std::env::temp_dir().join(format!("obs-rotjournal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let journal = Journal::rotating(&path, 512, 1).unwrap();
+        for _ in 0..64 {
+            journal.emit("tick", &[("pad", Value::str("some event payload text"))]);
+        }
+        journal.flush();
+        drop(journal);
+        assert!(
+            numbered(&path, 1).exists(),
+            "cap was passed, history rotated"
+        );
+        assert!(!numbered(&path, 2).exists(), "keep=1 bounds history");
+        let tail = std::fs::read_to_string(&path).unwrap();
+        let head = std::fs::read_to_string(numbered(&path, 1)).unwrap();
+        assert!(!tail.is_empty() || !head.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -63,7 +63,7 @@ mod span;
 
 pub use histogram::{Buckets, Histogram, HistogramSnapshot};
 pub use http::{serve_metrics, MetricsServer};
-pub use journal::Journal;
+pub use journal::{Journal, RotatingFile};
 pub use metrics::{Counter, Gauge};
 pub use registry::{global, MetricKind, Registry};
 pub use span::{Span, TraceEvent};

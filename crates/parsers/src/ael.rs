@@ -120,7 +120,7 @@ impl LogParser for Ael {
                     if is_dynamic(t, self.anonymize_numbers) {
                         "$v"
                     } else {
-                        t.as_str()
+                        *t
                     }
                 })
                 .collect();

@@ -1,0 +1,416 @@
+//! Payload encoding for store records.
+//!
+//! Every framed payload starts with a one-byte tag; all integers are
+//! little-endian and fixed-width (u32 for lengths/versions, u64 for
+//! ids and counts), strings are length-prefixed UTF-8. Two record
+//! families share the format:
+//!
+//! * snapshot records (`0x0_`): a header, one slot record per global
+//!   template id, one assign record per `(worker shard, local id)`
+//!   binding, and a footer carrying the expected counts — a snapshot
+//!   is only accepted when header, counts and framing all agree;
+//! * delta-log records (`0x1_`/`0x2_`): a log header stamping the
+//!   shard and generation, then one record per [`MergeDelta`] in
+//!   write order.
+//!
+//! Decoding is strict and total: every read is bounds-checked, every
+//! unused byte is an error, and no input can panic the decoder —
+//! corruption that slips past the CRC (or a version skew) surfaces as
+//! [`DecodeError`], which recovery treats exactly like a framing
+//! failure.
+
+use logparse_core::MergeDelta;
+
+/// On-disk format version stamped into every header record.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic string opening the store manifest.
+pub const MANIFEST_MAGIC: &str = "logparse-store";
+
+const TAG_SNAP_HEADER: u8 = 0x01;
+const TAG_SNAP_SLOT: u8 = 0x02;
+const TAG_SNAP_ASSIGN: u8 = 0x03;
+const TAG_SNAP_FOOTER: u8 = 0x04;
+const TAG_INSERT: u8 = 0x11;
+const TAG_ASSIGN: u8 = 0x12;
+const TAG_REFINE: u8 = 0x13;
+const TAG_UNION: u8 = 0x14;
+const TAG_LOG_HEADER: u8 = 0x21;
+const TAG_MANIFEST: u8 = 0x31;
+
+/// A decoded record payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Opens a snapshot file.
+    SnapHeader(FileHeader),
+    /// One global template slot: its id, union-find parent and key.
+    SnapSlot {
+        /// Global template id.
+        gid: usize,
+        /// Union-find parent (equal to `gid` for roots).
+        parent: usize,
+        /// Template key (empty for tombstones).
+        key: String,
+    },
+    /// One `(worker shard, local id) -> gid` binding.
+    SnapAssign {
+        /// Worker shard that announced the template.
+        shard: usize,
+        /// Local template id within that worker shard.
+        local: usize,
+        /// Global template id it resolves to.
+        gid: usize,
+    },
+    /// Closes a snapshot file; counts must match the records seen.
+    SnapFooter {
+        /// Number of `SnapSlot` records in the snapshot.
+        slots: u64,
+        /// Number of `SnapAssign` records in the snapshot.
+        assigns: u64,
+    },
+    /// Opens a delta-log file.
+    LogHeader(FileHeader),
+    /// A replayable template mutation.
+    Delta(MergeDelta),
+    /// The store manifest (root directory).
+    Manifest {
+        /// Format version of the store.
+        version: u32,
+        /// Number of store shards; fixed at creation.
+        shard_count: usize,
+    },
+}
+
+/// Identification stamped at the head of every snapshot and log file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Format version the file was written with.
+    pub version: u32,
+    /// Store shard the file belongs to.
+    pub shard: usize,
+    /// Total store shards at write time.
+    pub shard_count: usize,
+    /// Generation of the file.
+    pub generation: u64,
+}
+
+/// A payload that failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "record decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_usize(out: &mut Vec<u8>, v: usize) {
+    push_u64(out, v as u64);
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_header(out: &mut Vec<u8>, tag: u8, header: &FileHeader) {
+    out.push(tag);
+    push_u32(out, header.version);
+    push_usize(out, header.shard);
+    push_usize(out, header.shard_count);
+    push_u64(out, header.generation);
+}
+
+impl Payload {
+    /// Encodes the payload (the bytes the frame CRC covers).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Payload::SnapHeader(h) => push_header(&mut out, TAG_SNAP_HEADER, h),
+            Payload::SnapSlot { gid, parent, key } => {
+                out.push(TAG_SNAP_SLOT);
+                push_usize(&mut out, *gid);
+                push_usize(&mut out, *parent);
+                push_str(&mut out, key);
+            }
+            Payload::SnapAssign { shard, local, gid } => {
+                out.push(TAG_SNAP_ASSIGN);
+                push_usize(&mut out, *shard);
+                push_usize(&mut out, *local);
+                push_usize(&mut out, *gid);
+            }
+            Payload::SnapFooter { slots, assigns } => {
+                out.push(TAG_SNAP_FOOTER);
+                push_u64(&mut out, *slots);
+                push_u64(&mut out, *assigns);
+            }
+            Payload::LogHeader(h) => push_header(&mut out, TAG_LOG_HEADER, h),
+            Payload::Delta(delta) => match delta {
+                MergeDelta::Insert { gid, key } => {
+                    out.push(TAG_INSERT);
+                    push_usize(&mut out, *gid);
+                    push_str(&mut out, key);
+                }
+                MergeDelta::Assign { shard, local, gid } => {
+                    out.push(TAG_ASSIGN);
+                    push_usize(&mut out, *shard);
+                    push_usize(&mut out, *local);
+                    push_usize(&mut out, *gid);
+                }
+                MergeDelta::Refine { gid, key } => {
+                    out.push(TAG_REFINE);
+                    push_usize(&mut out, *gid);
+                    push_str(&mut out, key);
+                }
+                MergeDelta::Union { winner, loser } => {
+                    out.push(TAG_UNION);
+                    push_usize(&mut out, *winner);
+                    push_usize(&mut out, *loser);
+                }
+            },
+            Payload::Manifest {
+                version,
+                shard_count,
+            } => {
+                out.push(TAG_MANIFEST);
+                push_str(&mut out, MANIFEST_MAGIC);
+                push_u32(&mut out, *version);
+                push_usize(&mut out, *shard_count);
+            }
+        }
+        out
+    }
+
+    /// Decodes one payload; every byte must be consumed.
+    pub fn decode(bytes: &[u8]) -> Result<Payload, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let payload = match tag {
+            TAG_SNAP_HEADER => Payload::SnapHeader(r.header()?),
+            TAG_SNAP_SLOT => Payload::SnapSlot {
+                gid: r.id()?,
+                parent: r.id()?,
+                key: r.string()?,
+            },
+            TAG_SNAP_ASSIGN => Payload::SnapAssign {
+                shard: r.id()?,
+                local: r.id()?,
+                gid: r.id()?,
+            },
+            TAG_SNAP_FOOTER => Payload::SnapFooter {
+                slots: r.u64()?,
+                assigns: r.u64()?,
+            },
+            TAG_LOG_HEADER => Payload::LogHeader(r.header()?),
+            TAG_INSERT => Payload::Delta(MergeDelta::Insert {
+                gid: r.id()?,
+                key: r.string()?,
+            }),
+            TAG_ASSIGN => Payload::Delta(MergeDelta::Assign {
+                shard: r.id()?,
+                local: r.id()?,
+                gid: r.id()?,
+            }),
+            TAG_REFINE => Payload::Delta(MergeDelta::Refine {
+                gid: r.id()?,
+                key: r.string()?,
+            }),
+            TAG_UNION => Payload::Delta(MergeDelta::Union {
+                winner: r.id()?,
+                loser: r.id()?,
+            }),
+            TAG_MANIFEST => {
+                let magic = r.string()?;
+                if magic != MANIFEST_MAGIC {
+                    return Err(DecodeError(format!("bad manifest magic {magic:?}")));
+                }
+                Payload::Manifest {
+                    version: r.u32()?,
+                    shard_count: r.id()?,
+                }
+            }
+            other => return Err(DecodeError(format!("unknown record tag 0x{other:02x}"))),
+        };
+        r.finish()?;
+        Ok(payload)
+    }
+}
+
+/// Bounds-checked little-endian cursor; all reads are fallible.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| DecodeError("record truncated".into()))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn id(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.u64()?).map_err(|_| DecodeError("id exceeds usize".into()))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("key is not UTF-8".into()))
+    }
+
+    fn header(&mut self) -> Result<FileHeader, DecodeError> {
+        Ok(FileHeader {
+            version: self.u32()?,
+            shard: self.id()?,
+            shard_count: self.id()?,
+            generation: self.u64()?,
+        })
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError(format!(
+                "{} trailing bytes after record",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(payload: Payload) {
+        let bytes = payload.encode();
+        assert_eq!(Payload::decode(&bytes), Ok(payload));
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let header = FileHeader {
+            version: FORMAT_VERSION,
+            shard: 3,
+            shard_count: 8,
+            generation: 42,
+        };
+        round_trip(Payload::SnapHeader(header));
+        round_trip(Payload::LogHeader(header));
+        round_trip(Payload::SnapSlot {
+            gid: 17,
+            parent: 4,
+            key: "Receiving block <*> src <*>".into(),
+        });
+        round_trip(Payload::SnapSlot {
+            gid: 0,
+            parent: 0,
+            key: String::new(),
+        });
+        round_trip(Payload::SnapAssign {
+            shard: 2,
+            local: 95,
+            gid: 17,
+        });
+        round_trip(Payload::SnapFooter {
+            slots: 1000,
+            assigns: 4000,
+        });
+        round_trip(Payload::Delta(MergeDelta::Insert {
+            gid: 9,
+            key: "PacketResponder <*> terminating".into(),
+        }));
+        round_trip(Payload::Delta(MergeDelta::Assign {
+            shard: 1,
+            local: 2,
+            gid: 9,
+        }));
+        round_trip(Payload::Delta(MergeDelta::Refine {
+            gid: 9,
+            key: "PacketResponder <*> <*>".into(),
+        }));
+        round_trip(Payload::Delta(MergeDelta::Union {
+            winner: 4,
+            loser: 9,
+        }));
+        round_trip(Payload::Manifest {
+            version: FORMAT_VERSION,
+            shard_count: 8,
+        });
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = Payload::SnapFooter {
+            slots: 1,
+            assigns: 2,
+        }
+        .encode();
+        bytes.push(0);
+        assert!(Payload::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_and_unknown_tags_are_errors_not_panics() {
+        let full = Payload::SnapSlot {
+            gid: 5,
+            parent: 5,
+            key: "a template with some length".into(),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Payload::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(Payload::decode(&[0x7F, 0, 0]).is_err());
+        assert!(Payload::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn manifest_magic_is_enforced() {
+        let mut bytes = Payload::Manifest {
+            version: 1,
+            shard_count: 4,
+        }
+        .encode();
+        // Corrupt the first magic byte ('l' -> 'L').
+        bytes[5] = b'L';
+        assert!(Payload::decode(&bytes).is_err());
+    }
+}

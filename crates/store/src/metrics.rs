@@ -1,0 +1,78 @@
+//! Metric handles for the template store.
+//!
+//! Resolved once per open store against the process-global
+//! [`logparse_obs`] registry, so `logmine serve --metrics-addr`
+//! scrapes show store activity alongside the pipeline stages. Family
+//! names stay string literals at their registration call so the
+//! obs-metric-hygiene lint can cross-check them against DESIGN.md's
+//! Observability table.
+
+use logparse_obs::{global, Buckets, Counter, Histogram};
+
+/// Store-wide metric handles.
+#[derive(Debug, Clone)]
+pub(crate) struct StoreMetrics {
+    /// `store_snapshot_seconds` — latency of writing one full
+    /// snapshot generation (all shards).
+    pub snapshot_seconds: Histogram,
+    /// `store_replay_records_total` — records replayed during
+    /// recovery (snapshot slots, assigns and log deltas).
+    pub replay_records: Counter,
+    /// `store_compaction_runs_total` — completed compactions.
+    pub compaction_runs: Counter,
+    /// `store_quarantined_shards_total` — shards moved aside because
+    /// recovery could not reconstruct a consistent state.
+    pub quarantined_shards: Counter,
+}
+
+impl StoreMetrics {
+    /// Resolves (and thereby pre-registers) every store family.
+    pub fn new() -> Self {
+        let registry = global();
+        StoreMetrics {
+            snapshot_seconds: registry.histogram(
+                "store_snapshot_seconds",
+                "Latency of writing one snapshot generation across all store shards",
+                &Buckets::durations(),
+                &[],
+            ),
+            replay_records: registry.counter(
+                "store_replay_records_total",
+                "Records replayed while recovering store state at open",
+                &[],
+            ),
+            compaction_runs: registry.counter(
+                "store_compaction_runs_total",
+                "Delta-log compactions folded into fresh snapshots",
+                &[],
+            ),
+            quarantined_shards: registry.counter(
+                "store_quarantined_shards_total",
+                "Store shards quarantined because recovery found them inconsistent",
+                &[],
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_metrics_pre_register_every_family() {
+        let _metrics = StoreMetrics::new();
+        let text = global().render();
+        for family in [
+            "store_snapshot_seconds",
+            "store_replay_records_total",
+            "store_compaction_runs_total",
+            "store_quarantined_shards_total",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "family {family} not pre-registered"
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The replayed template map: the materialized result of applying a
+//! snapshot plus its delta logs.
+//!
+//! [`MapState`] is the store's value type — a plain, fully-owned image
+//! of the global template table that `logparse-ingest`'s `GlobalMap`
+//! both exports (for snapshots) and rebuilds from (at restart). It is
+//! valid by construction: every write grows the table first
+//! ([`MapState::ensure`]), so no replayed record, however corrupt its
+//! ids, can index out of range.
+//!
+//! Replay reproduces the *partition* of the live union-find, not its
+//! raw parent array: the live merge path-halves on lookup, so its
+//! parent pointers compress over time, while replayed parents step
+//! through recorded unions only. [`MapState::resolve_root`] gives the
+//! canonical representative either way.
+
+use logparse_core::MergeDelta;
+use std::collections::BTreeMap;
+
+/// A materialized global template map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapState {
+    /// Template key per global id. Ids never observed (a hole left by
+    /// a quarantined shard) hold an empty-string tombstone.
+    pub templates: Vec<String>,
+    /// Union-find parent per global id (`parent[i] == i` for roots).
+    pub parent: Vec<usize>,
+    /// `(worker shard, local id) -> global id` bindings. Ordered so
+    /// snapshots serialize deterministically.
+    pub assign: BTreeMap<(usize, usize), usize>,
+}
+
+impl MapState {
+    /// An empty map.
+    pub fn new() -> Self {
+        MapState::default()
+    }
+
+    /// Number of global id slots (including tombstones).
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the map holds no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Grows the table so `gid` is a valid index. New slots are
+    /// self-parented empty-string tombstones — they stay inert unless
+    /// a later record writes them.
+    pub fn ensure(&mut self, gid: usize) {
+        while self.templates.len() <= gid {
+            self.templates.push(String::new());
+            self.parent.push(self.parent.len());
+        }
+    }
+
+    /// Applies one delta. Total: out-of-range ids grow the table,
+    /// never index past it.
+    pub fn apply(&mut self, delta: &MergeDelta) {
+        match delta {
+            MergeDelta::Insert { gid, key } | MergeDelta::Refine { gid, key } => {
+                self.ensure(*gid);
+                self.templates[*gid] = key.clone();
+            }
+            MergeDelta::Assign { shard, local, gid } => {
+                self.ensure(*gid);
+                self.assign.insert((*shard, *local), *gid);
+            }
+            MergeDelta::Union { winner, loser } => {
+                self.ensure(*winner);
+                self.ensure(*loser);
+                if winner != loser {
+                    self.parent[*loser] = *winner;
+                }
+            }
+        }
+    }
+
+    /// Writes one snapshot slot (id, parent pointer, key).
+    pub fn set_slot(&mut self, gid: usize, parent: usize, key: String) {
+        self.ensure(gid);
+        self.ensure(parent);
+        self.templates[gid] = key;
+        self.parent[gid] = parent;
+    }
+
+    /// The canonical (root) id for `gid`, without mutating the parent
+    /// chain. Iteration is capped at the table length, so a corrupt
+    /// parent cycle terminates instead of spinning.
+    pub fn resolve_root(&self, gid: usize) -> usize {
+        if gid >= self.parent.len() {
+            return gid;
+        }
+        let mut current = gid;
+        for _ in 0..self.parent.len() {
+            let up = self.parent[current];
+            if up == current {
+                return current;
+            }
+            current = up;
+        }
+        current
+    }
+
+    /// The distinct canonical template keys, in root-id order — the
+    /// set a restarted pipeline serves.
+    pub fn canonical_templates(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for gid in 0..self.templates.len() {
+            if self.resolve_root(gid) == gid && !self.templates[gid].is_empty() {
+                out.push(self.templates[gid].clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replaying_deltas_rebuilds_the_table() {
+        let mut state = MapState::new();
+        state.apply(&MergeDelta::Insert {
+            gid: 0,
+            key: "a <*>".into(),
+        });
+        state.apply(&MergeDelta::Assign {
+            shard: 0,
+            local: 0,
+            gid: 0,
+        });
+        state.apply(&MergeDelta::Insert {
+            gid: 1,
+            key: "b <*>".into(),
+        });
+        state.apply(&MergeDelta::Assign {
+            shard: 1,
+            local: 0,
+            gid: 1,
+        });
+        state.apply(&MergeDelta::Union {
+            winner: 0,
+            loser: 1,
+        });
+        state.apply(&MergeDelta::Refine {
+            gid: 0,
+            key: "ab <*>".into(),
+        });
+        assert_eq!(state.len(), 2);
+        assert_eq!(state.resolve_root(1), 0);
+        assert_eq!(state.canonical_templates(), vec!["ab <*>".to_string()]);
+        assert_eq!(state.assign.get(&(1, 0)), Some(&1));
+    }
+
+    #[test]
+    fn out_of_range_ids_grow_tombstones_instead_of_panicking() {
+        let mut state = MapState::new();
+        state.apply(&MergeDelta::Union {
+            winner: 7,
+            loser: 3,
+        });
+        assert_eq!(state.len(), 8);
+        assert_eq!(state.resolve_root(3), 7);
+        assert!(
+            state.canonical_templates().is_empty(),
+            "tombstones are not served"
+        );
+        state.apply(&MergeDelta::Assign {
+            shard: 0,
+            local: 5,
+            gid: 12,
+        });
+        assert_eq!(state.len(), 13);
+    }
+
+    #[test]
+    fn resolve_root_survives_a_corrupt_parent_cycle() {
+        let mut state = MapState::new();
+        state.ensure(2);
+        state.parent[0] = 1;
+        state.parent[1] = 0;
+        // No canonical answer exists; the contract is termination.
+        let root = state.resolve_root(0);
+        assert!(root == 0 || root == 1);
+    }
+
+    #[test]
+    fn self_union_is_a_noop() {
+        let mut state = MapState::new();
+        state.apply(&MergeDelta::Union {
+            winner: 2,
+            loser: 2,
+        });
+        assert_eq!(state.resolve_root(2), 2);
+    }
+}

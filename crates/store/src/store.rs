@@ -1,0 +1,1063 @@
+//! The store proper: open/recover, delta appends, compaction and
+//! quarantine.
+//!
+//! On-disk layout under the store directory:
+//!
+//! ```text
+//! MANIFEST             one framed record: magic, version, shard count
+//! <name>.blob          framed auxiliary blobs (checkpoint metadata)
+//! shard-<i>/
+//!   snap-<g>.snap      full snapshot of shard i at generation g
+//!   delta-<g>.log      appends since snapshot g
+//! quarantine/
+//!   shard-<i>-<n>      shard directories recovery gave up on
+//! ```
+//!
+//! Recovery runs per shard: the newest fully-valid snapshot becomes
+//! the base, and every log generation from the base upward replays on
+//! top — the final (highest) generation tolerates a torn tail, which
+//! is truncated away before appends resume. A shard whose chain
+//! cannot be reconstructed (a generation gap, a corrupt record in a
+//! non-final log, no valid snapshot under a pruned log chain) is
+//! *quarantined*: its directory is moved aside and a fresh shard
+//! takes its place, so one bad disk region degrades the template map
+//! instead of killing the store.
+//!
+//! Replay order matters across shards: all snapshot records apply
+//! first (their slot sets are disjoint by routing), then all log
+//! records in generation-major order — a union recorded in shard A's
+//! log may predate the snapshot shard B was rebuilt from, and
+//! generation order is the only order that serializes them correctly.
+
+use crate::codec::{Payload, FORMAT_VERSION};
+use crate::frame::{append_record, Frame, FrameReader};
+use crate::metrics::StoreMetrics;
+use crate::shard::{
+    encode_snapshot, log_name, read_log, read_snapshot, route_assign, route_slot, scan_dir,
+    snap_name, ShardWriter, SnapshotData,
+};
+use crate::state::MapState;
+use crate::{sync_dir, write_atomic, StoreError};
+use logparse_core::MergeDelta;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
+
+/// Default number of store shards fixed at creation.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Default per-shard log size that triggers compaction (1 MiB).
+pub const DEFAULT_COMPACT_LOG_BYTES: u64 = 1 << 20;
+
+/// Store creation / compaction tuning.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Store shards to create (ignored when opening an existing
+    /// store — the manifest's count wins).
+    pub shards: usize,
+    /// Per-shard delta-log size at which [`TemplateStore::should_compact`]
+    /// starts answering true.
+    pub compact_log_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: DEFAULT_SHARDS,
+            compact_log_bytes: DEFAULT_COMPACT_LOG_BYTES,
+        }
+    }
+}
+
+/// What recovery found in one shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Generation of the snapshot the shard was rebuilt from.
+    pub snapshot_generation: Option<u64>,
+    /// Log generations replayed on top of the snapshot, ascending.
+    pub log_generations: Vec<u64>,
+    /// Records contributed to the rebuilt state (snapshot slots,
+    /// assigns and log deltas).
+    pub records_replayed: u64,
+    /// Bytes discarded from the final log's torn tail.
+    pub torn_tail_bytes: u64,
+    /// Snapshots newer than the chosen base that failed validation.
+    pub snapshots_rejected: usize,
+    /// Whether the shard was (or, for a read-only scan, would be)
+    /// quarantined.
+    pub quarantined: bool,
+}
+
+/// The outcome of opening or scanning a store.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// The rebuilt template map (quarantined shards excluded).
+    pub state: MapState,
+    /// Per-shard detail, indexed by shard.
+    pub reports: Vec<ShardReport>,
+    /// Total records replayed across all shards.
+    pub replayed_records: u64,
+    /// Shards quarantined (or needing quarantine, read-only).
+    pub quarantined_shards: usize,
+}
+
+/// The outcome of reading an auxiliary blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobRead {
+    /// No blob with that name exists.
+    Missing,
+    /// A file exists but its framing or checksum is invalid.
+    Corrupt,
+    /// The blob's payload, verified.
+    Ok(Vec<u8>),
+}
+
+/// Everything recovery learned about one shard before any repair.
+struct ShardPlan {
+    report: ShardReport,
+    snapshot: Option<SnapshotData>,
+    /// Replayable log batches, ascending generation.
+    logs: Vec<(u64, Vec<MergeDelta>)>,
+    /// `(generation, valid_prefix)` of the final log, if the shard's
+    /// current log can be resumed in place.
+    resume: Option<(u64, u64)>,
+    /// Highest generation present in the shard (0 when fresh).
+    max_generation: u64,
+    /// No files at all — a brand-new shard.
+    fresh: bool,
+}
+
+fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}"))
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST")
+}
+
+fn other_error(msg: String) -> StoreError {
+    StoreError::Io(io::Error::other(msg))
+}
+
+/// Decodes the single framed record a manifest or blob file holds.
+fn read_single_record(bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut reader = FrameReader::new(bytes);
+    let payload = match reader.next() {
+        Frame::Record(payload) => payload.to_vec(),
+        _ => return None,
+    };
+    match reader.next() {
+        Frame::Eof => Some(payload),
+        _ => None,
+    }
+}
+
+fn read_manifest(dir: &Path) -> Result<usize, StoreError> {
+    let bytes = fs::read(manifest_path(dir))?;
+    let record = read_single_record(&bytes)
+        .ok_or_else(|| StoreError::Corrupt("manifest framing invalid".into()))?;
+    match Payload::decode(&record) {
+        Ok(Payload::Manifest {
+            version,
+            shard_count,
+        }) => {
+            if version != FORMAT_VERSION {
+                return Err(StoreError::Corrupt(format!(
+                    "manifest version {version} unsupported (expected {FORMAT_VERSION})"
+                )));
+            }
+            if shard_count == 0 {
+                return Err(StoreError::Corrupt("manifest declares zero shards".into()));
+            }
+            Ok(shard_count)
+        }
+        Ok(_) => Err(StoreError::Corrupt(
+            "manifest holds a non-manifest record".into(),
+        )),
+        Err(err) => Err(StoreError::Corrupt(format!("manifest undecodable: {err}"))),
+    }
+}
+
+fn write_manifest(dir: &Path, shard_count: usize) -> Result<(), StoreError> {
+    let mut bytes = Vec::with_capacity(64);
+    append_record(
+        &mut bytes,
+        &Payload::Manifest {
+            version: FORMAT_VERSION,
+            shard_count,
+        }
+        .encode(),
+    );
+    write_atomic(&manifest_path(dir), &bytes)?;
+    Ok(())
+}
+
+/// Scans one shard directory and decides how (whether) to rebuild it.
+/// Pure analysis: nothing on disk is modified.
+fn plan_shard(dir: &Path, shard: usize, shard_count: usize) -> Result<ShardPlan, StoreError> {
+    let sdir = shard_dir(dir, shard);
+    let mut plan = ShardPlan {
+        report: ShardReport {
+            shard,
+            ..ShardReport::default()
+        },
+        snapshot: None,
+        logs: Vec::new(),
+        resume: None,
+        max_generation: 0,
+        fresh: true,
+    };
+    if !sdir.is_dir() {
+        return Ok(plan);
+    }
+    let files = scan_dir(&sdir)?;
+    if files.snaps.is_empty() && files.logs.is_empty() {
+        return Ok(plan);
+    }
+    plan.fresh = false;
+
+    // Newest fully-valid snapshot wins; invalid ones are counted and
+    // skipped (an older valid snapshot plus its logs is still exact).
+    for &generation in files.snaps.iter().rev() {
+        let bytes = fs::read(sdir.join(snap_name(generation)))?;
+        match read_snapshot(&bytes, shard, shard_count, generation) {
+            Ok(data) => {
+                plan.report.snapshot_generation = Some(generation);
+                plan.snapshot = Some(data);
+                break;
+            }
+            Err(_) => plan.report.snapshots_rejected += 1,
+        }
+    }
+    let base = plan.report.snapshot_generation.unwrap_or(0);
+    let had_snapshots = !files.snaps.is_empty();
+    if plan.snapshot.is_none() && had_snapshots && !files.logs.contains(&0) {
+        // Every snapshot rejected and the log chain cannot restart
+        // from zero: history is gone.
+        plan.report.quarantined = true;
+    }
+    let max_log = files.logs.last().copied().unwrap_or(0);
+    plan.max_generation = base.max(max_log);
+    if plan.report.quarantined || max_log < base {
+        // Either already condemned, or a snapshot-only shard (its log
+        // was lost with everything after the snapshot — the snapshot
+        // itself is still an exact prefix, so it stands).
+        return Ok(plan);
+    }
+    for generation in base..=max_log {
+        if !files.logs.contains(&generation) {
+            plan.report.quarantined = true;
+            break;
+        }
+        let bytes = fs::read(sdir.join(log_name(generation)))?;
+        let scan = read_log(&bytes, shard, shard_count, generation);
+        let is_final = generation == max_log;
+        if is_final {
+            plan.report.torn_tail_bytes = scan.torn_bytes;
+            plan.resume = Some((generation, scan.valid_prefix));
+            plan.report.log_generations.push(generation);
+            plan.logs.push((generation, scan.deltas));
+        } else if scan.is_clean() {
+            plan.report.log_generations.push(generation);
+            plan.logs.push((generation, scan.deltas));
+        } else {
+            // Corruption strictly inside history — replaying past it
+            // would serve wrong templates. Give the shard up.
+            plan.report.quarantined = true;
+            break;
+        }
+    }
+    if plan.report.quarantined {
+        plan.report.log_generations.clear();
+        plan.logs.clear();
+        plan.resume = None;
+    }
+    Ok(plan)
+}
+
+/// Builds the global state from per-shard plans: snapshots first
+/// (disjoint slot sets), then logs in generation-major order.
+fn replay(plans: &mut [ShardPlan]) -> MapState {
+    let mut state = MapState::new();
+    for plan in plans.iter_mut() {
+        if plan.report.quarantined {
+            continue;
+        }
+        if let Some(snapshot) = &plan.snapshot {
+            for (gid, parent, key) in &snapshot.slots {
+                state.set_slot(*gid, *parent, key.clone());
+            }
+            for (shard, local, gid) in &snapshot.assigns {
+                state.ensure(*gid);
+                state.assign.insert((*shard, *local), *gid);
+            }
+            plan.report.records_replayed += (snapshot.slots.len() + snapshot.assigns.len()) as u64;
+        }
+    }
+    let mut batches: Vec<(u64, usize)> = Vec::new();
+    for (idx, plan) in plans.iter().enumerate() {
+        if plan.report.quarantined {
+            continue;
+        }
+        for (generation, _) in &plan.logs {
+            batches.push((*generation, idx));
+        }
+    }
+    batches.sort_unstable();
+    for (generation, idx) in batches {
+        let Some(plan) = plans.get_mut(idx) else {
+            continue;
+        };
+        let mut replayed = 0u64;
+        for (log_generation, deltas) in &plan.logs {
+            if *log_generation != generation {
+                continue;
+            }
+            for delta in deltas {
+                state.apply(delta);
+            }
+            replayed += deltas.len() as u64;
+        }
+        plan.report.records_replayed += replayed;
+    }
+    state
+}
+
+fn summarize(plans: &[ShardPlan], state: MapState) -> Recovery {
+    let reports: Vec<ShardReport> = plans.iter().map(|p| p.report.clone()).collect();
+    let replayed_records = reports.iter().map(|r| r.records_replayed).sum();
+    let quarantined_shards = reports.iter().filter(|r| r.quarantined).count();
+    Recovery {
+        state,
+        reports,
+        replayed_records,
+        quarantined_shards,
+    }
+}
+
+/// The shard's routed portion of a global state — what its snapshot
+/// holds.
+fn shard_portion(state: &MapState, shard: usize, shard_count: usize) -> SnapshotData {
+    let mut data = SnapshotData::default();
+    for gid in 0..state.templates.len() {
+        if route_slot(gid, shard_count) == shard {
+            let parent = state.parent.get(gid).copied().unwrap_or(gid);
+            let key = state.templates.get(gid).cloned().unwrap_or_default();
+            data.slots.push((gid, parent, key));
+        }
+    }
+    for ((worker_shard, local), gid) in &state.assign {
+        if route_assign(*worker_shard, *local, shard_count) == shard {
+            data.assigns.push((*worker_shard, *local, *gid));
+        }
+    }
+    data
+}
+
+/// Writes generation `generation` snapshots for every shard and
+/// removes all older generations. The shared body of inline and
+/// background compaction.
+fn write_generation(
+    dir: &Path,
+    shard_count: usize,
+    generation: u64,
+    state: &MapState,
+    metrics: &StoreMetrics,
+) -> io::Result<()> {
+    let span =
+        logparse_obs::global().span_into(metrics.snapshot_seconds.clone(), "store_snapshot", &[]);
+    for shard in 0..shard_count {
+        let data = shard_portion(state, shard, shard_count);
+        let bytes = encode_snapshot(shard, shard_count, generation, &data);
+        write_atomic(&shard_dir(dir, shard).join(snap_name(generation)), &bytes)?;
+    }
+    span.finish();
+    for shard in 0..shard_count {
+        cleanup_shard(dir, shard, generation)?;
+    }
+    metrics.compaction_runs.inc();
+    Ok(())
+}
+
+/// Removes snapshot and log generations older than `keep_from`.
+fn cleanup_shard(dir: &Path, shard: usize, keep_from: u64) -> io::Result<()> {
+    let sdir = shard_dir(dir, shard);
+    let files = scan_dir(&sdir)?;
+    let mut removed = false;
+    for generation in files.snaps.iter().filter(|&&g| g < keep_from) {
+        fs::remove_file(sdir.join(snap_name(*generation)))?;
+        removed = true;
+    }
+    for generation in files.logs.iter().filter(|&&g| g < keep_from) {
+        fs::remove_file(sdir.join(log_name(*generation)))?;
+        removed = true;
+    }
+    if removed {
+        sync_dir(&sdir)?;
+    }
+    Ok(())
+}
+
+/// Moves a condemned shard directory into `quarantine/shard-<i>-<n>`,
+/// picking the first free numeric suffix.
+fn quarantine_shard(dir: &Path, shard: usize) -> Result<(), StoreError> {
+    let qdir = dir.join("quarantine");
+    fs::create_dir_all(&qdir)?;
+    let sdir = shard_dir(dir, shard);
+    for n in 0..10_000u32 {
+        let target = qdir.join(format!("shard-{shard}-{n}"));
+        if target.exists() {
+            continue;
+        }
+        fs::rename(&sdir, &target)?;
+        sync_dir(&qdir)?;
+        sync_dir(dir)?;
+        return Ok(());
+    }
+    Err(StoreError::Corrupt(format!(
+        "shard {shard} has 10000 quarantined generations"
+    )))
+}
+
+struct CompactJob {
+    dir: PathBuf,
+    shard_count: usize,
+    generation: u64,
+    state: MapState,
+}
+
+/// The lazily-spawned background compactor. One job in flight at a
+/// time; results come back over `done` and are surfaced at the next
+/// compaction request or at [`TemplateStore::finish`].
+struct Compactor {
+    jobs: Option<mpsc::Sender<CompactJob>>,
+    done: mpsc::Receiver<Result<(), String>>,
+    handle: Option<thread::JoinHandle<()>>,
+    in_flight: bool,
+}
+
+impl Compactor {
+    fn spawn(metrics: StoreMetrics) -> Compactor {
+        let (jobs_tx, jobs_rx) = mpsc::channel::<CompactJob>();
+        let (done_tx, done_rx) = mpsc::channel();
+        let handle = thread::spawn(move || {
+            while let Ok(job) = jobs_rx.recv() {
+                let result = write_generation(
+                    &job.dir,
+                    job.shard_count,
+                    job.generation,
+                    &job.state,
+                    &metrics,
+                )
+                .map_err(|err| err.to_string());
+                if done_tx.send(result).is_err() {
+                    return;
+                }
+            }
+        });
+        Compactor {
+            jobs: Some(jobs_tx),
+            done: done_rx,
+            handle: Some(handle),
+            in_flight: false,
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        // Closing the job channel ends the worker loop; join after,
+        // never before, or the drop would deadlock.
+        self.jobs = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A durable sharded template store.
+pub struct TemplateStore {
+    dir: PathBuf,
+    shards: usize,
+    compact_log_bytes: u64,
+    generation: u64,
+    writers: Vec<ShardWriter>,
+    metrics: StoreMetrics,
+    compactor: Option<Compactor>,
+}
+
+impl std::fmt::Debug for TemplateStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TemplateStore")
+            .field("dir", &self.dir)
+            .field("shards", &self.shards)
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TemplateStore {
+    /// Whether `dir` holds a store (a manifest file exists).
+    pub fn is_store(dir: &Path) -> bool {
+        manifest_path(dir).is_file()
+    }
+
+    /// Opens (creating if necessary) the store at `dir`, recovering
+    /// whatever state its snapshots and logs hold. Quarantines
+    /// unrecoverable shards, truncates torn log tails, and leaves
+    /// every shard ready for appends.
+    pub fn open(dir: &Path, config: &StoreConfig) -> Result<(TemplateStore, Recovery), StoreError> {
+        if config.shards == 0 {
+            return Err(StoreError::Config("store needs at least one shard".into()));
+        }
+        fs::create_dir_all(dir)?;
+        let shards = if TemplateStore::is_store(dir) {
+            read_manifest(dir)?
+        } else {
+            write_manifest(dir, config.shards)?;
+            config.shards
+        };
+        let mut plans = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            plans.push(plan_shard(dir, shard, shards)?);
+        }
+        let generation = plans.iter().map(|p| p.max_generation).max().unwrap_or(0);
+        let state = replay(&mut plans);
+        let metrics = StoreMetrics::new();
+
+        let mut writers = Vec::with_capacity(shards);
+        for plan in &plans {
+            let shard = plan.report.shard;
+            let sdir = shard_dir(dir, shard);
+            if plan.report.quarantined {
+                quarantine_shard(dir, shard)?;
+                metrics.quarantined_shards.inc();
+            }
+            fs::create_dir_all(&sdir)?;
+            match plan.resume {
+                Some((log_generation, valid_prefix)) if log_generation == generation => {
+                    writers.push(ShardWriter::resume(
+                        &sdir,
+                        shard,
+                        shards,
+                        generation,
+                        valid_prefix,
+                    )?);
+                }
+                _ => {
+                    // No log to resume at the current generation:
+                    // anchor the shard with a snapshot of its portion
+                    // of the recovered state so the chain revalidates
+                    // on the next open, then start a fresh log.
+                    let data = shard_portion(&state, shard, shards);
+                    let bytes = encode_snapshot(shard, shards, generation, &data);
+                    write_atomic(&sdir.join(snap_name(generation)), &bytes)?;
+                    writers.push(ShardWriter::create(&sdir, shard, shards, generation)?);
+                }
+            }
+        }
+        let recovery = summarize(&plans, state);
+        metrics.replay_records.inc_by(recovery.replayed_records);
+        Ok((
+            TemplateStore {
+                dir: dir.to_path_buf(),
+                shards,
+                compact_log_bytes: config.compact_log_bytes.max(1),
+                generation,
+                writers,
+                metrics,
+                compactor: None,
+            },
+            recovery,
+        ))
+    }
+
+    /// Read-only recovery scan: rebuilds the state and reports every
+    /// shard's condition without modifying anything on disk. Shards
+    /// that [`TemplateStore::open`] would quarantine are flagged, not
+    /// moved.
+    pub fn recover(dir: &Path) -> Result<Recovery, StoreError> {
+        if !TemplateStore::is_store(dir) {
+            return Err(StoreError::Config(format!(
+                "{} is not a template store (no MANIFEST)",
+                dir.display()
+            )));
+        }
+        let shards = read_manifest(dir)?;
+        let mut plans = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            plans.push(plan_shard(dir, shard, shards)?);
+        }
+        let state = replay(&mut plans);
+        Ok(summarize(&plans, state))
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of store shards (fixed at creation).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Current log generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Appends a batch of deltas, each routed to its owning shard
+    /// (slot mutations by gid, assigns by binding). Buffered; call
+    /// [`TemplateStore::flush`] to make the batch SIGKILL-durable.
+    pub fn append(&mut self, deltas: &[MergeDelta]) -> Result<(), StoreError> {
+        for delta in deltas {
+            let target = match delta {
+                MergeDelta::Insert { gid, .. } | MergeDelta::Refine { gid, .. } => {
+                    route_slot(*gid, self.shards)
+                }
+                MergeDelta::Union { winner, .. } => route_slot(*winner, self.shards),
+                MergeDelta::Assign { shard, local, .. } => {
+                    route_assign(*shard, *local, self.shards)
+                }
+            };
+            if let Some(writer) = self.writers.get_mut(target) {
+                writer.append(delta)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes buffered appends to the kernel: after this returns the
+    /// records survive SIGKILL (fsync durability needs
+    /// [`TemplateStore::sync`]).
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        for writer in &mut self.writers {
+            writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs every shard log.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        for writer in &mut self.writers {
+            writer.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Stores an auxiliary blob (checkpoint metadata, parser state)
+    /// atomically and durably, CRC-framed like every other record.
+    pub fn put_blob(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut framed = Vec::with_capacity(bytes.len() + 16);
+        append_record(&mut framed, bytes);
+        write_atomic(&self.dir.join(format!("{name}.blob")), &framed)?;
+        Ok(())
+    }
+
+    /// Reads an auxiliary blob, verifying its checksum.
+    pub fn read_blob(dir: &Path, name: &str) -> Result<BlobRead, StoreError> {
+        let path = dir.join(format!("{name}.blob"));
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(BlobRead::Missing),
+            Err(err) => return Err(err.into()),
+        };
+        Ok(match read_single_record(&bytes) {
+            Some(payload) => BlobRead::Ok(payload),
+            None => BlobRead::Corrupt,
+        })
+    }
+
+    /// Whether any shard's log has outgrown the compaction threshold
+    /// (and no compaction is already running).
+    pub fn should_compact(&self) -> bool {
+        self.writers
+            .iter()
+            .any(|w| w.bytes >= self.compact_log_bytes)
+            && !self.compactor.as_ref().is_some_and(|c| c.in_flight)
+    }
+
+    /// Rotates every shard to generation `G+1` and synchronously
+    /// folds `state` into fresh snapshots, deleting older
+    /// generations. `state` must be the full map the appended deltas
+    /// built (the caller's live export).
+    pub fn compact(&mut self, state: &MapState) -> Result<(), StoreError> {
+        self.drain_background(true)?;
+        let next = self.rotate()?;
+        write_generation(&self.dir, self.shards, next, state, &self.metrics)?;
+        Ok(())
+    }
+
+    /// Like [`TemplateStore::compact`] but the snapshot writing and
+    /// cleanup run on a background thread; rotation still happens
+    /// inline so new deltas land in the next generation immediately.
+    /// Returns `false` (and does nothing) if a compaction is already
+    /// in flight. Errors from a previous background run surface here
+    /// or at [`TemplateStore::finish`].
+    pub fn compact_background(&mut self, state: MapState) -> Result<bool, StoreError> {
+        self.drain_background(false)?;
+        if self.compactor.as_ref().is_some_and(|c| c.in_flight) {
+            return Ok(false);
+        }
+        let next = self.rotate()?;
+        let metrics = self.metrics.clone();
+        let compactor = self
+            .compactor
+            .get_or_insert_with(|| Compactor::spawn(metrics));
+        let job = CompactJob {
+            dir: self.dir.clone(),
+            shard_count: self.shards,
+            generation: next,
+            state,
+        };
+        match &compactor.jobs {
+            Some(jobs) if jobs.send(job).is_ok() => {
+                compactor.in_flight = true;
+                Ok(true)
+            }
+            _ => Err(other_error("compactor thread is gone".into())),
+        }
+    }
+
+    /// Waits for any in-flight compaction, fsyncs every log, and
+    /// shuts the compactor down. The consuming close — errors that a
+    /// background run hit are returned here.
+    pub fn finish(mut self) -> Result<(), StoreError> {
+        self.drain_background(true)?;
+        self.sync()?;
+        self.compactor = None;
+        Ok(())
+    }
+
+    /// Opens the next log generation on every shard. Logs rotate
+    /// before snapshots are written, so snapshot `G` always pairs
+    /// with a log `G` that holds everything after it.
+    fn rotate(&mut self) -> Result<u64, StoreError> {
+        let next = self.generation + 1;
+        for (shard, writer) in self.writers.iter_mut().enumerate() {
+            writer.sync()?;
+            *writer = ShardWriter::create(&shard_dir(&self.dir, shard), shard, self.shards, next)?;
+        }
+        self.generation = next;
+        Ok(next)
+    }
+
+    /// Collects the result of an in-flight background compaction;
+    /// blocking when `wait` is set, otherwise only if one is ready.
+    fn drain_background(&mut self, wait: bool) -> Result<(), StoreError> {
+        let Some(compactor) = &mut self.compactor else {
+            return Ok(());
+        };
+        if !compactor.in_flight {
+            return Ok(());
+        }
+        let outcome = if wait {
+            match compactor.done.recv() {
+                Ok(outcome) => outcome,
+                Err(_) => {
+                    compactor.in_flight = false;
+                    return Err(other_error("compactor thread died mid-run".into()));
+                }
+            }
+        } else {
+            match compactor.done.try_recv() {
+                Ok(outcome) => outcome,
+                Err(mpsc::TryRecvError::Empty) => return Ok(()),
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    compactor.in_flight = false;
+                    return Err(other_error("compactor thread died mid-run".into()));
+                }
+            }
+        };
+        compactor.in_flight = false;
+        outcome.map_err(|msg| other_error(format!("background compaction failed: {msg}")))
+    }
+}
+
+impl Drop for TemplateStore {
+    fn drop(&mut self) {
+        // Best-effort: push buffered appends to the kernel. finish()
+        // is the checked path; drop must not panic or block on the
+        // compactor beyond its own Drop join.
+        for writer in &mut self.writers {
+            let _ = writer.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tstore-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(shards: usize) -> StoreConfig {
+        StoreConfig {
+            shards,
+            compact_log_bytes: 1 << 20,
+        }
+    }
+
+    fn sample_deltas() -> Vec<MergeDelta> {
+        vec![
+            MergeDelta::Insert {
+                gid: 0,
+                key: "connection from <*>".into(),
+            },
+            MergeDelta::Assign {
+                shard: 0,
+                local: 0,
+                gid: 0,
+            },
+            MergeDelta::Insert {
+                gid: 1,
+                key: "disconnect <*> after <*> ms".into(),
+            },
+            MergeDelta::Assign {
+                shard: 1,
+                local: 0,
+                gid: 1,
+            },
+            MergeDelta::Refine {
+                gid: 1,
+                key: "disconnect <*> after <*>".into(),
+            },
+        ]
+    }
+
+    fn expected_state() -> MapState {
+        let mut state = MapState::new();
+        for delta in sample_deltas() {
+            state.apply(&delta);
+        }
+        state
+    }
+
+    #[test]
+    fn fresh_open_append_reopen_round_trips() {
+        let dir = temp_store_dir("roundtrip");
+        let (mut store, recovery) = TemplateStore::open(&dir, &config(4)).unwrap();
+        assert!(recovery.state.is_empty());
+        assert_eq!(recovery.quarantined_shards, 0);
+        store.append(&sample_deltas()).unwrap();
+        store.flush().unwrap();
+        store.finish().unwrap();
+
+        let (_store, recovery) = TemplateStore::open(&dir, &config(4)).unwrap();
+        assert_eq!(recovery.state, expected_state());
+        assert_eq!(recovery.replayed_records, sample_deltas().len() as u64);
+        assert_eq!(recovery.quarantined_shards, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_shard_count_beats_config() {
+        let dir = temp_store_dir("manifest");
+        let (store, _) = TemplateStore::open(&dir, &config(2)).unwrap();
+        assert_eq!(store.shard_count(), 2);
+        drop(store);
+        let (store, _) = TemplateStore::open(&dir, &config(16)).unwrap();
+        assert_eq!(store.shard_count(), 2, "manifest wins over config");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_prunes_generations() {
+        let dir = temp_store_dir("compact");
+        let (mut store, _) = TemplateStore::open(&dir, &config(2)).unwrap();
+        store.append(&sample_deltas()).unwrap();
+        store.compact(&expected_state()).unwrap();
+        assert_eq!(store.generation(), 1);
+        // Post-compaction appends land in the new generation.
+        let extra = MergeDelta::Insert {
+            gid: 2,
+            key: "post compaction <*>".into(),
+        };
+        store.append(std::slice::from_ref(&extra)).unwrap();
+        store.finish().unwrap();
+
+        let files = scan_dir(&dir.join("shard-0")).unwrap();
+        assert_eq!(files.snaps, vec![1], "generation 0 pruned");
+        assert_eq!(files.logs, vec![1]);
+
+        let (_store, recovery) = TemplateStore::open(&dir, &config(2)).unwrap();
+        let mut expected = expected_state();
+        expected.apply(&extra);
+        assert_eq!(recovery.state, expected);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_compaction_completes_and_surfaces_at_finish() {
+        let dir = temp_store_dir("bg");
+        let (mut store, _) = TemplateStore::open(&dir, &config(2)).unwrap();
+        store.append(&sample_deltas()).unwrap();
+        assert!(store.compact_background(expected_state()).unwrap());
+        store.finish().unwrap();
+        let (_store, recovery) = TemplateStore::open(&dir, &config(2)).unwrap();
+        assert_eq!(recovery.state, expected_state());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_log_tail_is_truncated_and_appendable() {
+        let dir = temp_store_dir("torn");
+        let (mut store, _) = TemplateStore::open(&dir, &config(1)).unwrap();
+        store.append(&sample_deltas()).unwrap();
+        store.finish().unwrap();
+        // Tear the single shard's log mid-record.
+        let log = dir.join("shard-0").join(log_name(0));
+        let bytes = fs::read(&log).unwrap();
+        fs::write(&log, &bytes[..bytes.len() - 2]).unwrap();
+
+        let (mut store, recovery) = TemplateStore::open(&dir, &config(1)).unwrap();
+        let report = recovery.reports.first().unwrap();
+        assert!(report.torn_tail_bytes > 0);
+        assert!(!report.quarantined);
+        // The last delta (a refine) was torn away; the insert stands.
+        assert_eq!(
+            recovery.state.templates.get(1).unwrap(),
+            "disconnect <*> after <*> ms"
+        );
+        store
+            .append(&[MergeDelta::Refine {
+                gid: 1,
+                key: "re-refined <*>".into(),
+            }])
+            .unwrap();
+        store.finish().unwrap();
+        let (_store, recovery) = TemplateStore::open(&dir, &config(1)).unwrap();
+        assert_eq!(recovery.state.templates.get(1).unwrap(), "re-refined <*>");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gen_gap_quarantines_only_the_bad_shard() {
+        let dir = temp_store_dir("gap");
+        let (mut store, _) = TemplateStore::open(&dir, &config(2)).unwrap();
+        store.append(&sample_deltas()).unwrap();
+        store.compact(&expected_state()).unwrap();
+        store.finish().unwrap();
+        // Shard 0 loses its snapshot: its log chain starts at 1, not
+        // 0, so recovery cannot rebuild it.
+        fs::remove_file(dir.join("shard-0").join(snap_name(1))).unwrap();
+
+        let scan = TemplateStore::recover(&dir).unwrap();
+        assert!(scan.reports.first().unwrap().quarantined);
+        assert!(!scan.reports.get(1).unwrap().quarantined);
+
+        let (_store, recovery) = TemplateStore::open(&dir, &config(2)).unwrap();
+        assert_eq!(recovery.quarantined_shards, 1);
+        assert!(dir.join("quarantine").join("shard-0-0").is_dir());
+        // Shard 1's slots survive (gids 1 in a 2-shard store).
+        assert_eq!(
+            recovery.state.templates.get(1).unwrap(),
+            "disconnect <*> after <*>"
+        );
+        // Shard 0's slots are tombstoned, not served.
+        assert!(!recovery
+            .state
+            .canonical_templates()
+            .contains(&"connection from <*>".to_string()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantined_shard_is_replaced_and_store_stays_usable() {
+        let dir = temp_store_dir("requarantine");
+        let (mut store, _) = TemplateStore::open(&dir, &config(2)).unwrap();
+        store.append(&sample_deltas()).unwrap();
+        store.compact(&expected_state()).unwrap();
+        store.finish().unwrap();
+        fs::remove_file(dir.join("shard-0").join(snap_name(1))).unwrap();
+        let (mut store, _) = TemplateStore::open(&dir, &config(2)).unwrap();
+        // The replacement shard accepts appends and revalidates.
+        store
+            .append(&[MergeDelta::Insert {
+                gid: 2,
+                key: "fresh after quarantine".into(),
+            }])
+            .unwrap();
+        store.finish().unwrap();
+        let (_store, recovery) = TemplateStore::open(&dir, &config(2)).unwrap();
+        assert_eq!(
+            recovery.quarantined_shards, 0,
+            "replacement shard is healthy"
+        );
+        assert_eq!(
+            recovery.state.templates.get(2).unwrap(),
+            "fresh after quarantine"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn blobs_round_trip_and_detect_corruption() {
+        let dir = temp_store_dir("blob");
+        let (store, _) = TemplateStore::open(&dir, &config(1)).unwrap();
+        assert_eq!(
+            TemplateStore::read_blob(&dir, "meta").unwrap(),
+            BlobRead::Missing
+        );
+        store.put_blob("meta", b"{\"lines\":42}").unwrap();
+        assert_eq!(
+            TemplateStore::read_blob(&dir, "meta").unwrap(),
+            BlobRead::Ok(b"{\"lines\":42}".to_vec())
+        );
+        let mut bytes = fs::read(dir.join("meta.blob")).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(dir.join("meta.blob"), &bytes).unwrap();
+        assert_eq!(
+            TemplateStore::read_blob(&dir, "meta").unwrap(),
+            BlobRead::Corrupt
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_errors_on_a_non_store_directory() {
+        let dir = temp_store_dir("nonstore");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(TemplateStore::recover(&dir).is_err());
+        assert!(!TemplateStore::is_store(&dir));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn should_compact_tracks_log_growth() {
+        let dir = temp_store_dir("threshold");
+        let (mut store, _) = TemplateStore::open(
+            &dir,
+            &StoreConfig {
+                shards: 1,
+                compact_log_bytes: 256,
+            },
+        )
+        .unwrap();
+        assert!(!store.should_compact());
+        let mut state = MapState::new();
+        for gid in 0..32 {
+            let delta = MergeDelta::Insert {
+                gid,
+                key: format!("template number <{gid}> with padding <*>"),
+            };
+            state.apply(&delta);
+            store.append(std::slice::from_ref(&delta)).unwrap();
+        }
+        assert!(store.should_compact());
+        store.compact(&state).unwrap();
+        assert!(!store.should_compact(), "fresh log is small again");
+        store.finish().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -43,6 +43,19 @@ if [[ "$QUICK" == "1" ]]; then
   # paying for a measurement run.
   echo "=== cargo bench --no-run (benches compile) ==="
   cargo bench --workspace --no-run -q
+
+  # End-to-end durability smoke: ingest into a template store, then
+  # have the offline verifier re-walk every snapshot/log CRC chain.
+  echo "=== store round-trip (serve --checkpoint + store verify) ==="
+  STORE_DIR="$(mktemp -d)/store"
+  cargo run -q --release -p logparse-cli --bin logmine -- \
+    generate --dataset hdfs --count 5000 |
+    cargo run -q --release -p logparse-cli --bin logmine -- \
+      serve --shards 2 --window 1000 --checkpoint "$STORE_DIR" >/dev/null
+  cargo run -q --release -p logparse-cli --bin logmine -- store verify "$STORE_DIR"
+  cargo run -q --release -p logparse-cli --bin logmine -- store compact "$STORE_DIR" >/dev/null
+  cargo run -q --release -p logparse-cli --bin logmine -- store verify "$STORE_DIR" >/dev/null
+  rm -rf "$(dirname "$STORE_DIR")"
 fi
 
 if [[ "$DEEP" == "1" ]]; then
