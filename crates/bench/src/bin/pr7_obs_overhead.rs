@@ -1,0 +1,80 @@
+//! Ingest overhead of the drift observability family (PR 7).
+//!
+//! Runs the streaming pipeline over the same generated HDFS-style
+//! corpus twice — once with the quality/drift telemetry, history ring
+//! and default alert rules enabled (the PR 7 default), once with the
+//! whole family off (`drift: false`, the PR 6 pipeline shape) — and
+//! reports the throughput delta. One untimed warm-up per
+//! configuration, then interleaved best-of-five wall times, so neither
+//! a scheduler hiccup nor slow machine-state drift can masquerade as
+//! overhead. The acceptance bar is ≤5% (recorded in `BENCH_PR7.json`).
+//!
+//! ```text
+//! cargo run --release -p logparse-bench --bin pr7_obs_overhead [--quick]
+//! ```
+
+use std::time::Instant;
+
+use logparse_bench::quick_mode;
+use logparse_datasets::hdfs;
+use logparse_ingest::{run_pipeline, EventLog, IngestConfig, MemorySource};
+
+/// One timed pipeline run over `lines`.
+fn run(lines: &[String], drift: bool) -> f64 {
+    let mut source = MemorySource::new(lines.to_vec());
+    let config = IngestConfig {
+        shards: 4,
+        window_size: 1_000,
+        warmup: 4,
+        drift,
+        alert_rules: if drift {
+            logparse_obs::default_rules()
+        } else {
+            Vec::new()
+        },
+        ..IngestConfig::default()
+    };
+    let started = Instant::now();
+    let summary =
+        run_pipeline(&mut source, &config, EventLog::disabled(), None).expect("pipeline runs");
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(summary.lines, lines.len() as u64);
+    elapsed
+}
+
+fn main() {
+    let quick = quick_mode();
+    let count = if quick { 20_000 } else { 200_000 };
+    let data = hdfs::generate(count, 11);
+    let lines: Vec<String> = (0..data.len())
+        .map(|i| data.corpus.record(i).content.clone())
+        .collect();
+
+    // One untimed warm-up per configuration (page cache, allocator,
+    // thread spawn paths), then interleaved best-of-five so slow drift
+    // in machine state hits both configurations equally.
+    run(&lines, false);
+    run(&lines, true);
+    let mut baseline = f64::INFINITY;
+    let mut with_drift = f64::INFINITY;
+    for _ in 0..5 {
+        baseline = baseline.min(run(&lines, false));
+        with_drift = with_drift.min(run(&lines, true));
+    }
+    let overhead_pct = (with_drift - baseline) / baseline * 100.0;
+
+    println!("{{");
+    println!("  \"lines\": {count},");
+    println!("  \"baseline_seconds\": {baseline:.4},");
+    println!("  \"drift_seconds\": {with_drift:.4},");
+    println!(
+        "  \"baseline_lines_per_sec\": {:.0},",
+        count as f64 / baseline
+    );
+    println!(
+        "  \"drift_lines_per_sec\": {:.0},",
+        count as f64 / with_drift
+    );
+    println!("  \"overhead_pct\": {overhead_pct:.2}");
+    println!("}}");
+}

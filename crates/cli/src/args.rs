@@ -58,8 +58,14 @@ const VALUED: &[&str] = &[
     "events-max-mb",
     "max-lines",
     "metrics-addr",
-    // `metrics` options
+    "alert-rules",
+    // `metrics` / `top` options
     "scrape",
+    "interval-ms",
+    "iterations",
+    // `alerts` options
+    "rules",
+    "fixture",
 ];
 
 impl Args {

@@ -40,8 +40,11 @@ USAGE:
                     [--compact-bytes N]]
                    [--max-lines N] [--events-out FILE [--events-max-mb MB]]
                    [--alpha A] [--components K] [--metrics-addr ADDR]
+                   [--alert-rules FILE] [--no-alerts] [--no-drift]
   logmine store    inspect|verify|compact DIR
   logmine metrics dump [--scrape ADDR] [--traces]
+  logmine top      --scrape ADDR [--interval-ms MS] [--iterations N]
+  logmine alerts   check [--rules FILE] [--fixture FILE]
   logmine help
 
 PARSERS:   slct iplom lke logsig drain spell ael lenma logmine
@@ -67,9 +70,28 @@ recovery detail, `verify` exits non-zero if any shard would be
 quarantined (a torn log tail from a crash is fine), and `compact`
 folds the delta logs into fresh snapshots.
 
+serve also tracks parsing-quality drift per window (template births,
+churn, singleton fraction, parameter cardinality, merge conflicts) and
+evaluates alert rules against it, journaling alert_firing /
+alert_resolved edges. --alert-rules replaces the built-in rule set,
+--no-alerts keeps the drift gauges but evaluates no rules, and
+--no-drift switches the whole quality family off.
+
 metrics dump prints those metrics one-shot: from a running serve's
 endpoint with --scrape HOST:PORT, otherwise from this process's own
-registry. --traces appends the most recent span trace events.";
+registry. --traces appends the most recent span trace events.
+
+top is a live terminal view over a running serve's --metrics-addr
+endpoint: it redraws every --interval-ms (default 1000) with
+throughput, queue depths, top-K templates by arrival count, firing
+alerts and per-shard store disk usage. --iterations N stops after N
+frames (0 = until interrupted or the endpoint goes away).
+
+alerts check validates an alert rule file (--rules FILE, default: the
+built-in set) and, given --fixture FILE, replays a canned history
+through the alert engine and reports every fire/resolve edge plus the
+final status. A fixture is one series per line: `name v1 v2 ...`,
+column i being the sample at window i; `#` comments are ignored.";
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -286,8 +308,20 @@ fn build_ingest_config(args: &Args) -> Result<IngestConfig, Box<dyn Error>> {
                 .map_err(|_| format!("invalid value `{raw}` for --components"))?,
         );
     }
+    let drift = !args.has_flag("no-drift");
+    let alert_rules = if !drift || args.has_flag("no-alerts") {
+        Vec::new()
+    } else {
+        match args.option("alert-rules") {
+            Some(path) => logparse_obs::parse_rules(&std::fs::read_to_string(path)?)
+                .map_err(|e| format!("--alert-rules {path}: {e}"))?,
+            None => logparse_obs::default_rules(),
+        }
+    };
     Ok(IngestConfig {
         parser,
+        drift,
+        alert_rules,
         shards: args.parsed_or("shards", defaults.shards)?,
         batch_size: args.parsed_or("batch-size", defaults.batch_size)?,
         flush_interval: std::time::Duration::from_millis(args.parsed_or("flush-ms", 200u64)?),
@@ -426,19 +460,24 @@ pub fn store(args: &Args) -> CliResult {
             );
             println!("records replayed   {}", recovery.replayed_records);
             println!("quarantined        {}", recovery.quarantined_shards);
-            println!("shard  snapshot  logs  records  torn-bytes  rejected  status");
+            println!(
+                "shard  snapshot  logs  records  torn-bytes  rejected  \
+                 snap-bytes  log-bytes  status"
+            );
             for report in &recovery.reports {
                 let snapshot = report
                     .snapshot_generation
                     .map_or_else(|| "-".to_owned(), |g| g.to_string());
                 println!(
-                    "{:<5}  {:<8}  {:<4}  {:<7}  {:<10}  {:<8}  {}",
+                    "{:<5}  {:<8}  {:<4}  {:<7}  {:<10}  {:<8}  {:<10}  {:<9}  {}",
                     report.shard,
                     snapshot,
                     report.log_generations.len(),
                     report.records_replayed,
                     report.torn_tail_bytes,
                     report.snapshots_rejected,
+                    report.snapshot_bytes,
+                    report.log_bytes,
                     if report.quarantined {
                         "QUARANTINED"
                     } else {
@@ -544,6 +583,355 @@ fn scrape_metrics(addr: &str) -> Result<String, Box<dyn Error>> {
         return Err(format!("metrics endpoint returned `{status}`").into());
     }
     Ok(body.to_owned())
+}
+
+/// A parsed Prometheus text exposition: each sample line as its full
+/// series name (family plus rendered labels) and value.
+struct Exposition {
+    samples: Vec<(String, f64)>,
+}
+
+impl Exposition {
+    fn parse(body: &str) -> Exposition {
+        let samples = body
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .filter_map(|l| {
+                let (series, value) = l.rsplit_once(' ')?;
+                Some((series.to_owned(), value.parse().ok()?))
+            })
+            .collect();
+        Exposition { samples }
+    }
+
+    /// The value of an exact unlabeled series.
+    fn get(&self, series: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|(s, _)| s == series)
+            .map(|&(_, v)| v)
+    }
+
+    /// Every sample of `family`, as `(labels, value)` where `labels` is
+    /// the rendered `{…}` blob (empty for unlabeled series).
+    fn family<'a>(&'a self, name: &str) -> Vec<(&'a str, f64)> {
+        self.samples
+            .iter()
+            .filter_map(|(series, value)| {
+                let rest = series.strip_prefix(name)?;
+                if rest.is_empty() || rest.starts_with('{') {
+                    Some((rest, *value))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+/// The value of label `key` inside a rendered `{k="v",…}` blob. Label
+/// values in this workspace never contain commas or escapes.
+fn label_value<'a>(labels: &'a str, key: &str) -> Option<&'a str> {
+    labels
+        .trim_start_matches('{')
+        .trim_end_matches('}')
+        .split(',')
+        .find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then(|| v.trim_matches('"'))
+        })
+}
+
+/// Per-shard values of a labeled family, sorted by shard id.
+fn by_shard(exposition: &Exposition, family: &str) -> Vec<(usize, f64)> {
+    let mut out: Vec<(usize, f64)> = exposition
+        .family(family)
+        .into_iter()
+        .filter_map(|(labels, value)| Some((label_value(labels, "shard")?.parse().ok()?, value)))
+        .collect();
+    out.sort_by_key(|&(shard, _)| shard);
+    out
+}
+
+/// Renders one `logmine top` frame. Rates are derived from the
+/// configured refresh interval, not a wall clock, so a slow scrape
+/// under-reports rather than lying about elapsed time.
+fn render_top(
+    out: &mut dyn Write,
+    cur: &Exposition,
+    prev: Option<&Exposition>,
+    interval_secs: f64,
+    frame: u64,
+) -> std::io::Result<()> {
+    let rate = |series: &str| -> String {
+        match (prev.and_then(|p| p.get(series)), cur.get(series)) {
+            (Some(before), Some(now)) if interval_secs > 0.0 => {
+                format!("{:>10.1}/s", (now - before).max(0.0) / interval_secs)
+            }
+            _ => format!("{:>12}", "-"),
+        }
+    };
+    let count = |series: &str| -> String {
+        cur.get(series)
+            .map_or_else(|| "-".to_owned(), |v| format!("{v:.0}"))
+    };
+    writeln!(
+        out,
+        "logmine top — frame {frame}, every {interval_secs:.1}s"
+    )?;
+    writeln!(out)?;
+    writeln!(
+        out,
+        "  lines ingested    {:>12}  {}",
+        count("ingest_lines_total"),
+        rate("ingest_lines_total")
+    )?;
+    writeln!(
+        out,
+        "  global templates  {:>12}",
+        count("ingest_global_templates")
+    )?;
+    writeln!(
+        out,
+        "  windows scored    {:>12}  {}",
+        count("ingest_windows_scored_total"),
+        rate("ingest_windows_scored_total")
+    )?;
+    writeln!(
+        out,
+        "  anomalies         {:>12}",
+        count("ingest_anomalies_total")
+    )?;
+    writeln!(
+        out,
+        "  alerts firing     {:>12}",
+        count("obs_alerts_firing")
+    )?;
+
+    let queues = by_shard(cur, "ingest_queue_depth");
+    if !queues.is_empty() {
+        let parsed = by_shard(cur, "ingest_parsed_lines_total");
+        let groups = by_shard(cur, "ingest_shard_groups");
+        let at = |list: &[(usize, f64)], shard: usize| -> String {
+            list.iter()
+                .find(|&&(s, _)| s == shard)
+                .map_or_else(|| "-".to_owned(), |&(_, v)| format!("{v:.0}"))
+        };
+        writeln!(out)?;
+        writeln!(out, "  shard  queue  parsed        groups")?;
+        for (shard, depth) in &queues {
+            writeln!(
+                out,
+                "  {:<5}  {:<5}  {:<12}  {}",
+                shard,
+                format!("{depth:.0}"),
+                at(&parsed, *shard),
+                at(&groups, *shard),
+            )?;
+        }
+    }
+
+    writeln!(out)?;
+    writeln!(out, "  top templates by arrival count")?;
+    let ranked: Vec<(usize, f64, f64)> = {
+        let lines = cur.family("ingest_top_template_lines");
+        let gids = cur.family("ingest_top_template_gid");
+        let mut rows: Vec<(usize, f64, f64)> = lines
+            .iter()
+            .filter_map(|(labels, count)| {
+                let rank: usize = label_value(labels, "rank")?.parse().ok()?;
+                let gid = gids.iter().find_map(|(l, g)| {
+                    (label_value(l, "rank") == Some(rank.to_string().as_str())).then_some(*g)
+                })?;
+                (gid >= 0.0 && *count > 0.0).then_some((rank, gid, *count))
+            })
+            .collect();
+        rows.sort_by_key(|&(rank, _, _)| rank);
+        rows
+    };
+    if ranked.is_empty() {
+        writeln!(out, "    (no window ranking yet)")?;
+    }
+    for (rank, gid, lines) in ranked {
+        writeln!(out, "    #{rank}  gid {gid:<6.0}  {lines:.0} lines")?;
+    }
+
+    let firing: Vec<&str> = {
+        let mut rules: Vec<&str> = cur
+            .family("obs_alert_active")
+            .into_iter()
+            .filter(|&(_, v)| v >= 1.0)
+            .filter_map(|(labels, _)| label_value(labels, "rule"))
+            .collect();
+        rules.sort_unstable();
+        rules
+    };
+    writeln!(out)?;
+    writeln!(out, "  firing alerts")?;
+    if firing.is_empty() {
+        writeln!(out, "    (none)")?;
+    }
+    for rule in firing {
+        writeln!(out, "    ! {rule}")?;
+    }
+
+    let disk = cur.family("store_shard_disk_bytes");
+    if !disk.is_empty() {
+        let mut per_shard: Vec<(usize, f64, f64)> = Vec::new();
+        for (labels, value) in disk {
+            let Some(shard) = label_value(labels, "shard").and_then(|s| s.parse().ok()) else {
+                continue;
+            };
+            let slot = match per_shard.iter_mut().find(|(s, _, _)| *s == shard) {
+                Some(slot) => slot,
+                None => {
+                    per_shard.push((shard, 0.0, 0.0));
+                    per_shard.last_mut().expect("just pushed")
+                }
+            };
+            match label_value(labels, "kind") {
+                Some("snapshot") => slot.1 = value,
+                Some("log") => slot.2 = value,
+                _ => {}
+            }
+        }
+        per_shard.sort_by_key(|&(shard, _, _)| shard);
+        writeln!(out)?;
+        writeln!(out, "  store disk bytes")?;
+        writeln!(out, "  shard  snapshot    log")?;
+        for (shard, snapshot, log) in per_shard {
+            writeln!(out, "  {shard:<5}  {snapshot:<10.0}  {log:.0}")?;
+        }
+    }
+    Ok(())
+}
+
+/// `logmine top` — live terminal view over a serve's scrape endpoint.
+pub fn top(args: &Args) -> CliResult {
+    let addr = args
+        .option("scrape")
+        .ok_or("top needs --scrape HOST:PORT (a serve's --metrics-addr endpoint)")?;
+    let interval_ms: u64 = args.parsed_or("interval-ms", 1_000u64)?;
+    let iterations: u64 = args.parsed_or("iterations", 0u64)?;
+    let interval_secs = interval_ms as f64 / 1_000.0;
+    let mut prev: Option<Exposition> = None;
+    let mut frame = 0u64;
+    let stdout = std::io::stdout();
+    loop {
+        let body = scrape_metrics(addr)?;
+        let cur = Exposition::parse(&body);
+        frame += 1;
+        let mut out = stdout.lock();
+        // Plain ANSI: clear the screen and home the cursor, then redraw.
+        write!(out, "\x1b[2J\x1b[H")?;
+        render_top(&mut out, &cur, prev.as_ref(), interval_secs, frame)?;
+        out.flush()?;
+        drop(out);
+        prev = Some(cur);
+        if iterations != 0 && frame >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// One fixture series: name plus its per-window samples.
+type FixtureSeries = (String, Vec<f64>);
+
+/// Parses an alert fixture: one series per line, `name v1 v2 …`, column
+/// i being the series' sample at window i.
+fn parse_fixture(text: &str) -> Result<Vec<FixtureSeries>, Box<dyn Error>> {
+    let mut out: Vec<FixtureSeries> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let name = tokens.next().unwrap_or_default().to_owned();
+        let mut values = Vec::new();
+        for token in tokens {
+            values.push(
+                token
+                    .parse::<f64>()
+                    .map_err(|_| format!("fixture line {}: `{token}` is not a number", i + 1))?,
+            );
+        }
+        if values.is_empty() {
+            return Err(format!("fixture line {}: series `{name}` has no samples", i + 1).into());
+        }
+        if out.iter().any(|(n, _)| n == &name) {
+            return Err(format!("fixture line {}: duplicate series `{name}`", i + 1).into());
+        }
+        out.push((name, values));
+    }
+    if out.is_empty() {
+        return Err("fixture has no series".into());
+    }
+    Ok(out)
+}
+
+/// `logmine alerts` — offline validation and replay of alert rules.
+pub fn alerts(args: &Args) -> CliResult {
+    match args.positional().first().map(String::as_str) {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown alerts action `{other}` (try check)").into()),
+        None => return Err("alerts needs an action: logmine alerts check".into()),
+    }
+    let (origin, text) = match args.option("rules") {
+        Some(path) => (path.to_owned(), std::fs::read_to_string(path)?),
+        None => (
+            "built-in defaults".to_owned(),
+            logparse_obs::default_rules_text().to_owned(),
+        ),
+    };
+    let rules = logparse_obs::parse_rules(&text).map_err(|e| format!("{origin}: {e}"))?;
+    println!("{} rule(s) from {origin}:", rules.len());
+    for rule in &rules {
+        println!("  {rule}");
+    }
+    let Some(fixture_path) = args.option("fixture") else {
+        println!("rules parse cleanly (pass --fixture FILE to replay a history)");
+        return Ok(());
+    };
+    let fixture = parse_fixture(&std::fs::read_to_string(fixture_path)?)?;
+    let windows = fixture.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    let history = logparse_obs::History::new(windows.max(2));
+    let mut engine = logparse_obs::AlertEngine::new(logparse_obs::global(), rules);
+    println!();
+    for window in 0..windows {
+        for (series, values) in &fixture {
+            if let Some(&value) = values.get(window) {
+                history.replay(series, value);
+            }
+        }
+        for edge in engine.step(&history) {
+            let kind = if edge.firing { "FIRING" } else { "resolved" };
+            println!(
+                "window {:>3}  {kind:<8}  {}  ({} = {} vs {})",
+                window + 1,
+                edge.rule,
+                edge.series,
+                edge.value,
+                edge.threshold,
+            );
+        }
+    }
+    let firing = engine.firing();
+    println!();
+    if firing.is_empty() {
+        println!("status: ok — no rule firing after {windows} window(s)");
+    } else {
+        println!(
+            "status: {} rule(s) still firing after {} window(s):",
+            firing.len(),
+            windows
+        );
+        for name in firing {
+            println!("  FIRING {name}");
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -662,6 +1050,106 @@ mod tests {
     }
 
     #[test]
+    fn render_top_formats_a_canned_exposition() {
+        let body = "\
+# TYPE ingest_lines_total counter
+ingest_lines_total 4000
+ingest_global_templates 3
+ingest_windows_scored_total 8
+ingest_anomalies_total 0
+obs_alerts_firing 1
+ingest_queue_depth{shard=\"0\"} 2
+ingest_queue_depth{shard=\"1\"} 0
+ingest_parsed_lines_total{shard=\"0\"} 2000
+ingest_parsed_lines_total{shard=\"1\"} 2000
+ingest_shard_groups{shard=\"0\"} 3
+ingest_shard_groups{shard=\"1\"} 3
+ingest_top_template_lines{rank=\"1\"} 1334
+ingest_top_template_gid{rank=\"1\"} 2
+ingest_top_template_lines{rank=\"2\"} 0
+ingest_top_template_gid{rank=\"2\"} -1
+obs_alert_active{rule=\"template-churn-high\"} 1
+obs_alert_active{rule=\"singleton-explosion\"} 0
+store_shard_disk_bytes{shard=\"0\",kind=\"snapshot\"} 1024
+store_shard_disk_bytes{kind=\"log\",shard=\"0\"} 512
+";
+        let prev_body = "ingest_lines_total 2000\ningest_windows_scored_total 4\n";
+        let cur = Exposition::parse(body);
+        let prev = Exposition::parse(prev_body);
+        let mut rendered = Vec::new();
+        render_top(&mut rendered, &cur, Some(&prev), 1.0, 2).unwrap();
+        let text = String::from_utf8(rendered).unwrap();
+        assert!(text.contains("lines ingested"), "{text}");
+        assert!(text.contains("2000.0/s"), "rate from interval:\n{text}");
+        assert!(text.contains("#1  gid 2"), "{text}");
+        assert!(!text.contains("#2"), "unused rank must be hidden:\n{text}");
+        assert!(text.contains("! template-churn-high"), "{text}");
+        assert!(!text.contains("! singleton-explosion"), "{text}");
+        assert!(text.contains("store disk bytes"), "{text}");
+        assert!(text.contains("1024"), "{text}");
+        assert!(text.contains("512"), "{text}");
+
+        // Without a previous frame the rate column degrades to `-`.
+        let mut first = Vec::new();
+        render_top(&mut first, &cur, None, 1.0, 1).unwrap();
+        let text = String::from_utf8(first).unwrap();
+        assert!(text.contains('-'), "{text}");
+    }
+
+    #[test]
+    fn render_top_survives_an_empty_exposition() {
+        let cur = Exposition::parse("");
+        let mut rendered = Vec::new();
+        render_top(&mut rendered, &cur, None, 0.5, 1).unwrap();
+        let text = String::from_utf8(rendered).unwrap();
+        assert!(text.contains("(no window ranking yet)"), "{text}");
+        assert!(text.contains("(none)"), "{text}");
+        assert!(!text.contains("store disk bytes"), "{text}");
+    }
+
+    #[test]
+    fn fixture_parsing_validates_shape() {
+        let parsed = parse_fixture("# comment\nchurn 0.1 0.2\nbirths 5\n").unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("churn".to_owned(), vec![0.1, 0.2]));
+        for (text, needle) in [
+            ("", "no series"),
+            ("churn\n", "no samples"),
+            ("churn 0.1 x\n", "not a number"),
+            ("a 1\na 2\n", "duplicate series"),
+        ] {
+            let err = parse_fixture(text).unwrap_err().to_string();
+            assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn top_requires_a_scrape_address() {
+        let err = top(&args(&[])).unwrap_err().to_string();
+        assert!(err.contains("--scrape"), "{err}");
+    }
+
+    #[test]
+    fn alerts_check_replays_a_fixture_through_the_engine() {
+        let dir = std::env::temp_dir().join(format!("logmine-alerts-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fixture = dir.join("drift.history");
+        std::fs::write(&fixture, "template_churn 0.0 0.5 0.6 0.7 0.8 0.0 0.0 0.0\n").unwrap();
+        alerts(&args(&["check", "--fixture", fixture.to_str().unwrap()])).unwrap();
+        // Bad action and missing fixture file fail cleanly.
+        assert!(alerts(&args(&["frobnicate"])).is_err());
+        assert!(alerts(&args(&[])).is_err());
+        assert!(alerts(&args(&["check", "--fixture", "/nonexistent/f"])).is_err());
+        let bad_rules = dir.join("bad.rules");
+        std::fs::write(&bad_rules, "not a rule\n").unwrap();
+        let err = alerts(&args(&["check", "--rules", bad_rules.to_str().unwrap()]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn serve_config_reads_flags() {
         let config = build_ingest_config(&args(&[
             "--parser",
@@ -678,7 +1166,31 @@ mod tests {
         assert_eq!(config.shards, 3);
         assert_eq!(config.window_size, 250);
         assert_eq!(config.detector.components, Some(4));
+        assert!(config.drift, "drift telemetry defaults on");
+        assert!(!config.alert_rules.is_empty(), "default rules load");
         assert!(build_ingest_config(&args(&["--parser", "iplom"])).is_err());
         assert!(serve(&args(&["--resume"])).is_err());
+    }
+
+    #[test]
+    fn serve_config_drift_and_alert_flags() {
+        let quiet = build_ingest_config(&args(&["--no-drift"])).unwrap();
+        assert!(!quiet.drift);
+        assert!(quiet.alert_rules.is_empty(), "--no-drift implies no rules");
+        let no_alerts = build_ingest_config(&args(&["--no-alerts"])).unwrap();
+        assert!(no_alerts.drift);
+        assert!(no_alerts.alert_rules.is_empty());
+
+        let dir = std::env::temp_dir().join(format!("logmine-rules-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("own.rules");
+        std::fs::write(&rules, "quiet-stream: template_births < 1 for 4\n").unwrap();
+        let custom =
+            build_ingest_config(&args(&["--alert-rules", rules.to_str().unwrap()])).unwrap();
+        assert_eq!(custom.alert_rules.len(), 1);
+        assert_eq!(custom.alert_rules[0].name, "quiet-stream");
+        std::fs::write(&rules, "broken !!\n").unwrap();
+        assert!(build_ingest_config(&args(&["--alert-rules", rules.to_str().unwrap()])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

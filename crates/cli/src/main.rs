@@ -8,6 +8,8 @@
 //! logmine serve    [--follow FILE | --listen ADDR] [--shards N] ...
 //! logmine store    inspect|verify|compact DIR
 //! logmine metrics  dump [--scrape ADDR] [--traces]
+//! logmine top      --scrape ADDR [--interval-ms MS] [--iterations N]
+//! logmine alerts   check [--rules FILE] [--fixture FILE]
 //! ```
 //!
 //! `parse` reads raw log lines from FILE (or stdin), applies the chosen
@@ -42,6 +44,8 @@ fn main() -> ExitCode {
         "serve" => commands::serve(&parsed),
         "store" => commands::store(&parsed),
         "metrics" => commands::metrics(&parsed),
+        "top" => commands::top(&parsed),
+        "alerts" => commands::alerts(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

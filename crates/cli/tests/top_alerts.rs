@@ -1,0 +1,197 @@
+//! End-to-end coverage for the drift observability CLI surface:
+//! `logmine top` must render live data scraped from a running `serve`,
+//! and `logmine alerts check` must replay a canned history through the
+//! rule engine.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const FIXTURE_LINES: usize = 3_000;
+
+fn logmine() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_logmine"))
+}
+
+fn fixture_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("logmine-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_fixture(path: &std::path::Path) {
+    let mut text = String::new();
+    for i in 0..FIXTURE_LINES {
+        match i % 3 {
+            0 => text.push_str(&format!("send pkt {i} ok\n")),
+            1 => text.push_str(&format!("recv ack {i}\n")),
+            _ => text.push_str(&format!("conn from 10.0.0.{} established\n", i % 200)),
+        }
+    }
+    std::fs::write(path, text).unwrap();
+}
+
+/// One HTTP GET against the metrics endpoint; returns the body.
+fn scrape(addr: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let (_, body) = response.split_once("\r\n\r\n")?;
+    Some(body.to_owned())
+}
+
+fn sample(body: &str, series: &str) -> Option<f64> {
+    body.lines()
+        .find(|l| l.split(' ').next() == Some(series))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+fn terminate(child: &mut Child) {
+    let pid = child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success(), "kill -TERM {pid} failed");
+}
+
+#[test]
+fn top_renders_live_data_from_a_running_serve() {
+    let dir = fixture_dir("top");
+    let log = dir.join("input.log");
+    write_fixture(&log);
+
+    // --follow keeps the serve alive after EOF so `top` can scrape it.
+    let mut child = logmine()
+        .args([
+            "serve",
+            log.to_str().unwrap(),
+            "--follow",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--window",
+            "500",
+            "--warmup",
+            "2",
+            "--events-out",
+            dir.join("events.jsonl").to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("metrics listening on ")
+        .unwrap_or_else(|| panic!("expected metrics address line, got: {line}"))
+        .to_owned();
+
+    // Wait until the whole fixture is digested and at least one window
+    // published the drift/top-K gauges `top` reads.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let body = scrape(&addr).unwrap_or_default();
+        let routed = sample(&body, "ingest_lines_total").unwrap_or(0.0);
+        let ranked = sample(&body, "ingest_top_template_lines{rank=\"1\"}").unwrap_or(0.0);
+        if routed >= FIXTURE_LINES as f64 && ranked > 0.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "serve never published top-K gauges; last scrape:\n{body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Two frames so the second one carries interval-derived rates.
+    let out = logmine()
+        .args([
+            "top",
+            "--scrape",
+            &addr,
+            "--interval-ms",
+            "50",
+            "--iterations",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "top failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("\x1b[2J\x1b[H"),
+        "no ANSI clear-and-home between frames"
+    );
+    assert!(text.contains("logmine top — frame 2"), "{text}");
+    assert!(text.contains("lines ingested"), "{text}");
+    assert!(
+        text.contains(&format!("{FIXTURE_LINES}")),
+        "line count missing:\n{text}"
+    );
+    assert!(text.contains("global templates"), "{text}");
+    assert!(text.contains("shard  queue"), "{text}");
+    assert!(text.contains("top templates by arrival count"), "{text}");
+    assert!(text.contains("gid "), "no ranked template row:\n{text}");
+    assert!(text.contains("/s"), "no rate column:\n{text}");
+    assert!(text.contains("firing alerts"), "{text}");
+
+    terminate(&mut child);
+    assert!(child.wait().unwrap().success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn alerts_check_reports_firing_rules_from_a_fixture() {
+    let dir = fixture_dir("alerts-e2e");
+    let fixture = dir.join("drift.history");
+    // Churn breaches `template_churn > 0.3 for 3` from window 3 on, so
+    // the default rule fires at window 5 and never sees three clear
+    // windows before the fixture ends.
+    std::fs::write(
+        &fixture,
+        "# canned drifting stream\n\
+         template_churn 0.0 0.0 0.5 0.6 0.7 0.8 0.1 0.0\n\
+         template_births 3 0 80 90 85 88 5 0\n\
+         merge_conflicts 0 0 0 2 4 6 6 6\n",
+    )
+    .unwrap();
+
+    let out = logmine()
+        .args(["alerts", "check", "--fixture", fixture.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "alerts check failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("5 rule(s) from built-in defaults"), "{text}");
+    assert!(text.contains("FIRING"), "{text}");
+    assert!(text.contains("template-churn-high"), "{text}");
+    assert!(text.contains("still firing"), "{text}");
+
+    // A stable history keeps every rule quiet.
+    let calm = dir.join("calm.history");
+    std::fs::write(&calm, "template_churn 0.0 0.0 0.0 0.0 0.0 0.0\n").unwrap();
+    let out = logmine()
+        .args(["alerts", "check", "--fixture", calm.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("status: ok"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

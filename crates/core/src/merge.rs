@@ -92,6 +92,11 @@ pub struct TemplateMerge {
     parent: Vec<usize>,
     by_key: HashMap<String, usize>,
     assign: HashMap<(usize, usize), usize>,
+    /// Lifetime count of union-find merges (refinement collisions) —
+    /// the drift family's merge-conflict signal.
+    unions: u64,
+    /// Lifetime count of template refinements (a key gaining wildcards).
+    refines: u64,
 }
 
 impl TemplateMerge {
@@ -133,6 +138,8 @@ impl TemplateMerge {
             parent,
             by_key: HashMap::new(),
             assign,
+            unions: 0,
+            refines: 0,
         };
         for id in 0..merge.templates.len() {
             if merge.resolve_root(id) == id {
@@ -194,6 +201,8 @@ impl TemplateMerge {
                                     self.parent[loser] = winner;
                                     self.templates[winner] = key.clone();
                                     self.by_key.insert(key.clone(), winner);
+                                    self.unions += 1;
+                                    self.refines += 1;
                                     sink(MergeDelta::Union { winner, loser });
                                     sink(MergeDelta::Refine {
                                         gid: winner,
@@ -204,6 +213,7 @@ impl TemplateMerge {
                             None => {
                                 self.templates[root] = key.clone();
                                 self.by_key.insert(key.clone(), root);
+                                self.refines += 1;
                                 sink(MergeDelta::Refine {
                                     gid: root,
                                     key: key.clone(),
@@ -264,6 +274,20 @@ impl TemplateMerge {
             .filter(|&id| self.parent[id] == id)
             .map(|id| (id, self.templates[id].clone()))
             .collect()
+    }
+
+    /// Lifetime number of union-find merges: two diverged global ids
+    /// refining onto the same key. A rising rate means shards keep
+    /// re-learning (and re-colliding on) the same event shapes — the
+    /// merge-conflict signal the drift telemetry watches.
+    pub fn union_count(&self) -> u64 {
+        self.unions
+    }
+
+    /// Lifetime number of template refinements (a key changing in
+    /// place, with or without a collision).
+    pub fn refine_count(&self) -> u64 {
+        self.refines
     }
 
     /// The raw per-id key table (aliased ids keep their last key), for
@@ -362,6 +386,24 @@ mod tests {
         assert_eq!(m.resolve(1, 0), Some(g0));
         assert_eq!(m.canonical_count(), 1);
         assert_eq!(m.id_space(), 2, "aliased id still occupies the space");
+    }
+
+    #[test]
+    fn union_and_refine_counters_track_conflicts() {
+        let mut m = TemplateMerge::new();
+        assert_eq!((m.union_count(), m.refine_count()), (0, 0));
+        m.merge_shard(0, &["send pkt * ok".into()]);
+        m.merge_shard(1, &["send pkt 7 ok".into()]);
+        assert_eq!((m.union_count(), m.refine_count()), (0, 0), "inserts only");
+        // In-place refinement without a collision: refine, no union.
+        m.merge_shard(1, &["send pkt 7 *".into()]);
+        assert_eq!((m.union_count(), m.refine_count()), (0, 1));
+        // Refinement collision with shard 0's key: union + refine.
+        m.merge_shard(1, &["send pkt * ok".into()]);
+        assert_eq!((m.union_count(), m.refine_count()), (1, 2));
+        // Idempotent re-merge moves nothing.
+        m.merge_shard(1, &["send pkt * ok".into()]);
+        assert_eq!((m.union_count(), m.refine_count()), (1, 2));
     }
 
     #[test]

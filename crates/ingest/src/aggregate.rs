@@ -27,6 +27,7 @@
 //! history the detector scores against.
 
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
@@ -34,12 +35,13 @@ use std::sync::Arc;
 use logparse_core::{MergeDelta, TemplateMerge};
 use logparse_linalg::Matrix;
 use logparse_mining::PcaDetector;
+use logparse_obs::{AlertEngine, History, HistorySampler};
 use logparse_store::{MapState, TemplateStore};
 
 use crate::checkpoint::{GlobalMapState, ParserSnapshot};
 use crate::events::{fields, EventLog};
 use crate::json::Json;
-use crate::metrics::AggregatorMetrics;
+use crate::metrics::{AggregatorMetrics, DriftMetrics, TOP_K};
 use crate::worker::ShardOutput;
 use crate::{IngestError, ParserChoice, WindowScore};
 
@@ -106,6 +108,18 @@ impl GlobalMap {
         self.inner.resolve(shard, local)
     }
 
+    /// Union-find merges performed so far (refinement collisions) — the
+    /// pipeline's merge-conflict signal.
+    pub fn union_count(&self) -> u64 {
+        self.inner.union_count()
+    }
+
+    /// The canonical template string behind a global id, if allocated.
+    pub fn template_of(&mut self, gid: usize) -> Option<String> {
+        let root = self.inner.resolve_root(gid);
+        self.inner.raw_templates().get(root).cloned()
+    }
+
     /// Number of global ids ever allocated (column space for scoring).
     pub fn id_space(&self) -> usize {
         self.inner.id_space()
@@ -114,6 +128,251 @@ impl GlobalMap {
     /// Canonical `(global id, template)` pairs, id-ascending.
     pub fn canonical_templates(&mut self) -> Vec<(usize, String)> {
         self.inner.canonical_templates()
+    }
+}
+
+/// The quality & drift telemetry bundle: the sample [`History`] ring,
+/// the registry [`HistorySampler`] feeding it, and the [`AlertEngine`]
+/// evaluated over it. Built by the pipeline when drift telemetry is on
+/// and owned by the aggregator thread, which ticks all three once per
+/// closed window.
+pub(crate) struct QualityTelemetry {
+    pub history: Arc<History>,
+    pub sampler: HistorySampler,
+    pub engine: AlertEngine,
+}
+
+/// Exemplar raw lines buffered between window closes (all shards).
+const EXEMPLAR_BUFFER: usize = 64;
+
+/// Exemplars journaled per window that saw template births.
+const EXEMPLARS_PER_WINDOW: usize = 4;
+
+/// Per-window drift statistics, computed from the closing window's
+/// per-root counts before they move into the scoring history.
+struct WindowDriftStats {
+    births: usize,
+    churn: f64,
+    singleton_fraction: f64,
+    param_cardinality_max: usize,
+    new_conflicts: u64,
+    /// `(root gid, lines)` pairs, busiest first, at most [`TOP_K`].
+    top: Vec<(usize, u32)>,
+}
+
+/// Aggregator-side drift state: which templates have ever been seen,
+/// the exemplar buffer, and the per-shard cardinality highs.
+struct DriftTracker {
+    quality: Option<QualityTelemetry>,
+    /// Canonical roots observed in any closed window (birth detection).
+    seen_roots: HashSet<usize>,
+    /// `(shard, local id, raw line)` captured since the last close.
+    exemplars: Vec<(usize, usize, String)>,
+    /// Latest distinct-line maximum each shard reported.
+    shard_param_card: Vec<usize>,
+    /// Union count already charged to the conflicts counter.
+    last_unions: u64,
+}
+
+impl DriftTracker {
+    fn new(quality: Option<QualityTelemetry>, shards: usize) -> Self {
+        DriftTracker {
+            quality,
+            seen_roots: HashSet::new(),
+            exemplars: Vec::new(),
+            shard_param_card: vec![0; shards],
+            last_unions: 0,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.quality.is_some()
+    }
+
+    /// Folds one parsed batch's drift payload into the tracker.
+    fn absorb_batch(&mut self, shard: usize, param_cardinality_max: usize) {
+        if self.enabled() {
+            let high = &mut self.shard_param_card[shard];
+            *high = (*high).max(param_cardinality_max);
+        }
+    }
+
+    fn absorb_exemplars(&mut self, shard: usize, exemplars: Vec<(usize, String)>) {
+        if !self.enabled() {
+            return;
+        }
+        for (local, line) in exemplars {
+            if self.exemplars.len() >= EXEMPLAR_BUFFER {
+                break;
+            }
+            self.exemplars.push((shard, local, line));
+        }
+    }
+
+    /// Computes the closing window's drift statistics and marks its
+    /// templates seen. `None` when drift telemetry is off.
+    fn window_stats(
+        &mut self,
+        counts: &[(usize, u32)],
+        map: &mut GlobalMap,
+    ) -> Option<WindowDriftStats> {
+        self.quality.as_ref()?;
+        // Id merges can alias several gids to one root; drift speaks in
+        // canonical templates, so aggregate by root first.
+        let mut root_counts: HashMap<usize, u32> = HashMap::new();
+        for &(gid, n) in counts {
+            *root_counts.entry(map.resolve_root(gid)).or_insert(0) += n;
+        }
+        let total = root_counts.len();
+        let births = root_counts
+            .keys()
+            .filter(|root| !self.seen_roots.contains(root))
+            .count();
+        self.seen_roots.extend(root_counts.keys().copied());
+        let singletons = root_counts.values().filter(|&&n| n == 1).count();
+        let (churn, singleton_fraction) = if total > 0 {
+            (
+                births as f64 / total as f64,
+                singletons as f64 / total as f64,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        let unions = map.union_count();
+        let new_conflicts = unions.saturating_sub(self.last_unions);
+        self.last_unions = unions;
+        let mut top: Vec<(usize, u32)> = root_counts.into_iter().collect();
+        top.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        top.truncate(TOP_K);
+        Some(WindowDriftStats {
+            births,
+            churn,
+            singleton_fraction,
+            param_cardinality_max: self.shard_param_card.iter().copied().max().unwrap_or(0),
+            new_conflicts,
+            top,
+        })
+    }
+
+    /// Publishes one window's drift stats: gauges, history samples, the
+    /// journal's drift events, and an alert-engine step whose fire and
+    /// resolve edges become `alert_firing`/`alert_resolved` events.
+    fn publish(
+        &mut self,
+        window_id: u64,
+        stats: &WindowDriftStats,
+        map: &mut GlobalMap,
+        drift_metrics: &DriftMetrics,
+        events: &EventLog,
+    ) {
+        let Some(quality) = self.quality.as_mut() else {
+            return;
+        };
+        drift_metrics.births.inc_by(stats.births as u64);
+        drift_metrics.churn.set(stats.churn);
+        drift_metrics
+            .singleton_fraction
+            .set(stats.singleton_fraction);
+        drift_metrics
+            .param_cardinality
+            .set(stats.param_cardinality_max as f64);
+        drift_metrics.merge_conflicts.inc_by(stats.new_conflicts);
+        for rank in 0..TOP_K {
+            match stats.top.get(rank) {
+                Some(&(gid, n)) => {
+                    drift_metrics.top_lines[rank].set(n as f64);
+                    drift_metrics.top_gids[rank].set(gid as f64);
+                }
+                None => {
+                    drift_metrics.top_lines[rank].set(0.0);
+                    drift_metrics.top_gids[rank].set(-1.0);
+                }
+            }
+        }
+
+        let history = &quality.history;
+        history.record_sample("template_births", stats.births as f64);
+        history.record_sample("template_churn", stats.churn);
+        history.record_sample("singleton_fraction", stats.singleton_fraction);
+        history.record_sample("param_cardinality_max", stats.param_cardinality_max as f64);
+        // Cumulative, so `delta(merge_conflicts)` rules see per-window
+        // conflict arrivals.
+        history.record_sample(
+            "merge_conflicts",
+            drift_metrics.merge_conflicts.get() as f64,
+        );
+        quality.sampler.tick();
+
+        events.emit(
+            "drift_window",
+            fields! {
+                "window" => Json::num(window_id as f64),
+                "births" => Json::usize(stats.births),
+                "churn" => Json::num(stats.churn),
+                "singleton_fraction" => Json::num(stats.singleton_fraction),
+                "param_cardinality_max" => Json::usize(stats.param_cardinality_max),
+                "merge_conflicts" => Json::num(stats.new_conflicts as f64),
+            },
+        );
+        let top_json = Json::Arr(
+            stats
+                .top
+                .iter()
+                .map(|&(gid, n)| {
+                    Json::Obj(vec![
+                        ("gid".into(), Json::usize(gid)),
+                        ("lines".into(), Json::num(n as f64)),
+                        (
+                            "template".into(),
+                            map.template_of(gid).map_or(Json::Null, Json::str),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        events.emit(
+            "window_top",
+            fields! {
+                "window" => Json::num(window_id as f64),
+                "top" => top_json,
+            },
+        );
+        let exemplars = std::mem::take(&mut self.exemplars);
+        if stats.births > 0 {
+            for (shard, local, line) in exemplars.into_iter().take(EXEMPLARS_PER_WINDOW) {
+                let gid = map.resolve(shard, local);
+                events.emit(
+                    "drift_exemplar",
+                    fields! {
+                        "window" => Json::num(window_id as f64),
+                        "shard" => Json::usize(shard),
+                        "gid" => gid.map_or(Json::Null, Json::usize),
+                        "line" => Json::str(line),
+                    },
+                );
+            }
+        }
+
+        for transition in quality.engine.step(&quality.history) {
+            events.emit(
+                if transition.firing {
+                    "alert_firing"
+                } else {
+                    "alert_resolved"
+                },
+                fields! {
+                    "rule" => Json::str(transition.rule),
+                    "series" => Json::str(transition.series),
+                    "value" => if transition.value.is_finite() {
+                        Json::num(transition.value)
+                    } else {
+                        Json::Null
+                    },
+                    "threshold" => Json::num(transition.threshold),
+                    "window" => Json::num(window_id as f64),
+                },
+            );
+        }
     }
 }
 
@@ -131,6 +390,8 @@ pub(crate) struct AggregatorConfig {
     pub store: Option<TemplateStore>,
     pub events: Arc<EventLog>,
     pub metrics: AggregatorMetrics,
+    /// Drift history + alert engine; `None` when `--no-drift`.
+    pub quality: Option<QualityTelemetry>,
     pub resume: Option<GlobalMapState>,
     /// Sequence number the router starts at (the resumed checkpoint's
     /// `lines`, or 0 for fresh runs) — keeps window numbering and final
@@ -196,6 +457,7 @@ pub(crate) fn run_aggregator(
         mut store,
         events,
         metrics,
+        quality,
         resume,
         seq_base,
     } = config;
@@ -215,11 +477,13 @@ pub(crate) fn run_aggregator(
     let mut shard_observed = vec![0usize; shards];
     let mut batches = 0u64;
     let mut done = 0usize;
+    let mut drift = DriftTracker::new(quality, shards);
 
     let mut score_window = |window_id: u64,
                             acc: WindowAcc,
                             map: &mut GlobalMap,
-                            closed: &mut VecDeque<ClosedWindow>| {
+                            closed: &mut VecDeque<ClosedWindow>,
+                            drift: &mut DriftTracker| {
         // The span records close-to-scored latency (row rebuild + PCA +
         // thresholding) into `ingest_window_score_duration_seconds` and
         // the trace ring when it drops at the end of this closure.
@@ -227,6 +491,9 @@ pub(crate) fn run_aggregator(
             logparse_obs::global().span_into(metrics.score_seconds.clone(), "window_score", &[]);
         let mut counts: Vec<(usize, u32)> = acc.counts.into_iter().collect();
         counts.sort_unstable();
+        // Drift stats come from the raw counts, before they move into
+        // the scoring history below.
+        let drift_stats = drift.window_stats(&counts, map);
         // Rows are rebuilt per window because id merges can re-root a
         // gid between closings. The candidate goes in *last* and is held
         // out of the PCA fit: fitting on a matrix that contains the very
@@ -312,6 +579,9 @@ pub(crate) fn run_aggregator(
             );
             anomalies.push(score.window);
         }
+        if let Some(stats) = drift_stats {
+            drift.publish(window_id, &stats, map, &metrics.drift, &events);
+        }
         windows.push(score);
     };
 
@@ -326,6 +596,8 @@ pub(crate) fn run_aggregator(
                     merge_durably(&mut map, batch.shard, templates, &mut store, &mut deltas)?;
                     metrics.merges.inc();
                 }
+                drift.absorb_batch(batch.shard, batch.param_cardinality_max);
+                drift.absorb_exemplars(batch.shard, batch.exemplars);
                 shard_observed[batch.shard] += batch.entries.len();
                 let canonical = map.canonical_count();
                 metrics.global_templates.set(canonical as f64);
@@ -350,7 +622,7 @@ pub(crate) fn run_aggregator(
                     acc.seen += 1;
                     if acc.seen == window_size {
                         if let Some(acc) = open.remove(&window_id) {
-                            score_window(window_id, acc, &mut map, &mut closed);
+                            score_window(window_id, acc, &mut map, &mut closed, &mut drift);
                         }
                     }
                 }
@@ -402,7 +674,7 @@ pub(crate) fn run_aggregator(
     partial.sort_unstable();
     for window_id in partial {
         if let Some(acc) = open.remove(&window_id) {
-            score_window(window_id, acc, &mut map, &mut closed);
+            score_window(window_id, acc, &mut map, &mut closed, &mut drift);
         }
     }
 

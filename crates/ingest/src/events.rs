@@ -11,6 +11,11 @@
 //! | `batch_parsed`      | a shard worker finished one batch                  |
 //! | `window_scored`     | a tumbling window closed and was scored            |
 //! | `anomaly_flagged`   | a scored window exceeded the detector threshold    |
+//! | `drift_window`      | per-window quality stats (births, churn, …)        |
+//! | `drift_exemplar`    | a raw line evidencing a window's template births   |
+//! | `window_top`        | the window's top-K templates by arrival count      |
+//! | `alert_firing`      | an alert rule crossed its `for N windows` breach   |
+//! | `alert_resolved`    | a firing rule saw N consecutive clear windows      |
 //! | `snapshot_written`  | a checkpoint was persisted to disk                 |
 //! | `shutdown_complete` | all shards drained and the pipeline exited         |
 //!

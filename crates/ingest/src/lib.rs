@@ -27,7 +27,15 @@
 //!   global template ids survive restarts byte-for-byte.
 //! * **Event log** ([`EventLog`]) — JSONL operational events
 //!   (`ingest_started`, `batch_parsed`, `window_scored`,
-//!   `anomaly_flagged`, `snapshot_written`, `shutdown_complete`).
+//!   `anomaly_flagged`, `snapshot_written`, `shutdown_complete`, and
+//!   the quality family: `drift_window`, `drift_exemplar`,
+//!   `window_top`, `alert_firing`, `alert_resolved`).
+//! * **Quality & drift telemetry** ([`IngestConfig::drift`]) — per
+//!   window the aggregator publishes template birth rate, churn,
+//!   singleton fraction, parameter-cardinality and merge-conflict
+//!   gauges, records them into a bounded [`logparse_obs::History`]
+//!   ring, and evaluates declarative [`logparse_obs::AlertRule`]s
+//!   (`template_churn > 0.3 for 3`) with journaled fire/resolve edges.
 //!
 //! # Example
 //!

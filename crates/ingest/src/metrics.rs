@@ -73,6 +73,91 @@ impl WorkerMetrics {
     }
 }
 
+/// Number of top-templates-by-arrival-rate series exported per window
+/// (`ingest_top_template_lines{rank}` / `ingest_top_template_gid{rank}`).
+/// Rank labels keep the family's cardinality fixed no matter how the
+/// template population churns.
+pub(crate) const TOP_K: usize = 5;
+
+/// The quality & drift telemetry family, computed by the aggregator
+/// once per closed window. These are the operational counterparts of
+/// the paper's offline finding that parsing quality silently decays:
+/// each one is a leading indicator that the parser is fragmenting or
+/// the stream changed shape under it.
+#[derive(Debug)]
+pub(crate) struct DriftMetrics {
+    /// `ingest_drift_template_births_total` — global ids first seen.
+    pub births: Counter,
+    /// `ingest_drift_template_churn` — new-vs-seen template ratio in
+    /// the last closed window.
+    pub churn: Gauge,
+    /// `ingest_drift_singleton_fraction` — fraction of the window's
+    /// templates that matched exactly one line.
+    pub singleton_fraction: Gauge,
+    /// `ingest_drift_param_cardinality_max` — the largest per-template
+    /// distinct-parameter estimate any shard reports.
+    pub param_cardinality: Gauge,
+    /// `ingest_drift_merge_conflicts_total` — union-find merges
+    /// (refinement collisions) in the global map.
+    pub merge_conflicts: Counter,
+    /// `ingest_top_template_lines{rank}` — line count of the rank-th
+    /// busiest template in the last closed window.
+    pub top_lines: Vec<Gauge>,
+    /// `ingest_top_template_gid{rank}` — its global id (-1 = unused).
+    pub top_gids: Vec<Gauge>,
+}
+
+impl DriftMetrics {
+    fn new() -> Self {
+        let registry = global();
+        DriftMetrics {
+            births: registry.counter(
+                "ingest_drift_template_births_total",
+                "Global template ids first seen in a closed window",
+                &[],
+            ),
+            churn: registry.gauge(
+                "ingest_drift_template_churn",
+                "New-vs-seen template ratio of the last closed window",
+                &[],
+            ),
+            singleton_fraction: registry.gauge(
+                "ingest_drift_singleton_fraction",
+                "Fraction of last window's templates matching exactly one line",
+                &[],
+            ),
+            param_cardinality: registry.gauge(
+                "ingest_drift_param_cardinality_max",
+                "Largest per-template distinct-parameter estimate across shards",
+                &[],
+            ),
+            merge_conflicts: registry.counter(
+                "ingest_drift_merge_conflicts_total",
+                "Union-find merges from template refinement collisions",
+                &[],
+            ),
+            top_lines: (0..TOP_K)
+                .map(|rank| {
+                    registry.gauge(
+                        "ingest_top_template_lines",
+                        "Line count of the rank-th busiest template in the last window",
+                        &[("rank", &rank.to_string())],
+                    )
+                })
+                .collect(),
+            top_gids: (0..TOP_K)
+                .map(|rank| {
+                    registry.gauge(
+                        "ingest_top_template_gid",
+                        "Global id of the rank-th busiest template (-1 when unused)",
+                        &[("rank", &rank.to_string())],
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Metrics owned by the aggregator thread.
 #[derive(Debug)]
 pub(crate) struct AggregatorMetrics {
@@ -92,6 +177,8 @@ pub(crate) struct AggregatorMetrics {
     pub checkpoints: Counter,
     /// `ingest_checkpoint_write_duration_seconds`.
     pub checkpoint_seconds: Histogram,
+    /// The per-window quality & drift family.
+    pub drift: DriftMetrics,
 }
 
 impl AggregatorMetrics {
@@ -135,6 +222,7 @@ impl AggregatorMetrics {
                 &Buckets::durations(),
                 &[],
             ),
+            drift: DriftMetrics::new(),
         }
     }
 }
@@ -218,6 +306,13 @@ mod tests {
             "ingest_window_score_duration_seconds",
             "ingest_checkpoints_total",
             "ingest_checkpoint_write_duration_seconds",
+            "ingest_drift_template_births_total",
+            "ingest_drift_template_churn",
+            "ingest_drift_singleton_fraction",
+            "ingest_drift_param_cardinality_max",
+            "ingest_drift_merge_conflicts_total",
+            "ingest_top_template_lines",
+            "ingest_top_template_gid",
         ] {
             assert!(
                 text.contains(&format!("# TYPE {family} ")),

@@ -34,9 +34,10 @@ use std::time::{Duration, Instant};
 
 use logparse_core::Tokenizer;
 use logparse_mining::{PcaDetector, PcaDetectorConfig};
+use logparse_obs::{default_rules, AlertEngine, AlertRule, History, HistorySampler};
 use logparse_store::{StoreConfig, TemplateStore};
 
-use crate::aggregate::{run_aggregator, AggregatorConfig};
+use crate::aggregate::{run_aggregator, AggregatorConfig, QualityTelemetry};
 use crate::checkpoint::{Checkpoint, ParserSnapshot};
 use crate::events::{fields, EventLog};
 use crate::json::Json;
@@ -88,7 +89,20 @@ pub struct IngestConfig {
     pub stop: StopFlag,
     /// Sleep between polls when the source is idle.
     pub idle_sleep: Duration,
+    /// Per-window quality & drift telemetry: the history ring, the
+    /// `ingest_drift_*` family, exemplar capture and alert evaluation.
+    /// Cheap (a few hashes per line, a few hundred samples of memory);
+    /// on by default, `--no-drift` turns it off.
+    pub drift: bool,
+    /// Alert rules evaluated once per closed window while `drift` is
+    /// on. Defaults to [`logparse_obs::default_rules`].
+    pub alert_rules: Vec<AlertRule>,
 }
+
+/// Samples kept per history series: at one tick per closed window this
+/// is a few hours of drift context for typical window sizes, in at most
+/// `series × 256 × 8` bytes.
+const HISTORY_CAPACITY: usize = 256;
 
 impl Default for IngestConfig {
     fn default() -> Self {
@@ -110,6 +124,8 @@ impl Default for IngestConfig {
             tokenizer: Tokenizer::default(),
             stop: StopFlag::new(),
             idle_sleep: Duration::from_millis(5),
+            drift: true,
+            alert_rules: default_rules(),
         }
     }
 }
@@ -224,6 +240,32 @@ pub fn run_pipeline(
         workers: worker_metrics,
         aggregator: aggregator_metrics,
     } = StageMetrics::new(config.shards, config.parser.name());
+    // The quality telemetry bundle: a bounded history ring fed once per
+    // closed window from the live metric handles, plus the alert engine
+    // evaluated over it. Series names here are the vocabulary alert
+    // rules reference.
+    let quality = if config.drift {
+        let history = Arc::new(History::new(HISTORY_CAPACITY));
+        let mut sampler = HistorySampler::new(Arc::clone(&history));
+        sampler.track_counter("lines_total", router_metrics.lines.clone());
+        sampler.track_gauge(
+            "global_templates",
+            aggregator_metrics.global_templates.clone(),
+        );
+        sampler.track_quantile(
+            "window_score_p95",
+            aggregator_metrics.score_seconds.clone(),
+            0.95,
+        );
+        let engine = AlertEngine::new(logparse_obs::global(), config.alert_rules.clone());
+        Some(QualityTelemetry {
+            history,
+            sampler,
+            engine,
+        })
+    } else {
+        None
+    };
     events.emit(
         "ingest_started",
         fields! {
@@ -250,11 +292,21 @@ pub fn run_pipeline(
         let out = result_tx.clone();
         let tokenizer = config.tokenizer.clone();
         let refresh_every = config.refresh_every;
+        let drift = config.drift;
         shard_handles.push(
             std::thread::Builder::new()
                 .name(format!("ingest-shard-{shard}"))
                 .spawn(move || {
-                    run_worker(shard, parser, tokenizer, refresh_every, metrics, rx, out)
+                    run_worker(
+                        shard,
+                        parser,
+                        tokenizer,
+                        refresh_every,
+                        drift,
+                        metrics,
+                        rx,
+                        out,
+                    )
                 })
                 .map_err(IngestError::Io)?,
         );
@@ -273,6 +325,7 @@ pub fn run_pipeline(
             store,
             events: Arc::clone(&events),
             metrics: aggregator_metrics,
+            quality,
             resume: resume.map(|c| c.global.clone()),
             seq_base,
         };

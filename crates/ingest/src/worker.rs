@@ -7,6 +7,8 @@
 //! over a shared unbounded channel — the aggregator never blocks
 //! workers.
 
+use std::collections::HashSet;
+use std::hash::BuildHasherDefault;
 use std::sync::mpsc::{Receiver, Sender};
 use std::time::Instant;
 
@@ -46,6 +48,16 @@ pub(crate) enum ShardOutput {
     },
 }
 
+/// Raw lines kept as drift evidence per batch: one exemplar per newborn
+/// group, capped so a template storm cannot bloat the channel.
+const EXEMPLAR_CAP: usize = 16;
+
+/// Per-group distinct-line estimates saturate here. The cap bounds the
+/// tracking set at ~64 KiB per parameter-heavy group while sitting well
+/// above the default `param-cardinality-blowup` alert threshold, so the
+/// alert always has room to fire before the estimate pins.
+const PARAM_CARD_CAP: usize = 8_192;
+
 /// One parsed batch: sequence numbers mapped to shard-local group ids.
 #[derive(Debug)]
 pub(crate) struct ParsedBatch {
@@ -56,6 +68,15 @@ pub(crate) struct ParsedBatch {
     /// aggregator also sees templates *refine* (gain wildcards). `None`
     /// means "no change since the last list you got".
     pub templates: Option<Vec<String>>,
+    /// `(local id, raw line)` for groups born in this batch (capped at
+    /// [`EXEMPLAR_CAP`]) — the journal's evidence of *which* lines
+    /// caused a drift spike. Empty when drift telemetry is off.
+    pub exemplars: Vec<(usize, String)>,
+    /// Largest distinct-line estimate across this shard's groups — the
+    /// per-template parameter-cardinality proxy (distinct raw lines per
+    /// template, saturating at [`PARAM_CARD_CAP`]). 0 when drift
+    /// telemetry is off.
+    pub param_cardinality_max: usize,
 }
 
 /// A shard's streaming parser, behind the configured algorithm.
@@ -109,13 +130,68 @@ impl ShardParser {
     }
 }
 
+/// Distinct-line fingerprint for the parameter-cardinality estimate.
+/// Folds 8-byte chunks with a rotate–xor–multiply instead of
+/// byte-at-a-time FNV: this runs once per line on the parse hot path,
+/// and the chunked fold keeps the drift family's throughput cost inside
+/// the ≤5% bench budget (`pr7_obs_overhead`).
+fn line_hash(line: &str) -> u64 {
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+    let bytes = line.as_bytes();
+    let mut hash = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(chunk);
+        hash = (hash.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(SEED);
+    }
+    let mut tail = u64::from(bytes.len() as u8);
+    for byte in chunks.remainder() {
+        tail = (tail << 8) | u64::from(*byte);
+    }
+    (hash.rotate_left(5) ^ tail).wrapping_mul(SEED)
+}
+
+/// Pass-through hasher for [`FingerprintSet`]: the keys are already
+/// FNV-1a fingerprints from [`line_hash`], so running them through
+/// SipHash again would double the per-line hashing cost on the parse
+/// hot path for no dispersion gain.
+#[derive(Debug, Default)]
+struct FingerprintHasher(u64);
+
+impl std::hash::Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u64(&mut self, fingerprint: u64) {
+        self.0 = fingerprint;
+    }
+
+    // Only u64 fingerprints are ever hashed, but stay total: fold any
+    // other input FNV-style rather than panicking on a contract slip.
+    fn write(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            self.0 ^= u64::from(*byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Distinct-fingerprint set with identity hashing.
+type FingerprintSet = HashSet<u64, BuildHasherDefault<FingerprintHasher>>;
+
 /// The worker loop. Exits when it sees `Shutdown` or the input channel
-/// disconnects.
+/// disconnects. With `drift` enabled the worker additionally tracks a
+/// distinct-line set per group (parameter-cardinality proxy) and captures
+/// one exemplar raw line per newborn group for the journal.
+#[allow(clippy::too_many_arguments)] // internal spawn site mirroring shard wiring
 pub(crate) fn run_worker(
     shard: usize,
     mut parser: ShardParser,
     tokenizer: Tokenizer,
     refresh_every: usize,
+    drift: bool,
     metrics: WorkerMetrics,
     input: Receiver<ShardInput>,
     output: Sender<ShardOutput>,
@@ -123,6 +199,8 @@ pub(crate) fn run_worker(
     let mut observed = 0usize;
     let mut sent_groups = 0usize;
     let mut lines_since_refresh = 0usize;
+    // Per-group distinct-line fingerprints; index = shard-local group id.
+    let mut param_seen: Vec<FingerprintSet> = Vec::new();
 
     while let Ok(message) = input.recv() {
         match message {
@@ -131,11 +209,26 @@ pub(crate) fn run_worker(
                 // lint:allow(timing-discipline): measures directly into ingest_parse_duration_seconds below; a ring-recording span per batch would break the rare-events-only trace budget
                 let parse_started = Instant::now();
                 let mut entries = Vec::with_capacity(batch.len());
+                let mut exemplars = Vec::new();
                 for (seq, line) in &batch {
                     // Zero-copy: the parser interns what it keeps, so the
                     // worker never allocates per-token strings.
                     let tokens = tokenizer.tokenize_refs(line);
-                    entries.push((*seq, parser.observe(&tokens)));
+                    let before = parser.group_count();
+                    let local = parser.observe(&tokens);
+                    entries.push((*seq, local));
+                    if drift {
+                        if parser.group_count() > before && exemplars.len() < EXEMPLAR_CAP {
+                            exemplars.push((local, line.clone()));
+                        }
+                        if param_seen.len() <= local {
+                            param_seen.resize_with(local + 1, FingerprintSet::default);
+                        }
+                        let seen = &mut param_seen[local];
+                        if seen.len() < PARAM_CARD_CAP {
+                            seen.insert(line_hash(line));
+                        }
+                    }
                 }
                 metrics
                     .parse_seconds
@@ -152,11 +245,14 @@ pub(crate) fn run_worker(
                 } else {
                     None
                 };
+                let param_cardinality_max = param_seen.iter().map(HashSet::len).max().unwrap_or(0);
                 if output
                     .send(ShardOutput::Parsed(ParsedBatch {
                         shard,
                         entries,
                         templates,
+                        exemplars,
+                        param_cardinality_max,
                     }))
                     .is_err()
                 {
@@ -207,6 +303,7 @@ mod tests {
                 ShardParser::new(ParserChoice::Drain),
                 Tokenizer::default(),
                 1000,
+                true,
                 WorkerMetrics::new(1, "drain"),
                 in_rx,
                 out_tx,
@@ -232,6 +329,10 @@ mod tests {
                 assert_eq!(batch.shard, 1);
                 assert_eq!(batch.entries, vec![(0, 0), (1, 0)]);
                 assert_eq!(batch.templates, Some(vec!["send pkt * ok".to_string()]));
+                // One group was born: one exemplar, and the two distinct
+                // raw lines feed the cardinality estimate.
+                assert_eq!(batch.exemplars, vec![(0, "send pkt 1 ok".to_string())]);
+                assert_eq!(batch.param_cardinality_max, 2);
             }
             other => panic!("expected Parsed, got {other:?}"),
         }
@@ -270,6 +371,7 @@ mod tests {
                 ShardParser::new(ParserChoice::Drain),
                 Tokenizer::default(),
                 1_000_000,
+                true,
                 WorkerMetrics::new(0, "drain"),
                 in_rx,
                 out_tx,
@@ -296,5 +398,38 @@ mod tests {
             second.templates.is_none(),
             "no new group, refresh interval not reached"
         );
+    }
+
+    #[test]
+    fn drift_tracking_is_skipped_when_disabled() {
+        let (in_tx, in_rx) = mpsc::sync_channel(4);
+        let (out_tx, out_rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            run_worker(
+                0,
+                ShardParser::new(ParserChoice::Drain),
+                Tokenizer::default(),
+                1000,
+                false,
+                WorkerMetrics::new(0, "drain"),
+                in_rx,
+                out_tx,
+            );
+        });
+        in_tx
+            .send(ShardInput::Batch(vec![
+                (0, "conn from 10.0.0.1".into()),
+                (1, "conn from 10.0.0.2".into()),
+            ]))
+            .unwrap();
+        in_tx.send(ShardInput::Shutdown).unwrap();
+        handle.join().unwrap();
+        match out_rx.recv().unwrap() {
+            ShardOutput::Parsed(batch) => {
+                assert!(batch.exemplars.is_empty());
+                assert_eq!(batch.param_cardinality_max, 0);
+            }
+            other => panic!("expected Parsed, got {other:?}"),
+        }
     }
 }

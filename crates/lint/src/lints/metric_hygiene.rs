@@ -13,6 +13,15 @@
 //!    family the table documents must exist in code. The docs and the
 //!    scrape can never drift apart silently.
 //!
+//! The same three rules cover the history ring's series vocabulary:
+//! instrumentation-side sampling calls (`.record_sample(…)`,
+//! `.track_counter(…)`, `.track_gauge(…)`, `.track_quantile(…)`) name
+//! the series they feed, so those names are literal, single-owner, and
+//! cross-checked against the section's table whose header cell is
+//! `series` (families live in the table headed `family`).
+//! [`History::replay`] is deliberately exempt — it is the *import*
+//! surface for runtime names (fixture replay, `logmine alerts check`).
+//!
 //! Scope: library code outside test regions. Binaries, benches,
 //! examples and tests consume metrics, they do not define them.
 
@@ -24,6 +33,13 @@ const NAME: &str = "obs-metric-hygiene";
 
 const REGISTRATION: &[&str] = &[".counter(", ".gauge(", ".histogram("];
 
+const SAMPLING: &[&str] = &[
+    ".record_sample(",
+    ".track_counter(",
+    ".track_gauge(",
+    ".track_quantile(",
+];
+
 /// One registration call site.
 #[derive(Debug)]
 struct Site {
@@ -31,17 +47,74 @@ struct Site {
     line: u32,
 }
 
+/// The vocabulary of one namespace category: how its names enter code
+/// and how the lint talks about them.
+struct Category {
+    patterns: &'static [&'static str],
+    /// "metric family" / "history series".
+    what: &'static str,
+    /// "registered" / "recorded".
+    verb: &'static str,
+    /// Which DESIGN.md table documents it.
+    table: &'static str,
+}
+
+const FAMILIES: Category = Category {
+    patterns: REGISTRATION,
+    what: "metric family",
+    verb: "registered",
+    table: "Observability table",
+};
+
+const SERIES: Category = Category {
+    patterns: SAMPLING,
+    what: "history series",
+    verb: "recorded",
+    table: "Observability history-series table",
+};
+
 /// Runs the workspace-level hygiene check. `design` is the
 /// workspace-relative path and content of DESIGN.md, when present.
 pub fn check(files: &[SourceFile], design: Option<(&str, &str)>) -> Vec<Finding> {
     let mut out = Vec::new();
-    let mut sites: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+    let family_sites = collect_sites(files, &FAMILIES, &mut out);
+    let series_sites = collect_sites(files, &SERIES, &mut out);
 
+    let (documented_families, documented_series) = match design {
+        Some((_, text)) => design_tables(text),
+        None => (BTreeMap::new(), BTreeMap::new()),
+    };
+
+    cross_check(
+        &FAMILIES,
+        &family_sites,
+        &documented_families,
+        design.map(|(rel, _)| rel),
+        &mut out,
+    );
+    cross_check(
+        &SERIES,
+        &series_sites,
+        &documented_series,
+        design.map(|(rel, _)| rel),
+        &mut out,
+    );
+    out
+}
+
+/// Finds every call site of a category's patterns in library code,
+/// flagging non-literal names and returning the literal ones.
+fn collect_sites(
+    files: &[SourceFile],
+    category: &Category,
+    out: &mut Vec<Finding>,
+) -> BTreeMap<String, Vec<Site>> {
+    let mut sites: BTreeMap<String, Vec<Site>> = BTreeMap::new();
     for file in files {
         if file.role != Role::Lib {
             continue;
         }
-        for pat in REGISTRATION {
+        for pat in category.patterns {
             for off in super::find_all(&file.lexed.masked, pat) {
                 let line = file.line_of_offset(off);
                 if file.is_test_line(line) {
@@ -58,82 +131,95 @@ pub fn check(files: &[SourceFile], design: Option<(&str, &str)>) -> Vec<Finding>
                         Severity::Error,
                         file,
                         line,
-                        "metric family registered through a non-literal name; hygiene \
-                         cannot check it — pass the family name as a string literal"
-                            .to_string(),
+                        format!(
+                            "{} {} through a non-literal name; hygiene cannot \
+                             check it — pass the name as a string literal",
+                            category.what, category.verb
+                        ),
                     )),
                 }
             }
         }
     }
+    sites
+}
 
-    let documented: BTreeMap<String, u32> = match design {
-        Some((_, text)) => design_families(text),
-        None => BTreeMap::new(),
-    };
-
-    for (name, family_sites) in &sites {
+/// The bidirectional code ↔ DESIGN.md check for one category.
+fn cross_check(
+    category: &Category,
+    sites: &BTreeMap<String, Vec<Site>>,
+    documented: &BTreeMap<String, u32>,
+    design_rel: Option<&str>,
+    out: &mut Vec<Finding>,
+) {
+    for (name, name_sites) in sites {
         if !documented.contains_key(name) {
-            let s = &family_sites[0];
+            let s = &name_sites[0];
             out.push(Finding {
                 lint: NAME,
                 severity: Severity::Error,
                 rel: s.rel.clone(),
                 line: s.line,
                 message: format!(
-                    "metric family `{name}` is not documented in DESIGN.md's \
-                     Observability table"
+                    "{} `{name}` is not documented in DESIGN.md's {}",
+                    category.what, category.table
                 ),
                 also_allow_at: Vec::new(),
             });
         }
-        for dup in &family_sites[1..] {
+        for dup in &name_sites[1..] {
             out.push(Finding {
                 lint: NAME,
                 severity: Severity::Error,
                 rel: dup.rel.clone(),
                 line: dup.line,
                 message: format!(
-                    "metric family `{name}` is already registered at {}:{}; one site \
-                     owns a family (clone the handle, or add a reasoned pragma)",
-                    family_sites[0].rel, family_sites[0].line
+                    "{} `{name}` is already {} at {}:{}; one site owns a name \
+                     (clone the handle, or add a reasoned pragma)",
+                    category.what, category.verb, name_sites[0].rel, name_sites[0].line
                 ),
                 also_allow_at: Vec::new(),
             });
         }
     }
 
-    if let Some((design_rel, _)) = design {
-        for (name, line) in &documented {
-            if !sites.contains_key(name) {
+    match design_rel {
+        Some(design_rel) => {
+            for (name, line) in documented {
+                if !sites.contains_key(name) {
+                    out.push(Finding {
+                        lint: NAME,
+                        severity: Severity::Error,
+                        rel: design_rel.to_string(),
+                        line: *line,
+                        message: format!(
+                            "documented {} `{name}` is never {} in workspace \
+                             library code",
+                            category.what, category.verb
+                        ),
+                        also_allow_at: Vec::new(),
+                    });
+                }
+            }
+        }
+        None => {
+            if let Some(s) = sites.values().next().and_then(|v| v.first()) {
                 out.push(Finding {
                     lint: NAME,
                     severity: Severity::Error,
-                    rel: design_rel.to_string(),
-                    line: *line,
+                    rel: s.rel.clone(),
+                    line: s.line,
                     message: format!(
-                        "documented metric family `{name}` is never registered in \
-                         workspace library code"
+                        "workspace {}s {}s but has no DESIGN.md Observability \
+                         table documenting them",
+                        category.verb.trim_end_matches("ed"),
+                        category.what
                     ),
                     also_allow_at: Vec::new(),
                 });
             }
         }
-    } else if !sites.is_empty() {
-        if let Some(s) = sites.values().next().and_then(|v| v.first()) {
-            out.push(Finding {
-                lint: NAME,
-                severity: Severity::Error,
-                rel: s.rel.clone(),
-                line: s.line,
-                message: "workspace registers metric families but has no DESIGN.md \
-                          Observability table documenting them"
-                    .to_string(),
-                also_allow_at: Vec::new(),
-            });
-        }
     }
-    out
 }
 
 /// If the first argument of the call whose `(` content starts at
@@ -154,20 +240,36 @@ fn first_arg_literal(file: &SourceFile, open: usize) -> Option<String> {
         .map(|s| s.content.clone())
 }
 
-/// Family names (and their 1-based lines) from DESIGN.md's
-/// Observability table: rows of the first markdown table under a
-/// heading containing "Observability", first cell, backticks stripped,
-/// any `{labels}` suffix removed.
-fn design_families(text: &str) -> BTreeMap<String, u32> {
-    let mut out = BTreeMap::new();
+/// Which documented namespace a markdown table feeds, decided by its
+/// header's first cell.
+enum TableKind {
+    Families,
+    Series,
+    Other,
+}
+
+/// Names (and their 1-based lines) from the markdown tables under
+/// DESIGN.md's heading containing "Observability". Each table's header
+/// first cell routes its rows: `family` → metric families, `series` →
+/// history series; anything else is ignored. Cell values have
+/// backticks stripped and any `{labels}` suffix removed.
+fn design_tables(text: &str) -> (BTreeMap<String, u32>, BTreeMap<String, u32>) {
+    let mut families = BTreeMap::new();
+    let mut series = BTreeMap::new();
     let mut in_section = false;
+    let mut table: Option<TableKind> = None;
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.starts_with("## ") {
             in_section = line.contains("Observability");
+            table = None;
             continue;
         }
-        if !in_section || !line.starts_with('|') {
+        if !in_section {
+            continue;
+        }
+        if !line.starts_with('|') {
+            table = None;
             continue;
         }
         let cell = line
@@ -175,11 +277,18 @@ fn design_families(text: &str) -> BTreeMap<String, u32> {
             .split('|')
             .next()
             .unwrap_or("")
-            .trim();
-        let cell = cell.trim_matches('`');
+            .trim()
+            .trim_matches('`');
+        let Some(kind) = &table else {
+            table = Some(match cell {
+                "family" => TableKind::Families,
+                "series" => TableKind::Series,
+                _ => TableKind::Other,
+            });
+            continue;
+        };
         let name = cell.split('{').next().unwrap_or("").trim();
         if name.is_empty()
-            || name == "family"
             || name.bytes().all(|b| b == b'-' || b == b':')
             || !name
                 .bytes()
@@ -187,9 +296,17 @@ fn design_families(text: &str) -> BTreeMap<String, u32> {
         {
             continue;
         }
-        out.entry(name.to_string()).or_insert(i as u32 + 1);
+        match kind {
+            TableKind::Families => {
+                families.entry(name.to_string()).or_insert(i as u32 + 1);
+            }
+            TableKind::Series => {
+                series.entry(name.to_string()).or_insert(i as u32 + 1);
+            }
+            TableKind::Other => {}
+        }
     }
-    out
+    (families, series)
 }
 
 #[cfg(test)]
@@ -206,6 +323,13 @@ mod tests {
 | `app_lines_total` | counter | router |
 | `app_span_seconds{span}` | histogram | spans |
 | `app_ghost_total` | counter | nowhere |
+
+History series:
+
+| series | source | meaning |
+|--------|--------|---------|
+| `app_churn` | aggregator | per-window churn |
+| `app_ghost_series` | nowhere | documented only |
 ";
 
     fn files(src: &str) -> Vec<SourceFile> {
@@ -216,13 +340,15 @@ mod tests {
     fn clean_when_registered_once_and_documented() {
         let fs = files(
             "fn f(r: &Registry) {\n    r.counter(\"app_lines_total\", \"h\", &[]);\n    \
-             r.histogram(\n        \"app_span_seconds\",\n        \"h\",\n        &[],\n    );\n}\n",
+             r.histogram(\n        \"app_span_seconds\",\n        \"h\",\n        &[],\n    );\n    \
+             h.record_sample(\"app_churn\", 0.5);\n}\n",
         );
         let out = check(&fs, Some(("DESIGN.md", DESIGN)));
-        // Only the ghost family (documented, never registered) fires.
-        assert_eq!(out.len(), 1, "{out:?}");
+        // Only the ghosts (documented, never in code) fire.
+        assert_eq!(out.len(), 2, "{out:?}");
         assert!(out[0].message.contains("app_ghost_total"));
-        assert_eq!(out[0].rel, "DESIGN.md");
+        assert!(out[1].message.contains("app_ghost_series"));
+        assert!(out.iter().all(|f| f.rel == "DESIGN.md"));
     }
 
     #[test]
@@ -246,9 +372,68 @@ mod tests {
     }
 
     #[test]
+    fn history_series_are_held_to_the_same_contract() {
+        let fs = files(
+            "fn f(h: &History, s: &mut Sampler, name: &str) {\n    \
+             h.record_sample(\"app_rogue_series\", 1.0);\n    \
+             s.track_counter(\"app_churn\", c);\n    \
+             s.track_gauge(\"app_churn\", g);\n    \
+             h.record_sample(name, 2.0);\n    \
+             h.replay(name, 3.0);\n}\n",
+        );
+        let out = check(&fs, Some(("DESIGN.md", DESIGN)));
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("history series `app_rogue_series`")
+                    && m.contains("history-series table")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`app_churn` is already recorded")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("history series recorded through a non-literal")),
+            "{msgs:?}"
+        );
+        // `.replay(` is the runtime import surface: never flagged.
+        assert_eq!(
+            msgs.iter().filter(|m| m.contains("non-literal")).count(),
+            1,
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn series_and_family_tables_do_not_bleed_into_each_other() {
+        // A series recorded in code but documented only as a *family*
+        // (wrong table) must still be flagged, and vice versa.
+        let fs = files(
+            "fn f(r: &Registry, h: &History) {\n    \
+             h.record_sample(\"app_lines_total\", 1.0);\n    \
+             r.counter(\"app_churn\", \"h\", &[]);\n}\n",
+        );
+        let out = check(&fs, Some(("DESIGN.md", DESIGN)));
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("history series `app_lines_total`")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("metric family `app_churn`")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
     fn test_regions_and_non_lib_roles_are_ignored() {
         let mut fs = files(
-            "#[cfg(test)]\nmod tests {\n fn f(r: &R) { r.counter(\"x_total\", \"\", &[]); }\n}\n",
+            "#[cfg(test)]\nmod tests {\n fn f(r: &R) { r.counter(\"x_total\", \"\", &[]); \
+             h.record_sample(\"y\", 1.0); }\n}\n",
         );
         fs.push(SourceFile::new(
             "crates/bench/src/bin/b.rs",

@@ -1,0 +1,266 @@
+//! Alert-rule engine: hysteresis state machines over the history ring.
+//!
+//! [`AlertEngine`] owns a set of [`AlertRule`]s and one state machine
+//! per rule. [`AlertEngine::step`] is called once per history tick
+//! (one ingest window): each rule's condition is evaluated against the
+//! ring, a breach run-length and a clear run-length are maintained, and
+//! a rule *fires* after `for_windows` consecutive breaches, then
+//! *resolves* only after `for_windows` consecutive clear samples — the
+//! same width on both edges, so a flapping series cannot strobe the
+//! alert. Missing or NaN samples count as clear (never as a breach).
+//!
+//! The engine exports two gauge families (registered here, once):
+//! `obs_alerts_firing` — the number of rules currently firing — and
+//! `obs_alert_active{rule}` — 0/1 per rule. Transitions are returned to
+//! the caller, which journals them as `alert_firing`/`alert_resolved`
+//! events (the ingest aggregator does this with the window number and
+//! the observed value attached).
+
+use crate::history::History;
+use crate::metrics::Gauge;
+use crate::registry::Registry;
+use crate::rules::AlertRule;
+
+/// One fire/resolve edge produced by [`AlertEngine::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Name of the rule that changed state.
+    pub rule: String,
+    /// Series the rule watches.
+    pub series: String,
+    /// The observed value at the transition (NaN if the series vanished
+    /// mid-flight).
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// True for a fire edge, false for a resolve edge.
+    pub firing: bool,
+}
+
+#[derive(Debug, Default)]
+struct RuleState {
+    breach_run: usize,
+    clear_run: usize,
+    firing: bool,
+}
+
+/// Evaluates a rule set against a [`History`], tracking firing state.
+#[derive(Debug)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    states: Vec<RuleState>,
+    active: Vec<Gauge>,
+    firing_total: Gauge,
+}
+
+impl AlertEngine {
+    /// An engine over `rules`, exporting its gauges into `registry`.
+    pub fn new(registry: &Registry, rules: Vec<AlertRule>) -> AlertEngine {
+        let firing_total = registry.gauge(
+            "obs_alerts_firing",
+            "Number of alert rules currently firing",
+            &[],
+        );
+        firing_total.set(0.0);
+        let active = rules
+            .iter()
+            .map(|rule| {
+                let gauge = registry.gauge(
+                    "obs_alert_active",
+                    "Per-rule firing state (1 while firing)",
+                    &[("rule", &rule.name)],
+                );
+                gauge.set(0.0);
+                gauge
+            })
+            .collect();
+        let states = rules.iter().map(|_| RuleState::default()).collect();
+        AlertEngine {
+            rules,
+            states,
+            active,
+            firing_total,
+        }
+    }
+
+    /// The rules this engine evaluates.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Names of the rules currently firing.
+    pub fn firing(&self) -> Vec<&str> {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .filter(|(_, s)| s.firing)
+            .map(|(r, _)| r.name.as_str())
+            .collect()
+    }
+
+    /// Evaluates every rule against `history` (call once per tick) and
+    /// returns the fire/resolve edges this tick produced.
+    pub fn step(&mut self, history: &History) -> Vec<AlertTransition> {
+        let mut transitions = Vec::new();
+        for ((rule, state), gauge) in self.rules.iter().zip(&mut self.states).zip(&self.active) {
+            let observed = rule.observe(history);
+            let breached = observed
+                .map(|v| rule.op.holds(v, rule.threshold))
+                .unwrap_or(false);
+            if breached {
+                state.breach_run += 1;
+                state.clear_run = 0;
+            } else {
+                state.clear_run += 1;
+                state.breach_run = 0;
+            }
+            let edge = if !state.firing && state.breach_run >= rule.for_windows {
+                state.firing = true;
+                gauge.set(1.0);
+                true
+            } else if state.firing && state.clear_run >= rule.for_windows {
+                state.firing = false;
+                gauge.set(0.0);
+                true
+            } else {
+                false
+            };
+            if edge {
+                transitions.push(AlertTransition {
+                    rule: rule.name.clone(),
+                    series: rule.series.clone(),
+                    value: observed.unwrap_or(f64::NAN),
+                    threshold: rule.threshold,
+                    firing: state.firing,
+                });
+            }
+        }
+        let firing = self.states.iter().filter(|s| s.firing).count();
+        self.firing_total.set(firing as f64);
+        transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::parse_rules;
+
+    fn engine(rule_text: &str) -> (AlertEngine, History) {
+        let registry = Registry::new();
+        let rules = parse_rules(rule_text).unwrap();
+        (AlertEngine::new(&registry, rules), History::new(32))
+    }
+
+    #[test]
+    fn fires_after_n_breaches_and_resolves_after_n_clears() {
+        let (mut engine, history) = engine("churn: template_churn > 0.3 for 3");
+        // Two breaches: below the hysteresis width, nothing fires.
+        for _ in 0..2 {
+            history.replay("template_churn", 0.9);
+            assert!(engine.step(&history).is_empty());
+        }
+        // Third consecutive breach: fire edge.
+        history.replay("template_churn", 0.9);
+        let t = engine.step(&history);
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+        assert_eq!(t[0].rule, "churn");
+        assert_eq!(t[0].value, 0.9);
+        assert_eq!(engine.firing(), vec!["churn"]);
+        // Two clears: still firing (resolve hysteresis).
+        for _ in 0..2 {
+            history.replay("template_churn", 0.0);
+            assert!(engine.step(&history).is_empty());
+            assert_eq!(engine.firing(), vec!["churn"]);
+        }
+        // Third clear: resolve edge.
+        history.replay("template_churn", 0.0);
+        let t = engine.step(&history);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].firing);
+        assert!(engine.firing().is_empty());
+    }
+
+    #[test]
+    fn a_clear_sample_resets_the_breach_run() {
+        let (mut engine, history) = engine("r: s > 1 for 3");
+        for value in [2.0, 2.0, 0.0, 2.0, 2.0] {
+            history.replay("s", value);
+            assert!(engine.step(&history).is_empty(), "run was interrupted");
+        }
+        history.replay("s", 2.0);
+        assert_eq!(engine.step(&history).len(), 1, "three in a row again");
+    }
+
+    #[test]
+    fn empty_history_and_nan_count_as_clear() {
+        let (mut engine, history) = engine("r: s > 0 for 1");
+        // No data at all: stepping never fires.
+        assert!(engine.step(&history).is_empty());
+        // Fire on real data.
+        history.replay("s", 1.0);
+        assert_eq!(engine.step(&history).len(), 1);
+        // NaN samples resolve it (for_windows = 1).
+        history.replay("s", f64::NAN);
+        let t = engine.step(&history);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].firing);
+        assert!(t[0].value.is_nan(), "transition reports what was seen");
+    }
+
+    #[test]
+    fn delta_rules_need_two_points() {
+        let (mut engine, history) = engine("r: delta(s) > 5 for 1");
+        history.replay("s", 100.0);
+        assert!(
+            engine.step(&history).is_empty(),
+            "single point has no delta"
+        );
+        history.replay("s", 110.0);
+        assert_eq!(engine.step(&history).len(), 1);
+    }
+
+    #[test]
+    fn gauges_track_engine_state() {
+        let registry = Registry::new();
+        let rules = parse_rules("a: s > 0 for 1\nb: s > 10 for 1").unwrap();
+        let mut engine = AlertEngine::new(&registry, rules);
+        let history = History::new(8);
+        history.replay("s", 20.0);
+        engine.step(&history);
+        let text = registry.render();
+        assert!(text.contains("obs_alerts_firing 2"), "{text}");
+        assert!(text.contains("obs_alert_active{rule=\"a\"} 1"), "{text}");
+        history.replay("s", 5.0);
+        engine.step(&history);
+        let text = registry.render();
+        assert!(text.contains("obs_alerts_firing 1"), "{text}");
+        assert!(text.contains("obs_alert_active{rule=\"b\"} 0"), "{text}");
+    }
+
+    #[test]
+    fn resolve_after_fire_sequence_is_stable_when_idle() {
+        let (mut engine, history) = engine("r: s > 0 for 2");
+        for value in [1.0, 1.0] {
+            history.replay("s", value);
+            engine.step(&history);
+        }
+        assert_eq!(engine.firing().len(), 1);
+        // Repeated breaches while firing produce no duplicate edges.
+        for _ in 0..5 {
+            history.replay("s", 1.0);
+            assert!(engine.step(&history).is_empty());
+        }
+        for _ in 0..2 {
+            history.replay("s", -1.0);
+            engine.step(&history);
+        }
+        assert!(engine.firing().is_empty());
+        // Repeated clears while resolved produce no duplicate edges.
+        for _ in 0..5 {
+            history.replay("s", -1.0);
+            assert!(engine.step(&history).is_empty());
+        }
+    }
+}

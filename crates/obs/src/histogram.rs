@@ -115,6 +115,32 @@ impl HistogramSnapshot {
         out.push((f64::INFINITY, running + self.overflow));
         out
     }
+
+    /// Estimates the `q`-quantile (clamped to `[0, 1]`) by linear
+    /// interpolation inside the bucket the rank falls in — the same
+    /// scheme `histogram_quantile` uses. Ranks that land above the last
+    /// finite edge report that edge (there is nothing to interpolate
+    /// toward in the `+Inf` bucket). `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut running = 0u64;
+        let mut lower = 0.0;
+        for &(le, n) in &self.buckets {
+            let next = running + n;
+            if next as f64 >= rank && n > 0 {
+                let within = ((rank - running as f64) / n as f64).clamp(0.0, 1.0);
+                return Some(lower + (le - lower) * within);
+            }
+            running = next;
+            lower = le;
+        }
+        // Rank is in the overflow bucket (or every finite bucket was
+        // empty): the last finite edge is the best bound we have.
+        self.buckets.last().map(|&(le, _)| le)
+    }
 }
 
 impl Histogram {
@@ -232,6 +258,29 @@ mod tests {
         for pair in cumulative.windows(2) {
             assert!(pair[0].1 <= pair[1].1);
         }
+    }
+
+    #[test]
+    fn quantile_interpolates_and_bounds_the_tail() {
+        let h = Histogram::with_buckets(&Buckets::explicit(&[1.0, 2.0, 4.0]));
+        assert_eq!(h.snapshot().quantile(0.5), None, "empty histogram");
+        for _ in 0..50 {
+            h.observe(0.5); // le=1
+        }
+        for _ in 0..50 {
+            h.observe(1.5); // le=2
+        }
+        let snap = h.snapshot();
+        let p25 = snap.quantile(0.25).unwrap();
+        assert!((0.0..=1.0).contains(&p25), "{p25}");
+        let p75 = snap.quantile(0.75).unwrap();
+        assert!((1.0..=2.0).contains(&p75), "{p75}");
+        // Quantiles never decrease with q.
+        assert!(snap.quantile(0.1).unwrap() <= snap.quantile(0.9).unwrap());
+        // Overflow-only mass reports the last finite edge.
+        let tail = Histogram::with_buckets(&Buckets::explicit(&[1.0]));
+        tail.observe(100.0);
+        assert_eq!(tail.snapshot().quantile(0.99), Some(1.0));
     }
 
     #[test]

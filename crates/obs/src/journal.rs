@@ -8,8 +8,14 @@
 //!   events from different runs interleaved in one file (or shipped to
 //!   one collector) stay attributable;
 //! * `ts_mono_ns` — nanoseconds since journal creation on the monotonic
-//!   clock, immune to wall-clock steps;
-//! * `elapsed_ms` — the same offset in milliseconds, for humans.
+//!   clock, immune to wall-clock steps. The clock is read under the same
+//!   lock that assigns `seq`, so `ts_mono_ns` is non-decreasing in `seq`
+//!   order — including across a [`RotatingFile`] rollover;
+//! * `elapsed_ms` — the same offset in milliseconds, for humans;
+//! * `rot` — the sink's rotation sequence at emit time (0 for
+//!   non-rotating sinks), so a consumer stitching `events.jsonl.2`,
+//!   `.1`, and the live file back together can order the pieces without
+//!   trusting file mtimes.
 //!
 //! Writes are buffered and flushed every [`FLUSH_EVERY`] events or
 //! [`FLUSH_INTERVAL`], whichever comes first — high-rate emitters do not
@@ -20,7 +26,8 @@
 use std::fs::File;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
 use crate::metrics::Counter;
@@ -105,6 +112,7 @@ pub struct RotatingFile {
     max_bytes: u64,
     keep: usize,
     rotations: Counter,
+    seq: Arc<AtomicU64>,
 }
 
 fn numbered(path: &Path, n: usize) -> PathBuf {
@@ -130,7 +138,15 @@ impl RotatingFile {
                 "Journal files rotated out because they reached the size cap",
                 &[],
             ),
+            seq: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// A shared handle to this file's rotation sequence: 0 until the
+    /// first rollover, incremented on each. [`Journal::rotating`] stamps
+    /// it into every event's `rot` header field.
+    pub fn rotation_seq(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.seq)
     }
 
     fn rotate(&mut self) -> io::Result<()> {
@@ -148,6 +164,7 @@ impl RotatingFile {
         self.file = File::create(&self.path)?;
         self.written = 0;
         self.rotations.inc();
+        self.seq.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -182,6 +199,9 @@ pub struct Journal {
     sink: Mutex<Sink>,
     start: Instant,
     run_id: String,
+    /// Rotation sequence of the underlying sink, mirrored into each
+    /// event's `rot` field. Stays 0 for non-rotating sinks.
+    rotation: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Journal {
@@ -227,6 +247,7 @@ impl Journal {
             }),
             start: Instant::now(),
             run_id,
+            rotation: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -236,10 +257,13 @@ impl Journal {
     }
 
     /// A journal writing to a size-rotated file: see [`RotatingFile`].
+    /// Events carry the file's rotation sequence in their `rot` field.
     pub fn rotating(path: &Path, max_bytes: u64, keep: usize) -> io::Result<Journal> {
-        Ok(Journal::new(Box::new(RotatingFile::create(
-            path, max_bytes, keep,
-        )?)))
+        let file = RotatingFile::create(path, max_bytes, keep)?;
+        let rotation = file.rotation_seq();
+        let mut journal = Journal::new(Box::new(file));
+        journal.rotation = rotation;
+        Ok(journal)
     }
 
     /// This journal's run id.
@@ -251,7 +275,6 @@ impl Journal {
     /// are swallowed — the monitored program must not die because
     /// monitoring went away.
     pub fn emit(&self, event: &str, fields: &[(&str, Value)]) {
-        let ts = self.start.elapsed();
         let mut line = String::with_capacity(128);
         line.push_str("{\"event\":\"");
         escape_into(event, &mut line);
@@ -263,6 +286,10 @@ impl Journal {
             .sink
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // The clock is read while the lock (and thus the seq) is held:
+        // ts_mono_ns is non-decreasing in seq order even when many
+        // threads emit concurrently or the sink rotates between events.
+        let ts = self.start.elapsed();
         line.push_str(&sink.seq.to_string());
         sink.seq += 1;
         line.push_str(",\"run_id\":\"");
@@ -271,6 +298,8 @@ impl Journal {
         line.push_str(&ts.as_nanos().to_string());
         line.push_str(",\"elapsed_ms\":");
         line.push_str(&ts.as_millis().to_string());
+        line.push_str(",\"rot\":");
+        line.push_str(&self.rotation.load(Ordering::Relaxed).to_string());
         for (key, value) in fields {
             line.push_str(",\"");
             escape_into(key, &mut line);
@@ -454,6 +483,114 @@ mod tests {
         let head = std::fs::read_to_string(numbered(&path, 1)).unwrap();
         assert!(!tail.is_empty() || !head.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Parses a header field's numeric value out of a JSONL line.
+    fn header_num(line: &str, key: &str) -> u128 {
+        let marker = format!("\"{key}\":");
+        let rest = line.split(&marker).nth(1).unwrap_or_else(|| {
+            panic!("line missing {key}: {line}");
+        });
+        rest.split([',', '}'])
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| panic!("unparsable {key} in {line}"))
+    }
+
+    #[test]
+    fn ts_mono_stays_monotonic_across_rotation_and_rot_is_stamped() {
+        let dir = std::env::temp_dir().join(format!("obs-rotmono-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        // Tiny cap + flush after every event forces many rollovers.
+        let journal = Journal::rotating(&path, 256, 4).unwrap();
+        for i in 0..48 {
+            journal.emit("tick", &[("n", Value::Num(i as f64))]);
+            journal.flush();
+        }
+        drop(journal);
+        // Stitch every surviving file back together.
+        let mut text = String::new();
+        for n in (1..=4).rev() {
+            if let Ok(piece) = std::fs::read_to_string(numbered(&path, n)) {
+                text.push_str(&piece);
+            }
+        }
+        text.push_str(&std::fs::read_to_string(&path).unwrap());
+        let mut events: Vec<(u128, u128, u128)> = text
+            .lines()
+            .map(|l| {
+                (
+                    header_num(l, "seq"),
+                    header_num(l, "ts_mono_ns"),
+                    header_num(l, "rot"),
+                )
+            })
+            .collect();
+        assert!(
+            events.len() > 8,
+            "rotation kept only {} events",
+            events.len()
+        );
+        events.sort_by_key(|e| e.0);
+        for pair in events.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "seq strictly increases");
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "ts_mono_ns must be monotonic in seq order across rollovers: {pair:?}"
+            );
+            assert!(pair[0].2 <= pair[1].2, "rot never goes backwards");
+        }
+        let max_rot = events.iter().map(|e| e.2).max().unwrap();
+        assert!(max_rot >= 2, "cap of 256 bytes must rotate repeatedly");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_emitters_keep_ts_monotonic_in_seq_order() {
+        let sink = Shared::default();
+        let journal = Arc::new(Journal::new(Box::new(sink.clone())));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let journal = Arc::clone(&journal);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        journal.emit("tick", &[("t", Value::Num((t * 1000 + i) as f64))]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        journal.flush();
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        let mut events: Vec<(u128, u128)> = text
+            .lines()
+            .map(|l| (header_num(l, "seq"), header_num(l, "ts_mono_ns")))
+            .collect();
+        assert_eq!(events.len(), 800);
+        events.sort_by_key(|e| e.0);
+        for pair in events.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "clock is read under the seq lock, so this cannot interleave: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_rotating_sinks_stamp_rot_zero() {
+        let sink = Shared::default();
+        let journal = Journal::new(Box::new(sink.clone()));
+        journal.emit("tick", &[]);
+        journal.flush();
+        let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        assert!(
+            text.contains(",\"rot\":0,") || text.contains(",\"rot\":0}"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -54,16 +54,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alerts;
 mod histogram;
+mod history;
 mod http;
 pub mod journal;
 mod metrics;
 mod registry;
+pub mod rules;
 mod span;
 
+pub use alerts::{AlertEngine, AlertTransition};
 pub use histogram::{Buckets, Histogram, HistogramSnapshot};
+pub use history::{History, HistorySampler};
 pub use http::{serve_metrics, MetricsServer};
 pub use journal::{Journal, RotatingFile};
 pub use metrics::{Counter, Gauge};
 pub use registry::{global, MetricKind, Registry};
+pub use rules::{default_rules, default_rules_text, parse_rules, AlertRule};
 pub use span::{Span, TraceEvent};

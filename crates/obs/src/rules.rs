@@ -1,0 +1,368 @@
+//! Declarative alert rules and their one-line text format.
+//!
+//! A rule file is plain text, one rule per line:
+//!
+//! ```text
+//! # parsing-quality regression guards
+//! template-churn-high: template_churn > 0.3 for 3
+//! merge-conflict-spike: delta(merge_conflicts) > 25 for 3
+//! ```
+//!
+//! `<name>: <selector> <op> <threshold> [for <N> [windows]]` where the
+//! selector is either a bare series name (its latest sample) or
+//! `delta(series)` (newest minus previous — a rate-of-change per
+//! window, since the ingest pipeline ticks the history once per
+//! window). Ops are `>`, `>=`, `<`, `<=`. `for N` is the hysteresis
+//! width: the condition must hold for `N` consecutive samples to fire,
+//! and must clear for `N` consecutive samples to resolve; it defaults
+//! to 1. Blank lines and `#` comments are ignored.
+//!
+//! [`default_rules`] ships a built-in set tuned for the drift series
+//! the ingest aggregator records (see `DESIGN.md` Observability) — the
+//! paper's central warning is that parsing degradation silently
+//! order-of-magnitude-degrades downstream mining, so the defaults all
+//! watch parsing-quality signals.
+
+use std::fmt;
+
+use crate::history::History;
+
+/// How a rule reads its series from the history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selector {
+    /// The latest sample.
+    Value,
+    /// Newest sample minus previous sample.
+    Delta,
+}
+
+/// Comparison operator between the selected value and the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+}
+
+impl Op {
+    /// Whether `value OP threshold` holds. Any comparison against NaN
+    /// is false, so missing data never counts as a breach.
+    pub fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            Op::Gt => value > threshold,
+            Op::Ge => value >= threshold,
+            Op::Lt => value < threshold,
+            Op::Le => value <= threshold,
+        }
+    }
+
+    fn token(self) -> &'static str {
+        match self {
+            Op::Gt => ">",
+            Op::Ge => ">=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+        }
+    }
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Unique rule name (the `rule` label on `obs_alert_active`).
+    pub name: String,
+    /// History series the rule watches.
+    pub series: String,
+    /// How the watched value is derived from the series.
+    pub selector: Selector,
+    /// Comparison against [`AlertRule::threshold`].
+    pub op: Op,
+    /// Breach threshold.
+    pub threshold: f64,
+    /// Consecutive breached (resp. clear) samples required to fire
+    /// (resp. resolve). Always at least 1.
+    pub for_windows: usize,
+}
+
+impl AlertRule {
+    /// The value this rule currently sees: `None` while the series is
+    /// too short (empty, or a single point for `delta`).
+    pub fn observe(&self, history: &History) -> Option<f64> {
+        match self.selector {
+            Selector::Value => history.latest(&self.series),
+            Selector::Delta => history.delta(&self.series),
+        }
+    }
+
+    /// Whether the rule's condition holds right now (one sample, no
+    /// hysteresis). Missing or NaN data is never a breach.
+    pub fn breached(&self, history: &History) -> bool {
+        self.observe(history)
+            .map(|v| self.op.holds(v, self.threshold))
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for AlertRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let selector = match self.selector {
+            Selector::Value => self.series.clone(),
+            Selector::Delta => format!("delta({})", self.series),
+        };
+        write!(
+            f,
+            "{}: {} {} {} for {}",
+            self.name,
+            selector,
+            self.op.token(),
+            self.threshold,
+            self.for_windows
+        )
+    }
+}
+
+/// The built-in parsing-quality regression set, tuned for the drift
+/// series the ingest aggregator records once per window.
+const DEFAULT_RULES: &str = "\
+# Parsing-quality regression guards (evaluated once per ingest window).
+# A healthy stable stream keeps churn and singleton fraction near zero;
+# sustained breaches mean the parser is fragmenting or the stream
+# changed shape under it.
+template-churn-high: template_churn > 0.3 for 3
+template-birth-burst: template_births > 100 for 3
+singleton-explosion: singleton_fraction > 0.6 for 5
+param-cardinality-blowup: param_cardinality_max > 5000 for 3
+merge-conflict-spike: delta(merge_conflicts) > 25 for 3
+";
+
+/// The built-in default rule set.
+pub fn default_rules() -> Vec<AlertRule> {
+    // DEFAULT_RULES is a compile-time constant; the unit tests pin that
+    // it parses, so an empty fallback here is unreachable in practice.
+    parse_rules(DEFAULT_RULES).unwrap_or_default()
+}
+
+/// The default rule set in its text form (what `logmine alerts check`
+/// evaluates when no `--rules` file is given).
+pub fn default_rules_text() -> &'static str {
+    DEFAULT_RULES
+}
+
+/// Parses a rule file. Errors carry the 1-based line number.
+pub fn parse_rules(text: &str) -> Result<Vec<AlertRule>, String> {
+    let mut out: Vec<AlertRule> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = parse_rule(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if out.iter().any(|r| r.name == rule.name) {
+            return Err(format!(
+                "line {}: duplicate rule name `{}`",
+                i + 1,
+                rule.name
+            ));
+        }
+        out.push(rule);
+    }
+    Ok(out)
+}
+
+/// Parses one `name: selector op threshold [for N [windows]]` line.
+fn parse_rule(line: &str) -> Result<AlertRule, String> {
+    let (name, rest) = line
+        .split_once(':')
+        .ok_or_else(|| "missing `:` after rule name".to_string())?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err("empty rule name".to_string());
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(format!("rule name `{name}` may only contain [a-zA-Z0-9_-]"));
+    }
+    let mut tokens = rest.split_whitespace();
+    let selector_token = tokens
+        .next()
+        .ok_or_else(|| "missing series selector".to_string())?;
+    let (selector, series) = parse_selector(selector_token)?;
+    let op = match tokens.next() {
+        Some(">") => Op::Gt,
+        Some(">=") => Op::Ge,
+        Some("<") => Op::Lt,
+        Some("<=") => Op::Le,
+        Some(other) => return Err(format!("unknown operator `{other}` (expected > >= < <=)")),
+        None => return Err("missing operator".to_string()),
+    };
+    let threshold_token = tokens
+        .next()
+        .ok_or_else(|| "missing threshold".to_string())?;
+    let threshold: f64 = threshold_token
+        .parse()
+        .map_err(|_| format!("threshold `{threshold_token}` is not a number"))?;
+    if !threshold.is_finite() {
+        return Err(format!("threshold `{threshold_token}` must be finite"));
+    }
+    let for_windows = match tokens.next() {
+        None => 1,
+        Some("for") => {
+            let n_token = tokens
+                .next()
+                .ok_or_else(|| "missing window count after `for`".to_string())?;
+            let n: usize = n_token
+                .parse()
+                .map_err(|_| format!("window count `{n_token}` is not an integer"))?;
+            if n == 0 {
+                return Err("`for 0` is meaningless; use `for 1` or omit".to_string());
+            }
+            match tokens.next() {
+                None | Some("windows") | Some("window") => n,
+                Some(junk) => return Err(format!("unexpected trailing token `{junk}`")),
+            }
+        }
+        Some(junk) => return Err(format!("unexpected token `{junk}` (expected `for N`)")),
+    };
+    if let Some(junk) = tokens.next() {
+        return Err(format!("unexpected trailing token `{junk}`"));
+    }
+    Ok(AlertRule {
+        name: name.to_string(),
+        series,
+        selector,
+        op,
+        threshold,
+        for_windows,
+    })
+}
+
+fn parse_selector(token: &str) -> Result<(Selector, String), String> {
+    let (selector, series) = match token.strip_prefix("delta(") {
+        Some(inner) => (
+            Selector::Delta,
+            inner
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unclosed `delta(` in `{token}`"))?,
+        ),
+        None => (Selector::Value, token),
+    };
+    if series.is_empty() {
+        return Err("empty series name".to_string());
+    }
+    if !series
+        .bytes()
+        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+    {
+        return Err(format!("series `{series}` may only contain [a-z0-9_]"));
+    }
+    Ok((selector, series.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let rules = parse_rules("churn: template_churn > 0.3 for 5 windows").unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(
+            rules[0],
+            AlertRule {
+                name: "churn".into(),
+                series: "template_churn".into(),
+                selector: Selector::Value,
+                op: Op::Gt,
+                threshold: 0.3,
+                for_windows: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_delta_selector_and_all_ops() {
+        let text = "a: delta(x) > 1\nb: x >= 2 for 2\nc: x < -0.5\nd: x <= 1e3 for 1 window";
+        let rules = parse_rules(text).unwrap();
+        assert_eq!(rules.len(), 4);
+        assert_eq!(rules[0].selector, Selector::Delta);
+        assert_eq!(rules[0].for_windows, 1, "`for` defaults to 1");
+        assert_eq!(rules[1].op, Op::Ge);
+        assert_eq!(rules[2].threshold, -0.5);
+        assert_eq!(rules[3].threshold, 1000.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let rules = parse_rules("# header\n\n  \nr: s > 1\n# trailer\n").unwrap();
+        assert_eq!(rules.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (text, needle) in [
+            ("no colon here", "line 1"),
+            (": s > 1", "empty rule name"),
+            ("bad name!: s > 1", "may only contain"),
+            ("r: s ~ 1", "unknown operator"),
+            ("r: s >", "missing threshold"),
+            ("r: s > abc", "not a number"),
+            ("r: s > nan", "must be finite"),
+            ("r: s > 1 for 0", "for 0"),
+            ("r: s > 1 for x", "not an integer"),
+            ("r: s > 1 maybe", "unexpected token"),
+            ("r: s > 1 for 2 windows extra", "trailing"),
+            ("r: delta(s > 1", "unclosed"),
+            ("r: UPPER > 1", "may only contain"),
+            ("r: s > 1\nr: s > 2", "duplicate rule name"),
+            ("r:", "missing series selector"),
+        ] {
+            let err = parse_rules(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn default_rules_parse_and_round_trip() {
+        let rules = default_rules();
+        assert_eq!(rules.len(), 5, "the built-in set has five guards");
+        assert!(rules.iter().any(|r| r.series == "template_churn"));
+        for rule in &rules {
+            let rendered = rule.to_string();
+            let reparsed = parse_rules(&rendered).unwrap();
+            assert_eq!(reparsed.len(), 1);
+            assert_eq!(&reparsed[0], rule, "display must round-trip: {rendered}");
+        }
+        assert_eq!(
+            parse_rules(default_rules_text()).unwrap(),
+            rules,
+            "text form and parsed form agree"
+        );
+    }
+
+    #[test]
+    fn breached_reads_history_through_selectors() {
+        let history = History::new(8);
+        let value_rule = parse_rules("v: s > 10").unwrap().remove(0);
+        let delta_rule = parse_rules("d: delta(s) > 3").unwrap().remove(0);
+        assert!(
+            !value_rule.breached(&history),
+            "empty history never breaches"
+        );
+        assert!(!delta_rule.breached(&history));
+        history.replay("s", 20.0);
+        assert!(value_rule.breached(&history));
+        assert!(!delta_rule.breached(&history), "delta needs two points");
+        history.replay("s", 25.0);
+        assert!(delta_rule.breached(&history));
+        history.replay("s", f64::NAN);
+        assert!(!value_rule.breached(&history), "NaN never breaches");
+        assert!(!delta_rule.breached(&history));
+    }
+}

@@ -90,6 +90,10 @@ pub struct ShardReport {
     /// Whether the shard was (or, for a read-only scan, would be)
     /// quarantined.
     pub quarantined: bool,
+    /// On-disk bytes of the shard's snapshot files at scan time.
+    pub snapshot_bytes: u64,
+    /// On-disk bytes of the shard's delta logs at scan time.
+    pub log_bytes: u64,
 }
 
 /// The outcome of opening or scanning a store.
@@ -133,6 +137,29 @@ struct ShardPlan {
 
 fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard}"))
+}
+
+/// A file's on-disk size; 0 when it vanished between scan and stat.
+fn file_size(path: &Path) -> u64 {
+    fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// Sums one shard directory's snapshot and log bytes from disk.
+fn disk_usage(sdir: &Path) -> (u64, u64) {
+    let Ok(files) = scan_dir(sdir) else {
+        return (0, 0);
+    };
+    let snaps = files
+        .snaps
+        .iter()
+        .map(|&g| file_size(&sdir.join(snap_name(g))))
+        .sum();
+    let logs = files
+        .logs
+        .iter()
+        .map(|&g| file_size(&sdir.join(log_name(g))))
+        .sum();
+    (snaps, logs)
 }
 
 fn manifest_path(dir: &Path) -> PathBuf {
@@ -219,6 +246,12 @@ fn plan_shard(dir: &Path, shard: usize, shard_count: usize) -> Result<ShardPlan,
         return Ok(plan);
     }
     plan.fresh = false;
+    for &generation in &files.snaps {
+        plan.report.snapshot_bytes += file_size(&sdir.join(snap_name(generation)));
+    }
+    for &generation in &files.logs {
+        plan.report.log_bytes += file_size(&sdir.join(log_name(generation)));
+    }
 
     // Newest fully-valid snapshot wins; invalid ones are counted and
     // skipped (an older valid snapshot plus its logs is still exact).
@@ -374,6 +407,10 @@ fn write_generation(
         let data = shard_portion(state, shard, shard_count);
         let bytes = encode_snapshot(shard, shard_count, generation, &data);
         write_atomic(&shard_dir(dir, shard).join(snap_name(generation)), &bytes)?;
+        // Cleanup below leaves this snapshot as the shard's only one.
+        if let Some(gauge) = metrics.disk_snapshot.get(shard) {
+            gauge.set(bytes.len() as f64);
+        }
     }
     span.finish();
     for shard in 0..shard_count {
@@ -527,7 +564,7 @@ impl TemplateStore {
         }
         let generation = plans.iter().map(|p| p.max_generation).max().unwrap_or(0);
         let state = replay(&mut plans);
-        let metrics = StoreMetrics::new();
+        let metrics = StoreMetrics::new(shards);
 
         let mut writers = Vec::with_capacity(shards);
         for plan in &plans {
@@ -562,6 +599,13 @@ impl TemplateStore {
         }
         let recovery = summarize(&plans, state);
         metrics.replay_records.inc_by(recovery.replayed_records);
+        // Seed the disk gauges from what open just left on disk (post
+        // quarantine/anchoring, so a scan is the honest source).
+        for (shard, writer) in writers.iter().enumerate() {
+            let (snap_bytes, _) = disk_usage(&shard_dir(dir, shard));
+            metrics.disk_snapshot[shard].set(snap_bytes as f64);
+            metrics.disk_log[shard].set(writer.bytes as f64);
+        }
         Ok((
             TemplateStore {
                 dir: dir.to_path_buf(),
@@ -636,8 +680,11 @@ impl TemplateStore {
     /// records survive SIGKILL (fsync durability needs
     /// [`TemplateStore::sync`]).
     pub fn flush(&mut self) -> Result<(), StoreError> {
-        for writer in &mut self.writers {
+        for (shard, writer) in self.writers.iter_mut().enumerate() {
             writer.flush()?;
+            if let Some(gauge) = self.metrics.disk_log.get(shard) {
+                gauge.set(writer.bytes as f64);
+            }
         }
         Ok(())
     }
@@ -742,6 +789,9 @@ impl TemplateStore {
         for (shard, writer) in self.writers.iter_mut().enumerate() {
             writer.sync()?;
             *writer = ShardWriter::create(&shard_dir(&self.dir, shard), shard, self.shards, next)?;
+            if let Some(gauge) = self.metrics.disk_log.get(shard) {
+                gauge.set(writer.bytes as f64);
+            }
         }
         self.generation = next;
         Ok(next)
@@ -856,6 +906,37 @@ mod tests {
         assert_eq!(recovery.state, expected_state());
         assert_eq!(recovery.replayed_records, sample_deltas().len() as u64);
         assert_eq!(recovery.quarantined_shards, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_usage_reaches_reports_and_gauges() {
+        let dir = temp_store_dir("diskusage");
+        let (mut store, _) = TemplateStore::open(&dir, &config(2)).unwrap();
+        store.append(&sample_deltas()).unwrap();
+        store.flush().unwrap();
+        // The flush refreshed the live-log gauges from writer state.
+        let logged: f64 = store.metrics.disk_log.iter().map(|g| g.get()).sum();
+        let on_disk: u64 = (0..2).map(|s| disk_usage(&shard_dir(&dir, s)).1).sum();
+        assert_eq!(logged as u64, on_disk, "log gauges track on-disk bytes");
+        assert!(on_disk > 0);
+        // Compaction folds the logs into snapshots and the snapshot
+        // gauges pick up the new generation's sizes.
+        store.compact(&expected_state()).unwrap();
+        let snap_gauged: f64 = store.metrics.disk_snapshot.iter().map(|g| g.get()).sum();
+        let snap_disk: u64 = (0..2).map(|s| disk_usage(&shard_dir(&dir, s)).0).sum();
+        assert_eq!(snap_gauged as u64, snap_disk);
+        assert!(snap_disk > 0);
+        store.finish().unwrap();
+
+        // A recovery scan reports the same sizes per shard.
+        let recovery = TemplateStore::recover(&dir).unwrap();
+        for report in &recovery.reports {
+            let (snap_bytes, log_bytes) = disk_usage(&shard_dir(&dir, report.shard));
+            assert_eq!(report.snapshot_bytes, snap_bytes, "shard {}", report.shard);
+            assert_eq!(report.log_bytes, log_bytes, "shard {}", report.shard);
+            assert!(report.snapshot_bytes > 0);
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

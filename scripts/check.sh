@@ -44,6 +44,17 @@ if [[ "$QUICK" == "1" ]]; then
   echo "=== cargo bench --no-run (benches compile) ==="
   cargo bench --workspace --no-run -q
 
+  # Alert-rule smoke: the default rule set replayed over the canned
+  # drifting history must parse cleanly and fire the churn alert.
+  echo "=== logmine alerts check (default rules vs canned drift fixture) ==="
+  ALERTS_OUT="$(cargo run -q --release -p logparse-cli --bin logmine -- \
+    alerts check --fixture examples/drift.history)"
+  if ! grep -q "FIRING template-churn-high" <<<"$ALERTS_OUT"; then
+    echo "expected template-churn-high to fire on examples/drift.history:"
+    echo "$ALERTS_OUT"
+    exit 1
+  fi
+
   # End-to-end durability smoke: ingest into a template store, then
   # have the offline verifier re-walk every snapshot/log CRC chain.
   echo "=== store round-trip (serve --checkpoint + store verify) ==="
