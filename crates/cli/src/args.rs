@@ -66,6 +66,14 @@ const VALUED: &[&str] = &[
     // `alerts` options
     "rules",
     "fixture",
+    // `jobs` / `worker` options
+    "job-dir",
+    "workers",
+    "max-retries",
+    "backoff-ms",
+    "task-timeout-ms",
+    "task",
+    "attempt",
 ];
 
 impl Args {

@@ -10,10 +10,12 @@ use logparse_core::{
 };
 use logparse_datasets::{study_datasets, DatasetSpec, LabeledCorpus};
 use logparse_eval::{grouping_accuracy, pairwise_f_measure, purity, rand_index, tune, ParserKind};
+use logparse_ingest::jobs as jobproto;
 use logparse_ingest::{
     file_source, run_pipeline, stdin_source, Checkpoint, EventLog, FileTailSource, IngestConfig,
     ParserChoice, TcpSource,
 };
+use logparse_jobs::{run_job, JobConfig};
 use logparse_mining::{event_count_matrix, truth_count_matrix, PcaDetector, PcaDetectorConfig};
 use logparse_parsers::{Ael, Drain, Iplom, LenMa, Lke, LogMine, LogSig, Slct, Spell};
 use logparse_store::{StoreConfig, TemplateStore};
@@ -42,6 +44,13 @@ USAGE:
                    [--alpha A] [--components K] [--metrics-addr ADDR]
                    [--alert-rules FILE] [--no-alerts] [--no-drift]
   logmine store    inspect|verify|compact DIR
+  logmine jobs     run FILE --job-dir DIR [--parser NAME] [-j N]
+                   [--workers N] [--max-retries N] [--backoff-ms MS]
+                   [--task-timeout-ms MS] [--events-out FILE]
+                   [--structured-out FILE]
+  logmine jobs     status --job-dir DIR
+  logmine jobs     dlq list|retry --job-dir DIR
+  logmine worker   --job-dir DIR --task N --attempt N
   logmine metrics dump [--scrape ADDR] [--traces]
   logmine top      --scrape ADDR [--interval-ms MS] [--iterations N]
   logmine alerts   check [--rules FILE] [--fixture FILE]
@@ -76,6 +85,17 @@ evaluates alert rules against it, journaling alert_firing /
 alert_resolved edges. --alert-rules replaces the built-in rule set,
 --no-alerts keeps the drift gauges but evaluates no rules, and
 --no-drift switches the whole quality family off.
+
+jobs run shards FILE into -j chunks and parses them across --workers
+worker *processes* (default: one per chunk), with per-task retry,
+exponential backoff and a dead-letter queue under DIR/dlq. The merged
+result is byte-identical to `logmine parse -j N`. The job directory is
+durable: re-running the same command after a crash (coordinator or
+worker, SIGKILL included) resumes from completed shards without
+re-parsing or duplicating them. `jobs status` shows per-task state,
+`jobs dlq list` shows poison shards, and `jobs dlq retry` requeues
+them with a fresh attempt budget. `worker` is the internal per-shard
+entry point jobs run spawns.
 
 metrics dump prints those metrics one-shot: from a running serve's
 endpoint with --scrape HOST:PORT, otherwise from this process's own
@@ -531,6 +551,249 @@ pub fn store(args: &Args) -> CliResult {
         }
         other => Err(format!("unknown store action `{other}` (try inspect|verify|compact)").into()),
     }
+}
+
+/// The `--job-dir` argument every `jobs` action needs.
+fn job_dir_arg(args: &Args) -> Result<std::path::PathBuf, Box<dyn Error>> {
+    Ok(std::path::PathBuf::from(
+        args.option("job-dir").ok_or("jobs needs --job-dir DIR")?,
+    ))
+}
+
+/// Builds a [`JobConfig`] from flags plus the manifest-determining
+/// triple (resolved by the caller: from the command line on `run`,
+/// from the stored manifest on `dlq retry`).
+fn build_job_config(
+    args: &Args,
+    corpus: std::path::PathBuf,
+    parser: String,
+    shards: usize,
+) -> Result<JobConfig, Box<dyn Error>> {
+    Ok(JobConfig {
+        job_dir: job_dir_arg(args)?,
+        corpus,
+        parser,
+        shards,
+        workers: args.parsed_or("workers", shards)?,
+        max_retries: args.parsed_or("max-retries", 3u32)?,
+        backoff_ms: args.parsed_or("backoff-ms", 100u64)?,
+        task_timeout_ms: args
+            .option("task-timeout-ms")
+            .map(str::parse)
+            .transpose()
+            .map_err(|_| "invalid value for --task-timeout-ms")?,
+        worker_exe: std::env::current_exe()?,
+    })
+}
+
+/// Runs the coordinator and writes the standard outputs, failing
+/// loudly (with replay instructions) when any shard dead-lettered.
+fn run_job_and_report(config: &JobConfig, args: &Args) -> CliResult {
+    let outcome = run_job(config)?;
+    eprintln!(
+        "job {}{}: {}/{} task(s) completed, {} retried attempt(s), {} dead-lettered",
+        outcome.job_id,
+        if outcome.resumed { " (resumed)" } else { "" },
+        outcome.completed.len(),
+        outcome.completed.len() + outcome.dead_lettered.len(),
+        outcome.retries,
+        outcome.dead_lettered.len(),
+    );
+    let Some(parse) = outcome.parse else {
+        let dir = config.job_dir.display();
+        return Err(format!(
+            "{} task(s) dead-lettered; inspect with `logmine jobs dlq list --job-dir {dir}` \
+             and replay with `logmine jobs dlq retry --job-dir {dir}`",
+            outcome.dead_lettered.len(),
+        )
+        .into());
+    };
+    eprintln!(
+        "{}: {} messages -> {} events, {} outliers",
+        config.parser,
+        parse.len(),
+        parse.event_count(),
+        parse.outlier_count()
+    );
+    let mut events_out = open_output(args.option("events-out"))?;
+    write_events_file(&parse, &mut events_out)?;
+    if let Some(path) = args.option("structured-out") {
+        let lines = read_lines(File::open(&config.corpus)?)?;
+        let corpus = Corpus::from_lines(&lines, &Tokenizer::default());
+        let mut structured = BufWriter::new(File::create(path)?);
+        write_structured_file(&corpus, &parse, &mut structured)?;
+    }
+    Ok(())
+}
+
+/// `logmine jobs run`.
+fn jobs_run(args: &Args) -> CliResult {
+    let corpus = args
+        .positional()
+        .get(1)
+        .ok_or("jobs run needs a corpus FILE")?;
+    let parser = args.option("parser").unwrap_or("iplom").to_owned();
+    let shards: usize = args.parsed_or("threads", 4usize)?;
+    let config = build_job_config(args, std::path::PathBuf::from(corpus), parser, shards)?;
+    run_job_and_report(&config, args)
+}
+
+/// Loads the manifest a `jobs` inspection action needs.
+fn load_job_manifest(job_dir: &std::path::Path) -> Result<jobproto::JobManifest, Box<dyn Error>> {
+    Ok(jobproto::JobManifest::load(job_dir)?
+        .ok_or_else(|| format!("no job manifest under {}", job_dir.display()))?)
+}
+
+/// `logmine jobs status`.
+fn jobs_status(args: &Args) -> CliResult {
+    let job_dir = job_dir_arg(args)?;
+    let manifest = load_job_manifest(&job_dir)?;
+    let ranges = manifest.ranges();
+    println!("job        {}", manifest.job_id);
+    println!("parser     {}", manifest.parser);
+    println!(
+        "corpus     {} ({} lines)",
+        manifest.corpus.display(),
+        manifest.lines
+    );
+    println!(
+        "budget     {} attempt(s) per task, {} ms base backoff",
+        manifest.max_retries, manifest.backoff_ms
+    );
+    println!("task   lines            state");
+    let (mut done, mut dead, mut open) = (0usize, 0usize, 0usize);
+    for (task, range) in ranges.iter().enumerate() {
+        let state = match jobproto::ShardResult::load(&job_dir, &manifest, task) {
+            jobproto::ResultRead::Ok(_) => {
+                done += 1;
+                "completed".to_owned()
+            }
+            jobproto::ResultRead::Corrupt(reason) => {
+                open += 1;
+                format!("pending (last result rejected: {reason})")
+            }
+            jobproto::ResultRead::Missing => match jobproto::DlqRecord::load(&job_dir, task)? {
+                Some(record) => {
+                    dead += 1;
+                    format!(
+                        "DEAD-LETTERED after {} attempt(s): {}",
+                        record.attempts, record.failure
+                    )
+                }
+                None => {
+                    open += 1;
+                    "pending".to_owned()
+                }
+            },
+        };
+        println!("{task:<5}  {:>7}..{:<7}  {state}", range.start, range.end);
+    }
+    println!("{done} completed, {dead} dead-lettered, {open} pending");
+    Ok(())
+}
+
+/// The task ids currently in the dead-letter queue, with records.
+fn dlq_records(
+    job_dir: &std::path::Path,
+    tasks: usize,
+) -> Result<Vec<jobproto::DlqRecord>, Box<dyn Error>> {
+    let mut records = Vec::new();
+    for task in 0..tasks {
+        if let Some(record) = jobproto::DlqRecord::load(job_dir, task)? {
+            records.push(record);
+        }
+    }
+    Ok(records)
+}
+
+/// `logmine jobs dlq list`.
+fn jobs_dlq_list(args: &Args) -> CliResult {
+    let job_dir = job_dir_arg(args)?;
+    let manifest = load_job_manifest(&job_dir)?;
+    let records = dlq_records(&job_dir, manifest.ranges().len())?;
+    if records.is_empty() {
+        println!("dead-letter queue is empty");
+        return Ok(());
+    }
+    for record in records {
+        println!(
+            "task {:<4} job {}  {} attempt(s)  {}",
+            record.task, record.job_id, record.attempts, record.failure
+        );
+    }
+    Ok(())
+}
+
+/// `logmine jobs dlq retry` — requeues every dead-lettered shard with
+/// a fresh attempt budget and re-runs the coordinator.
+fn jobs_dlq_retry(args: &Args) -> CliResult {
+    let job_dir = job_dir_arg(args)?;
+    let manifest = load_job_manifest(&job_dir)?;
+    let records = dlq_records(&job_dir, manifest.ranges().len())?;
+    if records.is_empty() {
+        println!("dead-letter queue is empty; nothing to retry");
+        return Ok(());
+    }
+    let (store, _) = TemplateStore::open(
+        &jobproto::state_dir(&job_dir),
+        &StoreConfig {
+            shards: 1,
+            ..StoreConfig::default()
+        },
+    )?;
+    for record in &records {
+        store.put_blob(&format!("attempts-{}", record.task), b"0")?;
+        std::fs::remove_file(jobproto::dlq_record_path(&job_dir, record.task))?;
+    }
+    store.finish()?;
+    eprintln!(
+        "requeued {} dead-lettered task(s): {}",
+        records.len(),
+        records
+            .iter()
+            .map(|r| r.task.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let config = build_job_config(
+        args,
+        manifest.corpus.clone(),
+        manifest.parser.clone(),
+        manifest.shards,
+    )?;
+    run_job_and_report(&config, args)
+}
+
+/// `logmine jobs` — the distributed map-reduce job coordinator.
+pub fn jobs(args: &Args) -> CliResult {
+    match args.positional().first().map(String::as_str) {
+        Some("run") => jobs_run(args),
+        Some("status") => jobs_status(args),
+        Some("dlq") => match args.positional().get(1).map(String::as_str) {
+            Some("list") => jobs_dlq_list(args),
+            Some("retry") => jobs_dlq_retry(args),
+            _ => Err("jobs dlq needs an action: logmine jobs dlq list|retry".into()),
+        },
+        Some(other) => Err(format!("unknown jobs action `{other}` (try run|status|dlq)").into()),
+        None => Err("jobs needs an action: logmine jobs run FILE --job-dir DIR".into()),
+    }
+}
+
+/// `logmine worker` — the per-shard entry point `jobs run` spawns.
+pub fn worker(args: &Args) -> CliResult {
+    let job_dir = args.option("job-dir").ok_or("worker needs --job-dir DIR")?;
+    let task: usize = args
+        .option("task")
+        .ok_or("worker needs --task N")?
+        .parse()
+        .map_err(|_| "invalid value for --task")?;
+    let attempt: u32 = args
+        .option("attempt")
+        .ok_or("worker needs --attempt N")?
+        .parse()
+        .map_err(|_| "invalid value for --attempt")?;
+    jobproto::run_job_worker(std::path::Path::new(job_dir), task, attempt)?;
+    Ok(())
 }
 
 /// `logmine metrics` — one-shot exposition of the metric registry.

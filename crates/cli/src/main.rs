@@ -7,6 +7,8 @@
 //! logmine detect   --blocks 2000 [--rate 0.029] [--parser iplom]
 //! logmine serve    [--follow FILE | --listen ADDR] [--shards N] ...
 //! logmine store    inspect|verify|compact DIR
+//! logmine jobs     run FILE --job-dir DIR [-j N] | status | dlq list|retry
+//! logmine worker   --job-dir DIR --task N --attempt N
 //! logmine metrics  dump [--scrape ADDR] [--traces]
 //! logmine top      --scrape ADDR [--interval-ms MS] [--iterations N]
 //! logmine alerts   check [--rules FILE] [--fixture FILE]
@@ -43,6 +45,8 @@ fn main() -> ExitCode {
         "detect" => commands::detect(&parsed),
         "serve" => commands::serve(&parsed),
         "store" => commands::store(&parsed),
+        "jobs" => commands::jobs(&parsed),
+        "worker" => commands::worker(&parsed),
         "metrics" => commands::metrics(&parsed),
         "top" => commands::top(&parsed),
         "alerts" => commands::alerts(&parsed),

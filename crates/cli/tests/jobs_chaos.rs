@@ -1,0 +1,267 @@
+//! Fault-injection acceptance tests for the distributed job layer:
+//! SIGKILL a worker mid-shard and prove the retry converges on output
+//! byte-identical to a clean `logmine parse` run; SIGKILL the
+//! coordinator and prove the resumed run completes every shard exactly
+//! once; poison a shard and prove it lands in the dead-letter queue
+//! after exactly its attempt budget, with a replayable record that
+//! `jobs dlq retry` turns back into the clean-run output.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_logmine");
+
+fn line(i: usize) -> String {
+    match i % 4 {
+        0 => format!("block blk_{i} replicated to node {}", i % 7),
+        1 => format!("received packet {} from 10.0.0.{}", i * 3, i % 250),
+        2 => format!("session {} closed after {} ms", i, i % 997),
+        _ => format!("cache miss for key user-{} shard {}", i % 53, i % 5),
+    }
+}
+
+/// A fresh scratch directory holding the shared corpus, unique per
+/// test so `cargo test`'s parallel runners never collide.
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("logmine-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.log");
+    let text: String = (0..1_200).map(|i| line(i) + "\n").collect();
+    std::fs::write(&corpus, text).unwrap();
+    (dir, corpus)
+}
+
+/// Runs `logmine parse` as the ground truth the job layer must match
+/// byte-for-byte, returning the events-file path.
+fn parse_ground_truth(dir: &Path, corpus: &Path) -> PathBuf {
+    let events = dir.join("parse.events");
+    let out = Command::new(BIN)
+        .arg("parse")
+        .args(["--parser", "drain", "-j", "4"])
+        .arg("--events-out")
+        .arg(&events)
+        .arg(corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "parse failed: {}", stderr(&out));
+    events
+}
+
+/// Builds a `jobs run` command against `job_dir`; the caller decides
+/// the fault plan. `LOGPARSE_FAULT` is always scrubbed first so a
+/// clean run never inherits the harness's own environment.
+fn jobs_run(dir: &Path, corpus: &Path, job_dir: &Path, events: &Path) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args(["jobs", "run"])
+        .arg(corpus)
+        .arg("--job-dir")
+        .arg(job_dir)
+        .args(["--parser", "drain", "-j", "4"])
+        .args(["--max-retries", "3", "--backoff-ms", "5"])
+        .arg("--events-out")
+        .arg(events)
+        .current_dir(dir)
+        .env_remove("LOGPARSE_FAULT");
+    cmd
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn lifecycle(job_dir: &Path) -> String {
+    std::fs::read_to_string(job_dir.join("events.jsonl")).expect("job lifecycle journal")
+}
+
+/// Lines of the lifecycle journal whose `event` field is `kind`.
+fn events_of(journal: &str, kind: &str) -> Vec<String> {
+    let needle = format!("\"event\":\"{kind}\"");
+    journal
+        .lines()
+        .filter(|l| l.contains(&needle))
+        .map(str::to_owned)
+        .collect()
+}
+
+fn assert_identical(left: &Path, right: &Path) {
+    let a = std::fs::read(left).unwrap();
+    let b = std::fs::read(right).unwrap();
+    assert!(
+        a == b,
+        "{} and {} differ ({} vs {} bytes)",
+        left.display(),
+        right.display(),
+        a.len(),
+        b.len()
+    );
+}
+
+/// SIGKILL worker 1 on its first attempt: the retry must succeed and
+/// the merged output must be byte-identical to the clean parse.
+#[test]
+fn worker_sigkill_retries_to_identical_output() {
+    let (dir, corpus) = scratch("worker");
+    let truth = parse_ground_truth(&dir, &corpus);
+    let job_dir = dir.join("job");
+    let events = dir.join("jobs.events");
+    let out = jobs_run(&dir, &corpus, &job_dir, &events)
+        .env("LOGPARSE_FAULT", "worker:1@1:crash_after:0")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "jobs run failed: {}", stderr(&out));
+    assert_identical(&truth, &events);
+
+    let journal = lifecycle(&job_dir);
+    assert_eq!(
+        events_of(&journal, "agent_retrying").len(),
+        1,
+        "exactly one retry expected:\n{journal}"
+    );
+    assert_eq!(events_of(&journal, "task_dead_lettered").len(), 0);
+    // Each of the four shards completes exactly once despite the crash.
+    for task in 0..4 {
+        let needle = format!("\"task\":{task}");
+        let completions = events_of(&journal, "task_completed")
+            .iter()
+            .filter(|l| l.contains(&needle))
+            .count();
+        assert_eq!(completions, 1, "task {task} completions:\n{journal}");
+    }
+}
+
+/// A shard that crashes on every attempt consumes exactly its attempt
+/// budget, then lands in the DLQ with a replayable record, and the
+/// whole trail carries the job's correlation id.
+#[test]
+fn poison_shard_dead_letters_after_exact_budget() {
+    let (dir, corpus) = scratch("poison");
+    let job_dir = dir.join("job");
+    let events = dir.join("jobs.events");
+    let out = jobs_run(&dir, &corpus, &job_dir, &events)
+        .env("LOGPARSE_FAULT", "worker:2:crash_after:0")
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "poison run must fail");
+    assert!(
+        stderr(&out).contains("dlq"),
+        "failure must point at the DLQ: {}",
+        stderr(&out)
+    );
+
+    let journal = lifecycle(&job_dir);
+    let job_id = events_of(&journal, "job_started")[0]
+        .split("\"job_id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("job_started carries job_id")
+        .to_owned();
+    let failures = events_of(&journal, "agent_failed");
+    assert_eq!(failures.len(), 3, "budget is 3 attempts:\n{journal}");
+    let dead = events_of(&journal, "task_dead_lettered");
+    assert_eq!(dead.len(), 1, "one poison shard:\n{journal}");
+    for event in failures.iter().chain(dead.iter()) {
+        assert!(
+            event.contains(&format!("\"job_id\":\"{job_id}\"")),
+            "event missing correlation id {job_id}: {event}"
+        );
+    }
+
+    // The DLQ record is on disk, replayable, and names the poison task.
+    let record = std::fs::read_to_string(job_dir.join("dlq").join("task-2.json")).unwrap();
+    assert!(record.contains("\"task\":2"), "record: {record}");
+    assert!(record.contains("\"attempts\":3"), "record: {record}");
+    assert!(record.contains(&job_id), "record: {record}");
+    let list = Command::new(BIN)
+        .args(["jobs", "dlq", "list", "--job-dir"])
+        .arg(&job_dir)
+        .output()
+        .unwrap();
+    assert!(list.status.success());
+    let listing = String::from_utf8_lossy(&list.stdout).into_owned();
+    assert!(
+        listing.contains('2'),
+        "dlq list must show task 2: {listing}"
+    );
+
+    // With the fault gone, `jobs dlq retry` requeues the shard and the
+    // job converges on output byte-identical to the clean parse.
+    let truth = parse_ground_truth(&dir, &corpus);
+    let retry = Command::new(BIN)
+        .args(["jobs", "dlq", "retry", "--job-dir"])
+        .arg(&job_dir)
+        .arg("--events-out")
+        .arg(&events)
+        .env_remove("LOGPARSE_FAULT")
+        .output()
+        .unwrap();
+    assert!(
+        retry.status.success(),
+        "dlq retry failed: {}",
+        stderr(&retry)
+    );
+    assert_identical(&truth, &events);
+    assert!(
+        !job_dir.join("dlq").join("task-2.json").exists(),
+        "replayed record must leave the DLQ"
+    );
+}
+
+/// SIGKILL the coordinator after two task completions: a rerun resumes
+/// from the same job-dir, never re-completes a finished shard, and
+/// still produces output byte-identical to the clean parse.
+#[test]
+fn coordinator_sigkill_resumes_without_duplicates() {
+    let (dir, corpus) = scratch("coord");
+    let truth = parse_ground_truth(&dir, &corpus);
+    let job_dir = dir.join("job");
+    let events = dir.join("jobs.events");
+    let out = jobs_run(&dir, &corpus, &job_dir, &events)
+        .env("LOGPARSE_FAULT", "coordinator:exit_after:2")
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "coordinator was SIGKILLed");
+
+    let resumed = jobs_run(&dir, &corpus, &job_dir, &events).output().unwrap();
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        stderr(&resumed)
+    );
+    assert!(
+        stderr(&resumed).contains("(resumed)"),
+        "second run must resume, not restart: {}",
+        stderr(&resumed)
+    );
+    assert_identical(&truth, &events);
+
+    // The appended journal spans both incarnations under one job id,
+    // and no task completes more than once across the two runs.
+    let journal = lifecycle(&job_dir);
+    assert_eq!(events_of(&journal, "job_started").len(), 2);
+    let ids: std::collections::BTreeSet<&str> = journal
+        .lines()
+        .filter_map(|l| l.split("\"job_id\":\"").nth(1))
+        .filter_map(|rest| rest.split('"').next())
+        .collect();
+    assert_eq!(ids.len(), 1, "one correlation id across incarnations");
+    for task in 0..4 {
+        let needle = format!("\"task\":{task}");
+        let completions = events_of(&journal, "task_completed")
+            .iter()
+            .filter(|l| l.contains(&needle))
+            .count();
+        let recoveries = events_of(&journal, "task_recovered")
+            .iter()
+            .filter(|l| l.contains(&needle))
+            .count();
+        assert!(
+            completions + recoveries >= 1,
+            "task {task} never finished:\n{journal}"
+        );
+        assert!(
+            completions <= 1,
+            "task {task} completed {completions} times:\n{journal}"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Differential acceptance test: for every batch parser, `logmine jobs
+//! run -j N` (shards fanned out across worker *processes*, reduced
+//! through the template merge) must produce events and structured-log
+//! files byte-identical to `logmine parse -j N` (in-process threads).
+//! The job layer is a deployment change, never a semantic one.
+
+use std::path::Path;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_logmine");
+
+fn line(i: usize) -> String {
+    match i % 5 {
+        0 => format!("block blk_{i} replicated to node {}", i % 7),
+        1 => format!("received packet {} from 10.0.0.{}", i * 3, i % 250),
+        2 => format!("session {} closed after {} ms", i, i % 997),
+        3 => format!("cache miss for key user-{} shard {}", i % 53, i % 5),
+        _ => format!("worker {} heartbeat ok seq {}", i % 9, i),
+    }
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn jobs_run_matches_parse_for_every_parser() {
+    let dir = std::env::temp_dir().join(format!("logmine-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.log");
+    let text: String = (0..1_500).map(|i| line(i) + "\n").collect();
+    std::fs::write(&corpus, text).unwrap();
+
+    for parser in ["drain", "iplom", "slct"] {
+        let p_events = dir.join(format!("{parser}-parse.events"));
+        let p_logs = dir.join(format!("{parser}-parse.structured"));
+        let out = Command::new(BIN)
+            .arg("parse")
+            .args(["--parser", parser, "-j", "3"])
+            .arg("--events-out")
+            .arg(&p_events)
+            .arg("--structured-out")
+            .arg(&p_logs)
+            .arg(&corpus)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "parse --parser {parser} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+
+        let j_events = dir.join(format!("{parser}-jobs.events"));
+        let j_logs = dir.join(format!("{parser}-jobs.structured"));
+        let job_dir = dir.join(format!("{parser}-job"));
+        let out = Command::new(BIN)
+            .args(["jobs", "run"])
+            .arg(&corpus)
+            .arg("--job-dir")
+            .arg(&job_dir)
+            .args(["--parser", parser, "-j", "3"])
+            .arg("--events-out")
+            .arg(&j_events)
+            .arg("--structured-out")
+            .arg(&j_logs)
+            .env_remove("LOGPARSE_FAULT")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "jobs run --parser {parser} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+
+        assert!(
+            read(&p_events) == read(&j_events),
+            "{parser}: events diverge between parse -j 3 and jobs run -j 3"
+        );
+        assert!(
+            read(&p_logs) == read(&j_logs),
+            "{parser}: structured logs diverge between parse -j 3 and jobs run -j 3"
+        );
+    }
+}

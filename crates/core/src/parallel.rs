@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::merge::TemplateMerge;
-use crate::{Corpus, EventId, LogParser, Parse, ParseError, Template, TemplateToken};
+use crate::{Corpus, EventId, LogParser, Parse, ParseError, Template};
 
 /// How a [`ParallelDriver::run`] call executed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -254,7 +254,10 @@ fn parse_chunks<P: LogParser + ?Sized>(
 }
 
 /// Folds per-chunk parses into one global parse, merging templates by
-/// structural key in chunk order.
+/// structural key in chunk order. The distributed job reducer
+/// (`logparse-jobs`) mirrors this fold over per-process shard results,
+/// which is what makes `jobs run -j N` byte-identical to
+/// `parse_parallel(corpus, N)`.
 fn merge_chunks(chunk_parses: &[Parse], ranges: &[Range<usize>], len: usize) -> Parse {
     let mut merge = TemplateMerge::new();
     // Batch chunks announce each (chunk, local) exactly once, so the
@@ -285,32 +288,17 @@ fn merge_chunks(chunk_parses: &[Parse], ranges: &[Range<usize>], len: usize) -> 
     Parse::new(templates, assignments)
 }
 
-/// Unambiguous structural key for a template: wildcards, literals and
-/// the open tail are encoded with distinct control-character prefixes,
-/// so a literal `*` token never collides with a wildcard (rendered text
-/// cannot tell them apart).
+/// Unambiguous structural key for a template — now provided by
+/// [`Template::structural_key`] so the parallel driver and the
+/// distributed job reducer share one encoding.
 fn merge_key(template: &Template) -> String {
-    let mut key = String::new();
-    for token in template.tokens() {
-        match token {
-            TemplateToken::Wildcard => key.push('\u{1}'),
-            TemplateToken::Literal(text) => {
-                key.push('\u{2}');
-                key.push_str(text);
-            }
-        }
-        key.push('\u{1f}');
-    }
-    if template.has_open_tail() {
-        key.push('\u{3}');
-    }
-    key
+    template.structural_key()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ParseBuilder, Tokenizer};
+    use crate::{ParseBuilder, TemplateToken, Tokenizer};
 
     /// Groups messages by their first token; templates are positionwise
     /// intersections. Simple, deterministic, chunk-friendly.

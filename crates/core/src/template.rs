@@ -218,6 +218,32 @@ impl Template {
         self.tokens.len() - self.wildcard_count()
     }
 
+    /// An unambiguous structural encoding of the template: wildcards,
+    /// literals and the open tail carry distinct control-character
+    /// prefixes, so a literal `*` token never collides with a wildcard
+    /// (rendered text cannot tell them apart). Two templates share a key
+    /// iff they are structurally identical — the merge key of the
+    /// parallel driver and the distributed job reducer, both of which
+    /// unify per-chunk templates through
+    /// [`TemplateMerge`](crate::TemplateMerge) on these keys.
+    pub fn structural_key(&self) -> String {
+        let mut key = String::new();
+        for token in &self.tokens {
+            match token {
+                TemplateToken::Wildcard => key.push('\u{1}'),
+                TemplateToken::Literal(text) => {
+                    key.push('\u{2}');
+                    key.push_str(text);
+                }
+            }
+            key.push('\u{1f}');
+        }
+        if self.open_tail {
+            key.push('\u{3}');
+        }
+        key
+    }
+
     /// Extracts the parameter values of a matching message: the tokens at
     /// the wildcard positions, in order, followed by any open-tail
     /// surplus tokens. Returns `None` when the message does not match.

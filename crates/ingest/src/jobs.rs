@@ -1,0 +1,905 @@
+//! Work-dir protocol for distributed map-reduce parse jobs.
+//!
+//! `logparse-jobs` coordinates N worker **processes** over a shared job
+//! directory instead of a wire protocol: every hand-off is a file whose
+//! visibility is governed by atomic rename, so a SIGKILL on either side
+//! of the hand-off leaves the directory in a state the next coordinator
+//! incarnation can interpret unambiguously. This module is the half the
+//! worker process needs — the directory layout, the job manifest, the
+//! per-shard result format, the deterministic fault injector, and the
+//! worker entry point the `logmine worker` subcommand calls. The
+//! coordinator side (scheduling, retries, the dead-letter queue, the
+//! reduce) lives in the `logparse-jobs` crate.
+//!
+//! # Directory layout
+//!
+//! ```text
+//! job-dir/
+//!   state/            template store: `job` manifest blob and
+//!                     `attempts-<task>` counters (crash-safe blobs)
+//!   out/task-<i>.json completed shard results (atomic rename)
+//!   dlq/task-<i>.json dead-letter records for poison shards
+//!   events.jsonl      appended journal of job lifecycle events
+//! ```
+//!
+//! A task is **complete** iff `out/task-<i>.json` exists and validates;
+//! it is **dead-lettered** iff `dlq/task-<i>.json` exists. Workers write
+//! results through a pid-suffixed temp file plus rename, so an orphan
+//! worker (its coordinator killed mid-job) racing a retried attempt of
+//! the same task cannot tear the result — both write identical bytes
+//! (the parse is deterministic) and the last rename wins.
+//!
+//! # Fault injection
+//!
+//! The chaos test suite drives real process failures through the
+//! [`FaultPlan`] in the `LOGPARSE_FAULT` environment variable, e.g.
+//! `worker:2:crash_after:1000` (SIGKILL worker task 2 mid-shard on
+//! every attempt), `worker:1@1:crash_after:0` (only attempt 1, so the
+//! retry succeeds), `worker:0:corrupt` (write garbage output),
+//! `worker:3:hang:5000` (stall five seconds), or
+//! `coordinator:exit_after:2` (the coordinator SIGKILLs itself after
+//! two task completions). Faults are deterministic functions of
+//! `(task, attempt)` — the same plan always fails the same way.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use logparse_core::{
+    read_lines, Corpus, LogParser, ParallelDriver, Template, TemplateToken, Tokenizer,
+};
+use logparse_parsers::{Ael, Drain, Iplom, LenMa, Lke, LogMine, LogSig, Slct, Spell};
+use logparse_store::{sync_dir, BlobRead, TemplateStore};
+
+use crate::json::Json;
+use crate::IngestError;
+
+/// Environment variable holding the [`FaultPlan`] for chaos tests.
+pub const FAULT_ENV: &str = "LOGPARSE_FAULT";
+
+/// The job's durable state store (manifest + attempt counters).
+pub fn state_dir(job_dir: &Path) -> PathBuf {
+    job_dir.join("state")
+}
+
+/// Where completed shard results land.
+pub fn out_dir(job_dir: &Path) -> PathBuf {
+    job_dir.join("out")
+}
+
+/// The dead-letter queue directory.
+pub fn dlq_dir(job_dir: &Path) -> PathBuf {
+    job_dir.join("dlq")
+}
+
+/// The appended JSONL lifecycle-event journal.
+pub fn events_path(job_dir: &Path) -> PathBuf {
+    job_dir.join("events.jsonl")
+}
+
+/// The completed-result file for `task`.
+pub fn result_path(job_dir: &Path, task: usize) -> PathBuf {
+    out_dir(job_dir).join(format!("task-{task}.json"))
+}
+
+/// The dead-letter record for `task`.
+pub fn dlq_record_path(job_dir: &Path, task: usize) -> PathBuf {
+    dlq_dir(job_dir).join(format!("task-{task}.json"))
+}
+
+/// Writes `bytes` to `path` via a **pid-suffixed** temp file + rename +
+/// directory fsync. Unlike `logparse_store::write_atomic` (fixed `.tmp`
+/// suffix), two processes writing the same path concurrently — an
+/// orphan worker racing a retry — cannot collide on the temp name.
+fn write_atomic_racing(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = parent.join(tmp_name);
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_dir(parent)
+}
+
+/// The immutable description of a job, persisted as the `job` blob in
+/// the state store before any worker is spawned. Resume validates the
+/// stored manifest against the requested configuration — a job
+/// directory answers for exactly one `(corpus, parser, shards)` triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobManifest {
+    /// Correlation id carried by every lifecycle event of this job,
+    /// stable across coordinator restarts.
+    pub job_id: String,
+    /// Batch parser name (`drain`, `iplom`, `slct`, …).
+    pub parser: String,
+    /// The corpus file every worker reads and slices.
+    pub corpus: PathBuf,
+    /// Line count of the corpus when the job was created.
+    pub lines: usize,
+    /// Number of map tasks (= chunk count; determines the result).
+    pub shards: usize,
+    /// Attempt budget per task, first try included: a task whose
+    /// `max_retries`-th attempt fails is dead-lettered.
+    pub max_retries: u32,
+    /// Base backoff delay before the first retry; doubles per attempt.
+    pub backoff_ms: u64,
+}
+
+impl JobManifest {
+    /// Serializes to the canonical JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("job_id".into(), Json::str(self.job_id.clone())),
+            ("parser".into(), Json::str(self.parser.clone())),
+            (
+                "corpus".into(),
+                Json::str(self.corpus.to_string_lossy().into_owned()),
+            ),
+            ("lines".into(), Json::usize(self.lines)),
+            ("shards".into(), Json::usize(self.shards)),
+            ("max_retries".into(), Json::usize(self.max_retries as usize)),
+            ("backoff_ms".into(), Json::usize(self.backoff_ms as usize)),
+        ])
+    }
+
+    /// Deserializes the object form, rejecting missing fields.
+    pub fn from_json(doc: &Json) -> Result<JobManifest, String> {
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| format!("manifest missing `{key}`"))
+        };
+        Ok(JobManifest {
+            job_id: field("job_id")?
+                .as_str()
+                .ok_or("manifest `job_id` not a string")?
+                .to_owned(),
+            parser: field("parser")?
+                .as_str()
+                .ok_or("manifest `parser` not a string")?
+                .to_owned(),
+            corpus: PathBuf::from(
+                field("corpus")?
+                    .as_str()
+                    .ok_or("manifest `corpus` not a string")?,
+            ),
+            lines: field("lines")?
+                .as_usize()
+                .ok_or("manifest `lines` not an integer")?,
+            shards: field("shards")?
+                .as_usize()
+                .ok_or("manifest `shards` not an integer")?,
+            max_retries: field("max_retries")?
+                .as_usize()
+                .ok_or("manifest `max_retries` not an integer")? as u32,
+            backoff_ms: field("backoff_ms")?
+                .as_usize()
+                .ok_or("manifest `backoff_ms` not an integer")? as u64,
+        })
+    }
+
+    /// Persists the manifest into the job's state store.
+    pub fn save(&self, store: &TemplateStore) -> Result<(), IngestError> {
+        store.put_blob("job", self.to_json().to_string().as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads the manifest from a job directory; `Ok(None)` when the
+    /// state store has no (valid) manifest blob yet.
+    pub fn load(job_dir: &Path) -> Result<Option<JobManifest>, IngestError> {
+        match TemplateStore::read_blob(&state_dir(job_dir), "job")? {
+            BlobRead::Ok(bytes) => {
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| IngestError::Checkpoint("job manifest is not UTF-8".into()))?;
+                let doc = Json::parse(&text)
+                    .map_err(|e| IngestError::Checkpoint(format!("job manifest: {e}")))?;
+                JobManifest::from_json(&doc)
+                    .map(Some)
+                    .map_err(IngestError::Checkpoint)
+            }
+            BlobRead::Missing => Ok(None),
+            BlobRead::Corrupt => Err(IngestError::Checkpoint(
+                "job manifest blob is corrupt".into(),
+            )),
+        }
+    }
+
+    /// The contiguous chunk ranges of this job — identical to the split
+    /// `ParallelDriver` would use in-process, which is what makes the
+    /// distributed result byte-identical to `parse_parallel`.
+    pub fn ranges(&self) -> Vec<std::ops::Range<usize>> {
+        ParallelDriver::chunk_ranges(self.lines, self.shards)
+    }
+}
+
+/// One completed map task: the shard's templates and per-line
+/// assignments, exactly as the in-process parallel driver would hold
+/// them before the merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult {
+    /// The task index (= chunk index).
+    pub task: usize,
+    /// First corpus line of the chunk.
+    pub start: usize,
+    /// The shard parser's templates, local ids = positions.
+    pub templates: Vec<Template>,
+    /// Per-line local template id (`None` = outlier), chunk-relative.
+    pub assignments: Vec<Option<usize>>,
+}
+
+fn template_to_json(template: &Template) -> Json {
+    let tokens = template
+        .tokens()
+        .iter()
+        .map(|token| match token {
+            TemplateToken::Wildcard => Json::Null,
+            TemplateToken::Literal(text) => Json::str(text.clone()),
+        })
+        .collect();
+    Json::Obj(vec![
+        ("tokens".into(), Json::Arr(tokens)),
+        ("open".into(), Json::Bool(template.has_open_tail())),
+    ])
+}
+
+fn template_from_json(doc: &Json) -> Result<Template, String> {
+    let tokens: Vec<TemplateToken> = doc
+        .get("tokens")
+        .and_then(Json::as_arr)
+        .ok_or("template missing `tokens` array")?
+        .iter()
+        .map(|token| match token {
+            Json::Null => Ok(TemplateToken::Wildcard),
+            Json::Str(text) => Ok(TemplateToken::literal(text.clone())),
+            other => Err(format!(
+                "template token is neither null nor string: {other}"
+            )),
+        })
+        .collect::<Result<_, _>>()?;
+    let open = doc.get("open").and_then(Json::as_bool).unwrap_or(false);
+    Ok(if open {
+        Template::with_open_tail(tokens)
+    } else {
+        Template::new(tokens)
+    })
+}
+
+/// What reading a task's result file found.
+#[derive(Debug)]
+pub enum ResultRead {
+    /// No result file — the task has not completed.
+    Missing,
+    /// A file exists but does not validate; the reason names the check
+    /// that failed. Treated as a task failure (retryable).
+    Corrupt(String),
+    /// A validated result.
+    Ok(ShardResult),
+}
+
+impl ShardResult {
+    /// Builds the result from a chunk parse.
+    pub fn from_parse(task: usize, start: usize, parse: &logparse_core::Parse) -> ShardResult {
+        ShardResult {
+            task,
+            start,
+            templates: parse.templates().to_vec(),
+            assignments: parse
+                .assignments()
+                .iter()
+                .map(|slot| slot.map(|event| event.index()))
+                .collect(),
+        }
+    }
+
+    /// Serializes to the canonical JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("task".into(), Json::usize(self.task)),
+            ("start".into(), Json::usize(self.start)),
+            (
+                "templates".into(),
+                Json::Arr(self.templates.iter().map(template_to_json).collect()),
+            ),
+            (
+                "assignments".into(),
+                Json::Arr(
+                    self.assignments
+                        .iter()
+                        .map(|slot| slot.map_or(Json::Null, Json::usize))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes the object form.
+    pub fn from_json(doc: &Json) -> Result<ShardResult, String> {
+        let task = doc
+            .get("task")
+            .and_then(Json::as_usize)
+            .ok_or("result missing `task`")?;
+        let start = doc
+            .get("start")
+            .and_then(Json::as_usize)
+            .ok_or("result missing `start`")?;
+        let templates = doc
+            .get("templates")
+            .and_then(Json::as_arr)
+            .ok_or("result missing `templates`")?
+            .iter()
+            .map(template_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let assignments = doc
+            .get("assignments")
+            .and_then(Json::as_arr)
+            .ok_or("result missing `assignments`")?
+            .iter()
+            .map(|slot| match slot {
+                Json::Null => Ok(None),
+                value => value
+                    .as_usize()
+                    .map(Some)
+                    .ok_or("assignment is neither null nor an index".to_owned()),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardResult {
+            task,
+            start,
+            templates,
+            assignments,
+        })
+    }
+
+    /// Atomically publishes the result as `out/task-<i>.json`.
+    pub fn write(&self, job_dir: &Path) -> Result<(), IngestError> {
+        std::fs::create_dir_all(out_dir(job_dir))?;
+        write_atomic_racing(
+            &result_path(job_dir, self.task),
+            self.to_json().to_string().as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// Reads and validates `task`'s result against the manifest: the
+    /// stored task/start must match and the assignment count must equal
+    /// the chunk length, so a result from a stale or corrupted write
+    /// can never be mistaken for a completion.
+    pub fn load(job_dir: &Path, manifest: &JobManifest, task: usize) -> ResultRead {
+        let path = result_path(job_dir, task);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return ResultRead::Missing,
+            Err(err) => return ResultRead::Corrupt(format!("unreadable result file: {err}")),
+        };
+        let doc = match Json::parse(&text) {
+            Ok(doc) => doc,
+            Err(err) => return ResultRead::Corrupt(format!("invalid JSON: {err}")),
+        };
+        let result = match ShardResult::from_json(&doc) {
+            Ok(result) => result,
+            Err(err) => return ResultRead::Corrupt(err),
+        };
+        let Some(range) = manifest.ranges().get(task).cloned() else {
+            return ResultRead::Corrupt(format!("task {task} out of range"));
+        };
+        if result.task != task {
+            return ResultRead::Corrupt(format!(
+                "result claims task {} in file for task {task}",
+                result.task
+            ));
+        }
+        if result.start != range.start || result.assignments.len() != range.len() {
+            return ResultRead::Corrupt(format!(
+                "result covers {} line(s) at {}, chunk is {} at {}",
+                result.assignments.len(),
+                result.start,
+                range.len(),
+                range.start
+            ));
+        }
+        ResultRead::Ok(result)
+    }
+}
+
+/// A dead-letter record: enough to explain the failure and replay the
+/// shard later (`logmine jobs dlq retry`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlqRecord {
+    /// The poisoned task.
+    pub task: usize,
+    /// The job it belongs to (correlation id).
+    pub job_id: String,
+    /// Attempts consumed before dead-lettering (first try included).
+    pub attempts: u32,
+    /// The last failure reason observed.
+    pub failure: String,
+}
+
+impl DlqRecord {
+    /// Serializes to the canonical JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("task".into(), Json::usize(self.task)),
+            ("job_id".into(), Json::str(self.job_id.clone())),
+            ("attempts".into(), Json::usize(self.attempts as usize)),
+            ("failure".into(), Json::str(self.failure.clone())),
+        ])
+    }
+
+    /// Deserializes the object form.
+    pub fn from_json(doc: &Json) -> Result<DlqRecord, String> {
+        Ok(DlqRecord {
+            task: doc
+                .get("task")
+                .and_then(Json::as_usize)
+                .ok_or("dlq record missing `task`")?,
+            job_id: doc
+                .get("job_id")
+                .and_then(Json::as_str)
+                .ok_or("dlq record missing `job_id`")?
+                .to_owned(),
+            attempts: doc
+                .get("attempts")
+                .and_then(Json::as_usize)
+                .ok_or("dlq record missing `attempts`")? as u32,
+            failure: doc
+                .get("failure")
+                .and_then(Json::as_str)
+                .ok_or("dlq record missing `failure`")?
+                .to_owned(),
+        })
+    }
+
+    /// Atomically publishes the record as `dlq/task-<i>.json`.
+    pub fn write(&self, job_dir: &Path) -> Result<(), IngestError> {
+        std::fs::create_dir_all(dlq_dir(job_dir))?;
+        write_atomic_racing(
+            &dlq_record_path(job_dir, self.task),
+            self.to_json().to_string().as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// Loads `task`'s dead-letter record, `Ok(None)` when absent.
+    pub fn load(job_dir: &Path, task: usize) -> Result<Option<DlqRecord>, IngestError> {
+        let path = dlq_record_path(job_dir, task);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(err.into()),
+        };
+        let doc = Json::parse(&text)
+            .map_err(|e| IngestError::Checkpoint(format!("dlq record {}: {e}", path.display())))?;
+        DlqRecord::from_json(&doc)
+            .map(Some)
+            .map_err(|e| IngestError::Checkpoint(format!("dlq record {}: {e}", path.display())))
+    }
+}
+
+/// Builds a batch parser by name with the same defaults the
+/// `logmine parse` command uses when no tuning flags are given —
+/// worker processes must agree with the in-process reference run for
+/// the differential byte-identity contract to hold.
+pub fn build_batch_parser(name: &str) -> Result<Box<dyn LogParser>, IngestError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "slct" => Box::new(Slct::builder().support_fraction(0.001).build()),
+        "iplom" => Box::new(Iplom::default()),
+        "lke" => Box::new(Lke::default()),
+        "logsig" => Box::new(LogSig::builder().clusters(16).seed(0).build()),
+        "drain" => Box::new(Drain::default()),
+        "spell" => Box::new(Spell::default()),
+        "ael" => Box::new(Ael::default()),
+        "lenma" => Box::new(LenMa::default()),
+        "logmine" => Box::new(LogMine::default()),
+        other => {
+            return Err(IngestError::Config(format!(
+                "unknown batch parser `{other}`"
+            )))
+        }
+    })
+}
+
+/// What a matched fault makes the process do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// SIGKILL self once the shard would have processed this many
+    /// lines; a bound at or past the chunk length never fires.
+    CrashAfter(usize),
+    /// Stall this long before doing the work (exercises task timeouts).
+    HangMs(u64),
+    /// Write an invalid result file and exit 0 (exercises validation).
+    Corrupt,
+    /// Coordinator only: SIGKILL self after this many task completions.
+    ExitAfter(usize),
+}
+
+/// Who a fault entry applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultScope {
+    /// A worker, by task index, optionally only on one attempt
+    /// (`worker:2@1:…`); without the filter the fault is a poison —
+    /// every attempt fails.
+    Worker { task: usize, attempt: Option<u32> },
+    /// The coordinator process.
+    Coordinator,
+}
+
+/// A deterministic fault-injection plan: `;`-separated entries of
+/// `worker:<task>[@<attempt>]:<action>[:<arg>]` or
+/// `coordinator:exit_after:<n>`. See the [module docs](self).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    entries: Vec<(FaultScope, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses a plan string. An empty string is the empty plan.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut entries = Vec::new();
+        for raw in text.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+            let parts: Vec<&str> = raw.split(':').collect();
+            let entry = match parts.as_slice() {
+                ["worker", target, action @ ..] => {
+                    let (task, attempt) = match target.split_once('@') {
+                        Some((task, attempt)) => (
+                            task.parse()
+                                .map_err(|_| format!("bad task in fault `{raw}`"))?,
+                            Some(
+                                attempt
+                                    .parse()
+                                    .map_err(|_| format!("bad attempt in fault `{raw}`"))?,
+                            ),
+                        ),
+                        None => (
+                            target
+                                .parse()
+                                .map_err(|_| format!("bad task in fault `{raw}`"))?,
+                            None,
+                        ),
+                    };
+                    let action = match action {
+                        ["crash_after", n] => FaultAction::CrashAfter(
+                            n.parse().map_err(|_| format!("bad count in `{raw}`"))?,
+                        ),
+                        ["hang", ms] => FaultAction::HangMs(
+                            ms.parse().map_err(|_| format!("bad delay in `{raw}`"))?,
+                        ),
+                        ["corrupt"] => FaultAction::Corrupt,
+                        _ => return Err(format!("unknown worker fault `{raw}`")),
+                    };
+                    (FaultScope::Worker { task, attempt }, action)
+                }
+                ["coordinator", "exit_after", n] => (
+                    FaultScope::Coordinator,
+                    FaultAction::ExitAfter(n.parse().map_err(|_| format!("bad count in `{raw}`"))?),
+                ),
+                _ => return Err(format!("unknown fault entry `{raw}`")),
+            };
+            entries.push(entry);
+        }
+        Ok(FaultPlan { entries })
+    }
+
+    /// Reads the plan from [`FAULT_ENV`]; unset means no faults, an
+    /// unparsable value is a configuration error (a chaos test with a
+    /// typo must fail loudly, not run clean).
+    pub fn from_env() -> Result<FaultPlan, IngestError> {
+        match std::env::var(FAULT_ENV) {
+            Ok(text) => FaultPlan::parse(&text).map_err(IngestError::Config),
+            Err(_) => Ok(FaultPlan::none()),
+        }
+    }
+
+    /// The first fault matching this worker `(task, attempt)`.
+    pub fn worker_fault(&self, task: usize, attempt: u32) -> Option<FaultAction> {
+        self.entries.iter().find_map(|(scope, action)| match scope {
+            FaultScope::Worker {
+                task: t,
+                attempt: filter,
+            } if *t == task && filter.is_none_or(|a| a == attempt) => Some(*action),
+            _ => None,
+        })
+    }
+
+    /// The coordinator's `exit_after` bound, if the plan has one.
+    pub fn coordinator_exit_after(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .find_map(|(scope, action)| match (scope, action) {
+                (FaultScope::Coordinator, FaultAction::ExitAfter(n)) => Some(*n),
+                _ => None,
+            })
+    }
+}
+
+/// SIGKILLs the calling process — the real signal, not a clean exit, so
+/// crash faults die exactly like an OOM-killed or operator-killed
+/// worker: no destructors, no flush, no exit code. Falls back to
+/// `abort` if the `kill` utility is unavailable.
+pub fn kill_self() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    std::process::abort();
+}
+
+/// The `logmine worker` entry point: parses one chunk of the job's
+/// corpus and atomically publishes the [`ShardResult`]. The slice
+/// taken and the parser built are exactly those of the in-process
+/// [`ParallelDriver`], so the published result is byte-equivalent to
+/// the corresponding chunk of `parse_parallel`.
+///
+/// Faults from [`FAULT_ENV`] matching `(task, attempt)` are applied
+/// here: a crash bound inside the chunk SIGKILLs the process before
+/// the result is published, a hang stalls before parsing, a corrupt
+/// fault publishes garbage and exits cleanly.
+pub fn run_job_worker(job_dir: &Path, task: usize, attempt: u32) -> Result<(), IngestError> {
+    let manifest = JobManifest::load(job_dir)?.ok_or_else(|| {
+        IngestError::Config(format!("no job manifest under {}", job_dir.display()))
+    })?;
+    let fault = FaultPlan::from_env()?.worker_fault(task, attempt);
+    let ranges = manifest.ranges();
+    let range = ranges.get(task).cloned().ok_or_else(|| {
+        IngestError::Config(format!(
+            "task {task} out of range for {} shard(s)",
+            manifest.shards
+        ))
+    })?;
+    if let Some(FaultAction::HangMs(ms)) = fault {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    if let Some(FaultAction::Corrupt) = fault {
+        std::fs::create_dir_all(out_dir(job_dir))?;
+        write_atomic_racing(&result_path(job_dir, task), b"{ not json")?;
+        return Ok(());
+    }
+    if let Some(FaultAction::CrashAfter(bound)) = fault {
+        if bound < range.len() {
+            kill_self();
+        }
+    }
+    let lines = read_lines(File::open(&manifest.corpus)?)?;
+    if lines.len() != manifest.lines {
+        return Err(IngestError::Config(format!(
+            "corpus {} has {} line(s), manifest says {}",
+            manifest.corpus.display(),
+            lines.len(),
+            manifest.lines
+        )));
+    }
+    let corpus = Corpus::from_lines(&lines, &Tokenizer::default());
+    let parser = build_batch_parser(&manifest.parser)?;
+    let piece = corpus.slice(range.clone());
+    let parse = parser.parse(&piece)?;
+    ShardResult::from_parse(task, range.start, &parse).write(job_dir)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logparse_store::StoreConfig;
+
+    fn temp_job(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jobs-proto-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn manifest(dir: &Path, lines: usize, shards: usize) -> JobManifest {
+        JobManifest {
+            job_id: "cafe0123cafe0123".into(),
+            parser: "drain".into(),
+            corpus: dir.join("corpus.log"),
+            lines,
+            shards,
+            max_retries: 2,
+            backoff_ms: 50,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_the_state_store() {
+        let dir = temp_job("manifest");
+        let m = manifest(&dir, 100, 4);
+        assert!(JobManifest::load(&dir).unwrap().is_none());
+        let (store, _) = TemplateStore::open(
+            &state_dir(&dir),
+            &StoreConfig {
+                shards: 1,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        m.save(&store).unwrap();
+        store.finish().unwrap();
+        assert_eq!(JobManifest::load(&dir).unwrap(), Some(m));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_result_round_trips_and_validates() {
+        let dir = temp_job("result");
+        let m = manifest(&dir, 10, 2);
+        let result = ShardResult {
+            task: 1,
+            start: 5,
+            templates: vec![
+                Template::from_pattern("send * ok"),
+                Template::with_open_tail(vec![TemplateToken::literal("boot")]),
+            ],
+            assignments: vec![Some(0), None, Some(1), Some(0), Some(0)],
+        };
+        result.write(&dir).unwrap();
+        match ShardResult::load(&dir, &m, 1) {
+            ResultRead::Ok(loaded) => assert_eq!(loaded, result),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+        assert!(matches!(
+            ShardResult::load(&dir, &m, 0),
+            ResultRead::Missing
+        ));
+
+        // A result whose coverage disagrees with the chunk is Corrupt.
+        let wrong = ShardResult {
+            assignments: vec![Some(0)],
+            ..result.clone()
+        };
+        wrong.write(&dir).unwrap();
+        assert!(matches!(
+            ShardResult::load(&dir, &m, 1),
+            ResultRead::Corrupt(_)
+        ));
+        std::fs::write(result_path(&dir, 1), "{ not json").unwrap();
+        assert!(matches!(
+            ShardResult::load(&dir, &m, 1),
+            ResultRead::Corrupt(_)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn templates_round_trip_with_literal_star_and_open_tail() {
+        let original = vec![
+            Template::new(vec![
+                TemplateToken::literal("a"),
+                TemplateToken::Wildcard,
+                TemplateToken::literal("*"),
+            ]),
+            Template::with_open_tail(vec![TemplateToken::literal("a")]),
+        ];
+        for template in &original {
+            let doc = template_to_json(template);
+            let back = template_from_json(&doc).unwrap();
+            assert_eq!(&back, template);
+            assert_eq!(back.structural_key(), template.structural_key());
+        }
+        // The two shapes render identically but must not collide.
+        assert_ne!(
+            template_from_json(&template_to_json(&original[0]))
+                .unwrap()
+                .structural_key(),
+            Template::new(vec![
+                TemplateToken::literal("a"),
+                TemplateToken::Wildcard,
+                TemplateToken::Wildcard,
+            ])
+            .structural_key()
+        );
+    }
+
+    #[test]
+    fn dlq_record_round_trips() {
+        let dir = temp_job("dlq");
+        let record = DlqRecord {
+            task: 3,
+            job_id: "cafe0123cafe0123".into(),
+            attempts: 4,
+            failure: "worker exited with signal".into(),
+        };
+        assert_eq!(DlqRecord::load(&dir, 3).unwrap(), None);
+        record.write(&dir).unwrap();
+        assert_eq!(DlqRecord::load(&dir, 3).unwrap(), Some(record));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_grammar_and_matching() {
+        let plan = FaultPlan::parse(
+            "worker:2:crash_after:1000; worker:1@1:corrupt;coordinator:exit_after:3",
+        )
+        .unwrap();
+        assert_eq!(plan.worker_fault(2, 1), Some(FaultAction::CrashAfter(1000)));
+        assert_eq!(
+            plan.worker_fault(2, 7),
+            Some(FaultAction::CrashAfter(1000)),
+            "no attempt filter = poison"
+        );
+        assert_eq!(plan.worker_fault(1, 1), Some(FaultAction::Corrupt));
+        assert_eq!(plan.worker_fault(1, 2), None, "attempt filter releases");
+        assert_eq!(plan.worker_fault(0, 1), None);
+        assert_eq!(plan.coordinator_exit_after(), Some(3));
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        for bad in [
+            "worker:x:corrupt",
+            "worker:1:explode",
+            "coordinator:exit_after:x",
+            "gibberish",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn worker_parses_its_chunk_like_the_parallel_driver() {
+        let dir = temp_job("worker");
+        let lines: Vec<String> = (0..40)
+            .map(|i| format!("send pkt {i} to node {}", i % 3))
+            .collect();
+        std::fs::write(dir.join("corpus.log"), lines.join("\n") + "\n").unwrap();
+        let m = manifest(&dir, 40, 4);
+        let (store, _) = TemplateStore::open(
+            &state_dir(&dir),
+            &StoreConfig {
+                shards: 1,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        m.save(&store).unwrap();
+        store.finish().unwrap();
+
+        for task in 0..4 {
+            run_job_worker(&dir, task, 1).unwrap();
+        }
+        let corpus = Corpus::from_lines(&lines, &Tokenizer::default());
+        let ranges = ParallelDriver::chunk_ranges(40, 4);
+        let parser = build_batch_parser("drain").unwrap();
+        for (task, range) in ranges.iter().enumerate() {
+            let ResultRead::Ok(result) = ShardResult::load(&dir, &m, task) else {
+                panic!("task {task} did not complete");
+            };
+            let expected = parser.parse(&corpus.slice(range.clone())).unwrap();
+            assert_eq!(result.templates, expected.templates());
+            assert_eq!(
+                result.assignments,
+                expected
+                    .assignments()
+                    .iter()
+                    .map(|slot| slot.map(|e| e.index()))
+                    .collect::<Vec<_>>()
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn build_batch_parser_matches_the_cli_roster() {
+        for name in [
+            "slct", "iplom", "lke", "logsig", "drain", "spell", "ael", "lenma", "logmine",
+        ] {
+            assert!(build_batch_parser(name).is_ok(), "{name}");
+        }
+        assert!(build_batch_parser("nope").is_err());
+    }
+}

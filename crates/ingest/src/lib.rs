@@ -58,6 +58,7 @@
 mod aggregate;
 pub mod checkpoint;
 mod events;
+pub mod jobs;
 mod json;
 mod metrics;
 mod pipeline;

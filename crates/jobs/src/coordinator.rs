@@ -1,0 +1,639 @@
+//! The job coordinator: spawns worker processes, reaps them, retries
+//! failures, dead-letters poison shards, and reduces the surviving
+//! shard results into one [`Parse`].
+//!
+//! All decisions live in the pure [`Scheduler`]; this module is the
+//! effectful shell around it — process spawning, the work-dir protocol
+//! of `logparse_ingest::jobs`, journal events, and metrics. Crash
+//! safety comes entirely from the protocol's durable artifacts:
+//!
+//! * the manifest and per-task attempt counters live in a
+//!   `logparse-store` state store (CRC-framed, atomically renamed);
+//! * a task counts as complete **iff** its `out/task-<i>.json`
+//!   validates against the manifest, and as dead **iff** its
+//!   `dlq/task-<i>.json` exists;
+//! * the attempt counter is persisted *before* each spawn, so an
+//!   attempt in flight when the coordinator is SIGKILLed is counted as
+//!   consumed (conservative: a poison shard can never exceed its
+//!   budget across restarts).
+//!
+//! A restarted coordinator rebuilds the scheduler from those artifacts
+//! and continues; completed shards are never re-run, so resume neither
+//! loses nor duplicates work.
+
+use std::fs::File;
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use logparse_core::{read_lines, EventId, Parse, Template, TemplateMerge};
+use logparse_ingest::jobs::{
+    dlq_dir, events_path, kill_self, out_dir, state_dir, DlqRecord, FaultPlan, JobManifest,
+    ResultRead, ShardResult,
+};
+use logparse_ingest::IngestError;
+use logparse_obs::journal::{mint_run_id, Value};
+use logparse_obs::Journal;
+use logparse_store::{BlobRead, StoreConfig, TemplateStore};
+
+use crate::metrics::JobMetrics;
+use crate::scheduler::{Action, FailureDisposition, Scheduler, TaskSeed};
+use crate::JobError;
+
+/// How often the coordinator polls its worker pool between reaps.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Everything [`run_job`] needs. The manifest-determining fields
+/// (`corpus`, `parser`, `shards`, `max_retries`, `backoff_ms`) are
+/// validated against a stored manifest on resume — a job directory
+/// answers for exactly one job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// The job directory (created if absent; resumed if populated).
+    pub job_dir: PathBuf,
+    /// The corpus file workers read and slice.
+    pub corpus: PathBuf,
+    /// Batch parser name (`drain`, `iplom`, `slct`, …).
+    pub parser: String,
+    /// Number of map tasks; determines the result exactly as the chunk
+    /// count of `ParallelDriver` does.
+    pub shards: usize,
+    /// Maximum concurrently running worker processes (≥ 1).
+    pub workers: usize,
+    /// Attempt budget per task, first try included.
+    pub max_retries: u32,
+    /// Base retry backoff; doubles per attempt, plus deterministic
+    /// jitter.
+    pub backoff_ms: u64,
+    /// Kill a worker attempt that runs longer than this (hung-worker
+    /// protection); `None` = no timeout.
+    pub task_timeout_ms: Option<u64>,
+    /// The binary spawned as `<worker_exe> worker --job-dir … --task …
+    /// --attempt …` — normally the running `logmine` executable itself.
+    pub worker_exe: PathBuf,
+}
+
+/// What a finished [`run_job`] call reports.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's correlation id (stable across restarts).
+    pub job_id: String,
+    /// Whether an existing job directory was resumed.
+    pub resumed: bool,
+    /// Corpus line count from the manifest.
+    pub lines: usize,
+    /// Tasks with a validated result, ascending.
+    pub completed: Vec<usize>,
+    /// Tasks in the dead-letter queue, ascending.
+    pub dead_lettered: Vec<usize>,
+    /// Failed attempts absorbed by retries during *this* run.
+    pub retries: u64,
+    /// The reduced parse — present iff no task was dead-lettered.
+    pub parse: Option<Parse>,
+}
+
+/// One spawned worker attempt awaiting reap.
+struct RunningWorker {
+    task: usize,
+    attempt: u32,
+    child: Child,
+    started: Instant,
+    spawned_at_ms: u64,
+}
+
+/// Reads how many attempts of `task` previous coordinator incarnations
+/// persisted. Missing or corrupt counters read as 0 — the benign
+/// direction (a lost counter grants attempts, it never steals them).
+fn attempts_used(job_dir: &Path, task: usize) -> Result<u32, JobError> {
+    let name = format!("attempts-{task}");
+    Ok(
+        match TemplateStore::read_blob(&state_dir(job_dir), &name)? {
+            BlobRead::Ok(bytes) => String::from_utf8(bytes)
+                .ok()
+                .and_then(|text| text.trim().parse().ok())
+                .unwrap_or(0),
+            BlobRead::Missing | BlobRead::Corrupt => 0,
+        },
+    )
+}
+
+/// Drains whatever the worker wrote to its piped stderr (bounded by the
+/// pipe buffer; workers print at most one error line).
+fn drain_stderr(child: &mut Child) -> String {
+    let mut text = String::new();
+    if let Some(mut stderr) = child.stderr.take() {
+        let _ = stderr.read_to_string(&mut text);
+    }
+    text.trim().replace('\n', " | ")
+}
+
+/// Emits the failure events for one failed attempt, updates the
+/// scheduler, and writes the DLQ record when the budget is exhausted.
+#[allow(clippy::too_many_arguments)]
+fn absorb_failure(
+    sched: &mut Scheduler,
+    journal: &Journal,
+    metrics: &JobMetrics,
+    manifest: &JobManifest,
+    job_dir: &Path,
+    task: usize,
+    attempt: u32,
+    now_ms: u64,
+    reason: &str,
+    retries: &mut u64,
+) -> Result<(), JobError> {
+    let disposition = sched
+        .failed(task, now_ms)
+        .ok_or_else(|| JobError::Config(format!("scheduler lost track of task {task}")))?;
+    let retry_eligible = matches!(disposition, FailureDisposition::Retry { .. });
+    journal.emit(
+        "agent_failed",
+        &[
+            ("job_id", Value::str(manifest.job_id.clone())),
+            ("task", Value::Num(task as f64)),
+            ("attempt", Value::Num(f64::from(attempt))),
+            ("failure_reason", Value::str(reason)),
+            ("retry_eligible", Value::Bool(retry_eligible)),
+        ],
+    );
+    match disposition {
+        FailureDisposition::Retry {
+            next_attempt,
+            backoff_ms,
+        } => {
+            journal.emit(
+                "agent_retrying",
+                &[
+                    ("job_id", Value::str(manifest.job_id.clone())),
+                    ("task", Value::Num(task as f64)),
+                    ("attempt", Value::Num(f64::from(next_attempt))),
+                    ("backoff_ms", Value::Num(backoff_ms as f64)),
+                ],
+            );
+            metrics.task_retries.inc();
+            *retries += 1;
+        }
+        FailureDisposition::DeadLetter { attempts } => {
+            DlqRecord {
+                task,
+                job_id: manifest.job_id.clone(),
+                attempts,
+                failure: reason.to_owned(),
+            }
+            .write(job_dir)?;
+            journal.emit(
+                "task_dead_lettered",
+                &[
+                    ("job_id", Value::str(manifest.job_id.clone())),
+                    ("task", Value::Num(task as f64)),
+                    ("attempts", Value::Num(f64::from(attempts))),
+                    ("failure_reason", Value::str(reason)),
+                ],
+            );
+            metrics.tasks_dead_lettered.inc();
+        }
+    }
+    Ok(())
+}
+
+/// Validates a resumed manifest against the requested configuration.
+fn validate_manifest(manifest: &JobManifest, config: &JobConfig) -> Result<(), JobError> {
+    if manifest.parser != config.parser {
+        return Err(JobError::Config(format!(
+            "job directory already holds a `{}` job, requested `{}`",
+            manifest.parser, config.parser
+        )));
+    }
+    if manifest.shards != config.shards {
+        return Err(JobError::Config(format!(
+            "job directory already split into {} shard(s), requested {}",
+            manifest.shards, config.shards
+        )));
+    }
+    if manifest.corpus != config.corpus {
+        return Err(JobError::Config(format!(
+            "job directory already bound to corpus {}, requested {}",
+            manifest.corpus.display(),
+            config.corpus.display()
+        )));
+    }
+    Ok(())
+}
+
+/// Runs (or resumes) the job described by `config` to completion: every
+/// task ends either completed or dead-lettered. Returns the reduced
+/// [`Parse`] when the whole corpus was covered; a job with dead
+/// letters returns `parse: None` and the caller decides how loudly to
+/// fail. See the [module docs](self) for the crash-safety contract.
+pub fn run_job(config: &JobConfig) -> Result<JobOutcome, JobError> {
+    if config.shards == 0 {
+        return Err(JobError::Config("shards must be at least 1".into()));
+    }
+    if config.max_retries == 0 {
+        return Err(JobError::Config("max-retries must be at least 1".into()));
+    }
+    std::fs::create_dir_all(&config.job_dir)?;
+    std::fs::create_dir_all(out_dir(&config.job_dir))?;
+    std::fs::create_dir_all(dlq_dir(&config.job_dir))?;
+    let (store, _recovery) = TemplateStore::open(
+        &state_dir(&config.job_dir),
+        &StoreConfig {
+            shards: 1,
+            ..StoreConfig::default()
+        },
+    )?;
+
+    let (manifest, resumed) = match JobManifest::load(&config.job_dir)? {
+        Some(existing) => {
+            validate_manifest(&existing, config)?;
+            (existing, true)
+        }
+        None => {
+            let lines = read_lines(File::open(&config.corpus)?)?.len();
+            if lines == 0 {
+                return Err(JobError::Config(format!(
+                    "corpus {} is empty",
+                    config.corpus.display()
+                )));
+            }
+            let manifest = JobManifest {
+                job_id: mint_run_id(),
+                parser: config.parser.clone(),
+                corpus: config.corpus.clone(),
+                lines,
+                shards: config.shards,
+                max_retries: config.max_retries,
+                backoff_ms: config.backoff_ms,
+            };
+            manifest.save(&store)?;
+            (manifest, false)
+        }
+    };
+
+    let journal = Journal::appending(&events_path(&config.job_dir))?;
+    let metrics = JobMetrics::new(&manifest.parser);
+    let fault = FaultPlan::from_env()?;
+    let ranges = manifest.ranges();
+    let tasks = ranges.len();
+    // The job id is 16 hex chars minted by the journal; reusing it as
+    // the jitter seed keeps every retry delay a pure function of the
+    // job identity.
+    let seed = u64::from_str_radix(&manifest.job_id, 16).unwrap_or(0x9e37_79b9_7f4a_7c15);
+    let mut sched = Scheduler::new(
+        tasks,
+        config.workers,
+        manifest.max_retries,
+        manifest.backoff_ms,
+        seed,
+    );
+    journal.emit(
+        "job_started",
+        &[
+            ("job_id", Value::str(manifest.job_id.clone())),
+            ("parser", Value::str(manifest.parser.clone())),
+            (
+                "corpus",
+                Value::str(manifest.corpus.to_string_lossy().into_owned()),
+            ),
+            ("lines", Value::Num(manifest.lines as f64)),
+            ("tasks", Value::Num(tasks as f64)),
+            ("workers", Value::Num(config.workers as f64)),
+            ("max_retries", Value::Num(f64::from(manifest.max_retries))),
+            ("backoff_ms", Value::Num(manifest.backoff_ms as f64)),
+            ("resumed", Value::Bool(resumed)),
+        ],
+    );
+
+    // Rebuild the scheduler from the durable artifacts (no-op for a
+    // fresh directory: everything stays Fresh).
+    for task in 0..tasks {
+        if let ResultRead::Ok(_) = ShardResult::load(&config.job_dir, &manifest, task) {
+            sched.restore(task, TaskSeed::Completed);
+            if resumed {
+                journal.emit(
+                    "task_recovered",
+                    &[
+                        ("job_id", Value::str(manifest.job_id.clone())),
+                        ("task", Value::Num(task as f64)),
+                    ],
+                );
+            }
+            continue;
+        }
+        if DlqRecord::load(&config.job_dir, task)?.is_some() {
+            sched.restore(task, TaskSeed::DeadLettered);
+            continue;
+        }
+        let used = attempts_used(&config.job_dir, task)?;
+        if used == 0 {
+            continue;
+        }
+        if used >= manifest.max_retries {
+            // The budget was consumed by earlier incarnations (the
+            // last attempt was in flight when the coordinator died and
+            // counts as failed) — dead-letter now, never over-spend.
+            let reason = "attempt budget exhausted before coordinator restart";
+            DlqRecord {
+                task,
+                job_id: manifest.job_id.clone(),
+                attempts: used,
+                failure: reason.into(),
+            }
+            .write(&config.job_dir)?;
+            journal.emit(
+                "task_dead_lettered",
+                &[
+                    ("job_id", Value::str(manifest.job_id.clone())),
+                    ("task", Value::Num(task as f64)),
+                    ("attempts", Value::Num(f64::from(used))),
+                    ("failure_reason", Value::str(reason)),
+                ],
+            );
+            metrics.tasks_dead_lettered.inc();
+            sched.restore(task, TaskSeed::DeadLettered);
+        } else {
+            sched.restore(
+                task,
+                TaskSeed::Resumed {
+                    next_attempt: used + 1,
+                },
+            );
+        }
+    }
+
+    // lint:allow(timing-discipline): the scheduler clock; feeds backoff
+    // ready-times and the task timeout, not a metric
+    let clock = Instant::now();
+    let now_ms = |clock: &Instant| clock.elapsed().as_millis() as u64;
+    let exit_after = fault.coordinator_exit_after();
+    let mut completions_this_run = 0usize;
+    let mut retries_this_run = 0u64;
+    let mut running: Vec<RunningWorker> = Vec::new();
+
+    loop {
+        // Reap exited (and kill timed-out) workers.
+        let now = now_ms(&clock);
+        let mut still = Vec::with_capacity(running.len());
+        for mut worker in running.drain(..) {
+            let status = match worker.child.try_wait() {
+                Ok(Some(status)) => Some(Ok(status)),
+                Ok(None) => {
+                    let timed_out = config
+                        .task_timeout_ms
+                        .is_some_and(|t| now.saturating_sub(worker.spawned_at_ms) >= t);
+                    if timed_out {
+                        let _ = worker.child.kill();
+                        let _ = worker.child.wait();
+                        Some(Err(format!(
+                            "attempt exceeded task timeout ({} ms)",
+                            config.task_timeout_ms.unwrap_or(0)
+                        )))
+                    } else {
+                        None
+                    }
+                }
+                Err(err) => Some(Err(format!("could not reap worker: {err}"))),
+            };
+            let Some(status) = status else {
+                still.push(worker);
+                continue;
+            };
+            metrics
+                .attempt_seconds
+                .observe_duration(worker.started.elapsed());
+            let failure = match status {
+                Ok(status) if status.success() => {
+                    match ShardResult::load(&config.job_dir, &manifest, worker.task) {
+                        ResultRead::Ok(_) => None,
+                        ResultRead::Missing => {
+                            Some("worker exited cleanly without publishing a result".to_owned())
+                        }
+                        ResultRead::Corrupt(reason) => {
+                            Some(format!("published result rejected: {reason}"))
+                        }
+                    }
+                }
+                Ok(status) => {
+                    let stderr = drain_stderr(&mut worker.child);
+                    Some(if stderr.is_empty() {
+                        format!("worker died: {status}")
+                    } else {
+                        format!("worker died: {status}: {stderr}")
+                    })
+                }
+                Err(reason) => Some(reason),
+            };
+            match failure {
+                None => {
+                    sched.completed(worker.task);
+                    journal.emit(
+                        "task_completed",
+                        &[
+                            ("job_id", Value::str(manifest.job_id.clone())),
+                            ("task", Value::Num(worker.task as f64)),
+                            ("attempt", Value::Num(f64::from(worker.attempt))),
+                        ],
+                    );
+                    metrics.tasks_completed.inc();
+                    completions_this_run += 1;
+                    if exit_after.is_some_and(|n| completions_this_run >= n) {
+                        // Injected coordinator crash: die like SIGKILL,
+                        // after flushing the journal so the chaos tests
+                        // can assert on the event trail so far.
+                        journal.flush();
+                        kill_self();
+                    }
+                }
+                Some(reason) => absorb_failure(
+                    &mut sched,
+                    &journal,
+                    &metrics,
+                    &manifest,
+                    &config.job_dir,
+                    worker.task,
+                    worker.attempt,
+                    now,
+                    &reason,
+                    &mut retries_this_run,
+                )?,
+            }
+        }
+        running = still;
+
+        // Spawn everything that is ready while worker slots are free.
+        let mut done = false;
+        loop {
+            let now = now_ms(&clock);
+            match sched.next_action(now) {
+                Action::Spawn { task, attempt } => {
+                    // Durable *before* the process exists: a coordinator
+                    // SIGKILL between here and the spawn costs at most
+                    // one attempt, never grants an extra one.
+                    store.put_blob(&format!("attempts-{task}"), attempt.to_string().as_bytes())?;
+                    journal.emit(
+                        "task_assigned",
+                        &[
+                            ("job_id", Value::str(manifest.job_id.clone())),
+                            ("task", Value::Num(task as f64)),
+                            ("attempt", Value::Num(f64::from(attempt))),
+                        ],
+                    );
+                    let spawned = Command::new(&config.worker_exe)
+                        .arg("worker")
+                        .arg("--job-dir")
+                        .arg(&config.job_dir)
+                        .arg("--task")
+                        .arg(task.to_string())
+                        .arg("--attempt")
+                        .arg(attempt.to_string())
+                        .stdin(Stdio::null())
+                        .stdout(Stdio::null())
+                        .stderr(Stdio::piped())
+                        .spawn();
+                    match spawned {
+                        Ok(child) => {
+                            journal.emit(
+                                "agent_started",
+                                &[
+                                    ("job_id", Value::str(manifest.job_id.clone())),
+                                    ("task", Value::Num(task as f64)),
+                                    ("attempt", Value::Num(f64::from(attempt))),
+                                    ("pid", Value::Num(f64::from(child.id()))),
+                                ],
+                            );
+                            running.push(RunningWorker {
+                                task,
+                                attempt,
+                                child,
+                                // lint:allow(timing-discipline): feeds the
+                                // jobs_task_attempt_seconds histogram on reap
+                                started: Instant::now(),
+                                spawned_at_ms: now,
+                            });
+                        }
+                        Err(err) => absorb_failure(
+                            &mut sched,
+                            &journal,
+                            &metrics,
+                            &manifest,
+                            &config.job_dir,
+                            task,
+                            attempt,
+                            now,
+                            &format!("spawn failed: {err}"),
+                            &mut retries_this_run,
+                        )?,
+                    }
+                }
+                Action::Wait { .. } => break,
+                Action::Done => {
+                    done = true;
+                    break;
+                }
+            }
+        }
+        metrics.workers_active.set(running.len() as f64);
+        if done {
+            break;
+        }
+        std::thread::sleep(POLL_INTERVAL);
+    }
+
+    let (completed, dead_lettered) = sched.terminal();
+    let parse = if dead_lettered.is_empty() {
+        let mut results = Vec::with_capacity(tasks);
+        for task in 0..tasks {
+            match ShardResult::load(&config.job_dir, &manifest, task) {
+                ResultRead::Ok(result) => results.push(result),
+                ResultRead::Missing => {
+                    return Err(JobError::Protocol(IngestError::Checkpoint(format!(
+                        "task {task} completed but its result file vanished"
+                    ))))
+                }
+                ResultRead::Corrupt(reason) => {
+                    return Err(JobError::Protocol(IngestError::Checkpoint(format!(
+                        "task {task} result no longer validates: {reason}"
+                    ))))
+                }
+            }
+        }
+        Some(reduce(manifest.lines, &results))
+    } else {
+        None
+    };
+    journal.emit(
+        "job_finished",
+        &[
+            ("job_id", Value::str(manifest.job_id.clone())),
+            ("completed", Value::Num(completed.len() as f64)),
+            ("dead_lettered", Value::Num(dead_lettered.len() as f64)),
+            (
+                "templates",
+                parse
+                    .as_ref()
+                    .map_or(Value::Null, |p| Value::Num(p.event_count() as f64)),
+            ),
+            ("retries", Value::Num(retries_this_run as f64)),
+        ],
+    );
+    journal.flush();
+    store.finish()?;
+    Ok(JobOutcome {
+        job_id: manifest.job_id,
+        resumed,
+        lines: manifest.lines,
+        completed,
+        dead_lettered,
+        retries: retries_this_run,
+        parse,
+    })
+}
+
+/// Folds shard results (sorted by task) into one global [`Parse`] —
+/// the reduce step. This mirrors the in-process parallel driver's
+/// merge exactly: templates unify by [`Template::structural_key`] in
+/// task order, and with a single shard the merge is skipped entirely
+/// (just as `ParallelDriver` hands back the lone chunk parse), so
+/// `jobs run` with N shards is byte-identical to `parse_parallel`
+/// with N chunks.
+pub fn reduce(lines: usize, results: &[ShardResult]) -> Parse {
+    if results.len() <= 1 {
+        let Some(only) = results.first() else {
+            return Parse::new(Vec::new(), vec![None; lines]);
+        };
+        let assignments = only
+            .assignments
+            .iter()
+            .map(|slot| slot.map(EventId))
+            .collect();
+        return Parse::new(only.templates.clone(), assignments);
+    }
+    let mut merge = TemplateMerge::new();
+    let mut templates: Vec<Template> = Vec::new();
+    for result in results {
+        let keys: Vec<String> = result
+            .templates
+            .iter()
+            .map(Template::structural_key)
+            .collect();
+        merge.merge_shard(result.task, &keys);
+        for (local, template) in result.templates.iter().enumerate() {
+            let Some(gid) = merge.resolve(result.task, local) else {
+                continue;
+            };
+            if gid == templates.len() {
+                templates.push(template.clone());
+            }
+        }
+    }
+    let mut assignments: Vec<Option<EventId>> = vec![None; lines];
+    for result in results {
+        for (offset, assigned) in result.assignments.iter().enumerate() {
+            if let Some(slot) = assignments.get_mut(result.start + offset) {
+                *slot = assigned.and_then(|local| merge.resolve(result.task, local).map(EventId));
+            }
+        }
+    }
+    Parse::new(templates, assignments)
+}

@@ -1,0 +1,86 @@
+//! Metric handles for the job coordinator.
+//!
+//! Resolved once per [`crate::run_job`] call against the process-global
+//! [`logparse_obs`] registry, so a `logmine jobs run` exposes its
+//! progress through the same `logmine metrics dump` surface as the
+//! streaming pipeline. Family names stay string literals at their
+//! registration call so the obs-metric-hygiene lint can cross-check
+//! them against DESIGN.md's Observability table.
+
+use logparse_obs::{global, Buckets, Counter, Gauge, Histogram};
+
+/// Every family the coordinator publishes, registered up front so a
+/// scrape taken mid-job already shows zero-valued series.
+#[derive(Debug)]
+pub struct JobMetrics {
+    /// `jobs_tasks_completed_total` — map tasks with a validated result.
+    pub tasks_completed: Counter,
+    /// `jobs_task_retries_total` — failed attempts absorbed by a retry.
+    pub task_retries: Counter,
+    /// `jobs_tasks_dead_lettered_total` — tasks that exhausted their
+    /// attempt budget and landed in the DLQ.
+    pub tasks_dead_lettered: Counter,
+    /// `jobs_workers_active` — worker processes currently running.
+    pub workers_active: Gauge,
+    /// `jobs_task_attempt_seconds{parser}` — wall time of one worker
+    /// attempt, spawn to reap.
+    pub attempt_seconds: Histogram,
+}
+
+impl JobMetrics {
+    /// Resolves (and thereby pre-registers) every `jobs_*` family.
+    pub fn new(parser: &str) -> Self {
+        let registry = global();
+        JobMetrics {
+            tasks_completed: registry.counter(
+                "jobs_tasks_completed_total",
+                "Map tasks completed with a validated shard result",
+                &[],
+            ),
+            task_retries: registry.counter(
+                "jobs_task_retries_total",
+                "Failed worker attempts absorbed by a retry",
+                &[],
+            ),
+            tasks_dead_lettered: registry.counter(
+                "jobs_tasks_dead_lettered_total",
+                "Tasks dead-lettered after exhausting their attempt budget",
+                &[],
+            ),
+            workers_active: registry.gauge(
+                "jobs_workers_active",
+                "Worker processes currently running",
+                &[],
+            ),
+            attempt_seconds: registry.histogram(
+                "jobs_task_attempt_seconds",
+                "Wall time of one worker attempt from spawn to reap",
+                &Buckets::durations(),
+                &[("parser", parser)],
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_metrics_pre_register_every_family() {
+        let _metrics = JobMetrics::new("drain");
+        let text = global().render();
+        for family in [
+            "jobs_tasks_completed_total",
+            "jobs_task_retries_total",
+            "jobs_tasks_dead_lettered_total",
+            "jobs_workers_active",
+            "jobs_task_attempt_seconds",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "family {family} not pre-registered"
+            );
+        }
+    }
+}

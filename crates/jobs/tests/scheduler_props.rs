@@ -1,0 +1,185 @@
+//! Property tests for the pure job scheduler: for arbitrary (shard
+//! count, worker count, fault plan) triples the completed and
+//! dead-lettered tasks partition the corpus chunks exactly once, a
+//! poison task consumes exactly its attempt budget, the worker cap is
+//! never exceeded, and per-task backoff delays are monotone
+//! non-decreasing.
+
+use logparse_core::ParallelDriver;
+use logparse_jobs::{Action, FailureDisposition, Scheduler, TaskState};
+use proptest::prelude::*;
+
+/// Drives a scheduler against a simulated fault plan: task `t` fails
+/// its first `faults[t]` attempts and succeeds after that (a plan with
+/// `faults[t] >= max_retries` is a poison task). Workers "run" in an
+/// in-flight set and resolve one at a time whenever the scheduler has
+/// nothing to spawn, which exercises the concurrency cap for real.
+/// Returns the per-task spawn counts.
+fn simulate(sched: &mut Scheduler, faults: &mut [u32], workers: usize) -> Vec<u32> {
+    let mut spawns = vec![0u32; faults.len()];
+    // First observed attempt number minus one — 0 for fresh tasks,
+    // the consumed-attempt count for resumed ones.
+    let mut base: Vec<Option<u32>> = vec![None; faults.len()];
+    let mut inflight: Vec<(usize, u32)> = Vec::new();
+    let mut now = 0u64;
+    loop {
+        assert!(
+            sched.running() <= workers,
+            "worker cap exceeded: {} running with {workers} slot(s)",
+            sched.running()
+        );
+        match sched.next_action(now) {
+            Action::Spawn { task, attempt } => {
+                spawns[task] += 1;
+                let start = *base[task].get_or_insert(attempt - 1);
+                assert_eq!(
+                    start + spawns[task],
+                    attempt,
+                    "attempt numbers must count spawns of task {task}"
+                );
+                inflight.push((task, attempt));
+            }
+            Action::Wait { until_ms } => {
+                // Resolve the oldest in-flight attempt, or advance the
+                // clock to the scheduler's own wake-up time.
+                if inflight.is_empty() {
+                    now = until_ms.expect("scheduler waits forever with nothing running");
+                    continue;
+                }
+                let (task, _attempt) = inflight.remove(0);
+                if faults[task] > 0 {
+                    faults[task] -= 1;
+                    let disposition = sched
+                        .failed(task, now)
+                        .expect("failing a running task must be absorbed");
+                    if let FailureDisposition::Retry { backoff_ms, .. } = disposition {
+                        // Failures cost wall time too; otherwise every
+                        // retry of a zero-backoff plan is ready at once.
+                        now += backoff_ms.min(1);
+                    }
+                } else {
+                    sched.completed(task);
+                }
+            }
+            Action::Done => break,
+        }
+    }
+    assert!(inflight.is_empty(), "done with attempts still in flight");
+    spawns
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Completed + dead-lettered tasks partition the chunk ranges of
+    /// the corpus exactly once, for any fault plan.
+    #[test]
+    fn terminal_tasks_partition_the_corpus_exactly_once(
+        lines in 1usize..5_000,
+        shards in 1usize..12,
+        workers in 1usize..6,
+        max_retries in 1u32..5,
+        fault_seed in proptest::collection::vec(0u32..7, 12),
+    ) {
+        let ranges = ParallelDriver::chunk_ranges(lines, shards);
+        let tasks = ranges.len();
+        let mut faults: Vec<u32> = (0..tasks).map(|t| fault_seed[t % fault_seed.len()]).collect();
+        let planned = faults.clone();
+        let mut sched = Scheduler::new(tasks, workers, max_retries, 10, 0xfeed);
+        let spawns = simulate(&mut sched, &mut faults, workers);
+
+        prop_assert!(sched.is_done());
+        let (completed, dead) = sched.terminal();
+        // Exactly-once partition of the task set…
+        let mut all: Vec<usize> = completed.iter().chain(dead.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..tasks).collect::<Vec<_>>());
+        // …and therefore of the corpus lines: the terminal tasks' chunk
+        // ranges tile 0..lines contiguously with no gap or overlap.
+        let mut covered = 0usize;
+        for (task, range) in ranges.iter().enumerate() {
+            prop_assert_eq!(range.start, covered, "task {} range must abut", task);
+            covered = range.end;
+        }
+        prop_assert_eq!(covered, lines);
+        // A task dead-letters iff its fault plan outlasts the budget,
+        // and consumes min(planned_failures + 1, budget) attempts.
+        for task in 0..tasks {
+            let poison = planned[task] >= max_retries;
+            prop_assert_eq!(
+                dead.contains(&task),
+                poison,
+                "task {} with {} planned failure(s), budget {}",
+                task, planned[task], max_retries
+            );
+            prop_assert_eq!(
+                spawns[task],
+                (planned[task] + 1).min(max_retries),
+                "task {} attempt count", task
+            );
+        }
+    }
+
+    /// Backoff delays are monotone non-decreasing per task and stay in
+    /// the `[step, 2·step]` exponential envelope while un-saturated.
+    #[test]
+    fn backoff_is_monotone_non_decreasing_per_task(
+        backoff_ms in 0u64..10_000,
+        tasks in 1usize..8,
+        attempts in 2u32..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut sched = Scheduler::new(tasks, 1, 1, backoff_ms, seed);
+        for task in 0..tasks {
+            let delays: Vec<u64> =
+                (1..=attempts).map(|a| sched.backoff_delay_ms(task, a)).collect();
+            for (i, pair) in delays.windows(2).enumerate() {
+                prop_assert!(
+                    pair[0] <= pair[1],
+                    "task {}: delay regressed at attempt {}: {:?}",
+                    task, i + 2, delays
+                );
+            }
+            for (i, &delay) in delays.iter().enumerate() {
+                let exponent = (i as u32).min(20);
+                let step = backoff_ms.saturating_mul(1u64 << exponent);
+                prop_assert!(
+                    delay >= step && delay <= step.saturating_mul(2).max(delays[0]),
+                    "task {}: attempt {} delay {} outside [{}, {}]",
+                    task, i + 1, delay, step, step.saturating_mul(2)
+                );
+            }
+        }
+    }
+}
+
+/// The exponential saturates instead of overflowing, and the monotone
+/// clamp holds across the saturation boundary where raw jitter could
+/// otherwise regress.
+#[test]
+fn backoff_saturation_stays_monotone() {
+    let mut sched = Scheduler::new(1, 1, 1, u64::MAX / 4, 99);
+    let mut previous = 0u64;
+    for attempt in 1..40 {
+        let delay = sched.backoff_delay_ms(0, attempt);
+        assert!(delay >= previous, "attempt {attempt}: {delay} < {previous}");
+        previous = delay;
+    }
+    assert_eq!(previous, u64::MAX, "saturated backoff pins at u64::MAX");
+}
+
+/// A resumed task gets only its remaining budget: restoring with
+/// `next_attempt == budget` leaves exactly one attempt before the DLQ.
+#[test]
+fn resume_grants_only_the_remaining_budget() {
+    let mut sched = Scheduler::new(2, 2, 3, 5, 7);
+    sched.restore(0, logparse_jobs::TaskSeed::Resumed { next_attempt: 3 });
+    let mut faults = vec![10u32, 0u32]; // task 0 poison, task 1 clean
+    let spawns = simulate(&mut sched, &mut faults, 2);
+    assert_eq!(spawns[0], 1, "task 0 had one attempt left");
+    assert_eq!(spawns[1], 1);
+    let (completed, dead) = sched.terminal();
+    assert_eq!(completed, vec![1]);
+    assert_eq!(dead, vec![0]);
+    assert!(matches!(sched.state(0), TaskState::DeadLettered));
+}

@@ -4,10 +4,12 @@
 //! runner in [`crate::run_files`] applies pragma suppression and
 //! ordering. Scope conventions shared by several lints:
 //!
-//! * **hot-path crates** — `parsers`, `ingest`, `obs`, `store`, plus
-//!   `crates/core/src/parallel.rs` (the parallel driver): the code the
-//!   streaming pipeline and the parallel driver execute per line/batch
-//!   (the store sits on the per-batch durability path).
+//! * **hot-path crates** — `parsers`, `ingest`, `obs`, `store`, `jobs`,
+//!   plus `crates/core/src/parallel.rs` (the parallel driver): the code
+//!   the streaming pipeline and the parallel driver execute per
+//!   line/batch (the store sits on the per-batch durability path; the
+//!   jobs coordinator supervises long-running work and must never
+//!   panic mid-job).
 //! * Only [`Role::Lib`](crate::source::Role::Lib) code outside
 //!   `#[cfg(test)]` regions is checked unless a lint says otherwise —
 //!   tests, benches, examples and binaries may panic and time freely.
@@ -130,7 +132,7 @@ pub fn is_hot_path(file: &SourceFile) -> bool {
     }
     matches!(
         file.crate_name.as_str(),
-        "parsers" | "ingest" | "obs" | "store"
+        "parsers" | "ingest" | "obs" | "store" | "jobs"
     ) || file.rel == "crates/core/src/parallel.rs"
 }
 

@@ -256,6 +256,20 @@ impl Journal {
         Journal::new(Box::new(io::sink()))
     }
 
+    /// A journal appending to `path` (created if absent, never
+    /// truncated). Successive coordinator incarnations of a resumable
+    /// job share one event log this way: each incarnation mints its own
+    /// `run_id` and restarts `seq`/`ts_mono_ns`, so a consumer orders
+    /// within an incarnation by `seq` and across incarnations by file
+    /// position.
+    pub fn appending(path: &Path) -> io::Result<Journal> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Journal::new(Box::new(file)))
+    }
+
     /// A journal writing to a size-rotated file: see [`RotatingFile`].
     /// Events carry the file's rotation sequence in their `rot` field.
     pub fn rotating(path: &Path, max_bytes: u64, keep: usize) -> io::Result<Journal> {
@@ -578,6 +592,25 @@ mod tests {
                 "clock is read under the seq lock, so this cannot interleave: {pair:?}"
             );
         }
+    }
+
+    #[test]
+    fn appending_journal_preserves_prior_incarnations() {
+        let dir = std::env::temp_dir().join(format!("obs-append-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let first = Journal::appending(&path).unwrap();
+        first.emit("job_started", &[]);
+        drop(first);
+        let second = Journal::appending(&path).unwrap();
+        second.emit("job_finished", &[]);
+        drop(second);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "append mode must not truncate: {text}");
+        assert!(lines[0].contains("\"event\":\"job_started\""));
+        assert!(lines[1].contains("\"event\":\"job_finished\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

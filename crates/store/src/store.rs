@@ -706,7 +706,13 @@ impl TemplateStore {
         Ok(())
     }
 
-    /// Reads an auxiliary blob, verifying its checksum.
+    /// Reads an auxiliary blob, verifying its checksum. A blob that
+    /// exists but carries an empty payload is reported as
+    /// [`BlobRead::Corrupt`], not `Ok` — every writer in this codebase
+    /// frames a non-empty serialized document, so an empty payload means
+    /// the producer was interrupted or misbehaved, and treating it as
+    /// readable used to let recovery silently degrade to a fresh state
+    /// (indistinguishable from `Missing` to the caller).
     pub fn read_blob(dir: &Path, name: &str) -> Result<BlobRead, StoreError> {
         let path = dir.join(format!("{name}.blob"));
         let bytes = match fs::read(&path) {
@@ -715,6 +721,7 @@ impl TemplateStore {
             Err(err) => return Err(err.into()),
         };
         Ok(match read_single_record(&bytes) {
+            Some(payload) if payload.is_empty() => BlobRead::Corrupt,
             Some(payload) => BlobRead::Ok(payload),
             None => BlobRead::Corrupt,
         })

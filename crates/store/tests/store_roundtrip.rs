@@ -222,6 +222,31 @@ fn blobs_round_trip_and_flag_corruption() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Regression: a blob that exists but frames an empty payload must be
+/// Corrupt, not `Ok(vec![])`. Checkpoint recovery used to treat the
+/// empty payload as readable, fail to parse it, and silently fall back
+/// to a fresh parser exactly as if the blob were Missing — hiding an
+/// interrupted or misbehaving writer.
+#[test]
+fn empty_payload_blob_is_corrupt_not_ok() {
+    let dir = temp_store("emptyblob");
+    let (store, _) = TemplateStore::open(&dir, &StoreConfig::default()).unwrap();
+    store.put_blob("parser-0", b"").unwrap();
+    assert_eq!(
+        TemplateStore::read_blob(&dir, "parser-0").unwrap(),
+        BlobRead::Corrupt
+    );
+    // A zero-length file (writer died before framing anything) is also
+    // Corrupt, and always was — pin both shapes.
+    std::fs::write(dir.join("parser-1.blob"), b"").unwrap();
+    assert_eq!(
+        TemplateStore::read_blob(&dir, "parser-1").unwrap(),
+        BlobRead::Corrupt
+    );
+    store.finish().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn shard_count_is_pinned_by_the_manifest() {
     let dir = temp_store("pin");

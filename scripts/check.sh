@@ -67,6 +67,25 @@ if [[ "$QUICK" == "1" ]]; then
   cargo run -q --release -p logparse-cli --bin logmine -- store compact "$STORE_DIR" >/dev/null
   cargo run -q --release -p logparse-cli --bin logmine -- store verify "$STORE_DIR" >/dev/null
   rm -rf "$(dirname "$STORE_DIR")"
+
+  # Jobs-layer chaos smoke: SIGKILL a worker mid-shard via the fault
+  # plan, prove the retry converges on output byte-identical to a
+  # plain parallel parse of the same corpus.
+  echo "=== jobs chaos smoke (worker SIGKILL + retry, byte-identical reduce) ==="
+  JOBS_DIR="$(mktemp -d)"
+  cargo run -q --release -p logparse-cli --bin logmine -- \
+    generate --dataset hdfs --count 3000 >"$JOBS_DIR/corpus.log"
+  cargo run -q --release -p logparse-cli --bin logmine -- \
+    parse --parser drain -j 4 --events-out "$JOBS_DIR/parse.events" \
+    "$JOBS_DIR/corpus.log" 2>/dev/null
+  LOGPARSE_FAULT="worker:1@1:crash_after:0" \
+    cargo run -q --release -p logparse-cli --bin logmine -- \
+    jobs run "$JOBS_DIR/corpus.log" --job-dir "$JOBS_DIR/job" \
+    --parser drain -j 4 --backoff-ms 5 \
+    --events-out "$JOBS_DIR/jobs.events" 2>/dev/null
+  cmp "$JOBS_DIR/parse.events" "$JOBS_DIR/jobs.events"
+  grep -q '"event":"agent_retrying"' "$JOBS_DIR/job/events.jsonl"
+  rm -rf "$JOBS_DIR"
 fi
 
 if [[ "$DEEP" == "1" ]]; then
