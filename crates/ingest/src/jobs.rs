@@ -361,6 +361,9 @@ impl ShardResult {
     /// Atomically publishes the result as `out/task-<i>.json`.
     pub fn write(&self, job_dir: &Path) -> Result<(), IngestError> {
         std::fs::create_dir_all(out_dir(job_dir))?;
+        // Pin `out/` itself: the rename below fsyncs inside the
+        // directory, not the directory's own entry in job_dir.
+        sync_dir(job_dir)?;
         write_atomic_racing(
             &result_path(job_dir, self.task),
             self.to_json().to_string().as_bytes(),
@@ -461,6 +464,9 @@ impl DlqRecord {
     /// Atomically publishes the record as `dlq/task-<i>.json`.
     pub fn write(&self, job_dir: &Path) -> Result<(), IngestError> {
         std::fs::create_dir_all(dlq_dir(job_dir))?;
+        // Pin `dlq/` itself — a dead letter that vanishes with its
+        // directory on power loss would silently unrecord the failure.
+        sync_dir(job_dir)?;
         write_atomic_racing(
             &dlq_record_path(job_dir, self.task),
             self.to_json().to_string().as_bytes(),
@@ -669,6 +675,7 @@ pub fn run_job_worker(job_dir: &Path, task: usize, attempt: u32) -> Result<(), I
     }
     if let Some(FaultAction::Corrupt) = fault {
         std::fs::create_dir_all(out_dir(job_dir))?;
+        sync_dir(job_dir)?;
         write_atomic_racing(&result_path(job_dir, task), b"{ not json")?;
         return Ok(());
     }

@@ -35,7 +35,7 @@ use logparse_ingest::jobs::{
 use logparse_ingest::IngestError;
 use logparse_obs::journal::{mint_run_id, Value};
 use logparse_obs::Journal;
-use logparse_store::{BlobRead, StoreConfig, TemplateStore};
+use logparse_store::{sync_dir, BlobRead, StoreConfig, TemplateStore};
 
 use crate::metrics::JobMetrics;
 use crate::scheduler::{Action, FailureDisposition, Scheduler, TaskSeed};
@@ -236,6 +236,17 @@ pub fn run_job(config: &JobConfig) -> Result<JobOutcome, JobError> {
     std::fs::create_dir_all(&config.job_dir)?;
     std::fs::create_dir_all(out_dir(&config.job_dir))?;
     std::fs::create_dir_all(dlq_dir(&config.job_dir))?;
+    // Every publish below (results, DLQ records, store state) renames
+    // into these directories; fsync their entries now so a power loss
+    // cannot erase the job layout the durable publishes rely on.
+    if let Some(parent) = config
+        .job_dir
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        sync_dir(parent)?;
+    }
+    sync_dir(&config.job_dir)?;
     let (store, _recovery) = TemplateStore::open(
         &state_dir(&config.job_dir),
         &StoreConfig {

@@ -161,23 +161,23 @@ pub fn lex(text: &str) -> Lexed {
                             masked.push(b'"');
                             masked.extend(std::iter::repeat_n(b'#', hashes));
                             k += 1 + hashes;
-                            i = k;
-                            strings.push(StrLit {
-                                offset: quote_off,
-                                line: start_line,
-                                content: String::from_utf8_lossy(&content).into_owned(),
-                            });
                             break 'raw;
                         }
                     }
                     content.push(src[k]);
                     blank(&mut masked, &mut line, src[k]);
                     k += 1;
-                    if k == src.len() {
-                        // Unterminated; stop masking at EOF.
-                        i = k;
-                    }
                 }
+                // Unterminated raw strings (EOF before the closing
+                // quote+hashes — including an opener that is the very
+                // last token of the file) must still advance `i`, or
+                // the outer loop would re-lex the opener forever.
+                i = k;
+                strings.push(StrLit {
+                    offset: quote_off,
+                    line: start_line,
+                    content: String::from_utf8_lossy(&content).into_owned(),
+                });
                 continue;
             }
         }

@@ -6,7 +6,9 @@
 //! layer rely on but no compiler knows about. It is built — like the
 //! workspace's vendored `rand`/`proptest`/`criterion` shims — entirely
 //! on `std`: a hand-rolled surface lexer ([`lexer`]) produces a masked
-//! code view per file, and line-oriented lints walk it.
+//! code view per file, line-oriented lints walk it, and a flow layer
+//! ([`flow`] → [`callgraph`]) lifts it to a workspace call graph for
+//! the inter-procedural lints.
 //!
 //! # Lint catalog
 //!
@@ -18,6 +20,9 @@
 //! | `obs-metric-hygiene` | error | metric families: literal names, one owner site, documented in DESIGN.md |
 //! | `timing-discipline` | warning | `Instant::now()` only inside the obs/criterion substrates |
 //! | `hot-path-string-alloc` | warning | no `to_string`/`String::from`/`format!` in loop bodies of `parsers`/the parallel driver |
+//! | `lock-order-cycle` | warning | no lock-order cycles across the workspace call graph (potential deadlock) |
+//! | `durability-discipline` | error | create/write→rename publish paths fsync file *and* directory, or name their flush tier |
+//! | `thread-leak` | warning | every spawned thread's handle is joined or carries a reasoned detach pragma |
 //! | `bad-pragma` | error | suppressions must name a known lint and carry a reason |
 //!
 //! # Suppression
@@ -42,44 +47,93 @@
 //! Exit code 0 when clean, 1 on findings at error level (warnings are
 //! promoted under `--deny warnings`), 2 on usage or I/O errors. This is
 //! a stage of `scripts/check.sh`; the committed tree stays clean.
+//! `--stats` prints phase timings and cache effectiveness (per-file
+//! analyses are cached under `target/lint-cache`, keyed by content
+//! hash); `--sarif <path>` additionally writes a SARIF 2.1.0 report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
+pub mod cache;
+pub mod callgraph;
+pub mod flow;
 pub mod lexer;
 pub mod lints;
 pub mod report;
 pub mod source;
 pub mod workspace;
 
+use analysis::FileAnalysis;
 use lints::{Finding, Severity};
-use source::SourceFile;
 use std::path::Path;
+
+/// Phase timings and cache counters reported by `--stats`.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Source files analyzed.
+    pub files: usize,
+    /// Files served from the incremental cache.
+    pub cache_hits: usize,
+    /// Files analyzed from scratch (and written back to the cache).
+    pub cache_misses: usize,
+    /// Functions in the workspace symbol table.
+    pub functions: usize,
+    /// Call sites resolved to a workspace function.
+    pub resolved_calls: usize,
+    /// Call sites in the explicit unresolved bucket.
+    pub unresolved_calls: usize,
+    /// Milliseconds spent lexing + line-local linting (or cache reads).
+    pub analyze_ms: u128,
+    /// Milliseconds spent on graph construction + workspace passes.
+    pub graph_ms: u128,
+    /// End-to-end milliseconds.
+    pub total_ms: u128,
+}
+
+/// Monotonic clock for `--stats` phase timing.
+fn phase_clock() -> std::time::Instant {
+    // lint:allow(timing-discipline): times the analyzer's own phases for --stats, not pipeline code
+    std::time::Instant::now()
+}
 
 /// Lints already-loaded sources. `files` are `(relative_path, text)`
 /// pairs; `design` is DESIGN.md's `(relative_path, text)` when present.
 /// Returns pragma-filtered findings sorted by path, line, lint.
 pub fn run_files(files: &[(String, String)], design: Option<(&str, &str)>) -> Vec<Finding> {
-    let sources: Vec<SourceFile> = files
+    let analyses: Vec<FileAnalysis> = files
         .iter()
-        .map(|(rel, text)| SourceFile::new(rel, text))
+        .map(|(rel, text)| analysis::analyze(rel, text))
         .collect();
-    let rels: Vec<String> = sources.iter().map(|s| s.rel.clone()).collect();
+    let graph = callgraph::build(&analyses);
+    finish(&analyses, &graph, design)
+}
+
+/// The workspace passes over per-file analyses: crate-root checks, the
+/// metric cross-check, the call-graph lints, pragma suppression and
+/// ordering.
+pub fn finish(
+    analyses: &[FileAnalysis],
+    graph: &callgraph::Graph,
+    design: Option<(&str, &str)>,
+) -> Vec<Finding> {
+    let rels: Vec<String> = analyses.iter().map(|a| a.rel.clone()).collect();
     let roots = workspace::crate_roots(&rels);
 
     let mut findings = Vec::new();
-    for file in &sources {
-        findings.extend(lints::panic_freedom::check(file));
-        findings.extend(lints::unsafe_allowlist::check(file));
-        findings.extend(lints::lock_hold::check(file));
-        findings.extend(lints::timing::check(file));
-        findings.extend(lints::hot_alloc::check(file));
-        findings.extend(lints::pragmas::check(file));
-        if roots.contains(&file.rel) {
-            findings.extend(lints::unsafe_allowlist::check_crate_root(file));
+    for a in analyses {
+        findings.extend(a.findings.iter().cloned());
+        if roots.contains(&a.rel) {
+            findings.extend(a.root_findings.iter().cloned());
         }
     }
-    findings.extend(lints::metric_hygiene::check(&sources, design));
+    let sites: Vec<(&str, &[lints::metric_hygiene::MetricSite])> = analyses
+        .iter()
+        .map(|a| (a.rel.as_str(), a.metric_sites.as_slice()))
+        .collect();
+    findings.extend(lints::metric_hygiene::cross_check_all(&sites, design));
+    findings.extend(lints::lock_order::check(analyses, graph));
+    findings.extend(lints::durability::check(analyses, graph));
 
     // Pragma suppression: a finding survives unless the file that
     // contains it carries a matching allow. `bad-pragma` findings are
@@ -88,8 +142,8 @@ pub fn run_files(files: &[(String, String)], design: Option<(&str, &str)>) -> Ve
         if f.lint == "bad-pragma" {
             return true;
         }
-        match sources.iter().find(|s| s.rel == f.rel) {
-            Some(file) => !file.suppressed(f.lint, f.line, &f.also_allow_at),
+        match analyses.iter().find(|a| a.rel == f.rel) {
+            Some(a) => !a.suppressed(f.lint, f.line, &f.also_allow_at),
             None => true,
         }
     });
@@ -100,12 +154,54 @@ pub fn run_files(files: &[(String, String)], design: Option<(&str, &str)>) -> Ve
 
 /// Walks the workspace at `root` and lints every source file.
 pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    run_workspace_stats(root, None).map(|(f, _)| f)
+}
+
+/// [`run_workspace`], with per-file results served from (and written
+/// back to) the incremental cache at `cache_dir` when given, plus phase
+/// timings.
+pub fn run_workspace_stats(
+    root: &Path,
+    cache_dir: Option<&Path>,
+) -> std::io::Result<(Vec<Finding>, Stats)> {
+    let t_total = phase_clock();
     let files = workspace::collect(root)?;
     let design_text = std::fs::read_to_string(root.join("DESIGN.md")).ok();
-    Ok(run_files(
-        &files,
-        design_text.as_deref().map(|t| ("DESIGN.md", t)),
-    ))
+    let design = design_text.as_deref().map(|t| ("DESIGN.md", t));
+
+    let t_analyze = phase_clock();
+    let mut stats = Stats {
+        files: files.len(),
+        ..Stats::default()
+    };
+    let mut analyses = Vec::with_capacity(files.len());
+    for (rel, text) in &files {
+        match cache_dir.and_then(|d| cache::load(d, rel, text)) {
+            Some(a) => {
+                stats.cache_hits += 1;
+                analyses.push(a);
+            }
+            None => {
+                let a = analysis::analyze(rel, text);
+                if let Some(d) = cache_dir {
+                    cache::save(d, rel, text, &a);
+                }
+                stats.cache_misses += 1;
+                analyses.push(a);
+            }
+        }
+    }
+    stats.analyze_ms = t_analyze.elapsed().as_millis();
+
+    let t_graph = phase_clock();
+    let graph = callgraph::build(&analyses);
+    stats.functions = analyses.iter().map(|a| a.flow.len()).sum();
+    stats.resolved_calls = graph.resolved;
+    stats.unresolved_calls = graph.unresolved;
+    let findings = finish(&analyses, &graph, design);
+    stats.graph_ms = t_graph.elapsed().as_millis();
+    stats.total_ms = t_total.elapsed().as_millis();
+    Ok((findings, stats))
 }
 
 /// True when `findings` requires a non-zero exit under the given
@@ -148,5 +244,21 @@ mod tests {
         assert!(!is_fatal(&warn, false));
         assert!(is_fatal(&warn, true));
         assert!(!is_fatal(&[], true));
+    }
+
+    #[test]
+    fn graph_lints_run_through_run_files() {
+        let files = vec![(
+            "crates/store/src/x.rs".to_string(),
+            "pub fn publish(p: &Path) -> io::Result<()> {\n    \
+             let mut f = File::create(&tmp)?;\n    f.write_all(b\"x\")?;\n    \
+             fs::rename(&tmp, p)\n}\n"
+                .to_string(),
+        )];
+        let out = run_files(&files, None);
+        assert!(
+            out.iter().any(|f| f.lint == "durability-discipline"),
+            "{out:?}"
+        );
     }
 }

@@ -1,0 +1,393 @@
+//! `lock-order-cycle`: potential deadlocks from inconsistent lock
+//! acquisition order, detected across the whole workspace.
+//!
+//! Per-function acquisition sequences come from [`crate::flow`] (guard
+//! scope tracking shared with `lock-channel-hold`); this lint
+//! propagates *"calling `f` may acquire lock L"* over the call graph,
+//! builds the lock-order graph — an edge `A → B` means some thread can
+//! hold `A` while acquiring `B` — and reports every cycle with the full
+//! witness path: which functions, in which files, acquire the locks in
+//! conflicting order.
+//!
+//! Lock identity is the normalized receiver text. An uppercase-headed
+//! receiver (`REGISTRY`, `JOURNAL.inner`) names a static — one lock
+//! workspace-wide, so acquisitions from different crates connect into
+//! one graph node. A lowercase receiver (`self.inner`, `shards[i]`) is
+//! scoped to its file (`crates/obs/src/registry.rs::inner`), so two
+//! different structs whose fields are both called `inner` are never
+//! conflated.
+
+use super::{Finding, Severity};
+use crate::analysis::FileAnalysis;
+use crate::callgraph::{FnRef, Graph};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+const NAME: &str = "lock-order-cycle";
+
+/// A workspace-scoped lock identity: `file::receiver`.
+type LockId = String;
+
+/// How calling a function can end up acquiring a lock.
+#[derive(Clone)]
+struct AcqPath {
+    /// Call hops, rendered `name (file:line)` each.
+    chain: Vec<String>,
+    /// Acquisition site.
+    rel: String,
+    line: u32,
+}
+
+/// One lock-order edge `A → B` with its witness.
+struct Edge {
+    to: LockId,
+    /// Function whose body holds `A` while reaching `B`.
+    via_fn: String,
+    hold_rel: String,
+    hold_line: u32,
+    /// Call hops from the holder down to the acquisition of `B`.
+    steps: Vec<String>,
+    acq_rel: String,
+    acq_line: u32,
+}
+
+fn lock_id(rel: &str, local: &str) -> LockId {
+    // Uppercase head → a static, one lock workspace-wide; anything
+    // else (fields, locals, index expressions) is file-scoped.
+    if local.as_bytes().first().is_some_and(u8::is_ascii_uppercase) {
+        local.to_string()
+    } else {
+        format!("{rel}::{local}")
+    }
+}
+
+/// Runs the lint over the analyzed workspace.
+pub fn check(analyses: &[FileAnalysis], graph: &Graph) -> Vec<Finding> {
+    let locksets = lockset_fixpoint(analyses, graph);
+
+    // Build the lock-order graph. First edge per (A, B) wins, which is
+    // deterministic because files and functions are walked in order.
+    let mut edges: BTreeMap<(LockId, LockId), Edge> = BTreeMap::new();
+    let mut add = |from: LockId, e: Edge| {
+        edges.entry((from, e.to.clone())).or_insert(e);
+    };
+    for (fi, a) in analyses.iter().enumerate() {
+        for (fj, f) in a.flow.iter().enumerate() {
+            // Local pairs: guard A still live at acquire B.
+            for &(ai, bi) in &f.lock_pairs {
+                let (aa, bb) = (&f.acquires[ai as usize], &f.acquires[bi as usize]);
+                add(
+                    lock_id(&a.rel, &aa.id),
+                    Edge {
+                        to: lock_id(&a.rel, &bb.id),
+                        via_fn: f.name.clone(),
+                        hold_rel: a.rel.clone(),
+                        hold_line: aa.line,
+                        steps: Vec::new(),
+                        acq_rel: a.rel.clone(),
+                        acq_line: bb.line,
+                    },
+                );
+            }
+            // Calls under a live guard: everything the callee may
+            // acquire is acquired while holding the guard.
+            for (ci, callee) in graph.callees((fi, fj)) {
+                let call = &f.calls[*ci];
+                if call.locks_held.is_empty() {
+                    continue;
+                }
+                let Some(set) = locksets.get(callee) else {
+                    continue;
+                };
+                let target = &analyses[callee.0].flow[callee.1];
+                for (lock, path) in set {
+                    for &held in &call.locks_held {
+                        let held_acq = &f.acquires[held as usize];
+                        let mut steps =
+                            vec![format!("calls `{}` ({}:{})", target.name, a.rel, call.line)];
+                        steps.extend(path.chain.iter().cloned());
+                        add(
+                            lock_id(&a.rel, &held_acq.id),
+                            Edge {
+                                to: lock.clone(),
+                                via_fn: f.name.clone(),
+                                hold_rel: a.rel.clone(),
+                                hold_line: held_acq.line,
+                                steps,
+                                acq_rel: path.rel.clone(),
+                                acq_line: path.line,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: DFS from every node in sorted order; canonical
+    // rotation dedupes each cycle.
+    let mut adj: BTreeMap<&LockId, Vec<&(LockId, LockId)>> = BTreeMap::new();
+    for key in edges.keys() {
+        adj.entry(&key.0).or_default().push(key);
+    }
+    let mut seen_cycles: BTreeSet<Vec<LockId>> = BTreeSet::new();
+    let mut out = Vec::new();
+    let nodes: Vec<&LockId> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack: Vec<&LockId> = vec![start];
+        let mut on_stack: BTreeSet<&LockId> = [start].into();
+        dfs(
+            start,
+            &adj,
+            &mut stack,
+            &mut on_stack,
+            &mut seen_cycles,
+            &edges,
+            &mut out,
+        );
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<'a>(
+    node: &'a LockId,
+    adj: &BTreeMap<&'a LockId, Vec<&'a (LockId, LockId)>>,
+    stack: &mut Vec<&'a LockId>,
+    on_stack: &mut BTreeSet<&'a LockId>,
+    seen: &mut BTreeSet<Vec<LockId>>,
+    edges: &BTreeMap<(LockId, LockId), Edge>,
+    out: &mut Vec<Finding>,
+) {
+    for key in adj.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+        let next = &key.1;
+        if on_stack.contains(next) {
+            // Cycle: the stack slice from `next` to the top.
+            let pos = stack.iter().position(|n| *n == next).unwrap_or(0);
+            let cycle: Vec<LockId> = stack[pos..].iter().map(|s| (*s).clone()).collect();
+            if seen.insert(canonical(&cycle)) {
+                out.push(report(&cycle, edges));
+            }
+            continue;
+        }
+        if adj.contains_key(next) {
+            stack.push(next);
+            on_stack.insert(next);
+            dfs(next, adj, stack, on_stack, seen, edges, out);
+            stack.pop();
+            on_stack.remove(next);
+        }
+    }
+}
+
+/// Rotates a cycle so its lexicographically smallest node leads.
+fn canonical(cycle: &[LockId]) -> Vec<LockId> {
+    let min = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.as_str())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    cycle[min..].iter().chain(&cycle[..min]).cloned().collect()
+}
+
+/// Renders one cycle as a finding anchored at the first edge's hold
+/// site, with every edge's witness path in the message.
+fn report(cycle: &[LockId], edges: &BTreeMap<(LockId, LockId), Edge>) -> Finding {
+    let cycle = canonical(cycle);
+    let ring: Vec<String> = cycle
+        .iter()
+        .chain(cycle.first())
+        .map(|l| format!("`{l}`"))
+        .collect();
+    let mut witnesses = Vec::new();
+    let mut anchor: Option<&Edge> = None;
+    let mut extra_anchors = Vec::new();
+    for (i, from) in cycle.iter().enumerate() {
+        let to = &cycle[(i + 1) % cycle.len()];
+        let Some(e) = edges.get(&(from.clone(), to.clone())) else {
+            continue;
+        };
+        let steps = if e.steps.is_empty() {
+            String::from("then")
+        } else {
+            format!("then {} which", e.steps.join(" which "))
+        };
+        witnesses.push(format!(
+            "`{}` holds `{from}` (acquired {}:{}) {steps} acquires `{to}` ({}:{})",
+            e.via_fn, e.hold_rel, e.hold_line, e.acq_rel, e.acq_line,
+        ));
+        match anchor {
+            None => anchor = Some(e),
+            Some(a) if e.hold_rel == a.hold_rel => extra_anchors.push(e.hold_line),
+            _ => {}
+        }
+    }
+    let (rel, line) = anchor
+        .map(|e| (e.hold_rel.clone(), e.hold_line))
+        .unwrap_or_default();
+    let mut also = extra_anchors;
+    also.sort_unstable();
+    also.dedup();
+    Finding {
+        lint: NAME,
+        severity: Severity::Warn,
+        rel,
+        line,
+        message: format!(
+            "potential deadlock: lock-order cycle {}; {}",
+            ring.join(" -> "),
+            witnesses.join("; "),
+        ),
+        also_allow_at: also,
+    }
+}
+
+/// Fixpoint over the call graph: for each function, which locks can be
+/// acquired by calling it, and through which call chain. Chains cap at
+/// five hops; `BTreeMap` keys keep iteration deterministic.
+fn lockset_fixpoint(
+    analyses: &[FileAnalysis],
+    graph: &Graph,
+) -> HashMap<FnRef, BTreeMap<LockId, AcqPath>> {
+    let mut sets: HashMap<FnRef, BTreeMap<LockId, AcqPath>> = HashMap::new();
+    for (fi, a) in analyses.iter().enumerate() {
+        for (fj, f) in a.flow.iter().enumerate() {
+            let mut set = BTreeMap::new();
+            for acq in &f.acquires {
+                set.entry(lock_id(&a.rel, &acq.id)).or_insert(AcqPath {
+                    chain: Vec::new(),
+                    rel: a.rel.clone(),
+                    line: acq.line,
+                });
+            }
+            sets.insert((fi, fj), set);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (fi, a) in analyses.iter().enumerate() {
+            for (fj, f) in a.flow.iter().enumerate() {
+                let mut additions: Vec<(LockId, AcqPath)> = Vec::new();
+                for (ci, callee) in graph.callees((fi, fj)) {
+                    let Some(set) = sets.get(callee) else {
+                        continue;
+                    };
+                    let own = &sets[&(fi, fj)];
+                    let call = &f.calls[*ci];
+                    let target = &analyses[callee.0].flow[callee.1];
+                    for (lock, path) in set {
+                        if own.contains_key(lock)
+                            || additions.iter().any(|(l, _)| l == lock)
+                            || path.chain.len() >= 5
+                        {
+                            continue;
+                        }
+                        let mut chain =
+                            vec![format!("calls `{}` ({}:{})", target.name, a.rel, call.line)];
+                        chain.extend(path.chain.iter().cloned());
+                        additions.push((
+                            lock.clone(),
+                            AcqPath {
+                                chain,
+                                rel: path.rel.clone(),
+                                line: path.line,
+                            },
+                        ));
+                    }
+                }
+                if !additions.is_empty() {
+                    let own = sets.get_mut(&(fi, fj)).expect("initialized above");
+                    for (lock, path) in additions {
+                        own.entry(lock).or_insert(path);
+                    }
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return sets;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::callgraph;
+
+    fn lint(files: &[(&str, &str)]) -> Vec<Finding> {
+        let analyses: Vec<FileAnalysis> =
+            files.iter().map(|(rel, text)| analyze(rel, text)).collect();
+        let graph = callgraph::build(&analyses);
+        check(&analyses, &graph)
+    }
+
+    #[test]
+    fn cross_file_cycle_is_reported_with_witness() {
+        let f = lint(&[
+            (
+                "crates/obs/src/a.rs",
+                "pub fn forward() {\n    let g = REG.lock().unwrap();\n    take_journal();\n    \
+                 drop(g);\n}\n",
+            ),
+            (
+                "crates/store/src/b.rs",
+                "pub fn take_journal() {\n    let j = JOURNAL.lock().unwrap();\n    drop(j);\n}\n\
+                 pub fn backward() {\n    let j = JOURNAL.lock().unwrap();\n    \
+                 let g = REG.lock().unwrap();\n    use_both(&j, &g);\n}\n",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        let m = &f[0].message;
+        assert!(m.contains("lock-order cycle"), "{m}");
+        assert!(m.contains("`REG`") && m.contains("`JOURNAL`"), "{m}");
+        assert!(
+            m.contains("calls `take_journal` (crates/obs/src/a.rs:3)"),
+            "{m}"
+        );
+        assert!(m.contains("(crates/store/src/b.rs:2)"), "{m}");
+        assert!(m.contains("`backward` holds"), "{m}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let f = lint(&[(
+            "crates/obs/src/a.rs",
+            "pub fn one() {\n    let a = A.lock().unwrap();\n    let b = B.lock().unwrap();\n    \
+             use_both(&a, &b);\n}\npub fn two() {\n    let a = A.lock().unwrap();\n    \
+             let b = B.lock().unwrap();\n    use_both(&a, &b);\n}\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn same_receiver_name_in_different_files_is_not_conflated() {
+        // Both files guard a field called `inner`; opposite local order
+        // would look like a cycle if identities were merged.
+        let f = lint(&[
+            (
+                "crates/obs/src/a.rs",
+                "pub fn x(&self) {\n    let a = self.inner.lock().unwrap();\n    \
+                 let b = self.other.lock().unwrap();\n    go(&a, &b);\n}\n",
+            ),
+            (
+                "crates/store/src/b.rs",
+                "pub fn y(&self) {\n    let b = self.other.lock().unwrap();\n    \
+                 let a = self.inner.lock().unwrap();\n    go2(&b, &a);\n}\n",
+            ),
+        ]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn recursive_self_acquisition_is_reported() {
+        let f = lint(&[(
+            "crates/store/src/a.rs",
+            "pub fn twice() {\n    let a = STATE.lock().unwrap();\n    \
+             let b = STATE.lock().unwrap();\n    go(&a, &b);\n}\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("STATE"), "{}", f[0].message);
+    }
+}

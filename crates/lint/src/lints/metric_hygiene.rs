@@ -47,6 +47,27 @@ struct Site {
     line: u32,
 }
 
+/// Which namespace a call site feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Registry family registration (`.counter(` / `.gauge(` / …).
+    Family,
+    /// History-series sampling (`.record_sample(` / `.track_*(`).
+    Series,
+}
+
+/// One literal-named call site, extracted per file so the workspace
+/// cross-check can run over cached per-file results.
+#[derive(Debug, Clone)]
+pub struct MetricSite {
+    /// Namespace category.
+    pub kind: MetricKind,
+    /// The literal name passed at the call.
+    pub name: String,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
 /// The vocabulary of one namespace category: how its names enter code
 /// and how the lint talks about them.
 struct Category {
@@ -77,43 +98,32 @@ const SERIES: Category = Category {
 /// workspace-relative path and content of DESIGN.md, when present.
 pub fn check(files: &[SourceFile], design: Option<(&str, &str)>) -> Vec<Finding> {
     let mut out = Vec::new();
-    let family_sites = collect_sites(files, &FAMILIES, &mut out);
-    let series_sites = collect_sites(files, &SERIES, &mut out);
-
-    let (documented_families, documented_series) = match design {
-        Some((_, text)) => design_tables(text),
-        None => (BTreeMap::new(), BTreeMap::new()),
-    };
-
-    cross_check(
-        &FAMILIES,
-        &family_sites,
-        &documented_families,
-        design.map(|(rel, _)| rel),
-        &mut out,
-    );
-    cross_check(
-        &SERIES,
-        &series_sites,
-        &documented_series,
-        design.map(|(rel, _)| rel),
-        &mut out,
-    );
+    let mut per_file: Vec<(String, Vec<MetricSite>)> = Vec::new();
+    for file in files {
+        let (sites, findings) = extract(file);
+        out.extend(findings);
+        per_file.push((file.rel.clone(), sites));
+    }
+    let borrowed: Vec<(&str, &[MetricSite])> = per_file
+        .iter()
+        .map(|(rel, s)| (rel.as_str(), s.as_slice()))
+        .collect();
+    out.extend(cross_check_all(&borrowed, design));
     out
 }
 
-/// Finds every call site of a category's patterns in library code,
-/// flagging non-literal names and returning the literal ones.
-fn collect_sites(
-    files: &[SourceFile],
-    category: &Category,
-    out: &mut Vec<Finding>,
-) -> BTreeMap<String, Vec<Site>> {
-    let mut sites: BTreeMap<String, Vec<Site>> = BTreeMap::new();
-    for file in files {
-        if file.role != Role::Lib {
-            continue;
-        }
+/// Extracts one file's literal-named call sites, plus the findings for
+/// non-literal names. Line-local, so results cache per file.
+pub fn extract(file: &SourceFile) -> (Vec<MetricSite>, Vec<Finding>) {
+    let mut sites = Vec::new();
+    let mut out = Vec::new();
+    if file.role != Role::Lib {
+        return (sites, out);
+    }
+    for (category, kind) in [
+        (&FAMILIES, MetricKind::Family),
+        (&SERIES, MetricKind::Series),
+    ] {
         for pat in category.patterns {
             for off in super::find_all(&file.lexed.masked, pat) {
                 let line = file.line_of_offset(off);
@@ -122,10 +132,7 @@ fn collect_sites(
                 }
                 let open = off + pat.len();
                 match first_arg_literal(file, open) {
-                    Some(name) => sites.entry(name).or_default().push(Site {
-                        rel: file.rel.clone(),
-                        line,
-                    }),
+                    Some(name) => sites.push(MetricSite { kind, name, line }),
                     None => out.push(Finding::new(
                         NAME,
                         Severity::Error,
@@ -141,7 +148,50 @@ fn collect_sites(
             }
         }
     }
-    sites
+    (sites, out)
+}
+
+/// The workspace-level single-owner and DESIGN.md cross-checks over
+/// every file's extracted sites (in file order — the first site of a
+/// name owns it).
+pub fn cross_check_all(
+    files: &[(&str, &[MetricSite])],
+    design: Option<(&str, &str)>,
+) -> Vec<Finding> {
+    let mut family_sites: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+    let mut series_sites: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+    for (rel, sites) in files {
+        for s in *sites {
+            let map = match s.kind {
+                MetricKind::Family => &mut family_sites,
+                MetricKind::Series => &mut series_sites,
+            };
+            map.entry(s.name.clone()).or_default().push(Site {
+                rel: (*rel).to_string(),
+                line: s.line,
+            });
+        }
+    }
+    let (documented_families, documented_series) = match design {
+        Some((_, text)) => design_tables(text),
+        None => (BTreeMap::new(), BTreeMap::new()),
+    };
+    let mut out = Vec::new();
+    cross_check(
+        &FAMILIES,
+        &family_sites,
+        &documented_families,
+        design.map(|(rel, _)| rel),
+        &mut out,
+    );
+    cross_check(
+        &SERIES,
+        &series_sites,
+        &documented_series,
+        design.map(|(rel, _)| rel),
+        &mut out,
+    );
+    out
 }
 
 /// The bidirectional code ↔ DESIGN.md check for one category.

@@ -14,11 +14,14 @@
 //!   `#[cfg(test)]` regions is checked unless a lint says otherwise —
 //!   tests, benches, examples and binaries may panic and time freely.
 
+pub mod durability;
 pub mod hot_alloc;
 pub mod lock_hold;
+pub mod lock_order;
 pub mod metric_hygiene;
 pub mod panic_freedom;
 pub mod pragmas;
+pub mod thread_leak;
 pub mod timing;
 pub mod unsafe_allowlist;
 
@@ -44,7 +47,7 @@ impl Severity {
 }
 
 /// One lint violation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Lint name (kebab-case, as accepted by `lint:allow`).
     pub lint: &'static str,
@@ -114,6 +117,21 @@ pub const CATALOG: &[(&str, Severity, &str)] = &[
         "no to_string/String::from/format! in loop bodies of parsers or the parallel driver",
     ),
     (
+        "lock-order-cycle",
+        Severity::Warn,
+        "no lock-order cycles across the workspace call graph (potential deadlock)",
+    ),
+    (
+        "durability-discipline",
+        Severity::Error,
+        "create/write->rename publish paths fsync file and directory, or name their flush tier",
+    ),
+    (
+        "thread-leak",
+        Severity::Warn,
+        "every thread::spawn/Builder::spawn handle is joined or carries a reasoned detach pragma",
+    ),
+    (
         "bad-pragma",
         Severity::Error,
         "lint:allow pragmas must name a known lint and carry a reason",
@@ -123,6 +141,15 @@ pub const CATALOG: &[(&str, Severity, &str)] = &[
 /// True when `name` is a lint `lint:allow` may reference.
 pub fn known_lint(name: &str) -> bool {
     CATALOG.iter().any(|(n, _, _)| *n == name)
+}
+
+/// The catalog's `&'static str` for `name`, used when rehydrating
+/// findings from the analysis cache.
+pub fn static_name(name: &str) -> Option<&'static str> {
+    CATALOG
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(n, _, _)| *n)
 }
 
 /// Hot-path scope shared by panic-freedom and lock-channel-hold.

@@ -1,0 +1,302 @@
+//! `thread-leak`: every spawned thread has a joining owner.
+//!
+//! The store's compactor, the obs metrics server and the ingest shard
+//! workers are all long-lived `thread::spawn` / `thread::Builder`
+//! threads — and each is joined on shutdown, which is exactly what
+//! keeps SIGTERM clean and test runs deterministic. This lint makes
+//! that a checked contract: a spawn's `JoinHandle` must either
+//!
+//! * be **joined inside the spawning function**,
+//! * **escape** (returned, stored in a struct, pushed to a vec) into a
+//!   file that demonstrably joins handles somewhere (`.join(` on a
+//!   non-test line — the `Drop`/`stop()` owner pattern), or
+//! * carry a reasoned `lint:allow(thread-leak)` pragma documenting an
+//!   intentional detach.
+//!
+//! Scoped threads (`thread::scope`'s `scope.spawn`) join themselves and
+//! are exempt, as are `Command::spawn` child processes (the jobs
+//! coordinator reaps those through its scheduler).
+
+use super::{find_all, Finding, Severity};
+use crate::flow::FnFlow;
+use crate::source::{Role, SourceFile};
+
+const NAME: &str = "thread-leak";
+
+/// Runs the lint over one file's flow summaries.
+pub fn check(file: &SourceFile, flows: &[FnFlow]) -> Vec<Finding> {
+    if file.role != Role::Lib {
+        return Vec::new();
+    }
+    let masked = &file.lexed.masked;
+    let file_has_join = (1..=file.line_count() as u32)
+        .any(|n| !file.is_test_line(n) && file.masked_line(n).contains(".join("));
+
+    let mut out = Vec::new();
+    for flow in flows {
+        let (start, end) = flow.body_span;
+        if end <= start || end > masked.len() {
+            continue;
+        }
+        let body = &masked[start..end];
+        let mut sites: Vec<usize> = find_all(body, "thread::spawn(")
+            .into_iter()
+            .map(|o| start + o + "thread::spawn".len())
+            .collect();
+        for o in find_all(body, ".spawn(") {
+            let abs = start + o;
+            let stmt = statement_before(masked, abs);
+            if stmt.contains("Command") {
+                continue; // child process, reaped elsewhere
+            }
+            if !stmt.contains("thread::Builder") && !stmt.contains("thread::spawn") {
+                continue; // scoped spawn or unrelated `.spawn(` method
+            }
+            sites.push(abs + ".spawn".len());
+        }
+        sites.sort_unstable();
+        sites.dedup();
+        for open in sites {
+            if let Some(f) = judge_site(file, flow, open, file_has_join) {
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+/// Examines one spawn call (its `(` at `open`) and returns a finding
+/// when the handle provably leaks.
+fn judge_site(
+    file: &SourceFile,
+    flow: &FnFlow,
+    open: usize,
+    file_has_join: bool,
+) -> Option<Finding> {
+    let masked = &file.lexed.masked;
+    let line = file.line_of_offset(open);
+    if file.is_test_line(line) {
+        return None;
+    }
+    let stmt = statement_before(masked, open);
+    let finding = |msg: String| {
+        let mut f = Finding::new(NAME, Severity::Warn, file, line, msg);
+        f.also_allow_at = vec![flow.start_line];
+        Some(f)
+    };
+
+    // `handles.push(thread::Builder…spawn(…))` — the handle escapes
+    // into a collection; require a join somewhere in this file.
+    if stmt.contains(".push(") {
+        if file_has_join {
+            return None;
+        }
+        return finding(format!(
+            "thread handle spawned in `{}` escapes into a collection, but nothing in \
+             this file ever joins (`.join(`); join the handles on shutdown or bless an \
+             intentional detach with a pragma",
+            flow.name
+        ));
+    }
+
+    // `let handle = …spawn(…)` — track the binding through the rest of
+    // the function body.
+    if let Some(ident) = let_binding(&stmt) {
+        let rest = &masked[open..flow.body_span.1.min(masked.len())];
+        let mut seen = false;
+        for occ in ident_sites(rest, &ident) {
+            seen = true;
+            if rest[occ + ident.len()..].trim_start().starts_with(".join(") {
+                return None; // joined in-function
+            }
+        }
+        if seen {
+            // Escapes (returned, stored in a struct, moved elsewhere).
+            if file_has_join {
+                return None;
+            }
+            return finding(format!(
+                "thread handle `{ident}` escapes `{}`, but nothing in this file ever \
+                 joins (`.join(`); give the handle a joining owner or bless an \
+                 intentional detach with a pragma",
+                flow.name
+            ));
+        }
+        return finding(format!(
+            "thread handle `{ident}` is never joined and never escapes `{}`; the \
+             thread detaches when the handle drops — join it or bless an intentional \
+             detach with a pragma",
+            flow.name
+        ));
+    }
+
+    // Neither a binding nor a push: follow the call chain forward. A
+    // `;` terminator drops the handle on the floor; anything else
+    // (tail expression, struct field, argument) escapes.
+    match chain_terminator(masked, open) {
+        Some(b';') => finding(format!(
+            "spawned thread's JoinHandle is discarded in `{}`; the thread detaches \
+             immediately — bind and join it, or bless an intentional detach with a \
+             pragma",
+            flow.name
+        )),
+        _ => {
+            if file_has_join {
+                None
+            } else {
+                finding(format!(
+                    "thread handle escapes `{}` as an expression, but nothing in this \
+                     file ever joins (`.join(`); give it a joining owner or bless an \
+                     intentional detach with a pragma",
+                    flow.name
+                ))
+            }
+        }
+    }
+}
+
+/// The statement text strictly before `off` (back to the nearest `;`,
+/// `{` or `}`).
+fn statement_before(masked: &str, off: usize) -> String {
+    let bytes = masked.as_bytes();
+    let mut i = off;
+    while i > 0 && !matches!(bytes[i - 1], b';' | b'{' | b'}') {
+        i -= 1;
+    }
+    masked[i..off].to_string()
+}
+
+/// The `let` identifier opening `stmt`, if the statement is a binding.
+fn let_binding(stmt: &str) -> Option<String> {
+    let t = stmt.trim_start();
+    let after = t.strip_prefix("let ")?;
+    let after = after.trim_start();
+    let after = after.strip_prefix("mut ").unwrap_or(after);
+    let ident: String = after
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Word-boundary occurrences of `ident` in `hay`.
+fn ident_sites(hay: &str, ident: &str) -> Vec<usize> {
+    let bytes = hay.as_bytes();
+    find_all(hay, ident)
+        .into_iter()
+        .filter(|&o| {
+            let before = o == 0 || !(bytes[o - 1].is_ascii_alphanumeric() || bytes[o - 1] == b'_');
+            let after = o + ident.len();
+            let after_ok = after >= bytes.len()
+                || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+            before && after_ok
+        })
+        .collect()
+}
+
+/// Follows the method chain after the call whose `(` sits at `open`
+/// (`.name(…)`, `?`) and returns the terminating byte.
+fn chain_terminator(masked: &str, open: usize) -> Option<u8> {
+    let bytes = masked.as_bytes();
+    let mut j = close_paren(bytes, open) + 1;
+    loop {
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        match bytes.get(j) {
+            Some(b'?') => j += 1,
+            Some(b'.') => {
+                j += 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'(') {
+                    j = close_paren(bytes, j) + 1;
+                }
+            }
+            other => return other.copied(),
+        }
+    }
+}
+
+fn close_paren(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    bytes.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let file = SourceFile::new("crates/obs/src/x.rs", src);
+        let flows = flow::extract(&file);
+        check(&file, &flows)
+    }
+
+    #[test]
+    fn discarded_handle_is_flagged() {
+        let f = lint("fn f() {\n    std::thread::spawn(|| work());\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("discarded"), "{}", f[0].message);
+        assert_eq!(f[0].also_allow_at, vec![1]);
+    }
+
+    #[test]
+    fn joined_and_escaping_handles_are_clean() {
+        let joined =
+            lint("fn f() {\n    let h = std::thread::spawn(work);\n    h.join().ok();\n}\n");
+        assert!(joined.is_empty(), "{joined:?}");
+        let escaping = lint(
+            "fn f() -> Server {\n    let h = std::thread::Builder::new().spawn(work).unwrap();\n    \
+             Server { h: Some(h) }\n}\nimpl Server {\n    fn stop(&mut self) {\n        \
+             if let Some(h) = self.h.take() { let _ = h.join(); }\n    }\n}\n",
+        );
+        assert!(escaping.is_empty(), "{escaping:?}");
+    }
+
+    #[test]
+    fn bound_but_never_joined_is_flagged() {
+        let f = lint("fn f() {\n    let h = std::thread::spawn(work);\n    other();\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`h`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn scoped_and_process_spawns_are_exempt() {
+        let f = lint(
+            "fn f() {\n    std::thread::scope(|scope| {\n        scope.spawn(|| work());\n    });\n    \
+             let child = std::process::Command::new(\"x\").spawn().unwrap();\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn tail_expression_handle_escapes_cleanly_when_file_joins() {
+        let f = lint(
+            "fn start() -> JoinHandle<()> {\n    let t = {\n        let cfg = 1;\n        \
+             std::thread::Builder::new().spawn(move || run(cfg)).unwrap()\n    };\n    t\n}\n\
+             fn stop(h: JoinHandle<()>) { let _ = h.join(); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

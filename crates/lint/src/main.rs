@@ -1,18 +1,24 @@
 //! Command line for the workspace linter.
 //!
 //! ```text
-//! logparse-lint --workspace [--root PATH] [--json] [--deny warnings] [PATH…]
+//! logparse-lint --workspace [--root PATH] [--json] [--deny warnings]
+//!               [--stats] [--sarif PATH] [--no-cache] [PATH…]
 //! logparse-lint --list
 //! ```
 //!
 //! Positional paths filter the *reported* findings to files whose
 //! workspace-relative path starts with one of them; analysis always
 //! covers the whole workspace so cross-file lints stay sound.
+//!
+//! Per-file analyses are cached under `<root>/target/lint-cache`
+//! (content-hash keyed; `--no-cache` bypasses it). `--stats` prints
+//! phase timings, cache hit counts and call-graph coverage to stderr so
+//! CI logs show cache effectiveness.
 
 #![forbid(unsafe_code)]
 
 use logparse_lint::lints::CATALOG;
-use logparse_lint::{is_fatal, report, run_workspace};
+use logparse_lint::{is_fatal, report, run_workspace_stats};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,6 +27,9 @@ struct Args {
     json: bool,
     deny_warnings: bool,
     list: bool,
+    stats: bool,
+    no_cache: bool,
+    sarif: Option<PathBuf>,
     only: Vec<String>,
 }
 
@@ -30,6 +39,9 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         deny_warnings: false,
         list: false,
+        stats: false,
+        no_cache: false,
+        sarif: None,
         only: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -51,6 +63,14 @@ fn parse_args() -> Result<Args, String> {
                 args.deny_warnings = true;
             }
             "--list" => args.list = true,
+            "--stats" => args.stats = true,
+            "--no-cache" => args.no_cache = true,
+            "--sarif" => {
+                args.sarif = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--sarif needs a path".to_string())?,
+                ));
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -62,7 +82,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str = "usage: logparse-lint [--workspace] [--root PATH] [--json] \
-                     [--deny warnings] [--list] [PATH…]";
+                     [--deny warnings] [--stats] [--sarif PATH] [--no-cache] \
+                     [--list] [PATH…]";
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -82,8 +103,14 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let mut findings = match run_workspace(&args.root) {
-        Ok(f) => f,
+    let cache_dir = args.root.join("target/lint-cache");
+    let cache = if args.no_cache {
+        None
+    } else {
+        Some(cache_dir.as_path())
+    };
+    let (mut findings, stats) = match run_workspace_stats(&args.root, cache) {
+        Ok(out) => out,
         Err(e) => {
             eprintln!(
                 "lint: cannot walk workspace at {}: {e}",
@@ -95,10 +122,34 @@ fn main() -> ExitCode {
     if !args.only.is_empty() {
         findings.retain(|f| args.only.iter().any(|p| f.rel.starts_with(p.as_str())));
     }
+    if let Some(path) = &args.sarif {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, report::sarif(&findings, args.deny_warnings)) {
+            eprintln!("lint: cannot write SARIF to {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if args.json {
         print!("{}", report::json(&findings));
     } else {
         print!("{}", report::human(&findings, args.deny_warnings));
+    }
+    if args.stats {
+        eprintln!(
+            "lint --stats: {} files ({} cache hits, {} misses), {} fns, \
+             calls {} resolved / {} unresolved, analyze {}ms + graph {}ms = {}ms",
+            stats.files,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.functions,
+            stats.resolved_calls,
+            stats.unresolved_calls,
+            stats.analyze_ms,
+            stats.graph_ms,
+            stats.total_ms,
+        );
     }
     if !findings.is_empty() && is_fatal(&findings, args.deny_warnings) {
         ExitCode::FAILURE

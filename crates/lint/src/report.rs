@@ -1,6 +1,7 @@
-//! Finding output: rustc-style human text and a JSON array.
+//! Finding output: rustc-style human text, a JSON array, and SARIF
+//! 2.1.0 for code-scanning upload.
 
-use crate::lints::{Finding, Severity};
+use crate::lints::{Finding, Severity, CATALOG};
 use std::fmt::Write;
 
 /// Renders findings rustc-style, one block per finding, plus a summary
@@ -49,6 +50,52 @@ pub fn json(findings: &[Finding]) -> String {
     }
     out.push_str("]\n");
     out
+}
+
+/// Renders findings as a SARIF 2.1.0 log (the shape GitHub code
+/// scanning ingests): one run, the lint catalog as the driver's rules,
+/// one result per finding. `deny_warnings` promotes warning-level
+/// results to error, matching the exit code.
+pub fn sarif(findings: &[Finding], deny_warnings: bool) -> String {
+    let mut rules = String::new();
+    for (i, (name, _, what)) in CATALOG.iter().enumerate() {
+        if i > 0 {
+            rules.push(',');
+        }
+        let _ = write!(
+            rules,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            escape(name),
+            escape(what)
+        );
+    }
+    let mut results = String::new();
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        let level = match (f.severity, deny_warnings) {
+            (Severity::Warn, false) => "warning",
+            _ => "error",
+        };
+        let _ = write!(
+            results,
+            "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            escape(f.lint),
+            escape(level),
+            escape(&f.message),
+            escape(&f.rel),
+            f.line.max(1)
+        );
+    }
+    format!(
+        "{{\"version\":\"2.1.0\",\"$schema\":\
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{{\"tool\":\
+         {{\"driver\":{{\"name\":\"logparse-lint\",\"rules\":[{rules}]}}}},\
+         \"results\":[{results}]}}]}}\n"
+    )
 }
 
 fn escape(s: &str) -> String {

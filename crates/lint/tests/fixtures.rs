@@ -23,6 +23,16 @@ fn lint_as(rel: &str, fixture_name: &str) -> Vec<Finding> {
     run_files(&[(rel.to_string(), fixture(fixture_name))], None)
 }
 
+/// Lints several fixtures together — the multi-file shape the
+/// call-graph lints need.
+fn lint_many(files: &[(&str, &str)]) -> Vec<Finding> {
+    let loaded: Vec<(String, String)> = files
+        .iter()
+        .map(|(rel, name)| (rel.to_string(), fixture(name)))
+        .collect();
+    run_files(&loaded, None)
+}
+
 fn lint_names(findings: &[Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.lint).collect()
 }
@@ -204,6 +214,111 @@ fn hot_path_string_alloc_fires_in_parser_loops_only() {
     assert!(clean.is_empty(), "post-loop rendering is fine: {clean:?}");
     let blessed = lint_as("crates/parsers/src/fixture.rs", "hot_alloc/blessed.rs");
     assert!(blessed.is_empty(), "pragma suppresses: {blessed:?}");
+}
+
+#[test]
+fn lock_order_cycle_fires_across_files_with_witness() {
+    let out = lint_many(&[
+        ("crates/obs/src/fixture.rs", "lock_order/violation_a.rs"),
+        ("crates/store/src/fixture.rs", "lock_order/violation_b.rs"),
+    ]);
+    assert_eq!(lint_names(&out), vec!["lock-order-cycle"], "{out:?}");
+    assert_eq!(out[0].severity, Severity::Warn);
+    let m = &out[0].message;
+    assert!(m.contains("lock-order cycle"), "{m}");
+    assert!(m.contains("`REG`") && m.contains("`JOURNAL`"), "{m}");
+    // The witness path must cross files: the forward edge calls into
+    // the other fixture and names both acquisition sites.
+    assert!(
+        m.contains("calls `take_journal` (crates/obs/src/fixture.rs:"),
+        "{m}"
+    );
+    assert!(m.contains("crates/store/src/fixture.rs:"), "{m}");
+}
+
+#[test]
+fn lock_order_consistent_twin_and_blessed_twin_are_clean() {
+    let clean = lint_many(&[
+        ("crates/obs/src/fixture.rs", "lock_order/clean_a.rs"),
+        ("crates/store/src/fixture.rs", "lock_order/clean_b.rs"),
+    ]);
+    assert!(clean.is_empty(), "consistent order: {clean:?}");
+
+    let blessed = lint_many(&[
+        ("crates/obs/src/fixture.rs", "lock_order/blessed_a.rs"),
+        ("crates/store/src/fixture.rs", "lock_order/blessed_b.rs"),
+    ]);
+    assert!(blessed.is_empty(), "pragma on the hold site: {blessed:?}");
+}
+
+#[test]
+fn durability_discipline_fires_on_unsynced_rename() {
+    let out = lint_as("crates/store/src/fixture.rs", "durability/violation.rs");
+    assert_eq!(lint_names(&out), vec!["durability-discipline"], "{out:?}");
+    assert_eq!(out[0].severity, Severity::Error);
+    assert!(out[0].message.contains("sync_all"), "{}", out[0].message);
+    assert!(out[0].message.contains("sync_dir"), "{}", out[0].message);
+    assert!(
+        out[0].message.contains("docs/DURABILITY.md"),
+        "{}",
+        out[0].message
+    );
+
+    // Same bytes outside the persistence crates: out of scope.
+    let cold = lint_as("crates/parsers/src/fixture.rs", "durability/violation.rs");
+    assert!(cold.is_empty(), "{cold:?}");
+}
+
+#[test]
+fn durability_discipline_proves_the_cross_file_path_to_rename() {
+    let out = lint_many(&[
+        (
+            "crates/jobs/src/fixture.rs",
+            "durability/violation_caller.rs",
+        ),
+        ("crates/store/src/seal.rs", "durability/seal.rs"),
+    ]);
+    assert_eq!(lint_names(&out), vec!["durability-discipline"], "{out:?}");
+    let m = &out[0].message;
+    assert_eq!(out[0].rel, "crates/jobs/src/fixture.rs");
+    assert!(m.contains("creates directories"), "{m}");
+    assert!(
+        m.contains("`seal` (crates/jobs/src/fixture.rs:"),
+        "witness must show the call hop: {m}"
+    );
+    assert!(
+        m.contains("crates/store/src/seal.rs:"),
+        "witness must name the rename site: {m}"
+    );
+}
+
+#[test]
+fn durability_clean_and_blessed_twins_are_silent() {
+    let clean = lint_as("crates/store/src/fixture.rs", "durability/clean.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+    let blessed = lint_as("crates/store/src/fixture.rs", "durability/blessed.rs");
+    assert!(blessed.is_empty(), "flush-tier pragma: {blessed:?}");
+}
+
+#[test]
+fn thread_leak_fires_on_dropped_handles_and_respects_pragma() {
+    let out = lint_as("crates/obs/src/fixture.rs", "thread_leak/violation.rs");
+    assert_eq!(
+        lint_names(&out),
+        vec!["thread-leak", "thread-leak"],
+        "{out:?}"
+    );
+    assert!(out[0].message.contains("discarded"), "{}", out[0].message);
+    assert!(out[1].message.contains("`handle`"), "{}", out[1].message);
+
+    let clean = lint_as("crates/obs/src/fixture.rs", "thread_leak/clean.rs");
+    assert!(clean.is_empty(), "{clean:?}");
+    let blessed = lint_as("crates/obs/src/fixture.rs", "thread_leak/blessed.rs");
+    assert!(blessed.is_empty(), "detach pragma: {blessed:?}");
+
+    // Binaries manage their own lifetimes; the lint is library-scoped.
+    let bin = lint_as("crates/cli/src/bin/fixture.rs", "thread_leak/violation.rs");
+    assert!(bin.is_empty(), "{bin:?}");
 }
 
 #[test]

@@ -1,0 +1,8 @@
+// Blessed twin: the publish is deliberately flush-tier and says so.
+// lint:allow(durability-discipline): scratch artifacts are flush-tier by contract — rebuilt from the journal after power loss (docs/DURABILITY.md)
+pub fn publish(p: &Path) -> io::Result<()> {
+    let tmp = p.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(b"payload")?;
+    fs::rename(&tmp, p)
+}

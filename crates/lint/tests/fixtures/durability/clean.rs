@@ -1,0 +1,19 @@
+// Compliant twin: dir creation is pinned and the publish path syncs
+// both the file bytes and the directory entry before/after the rename.
+pub fn run(dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    sync_dir(dir)?;
+    seal(&dir.join("out.bin"), b"payload")
+}
+
+pub fn seal(p: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = p.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fs::rename(&tmp, p)?;
+    if let Some(parent) = p.parent() {
+        sync_dir(parent)?;
+    }
+    Ok(())
+}

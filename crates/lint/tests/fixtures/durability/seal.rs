@@ -1,0 +1,13 @@
+// Compliant publisher used as the rename target of the rule-B caller
+// fixture: file bytes synced, rename, then the parent entry synced.
+pub fn seal(p: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = p.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fs::rename(&tmp, p)?;
+    if let Some(parent) = p.parent() {
+        sync_dir(parent)?;
+    }
+    Ok(())
+}

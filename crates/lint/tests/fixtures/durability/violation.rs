@@ -1,0 +1,9 @@
+// Seeded rule-A violation: publishes by rename but never syncs the
+// file's bytes or the directory entry — SIGKILL-safe, not
+// power-loss-safe.
+pub fn publish(p: &Path) -> io::Result<()> {
+    let tmp = p.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(b"payload")?;
+    fs::rename(&tmp, p)
+}

@@ -1,0 +1,7 @@
+// Seeded rule-B violation: creates directories on a durable publish
+// path (it reaches `fs::rename` through `seal` in the twin fixture)
+// without ever pinning the created entries with `sync_dir`.
+pub fn run(dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    seal(&dir.join("out.bin"), b"payload")
+}

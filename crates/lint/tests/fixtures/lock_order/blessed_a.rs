@@ -1,0 +1,7 @@
+// Blessed twin of the violation pair — the cycle is real but the
+// conflicting hold site in the other file carries a reasoned pragma.
+pub fn forward() {
+    let g = REG.lock().unwrap_or_else(|e| e.into_inner());
+    take_journal();
+    drop(g);
+}

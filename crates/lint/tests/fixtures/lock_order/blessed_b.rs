@@ -1,0 +1,13 @@
+// Blessed twin: the inconsistent hold site is blessed with a reasoned
+// pragma on the acquisition the finding anchors to.
+pub fn take_journal() {
+    let j = JOURNAL.lock().unwrap_or_else(|e| e.into_inner());
+    drop(j);
+}
+
+pub fn backward() {
+    // lint:allow(lock-order-cycle): backward runs only at startup before forward's thread exists
+    let j = JOURNAL.lock().unwrap_or_else(|e| e.into_inner());
+    let g = REG.lock().unwrap_or_else(|e| e.into_inner());
+    use_both(&j, &g);
+}

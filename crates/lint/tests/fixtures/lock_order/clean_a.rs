@@ -1,0 +1,7 @@
+// Compliant twin: both files take `REG` before `JOURNAL`, so the
+// lock-order graph has edges in one direction only — no cycle.
+pub fn forward() {
+    let g = REG.lock().unwrap_or_else(|e| e.into_inner());
+    take_journal();
+    drop(g);
+}

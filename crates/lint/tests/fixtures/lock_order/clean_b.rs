@@ -1,0 +1,11 @@
+// Compliant twin: same REG-then-JOURNAL order as the other file.
+pub fn take_journal() {
+    let j = JOURNAL.lock().unwrap_or_else(|e| e.into_inner());
+    drop(j);
+}
+
+pub fn backward() {
+    let g = REG.lock().unwrap_or_else(|e| e.into_inner());
+    let j = JOURNAL.lock().unwrap_or_else(|e| e.into_inner());
+    use_both(&j, &g);
+}

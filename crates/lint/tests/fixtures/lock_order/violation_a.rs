@@ -1,0 +1,8 @@
+// Seeded half of a cross-file lock-order cycle: `forward` holds the
+// workspace-global `REG` static while calling into the other file,
+// which acquires `JOURNAL`. The twin file takes them the other way.
+pub fn forward() {
+    let g = REG.lock().unwrap_or_else(|e| e.into_inner());
+    take_journal();
+    drop(g);
+}

@@ -1,0 +1,12 @@
+// Second half of the seeded cycle: `backward` holds `JOURNAL` while
+// acquiring `REG` — the opposite order from `forward` in the twin file.
+pub fn take_journal() {
+    let j = JOURNAL.lock().unwrap_or_else(|e| e.into_inner());
+    drop(j);
+}
+
+pub fn backward() {
+    let j = JOURNAL.lock().unwrap_or_else(|e| e.into_inner());
+    let g = REG.lock().unwrap_or_else(|e| e.into_inner());
+    use_both(&j, &g);
+}

@@ -1,0 +1,5 @@
+// Blessed twin: a deliberate detach with the reason recorded.
+// lint:allow(thread-leak): telemetry flusher is detach-by-design — it exits with the process and owns no state anyone waits on
+pub fn fire_and_forget() {
+    std::thread::spawn(|| background_work());
+}

@@ -1,0 +1,31 @@
+// Compliant twin: in-function join, the escape-into-owner pattern with
+// a joining `stop()`, a scoped spawn, and a child process — all clean.
+pub fn join_inline() {
+    let handle = std::thread::spawn(background_work);
+    let _ = handle.join();
+}
+
+pub fn start() -> io::Result<Server> {
+    let h = std::thread::Builder::new()
+        .name("worker".into())
+        .spawn(background_work)?;
+    Ok(Server { handle: Some(h) })
+}
+
+impl Server {
+    pub fn stop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+pub fn scoped() {
+    std::thread::scope(|scope| {
+        scope.spawn(|| background_work());
+    });
+}
+
+pub fn child_process() -> io::Result<Child> {
+    std::process::Command::new("true").spawn()
+}

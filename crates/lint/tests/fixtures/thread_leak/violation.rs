@@ -1,0 +1,10 @@
+// Seeded thread-leak violations: one handle discarded on the floor,
+// one bound but never joined and never escaping.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| background_work());
+}
+
+pub fn bind_and_drop() {
+    let handle = std::thread::spawn(background_work);
+    other_work();
+}

@@ -1,0 +1,156 @@
+//! Degenerate-token-stream regressions for the surface lexer.
+//!
+//! The lexer's contract is structural, not semantic: for **any** input
+//! — truncated raw strings, absurd hash counts, unbalanced nested
+//! block comments — it must terminate, and the masked view must keep
+//! the exact byte length and newline positions of the input (every
+//! downstream line/offset computation depends on that alignment).
+//! The corpus below is fuzz-ish by construction: each entry is a
+//! minimal degenerate stream that once hung, or plausibly could hang,
+//! a byte-oriented scanner.
+
+use logparse_lint::lexer::lex;
+
+/// The invariants every input must satisfy, however broken.
+fn check_invariants(input: &str) {
+    let lexed = lex(input);
+    assert_eq!(
+        lexed.masked.len(),
+        input.len(),
+        "masked view must keep byte length: {input:?}"
+    );
+    let in_newlines: Vec<usize> = input
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| *b == b'\n')
+        .map(|(i, _)| i)
+        .collect();
+    let out_newlines: Vec<usize> = lexed
+        .masked
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| *b == b'\n')
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        in_newlines, out_newlines,
+        "newline offsets must survive masking: {input:?}"
+    );
+}
+
+#[test]
+fn degenerate_streams_terminate_with_invariants_intact() {
+    let corpus = [
+        // Raw-string openers cut off at every interesting point.
+        "r#\"",
+        "r#\"unterminated to EOF",
+        "r#\"almost closed\"",
+        "r###\"needs three\"##",
+        "br##\"byte raw, short close\"#",
+        "r\"",
+        "br\"",
+        // Hash runs with no string at all.
+        "r#####",
+        "let x = r###;",
+        // Plain/byte strings and chars cut at EOF.
+        "\"unterminated",
+        "b\"",
+        "\"ends in backslash\\",
+        "'",
+        "b'",
+        "'\\",
+        // Block comments: unterminated, nested-unterminated, trailing
+        // close with no open.
+        "/*",
+        "/* /* nested, never closed",
+        "/* */ */",
+        "/* \n * multi\n * line\n",
+        // Pathological but terminating mixtures.
+        "r#\"a\"# r#\"b\"# r#\"",
+        "fn f() { let s = \"x\"; } /* tail",
+        "// line comment with r#\" inside",
+        "b db rb r b\"\" r\"\"",
+    ];
+    for input in corpus {
+        check_invariants(input);
+    }
+    // The same streams embedded mid-file, with code on both sides, so
+    // truncation interacts with earlier state.
+    for input in corpus {
+        let embedded = format!("fn before() {{}}\nstatic S: u8 = 0;\n{input}");
+        check_invariants(&embedded);
+    }
+}
+
+#[test]
+fn deeply_nested_block_comments_terminate() {
+    let mut input = String::new();
+    for _ in 0..200 {
+        input.push_str("/* ");
+    }
+    input.push_str("core");
+    for _ in 0..199 {
+        // One close short: still unbalanced at EOF.
+        input.push_str(" */");
+    }
+    check_invariants(&input);
+    let lexed = lex(&input);
+    assert!(
+        !lexed.masked.contains("core"),
+        "unbalanced comment interior must stay masked"
+    );
+}
+
+#[test]
+fn raw_string_hash_counts_bind_exactly() {
+    // An inner `"#` must not close an `r##` string.
+    let lexed = lex("let s = r##\"has \"# inside\"##;");
+    assert_eq!(lexed.strings.len(), 1);
+    assert_eq!(lexed.strings[0].content, "has \"# inside");
+
+    // Extra hashes after the real close are ordinary code bytes.
+    let lexed = lex("let s = r#\"x\"##;");
+    assert_eq!(lexed.strings.len(), 1);
+    assert_eq!(lexed.strings[0].content, "x");
+    assert!(
+        lexed.masked.ends_with("#;"),
+        "trailing hash stays code: {:?}",
+        lexed.masked
+    );
+
+    // 100 hashes on both sides round-trip.
+    let hashes = "#".repeat(100);
+    let input = format!("r{hashes}\"payload\"{hashes}");
+    check_invariants(&input);
+    let lexed = lex(&input);
+    assert_eq!(lexed.strings.len(), 1);
+    assert_eq!(lexed.strings[0].content, "payload");
+}
+
+#[test]
+fn raw_strings_hide_comment_markers_and_vice_versa() {
+    let lexed = lex("let s = r\"// not a comment /* either\";");
+    assert!(lexed.comments.is_empty(), "{:?}", lexed.comments);
+    assert_eq!(lexed.strings.len(), 1);
+
+    let lexed = lex("// r#\" opener inside a comment\nlet x = 1;");
+    assert!(lexed.strings.is_empty(), "{:?}", lexed.strings);
+    assert_eq!(lexed.comments.len(), 1);
+
+    // `writer"..."`: the identifier's trailing `r` must not open a raw
+    // string; the quote opens a plain one.
+    let lexed = lex("writer\"s\"");
+    assert_eq!(lexed.strings.len(), 1);
+    assert!(lexed.masked.starts_with("writer\""), "{:?}", lexed.masked);
+}
+
+#[test]
+fn unterminated_raw_string_still_records_the_literal() {
+    // Regression: an unterminated raw string once re-lexed its opener
+    // forever; it must consume to EOF and still emit the side-table
+    // entry so pragma/first-argument analyses see the literal.
+    let lexed = lex("let s = r#\"tail with\nnewline");
+    assert_eq!(lexed.strings.len(), 1);
+    assert_eq!(lexed.strings[0].content, "tail with\nnewline");
+    assert_eq!(lexed.strings[0].line, 1);
+}

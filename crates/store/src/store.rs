@@ -552,6 +552,13 @@ impl TemplateStore {
             return Err(StoreError::Config("store needs at least one shard".into()));
         }
         fs::create_dir_all(dir)?;
+        // Pin the store directory's own entry: without a parent fsync,
+        // a power loss after the first manifest/snapshot publish can
+        // drop the whole directory even though the renames inside it
+        // were synced.
+        if let Some(parent) = dir.parent().filter(|p| !p.as_os_str().is_empty()) {
+            sync_dir(parent)?;
+        }
         let shards = if TemplateStore::is_store(dir) {
             read_manifest(dir)?
         } else {
@@ -597,6 +604,10 @@ impl TemplateStore {
                 }
             }
         }
+        // The shard directories were just created (or re-verified);
+        // sync their entries so recovery after power loss sees every
+        // shard the snapshots below will live in.
+        sync_dir(dir)?;
         let recovery = summarize(&plans, state);
         metrics.replay_records.inc_by(recovery.replayed_records);
         // Seed the disk gauges from what open just left on disk (post

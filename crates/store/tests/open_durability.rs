@@ -1,0 +1,49 @@
+//! Regressions for the durable-open path: `TemplateStore::open` now
+//! fsyncs the directory entries it creates (the store dir's parent and
+//! the store dir itself after shard files land), so opening must keep
+//! working for every directory shape those syncs can encounter.
+
+use std::path::{Path, PathBuf};
+
+use logparse_store::{StoreConfig, TemplateStore};
+
+fn temp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("store-open-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn open_creates_and_pins_a_deeply_nested_store() {
+    // Several missing levels: `create_dir_all` makes them all, and the
+    // parent sync must target the (just-created) immediate parent, not
+    // assume it pre-existed.
+    let root = temp("deep");
+    let dir = root.join("a/b/c/store");
+    let (store, recovery) = TemplateStore::open(&dir, &StoreConfig::default()).unwrap();
+    assert_eq!(
+        recovery.replayed_records, 0,
+        "fresh store opens clean: {recovery:?}"
+    );
+    drop(store);
+    assert!(dir.is_dir());
+    // Reopen over the now-existing tree: the sync path runs again
+    // against directories that already existed.
+    let (_store, recovery) = TemplateStore::open(&dir, &StoreConfig::default()).unwrap();
+    assert_eq!(recovery.quarantined_shards, 0, "{recovery:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn open_handles_a_bare_relative_path() {
+    // Regression: `Path::new("name").parent()` is `Some("")`, and
+    // syncing the empty path would fail the whole open. The guard must
+    // skip the empty parent, not error out.
+    let name = format!("store-open-rel-{}", std::process::id());
+    let dir = Path::new(&name);
+    let _ = std::fs::remove_dir_all(dir);
+    let (store, recovery) = TemplateStore::open(dir, &StoreConfig::default()).unwrap();
+    assert_eq!(recovery.quarantined_shards, 0, "{recovery:?}");
+    drop(store);
+    let _ = std::fs::remove_dir_all(dir);
+}

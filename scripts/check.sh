@@ -29,7 +29,7 @@ echo "=== cargo clippy (warnings denied) ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "=== logparse-lint (project invariants, warnings denied) ==="
-cargo run -q -p logparse-lint -- --workspace --deny warnings
+cargo run -q -p logparse-lint -- --workspace --deny warnings --stats --sarif target/lint.sarif
 
 echo "=== cargo test ==="
 cargo test --workspace -q
