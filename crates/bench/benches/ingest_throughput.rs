@@ -13,7 +13,7 @@ const LINES: usize = 100_000;
 fn ingest_throughput(c: &mut Criterion) {
     let corpus = hdfs::generate(LINES, 42).corpus;
     let lines: Vec<String> = (0..corpus.len())
-        .map(|i| corpus.record(i).content.clone())
+        .map(|i| corpus.record(i).content.to_owned())
         .collect();
 
     let mut group = c.benchmark_group("ingest_throughput");

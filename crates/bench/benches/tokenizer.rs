@@ -12,13 +12,13 @@ fn tokenizer(c: &mut Criterion) {
     let hdfs_lines: Vec<String> = {
         let d = hdfs::generate(5_000, 9);
         (0..d.len())
-            .map(|i| d.corpus.record(i).content.clone())
+            .map(|i| d.corpus.record(i).content.to_owned())
             .collect()
     };
     let bgl_lines: Vec<String> = {
         let d = bgl::generate(5_000, 9);
         (0..d.len())
-            .map(|i| d.corpus.record(i).content.clone())
+            .map(|i| d.corpus.record(i).content.to_owned())
             .collect()
     };
     group.throughput(Throughput::Elements(5_000));
@@ -45,7 +45,7 @@ fn tokenize_intern(c: &mut Criterion) {
     let lines: Vec<String> = {
         let d = hdfs::generate(5_000, 9);
         (0..d.len())
-            .map(|i| d.corpus.record(i).content.clone())
+            .map(|i| d.corpus.record(i).content.to_owned())
             .collect()
     };
     group.throughput(Throughput::Elements(5_000));

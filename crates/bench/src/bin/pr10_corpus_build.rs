@@ -1,0 +1,144 @@
+//! Corpus-construction throughput: legacy reader vs. zero-copy loader.
+//!
+//! Measures file -> [`Corpus`] over two workload shapes — a
+//! low-cardinality "steady templates" corpus (vocabulary of ~100
+//! tokens, the allocation-bound case the loader targets) and the
+//! generated HDFS-style corpus (unique block ids and addresses, so
+//! construction is dominated by first-occurrence interning that both
+//! pipelines pay identically) — through three builders:
+//!
+//! * `legacy` — `read_lines` + `Corpus::from_lines`: one `String` per
+//!   line, char-decoded splitting, one `Vec<Symbol>` per row;
+//! * `mmap_seq` — `Corpus::from_path`: mmap + SWAR scan + arena-direct
+//!   interning, no per-line or per-row allocation;
+//! * `mmap_par` — `Corpus::from_path_parallel` at the machine's
+//!   available parallelism (on a single-core host this adds only the
+//!   chunk bookkeeping).
+//!
+//! Configurations are interleaved (best-of-five) so machine-state
+//! drift hits every builder equally, and bit-identity between the
+//! three corpora is asserted before any number is reported. A fourth
+//! row times the SWAR scan alone (`count_corpus_lines`) as the ceiling
+//! on pure line discovery. Output is the JSON behind `BENCH_PR10.json`.
+//!
+//! ```text
+//! cargo run --release -p logparse-bench --bin pr10_corpus_build [--quick]
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use logparse_bench::quick_mode;
+use logparse_core::{count_corpus_lines, read_lines, Corpus, Tokenizer};
+use logparse_datasets::hdfs;
+
+struct Workload {
+    name: &'static str,
+    path: PathBuf,
+    lines: usize,
+}
+
+/// Writes `lines`-many low-cardinality log lines (vocabulary ~120
+/// distinct tokens) — the steady-state shape where construction cost
+/// is line/token bookkeeping, not vocabulary growth.
+fn steady_workload(lines: usize) -> Workload {
+    let path = std::env::temp_dir().join(format!("pr10-steady-{}.log", std::process::id()));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("temp file"));
+    for i in 0..lines as u64 {
+        writeln!(
+            f,
+            "evt {} worker {} state {} latency {}",
+            i % 13,
+            i % 7,
+            i % 5,
+            i % 97
+        )
+        .expect("write line");
+    }
+    Workload {
+        name: "steady",
+        path,
+        lines,
+    }
+}
+
+/// Materializes the generated HDFS-style corpus (block ids, addresses:
+/// the vocabulary grows with the file, so interning dominates).
+fn hdfs_workload(lines: usize) -> Workload {
+    let data = hdfs::generate(lines, 17);
+    let path = std::env::temp_dir().join(format!("pr10-hdfs-{}.log", std::process::id()));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("temp file"));
+    for i in 0..data.len() {
+        writeln!(f, "{}", data.corpus.record(i).content).expect("write line");
+    }
+    Workload {
+        name: "hdfs",
+        path,
+        lines,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let scale = if quick { 20 } else { 1 };
+    let threads = std::thread::available_parallelism().map_or(4, usize::from);
+    let tok = Tokenizer::default();
+    let workloads = [
+        steady_workload(1_000_000 / scale),
+        hdfs_workload(400_000 / scale),
+    ];
+
+    println!("[");
+    for (w, last) in workloads.iter().map(|w| (w, w.name == "hdfs")) {
+        let legacy_build = || {
+            let l = read_lines(std::fs::File::open(&w.path).expect("open")).expect("utf-8");
+            Corpus::from_lines(&l, &tok)
+        };
+        let seq_build = || Corpus::from_path(&w.path, &tok).expect("loader");
+        let par_build = || Corpus::from_path_parallel(&w.path, &tok, threads).expect("loader");
+
+        // Untimed warm-up (page cache, allocator), then interleaved
+        // best-of-five; identity checked on the warm-up outputs.
+        let (legacy, seq, par) = (legacy_build(), seq_build(), par_build());
+        assert_eq!(legacy, seq, "{}: sequential loader diverged", w.name);
+        assert_eq!(legacy, par, "{}: parallel loader diverged", w.name);
+        assert_eq!(count_corpus_lines(&w.path).expect("count"), legacy.len());
+
+        let (mut t_legacy, mut t_seq, mut t_par, mut t_scan) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..5 {
+            let timed = |f: &mut dyn FnMut() -> usize| {
+                let started = Instant::now();
+                let n = f();
+                assert_eq!(n, legacy.len());
+                started.elapsed().as_secs_f64()
+            };
+            t_legacy = t_legacy.min(timed(&mut || legacy_build().len()));
+            t_seq = t_seq.min(timed(&mut || seq_build().len()));
+            t_par = t_par.min(timed(&mut || par_build().len()));
+            t_scan = t_scan.min(timed(&mut || count_corpus_lines(&w.path).expect("count")));
+        }
+
+        let bytes = std::fs::metadata(&w.path).expect("stat").len();
+        let rate = |s: f64| w.lines as f64 / s;
+        println!("  {{");
+        println!("    \"workload\": \"{}\",", w.name);
+        println!("    \"lines\": {},", w.lines);
+        println!("    \"bytes\": {bytes},");
+        println!("    \"vocabulary\": {},", legacy.interner().len());
+        println!("    \"threads\": {threads},");
+        println!("    \"legacy_seconds\": {t_legacy:.4},");
+        println!("    \"legacy_lines_per_sec\": {:.0},", rate(t_legacy));
+        println!("    \"mmap_seq_seconds\": {t_seq:.4},");
+        println!("    \"mmap_seq_lines_per_sec\": {:.0},", rate(t_seq));
+        println!("    \"mmap_parallel_seconds\": {t_par:.4},");
+        println!("    \"mmap_parallel_lines_per_sec\": {:.0},", rate(t_par));
+        println!("    \"swar_scan_lines_per_sec\": {:.0},", rate(t_scan));
+        println!("    \"seq_speedup\": {:.2},", t_legacy / t_seq);
+        println!("    \"parallel_speedup\": {:.2}", t_legacy / t_par);
+        println!("  }}{}", if last { "" } else { "," });
+        std::fs::remove_file(&w.path).ok();
+    }
+    println!("]");
+}

@@ -47,7 +47,7 @@ fn main() {
     let count = if quick { 20_000 } else { 200_000 };
     let data = hdfs::generate(count, 11);
     let lines: Vec<String> = (0..data.len())
-        .map(|i| data.corpus.record(i).content.clone())
+        .map(|i| data.corpus.record(i).content.to_owned())
         .collect();
 
     // One untimed warm-up per configuration (page cache, allocator,

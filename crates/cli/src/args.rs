@@ -44,6 +44,7 @@ const VALUED: &[&str] = &[
     "alpha",
     "components",
     "threads",
+    "loader",
     // `serve` options
     "listen",
     "shards",

@@ -29,8 +29,8 @@ logmine — log parsing toolkit (DSN'16 reproduction)
 USAGE:
   logmine parse    --parser NAME [--preprocess RULES] [--support F]
                    [--clusters K] [--seed N] [--threshold T]
-                   [--threads N | -j N] [--events-out FILE]
-                   [--structured-out FILE] [FILE]
+                   [--threads N | -j N] [--loader mmap|legacy]
+                   [--events-out FILE] [--structured-out FILE] [FILE]
   logmine generate --dataset NAME --count N [--seed N] [--labels]
   logmine evaluate --dataset NAME --parser NAME [--sample N] [--seed N]
   logmine detect   [--blocks N] [--rate R] [--parser NAME] [--seed N]
@@ -177,16 +177,45 @@ fn open_output(path: Option<&str>) -> Result<Box<dyn Write>, Box<dyn Error>> {
     })
 }
 
+/// Loads an input corpus for parsing, honoring `--loader`: the
+/// zero-copy mmap loader by default (chunk-parallel when `threads` >
+/// 1 — its output is bit-identical to the sequential build), or the
+/// legacy `read_lines` + [`Corpus::from_lines`] path for comparison.
+/// Both produce byte-identical corpora; the differential suite holds
+/// them equal.
+fn load_corpus(args: &Args, path: Option<&str>, threads: usize) -> Result<Corpus, Box<dyn Error>> {
+    let tokenizer = Tokenizer::default();
+    match args.option("loader").unwrap_or("mmap") {
+        "mmap" => Ok(match path {
+            Some(path) => Corpus::from_path_parallel(path, &tokenizer, threads)?,
+            None => {
+                let mut bytes = Vec::new();
+                std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut bytes)?;
+                Corpus::from_bytes_parallel(bytes, &tokenizer, threads)?
+            }
+        }),
+        "legacy" => {
+            let lines = match path {
+                Some(path) => read_lines(File::open(path)?)?,
+                None => read_lines(std::io::stdin().lock())?,
+            };
+            Ok(Corpus::from_lines(&lines, &tokenizer))
+        }
+        other => Err(format!("unknown --loader `{other}` (expected mmap or legacy)").into()),
+    }
+}
+
 /// `logmine parse`.
 pub fn parse(args: &Args) -> CliResult {
-    let lines = match args.positional().first() {
-        Some(path) => read_lines(File::open(path)?)?,
-        None => read_lines(std::io::stdin().lock())?,
-    };
-    let corpus = Corpus::from_lines(&lines, &Tokenizer::default());
-    let corpus = build_preprocessor(args)?.apply(&corpus);
-    let parser = build_parser(args)?;
     let threads: usize = args.parsed_or("threads", 1)?;
+    let corpus = load_corpus(args, args.positional().first().map(String::as_str), threads)?;
+    let preprocessor = build_preprocessor(args)?;
+    let corpus = if preprocessor.rules().is_empty() {
+        corpus // `apply` would clone the whole corpus to do nothing
+    } else {
+        preprocessor.apply(&corpus)
+    };
+    let parser = build_parser(args)?;
     let parse = if threads > 1 {
         parser.parse_parallel(&corpus, threads)?
     } else {
@@ -618,8 +647,7 @@ fn run_job_and_report(config: &JobConfig, args: &Args) -> CliResult {
     let mut events_out = open_output(args.option("events-out"))?;
     write_events_file(&parse, &mut events_out)?;
     if let Some(path) = args.option("structured-out") {
-        let lines = read_lines(File::open(&config.corpus)?)?;
-        let corpus = Corpus::from_lines(&lines, &Tokenizer::default());
+        let corpus = Corpus::from_path(&config.corpus, &Tokenizer::default())?;
         let mut structured = BufWriter::new(File::create(path)?);
         write_structured_file(&corpus, &parse, &mut structured)?;
     }
@@ -1257,7 +1285,7 @@ mod tests {
         let log = dir.join("input.log");
         let data = logparse_datasets::hdfs::generate(400, 7);
         let lines: Vec<String> = (0..data.len())
-            .map(|i| data.corpus.record(i).content.clone())
+            .map(|i| data.corpus.record(i).content.to_owned())
             .collect();
         std::fs::write(&log, lines.join("\n") + "\n").unwrap();
 
@@ -1289,7 +1317,7 @@ mod tests {
         let events = dir.join("events.jsonl");
         let data = logparse_datasets::hdfs::generate(2_000, 42);
         let lines: Vec<String> = (0..data.len())
-            .map(|i| data.corpus.record(i).content.clone())
+            .map(|i| data.corpus.record(i).content.to_owned())
             .collect();
         std::fs::write(&log, lines.join("\n") + "\n").unwrap();
 

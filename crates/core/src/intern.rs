@@ -17,7 +17,6 @@
 //! template merge, checkpoint snapshots) is resolved to strings first.
 //! DESIGN.md ("Token representation") documents the protocol.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A dense id for an interned token string.
@@ -41,16 +40,52 @@ impl Symbol {
     }
 }
 
+/// Sentinel marking an empty slot in the interner's probe table.
+/// Symbol ids are guaranteed strictly below `u32::MAX`, so the all-ones
+/// pattern can never collide with a live id.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// FxHash-style mixer over token bytes, eight bytes per round. The
+/// corpus loader interns every token of every line through this, so it
+/// trades avalanche quality for two arithmetic ops per word — plenty
+/// for a table whose keys are short log tokens.
+#[inline]
+fn hash_token(bytes: &[u8]) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut hash = bytes.len() as u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().unwrap_or_default());
+        hash = (hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+    let mut tail = 0u64;
+    for &b in chunks.remainder() {
+        tail = tail << 8 | u64::from(b);
+    }
+    (hash.rotate_left(5) ^ tail).wrapping_mul(SEED)
+}
+
 /// A token string table: `&str -> Symbol` on the way in, dense
 /// `Symbol -> &str` on the way out.
 ///
 /// Strings are stored once as `Arc<str>`, so cloning an interner (the
 /// batch parsers clone the corpus table to extend it privately) is a
 /// refcount bump per entry, not a byte copy.
+///
+/// The lookup side is a hand-rolled open-addressing table of symbol
+/// ids (linear probing, power-of-two capacity, ≤7/8 load): one hash
+/// and one probe chain per `intern` call whether the token is new or
+/// seen, instead of the separate lookup + insert a `HashMap` pays on
+/// misses. Corpus construction interns every token of every line, so
+/// this probe is the single hottest call in the loader.
 #[derive(Debug, Clone, Default)]
 pub struct Interner {
     strings: Vec<Arc<str>>,
-    lookup: HashMap<Arc<str>, u32>,
+    /// Open-addressing probe table of symbol ids; `EMPTY_SLOT` marks a
+    /// free slot. Capacity is a power of two (`mask + 1`), zero when
+    /// nothing has been interned yet.
+    table: Vec<u32>,
+    mask: usize,
 }
 
 impl Interner {
@@ -59,30 +94,69 @@ impl Interner {
         Interner::default()
     }
 
+    /// Doubles the probe table and re-homes every id.
+    #[cold]
+    fn grow(&mut self) {
+        let capacity = (self.table.len() * 2).max(64);
+        self.table.clear();
+        self.table.resize(capacity, EMPTY_SLOT);
+        self.mask = capacity - 1;
+        for (id, token) in self.strings.iter().enumerate() {
+            let mut slot = hash_token(token.as_bytes()) as usize & self.mask;
+            while self.table[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & self.mask;
+            }
+            self.table[slot] = id as u32;
+        }
+    }
+
     /// Interns `token`, returning its symbol; existing tokens resolve
     /// without allocating.
+    #[inline]
     pub fn intern(&mut self, token: &str) -> Symbol {
-        if let Some(&id) = self.lookup.get(token) {
-            return Symbol(id);
+        if (self.strings.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow();
         }
-        // Ids stay strictly below u32::MAX so consumers can use the
-        // all-ones pattern as a sentinel (SLCT's length marker, AEL's
-        // `$v` slot).
-        let id = u32::try_from(self.strings.len())
-            .ok()
-            .filter(|&id| id < u32::MAX)
-            .unwrap_or_else(|| panic!("interner overflow: too many distinct tokens"));
-        let shared: Arc<str> = Arc::from(token);
-        self.strings.push(Arc::clone(&shared));
-        self.lookup.insert(shared, id);
-        Symbol(id)
+        let mut slot = hash_token(token.as_bytes()) as usize & self.mask;
+        loop {
+            let id = self.table[slot];
+            if id == EMPTY_SLOT {
+                // Ids stay strictly below u32::MAX so consumers can use
+                // the all-ones pattern as a sentinel (SLCT's length
+                // marker, AEL's `$v` slot, this table's empty slot).
+                let id = u32::try_from(self.strings.len())
+                    .ok()
+                    .filter(|&id| id < u32::MAX)
+                    .unwrap_or_else(|| panic!("interner overflow: too many distinct tokens"));
+                self.strings.push(Arc::from(token));
+                self.table[slot] = id;
+                return Symbol(id);
+            }
+            if &*self.strings[id as usize] == token {
+                return Symbol(id);
+            }
+            slot = (slot + 1) & self.mask;
+        }
     }
 
     /// The symbol of an already-interned token, or `None` when `token`
     /// never occurred. Lets read-only consumers (the oracle's template
     /// literals, AEL's `$v` sentinel) probe without mutating.
     pub fn get(&self, token: &str) -> Option<Symbol> {
-        self.lookup.get(token).map(|&id| Symbol(id))
+        if self.table.is_empty() {
+            return None;
+        }
+        let mut slot = hash_token(token.as_bytes()) as usize & self.mask;
+        loop {
+            let id = self.table[slot];
+            if id == EMPTY_SLOT {
+                return None;
+            }
+            if &*self.strings[id as usize] == token {
+                return Some(Symbol(id));
+            }
+            slot = (slot + 1) & self.mask;
+        }
     }
 
     /// The string behind `symbol`.
@@ -148,6 +222,33 @@ impl TokenArena {
     pub fn push_row<I: IntoIterator<Item = Symbol>>(&mut self, row: I) {
         self.symbols.extend(row);
         self.offsets.push(self.symbols.len());
+    }
+
+    /// Appends one token to the row currently under construction. The
+    /// zero-copy loader builds rows in place with this + [`finish_row`]
+    /// instead of collecting a per-row `Vec<Symbol>` first.
+    ///
+    /// [`finish_row`]: TokenArena::finish_row
+    #[inline]
+    pub fn push_symbol(&mut self, symbol: Symbol) {
+        self.symbols.push(symbol);
+    }
+
+    /// Seals the row currently under construction (possibly empty).
+    #[inline]
+    pub fn finish_row(&mut self) {
+        self.offsets.push(self.symbols.len());
+    }
+
+    /// Appends every row of `other`, translating each symbol through
+    /// `remap` (indexed by the source symbol's id). The parallel corpus
+    /// build merges per-chunk arenas into the global one with this.
+    pub(crate) fn append_remapped(&mut self, other: &TokenArena, remap: &[Symbol]) {
+        let base = self.symbols.len();
+        self.symbols
+            .extend(other.symbols.iter().map(|s| remap[s.id() as usize]));
+        self.offsets
+            .extend(other.offsets[1..].iter().map(|o| o + base));
     }
 
     /// The symbol row of record `index`.

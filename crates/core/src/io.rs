@@ -11,7 +11,17 @@ use std::io::{BufRead, BufReader, Read, Write};
 use crate::{Corpus, Parse, ParseError};
 
 /// Reads raw log lines from any reader (pass `&mut reader` to keep
-/// ownership). Trailing newlines are stripped; empty lines are skipped.
+/// ownership). Trailing newlines are stripped.
+///
+/// **Skip-blank contract** (the canonical statement — the zero-copy
+/// loader behind [`Corpus::from_path`](crate::Corpus::from_path)
+/// implements the same rule and the differential suite holds the two
+/// equal): a line is skipped iff every byte of it is ASCII whitespace
+/// (space, `\t`, `\n`, `\v`, `\f`, `\r`). Lines whose only content is
+/// non-ASCII whitespace (e.g. U+00A0) are *kept*; the tokenizer then
+/// decides what, if anything, they tokenize to. The probe is a byte
+/// test, not a `char` walk — a line with any non-whitespace byte is
+/// kept without decoding it.
 ///
 /// # Errors
 ///
@@ -21,7 +31,7 @@ pub fn read_lines<R: Read>(reader: R) -> Result<Vec<String>, ParseError> {
     let mut lines = Vec::new();
     for line in buf.lines() {
         let line = line?;
-        if !line.trim().is_empty() {
+        if !crate::simd::is_blank_line(&line) {
             lines.push(line);
         }
     }
@@ -55,7 +65,7 @@ pub fn write_structured_file<W: Write>(
 ) -> Result<(), ParseError> {
     for (i, assignment) in parse.assignments().iter().enumerate() {
         let record = corpus.record(i);
-        let ts = record.timestamp.as_deref().unwrap_or("-");
+        let ts = record.timestamp.unwrap_or("-");
         match assignment {
             Some(event) => writeln!(writer, "{}\t{}\t{}", record.line_no, ts, event)?,
             None => writeln!(writer, "{}\t{}\tOutlier", record.line_no, ts)?,

@@ -1,0 +1,514 @@
+//! Zero-copy corpus construction: mmap'd (or whole-buffer) input, one
+//! SWAR scan, arena-direct interning.
+//!
+//! [`Corpus::from_lines`] pays one `String` per line and one
+//! `Vec<Symbol>` per row before a parser ever runs. This module is the
+//! allocation-free replacement behind [`Corpus::from_path`] /
+//! [`Corpus::from_bytes`]:
+//!
+//! 1. **Buffer** — the file is mapped read-only ([`crate::mmap`]); when
+//!    mapping is unavailable (stdin, empty files, non-unix, a failing
+//!    syscall) the bytes are read once into a single `Vec<u8>`. Either
+//!    way there is exactly one buffer for the whole corpus, shared
+//!    behind an `Arc` — records are byte-range views into it, never
+//!    per-line strings.
+//! 2. **Scan** — [`crate::simd::Scanner`] finds newline and token
+//!    boundaries in one SWAR pass, flagging blank lines (skipped, per
+//!    the contract on [`crate::read_lines`]) and lines containing
+//!    non-ASCII bytes.
+//! 3. **Intern** — ASCII lines (the overwhelming majority of machine
+//!    logs) intern each token slice straight into the open
+//!    [`TokenArena`] row: one hash probe per token, no row vector.
+//!    Lines with high bytes take the checked slow path — UTF-8
+//!    validation (the same `InvalidData` error `BufRead::lines`
+//!    produces) and the full Unicode tokenizer semantics.
+//!
+//! The chunked-parallel build splits the buffer at newline boundaries,
+//! scans each chunk with a thread-local interner/arena, then merges in
+//! chunk order: each chunk's vocabulary is interned into the global
+//! table in local-id order and its arena appended through the resulting
+//! symbol remap. Because local ids are first-occurrence-ordered and
+//! chunks merge in corpus order, the merged table assigns every token
+//! the same id the sequential build would — the parallel corpus is
+//! **bit-identical**, not merely equivalent (the differential suite
+//! asserts this).
+
+use std::fs::File;
+use std::io::Read;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
+
+use logparse_obs::{Buckets, Counter, Histogram, Registry};
+
+use crate::error::ParseError;
+use crate::intern::{Interner, Symbol, TokenArena};
+use crate::mmap::{ascii_str, Mapping};
+use crate::parallel::ParallelDriver;
+use crate::record::{Corpus, Span};
+use crate::simd::{count_non_blank_lines, find_newline, ScanSink, Scanner};
+use crate::tokenizer::Tokenizer;
+
+/// The single backing buffer of a zero-copy corpus: either a private
+/// read-only mapping of the input file or the file's bytes read into
+/// memory once. Records reference ranges of it.
+#[derive(Debug)]
+pub(crate) enum LineBuffer {
+    /// Bytes owned in memory (stdin, fallback reads, `from_bytes`).
+    Owned(Vec<u8>),
+    /// A read-only file mapping.
+    Mapped(Mapping),
+}
+
+impl std::ops::Deref for LineBuffer {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            LineBuffer::Owned(bytes) => bytes,
+            LineBuffer::Mapped(map) => map.bytes(),
+        }
+    }
+}
+
+/// Maps `file` when possible, otherwise reads it whole.
+fn map_or_read(mut file: File) -> Result<LineBuffer, ParseError> {
+    if let Some(map) = Mapping::of_file(&file) {
+        return Ok(LineBuffer::Mapped(map));
+    }
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    Ok(LineBuffer::Owned(bytes))
+}
+
+/// The `InvalidData` error `BufRead::lines` produces for non-UTF-8
+/// input; the zero-copy path reports byte-identical failures.
+fn invalid_utf8() -> ParseError {
+    ParseError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        "stream did not contain valid UTF-8",
+    ))
+}
+
+/// One chunk's build output (the sequential build is the 1-chunk case).
+struct ChunkOut {
+    interner: Interner,
+    arena: TokenArena,
+    spans: Vec<Span>,
+}
+
+/// The scan sink that performs arena-direct interning.
+///
+/// Token runs are staged as byte ranges in a reusable scratch vector
+/// (never a per-row allocation); at each `line` event they are either
+/// interned straight into the arena row (pure-ASCII line — `ascii_str`
+/// skips the UTF-8 walk the scanner already did) or discarded in favor
+/// of the checked slow path (line with high bytes).
+struct BuildSink<'a> {
+    /// The chunk being scanned (a sub-slice of the full buffer).
+    buf: &'a [u8],
+    /// Absolute offset of `buf[0]` in the full buffer.
+    base: usize,
+    tokenizer: &'a Tokenizer,
+    trim: bool,
+    interner: Interner,
+    arena: TokenArena,
+    spans: Vec<Span>,
+    /// Raw token runs of the line currently being scanned.
+    scratch: Vec<(usize, usize)>,
+}
+
+/// Is `b` in the tokenizer's trim-punctuation set (`: , ; ( ) [ ] " '`)?
+#[inline]
+fn is_trim_punct(b: u8) -> bool {
+    matches!(
+        b,
+        b':' | b',' | b';' | b'(' | b')' | b'[' | b']' | b'"' | b'\''
+    )
+}
+
+impl BuildSink<'_> {
+    fn new<'a>(
+        buf: &'a [u8],
+        base: usize,
+        tokenizer: &'a Tokenizer,
+        lines_hint: usize,
+    ) -> BuildSink<'a> {
+        BuildSink {
+            buf,
+            base,
+            tokenizer,
+            trim: tokenizer.trims_punctuation(),
+            interner: Interner::new(),
+            arena: TokenArena::new(),
+            spans: Vec::with_capacity(lines_hint),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn into_out(self) -> ChunkOut {
+        ChunkOut {
+            interner: self.interner,
+            arena: self.arena,
+            spans: self.spans,
+        }
+    }
+}
+
+impl ScanSink for BuildSink<'_> {
+    #[inline]
+    fn token(&mut self, start: usize, end: usize) {
+        self.scratch.push((start, end));
+    }
+
+    fn line(
+        &mut self,
+        start: usize,
+        content_end: usize,
+        blank: bool,
+        has_high: bool,
+    ) -> Result<(), ParseError> {
+        if blank {
+            self.scratch.clear();
+            return Ok(());
+        }
+        if has_high {
+            self.scratch.clear();
+            let content =
+                std::str::from_utf8(&self.buf[start..content_end]).map_err(|_| invalid_utf8())?;
+            self.tokenizer
+                .intern_tokens_into(content, &mut self.interner, &mut self.arena);
+        } else {
+            for &(ts, te) in &self.scratch {
+                let (ts, te) = if self.trim {
+                    let (mut s, mut e) = (ts, te);
+                    while s < e && is_trim_punct(self.buf[s]) {
+                        s += 1;
+                    }
+                    while e > s && is_trim_punct(self.buf[e - 1]) {
+                        e -= 1;
+                    }
+                    (s, e)
+                } else {
+                    (ts, te)
+                };
+                if ts < te {
+                    let symbol = self.interner.intern(ascii_str(&self.buf[ts..te]));
+                    self.arena.push_symbol(symbol);
+                }
+            }
+            self.scratch.clear();
+        }
+        self.arena.finish_row();
+        self.spans.push(Span {
+            start: self.base + start,
+            end: self.base + content_end,
+            line_no: self.spans.len() + 1,
+        });
+        Ok(())
+    }
+}
+
+/// Scans one byte range of the full buffer into a chunk-local output.
+fn build_chunk(
+    bytes: &[u8],
+    range: Range<usize>,
+    scanner: &Scanner,
+    tokenizer: &Tokenizer,
+) -> Result<ChunkOut, ParseError> {
+    // ~40 bytes/line is typical machine-log density; the hint only
+    // sizes the first allocation.
+    let lines_hint = range.len() / 40 + 1;
+    let mut sink = BuildSink::new(&bytes[range.clone()], range.start, tokenizer, lines_hint);
+    scanner.scan(&bytes[range], &mut sink)?;
+    Ok(sink.into_out())
+}
+
+/// Splits `bytes` into up to `threads` ranges, each starting at a line
+/// start (boundaries snap forward to just past the next newline).
+fn chunk_byte_ranges(bytes: &[u8], threads: usize) -> Vec<Range<usize>> {
+    // Below ~64 KiB the thread spawn/merge overhead dominates.
+    if threads <= 1 || bytes.len() < 1 << 16 {
+        return std::iter::once(0..bytes.len()).collect();
+    }
+    let ideal = ParallelDriver::chunk_ranges(bytes.len(), threads);
+    let mut ranges = Vec::with_capacity(ideal.len());
+    let mut start = 0usize;
+    for r in &ideal[..ideal.len() - 1] {
+        // Searching from `r.end - 1` keeps a boundary already sitting
+        // just past a newline where it is.
+        let end = match find_newline(bytes, r.end - 1) {
+            Some(nl) => nl + 1,
+            None => bytes.len(),
+        };
+        if end > start && end < bytes.len() {
+            ranges.push(start..end);
+            start = end;
+        }
+    }
+    ranges.push(start..bytes.len());
+    ranges
+}
+
+/// Runs the per-chunk builds on scoped threads and merges in chunk
+/// order. `None` means a worker died (panicked): the caller falls back
+/// to the sequential build rather than guessing at partial output.
+fn build_parallel(
+    bytes: &[u8],
+    ranges: &[Range<usize>],
+    scanner: &Scanner,
+    tokenizer: &Tokenizer,
+) -> Option<Result<ChunkOut, ParseError>> {
+    let mut slots: Vec<Option<Result<ChunkOut, ParseError>>> = Vec::new();
+    slots.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let range = r.clone();
+                scope.spawn(move || build_chunk(bytes, range, scanner, tokenizer))
+            })
+            .collect();
+        for (slot, handle) in slots.iter_mut().zip(handles) {
+            *slot = handle.join().ok();
+        }
+    });
+
+    let mut interner = Interner::new();
+    let mut arena = TokenArena::new();
+    let mut spans = Vec::new();
+    let mut remap: Vec<Symbol> = Vec::new();
+    for slot in slots {
+        let chunk = match slot {
+            Some(Ok(chunk)) => chunk,
+            // Chunks merge in corpus order, so the first error seen is
+            // the one the sequential build would have hit first.
+            Some(Err(e)) => return Some(Err(e)),
+            None => return None,
+        };
+        remap.clear();
+        remap.extend((0..chunk.interner.len()).map(|id| {
+            // Interning each chunk's vocabulary in local-id order is
+            // what makes the merged table identical to the sequential
+            // build's: local ids are first-occurrence-ordered, and
+            // earlier chunks have already claimed every token that
+            // first occurred before this chunk.
+            interner.intern(chunk.interner.resolve(Symbol::from_id(id as u32)))
+        }));
+        arena.append_remapped(&chunk.arena, &remap);
+        for s in chunk.spans {
+            // Kept-line numbering restarts per chunk; renumber globally.
+            let line_no = spans.len() + 1;
+            spans.push(Span { line_no, ..s });
+        }
+    }
+    Some(Ok(ChunkOut {
+        interner,
+        arena,
+        spans,
+    }))
+}
+
+/// Resolves the corpus-build metric handles (one registry probe per
+/// build; builds are rare relative to the lines they process).
+fn build_metrics(registry: &Registry) -> (Histogram, Counter) {
+    (
+        registry.histogram(
+            "core_corpus_build_seconds",
+            "Time for a zero-copy corpus build (map/read + scan + intern)",
+            &Buckets::durations(),
+            &[],
+        ),
+        registry.counter(
+            "core_corpus_build_lines_total",
+            "Log lines materialized as records by zero-copy corpus builds",
+            &[],
+        ),
+    )
+}
+
+/// The shared build entry: one buffer in, one corpus out.
+fn build_corpus(
+    buffer: Arc<LineBuffer>,
+    tokenizer: &Tokenizer,
+    threads: usize,
+) -> Result<Corpus, ParseError> {
+    let registry = logparse_obs::global();
+    let (time_hist, lines_total) = build_metrics(registry);
+    let span = registry.span_into(time_hist, "core_corpus_build", &[]);
+    let scanner = Scanner::for_tokenizer(tokenizer);
+    let bytes: &[u8] = &buffer;
+    let ranges = chunk_byte_ranges(bytes, threads);
+    let out = if ranges.len() <= 1 {
+        build_chunk(bytes, 0..bytes.len(), &scanner, tokenizer)?
+    } else {
+        match build_parallel(bytes, &ranges, &scanner, tokenizer) {
+            Some(result) => result?,
+            None => build_chunk(bytes, 0..bytes.len(), &scanner, tokenizer)?,
+        }
+    };
+    span.finish();
+    lines_total.inc_by(out.spans.len() as u64);
+    Ok(Corpus::assemble_mapped(
+        buffer,
+        out.spans,
+        out.arena,
+        Arc::new(out.interner),
+    ))
+}
+
+/// Implementation behind [`Corpus::from_path`] / `from_path_parallel`.
+pub(crate) fn corpus_from_path(
+    path: &Path,
+    tokenizer: &Tokenizer,
+    threads: usize,
+) -> Result<Corpus, ParseError> {
+    let buffer = map_or_read(File::open(path)?)?;
+    build_corpus(Arc::new(buffer), tokenizer, threads)
+}
+
+/// Implementation behind [`Corpus::from_bytes`] / `from_bytes_parallel`.
+pub(crate) fn corpus_from_bytes(
+    bytes: Vec<u8>,
+    tokenizer: &Tokenizer,
+    threads: usize,
+) -> Result<Corpus, ParseError> {
+    build_corpus(Arc::new(LineBuffer::Owned(bytes)), tokenizer, threads)
+}
+
+/// Counts the lines of `path` a corpus build would keep (non-blank
+/// lines, per the contract on [`crate::read_lines`]) without building
+/// anything: one mmap/read plus one SWAR pass, no interning, no record
+/// materialization. Job coordinators size shard manifests with this.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Io`] when the file cannot be opened or read.
+pub fn count_corpus_lines(path: impl AsRef<Path>) -> Result<usize, ParseError> {
+    let buffer = map_or_read(File::open(path.as_ref())?)?;
+    Ok(count_non_blank_lines(&buffer))
+}
+
+/// A zero-copy line reader over a whole file: the streaming ingest
+/// file source's replacement for `BufReader::read_line`.
+///
+/// Yields **every** line (blank lines included — streaming semantics,
+/// unlike the corpus loaders) with the terminating `\n`/`\r\n`
+/// stripped; a final line at EOF keeps any trailing `\r`, matching
+/// `BufRead::lines`. Lines borrow from the mapping, so the only copy
+/// happens when a caller materializes the line (e.g. into a
+/// `SourceItem::Line`).
+#[derive(Debug)]
+pub struct FileLines {
+    buffer: LineBuffer,
+    pos: usize,
+}
+
+impl FileLines {
+    /// Opens `path`, mapping it when possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be opened
+    /// or (on the fallback path) read.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<FileLines> {
+        let buffer = match map_or_read(File::open(path.as_ref())?) {
+            Ok(buffer) => buffer,
+            Err(ParseError::Io(e)) => return Err(e),
+            Err(other) => return Err(std::io::Error::other(other.to_string())),
+        };
+        Ok(FileLines { buffer, pos: 0 })
+    }
+
+    /// The next line, or `None` at EOF. A line that is not valid UTF-8
+    /// yields the same `InvalidData` error `BufRead::lines` would (and
+    /// skips past that line, so pulling can continue).
+    #[allow(clippy::should_implement_trait)] // lending: borrows from self
+    pub fn next_line(&mut self) -> Option<std::io::Result<&str>> {
+        let bytes: &[u8] = &self.buffer;
+        if self.pos >= bytes.len() {
+            return None;
+        }
+        let start = self.pos;
+        let (next, content_end) = match find_newline(bytes, start) {
+            Some(nl) => (
+                nl + 1,
+                if nl > start && bytes[nl - 1] == b'\r' {
+                    nl - 1
+                } else {
+                    nl
+                },
+            ),
+            None => (bytes.len(), bytes.len()),
+        };
+        self.pos = next;
+        match std::str::from_utf8(&bytes[start..content_end]) {
+            Ok(line) => Some(Ok(line)),
+            Err(_) => Some(Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "stream did not contain valid UTF-8",
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("logparse-loader-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn chunk_ranges_start_at_line_starts() {
+        let mut corpus = Vec::new();
+        for i in 0..9000 {
+            corpus.extend_from_slice(format!("line number {i} with some padding\n").as_bytes());
+        }
+        for threads in [2, 3, 7] {
+            let ranges = chunk_byte_ranges(&corpus, threads);
+            assert!(ranges.len() >= 2, "expected a real split at {threads}");
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, corpus.len());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+                assert_eq!(corpus[pair[0].end - 1], b'\n', "boundary mid-line");
+            }
+        }
+        // Tiny inputs never split.
+        assert_eq!(chunk_byte_ranges(b"a\nb\n", 8), vec![0..4]);
+    }
+
+    #[test]
+    fn count_corpus_lines_skips_blanks() {
+        let path = write_temp("count.log", b"one\n\n  \ntwo\nthree");
+        assert_eq!(count_corpus_lines(&path).unwrap(), 3);
+    }
+
+    #[test]
+    fn file_lines_yields_every_line_with_endings_stripped() {
+        let path = write_temp("lines.log", b"one\r\ntwo\n\nthree");
+        let mut lines = FileLines::open(&path).unwrap();
+        let mut seen = Vec::new();
+        while let Some(line) = lines.next_line() {
+            seen.push(line.unwrap().to_owned());
+        }
+        assert_eq!(seen, ["one", "two", "", "three"]);
+    }
+
+    #[test]
+    fn file_lines_reports_invalid_utf8_and_recovers() {
+        let path = write_temp("bad.log", b"ok\n\xff\xfe\nfine\n");
+        let mut lines = FileLines::open(&path).unwrap();
+        assert_eq!(lines.next_line().unwrap().unwrap(), "ok");
+        let err = lines.next_line().unwrap().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(lines.next_line().unwrap().unwrap(), "fine");
+        assert!(lines.next_line().is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Read-only memory mapping of input files, plus the one other unsafe
+//! primitive the zero-copy loader needs (`ascii_str`).
+//!
+//! This module is the **only** place in `logparse-core` where
+//! `unsafe` is permitted (the crate root carries `deny(unsafe_code)`
+//! and the unsafe-allowlist lint admits exactly this file, requiring a
+//! `SAFETY` comment on every unsafe block). The FFI surface is
+//! hand-declared — the workspace builds offline with no `libc` crate —
+//! and deliberately tiny: `mmap`, `munmap`, nothing else.
+//!
+//! A mapping is always `PROT_READ` + `MAP_PRIVATE`: the kernel hands
+//! out copy-on-write pages we never write, so the mapped bytes are
+//! immutable for the mapping's lifetime and safe to share across
+//! threads. Callers that can't map (stdin, zero-length files,
+//! non-unix targets, or a failing `mmap` call) fall back to reading
+//! the whole file into a `Vec<u8>`; [`crate::loader`] owns that
+//! policy.
+#![allow(unsafe_code)]
+
+use std::fs::File;
+
+#[cfg(unix)]
+mod ffi {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only, private memory mapping of an open file.
+///
+/// Unmapped on drop. Dereferences to the mapped byte slice.
+#[derive(Debug)]
+pub struct Mapping {
+    #[cfg(unix)]
+    addr: *mut std::ffi::c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE — no thread can write
+// through it (writes would fault) and the kernel keeps the pages alive
+// until munmap, which only `Drop` calls, once, with exclusive access.
+// Immutable shared memory is safe to send and share across threads.
+unsafe impl Send for Mapping {}
+// SAFETY: as above — `&Mapping` only exposes `&[u8]` reads of
+// immutable pages.
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `file` read-only, or `None` when mapping is unavailable
+    /// (empty file, non-unix target, or the syscall failing — e.g. the
+    /// descriptor is a pipe). Callers fall back to buffered reads.
+    #[cfg(unix)]
+    pub fn of_file(file: &File) -> Option<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata().ok()?.len();
+        // mmap rejects zero-length mappings, and usize::try_from guards
+        // the (32-bit) case of a file larger than the address space.
+        let len = usize::try_from(len).ok().filter(|&l| l > 0)?;
+        // SAFETY: addr=null lets the kernel pick placement; len is the
+        // current file length (>0); the fd is valid for the duration of
+        // the call because `file` is borrowed across it. A shrinking
+        // concurrent truncate could leave pages past EOF that fault on
+        // access — same hazard every mmap-based reader (ripgrep et al.)
+        // accepts for regular files; we never map stdin/pipes (the call
+        // fails there and we fall back to reads).
+        let addr = unsafe {
+            ffi::mmap(
+                std::ptr::null_mut(),
+                len,
+                ffi::PROT_READ,
+                ffi::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if addr == ffi::MAP_FAILED {
+            return None;
+        }
+        Some(Mapping { addr, len })
+    }
+
+    /// Mapping is unsupported off unix; the loader reads instead.
+    #[cfg(not(unix))]
+    pub fn of_file(_file: &File) -> Option<Mapping> {
+        None
+    }
+
+    /// The mapped bytes.
+    #[cfg(unix)]
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: addr..addr+len was returned by a successful mmap and
+        // stays mapped until Drop; the pages are read-only, so handing
+        // out a shared slice for the mapping's lifetime is sound.
+        unsafe { std::slice::from_raw_parts(self.addr as *const u8, self.len) }
+    }
+
+    /// The mapped bytes (unreachable off unix: `of_file` returns None).
+    #[cfg(not(unix))]
+    pub fn bytes(&self) -> &[u8] {
+        &[]
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        // SAFETY: addr/len are exactly what mmap returned; Drop runs at
+        // most once, after which no slice borrowed from `bytes` can be
+        // live (they borrow `self`).
+        unsafe {
+            ffi::munmap(self.addr, self.len);
+        }
+    }
+}
+
+impl std::ops::Deref for Mapping {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+/// Reinterprets a byte slice the SWAR scanner has classified as pure
+/// ASCII (every byte < 0x80) as `&str` without a UTF-8 walk.
+///
+/// The loader calls this once per token on its hot path; a checked
+/// `from_utf8` would re-scan bytes the scanner already proved ASCII.
+/// Debug builds keep the assertion as a belt-and-braces check.
+#[inline]
+pub(crate) fn ascii_str(bytes: &[u8]) -> &str {
+    debug_assert!(bytes.is_ascii(), "scanner promised ASCII-only bytes");
+    // SAFETY: every ASCII byte sequence is valid UTF-8. Callers only
+    // pass slices whose bytes the SWAR scanner's high-bit mask proved
+    // are all < 0x80 (the scanner routes any line containing a high
+    // byte to the checked slow path instead).
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents_and_unmaps_on_drop() {
+        let dir = std::env::temp_dir().join(format!("logparse-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.log");
+        let payload = b"alpha beta\ngamma\n";
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(payload)
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        if let Some(map) = Mapping::of_file(&file) {
+            assert_eq!(&*map, payload.as_slice());
+        } else if cfg!(unix) {
+            panic!("mapping a regular file must work on unix");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_file_declines_to_map() {
+        let dir = std::env::temp_dir().join(format!("logparse-mmap-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.log");
+        std::fs::File::create(&path).unwrap();
+        assert!(Mapping::of_file(&File::open(&path).unwrap()).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ascii_str_round_trips() {
+        assert_eq!(ascii_str(b"blk_42 src:"), "blk_42 src:");
+        assert_eq!(ascii_str(b""), "");
+    }
+}

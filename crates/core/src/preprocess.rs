@@ -222,7 +222,7 @@ impl Preprocessor {
                     .collect();
                 LogRecord {
                     line_no: r.line_no,
-                    timestamp: r.timestamp.clone(),
+                    timestamp: r.timestamp.map(str::to_owned),
                     content: masked.join(" "),
                 }
             })
@@ -334,7 +334,7 @@ mod tests {
         );
         let masked = Preprocessor::new(vec![MaskRule::BlockId]).apply(&corpus);
         assert_eq!(masked.record(0).line_no, 5);
-        assert_eq!(masked.record(0).timestamp.as_deref(), Some("t0"));
+        assert_eq!(masked.record(0).timestamp, Some("t0"));
         assert_eq!(masked.record(0).content, "delete $BLK now");
     }
 

@@ -1,8 +1,11 @@
+use std::path::Path;
 use std::sync::Arc;
 
 use logparse_obs::{Buckets, Histogram, Registry};
 
+use crate::error::ParseError;
 use crate::intern::{Interner, Symbol, TokenArena};
+use crate::loader::LineBuffer;
 use crate::Tokenizer;
 
 /// A single raw log message.
@@ -45,6 +48,61 @@ impl LogRecord {
     }
 }
 
+/// A borrowed view of one record, independent of how the corpus stores
+/// it (owned strings or byte ranges into a shared buffer).
+///
+/// This is what [`Corpus::record`] and [`Corpus::records`] hand out.
+/// Call [`to_owned`](RecordRef::to_owned) when an owned [`LogRecord`]
+/// is genuinely needed (it allocates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordRef<'a> {
+    /// 1-based position of the message in its source file.
+    pub line_no: usize,
+    /// Raw timestamp text, if the source format carried one.
+    pub timestamp: Option<&'a str>,
+    /// Free-text message content (the part that is parsed).
+    pub content: &'a str,
+}
+
+impl RecordRef<'_> {
+    /// Materializes an owned record (allocates).
+    pub fn to_owned(&self) -> LogRecord {
+        LogRecord {
+            line_no: self.line_no,
+            timestamp: self.timestamp.map(str::to_owned),
+            content: self.content.to_owned(),
+        }
+    }
+}
+
+/// Byte range of one kept line in a shared [`LineBuffer`], plus its
+/// assigned line number (kept-line index + 1 at build; preserved
+/// verbatim by [`Corpus::slice`] / [`Corpus::select`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Span {
+    pub(crate) start: usize,
+    pub(crate) end: usize,
+    pub(crate) line_no: usize,
+}
+
+/// Record storage: either materialized strings (the classic
+/// [`Corpus::from_lines`] path, and any path that carries timestamps)
+/// or byte-range views into the zero-copy loader's single buffer.
+#[derive(Debug, Clone)]
+enum Records {
+    Owned(Vec<LogRecord>),
+    Mapped {
+        buffer: Arc<LineBuffer>,
+        spans: Vec<Span>,
+    },
+}
+
+impl Default for Records {
+    fn default() -> Self {
+        Records::Owned(Vec::new())
+    }
+}
+
 /// An in-memory log corpus: raw records plus their interned tokenizations.
 ///
 /// A `Corpus` is what parsers consume. Tokenization *and interning*
@@ -55,6 +113,16 @@ impl LogRecord {
 /// [`symbols`](Corpus::symbols) on their hot paths and resolve through
 /// [`interner`](Corpus::interner) only when rendering output;
 /// [`tokens`](Corpus::tokens) remains as the resolved string view.
+///
+/// Two construction families exist:
+///
+/// * [`from_lines`](Corpus::from_lines) / [`from_records`](Corpus::from_records)
+///   — owned strings in, one `LogRecord` per message;
+/// * [`from_path`](Corpus::from_path) / [`from_bytes`](Corpus::from_bytes)
+///   — the zero-copy loader ([`crate::loader`]): one mmap'd or owned
+///   buffer, records as byte-range views, tokens interned straight into
+///   the arena. Output is bit-identical to reading the same file with
+///   [`crate::read_lines`] and calling `from_lines`.
 ///
 /// The interner is shared behind an `Arc`: [`slice`](Corpus::slice),
 /// [`select`](Corpus::select) and [`take`](Corpus::take) copy symbol
@@ -75,7 +143,7 @@ impl LogRecord {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Corpus {
-    records: Vec<LogRecord>,
+    records: Records,
     arena: TokenArena,
     interner: Arc<Interner>,
 }
@@ -104,7 +172,7 @@ impl Corpus {
     /// Creates an empty corpus.
     pub fn new() -> Self {
         Corpus {
-            records: Vec::new(),
+            records: Records::Owned(Vec::new()),
             arena: TokenArena::new(),
             interner: Arc::new(Interner::new()),
         }
@@ -131,7 +199,7 @@ impl Corpus {
         span.finish();
         size_hist.observe(arena.token_count() as f64);
         Corpus {
-            records,
+            records: Records::Owned(records),
             arena,
             interner: Arc::new(interner),
         }
@@ -154,29 +222,124 @@ impl Corpus {
         span.finish();
         size_hist.observe(arena.token_count() as f64);
         Corpus {
-            records,
+            records: Records::Owned(records),
             arena,
             interner: Arc::new(interner),
         }
     }
 
+    /// Builds a corpus from a log file with the zero-copy loader: the
+    /// file is mmap'd (or read once into a single buffer when mapping
+    /// is unavailable), scanned with the SWAR line/token scanner, and
+    /// interned directly into the token arena — no per-line `String`,
+    /// no per-row `Vec`. Blank lines are skipped per the contract on
+    /// [`crate::read_lines`]; output is bit-identical to
+    /// `Corpus::from_lines(read_lines(File::open(path)?)?, tokenizer)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Io`] when the file cannot be opened or
+    /// read, or when a line is not valid UTF-8.
+    pub fn from_path(path: impl AsRef<Path>, tokenizer: &Tokenizer) -> Result<Corpus, ParseError> {
+        crate::loader::corpus_from_path(path.as_ref(), tokenizer, 1)
+    }
+
+    /// [`from_path`](Corpus::from_path) with a chunked-parallel build:
+    /// the buffer is split at newline boundaries into up to `threads`
+    /// chunks, each scanned on its own thread, and the chunk outputs
+    /// merged in order. The result is bit-identical to the sequential
+    /// build (symbol ids included). Small inputs build sequentially.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_path`](Corpus::from_path).
+    pub fn from_path_parallel(
+        path: impl AsRef<Path>,
+        tokenizer: &Tokenizer,
+        threads: usize,
+    ) -> Result<Corpus, ParseError> {
+        crate::loader::corpus_from_path(path.as_ref(), tokenizer, threads)
+    }
+
+    /// Builds a corpus from an in-memory buffer (e.g. stdin read to
+    /// end) with the zero-copy loader. Semantics match
+    /// [`from_path`](Corpus::from_path); the buffer is owned by the
+    /// corpus, records are views into it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Io`] when a line is not valid UTF-8.
+    pub fn from_bytes(bytes: Vec<u8>, tokenizer: &Tokenizer) -> Result<Corpus, ParseError> {
+        crate::loader::corpus_from_bytes(bytes, tokenizer, 1)
+    }
+
+    /// [`from_bytes`](Corpus::from_bytes) with the chunked-parallel
+    /// build (see [`from_path_parallel`](Corpus::from_path_parallel)).
+    ///
+    /// # Errors
+    ///
+    /// As [`from_bytes`](Corpus::from_bytes).
+    pub fn from_bytes_parallel(
+        bytes: Vec<u8>,
+        tokenizer: &Tokenizer,
+        threads: usize,
+    ) -> Result<Corpus, ParseError> {
+        crate::loader::corpus_from_bytes(bytes, tokenizer, threads)
+    }
+
+    /// Assembles a zero-copy corpus from loader output.
+    pub(crate) fn assemble_mapped(
+        buffer: Arc<LineBuffer>,
+        spans: Vec<Span>,
+        arena: TokenArena,
+        interner: Arc<Interner>,
+    ) -> Corpus {
+        Corpus {
+            records: Records::Mapped { buffer, spans },
+            arena,
+            interner,
+        }
+    }
+
     /// Number of messages in the corpus.
     pub fn len(&self) -> usize {
-        self.records.len()
+        match &self.records {
+            Records::Owned(records) => records.len(),
+            Records::Mapped { spans, .. } => spans.len(),
+        }
     }
 
     /// Returns `true` when the corpus holds no messages.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
-    /// The raw record at `index`.
+    /// The record at `index`, as a borrowed view.
     ///
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
-    pub fn record(&self, index: usize) -> &LogRecord {
-        &self.records[index]
+    pub fn record(&self, index: usize) -> RecordRef<'_> {
+        match &self.records {
+            Records::Owned(records) => {
+                let r = &records[index];
+                RecordRef {
+                    line_no: r.line_no,
+                    timestamp: r.timestamp.as_deref(),
+                    content: &r.content,
+                }
+            }
+            Records::Mapped { buffer, spans } => {
+                let span = spans[index];
+                RecordRef {
+                    line_no: span.line_no,
+                    timestamp: None,
+                    // Validated at build (ASCII-classified by the
+                    // scanner or UTF-8-checked on the slow path).
+                    content: std::str::from_utf8(&buffer[span.start..span.end]).unwrap_or(""),
+                }
+            }
+        }
     }
 
     /// The token sequence of the message at `index`, resolved to string
@@ -217,20 +380,29 @@ impl Corpus {
         &self.arena
     }
 
-    /// Iterates over the raw records.
-    pub fn records(&self) -> impl ExactSizeIterator<Item = &LogRecord> {
-        self.records.iter()
+    /// Iterates over the records as borrowed views.
+    pub fn records(&self) -> impl ExactSizeIterator<Item = RecordRef<'_>> {
+        (0..self.len()).map(move |i| self.record(i))
     }
 
     /// Returns a new corpus containing only the messages at `indices`
     /// (in the given order). Useful for the paper's 2 000-message samples.
-    /// The token table is shared, symbol rows are copied.
+    /// The token table is shared, symbol rows are copied (and a
+    /// zero-copy corpus shares its backing buffer).
     ///
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
     pub fn select(&self, indices: &[usize]) -> Corpus {
-        let records = indices.iter().map(|&i| self.records[i].clone()).collect();
+        let records = match &self.records {
+            Records::Owned(records) => {
+                Records::Owned(indices.iter().map(|&i| records[i].clone()).collect())
+            }
+            Records::Mapped { buffer, spans } => Records::Mapped {
+                buffer: Arc::clone(buffer),
+                spans: indices.iter().map(|&i| spans[i]).collect(),
+            },
+        };
         let mut arena = TokenArena::new();
         for &i in indices {
             arena.push_row(self.arena.row(i).iter().copied());
@@ -254,8 +426,15 @@ impl Corpus {
         for i in range.clone() {
             arena.push_row(self.arena.row(i).iter().copied());
         }
+        let records = match &self.records {
+            Records::Owned(records) => Records::Owned(records[range].to_vec()),
+            Records::Mapped { buffer, spans } => Records::Mapped {
+                buffer: Arc::clone(buffer),
+                spans: spans[range].to_vec(),
+            },
+        };
         Corpus {
-            records: self.records[range].to_vec(),
+            records,
             arena,
             interner: Arc::clone(&self.interner),
         }
@@ -270,11 +449,15 @@ impl Corpus {
 
 impl PartialEq for Corpus {
     /// Corpora compare by *content*: equal records and equal token
-    /// text. Symbol ids are representation — a slice shares its parent's
-    /// (larger) interner, so rows are compared resolved unless the two
-    /// corpora share one table.
+    /// text. Symbol ids and record storage are representation — a
+    /// zero-copy corpus equals the owned corpus with the same lines,
+    /// and a slice shares its parent's (larger) interner, so rows are
+    /// compared resolved unless the two corpora share one table.
     fn eq(&self, other: &Self) -> bool {
-        if self.records != other.records {
+        if self.len() != other.len() {
+            return false;
+        }
+        if self.records().zip(other.records()).any(|(a, b)| a != b) {
             return false;
         }
         if Arc::ptr_eq(&self.interner, &other.interner) {
@@ -400,10 +583,47 @@ mod tests {
             )],
             &t,
         );
-        assert_eq!(
-            c.record(0).timestamp.as_deref(),
-            Some("2008-11-11 03:40:58")
-        );
+        assert_eq!(c.record(0).timestamp, Some("2008-11-11 03:40:58"));
         assert_eq!(c.tokens(0), &["Receiving", "block", "blk_1"]);
+    }
+
+    #[test]
+    fn from_bytes_matches_from_lines() {
+        let t = Tokenizer::default();
+        let zero_copy = Corpus::from_bytes(b"alpha beta\n\nalpha gamma\n".to_vec(), &t).unwrap();
+        let owned = Corpus::from_lines(["alpha beta", "alpha gamma"], &t);
+        assert_eq!(zero_copy, owned);
+        assert_eq!(zero_copy.record(1).line_no, 2);
+        assert_eq!(zero_copy.record(1).content, "alpha gamma");
+        assert_eq!(zero_copy.record(1).timestamp, None);
+        // Bit-identical representation, not just content equality.
+        assert_eq!(zero_copy.symbols(1), owned.symbols(1));
+        assert_eq!(zero_copy.interner().len(), owned.interner().len());
+    }
+
+    #[test]
+    fn zero_copy_slice_and_select_share_the_buffer() {
+        let t = Tokenizer::default();
+        let c = Corpus::from_bytes(b"a b\nc d\ne f\n".to_vec(), &t).unwrap();
+        let s = c.slice(1..3);
+        assert_eq!(s.record(0).content, "c d");
+        assert_eq!(s.record(0).line_no, 2, "slices keep original line numbers");
+        let sel = c.select(&[2, 0]);
+        assert_eq!(sel.record(0).content, "e f");
+        assert_eq!(sel.record(1).line_no, 1);
+    }
+
+    #[test]
+    fn record_to_owned_round_trips() {
+        let c = corpus();
+        let owned = c.record(1).to_owned();
+        assert_eq!(
+            owned,
+            LogRecord {
+                line_no: 2,
+                timestamp: None,
+                content: "alpha gamma".into()
+            }
+        );
     }
 }

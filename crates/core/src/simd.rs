@@ -1,0 +1,677 @@
+//! SWAR (SIMD-within-a-register) byte scanning for the zero-copy
+//! corpus loader.
+//!
+//! The loader's hot loop must find, in one pass over the input buffer,
+//! every newline, every token boundary, whether each line is blank
+//! (all ASCII whitespace — see the contract on [`crate::read_lines`]),
+//! and whether it contains any non-ASCII byte (which routes the line to
+//! the checked slow path). [`Scanner::scan`] does all four eight bytes
+//! at a time: each `u64` word is classified into per-byte masks
+//! (whitespace / newline / separator / high) with branch-free lane
+//! arithmetic, the masks are compressed to 8-bit movemasks, and a
+//! small event walk over the set bits emits token and line events to a
+//! [`ScanSink`].
+//!
+//! Two exactness notes, because the classic tricks are *approximate*:
+//!
+//! * the textbook `haszero` test (`(v - LO) & !v & HI`) has cross-lane
+//!   borrow false positives, so [`zero_lanes`] uses the exact
+//!   per-lane form `!(((v & !HI) + !HI) | v) & HI`;
+//! * a plain multiply by `LO` computes a byte *sum*, not a movemask;
+//!   [`movemask`] first shifts the `0x80` lane bits down to lane bit 0
+//!   and then multiplies by `0x0102_0408_1020_4080`, whose partial
+//!   products land on pairwise-distinct bits (no carries), so the top
+//!   byte is the exact 8-bit mask.
+//!
+//! [`Scanner::scan_scalar`] is the independent byte-at-a-time
+//! reference implementation: it doubles as the fallback for exotic
+//! tokenizer configurations (more extra ASCII delimiters than the SWAR
+//! path splats) and as the oracle the property tests compare the SWAR
+//! path against.
+
+use crate::error::ParseError;
+use crate::tokenizer::Tokenizer;
+
+/// High (sign) bit of every lane.
+const HI: u64 = 0x8080_8080_8080_8080;
+/// Low seven bits of every lane (`!HI`).
+const LO7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+/// Movemask multiplier: bit `8i` of the operand lands on bit `56 + i`.
+const MOVEMASK_MUL: u64 = 0x0102_0408_1020_4080;
+
+/// `b` in every lane.
+#[inline]
+fn splat(b: u8) -> u64 {
+    u64::from(b) * 0x0101_0101_0101_0101
+}
+
+/// `0x80` in every lane whose byte is zero (exact, no cross-lane
+/// borrow artifacts).
+#[inline]
+fn zero_lanes(v: u64) -> u64 {
+    !(((v & LO7) + LO7) | v) & HI
+}
+
+/// `0x80` in every lane equal to the splatted byte `s`.
+#[inline]
+fn eq_lanes(v: u64, s: u64) -> u64 {
+    zero_lanes(v ^ s)
+}
+
+/// `0x80` in every lane whose byte is `>= n` (unsigned), for
+/// `1 <= n <= 0x80`. Lanes `>= 0x80` always qualify via the `| v` term;
+/// the per-lane add cannot carry because both addends are `< 0x80`.
+#[inline]
+fn ge_lanes(v: u64, n: u8) -> u64 {
+    (((v & LO7) + splat(0x80 - n)) | v) & HI
+}
+
+/// Compresses a `0x80`-per-lane mask to an 8-bit mask (bit `i` = lane
+/// `i`, little-endian byte order).
+#[inline]
+fn movemask(m: u64) -> u32 {
+    (((m >> 7).wrapping_mul(MOVEMASK_MUL)) >> 56) as u32
+}
+
+/// `0x80` in every ASCII-whitespace lane: `0x09..=0x0D` (tab, LF,
+/// vertical tab, form feed, CR) plus `0x20` (space). This is exactly
+/// the byte set of the blank-line contract on [`crate::read_lines`].
+#[inline]
+fn ws_lanes(v: u64) -> u64 {
+    (ge_lanes(v, 0x09) & !ge_lanes(v, 0x0e)) | eq_lanes(v, splat(b' '))
+}
+
+/// Is `b` ASCII whitespace (`char::is_whitespace` restricted to ASCII —
+/// note this includes vertical tab, which `u8::is_ascii_whitespace`
+/// omits)?
+#[inline]
+pub(crate) fn is_ascii_ws(b: u8) -> bool {
+    matches!(b, 0x09..=0x0d | b' ')
+}
+
+/// Is every byte of `line` ASCII whitespace? Short-circuits at the
+/// first content byte, so on kept lines this probes one byte. The
+/// blank-line contract both loaders cite lives on [`crate::read_lines`].
+#[inline]
+pub(crate) fn is_blank_line(line: &str) -> bool {
+    line.bytes().all(is_ascii_ws)
+}
+
+/// Index of the first `\n` at or after `from`, SWAR-accelerated.
+pub(crate) fn find_newline(buf: &[u8], from: usize) -> Option<usize> {
+    let mut base = from.min(buf.len());
+    // Unaligned head up to the first word boundary of the slice walk.
+    while base < buf.len() && !base.is_multiple_of(8) {
+        if buf[base] == b'\n' {
+            return Some(base);
+        }
+        base += 1;
+    }
+    let nl = splat(b'\n');
+    while base + 8 <= buf.len() {
+        let Ok(chunk) = buf[base..base + 8].try_into() else {
+            break;
+        };
+        let hits = eq_lanes(u64::from_le_bytes(chunk), nl);
+        if hits != 0 {
+            return Some(base + (hits.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    buf[base..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| base + i)
+}
+
+/// Byte-class flags for the scalar scan path.
+const CLASS_WS: u8 = 1;
+const CLASS_NL: u8 = 2;
+const CLASS_SEP: u8 = 4;
+const CLASS_HIGH: u8 = 8;
+
+/// Receives the event stream of a [`Scanner`] pass.
+///
+/// Events arrive in buffer order: zero or more `token` calls for a
+/// line's raw separator-delimited runs, then one `line` call closing
+/// it. Token runs are never empty and never cross lines. Offsets are
+/// relative to the scanned slice.
+pub(crate) trait ScanSink {
+    /// A maximal run of non-separator bytes, `buf[start..end)`.
+    fn token(&mut self, start: usize, end: usize);
+
+    /// End of a line whose content is `buf[start..content_end)` (the
+    /// terminating `\n` and a `\r` immediately before it are excluded;
+    /// a final line at EOF keeps any trailing `\r`, matching
+    /// `BufRead::lines`). `blank` ⇔ every content byte is ASCII
+    /// whitespace; `has_high` ⇔ some content byte is `>= 0x80`.
+    fn line(
+        &mut self,
+        start: usize,
+        content_end: usize,
+        blank: bool,
+        has_high: bool,
+    ) -> Result<(), ParseError>;
+}
+
+/// A compiled line/token scanner for one tokenizer configuration.
+#[derive(Debug, Clone)]
+pub(crate) struct Scanner {
+    /// Byte classes for the scalar path.
+    class: [u8; 256],
+    /// Splatted non-whitespace extra ASCII delimiters for the SWAR path.
+    extras: Vec<u64>,
+    /// SWAR is used when the extra-delimiter set fits a few splats;
+    /// beyond that the per-word cost outgrows the table walk.
+    swar: bool,
+}
+
+/// Past this many extra ASCII delimiters the SWAR word loop pays more
+/// per word than the scalar class table does per byte.
+const MAX_SWAR_EXTRAS: usize = 4;
+
+impl Scanner {
+    /// Compiles the scanner for `tokenizer`'s ASCII delimiter set. Wide
+    /// (non-ASCII) delimiters need no compilation: any line containing
+    /// one has high bytes and is re-tokenized on the checked slow path.
+    pub(crate) fn for_tokenizer(tokenizer: &Tokenizer) -> Scanner {
+        let mask = tokenizer.ascii_delimiter_mask();
+        let mut class = [0u8; 256];
+        let mut extras = Vec::new();
+        for b in 0..=255u8 {
+            if is_ascii_ws(b) {
+                class[b as usize] |= CLASS_WS | CLASS_SEP;
+            }
+            if b == b'\n' {
+                class[b as usize] |= CLASS_NL;
+            }
+            if b >= 0x80 {
+                class[b as usize] |= CLASS_HIGH;
+            } else if mask >> b & 1 == 1 {
+                class[b as usize] |= CLASS_SEP;
+                if !is_ascii_ws(b) {
+                    extras.push(splat(b));
+                }
+            }
+        }
+        let swar = extras.len() <= MAX_SWAR_EXTRAS;
+        Scanner {
+            class,
+            extras,
+            swar,
+        }
+    }
+
+    /// Scans `buf`, emitting token and line events into `sink`.
+    pub(crate) fn scan<S: ScanSink>(&self, buf: &[u8], sink: &mut S) -> Result<(), ParseError> {
+        if self.swar {
+            self.scan_swar(buf, sink)
+        } else {
+            self.scan_scalar(buf, sink)
+        }
+    }
+
+    /// The byte-at-a-time reference scan: one class-table load per
+    /// byte. Semantically identical to [`scan_swar`](Scanner::scan_swar)
+    /// — the property tests hold the two to byte-identical event
+    /// streams — and used directly when the delimiter set is too large
+    /// for the SWAR splats.
+    pub(crate) fn scan_scalar<S: ScanSink>(
+        &self,
+        buf: &[u8],
+        sink: &mut S,
+    ) -> Result<(), ParseError> {
+        const NONE: usize = usize::MAX;
+        let mut line_start = 0usize;
+        let mut token_start = NONE;
+        let mut nonws = false;
+        let mut high = false;
+        for (i, &b) in buf.iter().enumerate() {
+            let class = self.class[b as usize];
+            if class & CLASS_NL != 0 {
+                if token_start != NONE {
+                    sink.token(token_start, i);
+                    token_start = NONE;
+                }
+                let mut content_end = i;
+                if content_end > line_start && buf[content_end - 1] == b'\r' {
+                    content_end -= 1;
+                }
+                sink.line(line_start, content_end, !nonws, high)?;
+                line_start = i + 1;
+                nonws = false;
+                high = false;
+            } else if class & CLASS_SEP != 0 {
+                if token_start != NONE {
+                    sink.token(token_start, i);
+                    token_start = NONE;
+                }
+                if class & CLASS_WS == 0 {
+                    nonws = true;
+                }
+            } else {
+                if class & CLASS_HIGH != 0 {
+                    high = true;
+                }
+                nonws = true;
+                if token_start == NONE {
+                    token_start = i;
+                }
+            }
+        }
+        if token_start != NONE {
+            sink.token(token_start, buf.len());
+        }
+        if line_start < buf.len() {
+            sink.line(line_start, buf.len(), !nonws, high)?;
+        }
+        Ok(())
+    }
+
+    /// The word-at-a-time scan: classify eight bytes into movemasks,
+    /// then walk only the *boundary* bits (typical log text has ~1–2
+    /// per word). State — the current line start, the open token, the
+    /// line's blank/high flags — carries across words, so tokens and
+    /// lines may span any number of words.
+    pub(crate) fn scan_swar<S: ScanSink>(
+        &self,
+        buf: &[u8],
+        sink: &mut S,
+    ) -> Result<(), ParseError> {
+        const NONE: usize = usize::MAX;
+        let len = buf.len();
+        let mut line_start = 0usize;
+        let mut token_start = NONE;
+        let mut nonws = false;
+        let mut high = false;
+        let nl_splat = splat(b'\n');
+
+        let mut base = 0usize;
+        while base < len {
+            let n = (len - base).min(8) as u32;
+            let v = if n == 8 {
+                u64::from_le_bytes(buf[base..base + 8].try_into().unwrap_or_default())
+            } else {
+                // Tail word: zero padding, masked out of every class
+                // below (`valid`), so pad bytes emit no events.
+                let mut word = [0u8; 8];
+                word[..n as usize].copy_from_slice(&buf[base..]);
+                u64::from_le_bytes(word)
+            };
+            let valid: u32 = if n == 8 { 0xff } else { (1u32 << n) - 1 };
+            let ws = ws_lanes(v);
+            let mut sep = ws;
+            for &d in &self.extras {
+                sep |= eq_lanes(v, d);
+            }
+            let ws8 = movemask(ws) & valid;
+            let sep8 = movemask(sep) & valid;
+            let nl8 = movemask(eq_lanes(v, nl_splat)) & valid;
+            let high8 = movemask(v & HI) & valid;
+            let tok8 = !sep8 & valid;
+            let nonws8 = !ws8 & valid;
+
+            // Whole word inside a token: one branch, no event walk.
+            if sep8 == 0 {
+                if token_start == NONE {
+                    token_start = base;
+                }
+                nonws = true;
+                high |= high8 != 0;
+                base += 8;
+                continue;
+            }
+
+            let mut e: u32 = 0;
+            while e < n {
+                if token_start == NONE {
+                    // Bytes from `e` to the next token/newline bit are
+                    // non-newline separators.
+                    let rest = (tok8 | nl8) >> e;
+                    if rest == 0 {
+                        if nonws8 >> e != 0 {
+                            nonws = true;
+                        }
+                        break;
+                    }
+                    let j = e + rest.trailing_zeros();
+                    if nonws8 & ((1u32 << j) - (1u32 << e)) != 0 {
+                        nonws = true;
+                    }
+                    if nl8 >> j & 1 == 1 {
+                        let abs = base + j as usize;
+                        let mut content_end = abs;
+                        if content_end > line_start && buf[content_end - 1] == b'\r' {
+                            content_end -= 1;
+                        }
+                        sink.line(line_start, content_end, !nonws, high)?;
+                        line_start = abs + 1;
+                        nonws = false;
+                        high = false;
+                        e = j + 1;
+                    } else {
+                        token_start = base + j as usize;
+                        e = j;
+                    }
+                } else {
+                    // Token open: the next separator bit closes it.
+                    let seps = sep8 >> e;
+                    nonws = true;
+                    if seps == 0 {
+                        if high8 >> e != 0 {
+                            high = true;
+                        }
+                        break;
+                    }
+                    let j = e + seps.trailing_zeros();
+                    if high8 & ((1u32 << j) - (1u32 << e)) != 0 {
+                        high = true;
+                    }
+                    sink.token(token_start, base + j as usize);
+                    token_start = NONE;
+                    e = j;
+                }
+            }
+            base += 8;
+        }
+        if token_start != NONE {
+            sink.token(token_start, len);
+        }
+        if line_start < len {
+            // Final line without a trailing newline: content runs to
+            // EOF, keeping any trailing `\r` (BufRead::lines parity).
+            sink.line(line_start, len, !nonws, high)?;
+        }
+        Ok(())
+    }
+}
+
+/// Counts the lines of `buf` a corpus build would keep: segments
+/// between newlines (plus a non-empty EOF tail) containing at least one
+/// byte that is not ASCII whitespace. One SWAR pass, no events.
+pub(crate) fn count_non_blank_lines(buf: &[u8]) -> usize {
+    let len = buf.len();
+    let mut count = 0usize;
+    let mut nonws = false;
+    let nl_splat = splat(b'\n');
+    let mut base = 0usize;
+    while base < len {
+        let n = (len - base).min(8) as u32;
+        let v = if n == 8 {
+            u64::from_le_bytes(buf[base..base + 8].try_into().unwrap_or_default())
+        } else {
+            let mut word = [0u8; 8];
+            word[..n as usize].copy_from_slice(&buf[base..]);
+            u64::from_le_bytes(word)
+        };
+        let valid: u32 = if n == 8 { 0xff } else { (1u32 << n) - 1 };
+        let nonws8 = !movemask(ws_lanes(v)) & valid;
+        let mut nls = movemask(eq_lanes(v, nl_splat)) & valid;
+        if nls == 0 {
+            nonws |= nonws8 != 0;
+            base += 8;
+            continue;
+        }
+        let mut e: u32 = 0;
+        while nls != 0 {
+            let j = nls.trailing_zeros();
+            if nonws || nonws8 & ((1u32 << j) - (1u32 << e)) != 0 {
+                count += 1;
+            }
+            nonws = false;
+            e = j + 1;
+            nls &= nls - 1;
+        }
+        if nonws8 >> e != 0 {
+            nonws = true;
+        }
+        base += 8;
+    }
+    if nonws {
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Collects the full event stream for comparison.
+    #[derive(Debug, Default, PartialEq, Eq)]
+    struct Events {
+        tokens: Vec<(usize, usize)>,
+        lines: Vec<(usize, usize, bool, bool)>,
+    }
+
+    impl ScanSink for Events {
+        fn token(&mut self, start: usize, end: usize) {
+            self.tokens.push((start, end));
+        }
+
+        fn line(
+            &mut self,
+            start: usize,
+            content_end: usize,
+            blank: bool,
+            has_high: bool,
+        ) -> Result<(), ParseError> {
+            self.lines.push((start, content_end, blank, has_high));
+            Ok(())
+        }
+    }
+
+    fn swar_events(scanner: &Scanner, buf: &[u8]) -> Events {
+        let mut e = Events::default();
+        scanner.scan_swar(buf, &mut e).unwrap();
+        e
+    }
+
+    fn scalar_events(scanner: &Scanner, buf: &[u8]) -> Events {
+        let mut e = Events::default();
+        scanner.scan_scalar(buf, &mut e).unwrap();
+        e
+    }
+
+    #[test]
+    fn lane_primitives_are_exact() {
+        for (word, b, expect) in [
+            (0x0000_0100_0000_0000u64, 0u8, 0x8080_0080_8080_8080u64),
+            (
+                u64::from_le_bytes(*b"a b\tc  \n"),
+                b' ',
+                0x0080_8000_0000_8000,
+            ),
+        ] {
+            assert_eq!(eq_lanes(word, splat(b)), expect, "word {word:#x}");
+        }
+        // The classic haszero borrow bug: a zero byte above a 0x01 byte
+        // must not flag the 0x01 lane (lanes 1..=7 are zero, lane 0 is not).
+        assert_eq!(zero_lanes(0x0001), 0x8080_8080_8080_8000);
+        for b in 0u8..=255 {
+            let v = splat(b) & !0xffu64 | u64::from(b'\n');
+            let ge = ge_lanes(v, 0x09);
+            assert_eq!(ge & 0x80 != 0, b'\n' >= 0x09);
+            assert_eq!(ge & 0x8000 != 0, b >= 0x09, "byte {b:#x}");
+        }
+    }
+
+    #[test]
+    fn movemask_is_positional() {
+        assert_eq!(movemask(0), 0);
+        assert_eq!(movemask(HI), 0xff);
+        assert_eq!(movemask(0x80), 1);
+        assert_eq!(movemask(0x8000_0000_0000_0000), 0x80);
+        assert_eq!(movemask(0x0080_8000_0000_8000), 0b0110_0010);
+    }
+
+    #[test]
+    fn ws_lanes_match_the_ascii_whitespace_set() {
+        for b in 0u8..=255 {
+            let lane = ws_lanes(splat(b)) & 0x80 != 0;
+            assert_eq!(lane, is_ascii_ws(b), "byte {b:#x}");
+            assert_eq!(
+                b < 0x80 && char::from(b).is_whitespace(),
+                b < 0x80 && is_ascii_ws(b),
+                "ASCII whitespace must equal char::is_whitespace below 0x80 ({b:#x})"
+            );
+        }
+    }
+
+    #[test]
+    fn find_newline_matches_position() {
+        let buf = b"abcdefgh\nxy\nlongerline-without-breaks-here\n\n tail";
+        let mut expect = Vec::new();
+        let mut from = 0;
+        while let Some(p) = find_newline(buf, from) {
+            expect.push(p);
+            from = p + 1;
+        }
+        let naive: Vec<usize> = buf
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == b'\n').then_some(i))
+            .collect();
+        assert_eq!(expect, naive);
+        assert_eq!(find_newline(b"no breaks", 0), None);
+        assert_eq!(find_newline(b"x\n", 2), None);
+        assert_eq!(find_newline(b"", 5), None);
+    }
+
+    #[test]
+    fn swar_and_scalar_agree_on_handwritten_corpora() {
+        let scanner = Scanner::for_tokenizer(&Tokenizer::default());
+        let cases: &[&[u8]] = &[
+            b"",
+            b"\n",
+            b"a\n",
+            b"a",
+            b"one two three\nfour\n",
+            b"  leading and trailing  \n\t\n",
+            b"crlf line\r\nnext\r\n",
+            b"ends with cr at eof\r",
+            b"\r\n\r\n",
+            b"exactly8\nexactly8\n",
+            b"a-token-spanning-many-words-without-any-break\nshort\n",
+            "unicode \u{3b1}\u{3b2} tokens\nascii only\n".as_bytes(),
+            b"\x00nul bytes\x00are tokens\n",
+            b"   \x0b \x0c  \n",
+            b"no trailing newline",
+        ];
+        for case in cases {
+            assert_eq!(
+                swar_events(&scanner, case),
+                scalar_events(&scanner, case),
+                "case {:?}",
+                String::from_utf8_lossy(case)
+            );
+        }
+    }
+
+    #[test]
+    fn extra_delimiters_split_in_both_paths() {
+        let t = Tokenizer::new()
+            .with_extra_delimiter('=')
+            .with_extra_delimiter(',');
+        let scanner = Scanner::for_tokenizer(&t);
+        assert!(scanner.swar);
+        let buf = b"x=1,y=22\n===\n";
+        let events = swar_events(&scanner, buf);
+        assert_eq!(events, scalar_events(&scanner, buf));
+        assert_eq!(events.tokens, vec![(0, 1), (2, 3), (4, 5), (6, 8)]);
+        // `===` is all separators but not whitespace: kept, zero tokens.
+        assert_eq!(
+            events.lines,
+            vec![(0, 8, false, false), (9, 12, false, false)]
+        );
+    }
+
+    #[test]
+    fn oversized_delimiter_sets_fall_back_to_scalar() {
+        let mut t = Tokenizer::new();
+        for d in ['=', ',', ':', ';', '|'] {
+            t = t.with_extra_delimiter(d);
+        }
+        let scanner = Scanner::for_tokenizer(&t);
+        assert!(!scanner.swar, "five extras exceed the splat budget");
+        let mut events = Events::default();
+        scanner.scan(b"a=b|c", &mut events).unwrap();
+        assert_eq!(events.tokens, vec![(0, 1), (2, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn blank_and_high_flags_are_per_line() {
+        let scanner = Scanner::for_tokenizer(&Tokenizer::default());
+        let buf = "ascii\n \t\n\u{3b1}\nmore\n".as_bytes();
+        let events = swar_events(&scanner, buf);
+        let flags: Vec<(bool, bool)> = events.lines.iter().map(|l| (l.2, l.3)).collect();
+        assert_eq!(
+            flags,
+            vec![(false, false), (true, false), (false, true), (false, false)]
+        );
+        assert_eq!(events, scalar_events(&scanner, buf));
+    }
+
+    #[test]
+    fn count_non_blank_lines_matches_the_scan() {
+        let cases: &[(&[u8], usize)] = &[
+            (b"", 0),
+            (b"\n\n\n", 0),
+            (b"a\nb\nc", 3),
+            (b"a\n \n\tb\n", 2),
+            (b"tail without newline", 1),
+            (b"  \r\n x \r\n", 1),
+        ];
+        for &(buf, expect) in cases {
+            assert_eq!(count_non_blank_lines(buf), expect, "{buf:?}");
+        }
+    }
+
+    /// Strategy: mostly structure-rich bytes (whitespace, newlines,
+    /// delimiters, token bytes, high bytes) so boundaries are dense.
+    fn corpus_bytes() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            prop_oneof![
+                Just(b'\n'),
+                Just(b' '),
+                Just(b'\t'),
+                Just(b'\r'),
+                Just(b'='),
+                Just(b','),
+                Just(0xc3u8),
+                Just(0xa9u8),
+                0u8..=255,
+            ],
+            0..200,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn swar_scan_matches_scalar_reference(buf in corpus_bytes(), extras in 0usize..3) {
+            let mut t = Tokenizer::new();
+            for d in ['=', ','].iter().take(extras) {
+                t = t.with_extra_delimiter(*d);
+            }
+            let scanner = Scanner::for_tokenizer(&t);
+            prop_assert!(scanner.swar);
+            prop_assert_eq!(swar_events(&scanner, &buf), scalar_events(&scanner, &buf));
+        }
+
+        #[test]
+        fn count_agrees_with_line_events(buf in corpus_bytes()) {
+            let scanner = Scanner::for_tokenizer(&Tokenizer::default());
+            let events = swar_events(&scanner, &buf);
+            let kept = events.lines.iter().filter(|l| !l.2).count();
+            prop_assert_eq!(count_non_blank_lines(&buf), kept);
+        }
+
+        #[test]
+        fn find_newline_agrees_with_naive(buf in corpus_bytes(), from in 0usize..220) {
+            let naive = buf.iter().skip(from.min(buf.len())).position(|&b| b == b'\n')
+                .map(|i| i + from.min(buf.len()));
+            prop_assert_eq!(find_newline(&buf, from), naive);
+        }
+    }
+}

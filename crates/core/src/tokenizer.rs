@@ -119,6 +119,29 @@ impl Tokenizer {
         self.token_slices(content).collect()
     }
 
+    /// The ASCII delimiter bitmask (bit `c` set ⇔ byte `c` separates
+    /// tokens in addition to whitespace). The zero-copy loader compiles
+    /// this into its SWAR byte classes.
+    pub(crate) fn ascii_delimiter_mask(&self) -> u128 {
+        self.ascii_delimiters
+    }
+
+    /// Tokenizes `content` and interns straight into the arena row under
+    /// construction (no intermediate row vector). This is the loader's
+    /// checked slow path for lines with non-ASCII bytes: `token_slices`
+    /// applies the full Unicode separator semantics, including wide
+    /// delimiters. The caller seals the row.
+    pub(crate) fn intern_tokens_into(
+        &self,
+        content: &str,
+        interner: &mut Interner,
+        arena: &mut crate::intern::TokenArena,
+    ) {
+        for t in self.token_slices(content) {
+            arena.push_symbol(interner.intern(t));
+        }
+    }
+
     /// Splits `content` and interns every token into `interner`,
     /// returning the symbol row. Allocates only when a token is seen for
     /// the first time — this is the corpus-construction path.

@@ -75,10 +75,10 @@ pub fn run(config: &MiningTasksConfig) -> Vec<MiningTaskRow> {
     // across both environments.
     let mut lines: Vec<String> = Vec::with_capacity(dev.data.len() + prod.data.len());
     for i in 0..dev.data.len() {
-        lines.push(dev.data.corpus.record(i).content.clone());
+        lines.push(dev.data.corpus.record(i).content.to_owned());
     }
     for i in 0..prod.data.len() {
-        lines.push(prod.data.corpus.record(i).content.clone());
+        lines.push(prod.data.corpus.record(i).content.to_owned());
     }
     let combined = Corpus::from_lines(&lines, &Tokenizer::default());
     let session_count = dev.block_count() + prod.block_count();

@@ -46,9 +46,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use logparse_core::{
-    read_lines, Corpus, LogParser, ParallelDriver, Template, TemplateToken, Tokenizer,
-};
+use logparse_core::{Corpus, LogParser, ParallelDriver, Template, TemplateToken, Tokenizer};
 use logparse_parsers::{Ael, Drain, Iplom, LenMa, Lke, LogMine, LogSig, Slct, Spell};
 use logparse_store::{sync_dir, BlobRead, TemplateStore};
 
@@ -684,16 +682,15 @@ pub fn run_job_worker(job_dir: &Path, task: usize, attempt: u32) -> Result<(), I
             kill_self();
         }
     }
-    let lines = read_lines(File::open(&manifest.corpus)?)?;
-    if lines.len() != manifest.lines {
+    let corpus = Corpus::from_path(&manifest.corpus, &Tokenizer::default())?;
+    if corpus.len() != manifest.lines {
         return Err(IngestError::Config(format!(
             "corpus {} has {} line(s), manifest says {}",
             manifest.corpus.display(),
-            lines.len(),
+            corpus.len(),
             manifest.lines
         )));
     }
-    let corpus = Corpus::from_lines(&lines, &Tokenizer::default());
     let parser = build_batch_parser(&manifest.parser)?;
     let piece = corpus.slice(range.clone());
     let parse = parser.parse(&piece)?;

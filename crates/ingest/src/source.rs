@@ -82,14 +82,38 @@ pub fn stdin_source() -> ReaderSource<BufReader<io::Stdin>> {
     ReaderSource::new(BufReader::new(io::stdin()), "stdin")
 }
 
+/// A whole file as a finite source (no tailing), read zero-copy: the
+/// file is mapped once ([`logparse_core::FileLines`]) and each line is
+/// a view into the mapping until `next_item` materializes it as a
+/// [`SourceItem::Line`] — no `BufReader` copy, no read syscalls in the
+/// pull loop. Yields every line, blanks included, with `\n`/`\r\n`
+/// stripped, exactly like [`ReaderSource`] over the same file.
+pub struct MappedFileSource {
+    lines: logparse_core::FileLines,
+    label: String,
+}
+
 /// A whole file as a finite source (no tailing).
-pub fn file_source(path: impl Into<PathBuf>) -> io::Result<ReaderSource<BufReader<File>>> {
+pub fn file_source(path: impl Into<PathBuf>) -> io::Result<MappedFileSource> {
     let path = path.into();
-    let file = File::open(&path)?;
-    Ok(ReaderSource::new(
-        BufReader::new(file),
-        format!("file:{}", path.display()),
-    ))
+    Ok(MappedFileSource {
+        lines: logparse_core::FileLines::open(&path)?,
+        label: format!("file:{}", path.display()),
+    })
+}
+
+impl LogSource for MappedFileSource {
+    fn next_item(&mut self) -> io::Result<SourceItem> {
+        match self.lines.next_line() {
+            Some(Ok(line)) => Ok(SourceItem::Line(line.to_owned())),
+            Some(Err(e)) => Err(e),
+            None => Ok(SourceItem::Eof),
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
 }
 
 impl<R: BufRead + Send> LogSource for ReaderSource<R> {
@@ -384,6 +408,21 @@ mod tests {
         assert_eq!(s.next_item().unwrap(), SourceItem::Line("two".into()));
         assert_eq!(s.next_item().unwrap(), SourceItem::Line("three".into()));
         assert_eq!(s.next_item().unwrap(), SourceItem::Eof);
+    }
+
+    #[test]
+    fn mapped_file_source_matches_reader_semantics() {
+        let dir = std::env::temp_dir().join(format!("ingest-mapped-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("src.log");
+        std::fs::write(&path, b"one\r\ntwo\n\nthree").unwrap();
+        let mut s = file_source(&path).unwrap();
+        assert_eq!(s.describe(), format!("file:{}", path.display()));
+        for expected in ["one", "two", "", "three"] {
+            assert_eq!(s.next_item().unwrap(), SourceItem::Line(expected.into()));
+        }
+        assert_eq!(s.next_item().unwrap(), SourceItem::Eof);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,7 +21,7 @@ const ANOMALOUS_WINDOW: usize = 60;
 fn synthetic_stream() -> Vec<String> {
     let corpus = hdfs::generate(WINDOW * WINDOWS, 42).corpus;
     let mut lines: Vec<String> = (0..corpus.len())
-        .map(|i| corpus.record(i).content.clone())
+        .map(|i| corpus.record(i).content.to_owned())
         .collect();
     let burst_start = ANOMALOUS_WINDOW * WINDOW;
     for (offset, line) in lines[burst_start..burst_start + WINDOW]

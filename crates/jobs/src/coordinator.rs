@@ -21,13 +21,12 @@
 //! and continues; completed shards are never re-run, so resume neither
 //! loses nor duplicates work.
 
-use std::fs::File;
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use logparse_core::{read_lines, EventId, Parse, Template, TemplateMerge};
+use logparse_core::{count_corpus_lines, EventId, Parse, Template, TemplateMerge};
 use logparse_ingest::jobs::{
     dlq_dir, events_path, kill_self, out_dir, state_dir, DlqRecord, FaultPlan, JobManifest,
     ResultRead, ShardResult,
@@ -261,7 +260,9 @@ pub fn run_job(config: &JobConfig) -> Result<JobOutcome, JobError> {
             (existing, true)
         }
         None => {
-            let lines = read_lines(File::open(&config.corpus)?)?.len();
+            // One mmap + SWAR count pass — no record materialization
+            // just to size the shard manifest.
+            let lines = count_corpus_lines(&config.corpus)?;
             if lines == 0 {
                 return Err(JobError::Config(format!(
                     "corpus {} is empty",

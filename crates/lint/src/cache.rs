@@ -2,7 +2,7 @@
 //!
 //! Every [`FileAnalysis`] is a pure function of one file's path and
 //! content, so it caches perfectly: entries live under
-//! `target/lint-cache` as `<fnv(rel)>-<fnv(content)>.v1`, one file per
+//! `target/lint-cache` as `<fnv(rel)>-<fnv(content)>.<version>`, one file per
 //! source file. **Invalidation rule:** the content hash *is* the key —
 //! an edited file simply misses (its stale sibling entries, same `rel`
 //! hash with a different content hash, are pruned on write), and the
@@ -27,7 +27,7 @@ use crate::source::Role;
 use std::path::{Path, PathBuf};
 
 /// Bump to retire every existing cache entry.
-const VERSION: &str = "v1";
+const VERSION: &str = "v2";
 
 /// FNV-1a 64-bit, the key hash (stable across runs and platforms).
 pub fn fnv1a(data: &[u8]) -> u64 {

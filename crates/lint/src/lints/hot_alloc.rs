@@ -22,11 +22,19 @@ const NAME: &str = "hot-path-string-alloc";
 /// Allocation calls that have no place in a per-token loop.
 const PATTERNS: &[&str] = &[".to_string()", "String::from(", "format!("];
 
-/// Scope: the parsers crate plus the parallel driver — the loops the
+/// Scope: the parsers crate, the parallel driver, and the zero-copy
+/// corpus loader path (scanner, interner, loader) — the loops the
 /// throughput benches measure.
+const CORE_HOT_FILES: &[&str] = &[
+    "crates/core/src/parallel.rs",
+    "crates/core/src/loader.rs",
+    "crates/core/src/simd.rs",
+    "crates/core/src/intern.rs",
+];
+
 fn in_scope(file: &SourceFile) -> bool {
     file.role == Role::Lib
-        && (file.crate_name == "parsers" || file.rel == "crates/core/src/parallel.rs")
+        && (file.crate_name == "parsers" || CORE_HOT_FILES.contains(&file.rel.as_str()))
 }
 
 /// Is the byte at `pos` the start of a standalone keyword `kw`?
@@ -176,6 +184,18 @@ mod tests {
         assert!(run("crates/parsers/benches/x.rs", body).is_empty());
         let in_test = format!("#[cfg(test)]\nmod tests {{\n{body}}}\n");
         assert!(run("crates/parsers/src/x.rs", &in_test).is_empty());
+    }
+
+    #[test]
+    fn loader_path_files_are_in_scope() {
+        let body = "fn f(v: &[u32]) { for x in v { let _ = x.to_string(); } }\n";
+        for rel in [
+            "crates/core/src/loader.rs",
+            "crates/core/src/simd.rs",
+            "crates/core/src/intern.rs",
+        ] {
+            assert_eq!(run(rel, body).len(), 1, "{rel} should be linted");
+        }
     }
 
     #[test]

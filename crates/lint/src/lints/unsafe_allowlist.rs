@@ -1,54 +1,103 @@
-//! `unsafe-allowlist`: the workspace has exactly one sanctioned unsafe
-//! surface — the `signal(2)` FFI in `crates/ingest/src/signal.rs`.
+//! `unsafe-allowlist`: the workspace has exactly two sanctioned unsafe
+//! surfaces — the `signal(2)` FFI in `crates/ingest/src/signal.rs` and
+//! the `mmap(2)` FFI (plus the ASCII `&str` reinterpretation) in
+//! `crates/core/src/mmap.rs`.
 //!
-//! Two checks:
+//! Three checks:
 //!
 //! 1. the token `unsafe` anywhere outside the allowlist is an error
 //!    (tests included: test code is still unsafe code);
-//! 2. every crate root must carry `#![forbid(unsafe_code)]`. The
-//!    `ingest` root is the one sanctioned exception: `forbid` cannot be
-//!    overridden locally, so it carries `#![deny(unsafe_code)]` and
-//!    `signal.rs` opts out with an explicit `#[allow(unsafe_code)]`.
+//! 2. inside an allowlisted file, every line using `unsafe` must sit
+//!    directly under a `// SAFETY:` comment (the comment block
+//!    immediately above, blank lines allowed) or carry one on the line
+//!    itself — an unsafe block whose soundness argument is not written
+//!    down is treated the same as unsafe outside the allowlist;
+//! 3. every crate root must carry `#![forbid(unsafe_code)]`. The
+//!    `ingest` and `core` roots are the sanctioned exceptions: `forbid`
+//!    cannot be overridden locally, so they carry
+//!    `#![deny(unsafe_code)]` and the allowlisted module opts back in
+//!    with an explicit `allow(unsafe_code)`.
 
 use super::{find_all, Finding, Severity};
 use crate::source::SourceFile;
 
 const NAME: &str = "unsafe-allowlist";
 
-/// Files in which the `unsafe` token is sanctioned.
-const UNSAFE_OK: &[&str] = &["crates/ingest/src/signal.rs"];
+/// Files in which the `unsafe` token is sanctioned (SAFETY comments
+/// still required, per check 2).
+const UNSAFE_OK: &[&str] = &["crates/ingest/src/signal.rs", "crates/core/src/mmap.rs"];
 
-/// Crate roots allowed to downgrade `forbid` to `deny`, with why.
-const DENY_OK: &[&str] = &["crates/ingest/src/lib.rs"];
+/// Crate roots allowed to downgrade `forbid` to `deny` — exactly the
+/// crates owning an allowlisted file.
+const DENY_OK: &[&str] = &["crates/ingest/src/lib.rs", "crates/core/src/lib.rs"];
 
 /// Runs the token check over one file.
 pub fn check(file: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
-    if !UNSAFE_OK.contains(&file.rel.as_str()) {
-        for n in 1..=file.line_count() as u32 {
-            let line = file.masked_line(n);
-            for off in find_all(line, "unsafe") {
-                let bytes = line.as_bytes();
-                let before_ok = off == 0 || !is_ident(bytes[off - 1]);
-                let after = off + "unsafe".len();
-                let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
-                if before_ok && after_ok {
-                    out.push(Finding::new(
-                        NAME,
-                        Severity::Error,
-                        file,
-                        n,
-                        format!(
-                            "`unsafe` outside the allowlist ({}); move the FFI there or \
-                             extend the allowlist deliberately",
-                            UNSAFE_OK.join(", ")
-                        ),
-                    ));
-                }
+    let allowlisted = UNSAFE_OK.contains(&file.rel.as_str());
+    for n in 1..=file.line_count() as u32 {
+        let line = file.masked_line(n);
+        for off in find_all(line, "unsafe") {
+            let bytes = line.as_bytes();
+            let before_ok = off == 0 || !is_ident(bytes[off - 1]);
+            let after = off + "unsafe".len();
+            let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
+            if !(before_ok && after_ok) {
+                continue;
             }
+            if !allowlisted {
+                out.push(Finding::new(
+                    NAME,
+                    Severity::Error,
+                    file,
+                    n,
+                    format!(
+                        "`unsafe` outside the allowlist ({}); move the FFI there or \
+                         extend the allowlist deliberately",
+                        UNSAFE_OK.join(", ")
+                    ),
+                ));
+            } else if !has_safety_comment(file, n) {
+                out.push(Finding::new(
+                    NAME,
+                    Severity::Error,
+                    file,
+                    n,
+                    "allowlisted `unsafe` without a `SAFETY:` comment directly above; \
+                     write down why this is sound"
+                        .to_string(),
+                ));
+            }
+            // One finding per line is enough either way.
+            break;
         }
     }
     out
+}
+
+/// Is there a `SAFETY:` comment on line `n` or in the comment block
+/// immediately above it? The walk climbs over comment-only and blank
+/// lines (the masked view blanks comments), so multi-line soundness
+/// arguments qualify however long they run; the first *code* line ends
+/// the search.
+fn has_safety_comment(file: &SourceFile, n: u32) -> bool {
+    let safety_on = |m: u32| {
+        file.lexed
+            .comments
+            .iter()
+            .any(|c| c.line == m && c.text.contains("SAFETY:"))
+    };
+    if safety_on(n) {
+        return true;
+    }
+    let mut m = n.saturating_sub(1);
+    while m >= 1 && file.masked_line(m).trim().is_empty() {
+        if safety_on(m) {
+            return true;
+        }
+        m -= 1;
+    }
+    false
 }
 
 /// Runs the crate-root attribute check. `file` must be a crate root
@@ -91,18 +140,50 @@ mod tests {
         ));
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("outside the allowlist"));
     }
 
     #[test]
     fn allowlisted_file_and_string_mentions_are_fine() {
         assert!(check(&SourceFile::new(
             "crates/ingest/src/signal.rs",
-            "fn f() { unsafe { ffi() } }\n",
+            "fn f() {\n    // SAFETY: handler is async-signal-safe.\n    unsafe { ffi() }\n}\n",
         ))
         .is_empty());
         assert!(check(&SourceFile::new(
             "crates/core/src/x.rs",
             "const DOC: &str = \"unsafe\"; // unsafe in comments is fine\nfn unsafer() {}\n",
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn allowlisted_unsafe_needs_an_adjacent_safety_comment() {
+        // No SAFETY comment at all: one finding per unsafe line.
+        let bare = check(&SourceFile::new(
+            "crates/core/src/mmap.rs",
+            "fn f() {\n    unsafe { ffi() }\n}\n",
+        ));
+        assert_eq!(bare.len(), 1);
+        assert!(bare[0].message.contains("SAFETY"));
+        // A SAFETY block ending in a code line before the unsafe does
+        // not cover it.
+        let detached = check(&SourceFile::new(
+            "crates/core/src/mmap.rs",
+            "// SAFETY: stale argument.\nfn f() {}\nfn g() {\n    unsafe { ffi() }\n}\n",
+        ));
+        assert_eq!(detached.len(), 1);
+        // Multi-line SAFETY comment immediately above: covered, even
+        // when only the first line carries the keyword.
+        assert!(check(&SourceFile::new(
+            "crates/core/src/mmap.rs",
+            "// SAFETY: the pages are mapped read-only and stay alive\n// until Drop, which runs once.\nunsafe impl Send for M {}\n",
+        ))
+        .is_empty());
+        // Same-line SAFETY also qualifies.
+        assert!(check(&SourceFile::new(
+            "crates/core/src/mmap.rs",
+            "fn f() { unsafe { ffi() } } // SAFETY: fd outlives the call.\n",
         ))
         .is_empty());
     }
@@ -117,15 +198,13 @@ mod tests {
             "#![forbid(unsafe_code)]\n",
         ));
         assert!(ok.is_empty());
-        // ingest may deny instead of forbid; others may not.
-        assert!(check_crate_root(&SourceFile::new(
-            "crates/ingest/src/lib.rs",
-            "#![deny(unsafe_code)]\n",
-        ))
-        .is_empty());
+        // ingest and core may deny instead of forbid; others may not.
+        for root in ["crates/ingest/src/lib.rs", "crates/core/src/lib.rs"] {
+            assert!(check_crate_root(&SourceFile::new(root, "#![deny(unsafe_code)]\n")).is_empty());
+        }
         assert_eq!(
             check_crate_root(&SourceFile::new(
-                "crates/core/src/lib.rs",
+                "crates/parsers/src/lib.rs",
                 "#![deny(unsafe_code)]\n",
             ))
             .len(),

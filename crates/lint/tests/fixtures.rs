@@ -81,11 +81,15 @@ fn unsafe_allowlist_fires_outside_the_sanctioned_file() {
     assert_eq!(lint_names(&out), vec!["unsafe-allowlist"], "{out:?}");
     assert_eq!(out[0].severity, Severity::Error);
 
-    let sanctioned = lint_as(
-        "crates/ingest/src/signal.rs",
-        "unsafe_allowlist/violation.rs",
-    );
-    assert!(sanctioned.is_empty(), "{sanctioned:?}");
+    // In an allowlisted file the bare block is still flagged — for the
+    // missing SAFETY comment, not for being unsafe.
+    for sanctioned_file in ["crates/ingest/src/signal.rs", "crates/core/src/mmap.rs"] {
+        let bare = lint_as(sanctioned_file, "unsafe_allowlist/violation.rs");
+        assert_eq!(lint_names(&bare), vec!["unsafe-allowlist"], "{bare:?}");
+        assert!(bare[0].message.contains("SAFETY"), "{bare:?}");
+        let commented = lint_as(sanctioned_file, "unsafe_allowlist/safety_commented.rs");
+        assert!(commented.is_empty(), "{commented:?}");
+    }
 }
 
 #[test]

@@ -1,0 +1,8 @@
+// Sanctioned unsafe: the block carries its soundness argument in a
+// SAFETY comment directly above, as the allowlist requires.
+
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points to a live, initialized
+    // byte for the duration of this call.
+    unsafe { *p }
+}

@@ -19,7 +19,7 @@ fn main() {
     let mut spell = StreamingSpell::default();
 
     for i in 0..data.len() {
-        let tokens = tokenizer.tokenize_refs(&data.corpus.record(i).content);
+        let tokens = tokenizer.tokenize_refs(data.corpus.record(i).content);
         drain.observe(&tokens);
         spell.observe(&tokens);
         if [10, 100, 1000, data.len() - 1].contains(&i) {

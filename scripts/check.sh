@@ -37,6 +37,9 @@ cargo test --workspace -q
 echo "=== differential suite (sequential vs parallel) ==="
 cargo test -q --test parallel_equivalence
 
+echo "=== differential suite (zero-copy loader vs legacy reader) ==="
+cargo test -q --test loader_differential
+
 if [[ "$QUICK" == "1" ]]; then
   # Benches aren't compiled by `cargo test`; make sure the perf harness
   # (the interning throughput runner included) still builds without
@@ -86,6 +89,26 @@ if [[ "$QUICK" == "1" ]]; then
   cmp "$JOBS_DIR/parse.events" "$JOBS_DIR/jobs.events"
   grep -q '"event":"agent_retrying"' "$JOBS_DIR/job/events.jsonl"
   rm -rf "$JOBS_DIR"
+
+  # Loader differential smoke at the CLI boundary: the mmap and legacy
+  # loaders must hand every parser-visible byte over identically, so
+  # the events and structured outputs of `logmine parse` are compared
+  # with cmp across both --loader flavors (CRLF + blank lines included).
+  echo "=== loader smoke (--loader mmap vs --loader legacy, byte-identical) ==="
+  LOADER_DIR="$(mktemp -d)"
+  cargo run -q --release -p logparse-cli --bin logmine -- \
+    generate --dataset hdfs --count 3000 >"$LOADER_DIR/corpus.log"
+  printf 'tail no newline\r\n   \r\nlast line' >>"$LOADER_DIR/corpus.log"
+  for loader in mmap legacy; do
+    cargo run -q --release -p logparse-cli --bin logmine -- \
+      parse --parser drain -j 4 --loader "$loader" \
+      --events-out "$LOADER_DIR/$loader.events" \
+      --structured-out "$LOADER_DIR/$loader.structured" \
+      "$LOADER_DIR/corpus.log" >/dev/null
+  done
+  cmp "$LOADER_DIR/mmap.events" "$LOADER_DIR/legacy.events"
+  cmp "$LOADER_DIR/mmap.structured" "$LOADER_DIR/legacy.structured"
+  rm -rf "$LOADER_DIR"
 fi
 
 if [[ "$DEEP" == "1" ]]; then

@@ -15,7 +15,7 @@ fn file_roundtrip_matches_in_memory_parse() {
     let data = zookeeper::generate(300, 5);
     let mut raw = String::new();
     for i in 0..data.len() {
-        raw.push_str(&data.corpus.record(i).content);
+        raw.push_str(data.corpus.record(i).content);
         raw.push('\n');
     }
     let lines = read_lines(raw.as_bytes()).unwrap();

@@ -85,7 +85,8 @@ fn parsers() -> Vec<Box<dyn LogParser>> {
 /// integer representation of the tokens moved.
 fn id_shifted(corpus: &Corpus, tokenizer: &Tokenizer) -> Corpus {
     let decoy = LogRecord::new(0, "qq0 qq1 qq2 qq3 qq4 qq5 qq6 qq7 qq8 qq9");
-    let records = std::iter::once(decoy).chain((0..corpus.len()).map(|i| corpus.record(i).clone()));
+    let records =
+        std::iter::once(decoy).chain((0..corpus.len()).map(|i| corpus.record(i).to_owned()));
     let rebuilt = Corpus::from_records(records, tokenizer);
     rebuilt.slice(1..rebuilt.len())
 }
